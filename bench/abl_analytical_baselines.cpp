@@ -1,0 +1,83 @@
+// Extension experiment (§V-B): where does PredictDDL sit between the
+// black-box (Ernest) and analytical (Paleo) families?
+//
+// Paleo-lite calibrates platform constants (η, B, startup) on five
+// *calibration* architectures, then predicts the Table-II CIFAR-10
+// workloads analytically from their graphs.  Ernest and PredictDDL follow
+// their Fig. 9 protocols.  Reported per workload: mean relative error over
+// 1..20-server configurations.
+#include <cmath>
+
+#include "baselines/ernest.hpp"
+#include "baselines/paleo.hpp"
+#include "bench_common.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::cifar10(), bench::standard_options());
+
+  sim::CampaignConfig cc;
+  cc.include_tiny_imagenet = false;
+  const auto campaign = sim::run_campaign(simulator, cc, pool);
+  const auto split = bench::split_measurements(campaign, 0.8, 404);
+  pddl.fit_predictor("cifar10", split.train);
+
+  baselines::Ernest ernest;
+  ernest.fit(split.train);
+
+  // Calibrate Paleo on architectures NOT in Table II's CIFAR list.
+  baselines::PaleoModel paleo;
+  {
+    std::vector<baselines::PaleoModel::CalibrationRun> runs;
+    Rng rng(11);
+    for (const char* model :
+         {"vgg13", "resnet34", "densenet121", "googlenet", "mobilenet_v2"}) {
+      for (int n : {1, 2, 5, 10, 20}) {
+        baselines::PaleoModel::CalibrationRun run;
+        run.workload = {model, workload::cifar10(), 64, 10};
+        run.cluster = cluster::make_uniform_cluster("p100", n);
+        run.measured_s = simulator.run(run.workload, run.cluster, rng).total_s;
+        runs.push_back(std::move(run));
+      }
+    }
+    paleo.calibrate(runs);
+  }
+
+  Table t({"workload", "PredictDDL |err|", "Paleo |err|", "Ernest |err|"});
+  double sum_p = 0.0, sum_a = 0.0, sum_e = 0.0;
+  const auto workloads = workload::table2_cifar_workloads();
+  for (const auto& w : workloads) {
+    double err_p = 0.0, err_a = 0.0, err_e = 0.0;
+    int count = 0;
+    for (int n = 1; n <= 20; ++n) {
+      const auto cluster = cluster::make_uniform_cluster("p100", n);
+      const double actual = simulator.expected(w, cluster).total_s;
+      const double pred_p = pddl.predict_from_features(
+          "cifar10", pddl.features().build(w, cluster));
+      const double pred_a = paleo.predict(w, cluster);
+      const double pred_e = ernest.predict(n);
+      err_p += std::fabs(pred_p - actual) / actual;
+      err_a += std::fabs(pred_a - actual) / actual;
+      err_e += std::fabs(pred_e - actual) / actual;
+      ++count;
+    }
+    err_p /= count;
+    err_a /= count;
+    err_e /= count;
+    t.row().add(w.model).add(err_p, 3).add(err_a, 3).add(err_e, 3);
+    sum_p += err_p;
+    sum_a += err_a;
+    sum_e += err_e;
+  }
+  const double n = static_cast<double>(workloads.size());
+  t.row().add("MEAN").add(sum_p / n, 3).add(sum_a / n, 3).add(sum_e / n, 3);
+  bench::emit(t,
+              "Analytical-baseline comparison — PredictDDL (learned, "
+              "reusable) vs Paleo-lite (analytical) vs Ernest (black box)",
+              "abl_analytical_baselines.csv");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Extension experiment (§V-A/§V-C): cloud-configuration search cost.
+//
+// Task: find the cheapest (price × time) cluster configuration for each
+// Table-II CIFAR-10 workload over a 3-SKU × 1..16-server space.
+//   * CherryPick: GP + expected-improvement Bayesian optimization; every
+//     probe executes the workload and costs cluster time.
+//   * PredictDDL-guided: score all 48 configurations from the trained
+//     predictor for free, run only the predicted winner.
+//   * Oracle: exhaustively runs everything (regret reference).
+// The paper argues reusable predictors shrink exactly this search cost.
+#include "baselines/cherrypick.hpp"
+#include "bench_common.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::cifar10(), bench::standard_options());
+
+  // Train once on a campaign covering all three SKUs so the predictor can
+  // score CPU configurations too.
+  sim::CampaignConfig cc;
+  cc.include_tiny_imagenet = false;
+  auto train = sim::run_campaign(simulator, cc, pool);
+  for (const char* sku : {"e5_2630", "e5_2650"}) {
+    sim::CampaignConfig extra = cc;
+    extra.cifar_sku = sku;
+    const auto more = sim::run_campaign(simulator, extra, pool);
+    train.insert(train.end(), more.begin(), more.end());
+  }
+  pddl.fit_predictor("cifar10", train);
+
+  const auto space = baselines::config_search_space(16);
+  Table t({"workload", "method", "config", "cost", "regret", "probes",
+           "cluster time (s)"});
+  double cp_time = 0.0, pddl_time = 0.0, cp_regret = 0.0, pddl_regret = 0.0;
+  const auto workloads = workload::table2_cifar_workloads();
+
+  for (const auto& w : workloads) {
+    Rng r1(101), r2(101), r3(101);
+    const auto oracle = baselines::oracle_search(w, simulator, space, r1);
+    const auto cp =
+        baselines::cherrypick_search(w, simulator, space, /*budget=*/10, r2);
+    auto predict = [&](const baselines::CloudConfig& cfg) {
+      return pddl.predict_from_features(
+          "cifar10",
+          pddl.features().build(w, cfg.cluster()));
+    };
+    const auto guided =
+        baselines::predictor_guided_search(w, simulator, space, predict, r3);
+
+    auto emit_row = [&](const char* method, const baselines::SearchResult& r) {
+      t.row()
+          .add(w.model)
+          .add(method)
+          .add(r.best.sku + "x" + std::to_string(r.best.servers))
+          .add(r.best_cost, 1)
+          .add(r.best_cost / oracle.best_cost, 3)
+          .add(static_cast<std::size_t>(r.evaluations))
+          .add(r.evaluations_s, 1);
+    };
+    emit_row("oracle", oracle);
+    emit_row("cherrypick", cp);
+    emit_row("predictddl", guided);
+    cp_time += cp.evaluations_s;
+    pddl_time += guided.evaluations_s;
+    cp_regret += cp.best_cost / oracle.best_cost;
+    pddl_regret += guided.best_cost / oracle.best_cost;
+  }
+  bench::emit(t,
+              "Config search — CherryPick (BO) vs PredictDDL-guided vs "
+              "oracle (cost = price x time; regret = cost / oracle cost)",
+              "abl_config_search.csv");
+
+  const double n = static_cast<double>(workloads.size());
+  Table s({"method", "mean regret", "total cluster time (s)"});
+  s.row().add("cherrypick").add(cp_regret / n, 3).add(cp_time, 1);
+  s.row().add("predictddl").add(pddl_regret / n, 3).add(pddl_time, 1);
+  bench::emit(s, "Config-search summary", "abl_config_search_summary.csv");
+  return 0;
+}

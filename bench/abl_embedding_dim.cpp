@@ -1,0 +1,43 @@
+// Ablation (paper §VI future work): impact of the GHN embedding vector's
+// dimensionality on prediction error.  A GHN is trained per dimension on
+// the same DARTS corpus; the downstream polynomial predictor is fitted on
+// the CIFAR-10 campaign (80/20) and scored on the test split.
+#include "bench_common.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  sim::CampaignConfig cc;
+  cc.include_tiny_imagenet = false;
+  const auto cifar = sim::run_campaign(simulator, cc, pool);
+  const auto split = bench::split_measurements(cifar, 0.8, 21);
+
+  Table t({"embedding dim", "mean ratio", "mean |err|", "feature dim"});
+  for (std::size_t dim : {8u, 16u, 32u, 64u}) {
+    core::PredictDdlOptions opts = bench::standard_options();
+    opts.ghn.hidden_dim = dim;
+    opts.ghn.mlp_hidden = dim;
+    // Keep the ablation affordable: smaller corpus than the main benches.
+    opts.ghn_trainer.corpus_size = 48;
+    opts.ghn_trainer.epochs = 16;
+    core::PredictDdl pddl(simulator, pool, std::move(opts));
+    core::PredictDdlOptions cache_key = bench::standard_options();
+    cache_key.ghn.hidden_dim = dim;
+    bench::ensure_ghn_cached(pddl, workload::cifar10(), cache_key);
+
+    pddl.fit_predictor("cifar10", split.train);
+    const Vector pred = pddl.predict_measurements("cifar10", split.test);
+    const Vector actual = bench::actual_times(split.test);
+    t.row()
+        .add(dim)
+        .add(regress::mean_prediction_ratio(pred, actual), 3)
+        .add(regress::mean_relative_error(pred, actual), 3)
+        .add(core::FeatureBuilder::feature_dim(dim));
+  }
+  bench::emit(t,
+              "Ablation — GHN embedding dimensionality (paper default 32)",
+              "abl_embedding_dim.csv");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Extension experiment (§III-C + §III-G): heterogeneous clusters.
+//
+// "We make the prediction model agnostic to server configurations.  This
+// allows us to process configurations of heterogeneous clusters."  Two
+// regimes are measured on mixed E5-2630/E5-2650 clusters:
+//
+//  (a) zero-shot — trained only on the homogeneous campaigns.  Training
+//      data cannot distinguish "slowest server" from "average server"
+//      features (they coincide on homogeneous clusters), so the predictor
+//      interpolates between SKU curves while synchronous DDP actually
+//      follows the slowest machine: a large, structural error.
+//  (b) after retraining with a handful of *other* mixed configurations —
+//      §III-G: "As more cluster configurations are considered, the
+//      prediction model will require retraining to learn new features from
+//      the performance data collected using the newly added cluster
+//      configurations."
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace pddl;
+
+namespace {
+
+// A mixed cluster: `fast` E5-2630 servers plus `slow` E5-2650 servers.
+cluster::ClusterSpec mixed_cluster(int fast, int slow) {
+  cluster::ClusterSpec c;
+  for (int i = 0; i < fast; ++i) {
+    c.servers.push_back(cluster::make_e5_2630_server("f" + std::to_string(i)));
+  }
+  for (int i = 0; i < slow; ++i) {
+    c.servers.push_back(cluster::make_e5_2650_server("s" + std::to_string(i)));
+  }
+  return c;
+}
+
+// One measurement of `w` on a mixed cluster, shaped like a campaign row.
+sim::Measurement measure_mixed(const sim::DdlSimulator& sim,
+                               const workload::DlWorkload& w, int fast,
+                               int slow, Rng& rng) {
+  const auto cluster = mixed_cluster(fast, slow);
+  const graph::CompGraph g = w.build_graph();
+  sim::Measurement m;
+  m.model = w.model;
+  m.dataset = w.dataset.name;
+  m.sku = "mixed";
+  m.servers = fast + slow;
+  m.batch_size = w.batch_size_per_server;
+  m.epochs = w.epochs;
+  m.time_s = sim.run(w, g, cluster, rng).total_s;
+  m.expected_s = sim.expected(w, g, cluster).total_s;
+  m.model_params = g.total_params();
+  m.model_flops = g.total_flops();
+  m.model_layers = g.num_parametric_layers();
+  m.model_depth = g.depth();
+  m.cluster_features = cluster.features();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::tiny_imagenet(),
+                           bench::standard_options());
+
+  // Homogeneous training campaigns on both CPU SKUs.
+  std::vector<sim::Measurement> train;
+  for (const char* sku : {"e5_2630", "e5_2650"}) {
+    sim::CampaignConfig cc;
+    cc.include_cifar10 = false;
+    cc.tiny_imagenet_sku = sku;
+    const auto ms = sim::run_campaign(simulator, cc, pool);
+    train.insert(train.end(), ms.begin(), ms.end());
+  }
+
+  const std::vector<std::pair<int, int>> test_mixes = {
+      {2, 2}, {6, 2}, {2, 6}, {8, 8}};
+  const std::vector<std::pair<int, int>> train_mixes = {
+      {1, 1}, {4, 2}, {2, 4}, {6, 6}, {10, 4}, {3, 9}};
+
+  auto evaluate = [&](const char* regime, Table& t) {
+    double worst = 0.0, sum = 0.0;
+    int count = 0;
+    for (const auto& w : workload::table2_tiny_imagenet_workloads()) {
+      for (const auto& [fast, slow] : test_mixes) {
+        const auto cluster = mixed_cluster(fast, slow);
+        const double actual = simulator.expected(w, cluster).total_s;
+        const double pred = pddl.predict_from_features(
+            "tiny_imagenet", pddl.features().build(w, cluster));
+        const double err = std::fabs(pred - actual) / actual;
+        worst = std::max(worst, err);
+        sum += err;
+        ++count;
+        t.row()
+            .add(regime)
+            .add(w.model)
+            .add(std::to_string(fast) + "+" + std::to_string(slow))
+            .add(pred, 1)
+            .add(actual, 1)
+            .add(err, 3);
+      }
+    }
+    std::printf("%s: mean |err| %.3f, worst %.3f over %d mixed configs\n",
+                regime, sum / count, worst, count);
+  };
+
+  Table t({"regime", "workload", "mix (fast+slow)", "predicted (s)",
+           "actual (s)", "|err|"});
+  pddl.fit_predictor("tiny_imagenet", train);
+  evaluate("zero-shot", t);
+
+  // §III-G retraining: add mixed-configuration measurements of every
+  // registered model on *other* mixes (the test mixes stay held out).
+  Rng rng(606);
+  for (const auto& spec : graph::model_registry()) {
+    workload::DlWorkload w{spec.name, workload::tiny_imagenet(), 64, 10};
+    for (const auto& [fast, slow] : train_mixes) {
+      train.push_back(measure_mixed(simulator, w, fast, slow, rng));
+    }
+  }
+  pddl.fit_predictor("tiny_imagenet", train);
+  evaluate("retrained", t);
+
+  bench::emit(t,
+              "Heterogeneous clusters — zero-shot vs after adding mixed "
+              "configurations to the campaign (held-out mixes)",
+              "abl_heterogeneous.csv");
+  return 0;
+}

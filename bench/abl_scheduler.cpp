@@ -1,0 +1,86 @@
+// Extension experiment (§I motivation): does prediction quality translate
+// into scheduling quality?
+//
+// A 16-server partition runs a 60-job Poisson trace of Table-II CIFAR-10
+// workloads under SJF and EASY-backfill, with runtime estimates from three
+// sources: an oracle (the true runtime), PredictDDL, and Ernest.  FIFO
+// (which ignores estimates) is the reference.  Metric: mean job wait time —
+// the quantity schedulers exist to minimize.
+#include "baselines/ernest.hpp"
+#include "bench_common.hpp"
+#include "sched/trace.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::cifar10(), bench::standard_options());
+
+  sim::CampaignConfig cc;
+  cc.include_tiny_imagenet = false;
+  const auto campaign = sim::run_campaign(simulator, cc, pool);
+  pddl.fit_predictor("cifar10", campaign);
+
+  baselines::Ernest ernest;
+  ernest.fit(campaign);
+
+  const sched::EstimateFn oracle = nullptr;
+  const sched::EstimateFn via_pddl =
+      [&](const workload::DlWorkload& w, const cluster::ClusterSpec& c) {
+        return pddl.predict_from_features("cifar10",
+                                          pddl.features().build(w, c));
+      };
+  const sched::EstimateFn via_ernest =
+      [&](const workload::DlWorkload&, const cluster::ClusterSpec& c) {
+        return ernest.predict(static_cast<double>(c.size()));
+      };
+
+  sched::TraceConfig tc;
+  tc.num_jobs = 60;
+  tc.mean_interarrival_s = 25.0;  // keeps the partition contended
+  tc.max_servers = 10;
+
+  sched::ClusterScheduler scheduler(16);
+  Table t({"policy", "estimates", "mean wait (s)", "mean turnaround (s)",
+           "makespan (s)", "utilization"});
+  auto run_case = [&](sched::Policy policy, const char* label,
+                      const sched::EstimateFn& est) {
+    const auto trace = sched::generate_trace(simulator, tc, est);
+    const auto r = scheduler.run(sched::to_jobs(trace), policy);
+    t.row()
+        .add(sched::policy_name(policy))
+        .add(label)
+        .add(r.mean_wait_s, 1)
+        .add(r.mean_turnaround_s, 1)
+        .add(r.makespan_s, 1)
+        .add(r.utilization, 3);
+    return r.mean_wait_s;
+  };
+
+  run_case(sched::Policy::kFifo, "(none)", oracle);
+  const double sjf_oracle = run_case(sched::Policy::kSjf, "oracle", oracle);
+  const double sjf_pddl = run_case(sched::Policy::kSjf, "predictddl", via_pddl);
+  const double sjf_ernest =
+      run_case(sched::Policy::kSjf, "ernest", via_ernest);
+  const double bf_oracle =
+      run_case(sched::Policy::kEasyBackfill, "oracle", oracle);
+  const double bf_pddl =
+      run_case(sched::Policy::kEasyBackfill, "predictddl", via_pddl);
+  const double bf_ernest =
+      run_case(sched::Policy::kEasyBackfill, "ernest", via_ernest);
+
+  bench::emit(t,
+              "Scheduler integration — runtime-estimate quality vs queueing "
+              "metrics (16-server partition, 60-job Poisson trace)",
+              "abl_scheduler.csv");
+  std::printf(
+      "SJF wait inflation vs oracle:  predictddl %.1f%%, ernest %.1f%%\n"
+      "EASY wait inflation vs oracle: predictddl %.1f%%, ernest %.1f%%\n",
+      100.0 * (sjf_pddl / sjf_oracle - 1.0),
+      100.0 * (sjf_ernest / sjf_oracle - 1.0),
+      100.0 * (bf_pddl / bf_oracle - 1.0),
+      100.0 * (bf_ernest / bf_oracle - 1.0));
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Extension experiment (the paper's core reusability claim, pushed harder):
+// zero-shot prediction for architecture *families* absent from the campaign.
+//
+// The predictor trains on the standard 31-model CIFAR-10 campaign, then
+// predicts Inception-V3, MNASNet, and RegNet workloads — families the GHN
+// saw neither in its DARTS corpus nor in any measurement.  The embedding
+// space has to carry them to the right neighbourhood.  For contrast, Ernest
+// (which never knows the model at all) and a per-family breakdown are shown.
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/ernest.hpp"
+#include "bench_common.hpp"
+#include "graph/models_extended.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::cifar10(), bench::standard_options());
+
+  sim::CampaignConfig cc;
+  cc.include_tiny_imagenet = false;
+  const auto campaign = sim::run_campaign(simulator, cc, pool);
+  pddl.fit_predictor("cifar10", campaign);
+  baselines::Ernest ernest;
+  ernest.fit(campaign);
+
+  const workload::DatasetDescriptor c10 = workload::cifar10();
+  Table t({"regime", "unseen model", "family", "PredictDDL |err|",
+           "Ernest |err|"});
+
+  auto evaluate = [&](const char* regime,
+                      const std::vector<std::string>& targets) {
+    double sum_p = 0.0, sum_e = 0.0;
+    int rows = 0;
+    for (const auto& spec : graph::extended_model_registry()) {
+      if (std::find(targets.begin(), targets.end(), spec.name) ==
+          targets.end()) {
+        continue;
+      }
+      const graph::CompGraph g = spec.build(c10.input, c10.num_classes);
+      double err_p = 0.0, err_e = 0.0;
+      int count = 0;
+      for (int servers : {2, 4, 8, 16}) {
+        const auto cluster = cluster::make_uniform_cluster("p100", servers);
+        workload::DlWorkload w{"", c10, 64, 10};
+        const double actual = simulator.expected(w, g, cluster).total_s;
+        const double pred = pddl.predict_from_features(
+            "cifar10",
+            pddl.features().build_for_graph(g, c10, 64, 10, cluster));
+        err_p += std::fabs(pred - actual) / actual;
+        err_e += std::fabs(ernest.predict(servers) - actual) / actual;
+        ++count;
+      }
+      err_p /= count;
+      err_e /= count;
+      t.row().add(regime).add(spec.name).add(spec.family).add(err_p, 3)
+          .add(err_e, 3);
+      sum_p += err_p;
+      sum_e += err_e;
+      ++rows;
+    }
+    std::printf("%s: PredictDDL mean |err| %.3f, Ernest %.3f (%d models)\n",
+                regime, sum_p / rows, sum_e / rows, rows);
+  };
+
+  // Regime 1 — zero-shot: no member of the new families was ever measured.
+  const std::vector<std::string> all_targets = {
+      "inception_v3", "mnasnet0_5", "mnasnet1_0", "regnet_x_400mf",
+      "regnet_y_400mf"};
+  evaluate("zero-shot", all_targets);
+
+  // Regime 2 — one measured sibling per family: mnasnet0_5 and
+  // regnet_x_400mf join the training data (a handful of runs each); their
+  // family siblings stay held out.  This is the real adoption flow: the
+  // embedding space is reusable, the regressor needs support in the region.
+  {
+    regress::RegressionData data = pddl.features().build_dataset(campaign);
+    Rng rng(17);
+    std::vector<Vector> rows;
+    Vector labels;
+    for (const char* name : {"mnasnet0_5", "regnet_x_400mf"}) {
+      graph::CompGraph g;
+      for (const auto& spec : graph::extended_model_registry()) {
+        if (spec.name == name) g = spec.build(c10.input, c10.num_classes);
+      }
+      for (int servers : {1, 2, 4, 8, 12, 16, 20}) {
+        const auto cluster = cluster::make_uniform_cluster("p100", servers);
+        workload::DlWorkload w{"", c10, 64, 10};
+        rows.push_back(
+            pddl.features().build_for_graph(g, c10, 64, 10, cluster));
+        labels.push_back(simulator.run(w, g, cluster, rng).total_s);
+      }
+    }
+    Matrix x(data.x.rows() + rows.size(), data.x.cols());
+    for (std::size_t i = 0; i < data.x.rows(); ++i) x.set_row(i, data.x.row(i));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      x.set_row(data.x.rows() + i, rows[i]);
+      data.y.push_back(labels[i]);
+    }
+    data.x = std::move(x);
+    pddl.fit_predictor_raw("cifar10", data);
+  }
+  evaluate("one-sibling",
+           {"inception_v3", "mnasnet1_0", "regnet_y_400mf"});
+
+  bench::emit(t,
+              "Unseen architecture families — zero-shot vs after measuring "
+              "one sibling per new family (siblings held out)",
+              "abl_unseen_families.csv");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Shared setup for the per-figure bench binaries.
+//
+// Every bench needs the same expensive artifacts: a trained GHN per dataset
+// (cached on disk under ./pddl_bench_cache so the fleet of bench binaries
+// trains each GHN once) and the full measurement campaign (fast — the
+// simulator prices 2,480 runs in milliseconds).  Helpers below also provide
+// the 80/20-style splits over raw measurements and per-workload error
+// summaries used by Figs. 9–12.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/batch_predictor.hpp"
+#include "core/predict_ddl.hpp"
+
+namespace pddl::bench {
+
+inline const char* kCacheDir = "pddl_bench_cache";
+
+// Paper-scale options: 32-d embeddings (§III-B "fixed-sized dimension
+// (e.g., 32)"), a DARTS corpus for GHN training, the full 31-model campaign.
+inline core::PredictDdlOptions standard_options() {
+  core::PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 32;
+  opts.ghn.mlp_hidden = 32;
+  opts.ghn_trainer.corpus_size = 96;
+  opts.ghn_trainer.epochs = 24;
+  opts.ghn_trainer.batch_size = 8;
+  return opts;
+}
+
+// Loads a cached GHN for `dataset` or trains and caches one.
+inline void ensure_ghn_cached(core::PredictDdl& pddl,
+                              const workload::DatasetDescriptor& dataset,
+                              const core::PredictDdlOptions& opts) {
+  if (pddl.registry().has_model(dataset.name)) return;
+  std::filesystem::create_directories(kCacheDir);
+  const std::string path = std::string(kCacheDir) + "/ghn_" + dataset.name +
+                           "_d" + std::to_string(opts.ghn.hidden_dim) +
+                           (opts.ghn.virtual_edges ? "" : "_nove") + "_s" +
+                           std::to_string(opts.ghn.s_max) + ".bin";
+  if (std::filesystem::exists(path)) {
+    pddl.registry().put(dataset.name, ghn::load_ghn(path));
+    return;
+  }
+  pddl.ensure_ghn(dataset);
+  ghn::Ghn2* model = pddl.registry().model(dataset.name);
+  ghn::save_ghn(path, *model);
+}
+
+// Deterministic shuffled split of raw measurements (the paper's 80/20
+// protocol, applied before feature building so every predictor sees the
+// same rows).
+struct MeasurementSplit {
+  std::vector<sim::Measurement> train;
+  std::vector<sim::Measurement> test;
+};
+
+inline MeasurementSplit split_measurements(
+    const std::vector<sim::Measurement>& ms, double train_fraction,
+    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::size_t> perm(ms.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  const std::size_t n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(ms.size()));
+  MeasurementSplit split;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    (i < n_train ? split.train : split.test).push_back(ms[perm[i]]);
+  }
+  return split;
+}
+
+// Mean pred/actual ratio restricted to one model's rows ("closer to 1 is
+// better", the paper's per-workload bars).
+inline double workload_ratio(const std::vector<sim::Measurement>& test,
+                             const Vector& predictions,
+                             const std::string& model) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (test[i].model != model) continue;
+    sum += predictions[i] / test[i].time_s;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+// Mean |pred−actual|/actual restricted to one model's rows.
+inline double workload_relative_error(
+    const std::vector<sim::Measurement>& test, const Vector& predictions,
+    const std::string& model) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (test[i].model != model) continue;
+    sum += std::fabs(predictions[i] - test[i].time_s) / test[i].time_s;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+inline Vector actual_times(const std::vector<sim::Measurement>& ms) {
+  Vector y(ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) y[i] = ms[i].time_s;
+  return y;
+}
+
+// Writes `table` as CSV next to the binary and prints it.
+inline void emit(const Table& table, const std::string& title,
+                 const std::string& csv_name) {
+  std::printf("%s", table.to_text(title).c_str());
+  table.write_csv("bench_results/" + csv_name);
+  std::printf("  -> bench_results/%s\n\n", csv_name.c_str());
+}
+
+}  // namespace pddl::bench

@@ -1,0 +1,86 @@
+// Figure 5 (§II-B): "Distance-based similarity measurement between DNN
+// architectures using fixed-size vector embeddings" — the property the whole
+// framework rests on: similar architectures must land close in embedding
+// space (cosine similarity), so a regressor can transfer measurements from
+// seen architectures to unseen ones.
+//
+// For every model we report its nearest neighbour under the trained CIFAR-10
+// GHN and whether the neighbour belongs to the same architecture family;
+// the summary is the family-match rate plus the mean intra- vs inter-family
+// cosine gap.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "graph/models.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::cifar10(), bench::standard_options());
+
+  const auto& registry = graph::model_registry();
+  std::vector<Vector> embs;
+  std::vector<std::string> names, families;
+  for (const auto& spec : registry) {
+    embs.push_back(pddl.registry().embedding(
+        "cifar10", spec.build({3, 32, 32}, 10)));
+    names.push_back(spec.name);
+    families.push_back(spec.family);
+  }
+
+  Table t({"model", "nearest neighbour", "cosine", "same family?"});
+  std::size_t family_matches = 0, families_with_peers = 0;
+  double intra_sum = 0.0, inter_sum = 0.0;
+  std::size_t intra_n = 0, inter_n = 0;
+
+  for (std::size_t i = 0; i < embs.size(); ++i) {
+    double best = -2.0;
+    std::size_t best_j = i;
+    for (std::size_t j = 0; j < embs.size(); ++j) {
+      if (j == i) continue;
+      const double c = cosine_similarity(embs[i], embs[j]);
+      if (c > best) {
+        best = c;
+        best_j = j;
+      }
+      if (families[i] == families[j]) {
+        intra_sum += c;
+        ++intra_n;
+      } else {
+        inter_sum += c;
+        ++inter_n;
+      }
+    }
+    // Family-match rate only counts models whose family has another member.
+    const bool has_peer = std::count(families.begin(), families.end(),
+                                     families[i]) > 1;
+    const bool match = families[best_j] == families[i];
+    if (has_peer) {
+      ++families_with_peers;
+      family_matches += match;
+    }
+    t.row()
+        .add(names[i])
+        .add(names[best_j])
+        .add(best, 4)
+        .add(has_peer ? (match ? "yes" : "NO") : "(singleton family)");
+  }
+  bench::emit(t,
+              "Fig. 5 — nearest-neighbour structure of GHN embeddings "
+              "(similar DNNs should be closest)",
+              "fig05_embedding_similarity.csv");
+
+  Table s({"metric", "value"});
+  s.row().add("nearest-neighbour family match rate")
+      .add(static_cast<double>(family_matches) /
+               static_cast<double>(families_with_peers), 3);
+  s.row().add("mean intra-family cosine").add(intra_sum / intra_n, 4);
+  s.row().add("mean inter-family cosine").add(inter_sum / inter_n, 4);
+  bench::emit(s, "Fig. 5 summary — intra-family similarity must exceed "
+                 "inter-family",
+              "fig05_summary.csv");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 6 (§II-B): impact of DNN architecture features on prediction
+// accuracy.  A second-order polynomial regressor is fitted with different
+// architecture-feature sets (always alongside the cluster features):
+//   #params | #layers | #layers+#params | GHN embedding | GHN+layers+params
+// and the mean pred/actual ratio on the test split is reported per dataset
+// ("closer to 1 is better").  The paper finds GHN embeddings best (up to
+// 96.4 % / 97.4 % lower error than #layers / #params) and that adding
+// layers/params to GHN does not help (duplicate internal representations).
+#include <cmath>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "regress/linear.hpp"
+#include "regress/log_target.hpp"
+
+using namespace pddl;
+
+namespace {
+
+using ArchFeatureFn =
+    std::function<Vector(const sim::Measurement&, core::FeatureBuilder&)>;
+
+Vector params_only(const sim::Measurement& m, core::FeatureBuilder&) {
+  return {std::log10(static_cast<double>(std::max<std::int64_t>(1, m.model_params)))};
+}
+Vector layers_only(const sim::Measurement& m, core::FeatureBuilder&) {
+  return {static_cast<double>(m.model_layers)};
+}
+Vector layers_params(const sim::Measurement& m, core::FeatureBuilder& fb) {
+  Vector f = layers_only(m, fb);
+  const Vector p = params_only(m, fb);
+  f.insert(f.end(), p.begin(), p.end());
+  return f;
+}
+
+Vector ghn_embedding(const sim::Measurement& m, core::FeatureBuilder& fb) {
+  // The FeatureBuilder's full vector is embedding ⊕ cluster ⊕ workload; we
+  // want the embedding alone, so slice the head off.
+  Vector full = fb.build(m);
+  full.resize(full.size() - cluster::cluster_feature_names().size() - 5);
+  return full;
+}
+
+Vector ghn_plus_counts(const sim::Measurement& m, core::FeatureBuilder& fb) {
+  Vector f = ghn_embedding(m, fb);
+  const Vector lp = layers_params(m, fb);
+  f.insert(f.end(), lp.begin(), lp.end());
+  return f;
+}
+
+regress::RegressionData assemble(const std::vector<sim::Measurement>& ms,
+                                 const ArchFeatureFn& arch,
+                                 core::FeatureBuilder& fb) {
+  regress::RegressionData d;
+  std::vector<Vector> rows;
+  rows.reserve(ms.size());
+  for (const auto& m : ms) {
+    Vector f = arch(m, fb);
+    f.insert(f.end(), m.cluster_features.begin(), m.cluster_features.end());
+    f.push_back(static_cast<double>(m.batch_size));
+    rows.push_back(std::move(f));
+  }
+  d.x = Matrix(rows.size(), rows[0].size());
+  d.y.resize(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    d.x.set_row(i, rows[i]);
+    d.y[i] = ms[i].time_s;
+  }
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  auto opts = bench::standard_options();
+  core::PredictDdl pddl(simulator, pool, std::move(opts));
+  bench::ensure_ghn_cached(pddl, workload::cifar10(), bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::tiny_imagenet(),
+                           bench::standard_options());
+
+  const auto all = sim::run_campaign(simulator, sim::CampaignConfig{}, pool);
+
+  const std::vector<std::pair<std::string, ArchFeatureFn>> feature_sets = {
+      {"num_params", params_only},
+      {"num_layers", layers_only},
+      {"layers+params", layers_params},
+      {"ghn_embedding", ghn_embedding},
+      {"ghn+layers+params", ghn_plus_counts},
+  };
+
+  Table t({"feature set", "cifar10 ratio", "cifar10 |err|", "tiny_imagenet ratio",
+           "tiny_imagenet |err|"});
+  for (const auto& [name, fn] : feature_sets) {
+    t.row().add(name);
+    for (const char* ds : {"cifar10", "tiny_imagenet"}) {
+      const auto subset = sim::filter_by_dataset(all, ds);
+      const auto split = bench::split_measurements(subset, 0.8, 7);
+      // Same log-target 2nd-order PR as the Inference Engine default.
+      regress::LogTargetRegressor pr(
+          std::make_unique<regress::PolynomialRegression>());
+      pr.fit(assemble(split.train, fn, pddl.features()));
+      const Vector pred =
+          pr.predict_batch(assemble(split.test, fn, pddl.features()).x);
+      const Vector actual = bench::actual_times(split.test);
+      t.add(regress::mean_prediction_ratio(pred, actual), 3);
+      t.add(regress::mean_relative_error(pred, actual), 3);
+    }
+  }
+  bench::emit(t,
+              "Fig. 6 — architecture-feature ablation with 2nd-order PR "
+              "(paper: GHN embedding wins; closer to 1 is better)",
+              "fig06_feature_ablation.csv");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 11 (§IV-B3): sensitivity of the prediction error to the size of
+// the predictor's training set.  The CIFAR-10 campaign is split 50/50,
+// 67/33, and 80/20; five evaluation workloads are reported.  Paper: all
+// three ratios perform well, with no monotone gain from more data.
+#include "bench_common.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::cifar10(), bench::standard_options());
+
+  sim::CampaignConfig cc;
+  cc.include_tiny_imagenet = false;
+  const auto cifar = sim::run_campaign(simulator, cc, pool);
+
+  const std::vector<std::string> workloads = {
+      "efficientnet_b0", "resnext50_32x4d", "vgg16", "alexnet", "resnet18"};
+  const std::vector<std::pair<std::string, double>> ratios = {
+      {"50/50", 0.50}, {"67/33", 0.67}, {"80/20", 0.80}};
+
+  Table t({"workload", "ratio 50/50", "ratio 67/33", "ratio 80/20"});
+  std::map<std::string, std::vector<double>> by_workload;
+  for (const auto& [label, frac] : ratios) {
+    const auto split = bench::split_measurements(cifar, frac, 33);
+    pddl.fit_predictor("cifar10", split.train);
+    const Vector pred = pddl.predict_measurements("cifar10", split.test);
+    for (const auto& w : workloads) {
+      by_workload[w].push_back(bench::workload_ratio(split.test, pred, w));
+    }
+  }
+  for (const auto& w : workloads) {
+    const auto& v = by_workload[w];
+    t.row().add(w).add(v[0], 3).add(v[1], 3).add(v[2], 3);
+  }
+  bench::emit(t,
+              "Fig. 11 — train/test split-ratio sensitivity on CIFAR-10 "
+              "(closer to 1 is better)",
+              "fig11_split_ratio.csv");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 12 (§IV-B4): impact of the training-cluster size on PredictDDL's
+// prediction error.  The predictor is trained on the full campaign (80/20)
+// and queried for every Table-II workload at 4, 8, and 16 servers; the
+// relative error vs the simulator's actual time is reported.  Paper: errors
+// span 0.1 %–23.5 % and stay stable across cluster sizes.
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::cifar10(), bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::tiny_imagenet(),
+                           bench::standard_options());
+
+  const auto all = sim::run_campaign(simulator, sim::CampaignConfig{}, pool);
+  for (const char* ds : {"cifar10", "tiny_imagenet"}) {
+    const auto split =
+        bench::split_measurements(sim::filter_by_dataset(all, ds), 0.8, 5);
+    pddl.fit_predictor(ds, split.train);
+  }
+
+  Table t({"dataset", "workload", "err @4 servers", "err @8 servers",
+           "err @16 servers"});
+  double min_err = 1e9, max_err = 0.0;
+  for (const auto& w : workload::table2_workloads()) {
+    const std::string sku = w.dataset.name == "cifar10" ? "p100" : "e5_2630";
+    t.row().add(w.dataset.name).add(w.model);
+    for (int servers : {4, 8, 16}) {
+      const auto cluster = cluster::make_uniform_cluster(sku, servers);
+      const double actual = simulator.expected(w, cluster).total_s;
+      const double pred =
+          pddl.predict_from_features(w.dataset.name,
+                                     pddl.features().build(w, cluster));
+      const double err = std::fabs(pred - actual) / actual;
+      min_err = std::min(min_err, err);
+      max_err = std::max(max_err, err);
+      t.add(err, 4);
+    }
+  }
+  bench::emit(t,
+              "Fig. 12 — prediction error at 4/8/16 servers (paper: "
+              "0.1%-23.5% across workloads)",
+              "fig12_cluster_size.csv");
+  std::printf("error range across workloads: %.2f%% .. %.2f%%\n",
+              100.0 * min_err, 100.0 * max_err);
+  return 0;
+}

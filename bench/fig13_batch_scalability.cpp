@@ -1,0 +1,56 @@
+// Figure 13 (§IV-B5): prediction-model training + execution durations for
+// batch jobs of 2, 4, 6, and 8 DL workloads.
+//
+// PredictDDL trains its prediction model once per dataset and serves every
+// workload in the batch from it (one embedding + one regression evaluation
+// each).  Ernest retrains per workload: it must first execute its
+// experiment-design sample runs of the *new* workload (simulated cluster
+// seconds — the dominant real-world cost) and then fit.  Paper: total
+// execution time reduced by 2.6×/5.1×/7.7×/10.3× for batches of 2/4/6/8.
+#include "bench_common.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::cifar10(), bench::standard_options());
+
+  // One-time predictor training on the CIFAR-10 campaign (Fig. 8 pipeline).
+  sim::CampaignConfig cc;
+  cc.include_tiny_imagenet = false;
+  const auto campaign = sim::run_campaign(simulator, cc, pool);
+  const double pddl_train_s = pddl.fit_predictor("cifar10", campaign);
+
+  core::BatchPredictor batcher(pddl, simulator, pddl_train_s);
+  const auto all = workload::table2_cifar_workloads();
+
+  Table t({"batch", "PredictDDL total (s)", "Ernest collect (cluster s)",
+           "Ernest per-workload (s)", "speedup", "paper"});
+  const std::vector<std::pair<int, const char*>> batches = {
+      {2, "2.6x"}, {4, "5.1x"}, {6, "7.7x"}, {8, "10.3x"}};
+  for (const auto& [k, paper] : batches) {
+    std::vector<workload::DlWorkload> batch(all.begin(), all.begin() + k);
+    const auto r = batcher.run(batch, "p100", /*cluster_size=*/16);
+    t.row()
+        .add(static_cast<std::size_t>(k))
+        .add(r.pddl_total(), 4)
+        .add(r.ernest_collect_sim_s, 1)
+        .add(r.ernest_collect_sim_s / k, 1)
+        .add(format_double(r.speedup_including_collection(), 0) + "x")
+        .add(paper);
+  }
+  bench::emit(t,
+              "Fig. 13 — batch prediction scalability (PredictDDL trains "
+              "once; Ernest re-collects + refits per workload)",
+              "fig13_batch_scalability.csv");
+  std::printf(
+      "Reading: PredictDDL's cost is flat in the batch size while Ernest's\n"
+      "grows linearly (constant per-workload collection) — the paper's\n"
+      "trend.  The absolute speedup is far above the paper's 2.6-10.3x\n"
+      "because our C++ predictor trains in milliseconds whereas Ernest's\n"
+      "per-workload sample runs cost real cluster time; the paper's Python\n"
+      "prediction-model training was itself minutes, compressing the gap.\n");
+  return 0;
+}

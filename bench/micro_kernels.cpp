@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks for the hot kernels: where the wall-clock
+// of the offline pipeline and of a prediction request actually goes.
+#include <benchmark/benchmark.h>
+
+#include "core/features.hpp"
+#include "ghn/ghn2.hpp"
+#include "graph/models.hpp"
+#include "regress/linear.hpp"
+#include "regress/log_target.hpp"
+#include "simulator/ddl_simulator.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/nnls.hpp"
+
+namespace {
+
+using namespace pddl;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, n, rng);
+  const Matrix b = Matrix::randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(128);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Matrix a = Matrix::randn(n, n, rng);
+  Matrix spd = matmul(a.transposed(), a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += n;
+  Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cholesky_solve(spd, b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(64)->Arg(256);
+
+void BM_Nnls(benchmark::State& state) {
+  Rng rng(3);
+  const Matrix a = Matrix::randn(100, 8, rng);
+  Vector coef(8, 1.0);
+  const Vector b = matvec(a, coef);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nnls(a, b));
+  }
+}
+BENCHMARK(BM_Nnls);
+
+void BM_BuildGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::build_model("densenet201", {3, 32, 32}, 10));
+  }
+}
+BENCHMARK(BM_BuildGraph);
+
+void BM_GhnEmbedding(benchmark::State& state) {
+  ghn::GhnConfig cfg;
+  Rng rng(4);
+  ghn::Ghn2 ghn(cfg, rng);
+  const auto g = graph::build_model(
+      state.range(0) == 0 ? "resnet18" : "densenet201", {3, 32, 32}, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ghn.embedding(g));
+  }
+  state.SetLabel(g.name() + " (" + std::to_string(g.num_nodes()) + " nodes)");
+}
+BENCHMARK(BM_GhnEmbedding)->Arg(0)->Arg(1);
+
+void BM_SimulateRun(benchmark::State& state) {
+  sim::DdlSimulator sim;
+  const workload::DlWorkload w{"resnet50", workload::cifar10(), 64, 10};
+  const auto g = w.build_graph();
+  const auto cluster = cluster::make_uniform_cluster("p100", 8);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(w, g, cluster, rng));
+  }
+}
+BENCHMARK(BM_SimulateRun);
+
+void BM_PolyFit(benchmark::State& state) {
+  Rng rng(6);
+  regress::RegressionData d;
+  d.x = Matrix::randn(static_cast<std::size_t>(state.range(0)), 47, rng);
+  d.y.resize(d.x.rows());
+  for (std::size_t i = 0; i < d.y.size(); ++i) {
+    d.y[i] = std::exp(d.x(i, 0));
+  }
+  for (auto _ : state) {
+    regress::LogTargetRegressor pr(
+        std::make_unique<regress::PolynomialRegression>());
+    pr.fit(d);
+    benchmark::DoNotOptimize(pr);
+  }
+}
+BENCHMARK(BM_PolyFit)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

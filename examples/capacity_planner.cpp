@@ -1,0 +1,60 @@
+// Capacity-planning example (§I: "allocating the required cluster resources
+// for completing critical model training tasks before a deadline").
+//
+// Given a workload and a deadline, sweep cluster sizes 1..20, predict each
+// configuration's training time with PredictDDL, and pick the smallest
+// cluster that meets the deadline.  The choice is then verified against the
+// simulator's ground truth.
+//
+// Build & run:  ./build/examples/capacity_planner
+#include <cstdio>
+
+#include "core/predict_ddl.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdlOptions opts;
+  opts.ghn_trainer.corpus_size = 48;
+  opts.ghn_trainer.epochs = 16;
+  core::PredictDdl pddl(simulator, pool, std::move(opts));
+  std::printf("training PredictDDL once for cifar10...\n\n");
+  pddl.train_offline(workload::cifar10());
+
+  const workload::DlWorkload job{"densenet161", workload::cifar10(), 64, 10};
+  const double deadline_s = 150.0;
+
+  std::printf("workload: %s on %s (batch 64, 10 epochs)\n", job.model.c_str(),
+              job.dataset.name.c_str());
+  std::printf("deadline: %.0f s\n\n", deadline_s);
+  std::printf("%8s %14s %12s %10s\n", "servers", "predicted(s)", "actual(s)",
+              "meets?");
+
+  int chosen = -1;
+  for (int n = 1; n <= 20; ++n) {
+    const auto cluster = cluster::make_uniform_cluster("p100", n);
+    const double pred =
+        pddl.submit({job, cluster}).predicted_time_s;
+    const double actual = simulator.expected(job, cluster).total_s;
+    const bool meets = pred <= deadline_s;
+    if (meets && chosen < 0) chosen = n;
+    std::printf("%8d %14.1f %12.1f %10s\n", n, pred, actual,
+                meets ? "yes" : "no");
+  }
+  if (chosen < 0) {
+    std::printf("\nno cluster size meets the deadline — relax it or use "
+                "faster hardware\n");
+    return 0;
+  }
+  const double verify =
+      simulator
+          .expected(job, cluster::make_uniform_cluster("p100", chosen))
+          .total_s;
+  std::printf("\nplanner picks %d server(s); simulator ground truth: %.1fs "
+              "(%s the %.0fs deadline)\n",
+              chosen, verify, verify <= deadline_s * 1.1 ? "meets" : "misses",
+              deadline_s);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Scheduler-integration example (§III-A design objective 2: "extended for
+// ... existing cluster schedulers to optimize the placement of DL training
+// workloads").
+//
+// A SLURM-style batch queue holds the Table-II workloads.  A simple
+// shortest-predicted-job-first (SPJF) policy uses PredictDDL's estimates to
+// order the queue on a fixed 8-server partition; we compare its average job
+// completion time against naive FIFO, with ground-truth durations from the
+// simulator.  The Cluster Resource Collector supplies the partition
+// inventory, exactly as in Fig. 7 step 6.
+//
+// Build & run:  ./build/examples/cluster_scheduler
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "cluster/resource_collector.hpp"
+#include "core/predict_ddl.hpp"
+
+using namespace pddl;
+
+namespace {
+
+double avg_completion(const std::vector<double>& durations) {
+  // Jobs run back-to-back on the partition; completion time of job i is the
+  // prefix sum of durations.
+  double t = 0.0, total = 0.0;
+  for (double d : durations) {
+    t += d;
+    total += t;
+  }
+  return total / static_cast<double>(durations.size());
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+
+  // Stand up the Resource Collector; 8 GPU servers join the partition.
+  cluster::ResourceCollector collector;
+  collector.start();
+  std::vector<std::unique_ptr<cluster::ServerAgent>> agents;
+  for (int i = 0; i < 8; ++i) {
+    agents.push_back(std::make_unique<cluster::ServerAgent>(
+        collector.channel(),
+        cluster::make_p100_server("gpu-" + std::to_string(i))));
+  }
+  collector.wait_for_servers(8, 2000);
+  collector.probe_all(pool);
+  const cluster::ClusterSpec partition = collector.snapshot();
+  std::printf("partition from Resource Collector: %zu servers, %s\n\n",
+              partition.size(), partition.any_gpu() ? "GPU" : "CPU");
+
+  core::PredictDdlOptions opts;
+  opts.ghn_trainer.corpus_size = 48;
+  opts.ghn_trainer.epochs = 16;
+  core::PredictDdl pddl(simulator, pool, std::move(opts));
+  std::printf("training PredictDDL once for cifar10...\n\n");
+  pddl.train_offline(workload::cifar10());
+
+  // The batch queue: all eight CIFAR-10 evaluation workloads.
+  auto queue = workload::table2_cifar_workloads();
+
+  // Predicted and actual durations per job.
+  std::vector<double> predicted(queue.size()), actual(queue.size());
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    predicted[i] = pddl.submit({queue[i], partition}).predicted_time_s;
+    actual[i] = simulator.expected(queue[i], partition).total_s;
+  }
+
+  // FIFO order vs shortest-predicted-job-first.
+  std::vector<std::size_t> fifo(queue.size()), spjf(queue.size());
+  std::iota(fifo.begin(), fifo.end(), 0);
+  spjf = fifo;
+  std::sort(spjf.begin(), spjf.end(), [&](std::size_t a, std::size_t b) {
+    return predicted[a] < predicted[b];
+  });
+
+  std::printf("%-20s %14s %12s\n", "job", "predicted(s)", "actual(s)");
+  for (std::size_t i : spjf) {
+    std::printf("%-20s %14.1f %12.1f\n", queue[i].model.c_str(), predicted[i],
+                actual[i]);
+  }
+
+  auto durations_in = [&](const std::vector<std::size_t>& order) {
+    std::vector<double> d;
+    for (std::size_t i : order) d.push_back(actual[i]);
+    return d;
+  };
+  const double fifo_act = avg_completion(durations_in(fifo));
+  const double spjf_act = avg_completion(durations_in(spjf));
+  std::printf("\naverage job completion time:\n");
+  std::printf("  FIFO                          : %9.1f s\n", fifo_act);
+  std::printf("  SPJF via PredictDDL estimates : %9.1f s (%.1f%% better)\n",
+              spjf_act, 100.0 * (1.0 - spjf_act / fifo_act));
+
+  collector.stop();
+  return 0;
+}

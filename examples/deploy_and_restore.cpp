@@ -1,0 +1,55 @@
+// Deployment example: train once, persist, restore in a "fresh process".
+//
+// The expensive artifacts of the offline pipeline (GHN weights, measured
+// campaign) are saved to a state directory; a second PredictDdl instance —
+// standing in for a prediction service rebooting — restores them and serves
+// identical predictions without re-running GHN training or the campaign.
+//
+// Build & run:  ./build/examples/deploy_and_restore
+#include <cstdio>
+#include <filesystem>
+
+#include "common/stopwatch.hpp"
+#include "core/predict_ddl.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  const std::string state_dir = "pddl_state";
+
+  workload::DlWorkload probe{"densenet161", workload::cifar10(), 64, 10};
+  const auto cluster = cluster::make_uniform_cluster("p100", 8);
+
+  double first_prediction = 0.0;
+  {
+    core::PredictDdlOptions opts;
+    opts.ghn_trainer.corpus_size = 48;
+    opts.ghn_trainer.epochs = 16;
+    core::PredictDdl trainer_process(simulator, pool, std::move(opts));
+    Stopwatch sw;
+    trainer_process.train_offline(workload::cifar10());
+    std::printf("offline pipeline (GHN + campaign + fit): %.1f s\n",
+                sw.seconds());
+    first_prediction =
+        trainer_process.submit({probe, cluster}).predicted_time_s;
+    trainer_process.save_state(state_dir);
+    std::printf("state saved to ./%s\n", state_dir.c_str());
+  }
+
+  {
+    core::PredictDdl service_process(simulator, pool, {});
+    Stopwatch sw;
+    service_process.load_state(state_dir);
+    std::printf("restore in a fresh instance: %.3f s\n", sw.seconds());
+    const double restored =
+        service_process.submit({probe, cluster}).predicted_time_s;
+    std::printf("prediction before save: %.2f s, after restore: %.2f s (%s)\n",
+                first_prediction, restored,
+                std::abs(first_prediction - restored) < 1e-6 ? "identical"
+                                                             : "MISMATCH");
+  }
+  std::filesystem::remove_all(state_dir);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Model-inspector CLI: poke at the computational-graph substrate from the
+// command line.
+//
+//   model_inspector list                       # all 31 registered models
+//   model_inspector describe resnet18          # per-model statistics
+//   model_inspector dot resnet18 > r18.dot     # Graphviz export
+//   model_inspector dump resnet18 r18.bin      # binary graph serialization
+//   model_inspector neighbors vgg16            # GHN-embedding neighbours
+//
+// `neighbors` trains (or loads from ./pddl_bench_cache) the CIFAR-10 GHN and
+// ranks all other models by cosine similarity — the Fig. 5 search space.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/predict_ddl.hpp"
+#include "graph/models.hpp"
+#include "graph/serialize.hpp"
+
+using namespace pddl;
+
+namespace {
+
+int cmd_list() {
+  Table t({"model", "family", "nodes", "params (M)", "GFLOPs @32x32"});
+  for (const auto& spec : graph::model_registry()) {
+    const auto g = spec.build({3, 32, 32}, 10);
+    t.row()
+        .add(spec.name)
+        .add(spec.family)
+        .add(g.num_nodes())
+        .add(static_cast<double>(g.total_params()) / 1e6, 2)
+        .add(static_cast<double>(g.total_flops()) / 1e9, 3);
+  }
+  std::printf("%s", t.to_text("registered models").c_str());
+  return 0;
+}
+
+int cmd_describe(const std::string& name) {
+  const auto g = graph::build_model(name, {3, 32, 32}, 10);
+  std::printf("%s", g.to_string().c_str());
+  std::printf("depth (longest path): %d\n", g.depth());
+  std::printf("parametric layers:    %d\n", g.num_parametric_layers());
+  std::printf("max channel width:    %d\n", g.max_channels());
+  return 0;
+}
+
+int cmd_dot(const std::string& name) {
+  const auto g = graph::build_model(name, {3, 32, 32}, 10);
+  std::printf("%s", graph::to_dot(g).c_str());
+  return 0;
+}
+
+int cmd_dump(const std::string& name, const std::string& path) {
+  const auto g = graph::build_model(name, {3, 32, 32}, 10);
+  graph::save_graph_file(path, g);
+  const auto back = graph::load_graph_file(path);
+  std::printf("wrote %s (%zu nodes, round-trip verified: %s)\n", path.c_str(),
+              back.num_nodes(),
+              back.total_params() == g.total_params() ? "ok" : "MISMATCH");
+  return 0;
+}
+
+int cmd_neighbors(const std::string& name) {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdlOptions opts;
+  opts.ghn_trainer.corpus_size = 48;
+  opts.ghn_trainer.epochs = 16;
+  core::PredictDdl pddl(simulator, pool, std::move(opts));
+  std::fprintf(stderr, "training/loading the cifar10 GHN...\n");
+  pddl.ensure_ghn(workload::cifar10());
+
+  const Vector target = pddl.registry().embedding(
+      "cifar10", graph::build_model(name, {3, 32, 32}, 10));
+  std::vector<std::pair<double, std::string>> ranked;
+  for (const auto& spec : graph::model_registry()) {
+    if (spec.name == name) continue;
+    const Vector e =
+        pddl.registry().embedding("cifar10", spec.build({3, 32, 32}, 10));
+    ranked.push_back({cosine_similarity(target, e), spec.name});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  Table t({"rank", "model", "cosine similarity"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, ranked.size()); ++i) {
+    t.row().add(i + 1).add(ranked[i].second).add(ranked[i].first, 4);
+  }
+  std::printf("%s",
+              t.to_text("nearest architectures to " + name).c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: model_inspector <list|describe|dot|dump|neighbors> "
+               "[model] [path]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      usage();
+      return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "list") return cmd_list();
+    if (argc < 3) {
+      usage();
+      return 2;
+    }
+    const std::string model = argv[2];
+    if (!graph::has_model(model)) {
+      std::fprintf(stderr, "unknown model '%s' — try `model_inspector list`\n",
+                   model.c_str());
+      return 2;
+    }
+    if (cmd == "describe") return cmd_describe(model);
+    if (cmd == "dot") return cmd_dot(model);
+    if (cmd == "dump") {
+      if (argc < 4) {
+        usage();
+        return 2;
+      }
+      return cmd_dump(model, argv[3]);
+    }
+    if (cmd == "neighbors") return cmd_neighbors(model);
+    usage();
+    return 2;
+  } catch (const pddl::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,47 @@
+// Quickstart: predict the training time of a DL workload in ~30 lines.
+//
+//   1. Stand up PredictDDL against a cluster simulator (the stand-in for a
+//      real testbed — see DESIGN.md §2).
+//   2. Train it once for the CIFAR-10 dataset type (offline pipeline,
+//      Fig. 8: GHN training + measurement campaign + predictor fit).
+//   3. Submit prediction requests for *different* DNN architectures without
+//      any retraining — the paper's headline capability.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/predict_ddl.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+
+  core::PredictDdlOptions opts;           // paper defaults: 32-d GHN, PR
+  opts.ghn_trainer.corpus_size = 48;      // keep the demo quick (~10 s)
+  opts.ghn_trainer.epochs = 16;
+  core::PredictDdl pddl(simulator, pool, std::move(opts));
+
+  std::printf("training PredictDDL once for the cifar10 dataset type...\n");
+  pddl.train_offline(workload::cifar10());
+
+  // Predict three different architectures on two cluster shapes — no
+  // retraining between requests.
+  for (const char* model : {"resnet18", "vgg16", "mobilenet_v3_large"}) {
+    for (int servers : {4, 16}) {
+      core::PredictRequest req;
+      req.workload = {model, workload::cifar10(), /*batch=*/64, /*epochs=*/10};
+      req.cluster = cluster::make_uniform_cluster("p100", servers);
+      const core::PredictResponse resp = pddl.submit(req);
+      const double actual = simulator.expected(req.workload, req.cluster).total_s;
+      std::printf(
+          "%-20s %2d servers: predicted %7.1fs  actual %7.1fs  "
+          "(ratio %.2f, embed %.1fms, infer %.2fms, retrained=%s)\n",
+          model, servers, resp.predicted_time_s, actual,
+          resp.predicted_time_s / actual, resp.embedding_ms,
+          resp.inference_ms, resp.triggered_offline_training ? "yes" : "no");
+    }
+  }
+  return 0;
+}

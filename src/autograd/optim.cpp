@@ -1,0 +1,76 @@
+#include "autograd/optim.hpp"
+
+#include <cmath>
+
+namespace pddl::ag {
+
+void Optimizer::step(Ctx& ctx) {
+  PDDL_CHECK(!params_.empty(), "optimizer has no registered parameters");
+  std::vector<Matrix> grads;
+  grads.reserve(params_.size());
+  for (Matrix* p : params_) grads.push_back(ctx.grad(*p));
+  step_grads(std::move(grads));
+}
+
+void Optimizer::step_grads(std::vector<Matrix> grads) {
+  PDDL_CHECK(!params_.empty(), "optimizer has no registered parameters");
+  PDDL_CHECK(grads.size() == params_.size(),
+             "step_grads: gradient count mismatch");
+  if (clip_norm_ > 0.0) {
+    double sq = 0.0;
+    for (const Matrix& g : grads) {
+      const double n = g.frobenius_norm();
+      sq += n * n;
+    }
+    const double total = std::sqrt(sq);
+    if (total > clip_norm_) {
+      const double f = clip_norm_ / total;
+      for (Matrix& g : grads) g *= f;
+    }
+  }
+
+  begin_step();
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    apply(i, *params_[i], grads[i]);
+  }
+}
+
+void Sgd::apply(std::size_t i, Matrix& param, const Matrix& grad) {
+  if (momentum_ == 0.0) {
+    param -= grad * lr_;
+    return;
+  }
+  if (velocity_.size() <= i) velocity_.resize(params_.size());
+  Matrix& v = velocity_[i];
+  if (v.empty()) v = Matrix(param.rows(), param.cols());
+  v *= momentum_;
+  v += grad;
+  param -= v * lr_;
+}
+
+void Adam::apply(std::size_t i, Matrix& param, const Matrix& grad) {
+  if (m_.size() <= i) {
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+  }
+  Matrix& m = m_[i];
+  Matrix& v = v_[i];
+  if (m.empty()) {
+    m = Matrix(param.rows(), param.cols());
+    v = Matrix(param.rows(), param.cols());
+  }
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t r = 0; r < param.rows(); ++r) {
+    for (std::size_t c = 0; c < param.cols(); ++c) {
+      const double g = grad(r, c);
+      m(r, c) = beta1_ * m(r, c) + (1.0 - beta1_) * g;
+      v(r, c) = beta2_ * v(r, c) + (1.0 - beta2_) * g * g;
+      const double mhat = m(r, c) / bc1;
+      const double vhat = v(r, c) / bc2;
+      param(r, c) -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace pddl::ag

@@ -1,0 +1,80 @@
+// First-order optimizers over externally owned parameter matrices.
+//
+// Parameters are registered by pointer; after each forward/backward pass the
+// caller hands the Ctx to step(), which reads every parameter's gradient and
+// applies the update in place.  Gradient clipping (global norm) is built in
+// because the GHN-2 paper applies operation-dependent normalization precisely
+// to fight exploding gradients in the GatedGNN.
+#pragma once
+
+#include <vector>
+
+#include "autograd/tape.hpp"
+
+namespace pddl::ag {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  void register_param(Matrix* p) { params_.push_back(p); }
+  void register_params(const std::vector<Matrix*>& ps) {
+    params_.insert(params_.end(), ps.begin(), ps.end());
+  }
+  std::size_t num_params() const { return params_.size(); }
+
+  // Clip gradients to a maximum global L2 norm before the update; 0 disables.
+  void set_clip_norm(double clip) { clip_norm_ = clip; }
+
+  // Read gradients for every registered parameter from `ctx` and update.
+  void step(Ctx& ctx);
+
+  // Update from externally accumulated gradients (one Matrix per registered
+  // parameter, same order).  Used for data-parallel minibatch training where
+  // per-sample gradients are computed on separate tapes and summed.
+  void step_grads(std::vector<Matrix> grads);
+
+ protected:
+  // Called once per step() before any apply().
+  virtual void begin_step() {}
+  virtual void apply(std::size_t i, Matrix& param, const Matrix& grad) = 0;
+
+  std::vector<Matrix*> params_;
+  double clip_norm_ = 0.0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0)
+      : lr_(lr), momentum_(momentum) {}
+
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  void apply(std::size_t i, Matrix& param, const Matrix& grad) override;
+
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void set_lr(double lr) { lr_ = lr; }
+  // Number of completed steps (for LR schedules).
+  long steps() const { return t_; }
+
+ private:
+  void begin_step() override { ++t_; }
+  void apply(std::size_t i, Matrix& param, const Matrix& grad) override;
+
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+}  // namespace pddl::ag

@@ -1,0 +1,91 @@
+#include "baselines/box_models.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "regress/log_target.hpp"
+
+namespace pddl::baselines {
+
+namespace {
+// "DNN name" is a categorical; a linear model sees it through some numeric
+// encoding, and any label encoding is arbitrary with respect to runtime.  A
+// deterministic hash into [0, 1) carries no ordinal information about the
+// architecture — exactly the black-box limitation §II-A describes ("cannot
+// identify the characteristics of the DNN and averages the measurements").
+double name_id(const std::string& model) {
+  const std::size_t h = std::hash<std::string>{}(model);
+  return static_cast<double>(h % 10'000) / 10'000.0;
+}
+}  // namespace
+
+Vector blackbox_features(const sim::Measurement& m) {
+  // "the DNN name, the number of servers, the number of floating point
+  // operations per second" (§II-A).
+  const double cluster_flops =
+      m.cluster_features[2];  // log total cpu flops (see cluster_feature_names)
+  return {name_id(m.model), static_cast<double>(m.servers), cluster_flops,
+          static_cast<double>(m.batch_size)};
+}
+
+Vector graybox_features(const sim::Measurement& m) {
+  Vector f = blackbox_features(m);
+  // §II-A: "the number of layers and the number of parameters in each DNN".
+  // Parameters enter log-scaled: the fits are done on log training time
+  // (training times span orders of magnitude), where log-params is the
+  // natural linear predictor of the compute term.
+  f.push_back(static_cast<double>(m.model_layers));
+  f.push_back(std::log10(static_cast<double>(
+      std::max<std::int64_t>(1, m.model_params))));
+  return f;
+}
+
+namespace {
+regress::RegressionData build(const std::vector<sim::Measurement>& ms,
+                              Vector (*extract)(const sim::Measurement&)) {
+  PDDL_CHECK(!ms.empty(), "no measurements");
+  const Vector first = extract(ms[0]);
+  regress::RegressionData d;
+  d.x = Matrix(ms.size(), first.size());
+  d.y.resize(ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    d.x.set_row(i, extract(ms[i]));
+    d.y[i] = ms[i].time_s;
+  }
+  return d;
+}
+}  // namespace
+
+regress::RegressionData build_blackbox_data(
+    const std::vector<sim::Measurement>& ms) {
+  return build(ms, blackbox_features);
+}
+
+regress::RegressionData build_graybox_data(
+    const std::vector<sim::Measurement>& ms) {
+  return build(ms, graybox_features);
+}
+
+namespace {
+double fit_and_score(const regress::RegressionData& train,
+                     const regress::RegressionData& test) {
+  // Same log-target protocol as PredictDDL's Inference Engine, so the
+  // Fig. 1/2 comparison isolates the *features*, not the target transform.
+  regress::LogTargetRegressor lr(
+      std::make_unique<regress::LinearRegression>());
+  lr.fit(train);
+  return regress::rmse(lr.predict_batch(test.x), test.y);
+}
+}  // namespace
+
+double blackbox_rmse(const std::vector<sim::Measurement>& train,
+                     const std::vector<sim::Measurement>& test) {
+  return fit_and_score(build_blackbox_data(train), build_blackbox_data(test));
+}
+
+double graybox_rmse(const std::vector<sim::Measurement>& train,
+                    const std::vector<sim::Measurement>& test) {
+  return fit_and_score(build_graybox_data(train), build_graybox_data(test));
+}
+
+}  // namespace pddl::baselines

@@ -1,0 +1,30 @@
+// Black-box and gray-box linear baselines (Fig. 1 and Fig. 2, §II-A).
+//
+// (a) Black box: linear regression on {DNN name (as an id), number of
+//     servers, cluster FLOPS} — no architecture-specific information.
+// (b) Gray box: all black-box features plus {number of layers, number of
+//     parameters} of the DNN.
+#pragma once
+
+#include "regress/linear.hpp"
+#include "simulator/campaign.hpp"
+
+namespace pddl::baselines {
+
+// Feature extraction from campaign measurements.
+Vector blackbox_features(const sim::Measurement& m);
+Vector graybox_features(const sim::Measurement& m);
+
+regress::RegressionData build_blackbox_data(
+    const std::vector<sim::Measurement>& ms);
+regress::RegressionData build_graybox_data(
+    const std::vector<sim::Measurement>& ms);
+
+// Convenience wrappers that fit a LinearRegression on the corresponding
+// features of `train` and return test-set RMSE on `test`.
+double blackbox_rmse(const std::vector<sim::Measurement>& train,
+                     const std::vector<sim::Measurement>& test);
+double graybox_rmse(const std::vector<sim::Measurement>& train,
+                    const std::vector<sim::Measurement>& test);
+
+}  // namespace pddl::baselines

@@ -1,0 +1,159 @@
+#include "baselines/cherrypick.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pddl::baselines {
+
+double CloudConfig::unit_price() const {
+  // Relative $/server-second, GPU boxes ~4× the CPU boxes (cloud-typical).
+  double price = 1.0;
+  if (sku == "p100") price = 4.0;
+  if (sku == "e5_2630") price = 1.3;
+  return price * servers;
+}
+
+Vector CloudConfig::features() const {
+  Vector f(5, 0.0);
+  if (sku == "e5_2630") f[0] = 1.0;
+  if (sku == "e5_2650") f[1] = 1.0;
+  if (sku == "p100") f[2] = 1.0;
+  f[3] = static_cast<double>(servers);
+  f[4] = std::log(static_cast<double>(servers));
+  return f;
+}
+
+std::vector<CloudConfig> config_search_space(int max_servers) {
+  PDDL_CHECK(max_servers >= 1, "empty search space");
+  std::vector<CloudConfig> space;
+  for (const char* sku : {"e5_2630", "e5_2650", "p100"}) {
+    for (int n = 1; n <= max_servers; ++n) space.push_back({sku, n});
+  }
+  return space;
+}
+
+namespace {
+
+// Cost objective CherryPick minimises: price-weighted run time.
+double run_cost(const workload::DlWorkload& w, const sim::DdlSimulator& sim,
+                const CloudConfig& cfg, Rng& rng, double* out_time) {
+  const sim::SimResult r = sim.run(w, cfg.cluster(), rng);
+  if (out_time != nullptr) *out_time = r.total_s;
+  return r.total_s * cfg.unit_price();
+}
+
+}  // namespace
+
+SearchResult cherrypick_search(const workload::DlWorkload& w,
+                               const sim::DdlSimulator& sim,
+                               const std::vector<CloudConfig>& space,
+                               int budget, Rng& rng) {
+  PDDL_CHECK(!space.empty() && budget >= 3, "need space and budget >= 3");
+  SearchResult result;
+  std::vector<bool> evaluated(space.size(), false);
+  regress::RegressionData observed;
+  observed.x = Matrix(0, 0);
+  std::vector<Vector> xs;
+  Vector ys;
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+
+  auto evaluate = [&](std::size_t idx) {
+    double time_s = 0.0;
+    const double cost = run_cost(w, sim, space[idx], rng, &time_s);
+    evaluated[idx] = true;
+    xs.push_back(space[idx].features());
+    ys.push_back(std::log(cost));  // GP over log cost: better conditioned
+    result.evaluations_s += time_s;
+    ++result.evaluations;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_idx = idx;
+    }
+  };
+
+  // Bootstrap with three spread-out configurations (one per SKU).
+  for (std::size_t idx :
+       {std::size_t{0}, space.size() / 2, space.size() - 1}) {
+    if (!evaluated[idx]) evaluate(idx);
+  }
+
+  while (result.evaluations < budget) {
+    // Refit the surrogate on everything observed so far.
+    regress::RegressionData data;
+    data.x = Matrix(xs.size(), xs[0].size());
+    for (std::size_t i = 0; i < xs.size(); ++i) data.x.set_row(i, xs[i]);
+    data.y = ys;
+    regress::GpConfig gc;
+    gc.length_scale = 2.0;
+    gc.noise_var = 1e-3;
+    regress::GaussianProcess gp(gc);
+    gp.fit(data);
+
+    const double incumbent = std::log(best_cost);
+    double best_ei = -1.0;
+    std::size_t next = space.size();
+    for (std::size_t idx = 0; idx < space.size(); ++idx) {
+      if (evaluated[idx]) continue;
+      const auto post = gp.posterior(space[idx].features());
+      const double ei =
+          regress::expected_improvement(post.mean, post.variance, incumbent);
+      if (ei > best_ei) {
+        best_ei = ei;
+        next = idx;
+      }
+    }
+    if (next == space.size() || best_ei <= 1e-12) break;  // converged
+    evaluate(next);
+  }
+
+  result.best = space[best_idx];
+  result.best_cost = best_cost;
+  return result;
+}
+
+SearchResult predictor_guided_search(
+    const workload::DlWorkload& w, const sim::DdlSimulator& sim,
+    const std::vector<CloudConfig>& space,
+    const std::function<double(const CloudConfig&)>& predict, Rng& rng) {
+  PDDL_CHECK(!space.empty(), "empty search space");
+  // Score every configuration for free, verify only the winner.
+  std::size_t best_idx = 0;
+  double best_pred = std::numeric_limits<double>::infinity();
+  for (std::size_t idx = 0; idx < space.size(); ++idx) {
+    const double pred_cost = predict(space[idx]) * space[idx].unit_price();
+    if (pred_cost < best_pred) {
+      best_pred = pred_cost;
+      best_idx = idx;
+    }
+  }
+  SearchResult result;
+  double time_s = 0.0;
+  result.best = space[best_idx];
+  result.best_cost = run_cost(w, sim, space[best_idx], rng, &time_s);
+  result.evaluations_s = time_s;
+  result.evaluations = 1;
+  return result;
+}
+
+SearchResult oracle_search(const workload::DlWorkload& w,
+                           const sim::DdlSimulator& sim,
+                           const std::vector<CloudConfig>& space, Rng& rng) {
+  SearchResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& cfg : space) {
+    double time_s = 0.0;
+    const double cost = run_cost(w, sim, cfg, rng, &time_s);
+    result.evaluations_s += time_s;
+    ++result.evaluations;
+    if (cost < result.best_cost) {
+      result.best_cost = cost;
+      result.best = cfg;
+    }
+  }
+  return result;
+}
+
+}  // namespace pddl::baselines

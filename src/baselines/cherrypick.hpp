@@ -1,0 +1,66 @@
+// CherryPick-style cloud-configuration search (Alipourfard et al.,
+// NSDI'17; the paper's §V-A second baseline).
+//
+// Task: find the cheapest cluster configuration (SKU × server count) that
+// trains a workload within a deadline.  CherryPick runs the workload on a
+// few configurations, fits a Bayesian surrogate (GP) over configuration
+// features, and picks the next configuration by expected improvement —
+// paying real cluster time for every evaluation.  PredictDDL instead scores
+// every configuration from its trained predictor and only verifies the
+// winner, which is the "reusable predictor accelerates search-space
+// exploration" claim of §V-C.
+#pragma once
+
+#include <functional>
+
+#include "cluster/cluster.hpp"
+#include "regress/gp.hpp"
+#include "simulator/ddl_simulator.hpp"
+
+namespace pddl::baselines {
+
+struct CloudConfig {
+  std::string sku;   // "e5_2630", "e5_2650", "p100"
+  int servers = 1;
+
+  cluster::ClusterSpec cluster() const {
+    return cluster::make_uniform_cluster(sku, servers);
+  }
+  // Relative hourly price (GPU boxes cost more); cost = price × time.
+  double unit_price() const;
+  // Features for the surrogate: [sku one-hot(3), servers, log servers].
+  Vector features() const;
+};
+
+// The search space used by the config-search experiment: all three SKUs at
+// 1..max_servers.
+std::vector<CloudConfig> config_search_space(int max_servers);
+
+struct SearchResult {
+  CloudConfig best;             // configuration the method recommends
+  double best_cost = 0.0;       // price-weighted cost of the recommendation
+  double evaluations_s = 0.0;   // cluster seconds spent on evaluations
+  int evaluations = 0;          // number of configurations actually run
+};
+
+// CherryPick: BO with EI over the config space; stops after `budget`
+// evaluations.  Every evaluation executes the workload via the simulator and
+// is charged to evaluations_s.
+SearchResult cherrypick_search(const workload::DlWorkload& w,
+                               const sim::DdlSimulator& sim,
+                               const std::vector<CloudConfig>& space,
+                               int budget, Rng& rng);
+
+// PredictDDL-guided search: `predict` scores every configuration (no cluster
+// time), and only the predicted-best configuration is verified with one run.
+SearchResult predictor_guided_search(
+    const workload::DlWorkload& w, const sim::DdlSimulator& sim,
+    const std::vector<CloudConfig>& space,
+    const std::function<double(const CloudConfig&)>& predict, Rng& rng);
+
+// Exhaustive oracle: runs everything (ground truth for regret).
+SearchResult oracle_search(const workload::DlWorkload& w,
+                           const sim::DdlSimulator& sim,
+                           const std::vector<CloudConfig>& space, Rng& rng);
+
+}  // namespace pddl::baselines

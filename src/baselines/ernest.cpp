@@ -1,0 +1,89 @@
+#include "baselines/ernest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pddl::baselines {
+
+Vector Ernest::features(double machines, double scale) {
+  PDDL_CHECK(machines >= 1.0, "Ernest: machines must be >= 1");
+  PDDL_CHECK(scale > 0.0 && scale <= 1.0, "Ernest: scale must be in (0, 1]");
+  return {1.0, scale / machines, std::log(machines), machines};
+}
+
+void Ernest::fit(const std::vector<ErnestSample>& samples) {
+  PDDL_CHECK(samples.size() >= kNumFeatures,
+             "Ernest needs at least ", kNumFeatures, " samples");
+  Matrix a(samples.size(), kNumFeatures);
+  Vector b(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    a.set_row(i, features(samples[i].machines, samples[i].scale));
+    b[i] = samples[i].time_s;
+  }
+  theta_ = nnls(a, b).x;
+}
+
+void Ernest::fit(const std::vector<sim::Measurement>& measurements) {
+  std::vector<ErnestSample> samples;
+  samples.reserve(measurements.size());
+  for (const auto& m : measurements) {
+    samples.push_back({static_cast<double>(m.servers), 1.0, m.time_s});
+  }
+  fit(samples);
+}
+
+double Ernest::predict(double machines, double scale) const {
+  PDDL_CHECK(fitted(), "Ernest: predict before fit");
+  return dot(theta_, features(machines, scale));
+}
+
+std::vector<ErnestSample> Ernest::experiment_design(int max_machines) {
+  PDDL_CHECK(max_machines >= 1, "need at least one machine");
+  // Ernest's NSDI'16 methodology: sample runs on 1–10% of the data across a
+  // handful of machine counts, enough to identify all four θ terms.
+  const double fractions[] = {0.02, 0.04, 0.06, 0.08, 0.10};
+  std::vector<int> machine_counts{1};
+  if (max_machines >= 2) machine_counts.push_back(2);
+  if (max_machines >= 4) machine_counts.push_back(max_machines / 2);
+  machine_counts.push_back(max_machines);
+  std::sort(machine_counts.begin(), machine_counts.end());
+  machine_counts.erase(
+      std::unique(machine_counts.begin(), machine_counts.end()),
+      machine_counts.end());
+  std::vector<ErnestSample> design;
+  for (int m : machine_counts) {
+    for (double f : fractions) {
+      design.push_back({static_cast<double>(m), f, 0.0});
+    }
+  }
+  return design;
+}
+
+double Ernest::collect_and_fit(const workload::DlWorkload& w,
+                               const sim::DdlSimulator& sim,
+                               const std::string& sku, int max_machines,
+                               Rng& rng) {
+  std::vector<ErnestSample> design = experiment_design(max_machines);
+  const graph::CompGraph g = w.build_graph();
+  double collection_s = 0.0;
+  for (ErnestSample& s : design) {
+    // Running on a data fraction: fewer samples stream through per epoch.
+    workload::DlWorkload sample = w;
+    sample.dataset.num_samples = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               static_cast<double>(w.dataset.num_samples) * s.scale));
+    sample.dataset.size_bytes = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               static_cast<double>(w.dataset.size_bytes) * s.scale));
+    sample.epochs = 1;  // Ernest's sample runs are single short passes
+    const auto cluster = cluster::make_uniform_cluster(
+        sku, static_cast<int>(s.machines));
+    const sim::SimResult r = sim.run(sample, g, cluster, rng);
+    s.time_s = r.total_s;
+    collection_s += r.total_s;
+  }
+  fit(design);
+  return collection_s;
+}
+
+}  // namespace pddl::baselines

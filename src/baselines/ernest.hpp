@@ -1,0 +1,63 @@
+// Ernest (Venkataraman et al., NSDI'16) — the paper's primary baseline.
+//
+// Ernest predicts job time from cluster scale only, using the feature map
+//   t(m, s) ≈ θ₀·1 + θ₁·(s/m) + θ₂·log m + θ₃·m ,   θ ≥ 0
+// (m = machines, s = input-data scale fraction), fitted by non-negative
+// least squares so each term keeps its physical meaning: fixed serial cost,
+// parallelisable work, tree-aggregation cost, per-machine overhead.
+//
+// Two usage modes, matching the paper's two experiments:
+//  * Fig. 9: fit on the same 80/20 training split as PredictDDL — but Ernest
+//    only sees (machines, scale), so measurements from different DNNs
+//    collapse onto one curve (the black-box failure mode of §II-A).
+//  * Fig. 13: retrain per workload — run the experiment-design
+//    configurations of the *new* workload on small data fractions (through
+//    the simulator, which substitutes for the testbed), then fit.
+#pragma once
+
+#include <vector>
+
+#include "simulator/campaign.hpp"
+#include "simulator/ddl_simulator.hpp"
+#include "tensor/nnls.hpp"
+
+namespace pddl::baselines {
+
+struct ErnestSample {
+  double machines = 1;
+  double scale = 1.0;  // fraction of the input data
+  double time_s = 0.0;
+};
+
+class Ernest {
+ public:
+  // Ernest's feature map for one configuration.
+  static Vector features(double machines, double scale = 1.0);
+  static constexpr std::size_t kNumFeatures = 4;
+
+  // Fit θ ≥ 0 by NNLS on the given samples.
+  void fit(const std::vector<ErnestSample>& samples);
+  // Convenience: fit on campaign measurements (scale = 1, black-box view).
+  void fit(const std::vector<sim::Measurement>& measurements);
+
+  bool fitted() const { return !theta_.empty(); }
+  double predict(double machines, double scale = 1.0) const;
+  const Vector& theta() const { return theta_; }
+
+  // Ernest's optimal-experiment-design grid for a new workload on clusters
+  // of up to `max_machines`: small data fractions crossed with a few
+  // machine counts (the cheap runs Ernest executes before fitting).
+  static std::vector<ErnestSample> experiment_design(int max_machines);
+
+  // Executes the experiment design for `w` through the simulator (data
+  // fraction scales the sample count), fits, and returns the simulated
+  // wall-clock seconds the sample runs would have consumed on the testbed.
+  double collect_and_fit(const workload::DlWorkload& w,
+                         const sim::DdlSimulator& sim,
+                         const std::string& sku, int max_machines, Rng& rng);
+
+ private:
+  Vector theta_;
+};
+
+}  // namespace pddl::baselines

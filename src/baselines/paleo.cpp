@@ -1,0 +1,64 @@
+#include "baselines/paleo.hpp"
+
+#include <cmath>
+
+#include "tensor/nnls.hpp"
+
+namespace pddl::baselines {
+
+PaleoModel::Terms PaleoModel::terms(const workload::DlWorkload& w,
+                                    const cluster::ClusterSpec& cluster) const {
+  PDDL_CHECK(!cluster.empty(), "empty cluster");
+  const graph::CompGraph g = w.build_graph();
+  const double m = static_cast<double>(cluster.size());
+  const double b = static_cast<double>(w.batch_size_per_server);
+  const double iterations = std::ceil(
+      static_cast<double>(w.dataset.num_samples) / (b * m));
+  const double total_iters = iterations * w.epochs;
+
+  Terms t;
+  // Compute at η = 1: fwd+bwd FLOPs on the slowest device's peak.
+  const double peak = cluster.slowest_server().effective_flops();
+  t.compute = total_iters * 3.0 * static_cast<double>(g.total_flops()) * b /
+              peak;
+  // Communication at B = 1: ring-allreduce bytes per step, all steps.
+  if (cluster.size() > 1) {
+    t.comm = total_iters * 2.0 * (m - 1.0) / m * 4.0 *
+             static_cast<double>(g.total_params());
+  }
+  t.startup_m = m;
+  return t;
+}
+
+void PaleoModel::calibrate(const std::vector<CalibrationRun>& runs) {
+  PDDL_CHECK(runs.size() >= 4,
+             "Paleo calibration needs at least 4 runs (4 coefficients)");
+  // t ≈ θ₀·1 + θ₁·m + θ₂·C + θ₃·Q with θ ≥ 0;
+  // θ₂ = 1/η, θ₃ = 1/B.
+  Matrix a(runs.size(), 4);
+  Vector y(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Terms t = terms(runs[i].workload, runs[i].cluster);
+    a(i, 0) = 1.0;
+    a(i, 1) = t.startup_m;
+    a(i, 2) = t.compute;
+    a(i, 3) = t.comm;
+    y[i] = runs[i].measured_s;
+  }
+  const NnlsResult res = nnls(a, y);
+  startup0_ = res.x[0];
+  startup1_ = res.x[1];
+  eta_ = res.x[2] > 1e-12 ? 1.0 / res.x[2] : 1.0;
+  bandwidth_ = res.x[3] > 1e-18 ? 1.0 / res.x[3] : 1e12;
+  calibrated_ = true;
+}
+
+double PaleoModel::predict(const workload::DlWorkload& w,
+                           const cluster::ClusterSpec& cluster) const {
+  PDDL_CHECK(calibrated_, "Paleo model is not calibrated");
+  const Terms t = terms(w, cluster);
+  return startup0_ + startup1_ * t.startup_m + t.compute / eta_ +
+         t.comm / bandwidth_;
+}
+
+}  // namespace pddl::baselines

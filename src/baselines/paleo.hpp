@@ -1,0 +1,62 @@
+// Paleo-style analytical performance model (Qi et al., ICLR'17; the paper's
+// §V-B representative).
+//
+// Paleo decomposes training time into computation and communication from
+// first principles: FLOP counts, device peak throughput, parallelization
+// strategy, and link bandwidth.  Rather than learning a regression over
+// measurements, it needs only a small calibration of platform efficiency
+// constants.  Our Paleo-lite keeps that structure:
+//
+//   t ≈ s₀ + s₁·m + E·I·[ 3·F·b / (peak·η) + max(0, 2·(m−1)/m·4P/(B) − ...) ]
+//
+// with per-platform efficiency η and effective bandwidth B calibrated by
+// least squares on a handful of runs of *calibration* workloads (distinct
+// from the workloads being predicted).  This shows where analytical models
+// sit between Ernest (black box, cheap, inaccurate across DNNs) and
+// PredictDDL (learned, reusable): accurate when the analyst's formula
+// matches the platform, brittle when it does not.
+#pragma once
+
+#include "simulator/ddl_simulator.hpp"
+
+namespace pddl::baselines {
+
+class PaleoModel {
+ public:
+  // Calibrates η (compute efficiency) and B (effective allreduce bandwidth)
+  // plus startup constants on the given runs: each entry is a workload, a
+  // cluster, and the measured time.
+  struct CalibrationRun {
+    workload::DlWorkload workload;
+    cluster::ClusterSpec cluster;
+    double measured_s = 0.0;
+  };
+
+  void calibrate(const std::vector<CalibrationRun>& runs);
+  bool calibrated() const { return calibrated_; }
+
+  // Analytical prediction for any workload/cluster from its graph.
+  double predict(const workload::DlWorkload& w,
+                 const cluster::ClusterSpec& cluster) const;
+
+  double efficiency() const { return eta_; }
+  double effective_bandwidth() const { return bandwidth_; }
+
+ private:
+  // Raw (un-calibrated) component terms for a configuration.
+  struct Terms {
+    double compute = 0.0;   // seconds at η = 1
+    double comm = 0.0;      // seconds at B = 1 byte/s (scaled later)
+    double startup_m = 0.0; // server count (for the per-server term)
+  };
+  Terms terms(const workload::DlWorkload& w,
+              const cluster::ClusterSpec& cluster) const;
+
+  bool calibrated_ = false;
+  double eta_ = 0.5;        // fraction of peak FLOPs sustained
+  double bandwidth_ = 1e9;  // effective allreduce bandwidth (B/s)
+  double startup0_ = 0.0;
+  double startup1_ = 0.0;
+};
+
+}  // namespace pddl::baselines

@@ -1,0 +1,147 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pddl::cluster {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}
+
+ServerSpec make_e5_2630_server(const std::string& name) {
+  ServerSpec s;
+  s.name = name;
+  s.sku = "e5_2630";
+  s.cpu_cores = 16;  // 2 sockets × 8 cores
+  // E5-2630 v3 @2.4 GHz, AVX2: 16 FLOP/cycle/core → ~614 GFLOP/s peak.
+  s.cpu_flops = 614e9;
+  s.ram_bytes = 128.0 * kGiB;
+  s.disk_bw_bps = 500e6;  // 480 GB SATA SSD class
+  s.net_bw_bps = 3.125e9;  // 25 GbE
+  return s;
+}
+
+ServerSpec make_e5_2650_server(const std::string& name) {
+  ServerSpec s;
+  s.name = name;
+  s.sku = "e5_2650";
+  s.cpu_cores = 8;
+  // E5-2650 @2.0 GHz, AVX: 8 FLOP/cycle/core → ~128 GFLOP/s peak.
+  s.cpu_flops = 128e9;
+  s.ram_bytes = 64.0 * kGiB;
+  s.disk_bw_bps = 400e6;
+  s.net_bw_bps = 3.125e9;
+  return s;
+}
+
+ServerSpec make_p100_server(const std::string& name) {
+  ServerSpec s;
+  s.name = name;
+  s.sku = "p100";
+  s.cpu_cores = 20;  // 2 sockets × 10 cores Xeon Silver 4114
+  s.cpu_flops = 1408e9;  // 2.2 GHz × 32 FLOP/cycle × 20 cores
+  s.ram_bytes = 192.0 * kGiB;
+  s.disk_bw_bps = 500e6;
+  s.net_bw_bps = 3.125e9;
+  s.gpus = 1;
+  s.gpu_flops = 9.3e12;  // P100 FP32 peak
+  s.gpu_mem_bytes = 12.0 * kGiB;
+  return s;
+}
+
+bool ClusterSpec::homogeneous() const {
+  if (servers.size() < 2) return true;
+  return std::all_of(servers.begin(), servers.end(), [&](const ServerSpec& s) {
+    return s.sku == servers.front().sku;
+  });
+}
+
+bool ClusterSpec::any_gpu() const {
+  return std::any_of(servers.begin(), servers.end(),
+                     [](const ServerSpec& s) { return s.has_gpu(); });
+}
+
+double ClusterSpec::total_cores() const {
+  double t = 0;
+  for (const auto& s : servers) t += s.cpu_cores;
+  return t;
+}
+
+double ClusterSpec::total_cpu_flops() const {
+  double t = 0;
+  for (const auto& s : servers) t += s.available_cpu_flops();
+  return t;
+}
+
+double ClusterSpec::total_gpu_flops() const {
+  double t = 0;
+  for (const auto& s : servers) t += s.gpus * s.gpu_flops;
+  return t;
+}
+
+double ClusterSpec::total_ram() const {
+  double t = 0;
+  for (const auto& s : servers) t += s.available_ram();
+  return t;
+}
+
+const ServerSpec& ClusterSpec::slowest_server() const {
+  PDDL_CHECK(!servers.empty(), "empty cluster");
+  return *std::min_element(servers.begin(), servers.end(),
+                           [](const ServerSpec& a, const ServerSpec& b) {
+                             return a.effective_flops() < b.effective_flops();
+                           });
+}
+
+const std::vector<std::string>& cluster_feature_names() {
+  static const std::vector<std::string> names = {
+      "num_servers",        "total_cores",        "log_total_cpu_flops",
+      "log_total_gpu_flops", "log_total_ram",     "log_ram_per_core",
+      "log_flops_per_core", "gpu_count",          "log_slowest_flops",
+      "log_nfs_bw"};
+  return names;
+}
+
+Vector ClusterSpec::features() const {
+  PDDL_CHECK(!servers.empty(), "cannot featurize an empty cluster");
+  double gpu_count = 0;
+  for (const auto& s : servers) gpu_count += s.gpus;
+  const double ram_pc = total_ram() / std::max(1.0, total_cores());
+  const double flops_pc = total_cpu_flops() / std::max(1.0, total_cores());
+  auto lg = [](double v) { return std::log10(std::max(1.0, v)); };
+  return Vector{
+      static_cast<double>(servers.size()),
+      total_cores(),
+      lg(total_cpu_flops()),
+      lg(total_gpu_flops()),
+      lg(total_ram()),
+      lg(ram_pc),
+      lg(flops_pc),
+      gpu_count,
+      lg(slowest_server().effective_flops()),
+      lg(nfs_bw_bps),
+  };
+}
+
+ClusterSpec make_uniform_cluster(const std::string& sku, int n) {
+  PDDL_CHECK(n > 0, "cluster needs at least one server");
+  ClusterSpec c;
+  c.servers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::string name = sku + "-" + std::to_string(i);
+    if (sku == "e5_2630") {
+      c.servers.push_back(make_e5_2630_server(name));
+    } else if (sku == "e5_2650") {
+      c.servers.push_back(make_e5_2650_server(name));
+    } else if (sku == "p100") {
+      c.servers.push_back(make_p100_server(name));
+    } else {
+      PDDL_CHECK(false, "unknown server SKU '", sku,
+                 "' (expected e5_2630, e5_2650, or p100)");
+    }
+  }
+  return c;
+}
+
+}  // namespace pddl::cluster

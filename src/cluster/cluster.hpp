@@ -1,0 +1,91 @@
+// Cluster substrate: server specifications, the paper's CloudLab SKUs
+// (§IV-A1), and the Eq. 1–2 per-core resource normalizations that make the
+// Inference Engine agnostic to server configuration (§III-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/matrix.hpp"
+
+namespace pddl::cluster {
+
+struct ServerSpec {
+  std::string name;
+  std::string sku;              // hardware class id, e.g. "c220g1"
+  int cpu_cores = 0;
+  double cpu_flops = 0.0;       // peak FP32 FLOP/s across all cores
+  double ram_bytes = 0.0;
+  double disk_bw_bps = 0.0;     // local-disk streaming bandwidth
+  double net_bw_bps = 0.0;      // NIC bandwidth
+  int gpus = 0;
+  double gpu_flops = 0.0;       // per-GPU peak FP32 FLOP/s
+  double gpu_mem_bytes = 0.0;
+  // Fraction of each resource currently available (1.0 = idle machine);
+  // reported by the Resource Collector's probes.
+  double cpu_availability = 1.0;
+  double mem_availability = 1.0;
+
+  bool has_gpu() const { return gpus > 0; }
+
+  // Eq. 1: RAM' — estimated RAM per core.
+  double ram_per_core() const {
+    PDDL_CHECK(cpu_cores > 0, "server has no cores");
+    return ram_bytes / cpu_cores;
+  }
+  // Per-core FLOPS (same transformation as Eq. 1 applied to FLOPS).
+  double flops_per_core() const {
+    PDDL_CHECK(cpu_cores > 0, "server has no cores");
+    return cpu_flops / cpu_cores;
+  }
+  // Eq. 2 under partial load: Σ over *available* cores of RAM'.
+  double available_ram() const {
+    return ram_per_core() * cpu_cores * mem_availability;
+  }
+  double available_cpu_flops() const {
+    return flops_per_core() * cpu_cores * cpu_availability;
+  }
+  // Effective compute available for a training task on this server.
+  double effective_flops() const {
+    return has_gpu() ? gpus * gpu_flops : available_cpu_flops();
+  }
+};
+
+// ---- The paper's three CloudLab server classes (§IV-A1) ----
+// 20 servers: 2× 8-core Intel E5-2630, 128 GB RAM.
+ServerSpec make_e5_2630_server(const std::string& name);
+// 20 servers: 1× 8-core Intel E5-2650, 64 GB RAM.
+ServerSpec make_e5_2650_server(const std::string& name);
+// 20 servers: 2× 10-core Xeon Silver 4114, 192 GB RAM, 1× NVIDIA P100 12 GB.
+ServerSpec make_p100_server(const std::string& name);
+
+struct ClusterSpec {
+  std::vector<ServerSpec> servers;
+  double nfs_bw_bps = 1.25e9;  // shared NFS backbone (10 GbE)
+
+  std::size_t size() const { return servers.size(); }
+  bool empty() const { return servers.empty(); }
+  bool homogeneous() const;
+  bool any_gpu() const;
+
+  double total_cores() const;
+  double total_cpu_flops() const;
+  double total_gpu_flops() const;
+  double total_ram() const;
+  // Slowest server bounds synchronous data-parallel iterations.
+  const ServerSpec& slowest_server() const;
+
+  // Feature vector consumed by the Inference Engine (§III-C items 1–6 plus
+  // the Eq. 1–2 normalizations).  See cluster_feature_names().
+  Vector features() const;
+};
+
+// Names matching ClusterSpec::features() entries, for table output.
+const std::vector<std::string>& cluster_feature_names();
+
+// Homogeneous cluster of n servers of one of the paper's SKUs
+// ("e5_2630", "e5_2650", "p100").
+ClusterSpec make_uniform_cluster(const std::string& sku, int n);
+
+}  // namespace pddl::cluster

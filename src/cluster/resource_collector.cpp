@@ -1,0 +1,163 @@
+#include "cluster/resource_collector.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "parallel/parallel_for.hpp"
+
+namespace pddl::cluster {
+
+void MessageChannel::send(JoinMessage msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;  // late messages after shutdown are dropped
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+std::optional<JoinMessage> MessageChannel::receive(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+               [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  JoinMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+void MessageChannel::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MessageChannel::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+ResourceCollector::ResourceCollector(ProbeFn probe)
+    : probe_(std::move(probe)) {
+  if (!probe_) {
+    probe_ = [](const std::string& name) {
+      return UtilizationReport{name, 0.0, 0.0};
+    };
+  }
+}
+
+ResourceCollector::~ResourceCollector() { stop(); }
+
+void ResourceCollector::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ResourceCollector::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  channel_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void ResourceCollector::accept_loop() {
+  while (running_.load()) {
+    auto msg = channel_.receive(/*timeout_ms=*/50);
+    if (!msg) {
+      if (channel_.closed()) return;
+      continue;
+    }
+    apply(*msg);
+  }
+  // Drain whatever is left so late joiners before stop() are not lost.
+  while (auto msg = channel_.receive(0)) apply(*msg);
+}
+
+void ResourceCollector::apply(const JoinMessage& msg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (msg.kind) {
+    case JoinMessage::Kind::kJoin:
+      inventory_[msg.spec.name] = msg.spec;
+      break;
+    case JoinMessage::Kind::kLeave:
+      inventory_.erase(msg.server_name);
+      break;
+    case JoinMessage::Kind::kUtilization: {
+      auto it = inventory_.find(msg.report.server);
+      if (it != inventory_.end()) {
+        it->second.cpu_availability =
+            std::clamp(1.0 - msg.report.cpu_busy, 0.0, 1.0);
+        it->second.mem_availability =
+            std::clamp(1.0 - msg.report.mem_busy, 0.0, 1.0);
+      }
+      break;
+    }
+  }
+  inventory_cv_.notify_all();
+}
+
+void ResourceCollector::probe_all(ThreadPool& pool) {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    names.reserve(inventory_.size());
+    for (const auto& [name, spec] : inventory_) names.push_back(name);
+  }
+  std::vector<UtilizationReport> reports(names.size());
+  parallel_for(pool, 0, names.size(),
+               [&](std::size_t i) { reports[i] = probe_(names[i]); });
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& r : reports) {
+    auto it = inventory_.find(r.server);
+    if (it == inventory_.end()) continue;  // server left mid-probe
+    it->second.cpu_availability = std::clamp(1.0 - r.cpu_busy, 0.0, 1.0);
+    it->second.mem_availability = std::clamp(1.0 - r.mem_busy, 0.0, 1.0);
+  }
+}
+
+ClusterSpec ResourceCollector::snapshot(double nfs_bw_bps) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ClusterSpec c;
+  c.nfs_bw_bps = nfs_bw_bps;
+  c.servers.reserve(inventory_.size());
+  for (const auto& [name, spec] : inventory_) c.servers.push_back(spec);
+  return c;
+}
+
+std::size_t ResourceCollector::num_servers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inventory_.size();
+}
+
+bool ResourceCollector::has_server(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inventory_.count(name) > 0;
+}
+
+bool ResourceCollector::wait_for_servers(std::size_t n, int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return inventory_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                                [&] { return inventory_.size() >= n; });
+}
+
+ServerAgent::ServerAgent(MessageChannel& channel, ServerSpec spec)
+    : channel_(channel), spec_(std::move(spec)) {
+  PDDL_CHECK(!spec_.name.empty(), "server agent needs a name");
+  channel_.send({JoinMessage::Kind::kJoin, spec_, {}, {}});
+}
+
+ServerAgent::~ServerAgent() {
+  channel_.send({JoinMessage::Kind::kLeave, {}, spec_.name, {}});
+}
+
+void ServerAgent::report_utilization(double cpu_busy, double mem_busy) {
+  JoinMessage msg;
+  msg.kind = JoinMessage::Kind::kUtilization;
+  msg.report = {spec_.name, cpu_busy, mem_busy};
+  channel_.send(std::move(msg));
+}
+
+}  // namespace pddl::cluster

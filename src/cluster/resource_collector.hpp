@@ -1,0 +1,127 @@
+// Cluster Resource Collector (§III-F).
+//
+// "The server module runs on the cluster manager, and all other servers join
+// the cluster through the client module.  The Cluster Resource Collector
+// maintains one thread open for new connections to the cluster and launches
+// a pool of threads to collect details about available compute and memory
+// resources."
+//
+// This implementation keeps the same structure in-process: ServerAgent plays
+// the client module (one per machine, reporting its ServerSpec and periodic
+// utilization probes over a thread-safe channel), ResourceCollector plays
+// the manager (accept loop draining the join channel, probe pool refreshing
+// utilization).  snapshot() yields the ClusterSpec consumed by the Inference
+// Engine (Fig. 7, step 6).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "cluster/cluster.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pddl::cluster {
+
+// Utilization probe result sent by an agent (fractions in [0, 1] busy).
+struct UtilizationReport {
+  std::string server;
+  double cpu_busy = 0.0;
+  double mem_busy = 0.0;
+};
+
+// Messages on the collector's intake channel.
+struct JoinMessage {
+  enum class Kind { kJoin, kLeave, kUtilization } kind;
+  ServerSpec spec;           // kJoin
+  std::string server_name;   // kLeave
+  UtilizationReport report;  // kUtilization
+};
+
+// Thread-safe MPSC channel between agents and the collector's accept loop.
+class MessageChannel {
+ public:
+  void send(JoinMessage msg);
+  // Blocks up to `timeout_ms`; empty optional on timeout or closure.
+  std::optional<JoinMessage> receive(int timeout_ms);
+  void close();
+  bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<JoinMessage> queue_;
+  bool closed_ = false;
+};
+
+class ResourceCollector {
+ public:
+  // `probe` supplies fresh utilization for a named server when the probe
+  // pool polls it (defaults to "idle machine").  Injectable for tests and
+  // for the simulator to emulate load.
+  using ProbeFn = std::function<UtilizationReport(const std::string&)>;
+
+  explicit ResourceCollector(ProbeFn probe = nullptr);
+  ~ResourceCollector();
+
+  ResourceCollector(const ResourceCollector&) = delete;
+  ResourceCollector& operator=(const ResourceCollector&) = delete;
+
+  // Starts the accept-loop thread.  Idempotent.
+  void start();
+  // Stops the accept loop and waits for it.  Idempotent.
+  void stop();
+
+  // Channel used by agents to talk to this collector.
+  MessageChannel& channel() { return channel_; }
+
+  // Runs one round of utilization probes across the current inventory using
+  // `pool` (one probe task per server), applying results synchronously.
+  void probe_all(ThreadPool& pool);
+
+  // Consistent snapshot of the current inventory.
+  ClusterSpec snapshot(double nfs_bw_bps = 1.25e9) const;
+  std::size_t num_servers() const;
+  bool has_server(const std::string& name) const;
+
+  // Blocks until at least `n` servers joined (with timeout); true on success.
+  bool wait_for_servers(std::size_t n, int timeout_ms) const;
+
+ private:
+  void accept_loop();
+  void apply(const JoinMessage& msg);
+
+  ProbeFn probe_;
+  MessageChannel channel_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable inventory_cv_;
+  std::map<std::string, ServerSpec> inventory_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+};
+
+// Client module: joins on construction, leaves on destruction, and can push
+// utilization reports.
+class ServerAgent {
+ public:
+  ServerAgent(MessageChannel& channel, ServerSpec spec);
+  ~ServerAgent();
+
+  ServerAgent(const ServerAgent&) = delete;
+  ServerAgent& operator=(const ServerAgent&) = delete;
+
+  const std::string& name() const { return spec_.name; }
+  void report_utilization(double cpu_busy, double mem_busy);
+
+ private:
+  MessageChannel& channel_;
+  ServerSpec spec_;
+};
+
+}  // namespace pddl::cluster

@@ -1,0 +1,60 @@
+// Error-handling primitives for PredictDDL.
+//
+// The library throws `pddl::Error` (a std::runtime_error) on contract
+// violations.  PDDL_CHECK is used for conditions that depend on caller input
+// and therefore must stay active in release builds; PDDL_DCHECK is for
+// internal invariants and compiles out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pddl {
+
+// Exception type thrown by all PredictDDL libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pddl
+
+// Always-on precondition check. Usage:
+//   PDDL_CHECK(rows > 0, "matrix must be non-empty");
+#define PDDL_CHECK(cond, ...)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::pddl::detail::fail(#cond, __FILE__, __LINE__,                  \
+                           ::pddl::detail::format_msg(__VA_ARGS__));   \
+    }                                                                  \
+  } while (0)
+
+#ifndef NDEBUG
+#define PDDL_DCHECK(cond, ...) PDDL_CHECK(cond, __VA_ARGS__)
+#else
+#define PDDL_DCHECK(cond, ...) \
+  do {                         \
+  } while (0)
+#endif
+
+namespace pddl::detail {
+inline std::string format_msg() { return {}; }
+inline std::string format_msg(const std::string& m) { return m; }
+template <typename... Ts>
+std::string format_msg(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace pddl::detail

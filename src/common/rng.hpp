@@ -1,0 +1,146 @@
+// Deterministic random-number generation.
+//
+// Everything stochastic in the repository (simulator noise, GHN weight init,
+// DARTS architecture sampling, train/test splits) draws from pddl::Rng so that
+// experiments are reproducible bit-for-bit from a single seed.  The generator
+// is xoshiro256** seeded via SplitMix64, which is fast, has a 256-bit state,
+// and passes BigCrush — adequate for Monte-Carlo-style simulation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pddl {
+
+// SplitMix64: used for seed expansion only.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+    has_gauss_ = false;
+  }
+
+  // Derive an independent stream (e.g. one per worker thread).
+  Rng split() { return Rng(next()); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (for std::shuffle etc.).
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+  std::uint64_t operator()() { return next(); }
+
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    PDDL_CHECK(lo <= hi, "uniform: inverted range");
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, n). n must be positive.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    PDDL_CHECK(n > 0, "uniform_int: n must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    PDDL_CHECK(lo <= hi, "uniform_int: inverted range");
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * factor;
+    has_gauss_ = true;
+    return u * factor;
+  }
+
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  // Log-normal sample with given *underlying* normal parameters.
+  double lognormal(double mu, double sigma) {
+    return std::exp(gaussian(mu, sigma));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Random subset of k distinct indices from [0, n) (partial Fisher-Yates).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    PDDL_CHECK(k <= n, "sample_indices: k > n");
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + uniform_int(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace pddl

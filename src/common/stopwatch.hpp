@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the Fig. 13 batch-scalability harness to time
+// predictor training/inference and by tests to bound runtimes.
+#pragma once
+
+#include <chrono>
+
+namespace pddl {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pddl

@@ -1,0 +1,47 @@
+// Aligned text tables and CSV output for benchmark harnesses.
+//
+// Every bench binary prints the paper's figure/table as an aligned text table
+// on stdout and (optionally) writes the same rows as CSV so the series can be
+// re-plotted.  Cells are stored as strings; numeric helpers format with a
+// fixed precision.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pddl {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Begin a new row; subsequent add() calls append cells to it.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 4);
+  Table& add(std::size_t value);
+  Table& add(long value);
+  Table& add(int value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Render as an aligned text table with a title banner.
+  std::string to_text(const std::string& title = "") const;
+
+  // Render as CSV (RFC-4180-ish: cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  // Write CSV to `path`, creating parent directories if needed.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double with fixed precision (helper shared with Table::add).
+std::string format_double(double value, int precision);
+
+}  // namespace pddl

@@ -1,0 +1,42 @@
+#include "core/batch_predictor.hpp"
+
+namespace pddl::core {
+
+BatchJobResult BatchPredictor::run(
+    const std::vector<workload::DlWorkload>& batch, const std::string& sku,
+    int cluster_size, std::uint64_t seed) {
+  PDDL_CHECK(!batch.empty(), "empty batch job");
+  BatchJobResult result;
+  result.batch_size = batch.size();
+  result.pddl_train_s = pddl_train_s_;
+
+  const cluster::ClusterSpec cluster =
+      cluster::make_uniform_cluster(sku, cluster_size);
+  Rng rng(seed);
+
+  for (const auto& w : batch) {
+    PDDL_CHECK(pddl_.ready_for(w.dataset.name),
+               "PredictDDL is not trained for dataset '", w.dataset.name,
+               "' — call train_offline first");
+    // PredictDDL: embed once (cache-miss cost counted), one inference.
+    Stopwatch embed_sw;
+    const Vector feats = pddl_.features().build(w, cluster);
+    result.pddl_embed_s += embed_sw.seconds();
+    Stopwatch infer_sw;
+    (void)pddl_.predict_from_features(w.dataset.name, feats);
+    result.pddl_infer_s += infer_sw.seconds();
+
+    // Ernest: fresh model per workload — sample-run collection + NNLS fit.
+    baselines::Ernest ernest;
+    Stopwatch collect_sw;
+    result.ernest_collect_sim_s +=
+        ernest.collect_and_fit(w, sim_, sku, cluster_size, rng);
+    result.ernest_collect_wall_s += collect_sw.seconds();
+    Stopwatch fit_sw;
+    (void)ernest.predict(cluster_size);
+    result.ernest_fit_s += fit_sw.seconds();
+  }
+  return result;
+}
+
+}  // namespace pddl::core

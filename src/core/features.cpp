@@ -1,0 +1,67 @@
+#include "core/features.hpp"
+
+#include <cmath>
+
+namespace pddl::core {
+
+std::size_t FeatureBuilder::feature_dim(std::size_t embed_dim) {
+  return embed_dim + cluster::cluster_feature_names().size() + 5;
+}
+
+Vector FeatureBuilder::assemble(const Vector& embedding,
+                                const Vector& cluster_features,
+                                const workload::DatasetDescriptor& dataset,
+                                int batch, int epochs) const {
+  Vector f;
+  f.reserve(embedding.size() + cluster_features.size() + 5);
+  f.insert(f.end(), embedding.begin(), embedding.end());
+  f.insert(f.end(), cluster_features.begin(), cluster_features.end());
+  f.push_back(static_cast<double>(batch));
+  f.push_back(static_cast<double>(epochs));
+  f.push_back(std::log10(static_cast<double>(
+      std::max<std::int64_t>(1, dataset.size_bytes))));
+  f.push_back(std::log10(static_cast<double>(
+      std::max<std::int64_t>(1, dataset.num_samples))));
+  f.push_back(static_cast<double>(dataset.input.h));
+  return f;
+}
+
+Vector FeatureBuilder::build(const workload::DlWorkload& w,
+                             const cluster::ClusterSpec& cluster) {
+  const Vector emb = registry_.embedding(w.dataset.name, w.build_graph());
+  return assemble(emb, cluster.features(), w.dataset,
+                  w.batch_size_per_server, w.epochs);
+}
+
+Vector FeatureBuilder::build(const sim::Measurement& m) {
+  const workload::DatasetDescriptor ds = workload::dataset_by_name(m.dataset);
+  const graph::CompGraph g =
+      graph::build_model(m.model, ds.input, ds.num_classes);
+  const Vector emb = registry_.embedding(m.dataset, g);
+  return assemble(emb, m.cluster_features, ds, m.batch_size, m.epochs);
+}
+
+Vector FeatureBuilder::build_for_graph(
+    const graph::CompGraph& g, const workload::DatasetDescriptor& dataset,
+    int batch, int epochs, const cluster::ClusterSpec& cluster) {
+  const Vector emb = registry_.embedding(dataset.name, g);
+  return assemble(emb, cluster.features(), dataset, batch, epochs);
+}
+
+regress::RegressionData FeatureBuilder::build_dataset(
+    const std::vector<sim::Measurement>& ms) {
+  PDDL_CHECK(!ms.empty(), "no measurements to featurize");
+  const Vector first = build(ms[0]);
+  regress::RegressionData d;
+  d.x = Matrix(ms.size(), first.size());
+  d.y.resize(ms.size());
+  d.x.set_row(0, first);
+  d.y[0] = ms[0].time_s;
+  for (std::size_t i = 1; i < ms.size(); ++i) {
+    d.x.set_row(i, build(ms[i]));
+    d.y[i] = ms[i].time_s;
+  }
+  return d;
+}
+
+}  // namespace pddl::core

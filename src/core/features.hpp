@@ -1,0 +1,53 @@
+// PredictDDL feature assembly (§III-B): "creating a continuous space that
+// unifies GHN-2 embeddings with cluster description features".
+//
+// A prediction feature vector is the concatenation of
+//   [ GHN embedding (d) | cluster features (10) | workload scalars (5) ]
+// where the workload scalars are batch size, epochs, log dataset bytes,
+// log sample count, and input resolution.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "ghn/registry.hpp"
+#include "regress/dataset.hpp"
+#include "simulator/campaign.hpp"
+#include "workload/workload.hpp"
+
+namespace pddl::core {
+
+class FeatureBuilder {
+ public:
+  explicit FeatureBuilder(ghn::GhnRegistry& registry) : registry_(registry) {}
+
+  // Features for a live prediction request.
+  Vector build(const workload::DlWorkload& w,
+               const cluster::ClusterSpec& cluster);
+
+  // Features for a campaign measurement (clusters were recorded as feature
+  // vectors at collection time).
+  Vector build(const sim::Measurement& m);
+
+  // Features for an arbitrary computational graph that is not in the model
+  // registry (e.g. a NAS candidate): embed `g` under `dataset`'s GHN and
+  // unify with the cluster/workload features.
+  Vector build_for_graph(const graph::CompGraph& g,
+                         const workload::DatasetDescriptor& dataset,
+                         int batch, int epochs,
+                         const cluster::ClusterSpec& cluster);
+
+  // Full design matrix + labels for a set of measurements.
+  regress::RegressionData build_dataset(
+      const std::vector<sim::Measurement>& ms);
+
+  // Dimension given the GHN embedding width.
+  static std::size_t feature_dim(std::size_t embed_dim);
+
+ private:
+  Vector assemble(const Vector& embedding, const Vector& cluster_features,
+                  const workload::DatasetDescriptor& dataset, int batch,
+                  int epochs) const;
+
+  ghn::GhnRegistry& registry_;
+};
+
+}  // namespace pddl::core

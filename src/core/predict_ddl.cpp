@@ -1,0 +1,186 @@
+#include "core/predict_ddl.hpp"
+
+#include <filesystem>
+
+#include "simulator/measurement_io.hpp"
+
+namespace pddl::core {
+
+bool TaskChecker::needs_offline_training(const PredictRequest& req) const {
+  PDDL_CHECK(!req.workload.model.empty(), "request is missing a model");
+  PDDL_CHECK(graph::has_model(req.workload.model), "unknown model '",
+             req.workload.model, "'");
+  PDDL_CHECK(!req.workload.dataset.name.empty(),
+             "request is missing a dataset");
+  PDDL_CHECK(!req.cluster.empty(), "request has an empty cluster");
+  // "if the dataset matches a GHN model, irrespective of other parameters in
+  // the input request, we generate the vector representation" (§III-B).
+  return !registry_.has_model(req.workload.dataset.name);
+}
+
+InferenceEngine::InferenceEngine(
+    std::unique_ptr<regress::Regressor> regressor)
+    : regressor_(std::move(regressor)) {
+  PDDL_CHECK(regressor_ != nullptr, "InferenceEngine needs a regressor");
+}
+
+void InferenceEngine::fit(const regress::RegressionData& data) {
+  regressor_->fit(data);
+}
+
+bool InferenceEngine::fitted() const { return regressor_->fitted(); }
+
+double InferenceEngine::predict(const Vector& features) const {
+  PDDL_CHECK(fitted(), "Inference Engine predictor is not trained");
+  return regressor_->predict(features);
+}
+
+void InferenceEngine::set_regressor(
+    std::unique_ptr<regress::Regressor> regressor) {
+  PDDL_CHECK(regressor != nullptr, "null regressor");
+  regressor_ = std::move(regressor);
+}
+
+PredictDdl::PredictDdl(const sim::DdlSimulator& sim, ThreadPool& pool,
+                       PredictDdlOptions opts)
+    : sim_(sim),
+      pool_(pool),
+      opts_(std::move(opts)),
+      features_(registry_),
+      checker_(registry_) {}
+
+InferenceEngine& PredictDdl::engine_for(const std::string& dataset) {
+  auto it = engines_.find(dataset);
+  if (it == engines_.end()) {
+    it = engines_
+             .emplace(dataset, InferenceEngine(opts_.make_regressor()))
+             .first;
+  }
+  return it->second;
+}
+
+void PredictDdl::ensure_ghn(const workload::DatasetDescriptor& dataset) {
+  if (registry_.has_model(dataset.name)) return;
+  ghn::TrainerConfig tc = opts_.ghn_trainer;
+  // The GHN corpus is built at the dataset's resolution and class count so
+  // embeddings reflect the graphs the dataset induces (§III-G).
+  tc.darts.input = dataset.input;
+  tc.darts.num_classes = dataset.num_classes;
+  registry_.train_and_register(dataset.name, opts_.ghn, tc, pool_);
+}
+
+double PredictDdl::fit_predictor(
+    const std::string& dataset, const std::vector<sim::Measurement>& train) {
+  PDDL_CHECK(!train.empty(), "no training measurements for '", dataset, "'");
+  const double seconds = fit_predictor_raw(dataset, features_.build_dataset(train));
+  training_data_[dataset] = train;
+  return seconds;
+}
+
+double PredictDdl::fit_predictor_raw(const std::string& dataset,
+                                     const regress::RegressionData& data) {
+  PDDL_CHECK(data.size() > 0, "no training rows for '", dataset, "'");
+  Stopwatch sw;
+  engine_for(dataset).fit(data);
+  return sw.seconds();
+}
+
+Vector PredictDdl::predict_measurements(
+    const std::string& dataset, const std::vector<sim::Measurement>& test) {
+  InferenceEngine& engine = engine_for(dataset);
+  Vector out(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    out[i] = engine.predict(features_.build(test[i]));
+  }
+  return out;
+}
+
+double PredictDdl::predict_from_features(const std::string& dataset,
+                                         const Vector& features) {
+  return engine_for(dataset).predict(features);
+}
+
+double PredictDdl::train_offline(const workload::DatasetDescriptor& dataset) {
+  // Fig. 8: (1) train the GHN on the new dataset ...
+  ensure_ghn(dataset);
+  // ... (2) collect execution measurements for this dataset's workloads ...
+  sim::CampaignConfig cc = opts_.campaign;
+  cc.include_cifar10 = dataset.name == "cifar10";
+  cc.include_tiny_imagenet = dataset.name == "tiny_imagenet";
+  PDDL_CHECK(cc.include_cifar10 || cc.include_tiny_imagenet,
+             "campaign supports cifar10/tiny_imagenet datasets; got '",
+             dataset.name, "'");
+  const auto measurements = sim::run_campaign(sim_, cc, pool_);
+  // ... (3) fit the prediction model on embeddings ⊕ cluster features.
+  return fit_predictor(dataset.name, measurements);
+}
+
+bool PredictDdl::ready_for(const std::string& dataset) const {
+  const auto it = engines_.find(dataset);
+  return registry_.has_model(dataset) && it != engines_.end() &&
+         it->second.fitted();
+}
+
+void PredictDdl::save_state(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  // const_cast: GhnRegistry::model() is non-const only because embedding
+  // memoization mutates; serialization reads parameters.
+  auto& registry = const_cast<ghn::GhnRegistry&>(registry_);
+  for (const std::string& dataset : registry.datasets()) {
+    ghn::Ghn2* ghn = registry.model(dataset);
+    PDDL_CHECK(ghn != nullptr, "registry lost dataset '", dataset, "'");
+    ghn::save_ghn(dir + "/ghn_" + dataset + ".bin", *ghn);
+  }
+  for (const auto& [dataset, measurements] : training_data_) {
+    sim::save_measurements_csv_file(dir + "/campaign_" + dataset + ".csv",
+                                    measurements);
+  }
+}
+
+void PredictDdl::load_state(const std::string& dir) {
+  PDDL_CHECK(std::filesystem::is_directory(dir), "no such state dir: ", dir);
+  std::size_t ghns = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ghn_", 0) == 0 && entry.path().extension() == ".bin") {
+      const std::string dataset =
+          name.substr(4, name.size() - 4 - 4);  // strip "ghn_" and ".bin"
+      registry_.put(dataset, ghn::load_ghn(entry.path().string()));
+      ++ghns;
+    }
+  }
+  PDDL_CHECK(ghns > 0, "no GHN files found in ", dir);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("campaign_", 0) == 0 && entry.path().extension() == ".csv") {
+      const std::string dataset = name.substr(9, name.size() - 9 - 4);
+      const auto measurements =
+          sim::load_measurements_csv_file(entry.path().string());
+      fit_predictor(dataset, measurements);
+    }
+  }
+}
+
+PredictResponse PredictDdl::submit(const PredictRequest& req) {
+  PredictResponse resp;
+  // Steps 2–3: Listener forwards to the Task Checker for validation.
+  const bool offline = checker_.needs_offline_training(req) ||
+                       !ready_for(req.workload.dataset.name);
+  if (offline) {
+    // Step 4: offline GHN training + campaign for the new dataset.
+    train_offline(req.workload.dataset);
+    resp.triggered_offline_training = true;
+  }
+  // Step 5: vector representation of the target DNN architecture.
+  Stopwatch embed_sw;
+  const Vector feats = features_.build(req.workload, req.cluster);
+  resp.embedding_ms = embed_sw.millis();
+  // Step 6: Inference Engine predicts the training time.
+  Stopwatch infer_sw;
+  resp.predicted_time_s =
+      engine_for(req.workload.dataset.name).predict(feats);
+  resp.inference_ms = infer_sw.millis();
+  return resp;
+}
+
+}  // namespace pddl::core

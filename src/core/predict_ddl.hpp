@@ -1,0 +1,149 @@
+// PredictDDL end-to-end framework (§III, Fig. 7 & Fig. 8).
+//
+// Component map (paper → code):
+//   Listener / Controller (§III-D)      → PredictDdl::submit(): request
+//                                         intake and dispatch
+//   Task Checker (§III-D)               → TaskChecker: does a trained GHN
+//                                         exist for the request's dataset?
+//   GHN Workload Embeddings Generator   → ghn::GhnRegistry (per-dataset
+//   (§III-E)                              models + embedding cache)
+//   Inference Engine (§III-C)           → InferenceEngine: regression over
+//                                         embedding ⊕ cluster features
+//   Offline GHN Trainer (§III-G, Fig 8) → PredictDdl::train_offline():
+//                                         GHN training + measurement
+//                                         campaign + predictor fit
+//   Cluster Resource Collector (§III-F) → cluster::ResourceCollector
+//                                         (snapshot consumed at step 6)
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "cluster/resource_collector.hpp"
+#include "common/stopwatch.hpp"
+#include "core/features.hpp"
+#include "regress/linear.hpp"
+#include "regress/log_target.hpp"
+
+namespace pddl::core {
+
+// A user request (Fig. 7, step 1): workload description + target cluster.
+struct PredictRequest {
+  workload::DlWorkload workload;
+  cluster::ClusterSpec cluster;
+};
+
+struct PredictResponse {
+  double predicted_time_s = 0.0;
+  bool triggered_offline_training = false;  // Fig. 7, step 4 path taken
+  double embedding_ms = 0.0;                // step 5 latency
+  double inference_ms = 0.0;                // step 6 latency
+};
+
+// Task Checker (§III-D): routes a request to the fast inference path or the
+// offline trainer, based only on the dataset (model changes never retrain).
+class TaskChecker {
+ public:
+  explicit TaskChecker(const ghn::GhnRegistry& registry)
+      : registry_(registry) {}
+
+  // Validates the request and reports whether offline training is needed.
+  bool needs_offline_training(const PredictRequest& req) const;
+
+ private:
+  const ghn::GhnRegistry& registry_;
+};
+
+// Inference Engine (§III-C): a pluggable regressor over unified features.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(std::unique_ptr<regress::Regressor> regressor);
+
+  void fit(const regress::RegressionData& data);
+  bool fitted() const;
+  double predict(const Vector& features) const;
+  const regress::Regressor& regressor() const { return *regressor_; }
+  // Swap in a different regression algorithm (design objective 2, §III-A).
+  void set_regressor(std::unique_ptr<regress::Regressor> regressor);
+
+ private:
+  std::unique_ptr<regress::Regressor> regressor_;
+};
+
+struct PredictDdlOptions {
+  ghn::GhnConfig ghn;
+  ghn::TrainerConfig ghn_trainer;    // darts input adjusted per dataset
+  sim::CampaignConfig campaign;      // measurement sweep per dataset
+  // Factory for the inference regressor; defaults to the paper's pick,
+  // second-order polynomial regression (§IV-B2), fitted on log training
+  // time so the squared loss matches the paper's relative-error metric.
+  std::function<std::unique_ptr<regress::Regressor>()> make_regressor = [] {
+    return std::make_unique<regress::LogTargetRegressor>(
+        std::make_unique<regress::PolynomialRegression>());
+  };
+};
+
+class PredictDdl {
+ public:
+  PredictDdl(const sim::DdlSimulator& sim, ThreadPool& pool,
+             PredictDdlOptions opts = {});
+
+  // Offline pipeline (Fig. 8) for one dataset: train the GHN (if absent),
+  // run the measurement campaign, and fit the per-dataset predictor.
+  // Returns wall-clock seconds spent fitting the predictor (used by the
+  // Fig. 13 scalability analysis).
+  double train_offline(const workload::DatasetDescriptor& dataset);
+
+  bool ready_for(const std::string& dataset) const;
+
+  // Fig. 7 end-to-end flow; runs the offline path first when the dataset is
+  // unknown (step 4), otherwise embeds (step 5) and predicts (step 6).
+  PredictResponse submit(const PredictRequest& req);
+
+  // ---- lower-level access used by the benches ----
+  ghn::GhnRegistry& registry() { return registry_; }
+  FeatureBuilder& features() { return features_; }
+  ThreadPool& pool() { return pool_; }
+  // Fit the per-dataset predictor on caller-provided measurements (e.g. a
+  // specific train split).  Returns fit wall-clock seconds.
+  double fit_predictor(const std::string& dataset,
+                       const std::vector<sim::Measurement>& train);
+  // Fit on a pre-assembled design matrix (rows built with features());
+  // lets callers mix campaign rows with custom-graph measurements, e.g.
+  // NAS-space architectures outside the model registry.
+  double fit_predictor_raw(const std::string& dataset,
+                           const regress::RegressionData& data);
+  // Predict for each measurement row (test split evaluation).
+  Vector predict_measurements(const std::string& dataset,
+                              const std::vector<sim::Measurement>& test);
+  // Predict from an already-assembled feature vector (step 6 only).
+  double predict_from_features(const std::string& dataset,
+                               const Vector& features);
+  // Train only the GHN for a dataset (no campaign / predictor).
+  void ensure_ghn(const workload::DatasetDescriptor& dataset);
+
+  // ---- persistence ----
+  // Saves every trained GHN plus the campaign measurements used for each
+  // fitted predictor into `dir` (created if absent).  load_state() restores
+  // the GHNs and refits the predictors from the saved campaigns — the
+  // regressor fit is milliseconds, so only the expensive artifacts (GHN
+  // weights, measured data) are serialized.
+  void save_state(const std::string& dir) const;
+  void load_state(const std::string& dir);
+
+ private:
+  InferenceEngine& engine_for(const std::string& dataset);
+
+  const sim::DdlSimulator& sim_;
+  ThreadPool& pool_;
+  PredictDdlOptions opts_;
+  ghn::GhnRegistry registry_;
+  FeatureBuilder features_;
+  TaskChecker checker_;
+  std::map<std::string, InferenceEngine> engines_;  // one per dataset
+  // Measurements each predictor was last fitted on (persisted by
+  // save_state; absent for fit_predictor_raw fits).
+  std::map<std::string, std::vector<sim::Measurement>> training_data_;
+};
+
+}  // namespace pddl::core

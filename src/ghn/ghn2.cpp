@@ -1,0 +1,171 @@
+#include "ghn/ghn2.hpp"
+
+#include <fstream>
+
+namespace pddl::ghn {
+
+using ag::Var;
+using graph::CompGraph;
+
+Ghn2::Ghn2(const GhnConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      embed_layer_(CompGraph::kNodeFeatureDim, cfg.hidden_dim, rng),
+      msg_mlp_({cfg.hidden_dim, cfg.mlp_hidden, cfg.hidden_dim}, rng,
+               nn::Activation::kRelu),
+      msg_mlp_sp_({cfg.hidden_dim, cfg.mlp_hidden, cfg.hidden_dim}, rng,
+                  nn::Activation::kRelu),
+      gru_(cfg.hidden_dim, cfg.hidden_dim, rng) {
+  PDDL_CHECK(cfg.hidden_dim > 0 && cfg.mlp_hidden > 0 && cfg.num_passes > 0,
+             "invalid GhnConfig");
+  PDDL_CHECK(cfg.s_max >= 2, "s_max must be at least 2");
+  op_gains_.reserve(graph::kNumOpTypes);
+  for (std::size_t i = 0; i < graph::kNumOpTypes; ++i) {
+    op_gains_.emplace_back(1, cfg.hidden_dim, 1.0);  // init to identity gain
+  }
+}
+
+Var Ghn2::embed(nn::Ctx& ctx, const CompGraph& g) {
+  const int n = static_cast<int>(g.num_nodes());
+  PDDL_CHECK(n > 0, "cannot embed an empty graph");
+
+  // Module 1: per-node embedding layer H₀ → H₁.
+  const Matrix h0 = g.node_features();
+  std::vector<Var> h(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    Matrix row = Matrix::row_vector(h0.row(static_cast<std::size_t>(v)));
+    h[static_cast<std::size_t>(v)] =
+        embed_layer_.forward(ctx, ctx.constant(std::move(row)));
+  }
+
+  // Virtual-edge neighbour lists: (u, 1/s_vu) for 1 < s_vu ≤ s_max.
+  // fw uses distances u→v (u is "upstream"), bw uses v→u.
+  std::vector<std::vector<std::pair<int, double>>> vfw, vbw;
+  if (cfg_.virtual_edges) {
+    const auto sp = g.shortest_paths();
+    vfw.resize(static_cast<std::size_t>(n));
+    vbw.resize(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      for (int u = 0; u < n; ++u) {
+        const int s_uv = sp[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+        if (s_uv > 1 && s_uv <= cfg_.s_max) {
+          vfw[static_cast<std::size_t>(v)].push_back({u, 1.0 / s_uv});
+        }
+        const int s_vu = sp[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)];
+        if (s_vu > 1 && s_vu <= cfg_.s_max) {
+          vbw[static_cast<std::size_t>(v)].push_back({u, 1.0 / s_vu});
+        }
+      }
+    }
+  }
+
+  const Matrix zero_msg(1, cfg_.hidden_dim);
+
+  // One sequential node update: aggregate messages, GRU, normalize.
+  auto update_node = [&](int v, bool forward_pass) {
+    const auto& direct =
+        forward_pass ? g.in_edges(v) : g.out_edges(v);
+    Var msg = ctx.constant(zero_msg);
+    bool has_msg = false;
+    for (int u : direct) {
+      Var mu = msg_mlp_.forward(ctx, h[static_cast<std::size_t>(u)]);
+      msg = has_msg ? ag::add(msg, mu) : mu;
+      has_msg = true;
+    }
+    if (cfg_.virtual_edges) {
+      const auto& virt = forward_pass ? vfw[static_cast<std::size_t>(v)]
+                                      : vbw[static_cast<std::size_t>(v)];
+      for (const auto& [u, w] : virt) {
+        Var mu = ag::scale(
+            msg_mlp_sp_.forward(ctx, h[static_cast<std::size_t>(u)]), w);
+        msg = has_msg ? ag::add(msg, mu) : mu;
+        has_msg = true;
+      }
+    }
+    Var hv = gru_.forward(ctx, h[static_cast<std::size_t>(v)], msg);
+    if (cfg_.op_normalization) {
+      const auto op = static_cast<std::size_t>(g.node(v).type);
+      hv = ag::mul(ag::tanh_op(hv), ctx.leaf(op_gains_[op]));
+    }
+    h[static_cast<std::size_t>(v)] = hv;
+  };
+
+  // Module 2: T rounds of fw then bw traversal (Eq. 3–4).  Node ids are in
+  // topological order, so ascending ids == forward order π_fw.
+  for (int t = 0; t < cfg_.num_passes; ++t) {
+    for (int v = 0; v < n; ++v) update_node(v, /*forward_pass=*/true);
+    for (int v = n - 1; v >= 0; --v) update_node(v, /*forward_pass=*/false);
+  }
+
+  // Module 3 is skipped (PredictDDL §III-E): mean-pool node states instead
+  // of decoding weights.
+  Var acc = h[0];
+  for (int v = 1; v < n; ++v) acc = ag::add(acc, h[static_cast<std::size_t>(v)]);
+  return ag::scale(acc, 1.0 / static_cast<double>(n));
+}
+
+Vector Ghn2::embedding(const CompGraph& g) {
+  nn::Ctx ctx;
+  Var e = embed(ctx, g);
+  return e.value().row(0);
+}
+
+std::vector<Matrix*> Ghn2::parameters() {
+  std::vector<Matrix*> ps;
+  for (Matrix* p : embed_layer_.parameters()) ps.push_back(p);
+  for (Matrix* p : msg_mlp_.parameters()) ps.push_back(p);
+  for (Matrix* p : msg_mlp_sp_.parameters()) ps.push_back(p);
+  for (Matrix* p : gru_.parameters()) ps.push_back(p);
+  for (Matrix& g : op_gains_) ps.push_back(&g);
+  return ps;
+}
+
+namespace {
+template <typename T>
+void write_pod(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  PDDL_CHECK(is.good(), "GHN file truncated");
+  return v;
+}
+}  // namespace
+
+void save_ghn(const std::string& path, Ghn2& ghn) {
+  std::ofstream os(path, std::ios::binary);
+  PDDL_CHECK(os.good(), "cannot open for write: ", path);
+  const GhnConfig& c = ghn.config();
+  os.write("PGHN", 4);
+  write_pod<std::uint64_t>(os, c.hidden_dim);
+  write_pod<std::uint64_t>(os, c.mlp_hidden);
+  write_pod<std::int32_t>(os, c.num_passes);
+  write_pod<std::uint8_t>(os, c.virtual_edges ? 1 : 0);
+  write_pod<std::int32_t>(os, c.s_max);
+  write_pod<std::uint8_t>(os, c.op_normalization ? 1 : 0);
+  auto ps = ghn.parameters();
+  nn::save_parameters(os, {ps.begin(), ps.end()});
+}
+
+std::unique_ptr<Ghn2> load_ghn(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PDDL_CHECK(is.good(), "cannot open for read: ", path);
+  char magic[4];
+  is.read(magic, 4);
+  PDDL_CHECK(is.good() && std::string(magic, 4) == "PGHN",
+             "not a GHN file: ", path);
+  GhnConfig c;
+  c.hidden_dim = read_pod<std::uint64_t>(is);
+  c.mlp_hidden = read_pod<std::uint64_t>(is);
+  c.num_passes = read_pod<std::int32_t>(is);
+  c.virtual_edges = read_pod<std::uint8_t>(is) != 0;
+  c.s_max = read_pod<std::int32_t>(is);
+  c.op_normalization = read_pod<std::uint8_t>(is) != 0;
+  Rng rng(0);  // parameters are overwritten immediately
+  auto ghn = std::make_unique<Ghn2>(c, rng);
+  nn::load_parameters(is, ghn->parameters());
+  return ghn;
+}
+
+}  // namespace pddl::ghn

@@ -1,0 +1,73 @@
+// GHN-2 — Graph HyperNetwork, second generation (Knyazev et al., 2021),
+// as used by PredictDDL (§II-B, §III-E).
+//
+// The network consumes a DNN computational graph and produces a fixed-size
+// embedding of the architecture:
+//
+//  module 1  embedding layer      H₀ (one-hot op features) → H₁ ∈ R^{|V|×d}
+//  module 2  GatedGNN (Eq. 3–4)   sequential message passing following the
+//                                 forward (fw) and backward (bw) traversal
+//                                 orders π of the computational graph:
+//                                   m_v = Σ_{u∈N_v^π} MLP(h_u)
+//                                       + Σ_{u∈N_v^{(sp)}} (1/s_vu)·MLP_sp(h_u)
+//                                   h_v = GRU(h_v, m_v)
+//                                 with virtual edges N^{(sp)} given by
+//                                 shortest-path distances 1 < s ≤ s_max.
+//  module 3  (decoder)            the original GHN decodes h_v^T into DNN
+//                                 weights; PredictDDL skips it and reads the
+//                                 mean node state as the embedding.
+//
+// GHN-2's "operation-dependent normalization" is realised here as a bounded
+// per-op-type rescaling h_v ← tanh(h_v) ∘ γ_op applied after every GRU
+// update; like the original it exists to keep deep traversals from blowing
+// up hidden-state magnitudes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/comp_graph.hpp"
+#include "nn/layers.hpp"
+
+namespace pddl::ghn {
+
+struct GhnConfig {
+  std::size_t hidden_dim = 32;   // d — also the output embedding dimension
+  std::size_t mlp_hidden = 32;   // width of the message MLPs
+  int num_passes = 1;            // T forward-backward rounds
+  bool virtual_edges = true;     // Eq. 4 on (GHN-2) / off (plain GatedGNN)
+  int s_max = 5;                 // shortest-path cutoff for virtual edges
+  bool op_normalization = true;  // per-op-type normalization on/off
+};
+
+class Ghn2 final : public nn::Module {
+ public:
+  Ghn2(const GhnConfig& cfg, Rng& rng);
+
+  const GhnConfig& config() const { return cfg_; }
+
+  // Differentiable graph embedding (1 × hidden_dim) on the caller's tape.
+  // Used by the surrogate trainer.
+  nn::Var embed(nn::Ctx& ctx, const graph::CompGraph& g);
+
+  // Inference convenience: runs a private tape and returns the plain vector.
+  Vector embedding(const graph::CompGraph& g);
+
+  std::vector<Matrix*> parameters() override;
+
+ private:
+  GhnConfig cfg_;
+  nn::Linear embed_layer_;
+  nn::Mlp msg_mlp_;     // MLP(·) of Eq. 3
+  nn::Mlp msg_mlp_sp_;  // MLP_sp(·) of Eq. 4
+  nn::GruCell gru_;
+  // One learned 1×d gain per op type (operation-dependent normalization).
+  std::vector<Matrix> op_gains_;
+};
+
+// Binary serialization of config + parameters.
+void save_ghn(const std::string& path, Ghn2& ghn);
+// Reconstructs the Ghn2 (config is stored in the file).
+std::unique_ptr<Ghn2> load_ghn(const std::string& path);
+
+}  // namespace pddl::ghn

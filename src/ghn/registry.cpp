@@ -1,0 +1,124 @@
+#include "ghn/registry.hpp"
+
+#include "parallel/parallel_for.hpp"
+
+namespace pddl::ghn {
+
+void GhnRegistry::put(const std::string& dataset, std::unique_ptr<Ghn2> ghn) {
+  PDDL_CHECK(ghn != nullptr, "cannot register a null GHN");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[dataset];
+  e.ghn = std::move(ghn);
+  e.cache.clear();
+}
+
+bool GhnRegistry::has_model(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(dataset) > 0;
+}
+
+std::size_t GhnRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<std::string> GhnRegistry::datasets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+namespace {
+// Memoization key: the graph name alone is unsafe (two different graphs may
+// share a name, e.g. independently sampled DARTS corpora both emit
+// "darts_0"), so a structural fingerprint is folded in.
+std::string cache_key(const graph::CompGraph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over structure scalars
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(g.num_nodes());
+  mix(g.num_edges());
+  mix(static_cast<std::uint64_t>(g.total_params()));
+  mix(static_cast<std::uint64_t>(g.total_flops()));
+  mix(static_cast<std::uint64_t>(g.depth()));
+  return g.name() + "#" + std::to_string(h);
+}
+}  // namespace
+
+Vector GhnRegistry::embedding(const std::string& dataset,
+                              const graph::CompGraph& g) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(dataset);
+  PDDL_CHECK(it != entries_.end(), "no GHN registered for dataset '", dataset,
+             "' — run the offline trainer first (§III-G)");
+  Entry& e = it->second;
+  const std::string key = cache_key(g);
+  auto cached = e.cache.find(key);
+  if (cached != e.cache.end()) return cached->second;
+  Vector emb = e.ghn->embedding(g);
+  e.cache[key] = emb;
+  return emb;
+}
+
+std::vector<Vector> GhnRegistry::embeddings(
+    const std::string& dataset,
+    const std::vector<const graph::CompGraph*>& gs, ThreadPool& pool) {
+  // Resolve cache hits under the lock, release it for the parallel forward
+  // passes (Ghn2::embedding is const w.r.t. parameters), then publish.
+  Ghn2* ghn = nullptr;
+  std::vector<Vector> out(gs.size());
+  std::vector<std::size_t> misses;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(dataset);
+    PDDL_CHECK(it != entries_.end(), "no GHN registered for dataset '",
+               dataset, "'");
+    ghn = it->second.ghn.get();
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      PDDL_CHECK(gs[i] != nullptr, "null graph in batch embed");
+      auto cached = it->second.cache.find(cache_key(*gs[i]));
+      if (cached != it->second.cache.end()) {
+        out[i] = cached->second;
+      } else {
+        misses.push_back(i);
+      }
+    }
+  }
+  parallel_for(pool, 0, misses.size(), [&](std::size_t k) {
+    out[misses[k]] = ghn->embedding(*gs[misses[k]]);
+  });
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(dataset);
+    if (it != entries_.end() && it->second.ghn.get() == ghn) {
+      for (std::size_t k : misses) {
+        it->second.cache[cache_key(*gs[k])] = out[k];
+      }
+    }
+  }
+  return out;
+}
+
+TrainReport GhnRegistry::train_and_register(const std::string& dataset,
+                                            const GhnConfig& ghn_cfg,
+                                            const TrainerConfig& trainer_cfg,
+                                            ThreadPool& pool) {
+  Rng rng(trainer_cfg.seed);
+  auto ghn = std::make_unique<Ghn2>(ghn_cfg, rng);
+  GhnTrainer trainer(*ghn, trainer_cfg);
+  TrainReport report = trainer.train(pool);
+  put(dataset, std::move(ghn));
+  return report;
+}
+
+Ghn2* GhnRegistry::model(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(dataset);
+  return it == entries_.end() ? nullptr : it->second.ghn.get();
+}
+
+}  // namespace pddl::ghn

@@ -1,0 +1,66 @@
+// Registry of pre-trained GHN models, one per dataset type (§III-E).
+//
+// The GHN-based Workload Embeddings Generator "selects the closest GHN model
+// out of a set of pre-trained GHN models associated with different datasets".
+// A dataset is identified by name ("cifar10", "tiny_imagenet", ...); the
+// Task Checker (§III-D) consults has_model() to decide between the fast
+// inference path and offline retraining.  Embeddings are memoized per
+// (dataset, graph-name) because a DNN's embedding is immutable once the GHN
+// is trained.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "ghn/ghn2.hpp"
+#include "ghn/trainer.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pddl::ghn {
+
+class GhnRegistry {
+ public:
+  GhnRegistry() = default;
+
+  // Registers a trained GHN for `dataset` (replacing any previous one and
+  // invalidating its cached embeddings).
+  void put(const std::string& dataset, std::unique_ptr<Ghn2> ghn);
+
+  bool has_model(const std::string& dataset) const;
+  std::size_t size() const;
+  // Names of all datasets with a registered GHN, sorted.
+  std::vector<std::string> datasets() const;
+
+  // Embedding of `g` under the dataset's GHN; memoized by (name, structural
+  // fingerprint).  Throws if no GHN is registered for `dataset`.
+  Vector embedding(const std::string& dataset, const graph::CompGraph& g);
+
+  // Batch variant: embeds all graphs in parallel on `pool` (cache-aware;
+  // the GHN forward pass is read-only so concurrent embeds are safe).
+  std::vector<Vector> embeddings(const std::string& dataset,
+                                 const std::vector<const graph::CompGraph*>& gs,
+                                 ThreadPool& pool);
+
+  // Trains a new GHN for `dataset` (offline path, Fig. 8) and registers it.
+  // Returns the training report.
+  TrainReport train_and_register(const std::string& dataset,
+                                 const GhnConfig& ghn_cfg,
+                                 const TrainerConfig& trainer_cfg,
+                                 ThreadPool& pool);
+
+  // Direct access for ablations; nullptr when absent.
+  Ghn2* model(const std::string& dataset);
+
+ private:
+  struct Entry {
+    std::unique_ptr<Ghn2> ghn;
+    std::map<std::string, Vector> cache;  // graph name → embedding
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pddl::ghn

@@ -1,0 +1,264 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace pddl::graph {
+
+GraphBuilder::GraphBuilder(std::string name, TensorShape input_shape)
+    : graph_(std::move(name)) {
+  PDDL_CHECK(input_shape.c > 0 && input_shape.h > 0 && input_shape.w > 0,
+             "input shape must be positive");
+  CompGraph::Node n;
+  n.type = OpType::kInput;
+  n.out_shape = input_shape;
+  n.label = "input";
+  graph_.add_node(std::move(n), {});
+}
+
+int GraphBuilder::add_op(OpType type, TensorShape out, std::int64_t params,
+                         std::int64_t flops, NodeAttrs attrs,
+                         const std::vector<int>& ins,
+                         const std::string& label) {
+  CompGraph::Node n;
+  n.type = type;
+  n.out_shape = out;
+  n.params = params;
+  n.flops = flops;
+  n.attrs = attrs;
+  n.label = label.empty() ? op_name(type) : label;
+  return graph_.add_node(std::move(n), ins);
+}
+
+int GraphBuilder::conv_out(int in, int kernel, int stride) {
+  // "Same"-style padding p = (k−1)/2: stride-1 ops preserve spatial dims,
+  // stride-2 ops halve them (torchvision's conventional settings).
+  const int pad = (kernel - 1) / 2;
+  const int out = (in + 2 * pad - kernel) / stride + 1;
+  PDDL_CHECK(out > 0, "convolution output collapsed to zero");
+  return out;
+}
+
+namespace {
+// Pooling uses the same arithmetic; inputs smaller than the window clamp
+// to a single output cell.
+int pool_out(int in, int kernel, int stride) {
+  const int pad = (kernel - 1) / 2;
+  const int out = (in + 2 * pad - kernel) / stride + 1;
+  return out < 1 ? 1 : out;
+}
+}  // namespace
+
+int GraphBuilder::conv(int in, int out_channels, int kernel, int stride,
+                       bool bias, const std::string& label) {
+  const TensorShape s = shape(in);
+  TensorShape out{out_channels, conv_out(s.h, kernel, stride),
+                  conv_out(s.w, kernel, stride)};
+  const std::int64_t k2cin =
+      static_cast<std::int64_t>(kernel) * kernel * s.c;
+  const std::int64_t params =
+      k2cin * out_channels + (bias ? out_channels : 0);
+  const std::int64_t flops = 2 * k2cin * out.numel();
+  return add_op(OpType::kConv, out, params, flops,
+                {kernel, stride, 1}, {in}, label);
+}
+
+int GraphBuilder::group_conv(int in, int out_channels, int kernel, int stride,
+                             int groups, const std::string& label) {
+  const TensorShape s = shape(in);
+  PDDL_CHECK(groups > 0 && s.c % groups == 0 && out_channels % groups == 0,
+             "group_conv: channels not divisible by groups");
+  TensorShape out{out_channels, conv_out(s.h, kernel, stride),
+                  conv_out(s.w, kernel, stride)};
+  const std::int64_t k2cg =
+      static_cast<std::int64_t>(kernel) * kernel * (s.c / groups);
+  const std::int64_t params = k2cg * out_channels;
+  const std::int64_t flops = 2 * k2cg * out.numel();
+  return add_op(OpType::kGroupConv, out, params, flops,
+                {kernel, stride, groups}, {in}, label);
+}
+
+int GraphBuilder::depthwise_conv(int in, int kernel, int stride,
+                                 const std::string& label) {
+  const TensorShape s = shape(in);
+  TensorShape out{s.c, conv_out(s.h, kernel, stride),
+                  conv_out(s.w, kernel, stride)};
+  const std::int64_t params = static_cast<std::int64_t>(kernel) * kernel * s.c;
+  const std::int64_t flops =
+      2 * static_cast<std::int64_t>(kernel) * kernel * out.numel();
+  return add_op(OpType::kDepthwiseConv, out, params, flops,
+                {kernel, stride, s.c}, {in}, label);
+}
+
+int GraphBuilder::linear(int in, int out_features, const std::string& label) {
+  const TensorShape s = shape(in);
+  const std::int64_t in_features = s.numel();
+  TensorShape out{out_features, 1, 1};
+  const std::int64_t params =
+      in_features * out_features + out_features;  // weight + bias
+  const std::int64_t flops = 2 * in_features * out_features;
+  return add_op(OpType::kLinear, out, params, flops, {}, {in}, label);
+}
+
+int GraphBuilder::batch_norm(int in) {
+  const TensorShape s = shape(in);
+  return add_op(OpType::kBatchNorm, s, 2 * s.c, 4 * s.numel(), {}, {in}, "");
+}
+
+int GraphBuilder::layer_norm(int in) {
+  const TensorShape s = shape(in);
+  return add_op(OpType::kLayerNorm, s, 2 * s.c, 5 * s.numel(), {}, {in}, "");
+}
+
+int GraphBuilder::lrn(int in) {
+  const TensorShape s = shape(in);
+  return add_op(OpType::kLrn, s, 0, 5 * s.numel(), {}, {in}, "");
+}
+
+namespace {
+std::int64_t act_flops(const TensorShape& s) { return s.numel(); }
+}  // namespace
+
+int GraphBuilder::relu(int in) {
+  return add_op(OpType::kRelu, shape(in), 0, act_flops(shape(in)), {}, {in}, "");
+}
+int GraphBuilder::relu6(int in) {
+  return add_op(OpType::kRelu6, shape(in), 0, act_flops(shape(in)), {}, {in}, "");
+}
+int GraphBuilder::sigmoid(int in) {
+  return add_op(OpType::kSigmoid, shape(in), 0, 4 * act_flops(shape(in)), {},
+                {in}, "");
+}
+int GraphBuilder::tanh(int in) {
+  return add_op(OpType::kTanh, shape(in), 0, 4 * act_flops(shape(in)), {},
+                {in}, "");
+}
+int GraphBuilder::hard_swish(int in) {
+  return add_op(OpType::kHardSwish, shape(in), 0, 3 * act_flops(shape(in)), {},
+                {in}, "");
+}
+int GraphBuilder::hard_sigmoid(int in) {
+  return add_op(OpType::kHardSigmoid, shape(in), 0, 2 * act_flops(shape(in)),
+                {}, {in}, "");
+}
+int GraphBuilder::swish(int in) {
+  return add_op(OpType::kSwish, shape(in), 0, 5 * act_flops(shape(in)), {},
+                {in}, "");
+}
+int GraphBuilder::gelu(int in) {
+  return add_op(OpType::kGelu, shape(in), 0, 8 * act_flops(shape(in)), {},
+                {in}, "");
+}
+int GraphBuilder::softmax(int in) {
+  return add_op(OpType::kSoftmax, shape(in), 0, 5 * act_flops(shape(in)), {},
+                {in}, "");
+}
+
+int GraphBuilder::max_pool(int in, int kernel, int stride) {
+  const TensorShape s = shape(in);
+  TensorShape out{s.c, pool_out(s.h, kernel, stride),
+                  pool_out(s.w, kernel, stride)};
+  const std::int64_t flops =
+      static_cast<std::int64_t>(kernel) * kernel * out.numel();
+  return add_op(OpType::kMaxPool, out, 0, flops, {kernel, stride, 1}, {in}, "");
+}
+
+int GraphBuilder::avg_pool(int in, int kernel, int stride) {
+  const TensorShape s = shape(in);
+  TensorShape out{s.c, pool_out(s.h, kernel, stride),
+                  pool_out(s.w, kernel, stride)};
+  const std::int64_t flops =
+      static_cast<std::int64_t>(kernel) * kernel * out.numel();
+  return add_op(OpType::kAvgPool, out, 0, flops, {kernel, stride, 1}, {in}, "");
+}
+
+int GraphBuilder::global_avg_pool(int in) {
+  const TensorShape s = shape(in);
+  return add_op(OpType::kGlobalAvgPool, {s.c, 1, 1}, 0, s.numel(), {}, {in},
+                "");
+}
+
+int GraphBuilder::add(const std::vector<int>& ins) {
+  PDDL_CHECK(ins.size() >= 2, "add needs at least two inputs");
+  const TensorShape s = shape(ins[0]);
+  for (int id : ins) {
+    PDDL_CHECK(shape(id) == s, "add: shape mismatch between branches (",
+               graph_.node(id).label, ")");
+  }
+  return add_op(OpType::kAdd, s, 0,
+                static_cast<std::int64_t>(ins.size() - 1) * s.numel(), {}, ins,
+                "");
+}
+
+int GraphBuilder::mul(int in, int gate) {
+  const TensorShape s = shape(in);
+  PDDL_CHECK(shape(gate).c == s.c, "mul: gate channel mismatch");
+  return add_op(OpType::kMul, s, 0, s.numel(), {}, {in, gate}, "");
+}
+
+int GraphBuilder::concat(const std::vector<int>& ins) {
+  PDDL_CHECK(ins.size() >= 2, "concat needs at least two inputs");
+  const TensorShape s0 = shape(ins[0]);
+  int channels = 0;
+  for (int id : ins) {
+    const TensorShape s = shape(id);
+    PDDL_CHECK(s.h == s0.h && s.w == s0.w,
+               "concat: spatial dims differ between branches");
+    channels += s.c;
+  }
+  TensorShape out{channels, s0.h, s0.w};
+  return add_op(OpType::kConcat, out, 0, out.numel(), {}, ins, "");
+}
+
+int GraphBuilder::channel_shuffle(int in, int groups) {
+  const TensorShape s = shape(in);
+  PDDL_CHECK(s.c % groups == 0, "channel_shuffle: channels % groups != 0");
+  return add_op(OpType::kChannelShuffle, s, 0, s.numel(),
+                {0, 1, groups}, {in}, "");
+}
+
+int GraphBuilder::flatten(int in) {
+  const TensorShape s = shape(in);
+  return add_op(OpType::kFlatten, {static_cast<int>(s.numel()), 1, 1}, 0, 0, {},
+                {in}, "");
+}
+
+int GraphBuilder::dropout(int in) {
+  return add_op(OpType::kDropout, shape(in), 0, act_flops(shape(in)), {}, {in},
+                "");
+}
+
+int GraphBuilder::conv_bn_relu(int in, int out_channels, int kernel,
+                               int stride) {
+  return relu(batch_norm(conv(in, out_channels, kernel, stride)));
+}
+
+int GraphBuilder::squeeze_excite(int in, int reduced_channels,
+                                 bool hard_gates) {
+  const int c = shape(in).c;
+  int g = global_avg_pool(in);
+  g = conv(g, reduced_channels, 1, 1, /*bias=*/true, "se_reduce");
+  g = hard_gates ? relu(g) : swish(g);
+  g = conv(g, c, 1, 1, /*bias=*/true, "se_expand");
+  g = hard_gates ? hard_sigmoid(g) : sigmoid(g);
+  return mul(in, g);
+}
+
+CompGraph GraphBuilder::finish(int num_classes) && {
+  // Head: GAP → flatten → linear → softmax.
+  int x = static_cast<int>(graph_.num_nodes()) - 1;
+  if (graph_.node(x).out_shape.h > 1 || graph_.node(x).out_shape.w > 1) {
+    x = global_avg_pool(x);
+  }
+  x = flatten(x);
+  x = linear(x, num_classes, "classifier");
+  softmax(x);
+  graph_.validate();
+  return std::move(graph_);
+}
+
+CompGraph GraphBuilder::take() && {
+  graph_.validate();
+  return std::move(graph_);
+}
+
+}  // namespace pddl::graph

@@ -1,0 +1,96 @@
+// Fluent builder for computational graphs with automatic shape propagation
+// and parameter/FLOP accounting.
+//
+// The 31 architecture builders in src/graph/builders/ express networks as
+// sequences of calls like:
+//
+//   GraphBuilder b("resnet18", {3, 32, 32});
+//   int x = b.conv(b.input(), 64, 3, 1);
+//   x = b.bn(x); x = b.relu(x);
+//   ...
+//   CompGraph g = std::move(b).finish(num_classes);
+//
+// Spatial arithmetic uses "same" padding p = k/2:
+//   out = (in + 2p − k)/s + 1
+// which matches torchvision defaults for stride-1 convs and the usual
+// stride-2 downsampling behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/comp_graph.hpp"
+
+namespace pddl::graph {
+
+class GraphBuilder {
+ public:
+  GraphBuilder(std::string name, TensorShape input_shape);
+
+  // Id of the kInput source node.
+  int input() const { return 0; }
+
+  const TensorShape& shape(int id) const { return graph_.node(id).out_shape; }
+
+  // ---- parametric ops ----
+  // Dense conv; bias folded into params when `bias` (torchvision convs in
+  // BN networks are bias-free).
+  int conv(int in, int out_channels, int kernel, int stride = 1,
+           bool bias = false, const std::string& label = "");
+  int group_conv(int in, int out_channels, int kernel, int stride, int groups,
+                 const std::string& label = "");
+  int depthwise_conv(int in, int kernel, int stride,
+                     const std::string& label = "");
+  int linear(int in, int out_features, const std::string& label = "");
+  int batch_norm(int in);
+  int layer_norm(int in);
+  int lrn(int in);
+
+  // ---- activations ----
+  int relu(int in);
+  int relu6(int in);
+  int sigmoid(int in);
+  int tanh(int in);
+  int hard_swish(int in);
+  int hard_sigmoid(int in);
+  int swish(int in);
+  int gelu(int in);
+  int softmax(int in);
+
+  // ---- pooling / structure ----
+  int max_pool(int in, int kernel, int stride);
+  int avg_pool(int in, int kernel, int stride);
+  int global_avg_pool(int in);
+  int add(const std::vector<int>& ins);
+  // Elementwise scale: broadcast-multiplies `gate` (C×1×1) over `in`.
+  int mul(int in, int gate);
+  int concat(const std::vector<int>& ins);
+  int channel_shuffle(int in, int groups);
+  int flatten(int in);
+  int dropout(int in);
+
+  // ---- composite helpers shared by several families ----
+  // conv → bn → relu.
+  int conv_bn_relu(int in, int out_channels, int kernel, int stride = 1);
+  // Squeeze-and-excitation block returning the rescaled tensor.
+  int squeeze_excite(int in, int reduced_channels,
+                     bool hard_gates = false);
+
+  // Appends global-avg-pool → flatten → linear(num_classes) → softmax and
+  // returns the validated graph.
+  CompGraph finish(int num_classes) &&;
+
+  // Returns the graph as-is after appending a softmax if the last node is a
+  // linear layer; used by the DARTS generator which builds its own head.
+  CompGraph take() &&;
+
+ private:
+  int add_op(OpType type, TensorShape out, std::int64_t params,
+             std::int64_t flops, NodeAttrs attrs, const std::vector<int>& ins,
+             const std::string& label);
+  static int conv_out(int in, int kernel, int stride);
+
+  CompGraph graph_;
+};
+
+}  // namespace pddl::graph

@@ -1,0 +1,137 @@
+#include "graph/darts.hpp"
+
+#include <string>
+
+#include "graph/builder.hpp"
+
+namespace pddl::graph {
+
+namespace {
+
+enum class Primitive {
+  kSepConv3,
+  kSepConv5,
+  kDilConv3,
+  kMaxPool3,
+  kAvgPool3,
+  kSkip,
+  kConv1x1,
+  kCount
+};
+
+Primitive sample_primitive(Rng& rng) {
+  return static_cast<Primitive>(
+      rng.uniform_int(static_cast<std::uint64_t>(Primitive::kCount)));
+}
+
+// Applies one DARTS primitive to node `x`, producing `channels` outputs at
+// stride `stride`.
+int apply_primitive(GraphBuilder& b, Primitive p, int x, int channels,
+                    int stride) {
+  if (stride == 2 && b.shape(x).h == 1) stride = 1;
+  switch (p) {
+    case Primitive::kSepConv3:
+    case Primitive::kSepConv5: {
+      const int k = (p == Primitive::kSepConv3) ? 3 : 5;
+      int y = b.relu(x);
+      y = b.depthwise_conv(y, k, stride);
+      y = b.batch_norm(b.conv(y, channels, 1, 1));
+      return y;
+    }
+    case Primitive::kDilConv3: {
+      int y = b.relu(x);
+      y = b.batch_norm(b.conv(y, channels, 3, stride));
+      return y;
+    }
+    case Primitive::kMaxPool3: {
+      int y = b.max_pool(x, 3, stride);
+      if (b.shape(y).c != channels) y = b.conv(y, channels, 1, 1);
+      return y;
+    }
+    case Primitive::kAvgPool3: {
+      int y = b.avg_pool(x, 3, stride);
+      if (b.shape(y).c != channels) y = b.conv(y, channels, 1, 1);
+      return y;
+    }
+    case Primitive::kSkip: {
+      if (stride == 1 && b.shape(x).c == channels) return x;
+      return b.batch_norm(b.conv(x, channels, 1, stride));
+    }
+    case Primitive::kConv1x1: {
+      int y = b.relu(x);
+      return b.batch_norm(b.conv(y, channels, 1, stride));
+    }
+    case Primitive::kCount:
+      break;
+  }
+  PDDL_CHECK(false, "invalid primitive");
+}
+
+// One cell: intermediate nodes each combine two randomly chosen earlier
+// nodes; the cell output concatenates all intermediate nodes.
+int build_cell(GraphBuilder& b, Rng& rng, int cell_input, int channels,
+               bool reduction, int num_nodes) {
+  std::vector<int> states{cell_input};
+  for (int i = 0; i < num_nodes; ++i) {
+    const int a_idx = static_cast<int>(rng.uniform_int(states.size()));
+    const int b_idx = static_cast<int>(rng.uniform_int(states.size()));
+    // Inputs chosen from the original cell input get the reduction stride.
+    const int stride_a = (reduction && a_idx == 0) ? 2 : 1;
+    const int stride_b = (reduction && b_idx == 0) ? 2 : 1;
+    int ya = apply_primitive(b, sample_primitive(rng), states[a_idx], channels,
+                             stride_a);
+    int yb = apply_primitive(b, sample_primitive(rng), states[b_idx], channels,
+                             stride_b);
+    // Branches may disagree on spatial dims when mixing strides; align with a
+    // strided 1×1 conv on the larger one.
+    while (b.shape(ya).h > b.shape(yb).h) {
+      ya = b.conv(ya, channels, 1, 2);
+    }
+    while (b.shape(yb).h > b.shape(ya).h) {
+      yb = b.conv(yb, channels, 1, 2);
+    }
+    states.push_back(b.add({ya, yb}));
+  }
+  // Concatenate all intermediate nodes (skip the raw input).
+  if (states.size() == 2) return states[1];
+  std::vector<int> to_concat(states.begin() + 1, states.end());
+  int out = b.concat(to_concat);
+  // Project back down so channel growth stays bounded across cells.
+  return b.batch_norm(b.conv(out, channels, 1, 1));
+}
+
+}  // namespace
+
+CompGraph sample_darts_architecture(Rng& rng, const DartsConfig& cfg) {
+  const int cells = static_cast<int>(
+      rng.uniform_int(cfg.min_cells, cfg.max_cells));
+  const int stem_channels = static_cast<int>(
+      rng.uniform_int(cfg.min_stem_channels, cfg.max_stem_channels));
+  GraphBuilder b("darts", cfg.input);
+  int x = b.conv_bn_relu(b.input(), stem_channels, 3, 1);
+  int channels = stem_channels;
+  for (int c = 0; c < cells; ++c) {
+    // Every third cell is a reduction cell that doubles channels.
+    const bool reduction = (c % 3 == 2) && b.shape(x).h > 1;
+    if (reduction) channels *= 2;
+    const int nodes = static_cast<int>(
+        rng.uniform_int(cfg.min_nodes_per_cell, cfg.max_nodes_per_cell));
+    x = build_cell(b, rng, x, channels, reduction, nodes);
+  }
+  return std::move(b).finish(cfg.num_classes);
+}
+
+std::vector<CompGraph> sample_darts_corpus(std::size_t n, std::uint64_t seed,
+                                           const DartsConfig& cfg) {
+  Rng rng(seed);
+  std::vector<CompGraph> corpus;
+  corpus.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CompGraph g = sample_darts_architecture(rng, cfg);
+    g.set_name("darts_" + std::to_string(i));
+    corpus.push_back(std::move(g));
+  }
+  return corpus;
+}
+
+}  // namespace pddl::graph

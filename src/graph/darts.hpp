@@ -1,0 +1,37 @@
+// DARTS-style random architecture generator (GHN-2 training corpus).
+//
+// Knyazev et al. trained GHN-2 on ~10⁶ synthetic architectures built from
+// DARTS primitives (Liu et al., 2018).  We reproduce the generator at a
+// smaller scale: each sample is a stack of randomly wired cells whose nodes
+// draw from the DARTS primitive set (separable 3×3/5×5 convs, dilated convs
+// approximated as dense convs, max/avg pooling, skip connections), with
+// reduction cells halving the spatial resolution, a random stem width, and a
+// classification head.  The resulting graphs cover the op-type and topology
+// distribution of the real evaluation models so the GHN embedding space
+// generalises to them.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/comp_graph.hpp"
+
+namespace pddl::graph {
+
+struct DartsConfig {
+  int min_cells = 2;
+  int max_cells = 6;
+  int min_nodes_per_cell = 3;   // intermediate nodes per cell
+  int max_nodes_per_cell = 6;
+  int min_stem_channels = 16;
+  int max_stem_channels = 64;
+  TensorShape input{3, 32, 32};
+  int num_classes = 10;
+};
+
+// Sample one random architecture.  Deterministic given `rng` state.
+CompGraph sample_darts_architecture(Rng& rng, const DartsConfig& cfg = {});
+
+// Sample a corpus of n architectures (names "darts_0" … "darts_{n-1}").
+std::vector<CompGraph> sample_darts_corpus(std::size_t n, std::uint64_t seed,
+                                           const DartsConfig& cfg = {});
+
+}  // namespace pddl::graph

@@ -1,0 +1,49 @@
+// Computational-graph builders for the 31 torchvision-family image
+// classification models used in the paper's evaluation (§IV-A2).
+//
+// Substitution note (DESIGN.md §2): the paper loads these models from the
+// PyTorch Vision zoo; we rebuild their op-level DAGs from the architecture
+// papers.  Parameter counts and FLOPs follow the standard formulas, so the
+// features visible to both the GHN and the DDL cost model match what
+// torchvision would expose.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/comp_graph.hpp"
+
+namespace pddl::graph {
+
+struct ModelSpec {
+  std::string name;    // torchvision-style id, e.g. "resnet18"
+  std::string family;  // "resnet", "vgg", ...
+  std::function<CompGraph(TensorShape, int)> build;
+};
+
+// All 31 models, in a stable order.
+const std::vector<ModelSpec>& model_registry();
+
+// Lookup + build; throws pddl::Error for unknown names.
+CompGraph build_model(const std::string& name, TensorShape input,
+                      int num_classes);
+
+// True if `name` is registered.
+bool has_model(const std::string& name);
+
+// ---- individual builders (all exposed for direct use and tests) ----
+CompGraph build_alexnet(TensorShape in, int classes);
+CompGraph build_vgg(int depth, bool batch_norm, TensorShape in, int classes);
+CompGraph build_resnet(int depth, TensorShape in, int classes,
+                       int groups = 1, int width_per_group = 64);
+CompGraph build_densenet(int depth, TensorShape in, int classes);
+CompGraph build_squeezenet(const std::string& version, TensorShape in,
+                           int classes);
+CompGraph build_mobilenet_v2(TensorShape in, int classes);
+CompGraph build_mobilenet_v3(bool large, TensorShape in, int classes);
+CompGraph build_efficientnet(int variant, TensorShape in, int classes);
+CompGraph build_shufflenet_v2(double width_mult, TensorShape in, int classes);
+CompGraph build_googlenet(TensorShape in, int classes);
+
+}  // namespace pddl::graph

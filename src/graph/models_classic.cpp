@@ -1,0 +1,168 @@
+// AlexNet, VGG, SqueezeNet, and GoogLeNet builders.
+#include <map>
+
+#include "graph/builder.hpp"
+#include "graph/models.hpp"
+
+namespace pddl::graph {
+
+CompGraph build_alexnet(TensorShape in, int classes) {
+  GraphBuilder b("alexnet", in);
+  int x = b.conv(b.input(), 64, 11, 4, /*bias=*/true, "conv1");
+  x = b.relu(x);
+  x = b.lrn(x);
+  x = b.max_pool(x, 3, 2);
+  x = b.conv(x, 192, 5, 1, true, "conv2");
+  x = b.relu(x);
+  x = b.lrn(x);
+  x = b.max_pool(x, 3, 2);
+  x = b.conv(x, 384, 3, 1, true, "conv3");
+  x = b.relu(x);
+  x = b.conv(x, 256, 3, 1, true, "conv4");
+  x = b.relu(x);
+  x = b.conv(x, 256, 3, 1, true, "conv5");
+  x = b.relu(x);
+  x = b.max_pool(x, 3, 2);
+  x = b.global_avg_pool(x);
+  x = b.flatten(x);
+  x = b.dropout(x);
+  x = b.linear(x, 4096, "fc6");
+  x = b.relu(x);
+  x = b.dropout(x);
+  x = b.linear(x, 4096, "fc7");
+  x = b.relu(x);
+  x = b.linear(x, classes, "classifier");
+  b.softmax(x);
+  return std::move(b).take();
+}
+
+CompGraph build_vgg(int depth, bool batch_norm, TensorShape in, int classes) {
+  // Configurations from Simonyan & Zisserman (2014), Table 1.
+  static const std::map<int, std::vector<int>> configs = {
+      {11, {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1}},
+      {13, {64, 64, -1, 128, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1}},
+      {16,
+       {64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512,
+        512, 512, -1}},
+      {19,
+       {64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1, 512, 512, 512, 512,
+        -1, 512, 512, 512, 512, -1}}};
+  const auto it = configs.find(depth);
+  PDDL_CHECK(it != configs.end(), "unsupported VGG depth ", depth);
+
+  GraphBuilder b("vgg" + std::to_string(depth) + (batch_norm ? "_bn" : ""), in);
+  int x = b.input();
+  for (int cfg : it->second) {
+    if (cfg < 0) {
+      // Guard tiny inputs: stop pooling once spatial dims hit 1.
+      if (b.shape(x).h > 1) x = b.max_pool(x, 2, 2);
+      continue;
+    }
+    x = b.conv(x, cfg, 3, 1, /*bias=*/!batch_norm);
+    if (batch_norm) x = b.batch_norm(x);
+    x = b.relu(x);
+  }
+  x = b.global_avg_pool(x);
+  x = b.flatten(x);
+  x = b.linear(x, 4096, "fc1");
+  x = b.relu(x);
+  x = b.dropout(x);
+  x = b.linear(x, 4096, "fc2");
+  x = b.relu(x);
+  x = b.dropout(x);
+  x = b.linear(x, classes, "classifier");
+  b.softmax(x);
+  return std::move(b).take();
+}
+
+namespace {
+// SqueezeNet fire module: squeeze 1×1 → expand (1×1 ‖ 3×3) → concat.
+int fire(GraphBuilder& b, int x, int squeeze, int expand1, int expand3) {
+  int s = b.relu(b.conv(x, squeeze, 1, 1, true, "fire_squeeze"));
+  int e1 = b.relu(b.conv(s, expand1, 1, 1, true, "fire_expand1"));
+  int e3 = b.relu(b.conv(s, expand3, 3, 1, true, "fire_expand3"));
+  return b.concat({e1, e3});
+}
+}  // namespace
+
+CompGraph build_squeezenet(const std::string& version, TensorShape in,
+                           int classes) {
+  PDDL_CHECK(version == "1_0" || version == "1_1",
+             "unsupported SqueezeNet version ", version);
+  GraphBuilder b("squeezenet" + version, in);
+  int x;
+  if (version == "1_0") {
+    x = b.relu(b.conv(b.input(), 96, 7, 2, true, "conv1"));
+    x = b.max_pool(x, 3, 2);
+    x = fire(b, x, 16, 64, 64);
+    x = fire(b, x, 16, 64, 64);
+    x = fire(b, x, 32, 128, 128);
+    if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+    x = fire(b, x, 32, 128, 128);
+    x = fire(b, x, 48, 192, 192);
+    x = fire(b, x, 48, 192, 192);
+    x = fire(b, x, 64, 256, 256);
+    if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+    x = fire(b, x, 64, 256, 256);
+  } else {
+    x = b.relu(b.conv(b.input(), 64, 3, 2, true, "conv1"));
+    x = b.max_pool(x, 3, 2);
+    x = fire(b, x, 16, 64, 64);
+    x = fire(b, x, 16, 64, 64);
+    if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+    x = fire(b, x, 32, 128, 128);
+    x = fire(b, x, 32, 128, 128);
+    if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+    x = fire(b, x, 48, 192, 192);
+    x = fire(b, x, 48, 192, 192);
+    x = fire(b, x, 64, 256, 256);
+    x = fire(b, x, 64, 256, 256);
+  }
+  x = b.dropout(x);
+  // SqueezeNet classifier is a 1×1 conv, not a linear layer.
+  x = b.relu(b.conv(x, classes, 1, 1, true, "classifier_conv"));
+  x = b.global_avg_pool(x);
+  x = b.flatten(x);
+  b.softmax(x);
+  return std::move(b).take();
+}
+
+namespace {
+// GoogLeNet inception module (Szegedy et al., 2015).
+int inception(GraphBuilder& b, int x, int c1, int c3r, int c3, int c5r, int c5,
+              int pool_proj) {
+  int b1 = b.conv_bn_relu(x, c1, 1, 1);
+  int b2 = b.conv_bn_relu(b.conv_bn_relu(x, c3r, 1, 1), c3, 3, 1);
+  int b3 = b.conv_bn_relu(b.conv_bn_relu(x, c5r, 1, 1), c5, 3, 1);
+  int b4 = b.conv_bn_relu(b.max_pool(x, 3, 1), pool_proj, 1, 1);
+  return b.concat({b1, b2, b3, b4});
+}
+}  // namespace
+
+CompGraph build_googlenet(TensorShape in, int classes) {
+  GraphBuilder b("googlenet", in);
+  int x = b.conv_bn_relu(b.input(), 64, 7, 2);
+  x = b.max_pool(x, 3, 2);
+  x = b.conv_bn_relu(x, 64, 1, 1);
+  x = b.conv_bn_relu(x, 192, 3, 1);
+  if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+  x = inception(b, x, 64, 96, 128, 16, 32, 32);     // 3a
+  x = inception(b, x, 128, 128, 192, 32, 96, 64);   // 3b
+  if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+  x = inception(b, x, 192, 96, 208, 16, 48, 64);    // 4a
+  x = inception(b, x, 160, 112, 224, 24, 64, 64);   // 4b
+  x = inception(b, x, 128, 128, 256, 24, 64, 64);   // 4c
+  x = inception(b, x, 112, 144, 288, 32, 64, 64);   // 4d
+  x = inception(b, x, 256, 160, 320, 32, 128, 128); // 4e
+  if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+  x = inception(b, x, 256, 160, 320, 32, 128, 128); // 5a
+  x = inception(b, x, 384, 192, 384, 48, 128, 128); // 5b
+  x = b.global_avg_pool(x);
+  x = b.flatten(x);
+  x = b.dropout(x);
+  x = b.linear(x, classes, "classifier");
+  b.softmax(x);
+  return std::move(b).take();
+}
+
+}  // namespace pddl::graph

@@ -1,0 +1,163 @@
+#include "graph/models_extended.hpp"
+
+#include "graph/builder.hpp"
+
+namespace pddl::graph {
+
+namespace {
+
+// Inception-V3 building blocks (Szegedy et al., 2016).  Factorised 7×7
+// convolutions are modelled as two stacked convs with the equivalent
+// receptive field (our builder has square kernels only; FLOP/param accounting
+// of the 1×7/7×1 pair matches a 7×7 at half rank closely enough for the
+// cost model, and the op-level topology — four parallel towers feeding a
+// concat — is preserved exactly).
+int inception_a(GraphBuilder& b, int x, int pool_proj) {
+  int t1 = b.conv_bn_relu(x, 64, 1, 1);
+  int t2 = b.conv_bn_relu(b.conv_bn_relu(x, 48, 1, 1), 64, 5, 1);
+  int t3 = b.conv_bn_relu(
+      b.conv_bn_relu(b.conv_bn_relu(x, 64, 1, 1), 96, 3, 1), 96, 3, 1);
+  int t4 = b.conv_bn_relu(b.avg_pool(x, 3, 1), pool_proj, 1, 1);
+  return b.concat({t1, t2, t3, t4});
+}
+
+int inception_b(GraphBuilder& b, int x, int channels_7x7) {
+  const int c = channels_7x7;
+  int t1 = b.conv_bn_relu(x, 192, 1, 1);
+  int t2 = b.conv_bn_relu(b.conv_bn_relu(b.conv_bn_relu(x, c, 1, 1), c, 3, 1),
+                          192, 3, 1);
+  int t3 = x;
+  t3 = b.conv_bn_relu(t3, c, 1, 1);
+  t3 = b.conv_bn_relu(t3, c, 3, 1);
+  t3 = b.conv_bn_relu(t3, c, 3, 1);
+  t3 = b.conv_bn_relu(t3, 192, 3, 1);
+  int t4 = b.conv_bn_relu(b.avg_pool(x, 3, 1), 192, 1, 1);
+  return b.concat({t1, t2, t3, t4});
+}
+
+int inception_c(GraphBuilder& b, int x) {
+  int t1 = b.conv_bn_relu(x, 320, 1, 1);
+  // The 1×3/3×1 "expanded" branches: two parallel 3×3s from a shared stem.
+  int stem2 = b.conv_bn_relu(x, 384, 1, 1);
+  int t2 = b.concat({b.conv_bn_relu(stem2, 384, 3, 1),
+                     b.conv_bn_relu(stem2, 384, 3, 1)});
+  int stem3 = b.conv_bn_relu(b.conv_bn_relu(x, 448, 1, 1), 384, 3, 1);
+  int t3 = b.concat({b.conv_bn_relu(stem3, 384, 3, 1),
+                     b.conv_bn_relu(stem3, 384, 3, 1)});
+  int t4 = b.conv_bn_relu(b.avg_pool(x, 3, 1), 192, 1, 1);
+  return b.concat({t1, t2, t3, t4});
+}
+
+int reduction(GraphBuilder& b, int x, int c3, int c5r, int c5) {
+  if (b.shape(x).h <= 1) return x;
+  int t1 = b.conv_bn_relu(x, c3, 3, 2);
+  int t2 = b.conv_bn_relu(
+      b.conv_bn_relu(b.conv_bn_relu(x, c5r, 1, 1), c5, 3, 1), c5, 3, 2);
+  int t3 = b.max_pool(x, 3, 2);
+  return b.concat({t1, t2, t3});
+}
+
+}  // namespace
+
+CompGraph build_inception_v3(TensorShape in, int classes) {
+  GraphBuilder b("inception_v3", in);
+  int x = b.conv_bn_relu(b.input(), 32, 3, 2);
+  x = b.conv_bn_relu(x, 32, 3, 1);
+  x = b.conv_bn_relu(x, 64, 3, 1);
+  if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+  x = b.conv_bn_relu(x, 80, 1, 1);
+  x = b.conv_bn_relu(x, 192, 3, 1);
+  if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+  x = inception_a(b, x, 32);
+  x = inception_a(b, x, 64);
+  x = inception_a(b, x, 64);
+  x = reduction(b, x, 384, 64, 96);
+  x = inception_b(b, x, 128);
+  x = inception_b(b, x, 160);
+  x = inception_b(b, x, 160);
+  x = inception_b(b, x, 192);
+  x = reduction(b, x, 192, 192, 192);
+  x = inception_c(b, x);
+  x = inception_c(b, x);
+  return std::move(b).finish(classes);
+}
+
+CompGraph build_mnasnet(double width_mult, TensorShape in, int classes) {
+  // Tan et al. 2019, MnasNet-B1 scaled by width_mult.
+  auto scale = [&](int c) {
+    const int v = static_cast<int>(c * width_mult + 4) / 8 * 8;
+    return v < 8 ? 8 : v;
+  };
+  GraphBuilder b(width_mult == 0.5 ? "mnasnet0_5" : "mnasnet1_0", in);
+  int x = b.relu(b.batch_norm(b.conv(b.input(), scale(32), 3, 2)));
+  // Sep-conv stem block.
+  x = b.relu(b.batch_norm(b.depthwise_conv(x, 3, 1)));
+  x = b.batch_norm(b.conv(x, scale(16), 1, 1));
+  struct Row { int t, c, n, s, k; };
+  const Row rows[] = {{3, 24, 3, 2, 3},  {3, 40, 3, 2, 5}, {6, 80, 3, 2, 5},
+                      {6, 96, 2, 1, 3},  {6, 192, 4, 2, 5}, {6, 320, 1, 1, 3}};
+  for (const Row& r : rows) {
+    for (int i = 0; i < r.n; ++i) {
+      const int in_c = b.shape(x).c;
+      const int out_c = scale(r.c);
+      int stride = (i == 0) ? r.s : 1;
+      if (stride == 2 && b.shape(x).h == 1) stride = 1;
+      int y = b.relu(b.batch_norm(b.conv(x, in_c * r.t, 1, 1)));
+      y = b.relu(b.batch_norm(b.depthwise_conv(y, r.k, stride)));
+      y = b.batch_norm(b.conv(y, out_c, 1, 1));
+      if (stride == 1 && in_c == out_c) y = b.add({x, y});
+      x = y;
+    }
+  }
+  x = b.relu(b.batch_norm(b.conv(x, 1280, 1, 1)));
+  return std::move(b).finish(classes);
+}
+
+CompGraph build_regnet_400mf(bool with_se, TensorShape in, int classes) {
+  // RegNet X/Y-400MF (Radosavovic et al., 2020): widths and depths from the
+  // published configurations; every block is a bottleneck with group conv
+  // (group width 16), Y adds squeeze-excitation.
+  GraphBuilder b(with_se ? "regnet_y_400mf" : "regnet_x_400mf", in);
+  int x = b.conv_bn_relu(b.input(), 32, 3, 2);
+  const int widths[4] = {32, 64, 160, 384};
+  const int depths_x[4] = {1, 2, 7, 12};
+  const int depths_y[4] = {1, 3, 6, 6};
+  const int* depths = with_se ? depths_y : depths_x;
+  const int group_width = 16;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int i = 0; i < depths[stage]; ++i) {
+      const int in_c = b.shape(x).c;
+      const int w = widths[stage];
+      int stride = (i == 0) ? 2 : 1;
+      if (stride == 2 && b.shape(x).h == 1) stride = 1;
+      int y = b.conv_bn_relu(x, w, 1, 1);
+      y = b.relu(b.batch_norm(
+          b.group_conv(y, w, 3, stride, std::max(1, w / group_width))));
+      if (with_se) y = b.squeeze_excite(y, std::max(4, in_c / 4));
+      y = b.batch_norm(b.conv(y, w, 1, 1));
+      int shortcut = x;
+      if (stride != 1 || in_c != w) {
+        shortcut = b.batch_norm(b.conv(x, w, 1, stride));
+      }
+      x = b.relu(b.add({y, shortcut}));
+    }
+  }
+  return std::move(b).finish(classes);
+}
+
+const std::vector<ModelSpec>& extended_model_registry() {
+  static const std::vector<ModelSpec> registry = {
+      {"inception_v3", "inception", build_inception_v3},
+      {"mnasnet0_5", "mnasnet",
+       [](TensorShape in, int c) { return build_mnasnet(0.5, in, c); }},
+      {"mnasnet1_0", "mnasnet",
+       [](TensorShape in, int c) { return build_mnasnet(1.0, in, c); }},
+      {"regnet_x_400mf", "regnet",
+       [](TensorShape in, int c) { return build_regnet_400mf(false, in, c); }},
+      {"regnet_y_400mf", "regnet",
+       [](TensorShape in, int c) { return build_regnet_400mf(true, in, c); }},
+  };
+  return registry;
+}
+
+}  // namespace pddl::graph

@@ -1,0 +1,19 @@
+// Extended architecture set — families *absent* from the paper's 31-model
+// registry (§IV-A2).  Used by the zero-shot family-generalization experiment
+// (bench/abl_unseen_families): the predictor is trained on the 31 evaluation
+// models only and asked about architectures whose entire family it has never
+// measured.
+#pragma once
+
+#include "graph/models.hpp"
+
+namespace pddl::graph {
+
+// Families: inception (v3), mnasnet (×0.5, ×1.0), regnet (X-400MF, Y-400MF).
+const std::vector<ModelSpec>& extended_model_registry();
+
+CompGraph build_inception_v3(TensorShape in, int classes);
+CompGraph build_mnasnet(double width_mult, TensorShape in, int classes);
+CompGraph build_regnet_400mf(bool with_se, TensorShape in, int classes);
+
+}  // namespace pddl::graph

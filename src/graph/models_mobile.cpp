@@ -1,0 +1,181 @@
+// MobileNet-V2/V3, EfficientNet, and ShuffleNet-V2 builders.
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/models.hpp"
+
+namespace pddl::graph {
+
+namespace {
+
+int make_divisible(double v, int divisor = 8) {
+  int nv = std::max(divisor,
+                    static_cast<int>(v + divisor / 2.0) / divisor * divisor);
+  if (nv < 0.9 * v) nv += divisor;
+  return nv;
+}
+
+// MobileNet-V2 inverted residual: 1×1 expand → 3×3 depthwise → 1×1 project,
+// residual when stride==1 and channels match.
+int inverted_residual(GraphBuilder& b, int x, int out_c, int stride,
+                      int expand_ratio, bool use_hs = false, bool use_se = false,
+                      int kernel = 3) {
+  const int in_c = b.shape(x).c;
+  const int hidden = in_c * expand_ratio;
+  int y = x;
+  auto act = [&](int n) { return use_hs ? b.hard_swish(n) : b.relu6(n); };
+  if (expand_ratio != 1) {
+    y = act(b.batch_norm(b.conv(y, hidden, 1, 1)));
+  }
+  if (stride == 2 && b.shape(y).h == 1) stride = 1;
+  y = act(b.batch_norm(b.depthwise_conv(y, kernel, stride)));
+  if (use_se) y = b.squeeze_excite(y, std::max(8, hidden / 4), /*hard=*/true);
+  y = b.batch_norm(b.conv(y, out_c, 1, 1));
+  if (stride == 1 && in_c == out_c) y = b.add({x, y});
+  return y;
+}
+
+}  // namespace
+
+CompGraph build_mobilenet_v2(TensorShape in, int classes) {
+  GraphBuilder b("mobilenet_v2", in);
+  int x = b.relu6(b.batch_norm(b.conv(b.input(), 32, 3, 2)));
+  struct Row { int t, c, n, s; };
+  // (expansion, channels, repeats, stride) — Sandler et al. 2018, Table 2.
+  const Row rows[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+                      {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+                      {6, 320, 1, 1}};
+  for (const Row& r : rows) {
+    for (int i = 0; i < r.n; ++i) {
+      x = inverted_residual(b, x, r.c, i == 0 ? r.s : 1, r.t);
+    }
+  }
+  x = b.relu6(b.batch_norm(b.conv(x, 1280, 1, 1)));
+  return std::move(b).finish(classes);
+}
+
+CompGraph build_mobilenet_v3(bool large, TensorShape in, int classes) {
+  GraphBuilder b(large ? "mobilenet_v3_large" : "mobilenet_v3_small", in);
+  int x = b.hard_swish(b.batch_norm(b.conv(b.input(), 16, 3, 2)));
+  struct Row { int k, exp, c, se, hs, s; };
+  // Howard et al. 2019, Tables 1–2 (k, expansion size, out, SE, HS, stride).
+  const Row large_rows[] = {
+      {3, 16, 16, 0, 0, 1},   {3, 64, 24, 0, 0, 2},   {3, 72, 24, 0, 0, 1},
+      {5, 72, 40, 1, 0, 2},   {5, 120, 40, 1, 0, 1},  {5, 120, 40, 1, 0, 1},
+      {3, 240, 80, 0, 1, 2},  {3, 200, 80, 0, 1, 1},  {3, 184, 80, 0, 1, 1},
+      {3, 184, 80, 0, 1, 1},  {3, 480, 112, 1, 1, 1}, {3, 672, 112, 1, 1, 1},
+      {5, 672, 160, 1, 1, 2}, {5, 960, 160, 1, 1, 1}, {5, 960, 160, 1, 1, 1}};
+  const Row small_rows[] = {
+      {3, 16, 16, 1, 0, 2},  {3, 72, 24, 0, 0, 2},   {3, 88, 24, 0, 0, 1},
+      {5, 96, 40, 1, 1, 2},  {5, 240, 40, 1, 1, 1},  {5, 240, 40, 1, 1, 1},
+      {5, 120, 48, 1, 1, 1}, {5, 144, 48, 1, 1, 1},  {5, 288, 96, 1, 1, 2},
+      {5, 576, 96, 1, 1, 1}, {5, 576, 96, 1, 1, 1}};
+  const Row* rows = large ? large_rows : small_rows;
+  const int nrows = large ? 15 : 11;
+  for (int i = 0; i < nrows; ++i) {
+    const Row& r = rows[i];
+    const int in_c = b.shape(x).c;
+    const int expand_ratio = std::max(1, r.exp / in_c);
+    x = inverted_residual(b, x, r.c, r.s, expand_ratio, r.hs != 0, r.se != 0,
+                          r.k);
+  }
+  const int last_conv = large ? 960 : 576;
+  x = b.hard_swish(b.batch_norm(b.conv(x, last_conv, 1, 1)));
+  x = b.global_avg_pool(x);
+  x = b.hard_swish(b.conv(x, large ? 1280 : 1024, 1, 1, true, "pre_classifier"));
+  x = b.flatten(x);
+  x = b.linear(x, classes, "classifier");
+  b.softmax(x);
+  return std::move(b).take();
+}
+
+CompGraph build_efficientnet(int variant, TensorShape in, int classes) {
+  PDDL_CHECK(variant >= 0 && variant <= 4, "supported variants: B0..B4");
+  // Compound scaling coefficients (Tan & Le 2019): width, depth multipliers.
+  const double width_mult[] = {1.0, 1.0, 1.1, 1.2, 1.4};
+  const double depth_mult[] = {1.0, 1.1, 1.2, 1.4, 1.8};
+  const double wm = width_mult[variant];
+  const double dm = depth_mult[variant];
+  GraphBuilder b("efficientnet_b" + std::to_string(variant), in);
+
+  auto scale_c = [&](int c) { return make_divisible(c * wm); };
+  auto scale_d = [&](int d) {
+    return static_cast<int>(std::ceil(d * dm));
+  };
+
+  int x = b.swish(b.batch_norm(b.conv(b.input(), scale_c(32), 3, 2)));
+  struct Row { int t, c, n, s, k; };
+  // MBConv settings — Tan & Le 2019, Table 1.
+  const Row rows[] = {{1, 16, 1, 1, 3},  {6, 24, 2, 2, 3},  {6, 40, 2, 2, 5},
+                      {6, 80, 3, 2, 3},  {6, 112, 3, 1, 5}, {6, 192, 4, 2, 5},
+                      {6, 320, 1, 1, 3}};
+  for (const Row& r : rows) {
+    const int out_c = scale_c(r.c);
+    const int repeats = scale_d(r.n);
+    for (int i = 0; i < repeats; ++i) {
+      const int in_c = b.shape(x).c;
+      const int stride = (i == 0) ? r.s : 1;
+      const int hidden = in_c * r.t;
+      // MBConv = inverted residual with swish + SE(r=0.25 of input).
+      int y = x;
+      if (r.t != 1) y = b.swish(b.batch_norm(b.conv(y, hidden, 1, 1)));
+      int st = stride;
+      if (st == 2 && b.shape(y).h == 1) st = 1;
+      y = b.swish(b.batch_norm(b.depthwise_conv(y, r.k, st)));
+      y = b.squeeze_excite(y, std::max(1, in_c / 4), /*hard=*/false);
+      y = b.batch_norm(b.conv(y, out_c, 1, 1));
+      if (st == 1 && in_c == out_c) y = b.add({x, y});
+      x = y;
+    }
+  }
+  x = b.swish(b.batch_norm(b.conv(x, scale_c(1280), 1, 1)));
+  return std::move(b).finish(classes);
+}
+
+CompGraph build_shufflenet_v2(double width_mult, TensorShape in, int classes) {
+  // Stage channels for ×0.5 and ×1.0 (Ma et al. 2018, Table 5).
+  int stages[3];
+  int final_c;
+  std::string suffix;
+  if (width_mult == 0.5) {
+    stages[0] = 48; stages[1] = 96; stages[2] = 192;
+    final_c = 1024;
+    suffix = "x0_5";
+  } else {
+    stages[0] = 116; stages[1] = 232; stages[2] = 464;
+    final_c = 1024;
+    suffix = "x1_0";
+  }
+  GraphBuilder b("shufflenet_v2_" + suffix, in);
+  int x = b.conv_bn_relu(b.input(), 24, 3, 2);
+  if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+  const int repeats[3] = {4, 8, 4};
+  for (int stage = 0; stage < 3; ++stage) {
+    const int out_c = stages[stage];
+    const int branch_c = out_c / 2;
+    for (int i = 0; i < repeats[stage]; ++i) {
+      if (i == 0) {
+        // Downsampling unit: both branches convolve, concat doubles width.
+        int st = (b.shape(x).h > 1) ? 2 : 1;
+        int left = b.batch_norm(b.depthwise_conv(x, 3, st));
+        left = b.conv_bn_relu(left, branch_c, 1, 1);
+        int right = b.conv_bn_relu(x, branch_c, 1, 1);
+        right = b.batch_norm(b.depthwise_conv(right, 3, st));
+        right = b.conv_bn_relu(right, branch_c, 1, 1);
+        x = b.channel_shuffle(b.concat({left, right}), 2);
+      } else {
+        // Basic unit: split is modelled as a 1×1 conv halving channels on the
+        // active branch and an identity for the passthrough.
+        int right = b.conv_bn_relu(x, branch_c, 1, 1);
+        right = b.batch_norm(b.depthwise_conv(right, 3, 1));
+        right = b.conv_bn_relu(right, branch_c, 1, 1);
+        int left = b.conv(x, branch_c, 1, 1, false, "split_passthrough");
+        x = b.channel_shuffle(b.concat({left, right}), 2);
+      }
+    }
+  }
+  x = b.conv_bn_relu(x, final_c, 1, 1);
+  return std::move(b).finish(classes);
+}
+
+}  // namespace pddl::graph

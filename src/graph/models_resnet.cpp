@@ -1,0 +1,127 @@
+// ResNet / ResNeXt / Wide-ResNet and DenseNet builders.
+#include "graph/builder.hpp"
+#include "graph/models.hpp"
+
+namespace pddl::graph {
+
+namespace {
+
+// BasicBlock (ResNet-18/34): two 3×3 convs + identity/projection shortcut.
+int basic_block(GraphBuilder& b, int x, int planes, int stride) {
+  const int in_c = b.shape(x).c;
+  int out = b.conv_bn_relu(x, planes, 3, stride);
+  out = b.batch_norm(b.conv(out, planes, 3, 1));
+  int shortcut = x;
+  if (stride != 1 || in_c != planes) {
+    shortcut = b.batch_norm(b.conv(x, planes, 1, stride, false, "downsample"));
+  }
+  return b.relu(b.add({out, shortcut}));
+}
+
+// Bottleneck (ResNet-50+/ResNeXt/WideResNet): 1×1 reduce, 3×3 (possibly
+// grouped), 1×1 expand ×4.
+int bottleneck(GraphBuilder& b, int x, int planes, int stride, int groups,
+               int width_per_group) {
+  const int in_c = b.shape(x).c;
+  const int width = planes * width_per_group / 64 * groups;
+  const int out_c = planes * 4;
+  int out = b.conv_bn_relu(x, width, 1, 1);
+  if (groups > 1) {
+    out = b.relu(b.batch_norm(b.group_conv(out, width, 3, stride, groups)));
+  } else {
+    out = b.conv_bn_relu(out, width, 3, stride);
+  }
+  out = b.batch_norm(b.conv(out, out_c, 1, 1));
+  int shortcut = x;
+  if (stride != 1 || in_c != out_c) {
+    shortcut = b.batch_norm(b.conv(x, out_c, 1, stride, false, "downsample"));
+  }
+  return b.relu(b.add({out, shortcut}));
+}
+
+}  // namespace
+
+CompGraph build_resnet(int depth, TensorShape in, int classes, int groups,
+                       int width_per_group) {
+  struct Cfg {
+    bool basic;
+    int blocks[4];
+  };
+  Cfg cfg;
+  switch (depth) {
+    case 18:  cfg = {true, {2, 2, 2, 2}}; break;
+    case 34:  cfg = {true, {3, 4, 6, 3}}; break;
+    case 50:  cfg = {false, {3, 4, 6, 3}}; break;
+    case 101: cfg = {false, {3, 4, 23, 3}}; break;
+    case 152: cfg = {false, {3, 8, 36, 3}}; break;
+    default:
+      PDDL_CHECK(false, "unsupported ResNet depth ", depth);
+  }
+  std::string name = "resnet" + std::to_string(depth);
+  if (groups > 1) {
+    name = "resnext" + std::to_string(depth) + "_" + std::to_string(groups) +
+           "x" + std::to_string(width_per_group) + "d";
+  } else if (width_per_group != 64) {
+    name = "wide_resnet" + std::to_string(depth) + "_" +
+           std::to_string(width_per_group / 64);
+  }
+  GraphBuilder b(name, in);
+  // Stem: torchvision uses 7×7/s2 + maxpool; for small (CIFAR-sized) inputs
+  // we keep it, the "same" padding shape math handles it.
+  int x = b.conv_bn_relu(b.input(), 64, 7, 2);
+  if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+  const int planes[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int blk = 0; blk < cfg.blocks[stage]; ++blk) {
+      int stride = (stage > 0 && blk == 0) ? 2 : 1;
+      if (stride == 2 && b.shape(x).h == 1) stride = 1;  // tiny inputs
+      if (cfg.basic) {
+        x = basic_block(b, x, planes[stage], stride);
+      } else {
+        x = bottleneck(b, x, planes[stage], stride, groups, width_per_group);
+      }
+    }
+  }
+  return std::move(b).finish(classes);
+}
+
+CompGraph build_densenet(int depth, TensorShape in, int classes) {
+  struct Cfg {
+    int growth;
+    int init_features;
+    int blocks[4];
+  };
+  Cfg cfg;
+  switch (depth) {
+    case 121: cfg = {32, 64, {6, 12, 24, 16}}; break;
+    case 161: cfg = {48, 96, {6, 12, 36, 24}}; break;
+    case 169: cfg = {32, 64, {6, 12, 32, 32}}; break;
+    case 201: cfg = {32, 64, {6, 12, 48, 32}}; break;
+    default:
+      PDDL_CHECK(false, "unsupported DenseNet depth ", depth);
+  }
+  GraphBuilder b("densenet" + std::to_string(depth), in);
+  int x = b.conv_bn_relu(b.input(), cfg.init_features, 7, 2);
+  if (b.shape(x).h > 1) x = b.max_pool(x, 3, 2);
+  for (int stage = 0; stage < 4; ++stage) {
+    // Dense block: every layer concatenates its output onto the running
+    // feature map (bn → relu → 1×1 conv → bn → relu → 3×3 conv).
+    for (int layer = 0; layer < cfg.blocks[stage]; ++layer) {
+      int y = b.relu(b.batch_norm(x));
+      y = b.conv(y, 4 * cfg.growth, 1, 1);
+      y = b.relu(b.batch_norm(y));
+      y = b.conv(y, cfg.growth, 3, 1);
+      x = b.concat({x, y});
+    }
+    if (stage < 3) {
+      // Transition: halve channels and spatial dims.
+      int y = b.relu(b.batch_norm(x));
+      y = b.conv(y, b.shape(y).c / 2, 1, 1);
+      x = (b.shape(y).h > 1) ? b.avg_pool(y, 2, 2) : y;
+    }
+  }
+  x = b.relu(b.batch_norm(x));
+  return std::move(b).finish(classes);
+}
+
+}  // namespace pddl::graph

@@ -1,0 +1,60 @@
+#include "graph/op_type.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace pddl::graph {
+
+const std::string& op_name(OpType type) {
+  static const std::array<std::string, kNumOpTypes> names = {
+      "input",         "conv",          "group_conv",    "depthwise_conv",
+      "linear",        "bias_add",      "batch_norm",    "layer_norm",
+      "lrn",           "relu",          "relu6",         "sigmoid",
+      "tanh",          "hard_swish",    "hard_sigmoid",  "swish",
+      "gelu",          "softmax",       "max_pool",      "avg_pool",
+      "global_avg_pool", "add",         "mul",           "concat",
+      "channel_shuffle", "flatten",     "dropout"};
+  const auto idx = static_cast<std::size_t>(type);
+  PDDL_CHECK(idx < kNumOpTypes, "invalid OpType");
+  return names[idx];
+}
+
+bool op_has_params(OpType type) {
+  switch (type) {
+    case OpType::kConv:
+    case OpType::kGroupConv:
+    case OpType::kDepthwiseConv:
+    case OpType::kLinear:
+    case OpType::kBiasAdd:
+    case OpType::kBatchNorm:
+    case OpType::kLayerNorm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_is_conv(OpType type) {
+  return type == OpType::kConv || type == OpType::kGroupConv ||
+         type == OpType::kDepthwiseConv;
+}
+
+bool op_is_activation(OpType type) {
+  switch (type) {
+    case OpType::kRelu:
+    case OpType::kRelu6:
+    case OpType::kSigmoid:
+    case OpType::kTanh:
+    case OpType::kHardSwish:
+    case OpType::kHardSigmoid:
+    case OpType::kSwish:
+    case OpType::kGelu:
+    case OpType::kSoftmax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace pddl::graph

@@ -1,0 +1,63 @@
+// Primitive-operation taxonomy for DNN computational graphs (§II-B, Fig. 3).
+//
+// Each node of a computational graph performs exactly one primitive
+// operation.  The set below covers everything needed by the 31
+// torchvision-family architectures in src/graph/builders/ plus the DARTS
+// primitives used to train the GHN: convolutions (dense / grouped /
+// depthwise), normalizations, activations, poolings, and the structural ops
+// (add / concat / channel shuffle) that create the DAG topology.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pddl::graph {
+
+enum class OpType : int {
+  kInput = 0,        // graph source (the image batch)
+  kConv,             // dense 2-D convolution
+  kGroupConv,        // grouped convolution (ResNeXt, ShuffleNet)
+  kDepthwiseConv,    // depthwise convolution (MobileNet, EfficientNet)
+  kLinear,           // fully connected
+  kBiasAdd,          // standalone bias addition
+  kBatchNorm,
+  kLayerNorm,
+  kLrn,              // local response normalization (AlexNet, GoogLeNet)
+  kRelu,
+  kRelu6,
+  kSigmoid,
+  kTanh,
+  kHardSwish,        // MobileNet-V3
+  kHardSigmoid,      // MobileNet-V3 SE gate
+  kSwish,            // EfficientNet (SiLU)
+  kGelu,
+  kSoftmax,
+  kMaxPool,
+  kAvgPool,
+  kGlobalAvgPool,
+  kAdd,              // elementwise sum (residual connections)
+  kMul,              // elementwise scale (squeeze-and-excitation)
+  kConcat,           // channel concatenation (DenseNet, Inception)
+  kChannelShuffle,   // ShuffleNet-V2
+  kFlatten,
+  kDropout,
+  kOpTypeCount       // sentinel — size of the one-hot encoding
+};
+
+inline constexpr std::size_t kNumOpTypes =
+    static_cast<std::size_t>(OpType::kOpTypeCount);
+
+// Human-readable name ("conv", "batch_norm", ...).  Stable across releases;
+// used in graph dumps and test expectations.
+const std::string& op_name(OpType type);
+
+// True for ops that carry learnable parameters.
+bool op_has_params(OpType type);
+
+// True for convolution variants.
+bool op_is_conv(OpType type);
+
+// True for activation functions.
+bool op_is_activation(OpType type);
+
+}  // namespace pddl::graph

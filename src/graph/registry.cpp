@@ -1,0 +1,86 @@
+// Model registry: the 31 evaluation architectures (§IV-A2).
+#include <algorithm>
+
+#include "graph/models.hpp"
+
+namespace pddl::graph {
+
+const std::vector<ModelSpec>& model_registry() {
+  static const std::vector<ModelSpec> registry = [] {
+    std::vector<ModelSpec> r;
+    auto reg = [&r](std::string name, std::string family,
+                    std::function<CompGraph(TensorShape, int)> fn) {
+      r.push_back({std::move(name), std::move(family), std::move(fn)});
+    };
+    reg("alexnet", "alexnet", build_alexnet);
+    for (int d : {11, 13, 16, 19}) {
+      reg("vgg" + std::to_string(d), "vgg",
+          [d](TensorShape in, int c) { return build_vgg(d, false, in, c); });
+    }
+    reg("vgg16_bn", "vgg",
+        [](TensorShape in, int c) { return build_vgg(16, true, in, c); });
+    for (int d : {18, 34, 50, 101, 152}) {
+      reg("resnet" + std::to_string(d), "resnet",
+          [d](TensorShape in, int c) { return build_resnet(d, in, c); });
+    }
+    reg("resnext50_32x4d", "resnext", [](TensorShape in, int c) {
+      return build_resnet(50, in, c, /*groups=*/32, /*width=*/4);
+    });
+    reg("resnext101_32x8d", "resnext", [](TensorShape in, int c) {
+      return build_resnet(101, in, c, /*groups=*/32, /*width=*/8);
+    });
+    reg("wide_resnet50_2", "wide_resnet", [](TensorShape in, int c) {
+      return build_resnet(50, in, c, /*groups=*/1, /*width=*/128);
+    });
+    reg("wide_resnet101_2", "wide_resnet", [](TensorShape in, int c) {
+      return build_resnet(101, in, c, /*groups=*/1, /*width=*/128);
+    });
+    for (int d : {121, 161, 169, 201}) {
+      reg("densenet" + std::to_string(d), "densenet",
+          [d](TensorShape in, int c) { return build_densenet(d, in, c); });
+    }
+    reg("squeezenet1_0", "squeezenet", [](TensorShape in, int c) {
+      return build_squeezenet("1_0", in, c);
+    });
+    reg("squeezenet1_1", "squeezenet", [](TensorShape in, int c) {
+      return build_squeezenet("1_1", in, c);
+    });
+    reg("mobilenet_v2", "mobilenet", build_mobilenet_v2);
+    reg("mobilenet_v3_small", "mobilenet", [](TensorShape in, int c) {
+      return build_mobilenet_v3(false, in, c);
+    });
+    reg("mobilenet_v3_large", "mobilenet", [](TensorShape in, int c) {
+      return build_mobilenet_v3(true, in, c);
+    });
+    for (int v : {0, 1, 2, 3}) {
+      reg("efficientnet_b" + std::to_string(v), "efficientnet",
+          [v](TensorShape in, int c) { return build_efficientnet(v, in, c); });
+    }
+    reg("shufflenet_v2_x0_5", "shufflenet", [](TensorShape in, int c) {
+      return build_shufflenet_v2(0.5, in, c);
+    });
+    reg("shufflenet_v2_x1_0", "shufflenet", [](TensorShape in, int c) {
+      return build_shufflenet_v2(1.0, in, c);
+    });
+    reg("googlenet", "googlenet", build_googlenet);
+    return r;
+  }();
+  return registry;
+}
+
+bool has_model(const std::string& name) {
+  const auto& r = model_registry();
+  return std::any_of(r.begin(), r.end(),
+                     [&](const ModelSpec& s) { return s.name == name; });
+}
+
+CompGraph build_model(const std::string& name, TensorShape input,
+                      int num_classes) {
+  for (const ModelSpec& s : model_registry()) {
+    if (s.name == name) return s.build(input, num_classes);
+  }
+  PDDL_CHECK(false, "unknown model '", name,
+             "' — see graph::model_registry() for the supported set");
+}
+
+}  // namespace pddl::graph

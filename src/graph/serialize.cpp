@@ -1,0 +1,136 @@
+#include "graph/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace pddl::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'D', 'C', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  PDDL_CHECK(is.good(), "graph stream truncated");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto len = read_pod<std::uint32_t>(is);
+  PDDL_CHECK(len < (1u << 20), "unreasonable string length in graph file");
+  std::string s(len, '\0');
+  is.read(s.data(), len);
+  PDDL_CHECK(is.good(), "graph stream truncated");
+  return s;
+}
+
+}  // namespace
+
+void save_graph(std::ostream& os, const CompGraph& g) {
+  os.write(kMagic, 4);
+  write_pod<std::uint32_t>(os, kVersion);
+  write_string(os, g.name());
+  write_pod<std::uint64_t>(os, g.num_nodes());
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto& n = g.node(static_cast<int>(i));
+    write_pod<std::int32_t>(os, static_cast<std::int32_t>(n.type));
+    write_pod<std::int32_t>(os, n.out_shape.c);
+    write_pod<std::int32_t>(os, n.out_shape.h);
+    write_pod<std::int32_t>(os, n.out_shape.w);
+    write_pod<std::int64_t>(os, n.params);
+    write_pod<std::int64_t>(os, n.flops);
+    write_pod<std::int32_t>(os, n.attrs.kernel);
+    write_pod<std::int32_t>(os, n.attrs.stride);
+    write_pod<std::int32_t>(os, n.attrs.groups);
+    write_string(os, n.label);
+    const auto& ins = g.in_edges(static_cast<int>(i));
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(ins.size()));
+    for (int in : ins) write_pod<std::int32_t>(os, in);
+  }
+  PDDL_CHECK(os.good(), "failed writing graph");
+}
+
+CompGraph load_graph(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  PDDL_CHECK(is.good() && std::string(magic, 4) == "PDCG",
+             "not a computational-graph file");
+  const auto version = read_pod<std::uint32_t>(is);
+  PDDL_CHECK(version == kVersion, "unsupported graph file version ", version);
+  CompGraph g(read_string(is));
+  const auto count = read_pod<std::uint64_t>(is);
+  PDDL_CHECK(count > 0 && count < (1ull << 24), "bad node count ", count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CompGraph::Node n;
+    const auto type = read_pod<std::int32_t>(is);
+    PDDL_CHECK(type >= 0 && type < static_cast<std::int32_t>(kNumOpTypes),
+               "bad op type ", type);
+    n.type = static_cast<OpType>(type);
+    n.out_shape.c = read_pod<std::int32_t>(is);
+    n.out_shape.h = read_pod<std::int32_t>(is);
+    n.out_shape.w = read_pod<std::int32_t>(is);
+    n.params = read_pod<std::int64_t>(is);
+    n.flops = read_pod<std::int64_t>(is);
+    n.attrs.kernel = read_pod<std::int32_t>(is);
+    n.attrs.stride = read_pod<std::int32_t>(is);
+    n.attrs.groups = read_pod<std::int32_t>(is);
+    n.label = read_string(is);
+    const auto in_count = read_pod<std::uint32_t>(is);
+    std::vector<int> ins(in_count);
+    for (auto& in : ins) in = read_pod<std::int32_t>(is);
+    g.add_node(std::move(n), ins);
+  }
+  g.validate();
+  return g;
+}
+
+void save_graph_file(const std::string& path, const CompGraph& g) {
+  std::ofstream os(path, std::ios::binary);
+  PDDL_CHECK(os.good(), "cannot open for write: ", path);
+  save_graph(os, g);
+}
+
+CompGraph load_graph_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PDDL_CHECK(is.good(), "cannot open for read: ", path);
+  return load_graph(is);
+}
+
+std::string to_dot(const CompGraph& g) {
+  std::ostringstream os;
+  const double total_flops =
+      static_cast<double>(std::max<std::int64_t>(1, g.total_flops()));
+  os << "digraph \"" << g.name() << "\" {\n"
+     << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto& n = g.node(static_cast<int>(i));
+    const double share = 100.0 * static_cast<double>(n.flops) / total_flops;
+    os << "  n" << i << " [label=\"" << op_name(n.type) << "\\n"
+       << n.out_shape.c << "x" << n.out_shape.h << "x" << n.out_shape.w;
+    if (share >= 0.1) {
+      os << "\\n" << std::fixed << std::setprecision(1) << share << "% flops";
+    }
+    os << "\"];\n";
+    for (int in : g.in_edges(static_cast<int>(i))) {
+      os << "  n" << in << " -> n" << i << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pddl::graph

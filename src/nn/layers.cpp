@@ -1,0 +1,175 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace pddl::nn {
+
+Var activate(Var x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return ag::relu(x);
+    case Activation::kTanh:
+      return ag::tanh_op(x);
+    case Activation::kSigmoid:
+      return ag::sigmoid(x);
+  }
+  PDDL_CHECK(false, "unknown activation");
+}
+
+std::size_t Module::num_scalars() const {
+  std::size_t n = 0;
+  for (const Matrix* p : parameters()) n += p->size();
+  return n;
+}
+
+namespace {
+// Xavier/Glorot uniform: U(−a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Matrix xavier(std::size_t in, std::size_t out, Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(in + out));
+  return Matrix::uniform(in, out, rng, -a, a);
+}
+}  // namespace
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng, bool bias)
+    : w_(xavier(in, out, rng)), has_bias_(bias) {
+  if (bias) b_ = Matrix(1, out);
+}
+
+Var Linear::forward(Ctx& ctx, Var x) {
+  Var y = ag::matmul(x, ctx.leaf(w_));
+  if (has_bias_) y = ag::add_row_broadcast(y, ctx.leaf(b_));
+  return y;
+}
+
+std::vector<Matrix*> Linear::parameters() {
+  std::vector<Matrix*> ps{&w_};
+  if (has_bias_) ps.push_back(&b_);
+  return ps;
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Rng& rng, Activation hidden_act)
+    : hidden_act_(hidden_act) {
+  PDDL_CHECK(dims.size() >= 2, "Mlp needs at least {in, out} dims");
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Var Mlp::forward(Ctx& ctx, Var x) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i].forward(ctx, x);
+    if (i + 1 < layers_.size()) x = activate(x, hidden_act_);
+  }
+  return x;
+}
+
+std::vector<Matrix*> Mlp::parameters() {
+  std::vector<Matrix*> ps;
+  for (auto& l : layers_) {
+    for (Matrix* p : l.parameters()) ps.push_back(p);
+  }
+  return ps;
+}
+
+GruCell::GruCell(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : wz_(xavier(input_dim, hidden_dim, rng)),
+      uz_(xavier(hidden_dim, hidden_dim, rng)),
+      bz_(1, hidden_dim),
+      wr_(xavier(input_dim, hidden_dim, rng)),
+      ur_(xavier(hidden_dim, hidden_dim, rng)),
+      br_(1, hidden_dim),
+      wn_(xavier(input_dim, hidden_dim, rng)),
+      un_(xavier(hidden_dim, hidden_dim, rng)),
+      bn_(1, hidden_dim) {}
+
+Var GruCell::forward(Ctx& ctx, Var h, Var m) {
+  PDDL_CHECK(h.cols() == hidden_dim(), "GruCell: h has wrong width");
+  PDDL_CHECK(m.cols() == input_dim(), "GruCell: m has wrong width");
+  using namespace ag;
+  Var z = sigmoid(add_row_broadcast(
+      add(matmul(m, ctx.leaf(wz_)), matmul(h, ctx.leaf(uz_))), ctx.leaf(bz_)));
+  Var r = sigmoid(add_row_broadcast(
+      add(matmul(m, ctx.leaf(wr_)), matmul(h, ctx.leaf(ur_))), ctx.leaf(br_)));
+  Var n = tanh_op(add_row_broadcast(
+      add(matmul(m, ctx.leaf(wn_)), matmul(mul(r, h), ctx.leaf(un_))),
+      ctx.leaf(bn_)));
+  // h' = (1 − z)∘n + z∘h = n − z∘n + z∘h.
+  return add(sub(n, mul(z, n)), mul(z, h));
+}
+
+std::vector<Matrix*> GruCell::parameters() {
+  return {&wz_, &uz_, &bz_, &wr_, &ur_, &br_, &wn_, &un_, &bn_};
+}
+
+// ---- serialization ----
+
+namespace {
+constexpr char kMagic[4] = {'P', 'D', 'N', 'N'};
+
+template <typename T>
+void write_pod(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  PDDL_CHECK(is.good(), "parameter stream truncated");
+  return v;
+}
+}  // namespace
+
+void save_parameters(std::ostream& os, const std::vector<const Matrix*>& ps) {
+  os.write(kMagic, 4);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(ps.size()));
+  for (const Matrix* p : ps) {
+    write_pod<std::uint64_t>(os, p->rows());
+    write_pod<std::uint64_t>(os, p->cols());
+    os.write(reinterpret_cast<const char*>(p->data()),
+             static_cast<std::streamsize>(p->size() * sizeof(double)));
+  }
+  PDDL_CHECK(os.good(), "failed writing parameters");
+}
+
+void load_parameters(std::istream& is, const std::vector<Matrix*>& ps) {
+  char magic[4];
+  is.read(magic, 4);
+  PDDL_CHECK(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+             "bad parameter file magic");
+  const auto count = read_pod<std::uint32_t>(is);
+  PDDL_CHECK(count == ps.size(), "parameter count mismatch: file has ", count,
+             ", module expects ", ps.size());
+  for (Matrix* p : ps) {
+    const auto rows = read_pod<std::uint64_t>(is);
+    const auto cols = read_pod<std::uint64_t>(is);
+    PDDL_CHECK(rows == p->rows() && cols == p->cols(),
+               "parameter shape mismatch: file has ", rows, "x", cols,
+               ", module expects ", p->rows(), "x", p->cols());
+    is.read(reinterpret_cast<char*>(p->data()),
+            static_cast<std::streamsize>(p->size() * sizeof(double)));
+    PDDL_CHECK(is.good(), "parameter stream truncated");
+  }
+}
+
+void save_parameters_file(const std::string& path, Module& m) {
+  std::ofstream os(path, std::ios::binary);
+  PDDL_CHECK(os.good(), "cannot open for write: ", path);
+  auto ps = m.parameters();
+  save_parameters(os, {ps.begin(), ps.end()});
+}
+
+void load_parameters_file(const std::string& path, Module& m) {
+  std::ifstream is(path, std::ios::binary);
+  PDDL_CHECK(is.good(), "cannot open for read: ", path);
+  load_parameters(is, m.parameters());
+}
+
+}  // namespace pddl::nn

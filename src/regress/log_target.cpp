@@ -1,0 +1,30 @@
+#include "regress/log_target.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pddl::regress {
+
+void LogTargetRegressor::fit(const RegressionData& data) {
+  RegressionData logged;
+  logged.x = data.x;
+  logged.y.resize(data.y.size());
+  log_min_ = std::numeric_limits<double>::infinity();
+  log_max_ = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < data.y.size(); ++i) {
+    PDDL_CHECK(data.y[i] > 0.0,
+               "log-target fit requires positive labels; got ", data.y[i]);
+    logged.y[i] = std::log(data.y[i]);
+    log_min_ = std::min(log_min_, logged.y[i]);
+    log_max_ = std::max(log_max_, logged.y[i]);
+  }
+  inner_->fit(logged);
+}
+
+double LogTargetRegressor::predict(const Vector& features) const {
+  const double raw = inner_->predict(features);
+  return std::exp(std::clamp(raw, log_min_ - 1.0, log_max_ + 1.0));
+}
+
+}  // namespace pddl::regress

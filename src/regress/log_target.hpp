@@ -1,0 +1,45 @@
+// Log-target wrapper: fit any regressor on log(y) and exponentiate its
+// predictions.
+//
+// Training times span orders of magnitude (a MobileNet epoch on 20 GPUs vs
+// VGG-16 on one CPU server), and PredictDDL is judged on *relative* error
+// (§IV: Predicted/Actual).  A least-squares fit on raw seconds minimises
+// absolute error and lets the big workloads dominate; fitting log-seconds
+// makes the squared loss correspond to relative error, which is the metric
+// that matters.  Any base regressor (PR, LR, SVR, MLP) can be wrapped.
+#pragma once
+
+#include <memory>
+
+#include "regress/regressor.hpp"
+
+namespace pddl::regress {
+
+class LogTargetRegressor : public Regressor {
+ public:
+  explicit LogTargetRegressor(std::unique_ptr<Regressor> inner)
+      : inner_(std::move(inner)) {
+    PDDL_CHECK(inner_ != nullptr, "LogTargetRegressor needs a base model");
+  }
+
+  void fit(const RegressionData& data) override;
+  bool fitted() const override { return inner_->fitted(); }
+  double predict(const Vector& features) const override;
+  std::string name() const override { return "log_" + inner_->name(); }
+  std::unique_ptr<Regressor> clone_config() const override {
+    return std::make_unique<LogTargetRegressor>(inner_->clone_config());
+  }
+
+  const Regressor& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<Regressor> inner_;
+  // Predictions are clamped to the observed label range widened by one
+  // e-fold on each side: a performance predictor extrapolating orders of
+  // magnitude beyond anything it has seen is returning noise, and the clamp
+  // converts that failure mode into a bounded, conservative estimate.
+  double log_min_ = 0.0;
+  double log_max_ = 0.0;
+};
+
+}  // namespace pddl::regress

@@ -1,0 +1,52 @@
+#include "regress/mlp_regressor.hpp"
+
+#include <cmath>
+
+#include "autograd/optim.hpp"
+
+namespace pddl::regress {
+
+void MlpRegressor::fit(const RegressionData& data) {
+  PDDL_CHECK(data.size() >= 2, "MLP regressor needs at least two samples");
+  PDDL_CHECK(cfg_.hidden_neurons >= 1 && cfg_.hidden_neurons <= 64,
+             "hidden_neurons out of supported range");
+  const std::size_t n = data.size();
+  scaler_.fit(data.x);
+  const Matrix xs = scaler_.transform(data.x);
+
+  y_mean_ = 0.0;
+  for (double v : data.y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : data.y) var += (v - y_mean_) * (v - y_mean_);
+  y_scale_ = std::sqrt(var / static_cast<double>(n));
+  if (y_scale_ < 1e-12) y_scale_ = 1.0;
+  Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) y(i, 0) = (data.y[i] - y_mean_) / y_scale_;
+
+  Rng rng(cfg_.seed);
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<std::size_t>{data.num_features(), cfg_.hidden_neurons, 1},
+      rng, nn::Activation::kTanh);
+  ag::Adam opt(cfg_.learning_rate);
+  opt.register_params(mlp_->parameters());
+
+  for (int e = 0; e < cfg_.epochs; ++e) {
+    nn::Ctx ctx;
+    ag::Var pred = mlp_->forward(ctx, ctx.constant(xs));
+    ag::Var loss = ag::mse(pred, ctx.constant(y));
+    final_loss_ = loss.value()(0, 0);
+    ctx.backward(loss);
+    opt.step(ctx);
+  }
+}
+
+double MlpRegressor::predict(const Vector& features) const {
+  PDDL_CHECK(fitted(), "predict before fit");
+  nn::Ctx ctx;
+  Matrix row = Matrix::row_vector(scaler_.transform(features));
+  ag::Var out = mlp_->forward(ctx, ctx.constant(std::move(row)));
+  return y_mean_ + y_scale_ * out.value()(0, 0);
+}
+
+}  // namespace pddl::regress

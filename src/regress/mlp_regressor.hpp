@@ -1,0 +1,43 @@
+// Multi-layer-perceptron regressor (§IV-B2: "for MLP, we use a single
+// hidden layer with 1 to 5 neurons ... to avoid over-fitting").
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "regress/regressor.hpp"
+
+namespace pddl::regress {
+
+struct MlpRegressorConfig {
+  std::size_t hidden_neurons = 3;  // grid-searched over 1..5
+  int epochs = 400;
+  double learning_rate = 1e-2;
+  std::uint64_t seed = 17;
+};
+
+class MlpRegressor : public Regressor {
+ public:
+  explicit MlpRegressor(MlpRegressorConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const RegressionData& data) override;
+  bool fitted() const override { return mlp_ != nullptr; }
+  double predict(const Vector& features) const override;
+  std::string name() const override { return "mlp"; }
+  std::unique_ptr<Regressor> clone_config() const override {
+    return std::make_unique<MlpRegressor>(cfg_);
+  }
+
+  const MlpRegressorConfig& config() const { return cfg_; }
+  double final_train_loss() const { return final_loss_; }
+
+ private:
+  MlpRegressorConfig cfg_;
+  StandardScaler scaler_;
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+  std::unique_ptr<nn::Mlp> mlp_;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace pddl::regress

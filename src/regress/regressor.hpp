@@ -1,0 +1,34 @@
+// Regressor interface used by PredictDDL's Inference Engine (§III-C):
+// "We train a representative number of regression algorithms, namely linear
+// regression, generalized linear regression with polynomial terms, support
+// vector regression, and multi-layer perceptron, and choose the one that
+// performs best."  All four live behind this interface so new algorithms
+// plug in without touching the engine.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "regress/dataset.hpp"
+
+namespace pddl::regress {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual void fit(const RegressionData& data) = 0;
+  virtual bool fitted() const = 0;
+  virtual double predict(const Vector& features) const = 0;
+  virtual std::string name() const = 0;
+  // Fresh unfitted copy with the same hyper-parameters.
+  virtual std::unique_ptr<Regressor> clone_config() const = 0;
+
+  Vector predict_batch(const Matrix& x) const {
+    Vector out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));
+    return out;
+  }
+};
+
+}  // namespace pddl::regress

@@ -1,0 +1,183 @@
+#include "regress/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pddl::regress {
+
+double Svr::kernel(const Vector& a, const Vector& b) const {
+  if (cfg_.kernel == SvrKernel::kLinear) return dot(a, b);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return std::exp(-cfg_.gamma * sq);
+}
+
+void Svr::fit(const RegressionData& data) {
+  PDDL_CHECK(data.size() >= 2, "SVR needs at least two samples");
+  PDDL_CHECK(cfg_.c > 0 && cfg_.epsilon >= 0, "invalid SVR config");
+  const std::size_t n = data.size();
+
+  scaler_.fit(data.x);
+  support_ = scaler_.transform(data.x);
+
+  // Standardize labels so ε and C keep their usual meaning across targets
+  // of wildly different magnitudes (seconds vs hours).
+  y_mean_ = 0.0;
+  for (double v : data.y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : data.y) var += (v - y_mean_) * (v - y_mean_);
+  y_scale_ = std::sqrt(var / static_cast<double>(n));
+  if (y_scale_ < 1e-12) y_scale_ = 1.0;
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = (data.y[i] - y_mean_) / y_scale_;
+
+  // Precompute the kernel matrix (n ≤ a few thousand in our campaigns).
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(support_.row(i), support_.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+
+  // Expanded variables a[t], t < n → α_i (sign +1), t ≥ n → α*_i (sign −1).
+  const std::size_t nn = 2 * n;
+  Vector a(nn, 0.0);
+  Vector grad(nn);  // ∇(½aᵀQa + pᵀa) = Qa + p; starts at p.
+  for (std::size_t i = 0; i < n; ++i) {
+    grad[i] = cfg_.epsilon - y[i];
+    grad[n + i] = cfg_.epsilon + y[i];
+  }
+  auto sign = [n](std::size_t t) { return t < n ? 1.0 : -1.0; };
+  auto q = [&](std::size_t t, std::size_t u) {
+    const double base = k(t % n, u % n);
+    return sign(t) * sign(u) * base;
+  };
+
+  // SMO with maximal-violating-pair selection (Keerthi et al. / LIBSVM).
+  //   I_up  = {t : (s_t=+1 ∧ a_t<C) ∨ (s_t=−1 ∧ a_t>0)}
+  //   I_low = {t : (s_t=+1 ∧ a_t>0) ∨ (s_t=−1 ∧ a_t<C)}
+  // Optimality: max_{I_up} −s·G ≤ min_{I_low} −s·G + tol.
+  const double c = cfg_.c;
+  int it = 0;
+  for (; it < cfg_.max_iter; ++it) {
+    double gmax = -std::numeric_limits<double>::infinity();
+    double gmin = std::numeric_limits<double>::infinity();
+    std::size_t isel = nn, jsel = nn;
+    for (std::size_t t = 0; t < nn; ++t) {
+      const double s = sign(t);
+      const double v = -s * grad[t];
+      const bool in_up = (s > 0) ? (a[t] < c - 1e-12) : (a[t] > 1e-12);
+      const bool in_low = (s > 0) ? (a[t] > 1e-12) : (a[t] < c - 1e-12);
+      if (in_up && v > gmax) {
+        gmax = v;
+        isel = t;
+      }
+      if (in_low && v < gmin) {
+        gmin = v;
+        jsel = t;
+      }
+    }
+    if (isel == nn || jsel == nn || gmax - gmin < cfg_.tol) break;
+
+    const std::size_t i = isel, j = jsel;
+    const double ai_old = a[i], aj_old = a[j];
+    if (sign(i) != sign(j)) {
+      const double quad =
+          std::max(1e-12, q(i, i) + q(j, j) + 2.0 * q(i, j));
+      const double delta = (-grad[i] - grad[j]) / quad;
+      const double diff = a[i] - a[j];
+      a[i] += delta;
+      a[j] += delta;
+      if (diff > 0) {
+        if (a[j] < 0) { a[j] = 0; a[i] = diff; }
+      } else {
+        if (a[i] < 0) { a[i] = 0; a[j] = -diff; }
+      }
+      if (diff > 0) {
+        if (a[i] > c) { a[i] = c; a[j] = c - diff; }
+      } else {
+        if (a[j] > c) { a[j] = c; a[i] = c + diff; }
+      }
+    } else {
+      const double quad =
+          std::max(1e-12, q(i, i) + q(j, j) - 2.0 * q(i, j));
+      const double delta = (grad[i] - grad[j]) / quad;
+      const double sum = a[i] + a[j];
+      a[i] -= delta;
+      a[j] += delta;
+      if (sum > c) {
+        if (a[i] > c) { a[i] = c; a[j] = sum - c; }
+      } else {
+        if (a[j] < 0) { a[j] = 0; a[i] = sum; }
+      }
+      if (sum > c) {
+        if (a[j] > c) { a[j] = c; a[i] = sum - c; }
+      } else {
+        if (a[i] < 0) { a[i] = 0; a[j] = sum; }
+      }
+    }
+    const double di = a[i] - ai_old;
+    const double dj = a[j] - aj_old;
+    if (di == 0.0 && dj == 0.0) break;  // numerically stuck
+    for (std::size_t t = 0; t < nn; ++t) {
+      grad[t] += q(t, i) * di + q(t, j) * dj;
+    }
+  }
+  iterations_ = it;
+
+  // β_i = α_i − α*_i.
+  beta_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) beta_[i] = a[i] - a[n + i];
+
+  // Bias from free support vectors: f(x_i) = y_i − ε·sign(β_i) for 0<|β|<C.
+  double bsum = 0.0;
+  int bcount = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ab = std::fabs(beta_[i]);
+    if (ab > 1e-8 && ab < cfg_.c - 1e-8) {
+      double f = 0.0;
+      for (std::size_t j = 0; j < n; ++j) f += beta_[j] * k(i, j);
+      const double target = y[i] - cfg_.epsilon * (beta_[i] > 0 ? 1.0 : -1.0);
+      bsum += target - f;
+      ++bcount;
+    }
+  }
+  if (bcount > 0) {
+    bias_ = bsum / bcount;
+  } else {
+    // All SVs at bound (or none): fall back to mean residual.
+    double rsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double f = 0.0;
+      for (std::size_t j = 0; j < n; ++j) f += beta_[j] * k(i, j);
+      rsum += y[i] - f;
+    }
+    bias_ = rsum / static_cast<double>(n);
+  }
+}
+
+double Svr::predict(const Vector& features) const {
+  PDDL_CHECK(fitted(), "predict before fit");
+  const Vector x = scaler_.transform(features);
+  double f = bias_;
+  for (std::size_t i = 0; i < beta_.size(); ++i) {
+    if (beta_[i] == 0.0) continue;
+    f += beta_[i] * kernel(support_.row(i), x);
+  }
+  return y_mean_ + y_scale_ * f;
+}
+
+std::size_t Svr::num_support_vectors() const {
+  std::size_t c = 0;
+  for (double b : beta_) c += (std::fabs(b) > 1e-10);
+  return c;
+}
+
+}  // namespace pddl::regress

@@ -1,0 +1,66 @@
+// ε-insensitive Support Vector Regression trained by Sequential Minimal
+// Optimization (SMO).
+//
+// The dual of ε-SVR is expanded to 2n box-constrained variables
+// a = (α, α*) ∈ [0, C]^{2n} with signs s = (+1…, −1…):
+//
+//   min  ½ aᵀQa + pᵀa    s.t.  sᵀa = 0,   Q = [[K, −K], [−K, K]],
+//                               p = (ε − y ; ε + y)
+//
+// which is exactly the SVC dual shape, so the standard maximal-violating-
+// pair working-set selection applies (Keerthi et al., 2001 / LIBSVM).  The
+// bias b is recovered from the KKT conditions of the free variables.
+//
+// Grid-searched per the paper (§IV-B2): radial and linear kernels, trade-off
+// C ∈ [1, 10³], influence γ ∈ [0.05, 0.5], tube ε ∈ [0.05, 0.2].
+#pragma once
+
+#include "regress/regressor.hpp"
+
+namespace pddl::regress {
+
+enum class SvrKernel { kLinear, kRbf };
+
+struct SvrConfig {
+  SvrKernel kernel = SvrKernel::kRbf;
+  double c = 10.0;        // trade-off parameter
+  double gamma = 0.1;     // RBF width (ignored for linear)
+  double epsilon = 0.1;   // ε-tube half-width
+  int max_iter = 20'000;  // SMO iteration cap
+  double tol = 1e-3;      // KKT violation tolerance
+};
+
+class Svr : public Regressor {
+ public:
+  explicit Svr(SvrConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const RegressionData& data) override;
+  bool fitted() const override { return !beta_.empty(); }
+  double predict(const Vector& features) const override;
+  std::string name() const override {
+    return cfg_.kernel == SvrKernel::kRbf ? "svr_rbf" : "svr_linear";
+  }
+  std::unique_ptr<Regressor> clone_config() const override {
+    return std::make_unique<Svr>(cfg_);
+  }
+
+  const SvrConfig& config() const { return cfg_; }
+  // Number of support vectors (|β_i| > 0).
+  std::size_t num_support_vectors() const;
+  // Iterations the SMO loop used on the last fit.
+  int iterations_used() const { return iterations_; }
+
+ private:
+  double kernel(const Vector& a, const Vector& b) const;
+
+  SvrConfig cfg_;
+  StandardScaler scaler_;   // features
+  double y_mean_ = 0.0;     // label centering improves conditioning
+  double y_scale_ = 1.0;
+  Matrix support_;          // training rows (scaled)
+  Vector beta_;             // α − α* per training row
+  double bias_ = 0.0;
+  int iterations_ = 0;
+};
+
+}  // namespace pddl::regress

@@ -1,0 +1,212 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace pddl::sched {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kFifo:
+      return "fifo";
+    case Policy::kSjf:
+      return "sjf";
+    case Policy::kEasyBackfill:
+      return "easy_backfill";
+  }
+  return "?";
+}
+
+ClusterScheduler::ClusterScheduler(int total_servers)
+    : total_servers_(total_servers) {
+  PDDL_CHECK(total_servers_ > 0, "partition needs at least one server");
+}
+
+namespace {
+
+struct Running {
+  std::size_t queue_index;  // original index into jobs
+  double finish_s;          // actual completion
+  double est_finish_s;      // what the scheduler believes
+  int servers;
+};
+
+}  // namespace
+
+ScheduleResult ClusterScheduler::run(std::vector<Job> jobs,
+                                     Policy policy) const {
+  ScheduleResult result;
+  if (jobs.empty()) return result;
+  for (const Job& j : jobs) {
+    PDDL_CHECK(j.servers >= 1 && j.servers <= total_servers_,
+               "job '", j.id, "' requests ", j.servers, " of ",
+               total_servers_, " servers");
+    PDDL_CHECK(j.actual_s > 0.0 && j.estimate_s > 0.0 && j.submit_s >= 0.0,
+               "job '", j.id, "' has invalid times");
+  }
+
+  // Arrival order (stable on submit time).
+  std::vector<std::size_t> arrival(jobs.size());
+  for (std::size_t i = 0; i < arrival.size(); ++i) arrival[i] = i;
+  std::stable_sort(arrival.begin(), arrival.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].submit_s < jobs[b].submit_s;
+                   });
+
+  double now = 0.0;
+  int free = total_servers_;
+  std::size_t next_arrival = 0;
+  std::vector<std::size_t> queue;  // waiting jobs, FIFO order
+  std::vector<Running> running;
+  std::vector<Placement> placements;
+
+  auto start_job = [&](std::size_t qpos) {
+    const std::size_t idx = queue[qpos];
+    const Job& j = jobs[idx];
+    running.push_back(
+        {idx, now + j.actual_s, now + j.estimate_s, j.servers});
+    free -= j.servers;
+    placements.push_back({j, now, now + j.actual_s});
+    queue.erase(queue.begin() + static_cast<long>(qpos));
+  };
+
+  // Tries to start jobs under the policy; returns true if any started.
+  auto dispatch = [&]() {
+    bool any = false;
+    if (policy == Policy::kSjf) {
+      std::stable_sort(queue.begin(), queue.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return jobs[a].estimate_s < jobs[b].estimate_s;
+                       });
+    }
+    // FIFO/SJF: start in queue order until the head does not fit (strict
+    // head-of-line blocking).
+    while (!queue.empty() && jobs[queue.front()].servers <= free) {
+      start_job(0);
+      any = true;
+    }
+    if (policy != Policy::kEasyBackfill || queue.empty()) return any;
+
+    // EASY: give the head a reservation, then backfill behind it.
+    const Job& head = jobs[queue.front()];
+    // When (per estimates) will `head.servers` be free?  Walk running jobs
+    // by estimated finish, accumulating released servers.
+    std::vector<Running> by_est = running;
+    std::sort(by_est.begin(), by_est.end(),
+              [](const Running& a, const Running& b) {
+                return a.est_finish_s < b.est_finish_s;
+              });
+    double shadow = now;
+    int avail = free;
+    int extra = 0;  // servers free at the shadow time beyond head's need
+    for (const Running& r : by_est) {
+      if (avail >= head.servers) break;
+      avail += r.servers;
+      shadow = std::max(now, r.est_finish_s);
+    }
+    extra = avail - head.servers;
+    // Backfill pass over the rest of the queue, in order.
+    for (std::size_t q = 1; q < queue.size();) {
+      const Job& j = jobs[queue[q]];
+      const bool fits_now = j.servers <= free;
+      const bool ends_before_shadow = now + j.estimate_s <= shadow;
+      const bool within_extra = j.servers <= extra;
+      if (fits_now && (ends_before_shadow || within_extra)) {
+        if (!ends_before_shadow) extra -= j.servers;
+        start_job(q);
+        any = true;
+      } else {
+        ++q;
+      }
+    }
+    return any;
+  };
+
+  const double inf = std::numeric_limits<double>::infinity();
+  while (next_arrival < jobs.size() || !queue.empty() || !running.empty()) {
+    // Admit everything that has arrived by `now`.
+    while (next_arrival < jobs.size() &&
+           jobs[arrival[next_arrival]].submit_s <= now) {
+      queue.push_back(arrival[next_arrival]);
+      ++next_arrival;
+    }
+    dispatch();
+    // Advance to the next event: arrival or completion.
+    double next_event = inf;
+    if (next_arrival < jobs.size()) {
+      next_event = jobs[arrival[next_arrival]].submit_s;
+    }
+    std::size_t done = running.size();
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      if (running[i].finish_s < next_event) {
+        next_event = running[i].finish_s;
+        done = i;
+      }
+    }
+    if (next_event == inf) break;  // nothing left to happen
+    now = next_event;
+    if (done < running.size() && running[done].finish_s <= now) {
+      free += running[done].servers;
+      running.erase(running.begin() + static_cast<long>(done));
+    }
+  }
+
+  // Aggregate metrics.
+  result.placements = std::move(placements);
+  double busy = 0.0;
+  for (const Placement& p : result.placements) {
+    result.makespan_s = std::max(result.makespan_s, p.finish_s);
+    result.mean_wait_s += p.wait_s();
+    result.mean_turnaround_s += p.turnaround_s();
+    busy += p.job.actual_s * p.job.servers;
+  }
+  const double n = static_cast<double>(result.placements.size());
+  result.mean_wait_s /= n;
+  result.mean_turnaround_s /= n;
+  result.utilization =
+      busy / (result.makespan_s * static_cast<double>(total_servers_));
+  validate_schedule(result, total_servers_, jobs);
+  return result;
+}
+
+void validate_schedule(const ScheduleResult& result, int total_servers,
+                       const std::vector<Job>& jobs) {
+  PDDL_CHECK(result.placements.size() == jobs.size(),
+             "schedule dropped or duplicated jobs: ", result.placements.size(),
+             " placements for ", jobs.size(), " jobs");
+  // Each job id appears once, never before its submit time, with the right
+  // duration.
+  std::map<std::string, const Job*> by_id;
+  for (const Job& j : jobs) by_id[j.id] = &j;
+  PDDL_CHECK(by_id.size() == jobs.size(), "duplicate job ids in input");
+  for (const Placement& p : result.placements) {
+    auto it = by_id.find(p.job.id);
+    PDDL_CHECK(it != by_id.end(), "unknown job '", p.job.id, "' in schedule");
+    PDDL_CHECK(p.start_s >= it->second->submit_s - 1e-9,
+               "job '", p.job.id, "' started before submission");
+    PDDL_CHECK(std::abs(p.finish_s - p.start_s - it->second->actual_s) < 1e-6,
+               "job '", p.job.id, "' has wrong duration");
+    by_id.erase(it);
+  }
+  // No oversubscription: sweep start/finish events.
+  std::vector<std::pair<double, int>> events;
+  for (const Placement& p : result.placements) {
+    events.push_back({p.start_s, p.job.servers});
+    events.push_back({p.finish_s, -p.job.servers});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;  // releases before allocations
+            });
+  int in_use = 0;
+  for (const auto& [t, delta] : events) {
+    in_use += delta;
+    PDDL_CHECK(in_use <= total_servers, "oversubscription at t=", t, ": ",
+               in_use, " > ", total_servers);
+  }
+}
+
+}  // namespace pddl::sched

@@ -1,0 +1,75 @@
+// Batch-queue scheduler substrate (§I / §III-A design objective 2).
+//
+// The paper motivates performance prediction with workload managers like
+// SLURM: schedulers need job runtimes to order queues and to backfill.
+// This module is a discrete-event simulator of a space-shared cluster
+// partition running rigid parallel jobs:
+//
+//   * kFifo          — arrival order, head-of-line blocking included.
+//   * kSjf           — shortest *estimated* job first (needs a predictor).
+//   * kEasyBackfill  — FIFO head gets a reservation based on estimated
+//                      finish times; later jobs may jump the queue iff they
+//                      are predicted not to delay the reservation.
+//
+// Jobs carry two durations: `actual_s` (what really happens, from the DDL
+// simulator) and `estimate_s` (what the scheduler believes — an oracle,
+// PredictDDL, or Ernest).  Misprediction has the classic consequences:
+// SJF orders the queue wrongly, and backfilled jobs that overrun delay the
+// reserved head job.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pddl::sched {
+
+struct Job {
+  std::string id;
+  int servers = 1;          // rigid allocation
+  double submit_s = 0.0;
+  double actual_s = 0.0;    // ground-truth runtime
+  double estimate_s = 0.0;  // what the scheduler plans with
+};
+
+struct Placement {
+  Job job;
+  double start_s = 0.0;
+  double finish_s = 0.0;  // start + actual
+
+  double wait_s() const { return start_s - job.submit_s; }
+  double turnaround_s() const { return finish_s - job.submit_s; }
+};
+
+struct ScheduleResult {
+  std::vector<Placement> placements;  // in start order
+  double makespan_s = 0.0;
+  double mean_wait_s = 0.0;
+  double mean_turnaround_s = 0.0;
+  // Server-seconds of real work / (makespan × partition size).
+  double utilization = 0.0;
+};
+
+enum class Policy { kFifo, kSjf, kEasyBackfill };
+
+const char* policy_name(Policy p);
+
+class ClusterScheduler {
+ public:
+  explicit ClusterScheduler(int total_servers);
+
+  // Runs the discrete-event simulation over `jobs` (any submit order).
+  ScheduleResult run(std::vector<Job> jobs, Policy policy) const;
+
+ private:
+  int total_servers_;
+};
+
+// Invariant checker used by tests and asserted (in debug builds) after every
+// run: no oversubscription at any instant, no job before its submit time,
+// every job placed exactly once.
+void validate_schedule(const ScheduleResult& result, int total_servers,
+                       const std::vector<Job>& jobs);
+
+}  // namespace pddl::sched

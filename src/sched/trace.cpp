@@ -1,0 +1,45 @@
+#include "sched/trace.hpp"
+
+#include <cmath>
+
+namespace pddl::sched {
+
+std::vector<TraceJob> generate_trace(const sim::DdlSimulator& sim,
+                                     const TraceConfig& cfg,
+                                     const EstimateFn& estimate) {
+  PDDL_CHECK(cfg.num_jobs > 0 && cfg.mean_interarrival_s > 0.0 &&
+                 cfg.min_servers >= 1 && cfg.max_servers >= cfg.min_servers,
+             "invalid TraceConfig");
+  Rng rng(cfg.seed);
+  const auto workloads = workload::table2_cifar_workloads();
+  std::vector<TraceJob> trace;
+  trace.reserve(cfg.num_jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < cfg.num_jobs; ++i) {
+    // Poisson arrivals: exponential inter-arrival gaps.
+    t += -cfg.mean_interarrival_s * std::log(1.0 - rng.uniform());
+    TraceJob tj;
+    tj.workload = workloads[rng.uniform_int(workloads.size())];
+    const int servers = static_cast<int>(
+        rng.uniform_int(cfg.min_servers, cfg.max_servers));
+    const auto cluster = cluster::make_uniform_cluster(cfg.sku, servers);
+    tj.job.id = "job" + std::to_string(i) + "-" + tj.workload.model;
+    tj.job.servers = servers;
+    tj.job.submit_s = t;
+    tj.job.actual_s = sim.run(tj.workload, cluster, rng).total_s;
+    tj.job.estimate_s =
+        estimate ? estimate(tj.workload, cluster) : tj.job.actual_s;
+    PDDL_CHECK(tj.job.estimate_s > 0.0, "estimate must be positive");
+    trace.push_back(std::move(tj));
+  }
+  return trace;
+}
+
+std::vector<Job> to_jobs(const std::vector<TraceJob>& trace) {
+  std::vector<Job> jobs;
+  jobs.reserve(trace.size());
+  for (const TraceJob& tj : trace) jobs.push_back(tj.job);
+  return jobs;
+}
+
+}  // namespace pddl::sched

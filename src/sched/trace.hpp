@@ -1,0 +1,44 @@
+// Synthetic batch-queue traces of DL training jobs.
+//
+// Jobs draw a model from Table II's CIFAR-10 list, a server count, and a
+// Poisson arrival process; the ground-truth runtime comes from the DDL
+// simulator and the scheduler's estimate from a caller-supplied predictor
+// (oracle / PredictDDL / Ernest) — the knob the abl_scheduler bench turns.
+#pragma once
+
+#include <functional>
+
+#include "sched/scheduler.hpp"
+#include "simulator/ddl_simulator.hpp"
+
+namespace pddl::sched {
+
+struct TraceConfig {
+  std::size_t num_jobs = 40;
+  double mean_interarrival_s = 60.0;
+  int min_servers = 1;
+  int max_servers = 8;
+  std::string sku = "p100";
+  std::uint64_t seed = 31337;
+};
+
+// Estimate provider: maps (workload, cluster) to the runtime the scheduler
+// will plan with.
+using EstimateFn = std::function<double(const workload::DlWorkload&,
+                                        const cluster::ClusterSpec&)>;
+
+struct TraceJob {
+  Job job;                       // scheduler view
+  workload::DlWorkload workload; // what the job actually trains
+};
+
+// Samples a trace; `estimate` may be nullptr, in which case estimates equal
+// the actual runtimes (an oracle scheduler).
+std::vector<TraceJob> generate_trace(const sim::DdlSimulator& sim,
+                                     const TraceConfig& cfg,
+                                     const EstimateFn& estimate = nullptr);
+
+// Strips the workload payloads for ClusterScheduler::run.
+std::vector<Job> to_jobs(const std::vector<TraceJob>& trace);
+
+}  // namespace pddl::sched

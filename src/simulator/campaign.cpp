@@ -1,0 +1,138 @@
+#include "simulator/campaign.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/models.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace pddl::sim {
+
+namespace {
+
+struct ConfigPoint {
+  std::string model;
+  workload::DatasetDescriptor dataset;
+  std::string sku;
+  int servers;
+  int batch;
+  int model_index;
+  std::uint64_t stream;  // per-point RNG stream id
+};
+
+}  // namespace
+
+std::vector<Measurement> run_campaign(const DdlSimulator& sim,
+                                      const CampaignConfig& cfg,
+                                      ThreadPool& pool) {
+  PDDL_CHECK(cfg.min_servers >= 1 && cfg.max_servers >= cfg.min_servers,
+             "invalid server range");
+  PDDL_CHECK(!cfg.batch_sizes.empty(), "campaign needs batch sizes");
+
+  std::vector<std::string> models = cfg.models;
+  if (models.empty()) {
+    for (const auto& spec : graph::model_registry()) {
+      models.push_back(spec.name);
+    }
+  }
+
+  std::vector<std::pair<workload::DatasetDescriptor, std::string>> datasets;
+  if (cfg.include_cifar10) {
+    datasets.push_back({workload::cifar10(), cfg.cifar_sku});
+  }
+  if (cfg.include_tiny_imagenet) {
+    datasets.push_back({workload::tiny_imagenet(), cfg.tiny_imagenet_sku});
+  }
+  PDDL_CHECK(!datasets.empty(), "campaign needs at least one dataset");
+
+  // model_index is the position in the global registry (stable across
+  // campaign configurations and CSV round-trips); -1 for custom models.
+  auto registry_index = [](const std::string& name) {
+    const auto& reg = graph::model_registry();
+    for (std::size_t i = 0; i < reg.size(); ++i) {
+      if (reg[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // Enumerate configurations deterministically.
+  std::vector<ConfigPoint> points;
+  std::uint64_t stream = 0;
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    const int reg_idx = registry_index(models[mi]);
+    for (const auto& [ds, sku] : datasets) {
+      for (int n = cfg.min_servers; n <= cfg.max_servers; ++n) {
+        for (int b : cfg.batch_sizes) {
+          points.push_back({models[mi], ds, sku, n, b, reg_idx, stream++});
+        }
+      }
+    }
+  }
+
+  // Build each (model, dataset-resolution) graph once, in parallel.
+  std::map<std::string, const workload::DatasetDescriptor*> graph_keys;
+  for (const auto& p : points) {
+    graph_keys.emplace(p.model + "@" + p.dataset.name, &p.dataset);
+  }
+  std::vector<std::pair<std::string, const workload::DatasetDescriptor*>> keys(
+      graph_keys.begin(), graph_keys.end());
+  std::vector<graph::CompGraph> graphs(keys.size());
+  parallel_for(pool, 0, keys.size(), [&](std::size_t i) {
+    const std::string model = keys[i].first.substr(0, keys[i].first.find('@'));
+    graphs[i] = graph::build_model(model, keys[i].second->input,
+                                   keys[i].second->num_classes);
+  });
+  std::map<std::string, const graph::CompGraph*> graph_by_key;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    graph_by_key[keys[i].first] = &graphs[i];
+  }
+
+  // Price every configuration with its own RNG stream (order-independent
+  // determinism).
+  std::vector<Measurement> out(points.size());
+  parallel_for(pool, 0, points.size(), [&](std::size_t i) {
+    const ConfigPoint& p = points[i];
+    const graph::CompGraph& g = *graph_by_key.at(p.model + "@" + p.dataset.name);
+    workload::DlWorkload w{p.model, p.dataset, p.batch, cfg.epochs};
+    const cluster::ClusterSpec cluster = cluster::make_uniform_cluster(p.sku, p.servers);
+    Rng rng(cfg.seed ^ (p.stream * 0x9e3779b97f4a7c15ULL + 1));
+    const SimResult noisy = sim.run(w, g, cluster, rng);
+    const SimResult clean = sim.expected(w, g, cluster);
+
+    Measurement m;
+    m.model = p.model;
+    m.dataset = p.dataset.name;
+    m.sku = p.sku;
+    m.servers = p.servers;
+    m.batch_size = p.batch;
+    m.epochs = cfg.epochs;
+    m.time_s = noisy.total_s;
+    m.expected_s = clean.total_s;
+    m.model_params = g.total_params();
+    m.model_flops = g.total_flops();
+    m.model_layers = g.num_parametric_layers();
+    m.model_depth = g.depth();
+    m.model_index = p.model_index;
+    m.cluster_features = cluster.features();
+    out[i] = std::move(m);
+  });
+  return out;
+}
+
+std::vector<Measurement> filter_by_dataset(const std::vector<Measurement>& ms,
+                                           const std::string& dataset) {
+  std::vector<Measurement> out;
+  std::copy_if(ms.begin(), ms.end(), std::back_inserter(out),
+               [&](const Measurement& m) { return m.dataset == dataset; });
+  return out;
+}
+
+std::vector<Measurement> filter_by_model(const std::vector<Measurement>& ms,
+                                         const std::string& model) {
+  std::vector<Measurement> out;
+  std::copy_if(ms.begin(), ms.end(), std::back_inserter(out),
+               [&](const Measurement& m) { return m.model == model; });
+  return out;
+}
+
+}  // namespace pddl::sim

@@ -1,0 +1,65 @@
+// Measurement campaign (§IV-A2): "In total, we collect 2,000 data points by
+// training each DL model by using 1–20 high-end servers."
+//
+// The campaign sweeps every registered model over 1..20 servers on both
+// evaluation datasets — CIFAR-10 workloads on the GPU (P100) servers and
+// Tiny-ImageNet workloads on the CPU (E5-2630) servers, matching §IV-B2's
+// observation that "DNNs trained on CIFAR-10 leverage GPUs" — and over a
+// small set of per-server batch sizes.  31 models × 20 cluster sizes ×
+// 2 datasets × 2 batch sizes ≈ 2,480 points.  Runs are priced by the
+// simulator with per-run measurement noise and executed on the thread pool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "simulator/ddl_simulator.hpp"
+
+namespace pddl::sim {
+
+// One collected data point — everything the predictors may featurize.
+struct Measurement {
+  std::string model;
+  std::string dataset;
+  std::string sku;
+  int servers = 0;
+  int batch_size = 0;
+  int epochs = 0;
+  double time_s = 0.0;      // noisy "measured" training time (label)
+  double expected_s = 0.0;  // noise-free time (diagnostics only)
+  // Architecture statistics cached at collection time.
+  std::int64_t model_params = 0;
+  std::int64_t model_flops = 0;
+  int model_layers = 0;  // parametric layers (gray-box feature, Fig. 1/2)
+  int model_depth = 0;
+  int model_index = 0;   // position in the registry (black-box "name" id)
+  Vector cluster_features;
+};
+
+struct CampaignConfig {
+  std::vector<std::string> models;       // empty → all 31 registered models
+  int min_servers = 1;
+  int max_servers = 20;
+  std::vector<int> batch_sizes{32, 64};
+  int epochs = 10;
+  bool include_cifar10 = true;
+  bool include_tiny_imagenet = true;
+  std::string cifar_sku = "p100";        // GPU servers for CIFAR-10
+  std::string tiny_imagenet_sku = "e5_2630";
+  std::uint64_t seed = 2023;
+};
+
+// Runs the campaign in parallel; measurement order is deterministic (one RNG
+// stream per configuration, derived from cfg.seed).
+std::vector<Measurement> run_campaign(const DdlSimulator& sim,
+                                      const CampaignConfig& cfg,
+                                      ThreadPool& pool);
+
+// Filter helpers used by the benches.
+std::vector<Measurement> filter_by_dataset(const std::vector<Measurement>& ms,
+                                           const std::string& dataset);
+std::vector<Measurement> filter_by_model(const std::vector<Measurement>& ms,
+                                         const std::string& model);
+
+}  // namespace pddl::sim

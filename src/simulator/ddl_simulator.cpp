@@ -1,0 +1,175 @@
+#include "simulator/ddl_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pddl::sim {
+
+using graph::CompGraph;
+using graph::OpType;
+
+DdlSimulator::DdlSimulator(SimConfig cfg) : cfg_(cfg) {
+  PDDL_CHECK(cfg_.network_bw_bps > 0 && cfg_.comm_overlap >= 0.0 &&
+                 cfg_.comm_overlap <= 1.0,
+             "invalid SimConfig");
+}
+
+namespace {
+
+// Fraction of GEMM-class efficiency each op class sustains.  Dense convs and
+// linears are compute-bound; depthwise convs, normalizations, activations,
+// poolings, and reshapes are memory-bound and achieve far less of peak.
+double op_class_factor(OpType t, bool gpu) {
+  switch (t) {
+    case OpType::kConv:
+      return 1.0;
+    case OpType::kGroupConv:
+      return 0.75;
+    case OpType::kLinear:
+      return 0.9;
+    case OpType::kDepthwiseConv:
+      return gpu ? 0.15 : 0.3;  // notoriously bandwidth-bound on GPUs
+    case OpType::kBatchNorm:
+    case OpType::kLayerNorm:
+    case OpType::kLrn:
+      return gpu ? 0.08 : 0.15;
+    case OpType::kMaxPool:
+    case OpType::kAvgPool:
+    case OpType::kGlobalAvgPool:
+      return 0.1;
+    case OpType::kAdd:
+    case OpType::kMul:
+    case OpType::kConcat:
+    case OpType::kChannelShuffle:
+    case OpType::kFlatten:
+    case OpType::kDropout:
+      return 0.06;
+    default:  // activations, softmax, input
+      return 0.08;
+  }
+}
+
+}  // namespace
+
+double DdlSimulator::op_mix_efficiency(const CompGraph& g, bool gpu) const {
+  const double gemm_eff =
+      gpu ? cfg_.gpu_gemm_efficiency : cfg_.cpu_gemm_efficiency;
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto& nd = g.node(static_cast<int>(i));
+    if (nd.flops <= 0) continue;
+    const double f = static_cast<double>(nd.flops);
+    // Harmonic (time-domain) aggregation: time_i = flops_i / (peak·eff_i),
+    // so the sustained efficiency is Σf / Σ(f/eff).
+    weighted += f / (gemm_eff * op_class_factor(nd.type, gpu));
+    total += f;
+  }
+  if (total == 0.0) return gemm_eff;
+  return total / weighted;
+}
+
+SimResult DdlSimulator::simulate(const workload::DlWorkload& w,
+                                 const CompGraph& g,
+                                 const cluster::ClusterSpec& cluster,
+                                 Rng* rng) const {
+  PDDL_CHECK(!cluster.empty(), "cannot simulate on an empty cluster");
+  PDDL_CHECK(w.batch_size_per_server > 0 && w.epochs > 0,
+             "invalid workload hyper-parameters");
+  const std::size_t m = cluster.size();
+  const double md = static_cast<double>(m);
+  // Weak scaling: per-server batch fixed, global batch grows with m.
+  // Strong scaling: workload batch IS the global batch, split across m.
+  const double per_server_batch =
+      cfg_.strong_scaling
+          ? std::max(1.0, static_cast<double>(w.batch_size_per_server) / md)
+          : static_cast<double>(w.batch_size_per_server);
+  const double global_batch = per_server_batch * md;
+  const long iterations = static_cast<long>(std::ceil(
+      static_cast<double>(w.dataset.num_samples) / global_batch));
+
+  // fwd+bwd ≈ 3× forward FLOPs (standard backprop cost model).
+  const double flops_per_sample = 3.0 * static_cast<double>(g.total_flops());
+
+  // Synchronous DDP: the slowest server bounds the compute phase.
+  double compute_iter = 0.0;
+  for (const auto& s : cluster.servers) {
+    const bool gpu = s.has_gpu();
+    const double eff = op_mix_efficiency(g, gpu);
+    // Small-batch underutilization: sustained rate scales with b/(b+b_half),
+    // b_half larger on GPUs (more parallelism to fill).
+    const double b = per_server_batch;
+    const double b_half = gpu ? 16.0 : 4.0;
+    const double batch_factor = b / (b + b_half);
+    const double sustained = s.effective_flops() * eff * batch_factor;
+    const double t = flops_per_sample * b / sustained;
+    compute_iter = std::max(compute_iter, t);
+  }
+
+  // Ring all-reduce of FP32 gradients once per iteration.
+  double comm_iter = 0.0;
+  if (m > 1) {
+    const double bytes = 4.0 * static_cast<double>(g.total_params());
+    const double bw = std::min(cfg_.network_bw_bps,
+                               cluster.slowest_server().net_bw_bps);
+    comm_iter = 2.0 * (md - 1.0) / md * bytes / bw +
+                2.0 * (md - 1.0) * cfg_.network_latency_s;
+  }
+  const double exposed_comm =
+      std::max(0.0, comm_iter - cfg_.comm_overlap * compute_iter);
+
+  // Input pipeline: the global minibatch streams from shared NFS; prefetch
+  // overlaps it with compute, so only the excess stalls the iteration.
+  const double input_iter =
+      global_batch * w.dataset.bytes_per_sample() / cluster.nfs_bw_bps;
+  const double exposed_input = std::max(0.0, input_iter - compute_iter);
+
+  const double iter_time = compute_iter + exposed_comm + exposed_input;
+  const double startup = cfg_.startup_base_s +
+                         cfg_.startup_per_server_s * static_cast<double>(m);
+
+  SimResult r;
+  r.iterations = iterations;
+  r.iteration_s = iter_time;
+  r.compute_s = compute_iter * iterations * w.epochs;
+  r.comm_s = exposed_comm * iterations * w.epochs;
+  r.input_s = exposed_input * iterations * w.epochs;
+  r.startup_s = startup;
+  r.total_s = startup + iter_time * iterations * w.epochs;
+
+  if (rng != nullptr && cfg_.noise_sigma > 0.0) {
+    // Heteroscedastic measurement noise: lognormal on the whole run plus a
+    // rare straggler epoch (NFS contention, CPU interference).
+    double factor = rng->lognormal(0.0, cfg_.noise_sigma);
+    if (rng->bernoulli(0.05)) {
+      factor *= rng->uniform(1.05, 1.2);
+    }
+    r.total_s = startup + (r.total_s - startup) * factor;
+  }
+  return r;
+}
+
+SimResult DdlSimulator::expected(const workload::DlWorkload& w,
+                                 const cluster::ClusterSpec& cluster) const {
+  return simulate(w, w.build_graph(), cluster, nullptr);
+}
+
+SimResult DdlSimulator::run(const workload::DlWorkload& w,
+                            const cluster::ClusterSpec& cluster,
+                            Rng& rng) const {
+  return simulate(w, w.build_graph(), cluster, &rng);
+}
+
+SimResult DdlSimulator::expected(const workload::DlWorkload& w,
+                                 const CompGraph& g,
+                                 const cluster::ClusterSpec& cluster) const {
+  return simulate(w, g, cluster, nullptr);
+}
+
+SimResult DdlSimulator::run(const workload::DlWorkload& w, const CompGraph& g,
+                            const cluster::ClusterSpec& cluster,
+                            Rng& rng) const {
+  return simulate(w, g, cluster, &rng);
+}
+
+}  // namespace pddl::sim

@@ -1,0 +1,96 @@
+// Distributed-deep-learning training-time simulator.
+//
+// Substitution (DESIGN.md §2): the paper measures actual PyTorch-DDP
+// training runs on CloudLab; we price the same runs analytically and add
+// calibrated measurement noise.  The model decomposes an iteration of
+// synchronous data-parallel training into
+//
+//   compute  — fwd+bwd FLOPs of the DNN on the per-server minibatch divided
+//              by the server's effective FLOP/s.  Effectiveness is the
+//              hardware peak derated by an op-mix efficiency (depthwise
+//              convs and memory-bound ops achieve a small fraction of peak;
+//              dense convs and GEMMs a large one) and by a small-batch
+//              factor (Amdahl-style underutilization at tiny minibatches).
+//   comm     — ring all-reduce of the gradients: 2·(m−1)/m · bytes / bw
+//              plus per-step latency, partially overlapped with backward.
+//   input    — NFS read of the global minibatch, shared across servers and
+//              overlapped with compute (PyTorch DataLoader prefetch).
+//
+// A synchronous barrier means the slowest server bounds compute.  The total
+// adds a job-startup overhead (DDP init, NFS mount) that grows mildly with
+// the cluster size — this is what makes tiny workloads scale badly, the
+// effect Ernest's 1/m + log m + m feature set was designed to capture.
+#pragma once
+
+#include <optional>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "graph/comp_graph.hpp"
+#include "workload/workload.hpp"
+
+namespace pddl::sim {
+
+struct SimConfig {
+  double network_bw_bps = 3.125e9;    // allreduce link bandwidth (25 GbE)
+  double network_latency_s = 100e-6;  // per allreduce step
+  double startup_base_s = 20.0;       // job launch, imports, NFS mount
+  double startup_per_server_s = 1.2;  // DDP rendezvous grows with servers
+  double comm_overlap = 0.7;          // fraction of comm hidden under bwd
+  double noise_sigma = 0.04;          // lognormal multiplicative noise
+  // Derate applied to hardware peak for dense GEMM-like work.
+  double gpu_gemm_efficiency = 0.55;
+  double cpu_gemm_efficiency = 0.45;
+  // Scaling regime.  Weak scaling (default, PyTorch-DDP convention): the
+  // per-server batch is fixed and the global batch grows with the cluster.
+  // Strong scaling: the workload's batch size is the *global* batch,
+  // divided across servers — iteration count is then independent of m.
+  bool strong_scaling = false;
+};
+
+// Per-component breakdown of one simulated run.
+struct SimResult {
+  double total_s = 0.0;       // end-to-end training time (the "actual" time)
+  double compute_s = 0.0;     // summed compute across iterations
+  double comm_s = 0.0;        // exposed (non-overlapped) allreduce time
+  double input_s = 0.0;       // exposed input-pipeline stalls
+  double startup_s = 0.0;
+  double iteration_s = 0.0;   // steady-state per-iteration time
+  long iterations = 0;        // per epoch
+};
+
+class DdlSimulator {
+ public:
+  explicit DdlSimulator(SimConfig cfg = {});
+
+  const SimConfig& config() const { return cfg_; }
+
+  // Deterministic expected training time (no noise).
+  SimResult expected(const workload::DlWorkload& w,
+                     const cluster::ClusterSpec& cluster) const;
+
+  // One noisy "measurement" of the workload, as if executed on the testbed.
+  // Deterministic given the rng state.
+  SimResult run(const workload::DlWorkload& w,
+                const cluster::ClusterSpec& cluster, Rng& rng) const;
+
+  // Same, with a caller-supplied computational graph (avoids rebuilding the
+  // graph for every point of a measurement campaign).  `g` must be the graph
+  // of `w` at the workload's input resolution.
+  SimResult expected(const workload::DlWorkload& w, const graph::CompGraph& g,
+                     const cluster::ClusterSpec& cluster) const;
+  SimResult run(const workload::DlWorkload& w, const graph::CompGraph& g,
+                const cluster::ClusterSpec& cluster, Rng& rng) const;
+
+  // Op-mix efficiency of a graph on CPU/GPU in (0, 1]: the fraction of peak
+  // FLOP/s the architecture sustains.  Exposed for tests/ablations.
+  double op_mix_efficiency(const graph::CompGraph& g, bool gpu) const;
+
+ private:
+  SimResult simulate(const workload::DlWorkload& w, const graph::CompGraph& g,
+                     const cluster::ClusterSpec& cluster, Rng* rng) const;
+
+  SimConfig cfg_;
+};
+
+}  // namespace pddl::sim

@@ -1,0 +1,114 @@
+#include "simulator/measurement_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "graph/models.hpp"
+
+namespace pddl::sim {
+
+namespace {
+
+// Fixed column layout; the cluster feature block is variable-width and
+// serialized as the last columns (count recorded in the header row).
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+constexpr std::size_t kFixedColumns = 12;
+
+}  // namespace
+
+void save_measurements_csv(std::ostream& os,
+                           const std::vector<Measurement>& ms) {
+  PDDL_CHECK(!ms.empty(), "nothing to save");
+  const std::size_t cf = ms[0].cluster_features.size();
+  os << "model,dataset,sku,servers,batch_size,epochs,time_s,expected_s,"
+        "model_params,model_flops,model_layers,model_depth";
+  for (std::size_t i = 0; i < cf; ++i) os << ",cf" << i;
+  os << '\n';
+  os.precision(17);
+  for (const Measurement& m : ms) {
+    PDDL_CHECK(m.cluster_features.size() == cf,
+               "inconsistent cluster-feature widths");
+    os << m.model << ',' << m.dataset << ',' << m.sku << ',' << m.servers
+       << ',' << m.batch_size << ',' << m.epochs << ',' << m.time_s << ','
+       << m.expected_s << ',' << m.model_params << ',' << m.model_flops << ','
+       << m.model_layers << ',' << m.model_depth;
+    for (double v : m.cluster_features) os << ',' << v;
+    os << '\n';
+  }
+  PDDL_CHECK(os.good(), "failed writing measurement CSV");
+}
+
+std::vector<Measurement> load_measurements_csv(std::istream& is) {
+  std::string line;
+  PDDL_CHECK(static_cast<bool>(std::getline(is, line)),
+             "empty measurement CSV");
+  const auto header = split_csv_line(line);
+  PDDL_CHECK(header.size() > kFixedColumns && header[0] == "model",
+             "not a measurement CSV (bad header)");
+  const std::size_t cf = header.size() - kFixedColumns;
+
+  // Model index is reconstructed from the registry order at load time.
+  std::vector<Measurement> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    PDDL_CHECK(cells.size() == header.size(), "row width mismatch: got ",
+               cells.size(), ", expected ", header.size());
+    Measurement m;
+    m.model = cells[0];
+    m.dataset = cells[1];
+    m.sku = cells[2];
+    m.servers = std::stoi(cells[3]);
+    m.batch_size = std::stoi(cells[4]);
+    m.epochs = std::stoi(cells[5]);
+    m.time_s = std::stod(cells[6]);
+    m.expected_s = std::stod(cells[7]);
+    m.model_params = std::stoll(cells[8]);
+    m.model_flops = std::stoll(cells[9]);
+    m.model_layers = std::stoi(cells[10]);
+    m.model_depth = std::stoi(cells[11]);
+    m.cluster_features.resize(cf);
+    for (std::size_t i = 0; i < cf; ++i) {
+      m.cluster_features[i] = std::stod(cells[kFixedColumns + i]);
+    }
+    PDDL_CHECK(m.time_s > 0 && m.servers > 0, "corrupt measurement row");
+    out.push_back(std::move(m));
+  }
+  // Rebuild the registry-order model index (-1 for custom models), matching
+  // run_campaign's convention.
+  const auto& registry = graph::model_registry();
+  for (Measurement& m : out) {
+    m.model_index = -1;
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      if (registry[i].name == m.model) {
+        m.model_index = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void save_measurements_csv_file(const std::string& path,
+                                const std::vector<Measurement>& ms) {
+  std::ofstream os(path);
+  PDDL_CHECK(os.good(), "cannot open for write: ", path);
+  save_measurements_csv(os, ms);
+}
+
+std::vector<Measurement> load_measurements_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  PDDL_CHECK(is.good(), "cannot open for read: ", path);
+  return load_measurements_csv(is);
+}
+
+}  // namespace pddl::sim

@@ -1,0 +1,26 @@
+// CSV (de)serialization for measurement campaigns.
+//
+// A campaign is the expensive artifact of the offline pipeline (on a real
+// testbed it is weeks of cluster time), so it must be storable and
+// reloadable.  Together with ghn::save_ghn this gives PredictDDL a complete
+// deployment story: persist the GHN + the campaign CSV once; any later
+// process reloads both and refits the (cheap) regressor.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simulator/campaign.hpp"
+
+namespace pddl::sim {
+
+void save_measurements_csv(std::ostream& os,
+                           const std::vector<Measurement>& ms);
+std::vector<Measurement> load_measurements_csv(std::istream& is);
+
+void save_measurements_csv_file(const std::string& path,
+                                const std::vector<Measurement>& ms);
+std::vector<Measurement> load_measurements_csv_file(const std::string& path);
+
+}  // namespace pddl::sim

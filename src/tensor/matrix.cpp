@@ -1,0 +1,244 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace pddl {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    PDDL_CHECK(r.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, Rng& rng,
+                     double stddev) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.gaussian(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::uniform(std::size_t rows, std::size_t cols, Rng& rng, double lo,
+                       double hi) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::column(const Vector& v) {
+  Matrix m(v.size(), 1);
+  std::copy(v.begin(), v.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::row_vector(const Vector& v) {
+  Matrix m(1, v.size());
+  std::copy(v.begin(), v.end(), m.data_.begin());
+  return m;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  PDDL_CHECK(r < rows_, "row index out of range");
+  return Vector(row_ptr(r), row_ptr(r) + cols_);
+}
+
+Vector Matrix::col(std::size_t c) const {
+  PDDL_CHECK(c < cols_, "col index out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+  PDDL_CHECK(r < rows_ && v.size() == cols_, "set_row shape mismatch");
+  std::copy(v.begin(), v.end(), row_ptr(r));
+}
+
+void Matrix::set_col(std::size_t c, const Vector& v) {
+  PDDL_CHECK(c < cols_ && v.size() == rows_, "set_col shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  PDDL_CHECK(same_shape(other), "operator+= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  PDDL_CHECK(same_shape(other), "operator-= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Matrix& Matrix::hadamard_inplace(const Matrix& other) {
+  PDDL_CHECK(same_shape(other), "hadamard shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::sum() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix operator*(const Matrix& a, double s) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+Matrix operator*(double s, const Matrix& a) { return a * s; }
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.hadamard_inplace(b);
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  PDDL_CHECK(a.cols() == b.rows(), "matmul inner-dimension mismatch: ",
+             a.rows(), "x", a.cols(), " · ", b.rows(), "x", b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  // i-k-j loop order keeps the inner loop contiguous in both b and out.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.row_ptr(i);
+    double* orow = out.row_ptr(i);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = arow[kk];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_ptr(kk);
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  PDDL_CHECK(a.cols() == x.size(), "matvec shape mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, const Vector& x) {
+  PDDL_CHECK(a.rows() == x.size(), "matvec_transposed shape mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  PDDL_CHECK(a.size() == b.size(), "dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+Vector vadd(const Vector& a, const Vector& b) {
+  PDDL_CHECK(a.size() == b.size(), "vadd size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector vsub(const Vector& a, const Vector& b) {
+  PDDL_CHECK(a.size() == b.size(), "vsub size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector vscale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void axpy(Vector& a, double s, const Vector& b) {
+  PDDL_CHECK(a.size() == b.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+double cosine_similarity(const Vector& a, const Vector& b) {
+  const double na = norm2(a);
+  const double nb = norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b) / (na * nb);
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix(" << m.rows() << "x" << m.cols() << ")[\n";
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << m(r, c) << (c + 1 < m.cols() ? ", " : "");
+    }
+    os << '\n';
+  }
+  return os << ']';
+}
+
+}  // namespace pddl

@@ -1,0 +1,128 @@
+// Dense row-major matrix of doubles plus Vector helpers.
+//
+// All numerical code in the repository (autograd, regression, GHN) is built
+// on this type.  The sizes involved are modest (feature matrices of a few
+// thousand rows, GHN hidden sizes ≤ 128), so kernels are plain loops with a
+// blocked gemm; no external BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace pddl {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  // Row-major nested initializer list: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 0.0);
+  }
+  static Matrix ones(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 1.0);
+  }
+  // IID entries ~ N(0, stddev^2).
+  static Matrix randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      double stddev = 1.0);
+  // IID entries ~ U(lo, hi).
+  static Matrix uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                        double lo, double hi);
+  // Column vector from a Vector.
+  static Matrix column(const Vector& v);
+  // Row vector from a Vector.
+  static Matrix row_vector(const Vector& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    PDDL_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    PDDL_DCHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+  void set_row(std::size_t r, const Vector& v);
+  void set_col(std::size_t c, const Vector& v);
+
+  Matrix transposed() const;
+
+  // Elementwise in-place ops.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+  Matrix& hadamard_inplace(const Matrix& other);
+
+  // Frobenius norm and elementwise reductions.
+  double frobenius_norm() const;
+  double sum() const;
+  double max_abs() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Out-of-place arithmetic.
+Matrix operator+(const Matrix& a, const Matrix& b);
+Matrix operator-(const Matrix& a, const Matrix& b);
+Matrix operator*(const Matrix& a, double s);
+Matrix operator*(double s, const Matrix& a);
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+// Blocked matrix multiply: (m×k) · (k×n) → (m×n).
+Matrix matmul(const Matrix& a, const Matrix& b);
+// y = A·x.
+Vector matvec(const Matrix& a, const Vector& x);
+// y = Aᵀ·x.
+Vector matvec_transposed(const Matrix& a, const Vector& x);
+
+// Vector helpers.
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+Vector vadd(const Vector& a, const Vector& b);
+Vector vsub(const Vector& a, const Vector& b);
+Vector vscale(const Vector& a, double s);
+// a += s·b.
+void axpy(Vector& a, double s, const Vector& b);
+// Cosine similarity in [-1, 1]; returns 0 for a zero vector.
+double cosine_similarity(const Vector& a, const Vector& b);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace pddl

@@ -1,0 +1,111 @@
+#include "tensor/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/linalg.hpp"
+
+namespace pddl {
+
+namespace {
+
+// Solve the unconstrained least squares restricted to the passive set P.
+Vector solve_passive(const Matrix& a, const Vector& b,
+                     const std::vector<std::size_t>& passive) {
+  const std::size_t m = a.rows();
+  Matrix ap(m, passive.size());
+  for (std::size_t j = 0; j < passive.size(); ++j) {
+    for (std::size_t i = 0; i < m; ++i) ap(i, j) = a(i, passive[j]);
+  }
+  return least_squares_qr(ap, b);
+}
+
+}  // namespace
+
+NnlsResult nnls(const Matrix& a, const Vector& b, int max_iter) {
+  PDDL_CHECK(a.rows() == b.size(), "nnls shape mismatch");
+  const std::size_t n = a.cols();
+  if (max_iter <= 0) max_iter = static_cast<int>(3 * n) + 10;
+
+  Vector x(n, 0.0);
+  std::vector<bool> in_passive(n, false);
+  std::vector<std::size_t> passive;
+
+  const double tol = 10.0 * std::numeric_limits<double>::epsilon() *
+                     a.max_abs() * static_cast<double>(a.rows());
+
+  int iter = 0;
+  for (; iter < max_iter; ++iter) {
+    // Gradient of ½‖Ax−b‖² is Aᵀ(Ax−b); w = −gradient.
+    Vector residual = vsub(b, matvec(a, x));
+    Vector w = matvec_transposed(a, residual);
+
+    // Find the most promising zero-bound variable.
+    double wmax = 0.0;
+    std::size_t jmax = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_passive[j] && w[j] > wmax) {
+        wmax = w[j];
+        jmax = j;
+      }
+    }
+    if (jmax == n || wmax <= tol) {
+      // KKT conditions satisfied.
+      return {std::move(x), norm2(residual), iter, true};
+    }
+
+    in_passive[jmax] = true;
+    passive.push_back(jmax);
+
+    // Inner loop: ensure feasibility of the passive-set solution.
+    // Feasibility compares coefficients against *zero* (Lawson–Hanson),
+    // never against the gradient tolerance: legitimate coefficients of
+    // large-magnitude columns can be arbitrarily small.
+    for (;;) {
+      Vector z = solve_passive(a, b, passive);
+      bool feasible = true;
+      for (double zj : z) {
+        if (zj <= 0.0) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        std::fill(x.begin(), x.end(), 0.0);
+        for (std::size_t k = 0; k < passive.size(); ++k) x[passive[k]] = z[k];
+        break;
+      }
+      // Step toward z as far as feasibility allows.
+      double alpha = std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < passive.size(); ++k) {
+        if (z[k] <= 0.0) {
+          const double xk = x[passive[k]];
+          const double denom = xk - z[k];
+          if (denom > 0.0) alpha = std::min(alpha, xk / denom);
+        }
+      }
+      if (!std::isfinite(alpha)) alpha = 0.0;
+      for (std::size_t k = 0; k < passive.size(); ++k) {
+        const std::size_t j = passive[k];
+        x[j] += alpha * (z[k] - x[j]);
+      }
+      // Move variables that hit (numerical) zero back to the active set.
+      std::vector<std::size_t> still_passive;
+      for (std::size_t j : passive) {
+        if (x[j] > 1e-14 * (1.0 + std::fabs(x[j]))) {
+          still_passive.push_back(j);
+        } else {
+          x[j] = 0.0;
+          in_passive[j] = false;
+        }
+      }
+      passive = std::move(still_passive);
+      if (passive.empty()) break;  // restart outer loop
+    }
+  }
+  const Vector residual = vsub(b, matvec(a, x));
+  return {std::move(x), norm2(residual), iter, false};
+}
+
+}  // namespace pddl

@@ -1,0 +1,25 @@
+// Non-negative least squares (Lawson–Hanson active-set algorithm).
+//
+// Ernest (Venkataraman et al., NSDI'16) fits its cost model
+//   t(m) ≈ θ₀ + θ₁·(1/m) + θ₂·log(m) + θ₃·m,  θ ≥ 0
+// with NNLS so that each term keeps its physical meaning (fixed cost,
+// parallelisable work, tree-aggregation cost, per-machine overhead).  This is
+// the solver behind src/baselines/ernest.*.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace pddl {
+
+struct NnlsResult {
+  Vector x;          // solution, x[i] >= 0
+  double residual;   // ‖A·x − b‖₂
+  int iterations;    // outer-loop iterations used
+  bool converged;    // false if the iteration cap was hit
+};
+
+// Solve min ‖A·x − b‖₂ subject to x ≥ 0.
+// `max_iter` defaults to 3·n as recommended by Lawson & Hanson.
+NnlsResult nnls(const Matrix& a, const Vector& b, int max_iter = 0);
+
+}  // namespace pddl

@@ -1,0 +1,62 @@
+#include "workload/workload.hpp"
+
+namespace pddl::workload {
+
+DatasetDescriptor cifar10() {
+  DatasetDescriptor d;
+  d.name = "cifar10";
+  d.size_bytes = 163LL * 1024 * 1024;
+  d.num_samples = 60'000;
+  d.num_classes = 10;
+  d.input = {3, 32, 32};
+  return d;
+}
+
+DatasetDescriptor tiny_imagenet() {
+  DatasetDescriptor d;
+  d.name = "tiny_imagenet";
+  d.size_bytes = 250LL * 1024 * 1024;
+  d.num_samples = 100'000;
+  d.num_classes = 200;
+  d.input = {3, 64, 64};
+  return d;
+}
+
+DatasetDescriptor dataset_by_name(const std::string& name) {
+  if (name == "cifar10") return cifar10();
+  if (name == "tiny_imagenet") return tiny_imagenet();
+  PDDL_CHECK(false, "unknown dataset '", name,
+             "' (expected cifar10 or tiny_imagenet)");
+}
+
+graph::CompGraph DlWorkload::build_graph() const {
+  return graph::build_model(model, dataset.input, dataset.num_classes);
+}
+
+std::vector<DlWorkload> table2_cifar_workloads() {
+  const DatasetDescriptor c10 = cifar10();
+  std::vector<DlWorkload> ws;
+  for (const char* m :
+       {"efficientnet_b0", "resnext50_32x4d", "vgg16", "alexnet", "resnet18",
+        "densenet161", "mobilenet_v3_large", "squeezenet1_0"}) {
+    ws.push_back({m, c10, 64, 10});
+  }
+  return ws;
+}
+
+std::vector<DlWorkload> table2_tiny_imagenet_workloads() {
+  const DatasetDescriptor tin = tiny_imagenet();
+  std::vector<DlWorkload> ws;
+  for (const char* m : {"alexnet", "resnet18", "squeezenet1_0"}) {
+    ws.push_back({m, tin, 64, 10});
+  }
+  return ws;
+}
+
+std::vector<DlWorkload> table2_workloads() {
+  std::vector<DlWorkload> ws = table2_cifar_workloads();
+  for (auto& w : table2_tiny_imagenet_workloads()) ws.push_back(w);
+  return ws;
+}
+
+}  // namespace pddl::workload

@@ -1,0 +1,59 @@
+// DL workload model (§I: "training of any DNN model in any computing
+// cluster using any dataset").
+//
+// A DatasetDescriptor carries exactly the scalars that influence training
+// time and GHN selection: bytes on disk, sample count, classes, and input
+// resolution.  A DlWorkload binds a model architecture to a dataset and the
+// training hyper-parameters (per-server batch size, epochs).
+#pragma once
+
+#include <string>
+
+#include "graph/comp_graph.hpp"
+#include "graph/models.hpp"
+
+namespace pddl::workload {
+
+struct DatasetDescriptor {
+  std::string name;            // registry key, e.g. "cifar10"
+  std::int64_t size_bytes = 0; // on-disk size (NFS transfer volume)
+  std::int64_t num_samples = 0;
+  int num_classes = 0;
+  graph::TensorShape input{3, 32, 32};
+
+  double bytes_per_sample() const {
+    PDDL_CHECK(num_samples > 0, "dataset has no samples");
+    return static_cast<double>(size_bytes) / static_cast<double>(num_samples);
+  }
+};
+
+// The two evaluation datasets (§IV-A3).
+DatasetDescriptor cifar10();        // ≈163 MB, 60k images, 10 classes, 32×32
+DatasetDescriptor tiny_imagenet();  // ≈250 MB, 100k images, 200 classes, 64×64
+
+// Lookup by registry key ("cifar10", "tiny_imagenet"); throws for unknown
+// names.
+DatasetDescriptor dataset_by_name(const std::string& name);
+
+struct DlWorkload {
+  std::string model;        // name in graph::model_registry()
+  DatasetDescriptor dataset;
+  int batch_size_per_server = 64;
+  int epochs = 10;
+
+  // Builds the computational graph of this workload's DNN at the dataset's
+  // input resolution.
+  graph::CompGraph build_graph() const;
+
+  // Unique key for caching/bookkeeping: "<model>@<dataset>".
+  std::string key() const { return model + "@" + dataset.name; }
+};
+
+// The eight CIFAR-10 + three Tiny-ImageNet evaluation workloads (Table II).
+std::vector<DlWorkload> table2_workloads();
+// Only the CIFAR-10 rows of Table II.
+std::vector<DlWorkload> table2_cifar_workloads();
+// Only the Tiny-ImageNet rows of Table II.
+std::vector<DlWorkload> table2_tiny_imagenet_workloads();
+
+}  // namespace pddl::workload

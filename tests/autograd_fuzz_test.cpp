@@ -1,0 +1,125 @@
+// Randomized differential testing of the autograd engine: build a random
+// composition of tape ops, compare analytic gradients against central
+// finite differences.  Catches interaction bugs (gradient accumulation
+// through shared subexpressions, shape plumbing across concat/slice chains)
+// that per-op tests cannot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/tape.hpp"
+
+namespace pddl::ag {
+namespace {
+
+// Builds a random scalar-valued expression over two leaf matrices.  Smooth
+// ops only (no relu/abs) so finite differences are trustworthy everywhere.
+Var random_expression(Ctx& ctx, Var a, Var b, Rng& rng) {
+  std::vector<Var> pool{a, b};
+  const int ops = 4 + static_cast<int>(rng.uniform_int(std::uint64_t{6}));
+  for (int i = 0; i < ops; ++i) {
+    Var x = pool[rng.uniform_int(pool.size())];
+    Var result = x;
+    switch (rng.uniform_int(std::uint64_t{7})) {
+      case 0:
+        result = tanh_op(x);
+        break;
+      case 1:
+        result = sigmoid(x);
+        break;
+      case 2:
+        result = square(x);
+        break;
+      case 3:
+        result = scale(x, rng.uniform(-2.0, 2.0));
+        break;
+      case 4:
+        result = add_scalar(x, rng.uniform(-1.0, 1.0));
+        break;
+      case 5: {
+        // Same-shape partner from the pool (guaranteed: both leaves share
+        // shapes and every op here is shape-preserving).
+        Var y = pool[rng.uniform_int(pool.size())];
+        result = rng.bernoulli(0.5) ? add(x, y) : mul(x, y);
+        break;
+      }
+      case 6: {
+        Var y = pool[rng.uniform_int(pool.size())];
+        result = sub(x, y);
+        break;
+      }
+    }
+    pool.push_back(result);
+  }
+  // Mix in a shape-changing tail: mean_rows then a matmul against a fixed
+  // constant so concat/slice/broadcast plumbing also gets exercised.
+  Var tail = mean_rows(pool.back());
+  Matrix proj(tail.value().cols(), 2, 0.3);
+  Var projected = matmul(tail, ctx.constant(proj));
+  return mean_all(square(projected));
+}
+
+class AutogradFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradFuzz, RandomCompositionMatchesFiniteDifferences) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1315423911ULL + 3);
+  const std::size_t rows = 2 + rng.uniform_int(std::uint64_t{3});
+  const std::size_t cols = 2 + rng.uniform_int(std::uint64_t{3});
+  Matrix pa = Matrix::randn(rows, cols, rng, 0.4);
+  Matrix pb = Matrix::randn(rows, cols, rng, 0.4);
+
+  // Freeze the op sequence: reuse one RNG stream per evaluation.
+  const std::uint64_t expr_seed = rng.next();
+  auto eval = [&]() {
+    Ctx ctx;
+    Rng expr_rng(expr_seed);
+    Var loss =
+        random_expression(ctx, ctx.leaf(pa), ctx.leaf(pb), expr_rng);
+    return loss;
+  };
+
+  // Analytic gradients.
+  Matrix ga, gb;
+  {
+    Ctx ctx;
+    Rng expr_rng(expr_seed);
+    Var loss = random_expression(ctx, ctx.leaf(pa), ctx.leaf(pb), expr_rng);
+    ctx.backward(loss);
+    ga = ctx.grad(pa);
+    gb = ctx.grad(pb);
+  }
+
+  // Finite differences on both leaves.
+  const double eps = 1e-6;
+  auto loss_value = [&]() {
+    Ctx ctx;
+    Rng expr_rng(expr_seed);
+    return random_expression(ctx, ctx.leaf(pa), ctx.leaf(pb), expr_rng)
+        .value()(0, 0);
+  };
+  auto check = [&](Matrix& param, const Matrix& analytic) {
+    for (std::size_t r = 0; r < param.rows(); ++r) {
+      for (std::size_t c = 0; c < param.cols(); ++c) {
+        const double orig = param(r, c);
+        param(r, c) = orig + eps;
+        const double hi = loss_value();
+        param(r, c) = orig - eps;
+        const double lo = loss_value();
+        param(r, c) = orig;
+        const double num = (hi - lo) / (2.0 * eps);
+        EXPECT_NEAR(analytic(r, c), num,
+                    1e-4 * (1.0 + std::fabs(num)))
+            << "at (" << r << "," << c << ")";
+      }
+    }
+  };
+  check(pa, ga);
+  check(pb, gb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzz, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace pddl::ag

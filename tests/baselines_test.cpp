@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/box_models.hpp"
+#include "baselines/ernest.hpp"
+
+namespace pddl::baselines {
+namespace {
+
+TEST(ErnestFeatures, MatchesPublishedMap) {
+  const Vector f = Ernest::features(4.0, 0.5);
+  ASSERT_EQ(f.size(), Ernest::kNumFeatures);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 0.5 / 4.0);
+  EXPECT_DOUBLE_EQ(f[2], std::log(4.0));
+  EXPECT_DOUBLE_EQ(f[3], 4.0);
+}
+
+TEST(ErnestFeatures, RejectsInvalidInputs) {
+  EXPECT_THROW(Ernest::features(0.5), Error);
+  EXPECT_THROW(Ernest::features(2.0, 0.0), Error);
+  EXPECT_THROW(Ernest::features(2.0, 1.5), Error);
+}
+
+TEST(Ernest, RecoversPlantedTheta) {
+  Vector theta{10.0, 200.0, 3.0, 0.5};
+  std::vector<ErnestSample> samples;
+  for (int m = 1; m <= 16; ++m) {
+    for (double s : {0.25, 0.5, 1.0}) {
+      samples.push_back(
+          {static_cast<double>(m), s,
+           dot(theta, Ernest::features(static_cast<double>(m), s))});
+    }
+  }
+  Ernest e;
+  e.fit(samples);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(e.theta()[i], theta[i], 1e-6);
+  EXPECT_NEAR(e.predict(10.0), dot(theta, Ernest::features(10.0)), 1e-6);
+}
+
+TEST(Ernest, ThetaIsNonNegativeEvenOnAdversarialData) {
+  // Decreasing-with-m data would want θ₃ < 0; NNLS must clamp it.
+  std::vector<ErnestSample> samples;
+  for (int m = 1; m <= 10; ++m) {
+    samples.push_back({static_cast<double>(m), 1.0, 100.0 / m});
+  }
+  Ernest e;
+  e.fit(samples);
+  for (double t : e.theta()) EXPECT_GE(t, 0.0);
+}
+
+TEST(Ernest, PredictBeforeFitThrows) {
+  Ernest e;
+  EXPECT_THROW(e.predict(4.0), Error);
+}
+
+TEST(Ernest, ExperimentDesignIsSmallAndCoversScaleRange) {
+  const auto design = Ernest::experiment_design(16);
+  EXPECT_GE(design.size(), 10u);
+  EXPECT_LE(design.size(), 30u);
+  double min_scale = 1.0, max_scale = 0.0, max_machines = 0.0;
+  for (const auto& s : design) {
+    min_scale = std::min(min_scale, s.scale);
+    max_scale = std::max(max_scale, s.scale);
+    max_machines = std::max(max_machines, s.machines);
+    EXPECT_LE(s.scale, 0.1) << "sample runs use at most 10% of the data";
+  }
+  EXPECT_LT(min_scale, max_scale);
+  EXPECT_DOUBLE_EQ(max_machines, 16.0);
+}
+
+TEST(Ernest, CollectAndFitProducesUsableModel) {
+  sim::DdlSimulator sim;
+  workload::DlWorkload w{"resnet18", workload::cifar10(), 64, 10};
+  Ernest e;
+  Rng rng(3);
+  const double collect_s = e.collect_and_fit(w, sim, "p100", 8, rng);
+  EXPECT_GT(collect_s, 0.0);
+  EXPECT_TRUE(e.fitted());
+  // Predictions must be positive and grow sanely with machine count.
+  EXPECT_GT(e.predict(1.0), 0.0);
+  EXPECT_GT(e.predict(8.0), 0.0);
+}
+
+TEST(Ernest, BlackBoxErrorLargeWhenWorkloadsMixed) {
+  // Fit on a mixture of a tiny and a huge model; per-workload predictions
+  // collapse to the mixture average (the §II-A failure mode).
+  sim::DdlSimulator sim;
+  ThreadPool pool(4);
+  sim::CampaignConfig cfg;
+  cfg.models = {"squeezenet1_1", "vgg16"};
+  cfg.max_servers = 8;
+  cfg.batch_sizes = {64};
+  cfg.include_tiny_imagenet = false;
+  const auto ms = sim::run_campaign(sim, cfg, pool);
+  Ernest e;
+  e.fit(ms);
+  const auto squeeze = sim::filter_by_model(ms, "squeezenet1_1");
+  const auto vgg = sim::filter_by_model(ms, "vgg16");
+  // One curve cannot match both; relative error on at least one workload is
+  // large.
+  double worst = 0.0;
+  for (const auto& group : {squeeze, vgg}) {
+    double err = 0.0;
+    for (const auto& m : group) {
+      err += std::fabs(e.predict(m.servers) - m.time_s) / m.time_s;
+    }
+    worst = std::max(worst, err / static_cast<double>(group.size()));
+  }
+  EXPECT_GT(worst, 0.3);
+}
+
+TEST(BoxModels, FeatureDimensions) {
+  sim::Measurement m;
+  m.model_index = 3;
+  m.servers = 4;
+  m.batch_size = 64;
+  m.model_layers = 20;
+  m.model_params = 1'000'000;
+  m.cluster_features = Vector(cluster::cluster_feature_names().size(), 1.0);
+  EXPECT_EQ(blackbox_features(m).size(), 4u);
+  EXPECT_EQ(graybox_features(m).size(), 6u);
+}
+
+TEST(BoxModels, GrayBoxBeatsBlackBoxAcrossArchitectures) {
+  // The Fig. 1/2 motivation experiment: adding #layers and #params lowers
+  // RMSE when many architectures are mixed.
+  sim::DdlSimulator sim;
+  ThreadPool pool(8);
+  sim::CampaignConfig cfg;
+  cfg.models = {"alexnet", "vgg16", "resnet18", "mobilenet_v3_small",
+                "densenet121", "squeezenet1_1"};
+  cfg.max_servers = 10;
+  cfg.batch_sizes = {64};
+  cfg.include_tiny_imagenet = false;
+  const auto ms = sim::run_campaign(sim, cfg, pool);
+  // 80/20 split by index.
+  std::vector<sim::Measurement> train, test;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    (i % 5 == 4 ? test : train).push_back(ms[i]);
+  }
+  const double black = blackbox_rmse(train, test);
+  const double gray = graybox_rmse(train, test);
+  EXPECT_LT(gray, black);
+}
+
+}  // namespace
+}  // namespace pddl::baselines

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.hpp"
+#include "cluster/resource_collector.hpp"
+
+namespace pddl::cluster {
+namespace {
+
+TEST(ServerSpec, PaperSkusMatchSection4A1) {
+  const ServerSpec a = make_e5_2630_server("a");
+  EXPECT_EQ(a.cpu_cores, 16);  // two 8-core sockets
+  EXPECT_NEAR(a.ram_bytes, 128.0 * (1 << 30), 1.0);
+  EXPECT_FALSE(a.has_gpu());
+
+  const ServerSpec b = make_e5_2650_server("b");
+  EXPECT_EQ(b.cpu_cores, 8);
+  EXPECT_NEAR(b.ram_bytes, 64.0 * (1 << 30), 1.0);
+
+  const ServerSpec g = make_p100_server("g");
+  EXPECT_EQ(g.cpu_cores, 20);  // two 10-core Xeon Silver 4114
+  EXPECT_EQ(g.gpus, 1);
+  EXPECT_NEAR(g.gpu_mem_bytes, 12.0 * (1 << 30), 1.0);
+  EXPECT_TRUE(g.has_gpu());
+}
+
+TEST(ServerSpec, Equation1RamPerCore) {
+  const ServerSpec s = make_e5_2630_server("s");
+  EXPECT_DOUBLE_EQ(s.ram_per_core(), s.ram_bytes / 16.0);
+}
+
+TEST(ServerSpec, Equation2AvailableRamUnderPartialLoad) {
+  ServerSpec s = make_e5_2630_server("s");
+  s.mem_availability = 0.5;
+  EXPECT_DOUBLE_EQ(s.available_ram(), s.ram_bytes * 0.5);
+  s.cpu_availability = 0.25;
+  EXPECT_DOUBLE_EQ(s.available_cpu_flops(), s.cpu_flops * 0.25);
+}
+
+TEST(ServerSpec, EffectiveFlopsPrefersGpu) {
+  const ServerSpec g = make_p100_server("g");
+  EXPECT_DOUBLE_EQ(g.effective_flops(), g.gpu_flops);
+  const ServerSpec c = make_e5_2650_server("c");
+  EXPECT_DOUBLE_EQ(c.effective_flops(), c.cpu_flops);
+}
+
+TEST(ClusterSpec, UniformClusterProperties) {
+  const ClusterSpec c = make_uniform_cluster("e5_2630", 4);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_TRUE(c.homogeneous());
+  EXPECT_FALSE(c.any_gpu());
+  EXPECT_DOUBLE_EQ(c.total_cores(), 64.0);
+}
+
+TEST(ClusterSpec, UnknownSkuThrows) {
+  EXPECT_THROW(make_uniform_cluster("quantum", 2), Error);
+  EXPECT_THROW(make_uniform_cluster("p100", 0), Error);
+}
+
+TEST(ClusterSpec, HeterogeneousDetection) {
+  ClusterSpec c;
+  c.servers.push_back(make_e5_2630_server("a"));
+  c.servers.push_back(make_e5_2650_server("b"));
+  EXPECT_FALSE(c.homogeneous());
+  // Slowest by effective FLOPS is the E5-2650 machine.
+  EXPECT_EQ(c.slowest_server().sku, "e5_2650");
+}
+
+TEST(ClusterSpec, FeatureVectorShapeAndContent) {
+  const ClusterSpec c = make_uniform_cluster("p100", 8);
+  const Vector f = c.features();
+  ASSERT_EQ(f.size(), cluster_feature_names().size());
+  EXPECT_DOUBLE_EQ(f[0], 8.0);           // num_servers
+  EXPECT_DOUBLE_EQ(f[1], 160.0);         // total cores
+  EXPECT_DOUBLE_EQ(f[7], 8.0);           // gpu count
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ClusterSpec, FeaturesScaleWithClusterSize) {
+  const Vector f4 = make_uniform_cluster("e5_2630", 4).features();
+  const Vector f8 = make_uniform_cluster("e5_2630", 8).features();
+  EXPECT_LT(f4[0], f8[0]);
+  EXPECT_LT(f4[2], f8[2]);  // log total cpu flops grows
+  EXPECT_DOUBLE_EQ(f4[5], f8[5]);  // ram per core invariant
+}
+
+TEST(ResourceCollector, AgentsJoinAndLeave) {
+  ResourceCollector rc;
+  rc.start();
+  {
+    ServerAgent a(rc.channel(), make_e5_2630_server("n0"));
+    ServerAgent b(rc.channel(), make_p100_server("n1"));
+    ASSERT_TRUE(rc.wait_for_servers(2, 2000));
+    EXPECT_TRUE(rc.has_server("n0"));
+    EXPECT_TRUE(rc.has_server("n1"));
+    ClusterSpec snap = rc.snapshot();
+    EXPECT_EQ(snap.size(), 2u);
+    EXPECT_TRUE(snap.any_gpu());
+  }
+  // Agents left; wait for the leave messages to drain.
+  for (int i = 0; i < 100 && rc.num_servers() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(rc.num_servers(), 0u);
+  rc.stop();
+}
+
+TEST(ResourceCollector, UtilizationReportsUpdateAvailability) {
+  ResourceCollector rc;
+  rc.start();
+  ServerAgent a(rc.channel(), make_e5_2630_server("busy"));
+  ASSERT_TRUE(rc.wait_for_servers(1, 2000));
+  a.report_utilization(/*cpu_busy=*/0.75, /*mem_busy=*/0.5);
+  // Wait until the report is applied.
+  for (int i = 0; i < 200; ++i) {
+    auto snap = rc.snapshot();
+    if (snap.size() == 1 &&
+        std::fabs(snap.servers[0].cpu_availability - 0.25) < 1e-9) {
+      SUCCEED();
+      rc.stop();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FAIL() << "utilization report was never applied";
+}
+
+TEST(ResourceCollector, ProbePoolRefreshesUtilization) {
+  ResourceCollector rc([](const std::string& name) {
+    return UtilizationReport{name, 0.4, 0.2};
+  });
+  rc.start();
+  ServerAgent a(rc.channel(), make_e5_2650_server("p0"));
+  ServerAgent b(rc.channel(), make_e5_2650_server("p1"));
+  ASSERT_TRUE(rc.wait_for_servers(2, 2000));
+  ThreadPool pool(4);
+  rc.probe_all(pool);
+  ClusterSpec snap = rc.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  for (const auto& s : snap.servers) {
+    EXPECT_NEAR(s.cpu_availability, 0.6, 1e-9);
+    EXPECT_NEAR(s.mem_availability, 0.8, 1e-9);
+  }
+  rc.stop();
+}
+
+TEST(ResourceCollector, ConcurrentJoinsAreAllAccepted) {
+  ResourceCollector rc;
+  rc.start();
+  constexpr int kAgents = 32;
+  std::vector<std::unique_ptr<ServerAgent>> agents(kAgents);
+  ThreadPool pool(8);
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < kAgents; ++i) {
+    futs.push_back(pool.submit([&, i] {
+      agents[static_cast<std::size_t>(i)] = std::make_unique<ServerAgent>(
+          rc.channel(), make_e5_2630_server("w" + std::to_string(i)));
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_TRUE(rc.wait_for_servers(kAgents, 5000));
+  EXPECT_EQ(rc.num_servers(), static_cast<std::size_t>(kAgents));
+  agents.clear();
+  rc.stop();
+}
+
+TEST(ResourceCollector, StopIsIdempotentAndSafeWithoutStart) {
+  ResourceCollector rc;
+  rc.stop();  // never started
+  rc.start();
+  rc.stop();
+  rc.stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pddl::cluster

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace pddl {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    PDDL_CHECK(1 == 2, "expected ", 1, " got ", 2);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 1 got 2"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(PDDL_CHECK(2 + 2 == 4));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Rng rng(123);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(5);
+  auto idx = rng.sample_indices(50, 20);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 20u);
+  for (auto i : s) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(5);
+  EXPECT_THROW(rng.sample_indices(3, 4), Error);
+}
+
+TEST(Table, AlignedTextContainsAllCells) {
+  Table t({"model", "error"});
+  t.row().add("vgg16").add(0.123456, 3);
+  t.row().add("resnet18").add(2.0, 3);
+  const std::string text = t.to_text("My table");
+  EXPECT_NE(text.find("My table"), std::string::npos);
+  EXPECT_NE(text.find("vgg16"), std::string::npos);
+  EXPECT_NE(text.find("0.123"), std::string::npos);
+  EXPECT_NE(text.find("resnet18"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a", "b"});
+  t.row().add("x,y").add("he said \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowCellOverflowThrows) {
+  Table t({"only"});
+  t.row().add("one");
+  EXPECT_THROW(t.add("two"), Error);
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  Table t({"c"});
+  EXPECT_THROW(t.add("x"), Error);
+}
+
+}  // namespace
+}  // namespace pddl

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/batch_predictor.hpp"
+#include "core/predict_ddl.hpp"
+
+namespace pddl::core {
+namespace {
+
+// Small, fast options for tests: tiny GHN, tiny corpus, reduced campaign.
+PredictDdlOptions fast_options() {
+  PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 12;
+  opts.ghn.mlp_hidden = 12;
+  opts.ghn_trainer.corpus_size = 10;
+  opts.ghn_trainer.epochs = 4;
+  opts.ghn_trainer.batch_size = 5;
+  opts.ghn_trainer.darts.max_cells = 3;
+  opts.campaign.models = {"alexnet",   "resnet18",          "resnet50",
+                          "vgg11",     "mobilenet_v3_small", "squeezenet1_1",
+                          "densenet121"};
+  opts.campaign.max_servers = 8;
+  opts.campaign.batch_sizes = {64};
+  return opts;
+}
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest() : pool_(8), pddl_(sim_, pool_, fast_options()) {}
+
+  sim::DdlSimulator sim_;
+  ThreadPool pool_;
+  PredictDdl pddl_;
+};
+
+TEST_F(CoreTest, TaskCheckerRequiresOfflineForUnknownDataset) {
+  TaskChecker checker(pddl_.registry());
+  PredictRequest req{{"resnet18", workload::cifar10(), 64, 10},
+                     cluster::make_uniform_cluster("p100", 4)};
+  EXPECT_TRUE(checker.needs_offline_training(req));
+}
+
+TEST_F(CoreTest, TaskCheckerValidatesRequest) {
+  TaskChecker checker(pddl_.registry());
+  PredictRequest bad_model{{"not_a_model", workload::cifar10(), 64, 10},
+                           cluster::make_uniform_cluster("p100", 2)};
+  EXPECT_THROW(checker.needs_offline_training(bad_model), Error);
+  PredictRequest empty_cluster{{"resnet18", workload::cifar10(), 64, 10}, {}};
+  EXPECT_THROW(checker.needs_offline_training(empty_cluster), Error);
+}
+
+TEST_F(CoreTest, OfflineTrainingMakesDatasetReady) {
+  EXPECT_FALSE(pddl_.ready_for("cifar10"));
+  const double fit_s = pddl_.train_offline(workload::cifar10());
+  EXPECT_GT(fit_s, 0.0);
+  EXPECT_TRUE(pddl_.ready_for("cifar10"));
+  EXPECT_FALSE(pddl_.ready_for("tiny_imagenet"));
+}
+
+TEST_F(CoreTest, SubmitTriggersOfflineOnceThenReuses) {
+  PredictRequest req{{"resnet18", workload::cifar10(), 64, 10},
+                     cluster::make_uniform_cluster("p100", 4)};
+  const PredictResponse first = pddl_.submit(req);
+  EXPECT_TRUE(first.triggered_offline_training);
+  EXPECT_GT(first.predicted_time_s, 0.0);
+
+  // Second submission — different model, same dataset — must reuse both the
+  // GHN and the predictor ("trained only once for a particular dataset").
+  PredictRequest req2{{"mobilenet_v3_small", workload::cifar10(), 64, 10},
+                      cluster::make_uniform_cluster("p100", 8)};
+  const PredictResponse second = pddl_.submit(req2);
+  EXPECT_FALSE(second.triggered_offline_training);
+  EXPECT_GT(second.predicted_time_s, 0.0);
+}
+
+TEST_F(CoreTest, PredictionIsReasonablyAccurateOnSeenModels) {
+  pddl_.train_offline(workload::cifar10());
+  const auto cluster = cluster::make_uniform_cluster("p100", 4);
+  workload::DlWorkload w{"resnet18", workload::cifar10(), 64, 10};
+  const double actual = sim_.expected(w, cluster).total_s;
+  const double pred = pddl_.submit({w, cluster}).predicted_time_s;
+  EXPECT_NEAR(pred / actual, 1.0, 0.35);
+}
+
+TEST_F(CoreTest, GeneralizesToUnseenArchitectureWithoutRetraining) {
+  // resnet34 is NOT in the fast campaign, but resnet18 and resnet50 are, so
+  // its embedding lands between theirs and the predictor interpolates.
+  pddl_.train_offline(workload::cifar10());
+  const auto cluster = cluster::make_uniform_cluster("p100", 4);
+  workload::DlWorkload w{"resnet34", workload::cifar10(), 64, 10};
+  const double actual = sim_.expected(w, cluster).total_s;
+  const PredictResponse resp = pddl_.submit({w, cluster});
+  EXPECT_FALSE(resp.triggered_offline_training);
+  EXPECT_GT(resp.predicted_time_s, 0.0);
+  // Loose bound for the deliberately tiny test corpus; the full-scale bench
+  // setup (bench/fig09) lands within ~10%.
+  EXPECT_NEAR(resp.predicted_time_s / actual, 1.0, 1.0);
+}
+
+TEST_F(CoreTest, FeatureBuilderDimensionsMatch) {
+  pddl_.ensure_ghn(workload::cifar10());
+  FeatureBuilder& fb = pddl_.features();
+  const auto cluster = cluster::make_uniform_cluster("p100", 2);
+  workload::DlWorkload w{"alexnet", workload::cifar10(), 64, 10};
+  const Vector f = fb.build(w, cluster);
+  EXPECT_EQ(f.size(), FeatureBuilder::feature_dim(12));
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(CoreTest, FitPredictorOnCustomSplitAndEvaluate) {
+  pddl_.ensure_ghn(workload::cifar10());
+  sim::CampaignConfig cc = fast_options().campaign;
+  cc.include_tiny_imagenet = false;
+  const auto ms = sim::run_campaign(sim_, cc, pool_);
+  std::vector<sim::Measurement> train, test;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    (i % 5 == 0 ? test : train).push_back(ms[i]);
+  }
+  pddl_.fit_predictor("cifar10", train);
+  const Vector preds = pddl_.predict_measurements("cifar10", test);
+  ASSERT_EQ(preds.size(), test.size());
+  Vector actual(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) actual[i] = test[i].time_s;
+  // Mean relative error well under 50% even with the tiny setup.
+  EXPECT_LT(regress::mean_relative_error(preds, actual), 0.5);
+}
+
+TEST_F(CoreTest, InferenceEngineSwapsRegressor) {
+  InferenceEngine engine(std::make_unique<regress::LinearRegression>());
+  EXPECT_FALSE(engine.fitted());
+  regress::RegressionData d;
+  Rng rng(1);
+  d.x = Matrix::randn(50, 3, rng);
+  d.y.resize(50);
+  for (std::size_t i = 0; i < 50; ++i) d.y[i] = d.x(i, 0);
+  engine.fit(d);
+  EXPECT_TRUE(engine.fitted());
+  engine.set_regressor(std::make_unique<regress::PolynomialRegression>());
+  EXPECT_FALSE(engine.fitted());  // fresh regressor is untrained
+  EXPECT_THROW(engine.predict({1, 2, 3}), Error);
+}
+
+TEST_F(CoreTest, BatchPredictorFlatVsLinearGrowth) {
+  const double train_s = pddl_.train_offline(workload::cifar10());
+  BatchPredictor batcher(pddl_, sim_, train_s);
+  const auto all = workload::table2_cifar_workloads();
+  std::vector<workload::DlWorkload> batch2(all.begin(), all.begin() + 2);
+  std::vector<workload::DlWorkload> batch8(all.begin(), all.begin() + 8);
+  const auto r2 = batcher.run(batch2, "p100", 8);
+  const auto r8 = batcher.run(batch8, "p100", 8);
+  EXPECT_EQ(r2.batch_size, 2u);
+  EXPECT_EQ(r8.batch_size, 8u);
+  // Ernest's collection grows ~linearly with the batch size.
+  EXPECT_GT(r8.ernest_collect_sim_s, 3.0 * r2.ernest_collect_sim_s);
+  // PredictDDL's one-time training cost does not grow.
+  EXPECT_DOUBLE_EQ(r2.pddl_train_s, r8.pddl_train_s);
+  // Speedup improves with batch size (the Fig. 13 trend).
+  EXPECT_GT(r8.speedup_including_collection(),
+            r2.speedup_including_collection());
+}
+
+TEST_F(CoreTest, BatchPredictorRejectsUntrainedDataset) {
+  BatchPredictor batcher(pddl_, sim_, 0.0);
+  std::vector<workload::DlWorkload> batch{
+      {"alexnet", workload::tiny_imagenet(), 64, 10}};
+  EXPECT_THROW(batcher.run(batch, "e5_2630", 4), Error);
+}
+
+}  // namespace
+}  // namespace pddl::core

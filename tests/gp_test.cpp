@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "regress/gp.hpp"
+
+namespace pddl::regress {
+namespace {
+
+RegressionData sine_data(std::size_t n, std::uint64_t seed, double noise) {
+  Rng rng(seed);
+  RegressionData d;
+  d.x = Matrix(n, 1);
+  d.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-3.0, 3.0);
+    d.x(i, 0) = x;
+    d.y[i] = std::sin(x) + rng.gaussian(0.0, noise);
+  }
+  return d;
+}
+
+TEST(Gp, InterpolatesNoiselessObservations) {
+  RegressionData d;
+  d.x = Matrix{{0.0}, {1.0}, {2.0}, {3.0}};
+  d.y = {1.0, 2.0, 0.5, -1.0};
+  GpConfig cfg;
+  cfg.noise_var = 1e-8;
+  GaussianProcess gp(cfg);
+  gp.fit(d);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(gp.predict(d.x.row(i)), d.y[i], 1e-3);
+  }
+}
+
+TEST(Gp, VarianceSmallAtDataLargeAway) {
+  RegressionData d;
+  d.x = Matrix{{0.0}, {0.5}, {1.0}};
+  d.y = {0.0, 0.25, 1.0};
+  GpConfig cfg;
+  cfg.noise_var = 1e-6;
+  GaussianProcess gp(cfg);
+  gp.fit(d);
+  const auto at_data = gp.posterior({0.5});
+  const auto far_away = gp.posterior({40.0});
+  EXPECT_LT(at_data.variance, 0.01);
+  EXPECT_GT(far_away.variance, 0.5);
+  // Far from data the posterior reverts to the prior mean (ȳ).
+  EXPECT_NEAR(far_away.mean, (0.0 + 0.25 + 1.0) / 3.0, 1e-6);
+}
+
+TEST(Gp, FitsSineWave) {
+  const auto train = sine_data(80, 1, 0.02);
+  GpConfig cfg;
+  cfg.length_scale = 0.5;
+  cfg.noise_var = 1e-3;
+  GaussianProcess gp(cfg);
+  gp.fit(train);
+  const auto test = sine_data(40, 2, 0.0);
+  const double err = rmse(gp.predict_batch(test.x), test.y);
+  EXPECT_LT(err, 0.1);
+}
+
+TEST(Gp, PosteriorVarianceNonNegative) {
+  const auto train = sine_data(30, 3, 0.1);
+  GaussianProcess gp;
+  gp.fit(train);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto p = gp.posterior({rng.uniform(-10.0, 10.0)});
+    EXPECT_GE(p.variance, 0.0);
+  }
+}
+
+TEST(Gp, InvalidConfigRejected) {
+  GpConfig cfg;
+  cfg.length_scale = 0.0;
+  GaussianProcess gp(cfg);
+  RegressionData d;
+  d.x = Matrix{{0.0}};
+  d.y = {1.0};
+  EXPECT_THROW(gp.fit(d), Error);
+}
+
+TEST(ExpectedImprovement, ZeroWhenCertain) {
+  EXPECT_DOUBLE_EQ(expected_improvement(5.0, 0.0, 4.0), 0.0);
+}
+
+TEST(ExpectedImprovement, PositiveWhenMeanBelowIncumbent) {
+  const double ei = expected_improvement(3.0, 1.0, 5.0);
+  EXPECT_GT(ei, 1.9);  // at least the mean gap
+  EXPECT_LT(ei, 2.5);
+}
+
+TEST(ExpectedImprovement, GrowsWithUncertainty) {
+  const double low = expected_improvement(6.0, 0.01, 5.0);
+  const double high = expected_improvement(6.0, 4.0, 5.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(ExpectedImprovement, MonotoneInMeanGap) {
+  const double worse = expected_improvement(7.0, 1.0, 5.0);
+  const double better = expected_improvement(4.0, 1.0, 5.0);
+  EXPECT_GT(better, worse);
+}
+
+}  // namespace
+}  // namespace pddl::regress

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/darts.hpp"
+#include "graph/models.hpp"
+#include "graph/serialize.hpp"
+
+namespace pddl::graph {
+namespace {
+
+bool graphs_equal(const CompGraph& a, const CompGraph& b) {
+  if (a.name() != b.name() || a.num_nodes() != b.num_nodes() ||
+      a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+    const auto& na = a.node(static_cast<int>(i));
+    const auto& nb = b.node(static_cast<int>(i));
+    if (na.type != nb.type || !(na.out_shape == nb.out_shape) ||
+        na.params != nb.params || na.flops != nb.flops ||
+        na.attrs.kernel != nb.attrs.kernel ||
+        na.attrs.stride != nb.attrs.stride ||
+        na.attrs.groups != nb.attrs.groups || na.label != nb.label ||
+        a.in_edges(static_cast<int>(i)) != b.in_edges(static_cast<int>(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(GraphSerialize, RoundTripsResnet18) {
+  const CompGraph g = build_model("resnet18", {3, 32, 32}, 10);
+  std::stringstream ss;
+  save_graph(ss, g);
+  const CompGraph loaded = load_graph(ss);
+  EXPECT_TRUE(graphs_equal(g, loaded));
+  EXPECT_EQ(loaded.total_params(), g.total_params());
+  EXPECT_EQ(loaded.total_flops(), g.total_flops());
+}
+
+TEST(GraphSerialize, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "not a graph file at all";
+  EXPECT_THROW(load_graph(ss), Error);
+}
+
+TEST(GraphSerialize, RejectsTruncatedStream) {
+  const CompGraph g = build_model("alexnet", {3, 32, 32}, 10);
+  std::stringstream ss;
+  save_graph(ss, g);
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(data);
+  EXPECT_THROW(load_graph(cut), Error);
+}
+
+class SerializeAllModels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeAllModels, RoundTripIsLossless) {
+  const CompGraph g = build_model(GetParam(), {3, 32, 32}, 10);
+  std::stringstream ss;
+  save_graph(ss, g);
+  EXPECT_TRUE(graphs_equal(g, load_graph(ss)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, SerializeAllModels, ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& m : model_registry()) names.push_back(m.name);
+      return names;
+    }()));
+
+TEST(GraphSerialize, DartsGraphsRoundTrip) {
+  auto corpus = sample_darts_corpus(5, 123);
+  for (const auto& g : corpus) {
+    std::stringstream ss;
+    save_graph(ss, g);
+    EXPECT_TRUE(graphs_equal(g, load_graph(ss)));
+  }
+}
+
+TEST(Dot, ContainsEveryNodeAndEdge) {
+  GraphBuilder b("dot_test", {3, 8, 8});
+  int x = b.conv_bn_relu(b.input(), 8, 3, 1);
+  (void)x;
+  const CompGraph g = std::move(b).finish(4);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph \"dot_test\""), std::string::npos);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_NE(dot.find("n" + std::to_string(i) + " ["), std::string::npos);
+  }
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("conv"), std::string::npos);
+}
+
+TEST(Dot, FlopShareAnnotatedForHeavyNodes) {
+  GraphBuilder b("dot_share", {3, 32, 32});
+  b.conv(b.input(), 64, 3, 1);
+  const CompGraph g = std::move(b).finish(4);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("% flops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pddl::graph

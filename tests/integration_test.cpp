@@ -1,0 +1,167 @@
+// Cross-module integration tests: the full Fig. 7 / Fig. 8 flows, the
+// Resource Collector feeding the Inference Engine, and failure injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "baselines/ernest.hpp"
+#include "cluster/resource_collector.hpp"
+#include "core/batch_predictor.hpp"
+#include "core/predict_ddl.hpp"
+
+namespace pddl {
+namespace {
+
+core::PredictDdlOptions tiny_options() {
+  core::PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 12;
+  opts.ghn.mlp_hidden = 12;
+  opts.ghn_trainer.corpus_size = 10;
+  opts.ghn_trainer.epochs = 4;
+  opts.ghn_trainer.batch_size = 5;
+  opts.ghn_trainer.darts.max_cells = 3;
+  opts.campaign.models = {"alexnet", "resnet18", "squeezenet1_0",
+                          "mobilenet_v3_small"};
+  opts.campaign.max_servers = 6;
+  opts.campaign.batch_sizes = {64};
+  return opts;
+}
+
+TEST(Integration, TinyImagenetEndToEnd) {
+  ThreadPool pool(8);
+  sim::DdlSimulator sim;
+  core::PredictDdl pddl(sim, pool, tiny_options());
+
+  core::PredictRequest req;
+  req.workload = {"resnet18", workload::tiny_imagenet(), 64, 10};
+  req.cluster = cluster::make_uniform_cluster("e5_2630", 4);
+  const auto resp = pddl.submit(req);
+  EXPECT_TRUE(resp.triggered_offline_training);
+  const double actual = sim.expected(req.workload, req.cluster).total_s;
+  EXPECT_NEAR(resp.predicted_time_s / actual, 1.0, 0.6);
+
+  // Both datasets can coexist; cifar10 still needs its own offline pass.
+  EXPECT_TRUE(pddl.ready_for("tiny_imagenet"));
+  EXPECT_FALSE(pddl.ready_for("cifar10"));
+}
+
+TEST(Integration, CollectorSnapshotDrivesPrediction) {
+  // Fig. 7 step 6: the cluster description comes from the Resource
+  // Collector, not from a hand-built spec.
+  ThreadPool pool(8);
+  sim::DdlSimulator sim;
+  core::PredictDdl pddl(sim, pool, tiny_options());
+  pddl.train_offline(workload::cifar10());
+
+  cluster::ResourceCollector collector;
+  collector.start();
+  std::vector<std::unique_ptr<cluster::ServerAgent>> agents;
+  for (int i = 0; i < 4; ++i) {
+    agents.push_back(std::make_unique<cluster::ServerAgent>(
+        collector.channel(),
+        cluster::make_p100_server("g" + std::to_string(i))));
+  }
+  ASSERT_TRUE(collector.wait_for_servers(4, 2000));
+
+  core::PredictRequest req;
+  req.workload = {"resnet18", workload::cifar10(), 64, 10};
+  req.cluster = collector.snapshot();
+  const auto resp = pddl.submit(req);
+  EXPECT_GT(resp.predicted_time_s, 0.0);
+  EXPECT_FALSE(resp.triggered_offline_training);
+  collector.stop();
+}
+
+TEST(Integration, UtilizationChangesShiftThePrediction) {
+  // A half-busy cluster has fewer available FLOPs (Eq. 1-2), so the
+  // features change and so must the prediction.
+  ThreadPool pool(8);
+  sim::DdlSimulator sim;
+  core::PredictDdl pddl(sim, pool, tiny_options());
+  pddl.train_offline(workload::tiny_imagenet());
+
+  auto cluster = cluster::make_uniform_cluster("e5_2630", 4);
+  workload::DlWorkload w{"resnet18", workload::tiny_imagenet(), 64, 10};
+  const double idle = pddl.predict_from_features(
+      "tiny_imagenet", pddl.features().build(w, cluster));
+  for (auto& s : cluster.servers) s.cpu_availability = 0.5;
+  const double busy = pddl.predict_from_features(
+      "tiny_imagenet", pddl.features().build(w, cluster));
+  EXPECT_NE(idle, busy);
+}
+
+TEST(Integration, CollectorChurnDuringProbesIsSafe) {
+  // Agents join and leave while the probe pool runs; the collector must not
+  // lose consistency or crash (server leaving mid-probe is dropped).
+  cluster::ResourceCollector rc(
+      [](const std::string& name) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        return cluster::UtilizationReport{name, 0.3, 0.1};
+      });
+  rc.start();
+  ThreadPool pool(8);
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    int i = 0;
+    while (!stop.load()) {
+      cluster::ServerAgent agent(
+          rc.channel(),
+          cluster::make_e5_2650_server("churn" + std::to_string(i++)));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  std::vector<std::unique_ptr<cluster::ServerAgent>> stable;
+  for (int i = 0; i < 8; ++i) {
+    stable.push_back(std::make_unique<cluster::ServerAgent>(
+        rc.channel(), cluster::make_e5_2630_server("s" + std::to_string(i))));
+  }
+  ASSERT_TRUE(rc.wait_for_servers(8, 2000));
+  for (int round = 0; round < 20; ++round) {
+    rc.probe_all(pool);
+    const auto snap = rc.snapshot();
+    EXPECT_GE(snap.size(), 8u);
+  }
+  stop.store(true);
+  churn.join();
+  rc.stop();
+  SUCCEED();
+}
+
+TEST(Integration, BatchFlowMatchesIndividualSubmissions) {
+  ThreadPool pool(8);
+  sim::DdlSimulator sim;
+  core::PredictDdl pddl(sim, pool, tiny_options());
+  const double train_s = pddl.train_offline(workload::cifar10());
+
+  std::vector<workload::DlWorkload> batch{
+      {"alexnet", workload::cifar10(), 64, 10},
+      {"resnet18", workload::cifar10(), 64, 10}};
+  core::BatchPredictor batcher(pddl, sim, train_s);
+  const auto result = batcher.run(batch, "p100", 4);
+  EXPECT_EQ(result.batch_size, 2u);
+  EXPECT_GT(result.ernest_collect_sim_s, 0.0);
+  EXPECT_GE(result.pddl_total(), train_s);
+}
+
+TEST(Integration, ErnestAndPredictDdlAgreeOnScaleOfSeenWorkload) {
+  // Sanity: for a workload that dominates the training data, even Ernest
+  // gets the right order of magnitude — PredictDDL must too.
+  ThreadPool pool(8);
+  sim::DdlSimulator sim;
+  sim::CampaignConfig cc;
+  cc.models = {"resnet18"};
+  cc.include_tiny_imagenet = false;
+  cc.batch_sizes = {64};
+  const auto ms = sim::run_campaign(sim, cc, pool);
+  baselines::Ernest ernest;
+  ernest.fit(ms);
+  const double actual =
+      sim.expected({"resnet18", workload::cifar10(), 64, 10},
+                   cluster::make_uniform_cluster("p100", 10))
+          .total_s;
+  EXPECT_NEAR(ernest.predict(10) / actual, 1.0, 0.5);
+}
+
+}  // namespace
+}  // namespace pddl

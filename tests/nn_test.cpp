@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "autograd/optim.hpp"
+#include "nn/layers.hpp"
+
+namespace pddl::nn {
+namespace {
+
+TEST(Linear, OutputShape) {
+  Rng rng(1);
+  Linear l(4, 7, rng);
+  Ctx ctx;
+  Var y = l.forward(ctx, ctx.constant(Matrix(3, 4, 1.0)));
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 7u);
+}
+
+TEST(Linear, NoBiasVariantHasOneParameter) {
+  Rng rng(1);
+  Linear with(3, 2, rng, true);
+  Linear without(3, 2, rng, false);
+  EXPECT_EQ(with.parameters().size(), 2u);
+  EXPECT_EQ(without.parameters().size(), 1u);
+}
+
+TEST(Linear, LearnsIdentityMap) {
+  Rng rng(2);
+  Linear l(2, 2, rng);
+  ag::Adam opt(0.05);
+  opt.register_params(l.parameters());
+  Matrix x = Matrix::randn(32, 2, rng);
+  for (int i = 0; i < 400; ++i) {
+    Ctx ctx;
+    Var pred = l.forward(ctx, ctx.constant(x));
+    ctx.backward(ag::mse(pred, ctx.constant(x)));
+    opt.step(ctx);
+  }
+  Ctx ctx;
+  Var pred = l.forward(ctx, ctx.constant(x));
+  EXPECT_LT((pred.value() - x).max_abs(), 0.05);
+}
+
+TEST(Mlp, RejectsTooFewDims) {
+  Rng rng(1);
+  EXPECT_THROW(Mlp({4}, rng), Error);
+}
+
+TEST(Mlp, ParameterCountMatchesArchitecture) {
+  Rng rng(1);
+  Mlp mlp({5, 8, 3}, rng);
+  // (5·8 + 8) + (8·3 + 3) = 48 + 27.
+  EXPECT_EQ(mlp.num_scalars(), 75u);
+}
+
+TEST(Mlp, FitsXorLikeNonlinearFunction) {
+  Rng rng(3);
+  // y = x0·x1 is not linearly separable; a small MLP must fit it.
+  Matrix x = Matrix::randn(256, 2, rng);
+  Matrix y(256, 1);
+  for (std::size_t i = 0; i < 256; ++i) y(i, 0) = x(i, 0) * x(i, 1);
+  Mlp mlp({2, 16, 1}, rng, Activation::kTanh);
+  ag::Adam opt(0.01);
+  opt.register_params(mlp.parameters());
+  double final_loss = 0.0;
+  for (int e = 0; e < 800; ++e) {
+    Ctx ctx;
+    Var loss = ag::mse(mlp.forward(ctx, ctx.constant(x)), ctx.constant(y));
+    final_loss = loss.value()(0, 0);
+    ctx.backward(loss);
+    opt.step(ctx);
+  }
+  EXPECT_LT(final_loss, 0.05);
+}
+
+TEST(Gru, OutputShapeAndRange) {
+  Rng rng(4);
+  GruCell gru(6, 8, rng);
+  Ctx ctx;
+  Var h = ctx.constant(Matrix::randn(2, 8, rng));
+  Var m = ctx.constant(Matrix::randn(2, 6, rng));
+  Var h2 = gru.forward(ctx, h, m);
+  EXPECT_EQ(h2.rows(), 2u);
+  EXPECT_EQ(h2.cols(), 8u);
+}
+
+TEST(Gru, InterpolatesBetweenCandidateAndState) {
+  // h' = (1−z)·ñ + z·h is a convex combination when ñ, h ∈ [−1, 1]; with h in
+  // that range the output must stay in [−1, 1].
+  Rng rng(5);
+  GruCell gru(4, 4, rng);
+  Ctx ctx;
+  Matrix h0 = Matrix::uniform(3, 4, rng, -1.0, 1.0);
+  Var h2 = gru.forward(ctx, ctx.constant(h0),
+                       ctx.constant(Matrix::randn(3, 4, rng, 2.0)));
+  EXPECT_LE(h2.value().max_abs(), 1.0 + 1e-12);
+}
+
+TEST(Gru, GradientsFlowToAllNineParameters) {
+  Rng rng(6);
+  GruCell gru(3, 5, rng);
+  Ctx ctx;
+  Var h = ctx.constant(Matrix::randn(2, 5, rng));
+  Var m = ctx.constant(Matrix::randn(2, 3, rng));
+  ctx.backward(ag::sum_all(ag::square(gru.forward(ctx, h, m))));
+  for (Matrix* p : gru.parameters()) {
+    EXPECT_GT(ctx.grad(*p).frobenius_norm(), 0.0);
+  }
+}
+
+TEST(Gru, LearnsToGateOutInput) {
+  // Target: always return the previous state regardless of the message.
+  Rng rng(7);
+  GruCell gru(2, 3, rng);
+  ag::Adam opt(0.02);
+  opt.register_params(gru.parameters());
+  Matrix h0 = Matrix::uniform(16, 3, rng, -0.9, 0.9);
+  for (int e = 0; e < 600; ++e) {
+    Ctx ctx;
+    Var h2 = gru.forward(ctx, ctx.constant(h0),
+                         ctx.constant(Matrix::randn(16, 2, rng)));
+    ctx.backward(ag::mse(h2, ctx.constant(h0)));
+    opt.step(ctx);
+  }
+  Ctx ctx;
+  Var h2 = gru.forward(ctx, ctx.constant(h0),
+                       ctx.constant(Matrix::randn(16, 2, rng)));
+  EXPECT_LT((h2.value() - h0).max_abs(), 0.25);
+}
+
+TEST(Serialization, RoundTripsExactBits) {
+  Rng rng(8);
+  Mlp a({4, 6, 2}, rng);
+  Mlp b({4, 6, 2}, rng);  // different init
+  std::stringstream ss;
+  {
+    auto ps = a.parameters();
+    save_parameters(ss, {ps.begin(), ps.end()});
+  }
+  load_parameters(ss, b.parameters());
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(*pa[i], *pb[i]);
+}
+
+TEST(Serialization, ShapeMismatchDetected) {
+  Rng rng(9);
+  Mlp a({4, 6, 2}, rng);
+  Mlp b({4, 7, 2}, rng);
+  std::stringstream ss;
+  auto ps = a.parameters();
+  save_parameters(ss, {ps.begin(), ps.end()});
+  EXPECT_THROW(load_parameters(ss, b.parameters()), Error);
+}
+
+TEST(Serialization, BadMagicDetected) {
+  Rng rng(10);
+  Mlp a({2, 2}, rng);
+  std::stringstream ss;
+  ss << "garbage-not-a-param-file";
+  EXPECT_THROW(load_parameters(ss, a.parameters()), Error);
+}
+
+class MlpDepthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlpDepthProperty, ForwardShapeIndependentOfDepth) {
+  Rng rng(11);
+  std::vector<std::size_t> dims{3};
+  for (int i = 0; i < GetParam(); ++i) dims.push_back(5);
+  dims.push_back(2);
+  Mlp mlp(dims, rng);
+  Ctx ctx;
+  Var y = mlp.forward(ctx, ctx.constant(Matrix(7, 3, 0.1)));
+  EXPECT_EQ(y.rows(), 7u);
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, MlpDepthProperty, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace pddl::nn

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/linalg.hpp"
+#include "tensor/nnls.hpp"
+
+namespace pddl {
+namespace {
+
+TEST(Nnls, RecoversNonNegativePlantedSolution) {
+  Rng rng(1);
+  Matrix a = Matrix::randn(50, 4, rng);
+  Vector coef{1.5, 0.0, 2.0, 0.75};
+  Vector b = matvec(a, coef);
+  NnlsResult res = nnls(a, b);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(res.x[i], coef[i], 1e-8);
+  EXPECT_LT(res.residual, 1e-8);
+}
+
+TEST(Nnls, SolutionIsAlwaysNonNegative) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix a = Matrix::randn(30, 5, rng);
+    Vector b(30);
+    for (auto& v : b) v = rng.gaussian();
+    NnlsResult res = nnls(a, b);
+    for (double x : res.x) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(Nnls, ClampsNegativeUnconstrainedOptimum) {
+  // b = −a·1: the unconstrained optimum is negative, so NNLS must return 0.
+  Matrix a(10, 1);
+  for (std::size_t i = 0; i < 10; ++i) a(i, 0) = 1.0;
+  Vector b(10, -1.0);
+  NnlsResult res = nnls(a, b);
+  EXPECT_NEAR(res.x[0], 0.0, 1e-12);
+  EXPECT_NEAR(res.residual, norm2(b), 1e-12);
+}
+
+TEST(Nnls, MatchesUnconstrainedWhenOptimumInterior) {
+  Rng rng(3);
+  Matrix a = Matrix::randn(100, 3, rng);
+  Vector coef{4.0, 1.0, 2.5};
+  Vector b = matvec(a, coef);
+  for (auto& v : b) v += rng.gaussian(0.0, 0.001);
+  Vector ols = least_squares_qr(a, b);
+  NnlsResult res = nnls(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(res.x[i], ols[i], 1e-6);
+}
+
+TEST(Nnls, SatisfiesKktConditions) {
+  Rng rng(4);
+  Matrix a = Matrix::randn(40, 6, rng);
+  Vector b(40);
+  for (auto& v : b) v = rng.gaussian();
+  NnlsResult res = nnls(a, b);
+  ASSERT_TRUE(res.converged);
+  // KKT: for x_i > 0 the gradient component must vanish; for x_i = 0 the
+  // gradient must be non-negative (no descent direction into the feasible set).
+  Vector grad = matvec_transposed(a, vsub(matvec(a, res.x), b));
+  for (std::size_t i = 0; i < res.x.size(); ++i) {
+    if (res.x[i] > 1e-10) {
+      EXPECT_NEAR(grad[i], 0.0, 1e-7) << "active component " << i;
+    } else {
+      EXPECT_GE(grad[i], -1e-7) << "zero component " << i;
+    }
+  }
+}
+
+TEST(Nnls, ErnestShapedDesignMatrix) {
+  // Ernest's feature map on machine counts 1..20 with a known θ ≥ 0.
+  const std::size_t m = 20;
+  Matrix a(m, 4);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double mach = static_cast<double>(i + 1);
+    a(i, 0) = 1.0;
+    a(i, 1) = 1.0 / mach;
+    a(i, 2) = std::log(mach);
+    a(i, 3) = mach;
+  }
+  Vector theta{5.0, 120.0, 2.0, 0.4};
+  Vector b = matvec(a, theta);
+  NnlsResult res = nnls(a, b);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(res.x[i], theta[i], 1e-6);
+}
+
+TEST(Nnls, ShapeMismatchThrows) {
+  EXPECT_THROW(nnls(Matrix(3, 2), Vector{1, 2}), Error);
+}
+
+class NnlsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NnlsProperty, ResidualNeverWorseThanZeroVector) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const std::size_t rows = 10 + rng.uniform_int(std::uint64_t{30});
+  const std::size_t cols = 1 + rng.uniform_int(std::uint64_t{6});
+  Matrix a = Matrix::randn(rows, cols, rng);
+  Vector b(rows);
+  for (auto& v : b) v = rng.gaussian();
+  NnlsResult res = nnls(a, b);
+  // x = 0 is feasible, so the optimal residual can never exceed ‖b‖.
+  EXPECT_LE(res.residual, norm2(b) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, NnlsProperty, ::testing::Range(0, 15));
+
+TEST(Nnls, HandlesWildlyScaledColumns) {
+  // Regression test: a Paleo-style design mixing an intercept column with a
+  // byte-count column (~1e11) used to make the rank test misfire and the
+  // solver return near-zero coefficients.
+  Rng rng(77);
+  const std::size_t rows = 40;
+  Matrix a(rows, 3);
+  Vector theta{20.0, 2.5, 3e-10};
+  Vector b(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = rng.uniform(1.0, 60.0);           // "compute seconds" scale
+    a(i, 2) = rng.uniform(1e10, 5e11);          // "bytes" scale
+    b[i] = dot(theta, a.row(i));
+  }
+  NnlsResult res = nnls(a, b);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], theta[0], 1e-3);
+  EXPECT_NEAR(res.x[1], theta[1], 1e-4);
+  EXPECT_NEAR(res.x[2] / theta[2], 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace pddl

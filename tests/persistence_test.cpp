@@ -1,0 +1,118 @@
+// Measurement CSV round-trips and full PredictDdl state save/load.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/predict_ddl.hpp"
+#include "simulator/measurement_io.hpp"
+
+namespace pddl {
+namespace {
+
+std::vector<sim::Measurement> small_campaign(ThreadPool& pool,
+                                             const sim::DdlSimulator& sim) {
+  sim::CampaignConfig cc;
+  cc.models = {"alexnet", "resnet18"};
+  cc.max_servers = 4;
+  cc.batch_sizes = {64};
+  cc.include_tiny_imagenet = false;
+  return sim::run_campaign(sim, cc, pool);
+}
+
+TEST(MeasurementCsv, RoundTripPreservesEverything) {
+  ThreadPool pool(4);
+  sim::DdlSimulator sim;
+  const auto ms = small_campaign(pool, sim);
+  std::stringstream ss;
+  sim::save_measurements_csv(ss, ms);
+  const auto loaded = sim::load_measurements_csv(ss);
+  ASSERT_EQ(loaded.size(), ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(loaded[i].model, ms[i].model);
+    EXPECT_EQ(loaded[i].dataset, ms[i].dataset);
+    EXPECT_EQ(loaded[i].sku, ms[i].sku);
+    EXPECT_EQ(loaded[i].servers, ms[i].servers);
+    EXPECT_EQ(loaded[i].batch_size, ms[i].batch_size);
+    EXPECT_DOUBLE_EQ(loaded[i].time_s, ms[i].time_s);
+    EXPECT_EQ(loaded[i].model_params, ms[i].model_params);
+    EXPECT_EQ(loaded[i].model_index, ms[i].model_index);
+    ASSERT_EQ(loaded[i].cluster_features.size(),
+              ms[i].cluster_features.size());
+    for (std::size_t j = 0; j < ms[i].cluster_features.size(); ++j) {
+      EXPECT_DOUBLE_EQ(loaded[i].cluster_features[j],
+                       ms[i].cluster_features[j]);
+    }
+  }
+}
+
+TEST(MeasurementCsv, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(sim::load_measurements_csv(empty), Error);
+  std::stringstream wrong("definitely,not,a,measurement,file\n1,2,3,4,5\n");
+  EXPECT_THROW(sim::load_measurements_csv(wrong), Error);
+}
+
+TEST(MeasurementCsv, RejectsRaggedRows) {
+  ThreadPool pool(2);
+  sim::DdlSimulator sim;
+  const auto ms = small_campaign(pool, sim);
+  std::stringstream ss;
+  sim::save_measurements_csv(ss, ms);
+  std::string text = ss.str();
+  text += "alexnet,cifar10,p100,1\n";  // truncated row
+  std::stringstream corrupted(text);
+  EXPECT_THROW(sim::load_measurements_csv(corrupted), Error);
+}
+
+TEST(Persistence, SaveLoadStateReproducesPredictions) {
+  ThreadPool pool(8);
+  sim::DdlSimulator sim;
+  core::PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 12;
+  opts.ghn.mlp_hidden = 12;
+  opts.ghn_trainer.corpus_size = 8;
+  opts.ghn_trainer.epochs = 3;
+  opts.ghn_trainer.darts.max_cells = 3;
+  core::PredictDdl original(sim, pool, std::move(opts));
+  original.ensure_ghn(workload::cifar10());
+  const auto campaign = small_campaign(pool, sim);
+  original.fit_predictor("cifar10", campaign);
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "pddl_state_test";
+  std::filesystem::remove_all(dir);
+  original.save_state(dir.string());
+  EXPECT_TRUE(std::filesystem::exists(dir / "ghn_cifar10.bin"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "campaign_cifar10.csv"));
+
+  core::PredictDdlOptions opts2;
+  core::PredictDdl restored(sim, pool, std::move(opts2));
+  restored.load_state(dir.string());
+  EXPECT_TRUE(restored.ready_for("cifar10"));
+
+  // Identical prediction for an identical request.
+  workload::DlWorkload w{"resnet18", workload::cifar10(), 64, 10};
+  const auto cluster = cluster::make_uniform_cluster("p100", 3);
+  const double a = original.predict_from_features(
+      "cifar10", original.features().build(w, cluster));
+  const double b = restored.predict_from_features(
+      "cifar10", restored.features().build(w, cluster));
+  EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::abs(a)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Persistence, LoadStateRejectsEmptyDirectory) {
+  ThreadPool pool(2);
+  sim::DdlSimulator sim;
+  core::PredictDdl pddl(sim, pool, {});
+  const auto dir =
+      std::filesystem::temp_directory_path() / "pddl_empty_state";
+  std::filesystem::create_directories(dir);
+  EXPECT_THROW(pddl.load_state(dir.string()), Error);
+  EXPECT_THROW(pddl.load_state("/nonexistent/path/xyz"), Error);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pddl

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sched/scheduler.hpp"
+#include "sched/trace.hpp"
+
+namespace pddl::sched {
+namespace {
+
+Job make_job(const std::string& id, int servers, double submit, double actual,
+             double estimate = -1.0) {
+  Job j;
+  j.id = id;
+  j.servers = servers;
+  j.submit_s = submit;
+  j.actual_s = actual;
+  j.estimate_s = estimate < 0 ? actual : estimate;
+  return j;
+}
+
+const Placement& find(const ScheduleResult& r, const std::string& id) {
+  for (const auto& p : r.placements) {
+    if (p.job.id == id) return p;
+  }
+  throw Error("job not found: " + id);
+}
+
+TEST(Scheduler, EmptyInputYieldsEmptySchedule) {
+  ClusterScheduler s(4);
+  const auto r = s.run({}, Policy::kFifo);
+  EXPECT_TRUE(r.placements.empty());
+}
+
+TEST(Scheduler, RejectsOversizedJob) {
+  ClusterScheduler s(4);
+  EXPECT_THROW(s.run({make_job("big", 5, 0, 10)}, Policy::kFifo), Error);
+}
+
+TEST(Scheduler, ParallelJobsRunConcurrentlyWhenTheyFit) {
+  ClusterScheduler s(4);
+  const auto r = s.run({make_job("a", 2, 0, 100), make_job("b", 2, 0, 100)},
+                       Policy::kFifo);
+  EXPECT_DOUBLE_EQ(find(r, "a").start_s, 0.0);
+  EXPECT_DOUBLE_EQ(find(r, "b").start_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 100.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Scheduler, FifoHeadOfLineBlocking) {
+  // b (needs 4) blocks c (needs 1) even though c would fit.
+  ClusterScheduler s(4);
+  const auto r = s.run({make_job("a", 3, 0, 100), make_job("b", 4, 1, 50),
+                        make_job("c", 1, 2, 10)},
+                       Policy::kFifo);
+  EXPECT_DOUBLE_EQ(find(r, "b").start_s, 100.0);
+  EXPECT_DOUBLE_EQ(find(r, "c").start_s, 150.0);
+}
+
+TEST(Scheduler, EasyBackfillLetsSmallJobJumpWithoutDelayingHead) {
+  // Same scenario as above: c (1 server, 10 s, estimated 10 s) fits in the
+  // 100 s shadow window before b's reservation → it backfills at t=2.
+  ClusterScheduler s(4);
+  const auto r = s.run({make_job("a", 3, 0, 100), make_job("b", 4, 1, 50),
+                        make_job("c", 1, 2, 10)},
+                       Policy::kEasyBackfill);
+  EXPECT_DOUBLE_EQ(find(r, "c").start_s, 2.0);
+  EXPECT_DOUBLE_EQ(find(r, "b").start_s, 100.0);  // reservation kept
+}
+
+TEST(Scheduler, BackfillRespectsReservation) {
+  // c is estimated at 200 s — backfilling it would delay b, so it must wait.
+  ClusterScheduler s(4);
+  const auto r = s.run({make_job("a", 3, 0, 100), make_job("b", 4, 1, 50),
+                        make_job("c", 1, 2, 200)},
+                       Policy::kEasyBackfill);
+  EXPECT_DOUBLE_EQ(find(r, "b").start_s, 100.0);
+  EXPECT_GE(find(r, "c").start_s, 150.0);
+}
+
+TEST(Scheduler, UnderestimatedBackfillDelaysReservedJob) {
+  // c claims 10 s but actually runs 300 s: the backfill decision is made on
+  // the estimate, and b's reservation slips — the classic cost of bad
+  // predictions.
+  ClusterScheduler s(4);
+  const auto r = s.run(
+      {make_job("a", 3, 0, 100), make_job("b", 4, 1, 50),
+       make_job("c", 1, 2, /*actual=*/300, /*estimate=*/10)},
+      Policy::kEasyBackfill);
+  EXPECT_DOUBLE_EQ(find(r, "c").start_s, 2.0);  // backfilled on false promise
+  EXPECT_GT(find(r, "b").start_s, 100.0 + 1e-9);  // head got delayed
+}
+
+TEST(Scheduler, SjfOrdersByEstimate) {
+  ClusterScheduler s(1);
+  const auto r = s.run({make_job("slow", 1, 0, 100), make_job("fast", 1, 0, 1),
+                        make_job("mid", 1, 0, 10)},
+                       Policy::kSjf);
+  EXPECT_LT(find(r, "fast").start_s, find(r, "mid").start_s);
+  EXPECT_LT(find(r, "mid").start_s, find(r, "slow").start_s);
+}
+
+TEST(Scheduler, SjfWithWrongEstimatesDegrades) {
+  // Same jobs, estimates inverted: SJF picks the slow job first and average
+  // wait gets worse than with perfect estimates.
+  ClusterScheduler s(1);
+  std::vector<Job> good = {make_job("a", 1, 0, 100), make_job("b", 1, 0, 1),
+                           make_job("c", 1, 0, 10)};
+  std::vector<Job> bad = good;
+  bad[0].estimate_s = 1;    // slow job pretends to be fast
+  bad[1].estimate_s = 100;  // fast job pretends to be slow
+  const auto r_good = s.run(good, Policy::kSjf);
+  const auto r_bad = s.run(bad, Policy::kSjf);
+  EXPECT_LT(r_good.mean_wait_s, r_bad.mean_wait_s);
+}
+
+TEST(Scheduler, MetricsAreConsistent) {
+  ClusterScheduler s(2);
+  const auto r = s.run({make_job("a", 1, 0, 10), make_job("b", 1, 5, 10),
+                        make_job("c", 2, 6, 10)},
+                       Policy::kFifo);
+  EXPECT_GT(r.makespan_s, 0.0);
+  EXPECT_GE(r.mean_turnaround_s, r.mean_wait_s);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-12);
+}
+
+class PolicyProperty : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(PolicyProperty, RandomTracesSatisfyInvariants) {
+  // validate_schedule() (run internally) checks no oversubscription, no
+  // early starts, exact durations — across random traces and policies.
+  sim::DdlSimulator sim;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    TraceConfig cfg;
+    cfg.num_jobs = 30;
+    cfg.mean_interarrival_s = 20.0;
+    cfg.seed = seed;
+    const auto trace = generate_trace(sim, cfg);
+    ClusterScheduler s(16);
+    const auto r = s.run(to_jobs(trace), GetParam());
+    EXPECT_EQ(r.placements.size(), 30u);
+  }
+}
+
+TEST_P(PolicyProperty, WorkConservingOnSingleServer) {
+  // On one server with all jobs submitted at t=0, every policy yields the
+  // same makespan (sum of durations) — only the order differs.
+  std::vector<Job> jobs;
+  double total = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    const double d = 10.0 * (i + 1);
+    jobs.push_back(make_job("j" + std::to_string(i), 1, 0, d));
+    total += d;
+  }
+  ClusterScheduler s(1);
+  const auto r = s.run(jobs, GetParam());
+  EXPECT_NEAR(r.makespan_s, total, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperty,
+                         ::testing::Values(Policy::kFifo, Policy::kSjf,
+                                           Policy::kEasyBackfill),
+                         [](const ::testing::TestParamInfo<Policy>& info) {
+                           return policy_name(info.param);
+                         });
+
+TEST(Trace, DeterministicAndOrdered) {
+  sim::DdlSimulator sim;
+  TraceConfig cfg;
+  cfg.num_jobs = 12;
+  const auto a = generate_trace(sim, cfg);
+  const auto b = generate_trace(sim, cfg);
+  ASSERT_EQ(a.size(), 12u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job.id, b[i].job.id);
+    EXPECT_DOUBLE_EQ(a[i].job.actual_s, b[i].job.actual_s);
+    if (i > 0) EXPECT_GE(a[i].job.submit_s, a[i - 1].job.submit_s);
+  }
+}
+
+TEST(Trace, EstimateCallbackIsUsed) {
+  sim::DdlSimulator sim;
+  TraceConfig cfg;
+  cfg.num_jobs = 5;
+  const auto trace = generate_trace(
+      sim, cfg, [](const workload::DlWorkload&, const cluster::ClusterSpec&) {
+        return 123.0;
+      });
+  for (const auto& tj : trace) {
+    EXPECT_DOUBLE_EQ(tj.job.estimate_s, 123.0);
+    EXPECT_NE(tj.job.actual_s, 123.0);
+  }
+}
+
+TEST(Trace, RespectsServerBounds) {
+  sim::DdlSimulator sim;
+  TraceConfig cfg;
+  cfg.num_jobs = 40;
+  cfg.min_servers = 2;
+  cfg.max_servers = 5;
+  for (const auto& tj : generate_trace(sim, cfg)) {
+    EXPECT_GE(tj.job.servers, 2);
+    EXPECT_LE(tj.job.servers, 5);
+  }
+}
+
+}  // namespace
+}  // namespace pddl::sched

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cherrypick.hpp"
+#include "baselines/paleo.hpp"
+
+namespace pddl::baselines {
+namespace {
+
+workload::DlWorkload wl(const std::string& model) {
+  return {model, workload::cifar10(), 64, 10};
+}
+
+TEST(CloudConfig, PriceReflectsHardwareClass) {
+  const CloudConfig cpu{"e5_2650", 4};
+  const CloudConfig gpu{"p100", 4};
+  EXPECT_GT(gpu.unit_price(), cpu.unit_price());
+  const CloudConfig p8{"p100", 8};
+  const CloudConfig p4{"p100", 4};
+  EXPECT_DOUBLE_EQ(p8.unit_price(), 2.0 * p4.unit_price());
+}
+
+TEST(CloudConfig, FeaturesOneHotSku) {
+  const Vector f = CloudConfig{"p100", 6}.features();
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_DOUBLE_EQ(f[0] + f[1] + f[2], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 1.0);
+  EXPECT_DOUBLE_EQ(f[3], 6.0);
+}
+
+TEST(SearchSpace, CoversSkusAndCounts) {
+  const auto space = config_search_space(5);
+  EXPECT_EQ(space.size(), 15u);
+}
+
+TEST(Oracle, FindsGlobalMinimum) {
+  sim::DdlSimulator sim;
+  const auto space = config_search_space(8);
+  Rng rng(1);
+  const auto oracle = oracle_search(wl("resnet18"), sim, space, rng);
+  EXPECT_EQ(oracle.evaluations, 24);
+  EXPECT_GT(oracle.best_cost, 0.0);
+}
+
+TEST(CherryPick, StaysWithinBudgetAndFindsCompetitiveConfig) {
+  sim::DdlSimulator sim;
+  const auto space = config_search_space(10);
+  Rng r1(7), r2(7);
+  const auto oracle = oracle_search(wl("resnet18"), sim, space, r1);
+  const auto cp = cherrypick_search(wl("resnet18"), sim, space, /*budget=*/10,
+                                    r2);
+  EXPECT_LE(cp.evaluations, 10);
+  // Within 50% of the oracle cost while paying a fraction of its cluster time.
+  EXPECT_LT(cp.best_cost, 1.5 * oracle.best_cost);
+  EXPECT_LT(cp.evaluations_s, oracle.evaluations_s);
+}
+
+TEST(PredictorGuidedSearch, SingleEvaluationWithPerfectPredictor) {
+  sim::DdlSimulator sim;
+  const auto space = config_search_space(8);
+  // A perfect predictor: the simulator's own expected time.
+  auto perfect = [&](const CloudConfig& cfg) {
+    return sim.expected(wl("resnet18"), cfg.cluster()).total_s;
+  };
+  Rng r1(3), r2(3);
+  const auto guided =
+      predictor_guided_search(wl("resnet18"), sim, space, perfect, r1);
+  const auto oracle = oracle_search(wl("resnet18"), sim, space, r2);
+  EXPECT_EQ(guided.evaluations, 1);
+  // With a perfect predictor the recommendation matches the oracle's config
+  // up to measurement noise on cost.
+  EXPECT_LT(guided.best_cost, 1.15 * oracle.best_cost);
+}
+
+TEST(Paleo, CalibrationRecoversReasonableConstants) {
+  sim::DdlSimulator sim;
+  std::vector<PaleoModel::CalibrationRun> runs;
+  Rng rng(5);
+  for (const char* model : {"alexnet", "vgg11", "resnet50"}) {
+    for (int n : {1, 4, 12}) {
+      PaleoModel::CalibrationRun run;
+      run.workload = wl(model);
+      run.cluster = cluster::make_uniform_cluster("p100", n);
+      run.measured_s = sim.run(run.workload, run.cluster, rng).total_s;
+      runs.push_back(std::move(run));
+    }
+  }
+  PaleoModel paleo;
+  paleo.calibrate(runs);
+  EXPECT_TRUE(paleo.calibrated());
+  // η must be a plausible fraction of peak; B a plausible bandwidth.
+  EXPECT_GT(paleo.efficiency(), 0.01);
+  EXPECT_LT(paleo.efficiency(), 1.0);
+  EXPECT_GT(paleo.effective_bandwidth(), 1e7);
+}
+
+TEST(Paleo, PredictsHeldOutModelWithinFactorTwo) {
+  sim::DdlSimulator sim;
+  std::vector<PaleoModel::CalibrationRun> runs;
+  Rng rng(6);
+  for (const char* model : {"alexnet", "vgg11", "resnet50", "densenet121"}) {
+    for (int n : {1, 2, 4, 8, 16}) {
+      PaleoModel::CalibrationRun run;
+      run.workload = wl(model);
+      run.cluster = cluster::make_uniform_cluster("p100", n);
+      run.measured_s = sim.run(run.workload, run.cluster, rng).total_s;
+      runs.push_back(std::move(run));
+    }
+  }
+  PaleoModel paleo;
+  paleo.calibrate(runs);
+  // Held-out architecture, held-out cluster size.
+  const auto w = wl("resnet34");
+  const auto cluster = cluster::make_uniform_cluster("p100", 6);
+  const double actual = sim.expected(w, cluster).total_s;
+  const double pred = paleo.predict(w, cluster);
+  EXPECT_GT(pred / actual, 0.5);
+  EXPECT_LT(pred / actual, 2.0);
+}
+
+TEST(Paleo, RequiresEnoughCalibrationRuns) {
+  PaleoModel paleo;
+  std::vector<PaleoModel::CalibrationRun> too_few(2);
+  EXPECT_THROW(paleo.calibrate(too_few), Error);
+  EXPECT_THROW(paleo.predict(wl("alexnet"),
+                             cluster::make_uniform_cluster("p100", 2)),
+               Error);
+}
+
+}  // namespace
+}  // namespace pddl::baselines

@@ -1,0 +1,94 @@
+// Property sweep: simulator invariants must hold for every registered
+// architecture, not just the handful exercised in simulator_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/models.hpp"
+#include "simulator/ddl_simulator.hpp"
+
+namespace pddl::sim {
+namespace {
+
+class AllModelsSimProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllModelsSimProperty, TimesFinitePositiveAndDecomposed) {
+  DdlSimulator sim;
+  workload::DlWorkload w{GetParam(), workload::cifar10(), 64, 10};
+  const auto g = w.build_graph();
+  for (int n : {1, 5, 20}) {
+    const auto c = cluster::make_uniform_cluster("p100", n);
+    const SimResult r = sim.expected(w, g, c);
+    EXPECT_TRUE(std::isfinite(r.total_s));
+    EXPECT_GT(r.total_s, 0.0);
+    EXPECT_GT(r.iterations, 0);
+    // Components never exceed the total.
+    EXPECT_LE(r.startup_s, r.total_s + 1e-9);
+    EXPECT_GE(r.compute_s, 0.0);
+    EXPECT_GE(r.comm_s, 0.0);
+    EXPECT_GE(r.input_s, 0.0);
+    // The decomposition reconstructs the total exactly.
+    EXPECT_NEAR(r.total_s,
+                r.startup_s + r.compute_s + r.comm_s + r.input_s, 1e-6);
+  }
+}
+
+TEST_P(AllModelsSimProperty, TotalComputeShrinksWithServers) {
+  DdlSimulator sim;
+  workload::DlWorkload w{GetParam(), workload::cifar10(), 64, 10};
+  const auto g = w.build_graph();
+  double prev = 1e300;
+  for (int n : {1, 2, 4, 8, 16}) {
+    const double compute =
+        sim.expected(w, g, cluster::make_uniform_cluster("p100", n)).compute_s;
+    EXPECT_LT(compute, prev) << GetParam() << " at " << n << " servers";
+    prev = compute;
+  }
+}
+
+TEST_P(AllModelsSimProperty, MoreEpochsCostProportionallyMore) {
+  DdlSimulator sim;
+  const auto c = cluster::make_uniform_cluster("p100", 4);
+  workload::DlWorkload w{GetParam(), workload::cifar10(), 64, 10};
+  const auto g = w.build_graph();
+  const SimResult r10 = sim.expected(w, g, c);
+  w.epochs = 20;
+  const SimResult r20 = sim.expected(w, g, c);
+  // Steady-state time doubles; startup does not.
+  EXPECT_NEAR(r20.total_s - r20.startup_s,
+              2.0 * (r10.total_s - r10.startup_s), 1e-6);
+}
+
+TEST_P(AllModelsSimProperty, EfficiencyInUnitIntervalBothDevices) {
+  DdlSimulator sim;
+  const auto g = graph::build_model(GetParam(), {3, 32, 32}, 10);
+  for (bool gpu : {false, true}) {
+    const double e = sim.op_mix_efficiency(g, gpu);
+    EXPECT_GT(e, 0.0) << GetParam();
+    EXPECT_LE(e, 1.0) << GetParam();
+  }
+}
+
+TEST_P(AllModelsSimProperty, NoiseIsBoundedMultiplicative) {
+  DdlSimulator sim;
+  const auto c = cluster::make_uniform_cluster("p100", 4);
+  workload::DlWorkload w{GetParam(), workload::cifar10(), 64, 10};
+  const auto g = w.build_graph();
+  const double expected = sim.expected(w, g, c).total_s;
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    const double noisy = sim.run(w, g, c, rng).total_s;
+    EXPECT_GT(noisy, 0.6 * expected) << GetParam();
+    EXPECT_LT(noisy, 1.6 * expected) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllModelsSimProperty, ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& m : graph::model_registry()) names.push_back(m.name);
+      return names;
+    }()));
+
+}  // namespace
+}  // namespace pddl::sim

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/models.hpp"
+#include "simulator/campaign.hpp"
+#include "simulator/ddl_simulator.hpp"
+
+namespace pddl::sim {
+namespace {
+
+workload::DlWorkload wl(const std::string& model, bool tiny = false) {
+  return {model, tiny ? workload::tiny_imagenet() : workload::cifar10(), 64, 10};
+}
+
+TEST(Simulator, ExpectedIsDeterministic) {
+  DdlSimulator sim;
+  const auto c = cluster::make_uniform_cluster("p100", 4);
+  const auto a = sim.expected(wl("resnet18"), c);
+  const auto b = sim.expected(wl("resnet18"), c);
+  EXPECT_DOUBLE_EQ(a.total_s, b.total_s);
+}
+
+TEST(Simulator, RunIsNoisyButSeedDeterministic) {
+  DdlSimulator sim;
+  const auto c = cluster::make_uniform_cluster("p100", 4);
+  Rng r1(7), r2(7), r3(8);
+  const double a = sim.run(wl("resnet18"), c, r1).total_s;
+  const double b = sim.run(wl("resnet18"), c, r2).total_s;
+  const double d = sim.run(wl("resnet18"), c, r3).total_s;
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(a, d);
+}
+
+TEST(Simulator, NoiseIsSmallRelativePerturbation) {
+  DdlSimulator sim;
+  const auto c = cluster::make_uniform_cluster("p100", 4);
+  const double expected = sim.expected(wl("resnet18"), c).total_s;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const double noisy = sim.run(wl("resnet18"), c, rng).total_s;
+    EXPECT_GT(noisy, expected * 0.75);
+    EXPECT_LT(noisy, expected * 1.35);
+  }
+}
+
+TEST(Simulator, ComputeTimeDecreasesWithServers) {
+  // Weak scaling: per-iteration compute is constant, but iterations per
+  // epoch shrink with the global batch, so total compute time falls.
+  DdlSimulator sim;
+  double prev = 1e300;
+  for (int n : {1, 2, 4, 8, 16}) {
+    const auto r = sim.expected(
+        wl("resnet18"), cluster::make_uniform_cluster("p100", n));
+    EXPECT_LT(r.compute_s, prev) << n << " servers";
+    prev = r.compute_s;
+  }
+}
+
+TEST(Simulator, CommunicationAppearsOnlyBeyondOneServer) {
+  DdlSimulator sim;
+  const auto r1 = sim.expected(wl("resnet18"),
+                               cluster::make_uniform_cluster("p100", 1));
+  const auto r8 = sim.expected(wl("resnet18"),
+                               cluster::make_uniform_cluster("p100", 8));
+  EXPECT_DOUBLE_EQ(r1.comm_s, 0.0);
+  EXPECT_GE(r8.comm_s, 0.0);
+}
+
+TEST(Simulator, StartupGrowsWithClusterSize) {
+  DdlSimulator sim;
+  const auto r2 = sim.expected(wl("alexnet"),
+                               cluster::make_uniform_cluster("p100", 2));
+  const auto r16 = sim.expected(wl("alexnet"),
+                                cluster::make_uniform_cluster("p100", 16));
+  EXPECT_LT(r2.startup_s, r16.startup_s);
+}
+
+TEST(Simulator, BiggerModelTakesLonger) {
+  DdlSimulator sim;
+  const auto c = cluster::make_uniform_cluster("p100", 4);
+  const double small = sim.expected(wl("mobilenet_v3_small"), c).total_s;
+  const double big = sim.expected(wl("resnet50"), c).total_s;
+  EXPECT_LT(small, big);
+}
+
+TEST(Simulator, GpuFasterThanCpuOnComputeHeavyModel) {
+  DdlSimulator sim;
+  const double gpu =
+      sim.expected(wl("vgg16"), cluster::make_uniform_cluster("p100", 4))
+          .compute_s;
+  const double cpu =
+      sim.expected(wl("vgg16"), cluster::make_uniform_cluster("e5_2630", 4))
+          .compute_s;
+  EXPECT_LT(gpu, cpu);
+}
+
+TEST(Simulator, SlowSkuSlowerThanFastSku) {
+  DdlSimulator sim;
+  const double fast =
+      sim.expected(wl("resnet18", true),
+                   cluster::make_uniform_cluster("e5_2630", 4))
+          .total_s;
+  const double slow =
+      sim.expected(wl("resnet18", true),
+                   cluster::make_uniform_cluster("e5_2650", 4))
+          .total_s;
+  EXPECT_LT(fast, slow);
+}
+
+TEST(Simulator, HeterogeneousClusterBoundBySlowestServer) {
+  DdlSimulator sim;
+  cluster::ClusterSpec hetero;
+  hetero.servers.push_back(cluster::make_e5_2630_server("fast"));
+  hetero.servers.push_back(cluster::make_e5_2650_server("slow"));
+  cluster::ClusterSpec slow_pair = cluster::make_uniform_cluster("e5_2650", 2);
+  const auto w = wl("resnet18", true);
+  const double het = sim.expected(w, hetero).iteration_s;
+  const double slow = sim.expected(w, slow_pair).iteration_s;
+  // The mixed cluster iterates no faster than the all-slow cluster's compute
+  // bound (identical slowest machine → identical compute phase).
+  EXPECT_NEAR(het, slow, slow * 0.05);
+}
+
+TEST(Simulator, OpMixEfficiencyWithinUnitInterval) {
+  DdlSimulator sim;
+  for (const char* name : {"resnet18", "mobilenet_v3_small", "vgg16"}) {
+    const auto g = graph::build_model(name, {3, 32, 32}, 10);
+    for (bool gpu : {false, true}) {
+      const double e = sim.op_mix_efficiency(g, gpu);
+      EXPECT_GT(e, 0.0) << name;
+      EXPECT_LE(e, 1.0) << name;
+    }
+  }
+}
+
+TEST(Simulator, DepthwiseHeavyModelLessEfficientOnGpu) {
+  DdlSimulator sim;
+  const auto mobilenet = graph::build_model("mobilenet_v2", {3, 32, 32}, 10);
+  const auto vgg = graph::build_model("vgg16", {3, 32, 32}, 10);
+  EXPECT_LT(sim.op_mix_efficiency(mobilenet, true),
+            sim.op_mix_efficiency(vgg, true));
+}
+
+TEST(Simulator, InvalidInputsRejected) {
+  DdlSimulator sim;
+  cluster::ClusterSpec empty;
+  EXPECT_THROW(sim.expected(wl("resnet18"), empty), Error);
+  workload::DlWorkload bad = wl("resnet18");
+  bad.batch_size_per_server = 0;
+  EXPECT_THROW(
+      sim.expected(bad, cluster::make_uniform_cluster("p100", 2)), Error);
+}
+
+TEST(Simulator, StrongScalingKeepsIterationCountConstant) {
+  SimConfig cfg;
+  cfg.strong_scaling = true;
+  DdlSimulator sim(cfg);
+  workload::DlWorkload w = wl("resnet18");
+  w.batch_size_per_server = 512;  // global batch under strong scaling
+  const auto r1 = sim.expected(w, cluster::make_uniform_cluster("p100", 1));
+  const auto r8 = sim.expected(w, cluster::make_uniform_cluster("p100", 8));
+  EXPECT_EQ(r1.iterations, r8.iterations);
+  // The compute phase shrinks as the global batch is split (the exposed
+  // allreduce may grow — ResNet-18 on 8 GPUs is communication-bound).
+  EXPECT_LT(r8.compute_s, r1.compute_s);
+}
+
+TEST(Simulator, StrongScalingShowsDiminishingReturns) {
+  SimConfig cfg;
+  cfg.strong_scaling = true;
+  DdlSimulator sim(cfg);
+  workload::DlWorkload w = wl("vgg16");
+  w.batch_size_per_server = 256;
+  const double t1 =
+      sim.expected(w, cluster::make_uniform_cluster("p100", 1)).total_s;
+  const double t4 =
+      sim.expected(w, cluster::make_uniform_cluster("p100", 4)).total_s;
+  const double speedup = t1 / t4;
+  EXPECT_GT(speedup, 1.0);   // parallelism helps ...
+  EXPECT_LT(speedup, 4.0);   // ... but sub-linearly (comm + startup)
+}
+
+TEST(Simulator, WeakAndStrongScalingAgreeOnOneServer) {
+  SimConfig strong;
+  strong.strong_scaling = true;
+  DdlSimulator weak_sim, strong_sim(strong);
+  const auto c = cluster::make_uniform_cluster("p100", 1);
+  EXPECT_DOUBLE_EQ(weak_sim.expected(wl("resnet18"), c).total_s,
+                   strong_sim.expected(wl("resnet18"), c).total_s);
+}
+
+TEST(Campaign, ProducesExpectedPointCount) {
+  DdlSimulator sim;
+  ThreadPool pool(8);
+  CampaignConfig cfg;
+  cfg.models = {"alexnet", "resnet18", "vgg11"};
+  cfg.min_servers = 1;
+  cfg.max_servers = 5;
+  cfg.batch_sizes = {64};
+  const auto ms = run_campaign(sim, cfg, pool);
+  // 3 models × 2 datasets × 5 server counts × 1 batch = 30.
+  EXPECT_EQ(ms.size(), 30u);
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  DdlSimulator sim;
+  ThreadPool pool(8);
+  CampaignConfig cfg;
+  cfg.models = {"alexnet", "resnet18"};
+  cfg.max_servers = 4;
+  cfg.batch_sizes = {32};
+  const auto a = run_campaign(sim, cfg, pool);
+  const auto b = run_campaign(sim, cfg, pool);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time_s, b[i].time_s);
+    EXPECT_EQ(a[i].model, b[i].model);
+  }
+}
+
+TEST(Campaign, MeasurementsCarryArchitectureStats) {
+  DdlSimulator sim;
+  ThreadPool pool(4);
+  CampaignConfig cfg;
+  cfg.models = {"resnet18"};
+  cfg.max_servers = 2;
+  cfg.batch_sizes = {64};
+  cfg.include_tiny_imagenet = false;
+  const auto ms = run_campaign(sim, cfg, pool);
+  ASSERT_FALSE(ms.empty());
+  for (const auto& m : ms) {
+    EXPECT_GT(m.model_params, 10'000'000);
+    EXPECT_GT(m.model_flops, 0);
+    EXPECT_GT(m.model_layers, 10);
+    EXPECT_EQ(m.sku, "p100");
+    EXPECT_FALSE(m.cluster_features.empty());
+    EXPECT_GT(m.time_s, 0.0);
+  }
+}
+
+TEST(Campaign, FiltersWork) {
+  DdlSimulator sim;
+  ThreadPool pool(4);
+  CampaignConfig cfg;
+  cfg.models = {"alexnet", "resnet18"};
+  cfg.max_servers = 3;
+  cfg.batch_sizes = {64};
+  const auto ms = run_campaign(sim, cfg, pool);
+  const auto cifar = filter_by_dataset(ms, "cifar10");
+  const auto resnet = filter_by_model(ms, "resnet18");
+  EXPECT_EQ(cifar.size(), ms.size() / 2);
+  EXPECT_EQ(resnet.size(), ms.size() / 2);
+  for (const auto& m : cifar) EXPECT_EQ(m.dataset, "cifar10");
+  for (const auto& m : resnet) EXPECT_EQ(m.model, "resnet18");
+}
+
+TEST(Campaign, FullScaleMatchesPaperOrderOfMagnitude) {
+  // All 31 models × 20 server counts × 2 datasets × 2 batches ≈ 2,480 — the
+  // paper reports "2,000 data points".
+  DdlSimulator sim;
+  ThreadPool pool(8);
+  CampaignConfig cfg;  // defaults
+  const auto ms = run_campaign(sim, cfg, pool);
+  EXPECT_EQ(ms.size(), 31u * 20u * 2u * 2u);
+  std::set<std::string> models;
+  for (const auto& m : ms) models.insert(m.model);
+  EXPECT_EQ(models.size(), 31u);
+}
+
+}  // namespace
+}  // namespace pddl::sim

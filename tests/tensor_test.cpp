@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/matrix.hpp"
+
+namespace pddl {
+namespace {
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  Matrix i = Matrix::identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, TransposeRoundTrips) {
+  Rng rng(1);
+  Matrix m = Matrix::randn(5, 3, rng);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MatmulIdentityIsNoop) {
+  Rng rng(2);
+  Matrix m = Matrix::randn(4, 4, rng);
+  EXPECT_EQ(matmul(m, Matrix::identity(4)), m);
+  EXPECT_EQ(matmul(Matrix::identity(4), m), m);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Matrix, MatmulAssociativity) {
+  Rng rng(3);
+  Matrix a = Matrix::randn(3, 4, rng);
+  Matrix b = Matrix::randn(4, 5, rng);
+  Matrix c = Matrix::randn(5, 2, rng);
+  Matrix left = matmul(matmul(a, b), c);
+  Matrix right = matmul(a, matmul(b, c));
+  EXPECT_LT((left - right).max_abs(), 1e-12);
+}
+
+TEST(Matrix, MatvecMatchesMatmulColumn) {
+  Rng rng(4);
+  Matrix a = Matrix::randn(6, 4, rng);
+  Vector x = {1.0, -2.0, 0.5, 3.0};
+  Vector y = matvec(a, x);
+  Matrix ym = matmul(a, Matrix::column(x));
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], ym(i, 0), 1e-14);
+}
+
+TEST(Matrix, MatvecTransposedMatchesExplicitTranspose) {
+  Rng rng(5);
+  Matrix a = Matrix::randn(6, 4, rng);
+  Vector x = {1, 2, 3, 4, 5, 6};
+  Vector y1 = matvec_transposed(a, x);
+  Vector y2 = matvec(a.transposed(), x);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+TEST(Matrix, HadamardElementwise) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{2, 2}, {0.5, -1}};
+  Matrix h = hadamard(a, b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 2);
+  EXPECT_DOUBLE_EQ(h(1, 1), -4);
+}
+
+TEST(Matrix, RowColAccessors) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (Vector{3, 6}));
+  m.set_row(0, {7, 8, 9});
+  EXPECT_EQ(m.row(0), (Vector{7, 8, 9}));
+  m.set_col(0, {0, -1});
+  EXPECT_DOUBLE_EQ(m(1, 0), -1);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, StreamOutputMentionsShape) {
+  Matrix m(2, 2);
+  std::ostringstream os;
+  os << m;
+  EXPECT_NE(os.str().find("2x2"), std::string::npos);
+}
+
+TEST(VectorOps, DotNormAndAxpy) {
+  Vector a{1, 2, 3};
+  Vector b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{3, 4}), 5.0);
+  axpy(a, 2.0, b);
+  EXPECT_EQ(a, (Vector{9, 12, 15}));
+}
+
+TEST(VectorOps, CosineSimilarityProperties) {
+  Vector a{1, 0, 0};
+  Vector b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, vscale(a, -2.0)), -1.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, Vector{0, 0, 0}), 0.0);
+}
+
+TEST(VectorOps, ScaleInvarianceOfCosine) {
+  Rng rng(6);
+  Vector a(16), b(16);
+  for (auto& x : a) x = rng.gaussian();
+  for (auto& x : b) x = rng.gaussian();
+  EXPECT_NEAR(cosine_similarity(a, b),
+              cosine_similarity(vscale(a, 7.5), vscale(b, 0.1)), 1e-12);
+}
+
+// Property sweep: matmul distributes over addition for random shapes.
+class MatmulProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulProperty, DistributesOverAddition) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t m = 1 + rng.uniform_int(std::uint64_t{8});
+  const std::size_t k = 1 + rng.uniform_int(std::uint64_t{8});
+  const std::size_t n = 1 + rng.uniform_int(std::uint64_t{8});
+  Matrix a = Matrix::randn(m, k, rng);
+  Matrix b = Matrix::randn(k, n, rng);
+  Matrix c = Matrix::randn(k, n, rng);
+  Matrix lhs = matmul(a, b + c);
+  Matrix rhs = matmul(a, b) + matmul(a, c);
+  EXPECT_LT((lhs - rhs).max_abs(), 1e-12);
+}
+
+TEST_P(MatmulProperty, TransposeReversesProduct) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const std::size_t m = 1 + rng.uniform_int(std::uint64_t{6});
+  const std::size_t k = 1 + rng.uniform_int(std::uint64_t{6});
+  const std::size_t n = 1 + rng.uniform_int(std::uint64_t{6});
+  Matrix a = Matrix::randn(m, k, rng);
+  Matrix b = Matrix::randn(k, n, rng);
+  Matrix lhs = matmul(a, b).transposed();
+  Matrix rhs = matmul(b.transposed(), a.transposed());
+  EXPECT_LT((lhs - rhs).max_abs(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, MatmulProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pddl

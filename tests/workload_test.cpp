@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "workload/workload.hpp"
+
+namespace pddl::workload {
+namespace {
+
+TEST(Datasets, Cifar10Descriptor) {
+  const DatasetDescriptor d = cifar10();
+  EXPECT_EQ(d.name, "cifar10");
+  EXPECT_EQ(d.num_samples, 60'000);
+  EXPECT_EQ(d.num_classes, 10);
+  EXPECT_EQ(d.input, (graph::TensorShape{3, 32, 32}));
+  EXPECT_NEAR(d.bytes_per_sample(), 163.0 * 1024 * 1024 / 60'000, 1.0);
+}
+
+TEST(Datasets, TinyImagenetDescriptor) {
+  const DatasetDescriptor d = tiny_imagenet();
+  EXPECT_EQ(d.num_samples, 100'000);
+  EXPECT_EQ(d.num_classes, 200);
+  EXPECT_EQ(d.input, (graph::TensorShape{3, 64, 64}));
+}
+
+TEST(Workload, BuildGraphUsesDatasetResolutionAndClasses) {
+  DlWorkload w{"resnet18", tiny_imagenet(), 64, 10};
+  graph::CompGraph g = w.build_graph();
+  EXPECT_EQ(g.node(0).out_shape, (graph::TensorShape{3, 64, 64}));
+  const auto& sink = g.node(static_cast<int>(g.num_nodes()) - 1);
+  EXPECT_EQ(sink.out_shape.c, 200);
+}
+
+TEST(Workload, KeyCombinesModelAndDataset) {
+  DlWorkload w{"vgg16", cifar10(), 64, 10};
+  EXPECT_EQ(w.key(), "vgg16@cifar10");
+}
+
+TEST(Table2, EightCifarAndThreeTinyImagenetWorkloads) {
+  EXPECT_EQ(table2_cifar_workloads().size(), 8u);
+  EXPECT_EQ(table2_tiny_imagenet_workloads().size(), 3u);
+  EXPECT_EQ(table2_workloads().size(), 11u);
+}
+
+TEST(Table2, AllWorkloadsAreRegisteredModels) {
+  for (const auto& w : table2_workloads()) {
+    EXPECT_TRUE(graph::has_model(w.model)) << w.model;
+  }
+}
+
+TEST(Table2, MatchesPaperModels) {
+  const auto cifar = table2_cifar_workloads();
+  // Table II lists EfficientNet-B0, ResNeXt-50, VGG-16, AlexNet, ResNet-18,
+  // DenseNet-161, MobileNet-V3, SqueezeNet-1 on CIFAR-10.
+  std::vector<std::string> names;
+  for (const auto& w : cifar) names.push_back(w.model);
+  EXPECT_NE(std::find(names.begin(), names.end(), "efficientnet_b0"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "vgg16"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "densenet161"), names.end());
+  const auto tiny = table2_tiny_imagenet_workloads();
+  for (const auto& w : tiny) {
+    EXPECT_TRUE(w.model == "alexnet" || w.model == "resnet18" ||
+                w.model == "squeezenet1_0")
+        << w.model;
+  }
+}
+
+}  // namespace
+}  // namespace pddl::workload
