@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_analytical_baselines"
+  "../bench/abl_analytical_baselines.pdb"
+  "CMakeFiles/abl_analytical_baselines.dir/abl_analytical_baselines.cpp.o"
+  "CMakeFiles/abl_analytical_baselines.dir/abl_analytical_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_analytical_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

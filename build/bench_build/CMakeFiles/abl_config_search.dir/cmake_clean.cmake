@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_config_search"
+  "../bench/abl_config_search.pdb"
+  "CMakeFiles/abl_config_search.dir/abl_config_search.cpp.o"
+  "CMakeFiles/abl_config_search.dir/abl_config_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_config_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

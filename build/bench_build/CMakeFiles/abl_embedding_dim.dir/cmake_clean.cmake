@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_embedding_dim"
+  "../bench/abl_embedding_dim.pdb"
+  "CMakeFiles/abl_embedding_dim.dir/abl_embedding_dim.cpp.o"
+  "CMakeFiles/abl_embedding_dim.dir/abl_embedding_dim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_embedding_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

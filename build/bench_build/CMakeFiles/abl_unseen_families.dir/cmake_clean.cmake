@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_unseen_families"
+  "../bench/abl_unseen_families.pdb"
+  "CMakeFiles/abl_unseen_families.dir/abl_unseen_families.cpp.o"
+  "CMakeFiles/abl_unseen_families.dir/abl_unseen_families.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_unseen_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

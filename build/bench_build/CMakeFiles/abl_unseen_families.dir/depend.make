@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_unseen_families.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_virtual_edges"
+  "../bench/abl_virtual_edges.pdb"
+  "CMakeFiles/abl_virtual_edges.dir/abl_virtual_edges.cpp.o"
+  "CMakeFiles/abl_virtual_edges.dir/abl_virtual_edges.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_virtual_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig01_02_blackbox_graybox.cpp" "bench_build/CMakeFiles/fig01_02_blackbox_graybox.dir/fig01_02_blackbox_graybox.cpp.o" "gcc" "bench_build/CMakeFiles/fig01_02_blackbox_graybox.dir/fig01_02_blackbox_graybox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pddl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pddl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pddl_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ghn/CMakeFiles/pddl_ghn.dir/DependInfo.cmake"
+  "/root/repo/build/src/regress/CMakeFiles/pddl_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pddl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/pddl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/pddl_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pddl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pddl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pddl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pddl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pddl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pddl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_02_blackbox_graybox"
+  "../bench/fig01_02_blackbox_graybox.pdb"
+  "CMakeFiles/fig01_02_blackbox_graybox.dir/fig01_02_blackbox_graybox.cpp.o"
+  "CMakeFiles/fig01_02_blackbox_graybox.dir/fig01_02_blackbox_graybox.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_02_blackbox_graybox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

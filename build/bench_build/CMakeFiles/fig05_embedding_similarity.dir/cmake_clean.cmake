@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_embedding_similarity"
+  "../bench/fig05_embedding_similarity.pdb"
+  "CMakeFiles/fig05_embedding_similarity.dir/fig05_embedding_similarity.cpp.o"
+  "CMakeFiles/fig05_embedding_similarity.dir/fig05_embedding_similarity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_embedding_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

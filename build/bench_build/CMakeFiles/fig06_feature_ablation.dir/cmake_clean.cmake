@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_feature_ablation"
+  "../bench/fig06_feature_ablation.pdb"
+  "CMakeFiles/fig06_feature_ablation.dir/fig06_feature_ablation.cpp.o"
+  "CMakeFiles/fig06_feature_ablation.dir/fig06_feature_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_feature_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

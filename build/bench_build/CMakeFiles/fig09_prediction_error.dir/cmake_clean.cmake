@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_prediction_error"
+  "../bench/fig09_prediction_error.pdb"
+  "CMakeFiles/fig09_prediction_error.dir/fig09_prediction_error.cpp.o"
+  "CMakeFiles/fig09_prediction_error.dir/fig09_prediction_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

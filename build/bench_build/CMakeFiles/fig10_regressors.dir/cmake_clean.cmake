@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_regressors"
+  "../bench/fig10_regressors.pdb"
+  "CMakeFiles/fig10_regressors.dir/fig10_regressors.cpp.o"
+  "CMakeFiles/fig10_regressors.dir/fig10_regressors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_regressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

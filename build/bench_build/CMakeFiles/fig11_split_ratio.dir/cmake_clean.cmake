@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_split_ratio"
+  "../bench/fig11_split_ratio.pdb"
+  "CMakeFiles/fig11_split_ratio.dir/fig11_split_ratio.cpp.o"
+  "CMakeFiles/fig11_split_ratio.dir/fig11_split_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_split_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

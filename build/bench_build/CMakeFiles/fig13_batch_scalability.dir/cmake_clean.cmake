@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_batch_scalability"
+  "../bench/fig13_batch_scalability.pdb"
+  "CMakeFiles/fig13_batch_scalability.dir/fig13_batch_scalability.cpp.o"
+  "CMakeFiles/fig13_batch_scalability.dir/fig13_batch_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_batch_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

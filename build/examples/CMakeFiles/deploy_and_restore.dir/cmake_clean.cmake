@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_and_restore.dir/deploy_and_restore.cpp.o"
+  "CMakeFiles/deploy_and_restore.dir/deploy_and_restore.cpp.o.d"
+  "deploy_and_restore"
+  "deploy_and_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_and_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_inspector.dir/model_inspector.cpp.o"
+  "CMakeFiles/model_inspector.dir/model_inspector.cpp.o.d"
+  "model_inspector"
+  "model_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

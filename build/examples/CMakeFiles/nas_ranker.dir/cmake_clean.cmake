@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_ranker.dir/nas_ranker.cpp.o"
+  "CMakeFiles/nas_ranker.dir/nas_ranker.cpp.o.d"
+  "nas_ranker"
+  "nas_ranker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_ranker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

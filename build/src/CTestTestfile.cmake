@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("parallel")
+subdirs("tensor")
+subdirs("autograd")
+subdirs("nn")
+subdirs("graph")
+subdirs("ghn")
+subdirs("workload")
+subdirs("cluster")
+subdirs("simulator")
+subdirs("regress")
+subdirs("baselines")
+subdirs("sched")
+subdirs("core")

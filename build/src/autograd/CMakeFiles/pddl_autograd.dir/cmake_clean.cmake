@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_autograd.dir/optim.cpp.o"
+  "CMakeFiles/pddl_autograd.dir/optim.cpp.o.d"
+  "CMakeFiles/pddl_autograd.dir/tape.cpp.o"
+  "CMakeFiles/pddl_autograd.dir/tape.cpp.o.d"
+  "libpddl_autograd.a"
+  "libpddl_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_baselines.dir/box_models.cpp.o"
+  "CMakeFiles/pddl_baselines.dir/box_models.cpp.o.d"
+  "CMakeFiles/pddl_baselines.dir/cherrypick.cpp.o"
+  "CMakeFiles/pddl_baselines.dir/cherrypick.cpp.o.d"
+  "CMakeFiles/pddl_baselines.dir/ernest.cpp.o"
+  "CMakeFiles/pddl_baselines.dir/ernest.cpp.o.d"
+  "CMakeFiles/pddl_baselines.dir/paleo.cpp.o"
+  "CMakeFiles/pddl_baselines.dir/paleo.cpp.o.d"
+  "libpddl_baselines.a"
+  "libpddl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

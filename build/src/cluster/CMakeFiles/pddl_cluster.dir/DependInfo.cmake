@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/pddl_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/pddl_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/resource_collector.cpp" "src/cluster/CMakeFiles/pddl_cluster.dir/resource_collector.cpp.o" "gcc" "src/cluster/CMakeFiles/pddl_cluster.dir/resource_collector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pddl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pddl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pddl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

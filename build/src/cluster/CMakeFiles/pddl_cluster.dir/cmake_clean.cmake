@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/pddl_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/pddl_cluster.dir/resource_collector.cpp.o"
+  "CMakeFiles/pddl_cluster.dir/resource_collector.cpp.o.d"
+  "libpddl_cluster.a"
+  "libpddl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_common.dir/table.cpp.o"
+  "CMakeFiles/pddl_common.dir/table.cpp.o.d"
+  "libpddl_common.a"
+  "libpddl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

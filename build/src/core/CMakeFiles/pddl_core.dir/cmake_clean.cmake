@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_core.dir/batch_predictor.cpp.o"
+  "CMakeFiles/pddl_core.dir/batch_predictor.cpp.o.d"
+  "CMakeFiles/pddl_core.dir/features.cpp.o"
+  "CMakeFiles/pddl_core.dir/features.cpp.o.d"
+  "CMakeFiles/pddl_core.dir/predict_ddl.cpp.o"
+  "CMakeFiles/pddl_core.dir/predict_ddl.cpp.o.d"
+  "libpddl_core.a"
+  "libpddl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ghn/ghn2.cpp" "src/ghn/CMakeFiles/pddl_ghn.dir/ghn2.cpp.o" "gcc" "src/ghn/CMakeFiles/pddl_ghn.dir/ghn2.cpp.o.d"
+  "/root/repo/src/ghn/registry.cpp" "src/ghn/CMakeFiles/pddl_ghn.dir/registry.cpp.o" "gcc" "src/ghn/CMakeFiles/pddl_ghn.dir/registry.cpp.o.d"
+  "/root/repo/src/ghn/trainer.cpp" "src/ghn/CMakeFiles/pddl_ghn.dir/trainer.cpp.o" "gcc" "src/ghn/CMakeFiles/pddl_ghn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pddl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pddl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pddl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/pddl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pddl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pddl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

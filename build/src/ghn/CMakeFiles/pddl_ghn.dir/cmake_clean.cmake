@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_ghn.dir/ghn2.cpp.o"
+  "CMakeFiles/pddl_ghn.dir/ghn2.cpp.o.d"
+  "CMakeFiles/pddl_ghn.dir/registry.cpp.o"
+  "CMakeFiles/pddl_ghn.dir/registry.cpp.o.d"
+  "CMakeFiles/pddl_ghn.dir/trainer.cpp.o"
+  "CMakeFiles/pddl_ghn.dir/trainer.cpp.o.d"
+  "libpddl_ghn.a"
+  "libpddl_ghn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_ghn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

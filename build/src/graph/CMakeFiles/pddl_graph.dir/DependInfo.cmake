@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/pddl_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/comp_graph.cpp" "src/graph/CMakeFiles/pddl_graph.dir/comp_graph.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/comp_graph.cpp.o.d"
+  "/root/repo/src/graph/darts.cpp" "src/graph/CMakeFiles/pddl_graph.dir/darts.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/darts.cpp.o.d"
+  "/root/repo/src/graph/models_classic.cpp" "src/graph/CMakeFiles/pddl_graph.dir/models_classic.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/models_classic.cpp.o.d"
+  "/root/repo/src/graph/models_extended.cpp" "src/graph/CMakeFiles/pddl_graph.dir/models_extended.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/models_extended.cpp.o.d"
+  "/root/repo/src/graph/models_mobile.cpp" "src/graph/CMakeFiles/pddl_graph.dir/models_mobile.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/models_mobile.cpp.o.d"
+  "/root/repo/src/graph/models_resnet.cpp" "src/graph/CMakeFiles/pddl_graph.dir/models_resnet.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/models_resnet.cpp.o.d"
+  "/root/repo/src/graph/op_type.cpp" "src/graph/CMakeFiles/pddl_graph.dir/op_type.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/op_type.cpp.o.d"
+  "/root/repo/src/graph/registry.cpp" "src/graph/CMakeFiles/pddl_graph.dir/registry.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/registry.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/graph/CMakeFiles/pddl_graph.dir/serialize.cpp.o" "gcc" "src/graph/CMakeFiles/pddl_graph.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pddl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pddl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

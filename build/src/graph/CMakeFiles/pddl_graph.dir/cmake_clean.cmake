@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_graph.dir/builder.cpp.o"
+  "CMakeFiles/pddl_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/pddl_graph.dir/comp_graph.cpp.o"
+  "CMakeFiles/pddl_graph.dir/comp_graph.cpp.o.d"
+  "CMakeFiles/pddl_graph.dir/darts.cpp.o"
+  "CMakeFiles/pddl_graph.dir/darts.cpp.o.d"
+  "CMakeFiles/pddl_graph.dir/models_classic.cpp.o"
+  "CMakeFiles/pddl_graph.dir/models_classic.cpp.o.d"
+  "CMakeFiles/pddl_graph.dir/models_extended.cpp.o"
+  "CMakeFiles/pddl_graph.dir/models_extended.cpp.o.d"
+  "CMakeFiles/pddl_graph.dir/models_mobile.cpp.o"
+  "CMakeFiles/pddl_graph.dir/models_mobile.cpp.o.d"
+  "CMakeFiles/pddl_graph.dir/models_resnet.cpp.o"
+  "CMakeFiles/pddl_graph.dir/models_resnet.cpp.o.d"
+  "CMakeFiles/pddl_graph.dir/op_type.cpp.o"
+  "CMakeFiles/pddl_graph.dir/op_type.cpp.o.d"
+  "CMakeFiles/pddl_graph.dir/registry.cpp.o"
+  "CMakeFiles/pddl_graph.dir/registry.cpp.o.d"
+  "CMakeFiles/pddl_graph.dir/serialize.cpp.o"
+  "CMakeFiles/pddl_graph.dir/serialize.cpp.o.d"
+  "libpddl_graph.a"
+  "libpddl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_nn.dir/layers.cpp.o"
+  "CMakeFiles/pddl_nn.dir/layers.cpp.o.d"
+  "libpddl_nn.a"
+  "libpddl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

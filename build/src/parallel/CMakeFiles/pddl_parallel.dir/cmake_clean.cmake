@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/pddl_parallel.dir/thread_pool.cpp.o.d"
+  "libpddl_parallel.a"
+  "libpddl_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regress/dataset.cpp" "src/regress/CMakeFiles/pddl_regress.dir/dataset.cpp.o" "gcc" "src/regress/CMakeFiles/pddl_regress.dir/dataset.cpp.o.d"
+  "/root/repo/src/regress/gp.cpp" "src/regress/CMakeFiles/pddl_regress.dir/gp.cpp.o" "gcc" "src/regress/CMakeFiles/pddl_regress.dir/gp.cpp.o.d"
+  "/root/repo/src/regress/grid_search.cpp" "src/regress/CMakeFiles/pddl_regress.dir/grid_search.cpp.o" "gcc" "src/regress/CMakeFiles/pddl_regress.dir/grid_search.cpp.o.d"
+  "/root/repo/src/regress/linear.cpp" "src/regress/CMakeFiles/pddl_regress.dir/linear.cpp.o" "gcc" "src/regress/CMakeFiles/pddl_regress.dir/linear.cpp.o.d"
+  "/root/repo/src/regress/log_target.cpp" "src/regress/CMakeFiles/pddl_regress.dir/log_target.cpp.o" "gcc" "src/regress/CMakeFiles/pddl_regress.dir/log_target.cpp.o.d"
+  "/root/repo/src/regress/mlp_regressor.cpp" "src/regress/CMakeFiles/pddl_regress.dir/mlp_regressor.cpp.o" "gcc" "src/regress/CMakeFiles/pddl_regress.dir/mlp_regressor.cpp.o.d"
+  "/root/repo/src/regress/svr.cpp" "src/regress/CMakeFiles/pddl_regress.dir/svr.cpp.o" "gcc" "src/regress/CMakeFiles/pddl_regress.dir/svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pddl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pddl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pddl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/pddl_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pddl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_regress.dir/dataset.cpp.o"
+  "CMakeFiles/pddl_regress.dir/dataset.cpp.o.d"
+  "CMakeFiles/pddl_regress.dir/gp.cpp.o"
+  "CMakeFiles/pddl_regress.dir/gp.cpp.o.d"
+  "CMakeFiles/pddl_regress.dir/grid_search.cpp.o"
+  "CMakeFiles/pddl_regress.dir/grid_search.cpp.o.d"
+  "CMakeFiles/pddl_regress.dir/linear.cpp.o"
+  "CMakeFiles/pddl_regress.dir/linear.cpp.o.d"
+  "CMakeFiles/pddl_regress.dir/log_target.cpp.o"
+  "CMakeFiles/pddl_regress.dir/log_target.cpp.o.d"
+  "CMakeFiles/pddl_regress.dir/mlp_regressor.cpp.o"
+  "CMakeFiles/pddl_regress.dir/mlp_regressor.cpp.o.d"
+  "CMakeFiles/pddl_regress.dir/svr.cpp.o"
+  "CMakeFiles/pddl_regress.dir/svr.cpp.o.d"
+  "libpddl_regress.a"
+  "libpddl_regress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_regress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

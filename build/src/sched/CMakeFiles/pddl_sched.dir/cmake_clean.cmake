@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/pddl_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pddl_sched.dir/trace.cpp.o"
+  "CMakeFiles/pddl_sched.dir/trace.cpp.o.d"
+  "libpddl_sched.a"
+  "libpddl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

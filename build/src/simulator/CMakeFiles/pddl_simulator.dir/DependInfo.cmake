@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/campaign.cpp" "src/simulator/CMakeFiles/pddl_simulator.dir/campaign.cpp.o" "gcc" "src/simulator/CMakeFiles/pddl_simulator.dir/campaign.cpp.o.d"
+  "/root/repo/src/simulator/ddl_simulator.cpp" "src/simulator/CMakeFiles/pddl_simulator.dir/ddl_simulator.cpp.o" "gcc" "src/simulator/CMakeFiles/pddl_simulator.dir/ddl_simulator.cpp.o.d"
+  "/root/repo/src/simulator/measurement_io.cpp" "src/simulator/CMakeFiles/pddl_simulator.dir/measurement_io.cpp.o" "gcc" "src/simulator/CMakeFiles/pddl_simulator.dir/measurement_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pddl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pddl_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/pddl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pddl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pddl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pddl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_simulator.dir/campaign.cpp.o"
+  "CMakeFiles/pddl_simulator.dir/campaign.cpp.o.d"
+  "CMakeFiles/pddl_simulator.dir/ddl_simulator.cpp.o"
+  "CMakeFiles/pddl_simulator.dir/ddl_simulator.cpp.o.d"
+  "CMakeFiles/pddl_simulator.dir/measurement_io.cpp.o"
+  "CMakeFiles/pddl_simulator.dir/measurement_io.cpp.o.d"
+  "libpddl_simulator.a"
+  "libpddl_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_tensor.dir/linalg.cpp.o"
+  "CMakeFiles/pddl_tensor.dir/linalg.cpp.o.d"
+  "CMakeFiles/pddl_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/pddl_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/pddl_tensor.dir/nnls.cpp.o"
+  "CMakeFiles/pddl_tensor.dir/nnls.cpp.o.d"
+  "libpddl_tensor.a"
+  "libpddl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

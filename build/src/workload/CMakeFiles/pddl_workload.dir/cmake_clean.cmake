@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddl_workload.dir/workload.cpp.o"
+  "CMakeFiles/pddl_workload.dir/workload.cpp.o.d"
+  "libpddl_workload.a"
+  "libpddl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

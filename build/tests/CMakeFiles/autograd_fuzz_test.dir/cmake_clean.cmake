@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_fuzz_test.dir/autograd_fuzz_test.cpp.o"
+  "CMakeFiles/autograd_fuzz_test.dir/autograd_fuzz_test.cpp.o.d"
+  "autograd_fuzz_test"
+  "autograd_fuzz_test.pdb"
+  "autograd_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

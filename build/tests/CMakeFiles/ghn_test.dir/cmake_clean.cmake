@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghn_test.dir/ghn_test.cpp.o"
+  "CMakeFiles/ghn_test.dir/ghn_test.cpp.o.d"
+  "ghn_test"
+  "ghn_test.pdb"
+  "ghn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

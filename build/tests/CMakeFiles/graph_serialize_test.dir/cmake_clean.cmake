@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_serialize_test.dir/graph_serialize_test.cpp.o"
+  "CMakeFiles/graph_serialize_test.dir/graph_serialize_test.cpp.o.d"
+  "graph_serialize_test"
+  "graph_serialize_test.pdb"
+  "graph_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

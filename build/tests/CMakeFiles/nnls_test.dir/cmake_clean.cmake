@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nnls_test.dir/nnls_test.cpp.o"
+  "CMakeFiles/nnls_test.dir/nnls_test.cpp.o.d"
+  "nnls_test"
+  "nnls_test.pdb"
+  "nnls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nnls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
