@@ -1,0 +1,223 @@
+// Load generator for the prediction service (src/serve/).
+//
+// Two experiments over repeat-architecture traffic (the service's intended
+// regime — schedulers and NAS rankers re-query the same architectures):
+//
+//   1. Closed loop: T client threads issue requests back-to-back, with the
+//      sharded embedding cache enabled vs. disabled.  The cache makes repeat
+//      traffic skip the GHN forward pass, so the cached run must clear ≥ 2×
+//      the no-cache throughput (acceptance bar printed at the end).
+//
+//   2. Open loop: a generator submits at a fixed arrival rate against a
+//      deliberately small admission queue, sweeping 0.5× / 1× / 2× of the
+//      measured no-cache capacity.  At overload the bounded queue sheds load
+//      (rejections + deadline expiries) instead of growing without bound;
+//      the same overload against a warmed cache is absorbed entirely.
+//
+// Output: one row per run with throughput, tail latency (p50/p95/p99 from
+// the metrics layer), and cache hit rate; CSV lands in bench_results/.
+#include <atomic>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "serve/service.hpp"
+
+namespace pddl::bench {
+namespace {
+
+std::vector<core::PredictRequest> request_mix() {
+  std::vector<core::PredictRequest> reqs;
+  const struct {
+    const char* sku;
+    int servers;
+  } clusters[] = {{"p100", 4}, {"p100", 16}, {"e5_2630", 8}};
+  for (const workload::DlWorkload& w : workload::table2_cifar_workloads()) {
+    for (const auto& c : clusters) {
+      core::PredictRequest req;
+      req.workload = w;
+      req.cluster = cluster::make_uniform_cluster(c.sku, c.servers);
+      reqs.push_back(std::move(req));
+    }
+  }
+  return reqs;
+}
+
+struct RunStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  double wall_s = 0.0;
+  serve::MetricsSnapshot metrics;
+
+  double throughput_rps() const {
+    return wall_s > 0 ? static_cast<double>(ok) / wall_s : 0.0;
+  }
+};
+
+void add_row(Table& table, const std::string& run, bool cache,
+             const std::string& load, const RunStats& s) {
+  table.row()
+      .add(run)
+      .add(cache ? "on" : "off")
+      .add(load)
+      .add(static_cast<std::size_t>(s.submitted))
+      .add(static_cast<std::size_t>(s.ok))
+      .add(static_cast<std::size_t>(s.rejected))
+      .add(static_cast<std::size_t>(s.expired))
+      .add(s.throughput_rps(), 1)
+      .add(100.0 * s.metrics.cache_hit_rate(), 1)
+      .add(s.metrics.e2e.p50_ms, 3)
+      .add(s.metrics.e2e.p95_ms, 3)
+      .add(s.metrics.e2e.p99_ms, 3);
+}
+
+// T threads, each issuing `rounds` passes over the mix, back-to-back.
+RunStats closed_loop(serve::PredictionService& service,
+                     const std::vector<core::PredictRequest>& reqs,
+                     std::size_t threads, std::size_t rounds) {
+  std::atomic<std::uint64_t> ok{0};
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          const auto& req = reqs[(t + i) % reqs.size()];
+          if (service.predict(req).ok()) ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  RunStats s;
+  s.wall_s = wall.seconds();
+  s.ok = ok.load();
+  s.submitted = threads * rounds * reqs.size();
+  s.metrics = service.metrics();
+  return s;
+}
+
+// Fixed arrival rate for `duration_s`; every request carries `deadline_ms`.
+RunStats open_loop(serve::PredictionService& service,
+                   const std::vector<core::PredictRequest>& reqs, double rps,
+                   double duration_s, double deadline_ms) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::future<serve::ServeResult>> futs;
+  futs.reserve(static_cast<std::size_t>(rps * duration_s) + 16);
+  Stopwatch wall;
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0;; ++i) {
+    const auto target =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(static_cast<double>(i) / rps));
+    std::this_thread::sleep_until(target);
+    if (std::chrono::duration<double>(Clock::now() - start).count() >=
+        duration_s) {
+      break;
+    }
+    futs.push_back(service.submit(reqs[i % reqs.size()], deadline_ms));
+  }
+  RunStats s;
+  s.submitted = futs.size();
+  for (auto& f : futs) {
+    const serve::ServeResult r = f.get();
+    if (r.ok()) ++s.ok;
+    if (r.status == serve::ServeStatus::kRejectedQueueFull) ++s.rejected;
+    if (r.status == serve::ServeStatus::kDeadlineExceeded) ++s.expired;
+  }
+  s.wall_s = wall.seconds();
+  s.metrics = service.metrics();
+  return s;
+}
+
+int run() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  const core::PredictDdlOptions opts = standard_options();
+  core::PredictDdl pddl(simulator, pool, opts);
+  ensure_ghn_cached(pddl, workload::cifar10(), opts);
+  std::printf("fitting the cifar10 predictor...\n");
+  pddl.train_offline(workload::cifar10());
+
+  const auto reqs = request_mix();
+  std::printf("request mix: %zu distinct (model, cluster) pairs\n\n",
+              reqs.size());
+
+  Table table({"run", "cache", "load", "requests", "ok", "rej_full",
+               "expired", "tput_rps", "hit_pct", "p50_ms", "p95_ms",
+               "p99_ms"});
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 12;
+
+  // --- Closed loop, no cache: every request pays the GHN forward pass. ---
+  serve::ServiceConfig base;
+  base.dispatcher_threads = 4;
+  base.queue_capacity = 4096;
+  RunStats nocache;
+  {
+    serve::ServiceConfig cfg = base;
+    cfg.cache_enabled = false;
+    serve::PredictionService service(pddl, cfg);
+    nocache = closed_loop(service, reqs, kThreads, kRounds);
+    add_row(table, "closed", false, std::to_string(kThreads) + " threads",
+            nocache);
+  }
+
+  // --- Closed loop, warm cache: repeat traffic skips the forward pass. ---
+  RunStats cached;
+  {
+    serve::PredictionService service(pddl, base);
+    service.warm_up(workload::table2_cifar_workloads());
+    cached = closed_loop(service, reqs, kThreads, kRounds);
+    add_row(table, "closed", true, std::to_string(kThreads) + " threads",
+            cached);
+    std::printf("%s\n", cached.metrics.to_string().c_str());
+  }
+
+  // --- Open loop: arrival-rate sweep against a small admission queue. ---
+  const double capacity = nocache.throughput_rps();
+  serve::ServiceConfig open_cfg = base;
+  open_cfg.queue_capacity = 64;  // small bound so overload sheds visibly
+  constexpr double kDeadlineMs = 250.0;
+  for (double mult : {0.5, 1.0, 2.0}) {
+    serve::ServiceConfig cfg = open_cfg;
+    cfg.cache_enabled = false;
+    serve::PredictionService service(pddl, cfg);
+    const RunStats s =
+        open_loop(service, reqs, mult * capacity, 3.0, kDeadlineMs);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%.0f rps (%.1fx cap)",
+                  mult * capacity, mult);
+    add_row(table, "open", false, label, s);
+  }
+  {
+    // Same 2× overload, but with a warm cache: absorbed without shedding.
+    serve::PredictionService service(pddl, open_cfg);
+    service.warm_up(workload::table2_cifar_workloads());
+    const RunStats s =
+        open_loop(service, reqs, 2.0 * capacity, 3.0, kDeadlineMs);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%.0f rps (2.0x cap)",
+                  2.0 * capacity);
+    add_row(table, "open", true, label, s);
+  }
+
+  emit(table, "serve_loadgen — prediction service under load",
+       "serve_loadgen.csv");
+
+  const double speedup =
+      cached.throughput_rps() / std::max(1e-9, nocache.throughput_rps());
+  std::printf(
+      "cache speedup on repeat traffic: %.2fx  (no-cache %.0f rps → cached "
+      "%.0f rps; target >= 2x: %s)\n",
+      speedup, nocache.throughput_rps(), cached.throughput_rps(),
+      speedup >= 2.0 ? "PASS" : "FAIL");
+  return speedup >= 2.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pddl::bench
+
+int main() { return pddl::bench::run(); }

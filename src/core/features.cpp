@@ -48,6 +48,13 @@ Vector FeatureBuilder::build_for_graph(
   return assemble(emb, cluster.features(), dataset, batch, epochs);
 }
 
+Vector FeatureBuilder::assemble_features(
+    const Vector& embedding, const workload::DlWorkload& w,
+    const cluster::ClusterSpec& cluster) const {
+  return assemble(embedding, cluster.features(), w.dataset,
+                  w.batch_size_per_server, w.epochs);
+}
+
 regress::RegressionData FeatureBuilder::build_dataset(
     const std::vector<sim::Measurement>& ms) {
   PDDL_CHECK(!ms.empty(), "no measurements to featurize");

@@ -35,6 +35,14 @@ class FeatureBuilder {
                          int batch, int epochs,
                          const cluster::ClusterSpec& cluster);
 
+  // Unify a precomputed embedding with cluster/workload features.  Online
+  // path for callers that manage their own embedding cache (the prediction
+  // service, src/serve/): identical layout to build(), minus the registry
+  // lookup.
+  Vector assemble_features(const Vector& embedding,
+                           const workload::DlWorkload& w,
+                           const cluster::ClusterSpec& cluster) const;
+
   // Full design matrix + labels for a set of measurements.
   regress::RegressionData build_dataset(
       const std::vector<sim::Measurement>& ms);

@@ -100,6 +100,13 @@ double PredictDdl::predict_from_features(const std::string& dataset,
   return engine_for(dataset).predict(features);
 }
 
+const InferenceEngine* PredictDdl::engine_if_ready(
+    const std::string& dataset) const {
+  const auto it = engines_.find(dataset);
+  if (it == engines_.end() || !it->second.fitted()) return nullptr;
+  return &it->second;
+}
+
 double PredictDdl::train_offline(const workload::DatasetDescriptor& dataset) {
   // Fig. 8: (1) train the GHN on the new dataset ...
   ensure_ghn(dataset);

@@ -119,6 +119,11 @@ class PredictDdl {
   // Predict from an already-assembled feature vector (step 6 only).
   double predict_from_features(const std::string& dataset,
                                const Vector& features);
+  // Read-only engine lookup for concurrent callers (the prediction service):
+  // returns nullptr unless the dataset's predictor is fitted.  Unlike
+  // submit(), never mutates `engines_`, so it is safe to call from many
+  // threads as long as no thread is concurrently training.
+  const InferenceEngine* engine_if_ready(const std::string& dataset) const;
   // Train only the GHN for a dataset (no campaign / predictor).
   void ensure_ghn(const workload::DatasetDescriptor& dataset);
 

@@ -30,24 +30,26 @@ std::vector<std::string> GhnRegistry::datasets() const {
   return names;
 }
 
-namespace {
-// Memoization key: the graph name alone is unsafe (two different graphs may
-// share a name, e.g. independently sampled DARTS corpora both emit
-// "darts_0"), so a structural fingerprint is folded in.
-std::string cache_key(const graph::CompGraph& g) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over structure scalars
+std::uint64_t structural_fingerprint(const graph::CompGraph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
     h *= 0x100000001b3ULL;
   };
   mix(g.num_nodes());
   mix(g.num_edges());
-  mix(static_cast<std::uint64_t>(g.total_params()));
-  mix(static_cast<std::uint64_t>(g.total_flops()));
-  mix(static_cast<std::uint64_t>(g.depth()));
-  return g.name() + "#" + std::to_string(h);
+  for (int id = 0; id < static_cast<int>(g.num_nodes()); ++id) {
+    const graph::CompGraph::Node& n = g.node(id);
+    mix(static_cast<std::uint64_t>(n.type));
+    mix(static_cast<std::uint64_t>(n.out_shape.c));
+    mix(static_cast<std::uint64_t>(n.out_shape.h));
+    mix(static_cast<std::uint64_t>(n.out_shape.w));
+    mix(static_cast<std::uint64_t>(n.params));
+    mix(static_cast<std::uint64_t>(n.flops));
+    for (int from : g.in_edges(id)) mix(static_cast<std::uint64_t>(from));
+  }
+  return h;
 }
-}  // namespace
 
 Vector GhnRegistry::embedding(const std::string& dataset,
                               const graph::CompGraph& g) {
@@ -56,7 +58,7 @@ Vector GhnRegistry::embedding(const std::string& dataset,
   PDDL_CHECK(it != entries_.end(), "no GHN registered for dataset '", dataset,
              "' — run the offline trainer first (§III-G)");
   Entry& e = it->second;
-  const std::string key = cache_key(g);
+  const std::uint64_t key = structural_fingerprint(g);
   auto cached = e.cache.find(key);
   if (cached != e.cache.end()) return cached->second;
   Vector emb = e.ghn->embedding(g);
@@ -80,7 +82,7 @@ std::vector<Vector> GhnRegistry::embeddings(
     ghn = it->second.ghn.get();
     for (std::size_t i = 0; i < gs.size(); ++i) {
       PDDL_CHECK(gs[i] != nullptr, "null graph in batch embed");
-      auto cached = it->second.cache.find(cache_key(*gs[i]));
+      auto cached = it->second.cache.find(structural_fingerprint(*gs[i]));
       if (cached != it->second.cache.end()) {
         out[i] = cached->second;
       } else {
@@ -96,7 +98,7 @@ std::vector<Vector> GhnRegistry::embeddings(
     auto it = entries_.find(dataset);
     if (it != entries_.end() && it->second.ghn.get() == ghn) {
       for (std::size_t k : misses) {
-        it->second.cache[cache_key(*gs[k])] = out[k];
+        it->second.cache[structural_fingerprint(*gs[k])] = out[k];
       }
     }
   }

@@ -9,6 +9,7 @@
 // is trained.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,16 @@
 #include "parallel/thread_pool.hpp"
 
 namespace pddl::ghn {
+
+// Structural fingerprint of a computational graph: FNV-1a over the node
+// inventory (op type, output shape, params, FLOPs) and the full wiring.
+// The GHN forward pass depends only on this structure — never on the graph's
+// display name — so the fingerprint is the correct memoization key for
+// embedding caches (this registry's and serve::ShardedEmbeddingCache's).
+// Two independently sampled corpora that both name a graph "darts_0" get
+// distinct fingerprints; two identical structures under different names
+// share one.
+std::uint64_t structural_fingerprint(const graph::CompGraph& g);
 
 class GhnRegistry {
  public:
@@ -34,8 +45,8 @@ class GhnRegistry {
   // Names of all datasets with a registered GHN, sorted.
   std::vector<std::string> datasets() const;
 
-  // Embedding of `g` under the dataset's GHN; memoized by (name, structural
-  // fingerprint).  Throws if no GHN is registered for `dataset`.
+  // Embedding of `g` under the dataset's GHN; memoized by structural
+  // fingerprint.  Throws if no GHN is registered for `dataset`.
   Vector embedding(const std::string& dataset, const graph::CompGraph& g);
 
   // Batch variant: embeds all graphs in parallel on `pool` (cache-aware;
@@ -57,7 +68,7 @@ class GhnRegistry {
  private:
   struct Entry {
     std::unique_ptr<Ghn2> ghn;
-    std::map<std::string, Vector> cache;  // graph name → embedding
+    std::map<std::uint64_t, Vector> cache;  // structural fingerprint → embedding
   };
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;

@@ -13,6 +13,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -52,8 +53,36 @@ class ThreadPool {
     return result;
   }
 
+  // Non-throwing variant for callers that race pool teardown (e.g. the
+  // prediction service dispatching micro-batches during shutdown): returns
+  // std::nullopt instead of failing when the pool is stopping, so the caller
+  // can fall back to running the task inline.
+  template <typename F, typename... Args>
+  auto try_submit(F&& f, Args&&... args)
+      -> std::optional<std::future<std::invoke_result_t<F, Args...>>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... captured = std::forward<Args>(args)]() mutable -> R {
+          return std::invoke(std::move(fn), std::move(captured)...);
+        });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return std::nullopt;
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
   // Block until every task submitted so far has finished.
   void wait_idle();
+
+  // Stop accepting new tasks, drain the queue, and join the workers.
+  // Idempotent; the destructor calls it.  After shutdown(), submit() throws
+  // and try_submit() returns std::nullopt.
+  void shutdown();
 
  private:
   void worker_loop();

@@ -1,0 +1,102 @@
+#include "serve/embedding_cache.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pddl::serve {
+
+ShardedEmbeddingCache::ShardedEmbeddingCache(std::size_t shards,
+                                             std::size_t capacity) {
+  PDDL_CHECK(shards > 0, "cache needs at least one shard");
+  PDDL_CHECK(capacity > 0, "cache needs a nonzero capacity");
+  per_shard_capacity_ = std::max<std::size_t>(1, (capacity + shards - 1) / shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string ShardedEmbeddingCache::make_key(const std::string& dataset,
+                                            std::uint64_t fp) {
+  return dataset + '#' + std::to_string(fp);
+}
+
+ShardedEmbeddingCache::Shard& ShardedEmbeddingCache::shard_for(
+    const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+const ShardedEmbeddingCache::Shard& ShardedEmbeddingCache::shard_for(
+    const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<Vector> ShardedEmbeddingCache::get(const std::string& dataset,
+                                                 std::uint64_t fp) {
+  const std::string key = make_key(dataset, fp);
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote to MRU
+  return it->second->embedding;
+}
+
+void ShardedEmbeddingCache::put(const std::string& dataset, std::uint64_t fp,
+                                Vector embedding) {
+  const std::string key = make_key(dataset, fp);
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    it->second->embedding = std::move(embedding);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  if (s.lru.size() >= per_shard_capacity_) {
+    const Node& victim = s.lru.back();
+    s.index.erase(make_key(victim.dataset, victim.fp));
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  s.lru.push_front(Node{dataset, fp, std::move(embedding)});
+  s.index[key] = s.lru.begin();
+  ++s.inserts;
+}
+
+std::size_t ShardedEmbeddingCache::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    n += s->lru.size();
+  }
+  return n;
+}
+
+CacheStats ShardedEmbeddingCache::stats() const {
+  CacheStats out;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    out.hits += s->hits;
+    out.misses += s->misses;
+    out.inserts += s->inserts;
+    out.evictions += s->evictions;
+    out.entries += s->lru.size();
+  }
+  return out;
+}
+
+void ShardedEmbeddingCache::clear() {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    s->lru.clear();
+    s->index.clear();
+  }
+}
+
+}  // namespace pddl::serve

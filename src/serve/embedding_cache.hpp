@@ -1,0 +1,84 @@
+// Sharded, thread-safe LRU cache of GHN embeddings for the online service.
+//
+// Keyed by (dataset, structural fingerprint) — see
+// ghn::structural_fingerprint() — so repeat traffic for the same
+// architecture skips the GHN forward pass entirely regardless of how the
+// request names its model.  Sharding by key hash keeps lock contention flat
+// as caller concurrency grows: each shard has its own mutex, intrusive LRU
+// list, and capacity slice, so two requests for different architectures
+// almost never serialize on the same lock.
+//
+// Unlike GhnRegistry's internal memo (unbounded, sized for offline benches
+// that sweep a fixed corpus), this cache is bounded: under open-world
+// traffic (e.g. a NAS search streaming novel architectures) memory stays
+// capped and cold entries are evicted least-recently-used per shard.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace pddl::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+};
+
+class ShardedEmbeddingCache {
+ public:
+  // `capacity` is the total entry budget, split evenly across `shards`
+  // (each shard holds at least one entry).
+  ShardedEmbeddingCache(std::size_t shards, std::size_t capacity);
+
+  ShardedEmbeddingCache(const ShardedEmbeddingCache&) = delete;
+  ShardedEmbeddingCache& operator=(const ShardedEmbeddingCache&) = delete;
+
+  // Returns the cached embedding and promotes it to most-recently-used.
+  std::optional<Vector> get(const std::string& dataset, std::uint64_t fp);
+
+  // Inserts (or refreshes) an embedding, evicting the shard's LRU entry
+  // when its slice is full.
+  void put(const std::string& dataset, std::uint64_t fp, Vector embedding);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t capacity() const { return shards_.size() * per_shard_capacity_; }
+  std::size_t size() const;
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  struct Node {
+    std::string dataset;
+    std::uint64_t fp = 0;
+    Vector embedding;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Node> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Node>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  static std::string make_key(const std::string& dataset, std::uint64_t fp);
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pddl::serve

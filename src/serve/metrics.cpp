@@ -1,0 +1,136 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pddl::serve {
+
+const std::array<double, LatencyHistogram::kBuckets - 1>&
+LatencyHistogram::bucket_bounds_ms() {
+  // ~Powers of √10 from 0.05 ms to 30 s: dense where cached requests land,
+  // sparse in the tail.
+  static const std::array<double, kBuckets - 1> bounds = {
+      0.05, 0.1,  0.2,  0.5,   1.0,   2.0,    5.0,    10.0,   20.0,  50.0,
+      100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 20000.0, 30000.0};
+  return bounds;
+}
+
+void LatencyHistogram::record(double ms) {
+  if (!(ms >= 0.0)) ms = 0.0;  // clamp NaN / negative clock skew
+  const auto& bounds = bucket_bounds_ms();
+  const std::size_t idx =
+      std::upper_bound(bounds.begin(), bounds.end(), ms) - bounds.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  const auto ns = static_cast<std::uint64_t>(ms * 1e6);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+  while (prev < ns &&
+         !max_ns_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::bucket_counts() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+namespace {
+// Quantile from bucket counts: find the bucket holding the q-th sample and
+// interpolate linearly between its bounds.  The overflow bucket reports its
+// lower bound (refined to max_ms by the caller when it is the last one).
+double bucket_quantile(const std::array<std::uint64_t,
+                                        LatencyHistogram::kBuckets>& counts,
+                       std::uint64_t total, double q, double max_ms) {
+  const auto& bounds = LatencyHistogram::bucket_bounds_ms();
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= target && counts[i] > 0) {
+      // Overflow bucket has no upper bound: report the observed max.
+      if (i == bounds.size()) return max_ms;
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return lo + std::clamp(frac, 0.0, 1.0) * (std::max(hi, lo) - lo);
+    }
+    cum = next;
+  }
+  return max_ms;
+}
+}  // namespace
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  const auto counts = bucket_counts();
+  for (std::uint64_t c : counts) s.count += c;
+  s.max_ms = static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6;
+  if (s.count == 0) return s;
+  s.mean_ms = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+              1e6 / static_cast<double>(s.count);
+  // Interpolation inside a bucket can overshoot the largest observation;
+  // clamp so pXX ≤ max always holds in dumps.
+  s.p50_ms = std::min(bucket_quantile(counts, s.count, 0.50, s.max_ms), s.max_ms);
+  s.p95_ms = std::min(bucket_quantile(counts, s.count, 0.95, s.max_ms), s.max_ms);
+  s.p99_ms = std::min(bucket_quantile(counts, s.count, 0.99, s.max_ms), s.max_ms);
+  return s;
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.submitted = submitted.load(std::memory_order_relaxed);
+  s.completed = completed.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full.load(std::memory_order_relaxed);
+  s.rejected_untrained = rejected_untrained.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
+  s.errors = errors.load(std::memory_order_relaxed);
+  s.e2e = e2e_ms.snapshot();
+  s.queue = queue_ms.snapshot();
+  s.service = service_ms.snapshot();
+  return s;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  char buf[1024];
+  auto line = [&buf](const LatencyHistogram::Snapshot& h) {
+    char lbuf[256];
+    std::snprintf(lbuf, sizeof(lbuf),
+                  "n=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms "
+                  "max=%.3fms",
+                  static_cast<unsigned long long>(h.count), h.mean_ms,
+                  h.p50_ms, h.p95_ms, h.p99_ms, h.max_ms);
+    return std::string(lbuf);
+  };
+  std::snprintf(
+      buf, sizeof(buf),
+      "serve metrics\n"
+      "  requests : submitted=%llu completed=%llu errors=%llu\n"
+      "  rejected : queue_full=%llu untrained=%llu deadline=%llu\n"
+      "  cache    : hits=%llu misses=%llu hit_rate=%.1f%% entries=%llu "
+      "evictions=%llu\n"
+      "  e2e      : %s\n"
+      "  queue    : %s\n"
+      "  service  : %s\n",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(rejected_queue_full),
+      static_cast<unsigned long long>(rejected_untrained),
+      static_cast<unsigned long long>(deadline_expired),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), 100.0 * cache_hit_rate(),
+      static_cast<unsigned long long>(cache_entries),
+      static_cast<unsigned long long>(cache_evictions), line(e2e).c_str(),
+      line(queue).c_str(), line(service).c_str());
+  return buf;
+}
+
+}  // namespace pddl::serve

@@ -1,0 +1,102 @@
+// Service metrics (serving-layer observability): lock-free atomic counters
+// and fixed-bucket latency histograms with percentile snapshots.
+//
+// Everything on the record path is a relaxed atomic increment — no locks, no
+// allocation — so instrumenting the service adds nanoseconds per request.
+// Reading is snapshot-based: snapshot() copies the counters once and derives
+// p50/p95/p99 from the bucket counts (linear interpolation inside a bucket),
+// so a concurrent reader sees a consistent-enough view without stalling
+// writers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pddl::serve {
+
+// Histogram over log-spaced latency buckets.  Bounds cover 50 µs .. 30 s,
+// which spans a cached feature-assembly hit (~100 µs) through an uncached
+// GHN forward pass on a deep graph (tens of ms) with headroom.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 20;
+
+  // Upper bounds (ms) of buckets 0..kBuckets-2; the last bucket is +inf.
+  static const std::array<double, kBuckets - 1>& bucket_bounds_ms();
+
+  void record(double ms);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  // Raw bucket counts, index-aligned with bucket_bounds_ms() (last entry is
+  // the overflow bucket).  Exposed for tests and external scrapers.
+  std::array<std::uint64_t, kBuckets> bucket_counts() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+// One snapshot of every service counter plus derived rates; returned by
+// PredictionService::metrics() and rendered by to_string().
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;       // admission attempts
+  std::uint64_t completed = 0;       // responses with status kOk
+  std::uint64_t cache_hits = 0;      // embedding served from the shard cache
+  std::uint64_t cache_misses = 0;    // embedding required a GHN forward pass
+  std::uint64_t rejected_queue_full = 0;  // backpressure rejections
+  std::uint64_t rejected_untrained = 0;   // dataset had no fitted predictor
+  std::uint64_t deadline_expired = 0;     // expired while queued
+  std::uint64_t errors = 0;               // request failed with an exception
+  std::uint64_t cache_entries = 0;        // live entries across all shards
+  std::uint64_t cache_evictions = 0;
+
+  LatencyHistogram::Snapshot e2e;      // admission → response
+  LatencyHistogram::Snapshot queue;    // admission → dequeue
+  LatencyHistogram::Snapshot service;  // embed + inference only
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
+                                  static_cast<double>(total);
+  }
+
+  // Multi-line human-readable dump (the "metrics dump" of the example
+  // server and the load generator's per-run report).
+  std::string to_string() const;
+};
+
+// The service's live counters.  Members are public atomics: the service
+// increments them directly on the hot path.
+class ServiceMetrics {
+ public:
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> rejected_untrained{0};
+  std::atomic<std::uint64_t> deadline_expired{0};
+  std::atomic<std::uint64_t> errors{0};
+
+  LatencyHistogram e2e_ms;
+  LatencyHistogram queue_ms;
+  LatencyHistogram service_ms;
+
+  // Counter + histogram snapshot; cache fields are filled in by the service,
+  // which owns the cache.
+  MetricsSnapshot snapshot() const;
+};
+
+}  // namespace pddl::serve

@@ -1,0 +1,357 @@
+#include "serve/service.hpp"
+
+#include <utility>
+
+#include "common/stopwatch.hpp"
+#include "ghn/registry.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace pddl::serve {
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejectedQueueFull:
+      return "rejected_queue_full";
+    case ServeStatus::kUntrainedDataset:
+      return "untrained_dataset";
+    case ServeStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeStatus::kShutdown:
+      return "shutdown";
+    case ServeStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+}  // namespace
+
+PredictionService::PredictionService(core::PredictDdl& engine,
+                                     ServiceConfig cfg)
+    : engine_(engine),
+      cfg_(cfg),
+      cache_(cfg.cache_shards, cfg.cache_capacity),
+      paused_(cfg.start_paused) {
+  PDDL_CHECK(cfg_.queue_capacity > 0, "queue capacity must be positive");
+  PDDL_CHECK(cfg_.dispatcher_threads > 0, "need at least one dispatcher");
+  PDDL_CHECK(cfg_.max_batch > 0, "micro-batch size must be positive");
+  dispatchers_.reserve(cfg_.dispatcher_threads);
+  for (std::size_t i = 0; i < cfg_.dispatcher_threads; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+PredictionService::~PredictionService() { stop(); }
+
+void PredictionService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    paused_ = false;  // a paused service must still drain on shutdown
+  }
+  cv_.notify_all();
+  for (auto& d : dispatchers_) {
+    if (d.joinable()) d.join();
+  }
+}
+
+void PredictionService::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void PredictionService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+std::size_t PredictionService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::future<ServeResult> PredictionService::submit(core::PredictRequest req,
+                                                   double deadline_ms) {
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (deadline_ms < 0.0) deadline_ms = cfg_.default_deadline_ms;
+
+  Pending p;
+  p.req = std::move(req);
+  p.enqueued = Clock::now();
+  p.deadline = deadline_ms > 0.0
+                   ? p.enqueued + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          deadline_ms))
+                   : Clock::time_point::max();
+  std::future<ServeResult> future = p.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ServeResult r;
+      r.status = ServeStatus::kShutdown;
+      p.promise.set_value(std::move(r));
+      return future;
+    }
+    if (queue_.size() >= cfg_.queue_capacity) {
+      // Backpressure: reject now with a reason instead of queueing without
+      // bound.  The caller can retry, shed load, or surface the rejection.
+      metrics_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+      ServeResult r;
+      r.status = ServeStatus::kRejectedQueueFull;
+      r.error = "admission queue at capacity (" +
+                std::to_string(cfg_.queue_capacity) + ")";
+      p.promise.set_value(std::move(r));
+      return future;
+    }
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+ServeResult PredictionService::predict(core::PredictRequest req,
+                                       double deadline_ms) {
+  return submit(std::move(req), deadline_ms).get();
+}
+
+void PredictionService::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return stopping_ || (!queue_.empty() && !paused_);
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      while (!queue_.empty() && batch.size() < cfg_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    process_batch(std::move(batch));
+  }
+}
+
+void PredictionService::finish(Pending& p, ServeResult result) {
+  const Clock::time_point now = Clock::now();
+  result.total_ms = ms_between(p.enqueued, now);
+  if (result.ok()) {
+    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.e2e_ms.record(result.total_ms);
+    metrics_.service_ms.record(result.response.embedding_ms +
+                               result.response.inference_ms);
+  }
+  p.promise.set_value(std::move(result));
+}
+
+void PredictionService::process_batch(std::vector<Pending> batch) {
+  // Per-item embedding work for this micro-batch; indices refer to `batch`.
+  struct Work {
+    std::size_t idx = 0;
+    graph::CompGraph graph;
+    std::uint64_t fp = 0;
+    ghn::Ghn2* ghn = nullptr;
+    const core::InferenceEngine* engine = nullptr;
+    Vector embedding;
+    double embed_ms = 0.0;
+    bool cache_hit = false;
+  };
+  std::vector<Work> live;
+  live.reserve(batch.size());
+
+  const Clock::time_point dequeued = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    const double queue_ms = ms_between(p.enqueued, dequeued);
+    metrics_.queue_ms.record(queue_ms);
+
+    ServeResult r;
+    r.queue_ms = queue_ms;
+    if (dequeued > p.deadline) {
+      metrics_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      r.status = ServeStatus::kDeadlineExceeded;
+      r.error = "deadline expired after " + std::to_string(queue_ms) +
+                " ms in queue";
+      finish(p, std::move(r));
+      continue;
+    }
+
+    const std::string& dataset = p.req.workload.dataset.name;
+    const core::InferenceEngine* engine = engine_.engine_if_ready(dataset);
+    ghn::Ghn2* ghn = engine_.registry().model(dataset);
+    if (engine == nullptr || ghn == nullptr) {
+      metrics_.rejected_untrained.fetch_add(1, std::memory_order_relaxed);
+      r.status = ServeStatus::kUntrainedDataset;
+      r.error = "no fitted predictor for dataset '" + dataset +
+                "' — run train_offline first";
+      finish(p, std::move(r));
+      continue;
+    }
+
+    Work w;
+    w.idx = i;
+    w.engine = engine;
+    w.ghn = ghn;
+    try {
+      w.graph = p.req.workload.build_graph();
+    } catch (const std::exception& e) {
+      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+      r.status = ServeStatus::kError;
+      r.error = e.what();
+      finish(p, std::move(r));
+      continue;
+    }
+    w.fp = ghn::structural_fingerprint(w.graph);
+
+    if (cfg_.cache_enabled) {
+      Stopwatch lookup;
+      if (auto hit = cache_.get(dataset, w.fp)) {
+        w.embedding = std::move(*hit);
+        w.embed_ms = lookup.millis();
+        w.cache_hit = true;
+      }
+    }
+    live.push_back(std::move(w));
+  }
+
+  // Micro-batch the cache misses onto the shared pool: one GHN forward pass
+  // per miss, all in flight together.  try_submit falls back to inline
+  // execution if the pool is tearing down underneath us.
+  std::vector<std::size_t> misses;  // indices into `live`
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    if (!live[k].cache_hit) misses.push_back(k);
+  }
+  std::vector<std::pair<std::size_t, std::future<void>>> inflight;
+  std::vector<std::exception_ptr> miss_errors(live.size());
+  auto embed_one = [&live](std::size_t k) {
+    Stopwatch sw;
+    live[k].embedding = live[k].ghn->embedding(live[k].graph);
+    live[k].embed_ms = sw.millis();
+  };
+  if (misses.size() > 1) {
+    for (std::size_t k : misses) {
+      if (auto f = engine_.pool().try_submit(embed_one, k)) {
+        inflight.emplace_back(k, std::move(*f));
+      } else {
+        try {
+          embed_one(k);
+        } catch (...) {
+          miss_errors[k] = std::current_exception();
+        }
+      }
+    }
+    for (auto& [k, f] : inflight) {
+      try {
+        f.get();
+      } catch (...) {
+        miss_errors[k] = std::current_exception();
+      }
+    }
+  } else {
+    for (std::size_t k : misses) {
+      try {
+        embed_one(k);
+      } catch (...) {
+        miss_errors[k] = std::current_exception();
+      }
+    }
+  }
+
+  for (Work& w : live) {
+    Pending& p = batch[w.idx];
+    ServeResult r;
+    r.queue_ms = ms_between(p.enqueued, dequeued);
+    if (miss_errors[&w - live.data()]) {
+      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+      r.status = ServeStatus::kError;
+      try {
+        std::rethrow_exception(miss_errors[&w - live.data()]);
+      } catch (const std::exception& e) {
+        r.error = e.what();
+      } catch (...) {
+        r.error = "unknown embedding failure";
+      }
+      finish(p, std::move(r));
+      continue;
+    }
+
+    const std::string& dataset = p.req.workload.dataset.name;
+    if (w.cache_hit) {
+      metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      if (cfg_.cache_enabled) cache_.put(dataset, w.fp, w.embedding);
+    }
+
+    try {
+      Stopwatch infer;
+      const Vector feats = engine_.features().assemble_features(
+          w.embedding, p.req.workload, p.req.cluster);
+      r.response.predicted_time_s = w.engine->predict(feats);
+      r.response.inference_ms = infer.millis();
+      r.response.embedding_ms = w.embed_ms;
+      r.cache_hit = w.cache_hit;
+      r.status = ServeStatus::kOk;
+    } catch (const std::exception& e) {
+      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+      r.status = ServeStatus::kError;
+      r.error = e.what();
+    }
+    finish(p, std::move(r));
+  }
+}
+
+std::size_t PredictionService::warm_up(
+    const std::vector<workload::DlWorkload>& workloads) {
+  if (!cfg_.cache_enabled) return 0;
+  struct Item {
+    std::string dataset;
+    graph::CompGraph graph;
+    std::uint64_t fp = 0;
+    ghn::Ghn2* ghn = nullptr;
+    Vector embedding;
+  };
+  std::vector<Item> misses;
+  for (const workload::DlWorkload& w : workloads) {
+    ghn::Ghn2* ghn = engine_.registry().model(w.dataset.name);
+    if (ghn == nullptr) continue;  // dataset not trained yet — skip
+    Item item;
+    item.dataset = w.dataset.name;
+    item.graph = w.build_graph();
+    item.fp = ghn::structural_fingerprint(item.graph);
+    item.ghn = ghn;
+    if (cache_.get(item.dataset, item.fp)) continue;  // already warm
+    misses.push_back(std::move(item));
+  }
+  parallel_for(engine_.pool(), 0, misses.size(), [&](std::size_t i) {
+    misses[i].embedding = misses[i].ghn->embedding(misses[i].graph);
+  });
+  for (Item& item : misses) {
+    cache_.put(item.dataset, item.fp, std::move(item.embedding));
+  }
+  return misses.size();
+}
+
+MetricsSnapshot PredictionService::metrics() const {
+  MetricsSnapshot s = metrics_.snapshot();
+  const CacheStats cs = cache_.stats();
+  s.cache_entries = cs.entries;
+  s.cache_evictions = cs.evictions;
+  return s;
+}
+
+}  // namespace pddl::serve

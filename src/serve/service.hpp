@@ -1,0 +1,145 @@
+// Concurrent prediction service over a trained PredictDdl instance.
+//
+// PredictDdl::submit() is single-caller by design (it may fall into the
+// offline trainer and mutates per-dataset state).  PredictionService is the
+// online front half the ROADMAP's "heavy traffic" goal needs: many client
+// threads submit PredictRequests concurrently, a bounded admission queue
+// applies backpressure, dispatcher threads micro-batch the embedding work
+// onto the shared ThreadPool, and a sharded LRU cache
+// (serve/embedding_cache.hpp) makes repeat-architecture traffic skip the
+// GHN forward pass — the dominant per-request cost — entirely.
+//
+// Request lifecycle:
+//   submit() ── queue full? ──→ kRejectedQueueFull   (backpressure, Fig. 7
+//      │                                              step 2 analogue)
+//      ▼
+//   bounded FIFO queue ── deadline passed at dequeue ──→ kDeadlineExceeded
+//      ▼
+//   dispatcher pops ≤ max_batch requests
+//      ├─ dataset without a fitted predictor ──→ kUntrainedDataset
+//      ├─ embedding: shard-cache hit, else GHN forward on the ThreadPool
+//      └─ feature assembly + Inference Engine predict ──→ kOk
+//
+// The service never triggers offline training: an online path that can
+// stall for minutes behind one request is an availability hazard, so
+// unknown datasets are rejected and training stays an explicit offline
+// operation (PredictDdl::train_offline).
+//
+// Thread-safety contract: any number of threads may call submit()/predict()
+// concurrently; training on the underlying PredictDdl must not run
+// concurrently with serving.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/predict_ddl.hpp"
+#include "serve/embedding_cache.hpp"
+#include "serve/metrics.hpp"
+
+namespace pddl::serve {
+
+enum class ServeStatus {
+  kOk,
+  kRejectedQueueFull,  // admission queue at capacity (backpressure)
+  kUntrainedDataset,   // no fitted predictor; run train_offline first
+  kDeadlineExceeded,   // request expired while queued
+  kShutdown,           // service stopped before the request was admitted
+  kError,              // request processing threw (see `error`)
+};
+const char* to_string(ServeStatus status);
+
+struct ServeResult {
+  ServeStatus status = ServeStatus::kError;
+  core::PredictResponse response;  // valid when status == kOk
+  bool cache_hit = false;
+  double queue_ms = 0.0;  // admission → dequeue
+  double total_ms = 0.0;  // admission → response
+  std::string error;      // populated when status == kError
+
+  bool ok() const { return status == ServeStatus::kOk; }
+};
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 1024;   // admission bound (backpressure knob)
+  std::size_t dispatcher_threads = 2;  // queue consumers
+  std::size_t max_batch = 8;           // micro-batch size per dispatch
+  std::size_t cache_shards = 8;
+  std::size_t cache_capacity = 4096;   // total entries across shards
+  bool cache_enabled = true;           // false = loadgen baseline mode
+  double default_deadline_ms = 0.0;    // 0 = requests never expire
+  bool start_paused = false;           // admission on, dispatch off (tests,
+                                       // pre-warm before taking traffic)
+};
+
+class PredictionService {
+ public:
+  explicit PredictionService(core::PredictDdl& engine, ServiceConfig cfg = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  // Non-blocking admission.  Rejections (queue full / shutdown) resolve the
+  // future immediately with the corresponding status.  `deadline_ms` < 0
+  // means "use the config default"; 0 disables the deadline.
+  std::future<ServeResult> submit(core::PredictRequest req,
+                                  double deadline_ms = -1.0);
+
+  // Blocking convenience wrapper: submit and wait.
+  ServeResult predict(core::PredictRequest req, double deadline_ms = -1.0);
+
+  // Pre-populates the embedding cache so first-request latency is flat.
+  // Returns the number of embeddings computed (cache misses); workloads
+  // whose dataset has no trained GHN are skipped.  No-op when the cache is
+  // disabled.
+  std::size_t warm_up(const std::vector<workload::DlWorkload>& workloads);
+
+  // Halt / restart dispatch.  Admission stays open while paused, so queued
+  // requests accumulate (and can expire or trigger backpressure).
+  void pause();
+  void resume();
+
+  // Stop admission and drain: dispatchers finish every queued request, then
+  // exit.  Idempotent; the destructor calls it.
+  void stop();
+
+  // Counter snapshot, with cache occupancy folded in.
+  MetricsSnapshot metrics() const;
+  const ShardedEmbeddingCache& cache() const { return cache_; }
+  std::size_t queue_depth() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    core::PredictRequest req;
+    std::promise<ServeResult> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // Clock::time_point::max() = none
+  };
+
+  void dispatcher_loop();
+  void process_batch(std::vector<Pending> batch);
+  void finish(Pending& p, ServeResult result);
+
+  core::PredictDdl& engine_;
+  ServiceConfig cfg_;
+  ShardedEmbeddingCache cache_;
+  ServiceMetrics metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace pddl::serve

@@ -72,13 +72,6 @@ TEST_P(AutogradFuzz, RandomCompositionMatchesFiniteDifferences) {
 
   // Freeze the op sequence: reuse one RNG stream per evaluation.
   const std::uint64_t expr_seed = rng.next();
-  auto eval = [&]() {
-    Ctx ctx;
-    Rng expr_rng(expr_seed);
-    Var loss =
-        random_expression(ctx, ctx.leaf(pa), ctx.leaf(pb), expr_rng);
-    return loss;
-  };
 
   // Analytic gradients.
   Matrix ga, gb;

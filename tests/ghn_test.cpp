@@ -186,6 +186,19 @@ TEST(Registry, MissingDatasetThrows) {
   EXPECT_THROW(reg.embedding("imagenet", tiny_graph()), Error);
 }
 
+TEST(Registry, FingerprintIgnoresNameButTracksStructure) {
+  // Same structure under different names → one fingerprint (the GHN never
+  // sees the name); structurally different graphs → distinct fingerprints.
+  EXPECT_EQ(structural_fingerprint(tiny_graph("a")),
+            structural_fingerprint(tiny_graph("b")));
+  const auto resnet = graph::build_model("resnet18", {3, 32, 32}, 10);
+  const auto vgg = graph::build_model("vgg11", {3, 32, 32}, 10);
+  EXPECT_NE(structural_fingerprint(resnet), structural_fingerprint(vgg));
+  // Input resolution changes every node's output shape → new fingerprint.
+  const auto resnet64 = graph::build_model("resnet18", {3, 64, 64}, 10);
+  EXPECT_NE(structural_fingerprint(resnet), structural_fingerprint(resnet64));
+}
+
 TEST(Registry, CachesByGraphName) {
   GhnRegistry reg;
   Rng rng(12);

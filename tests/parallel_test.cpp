@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -47,6 +48,87 @@ TEST(ThreadPool, WaitIdleDrainsQueue) {
 TEST(ThreadPool, SizeMatchesRequested) {
   ThreadPool pool(5);
   EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, TrySubmitRunsTask) {
+  ThreadPool pool(2);
+  auto f = pool.try_submit([](int a, int b) { return a * b; }, 6, 7);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->get(), 42);
+}
+
+TEST(ThreadPool, TrySubmitFailsAfterShutdown) {
+  ThreadPool pool(2);
+  auto before = pool.try_submit([] { return 1; });
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->get(), 1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.try_submit([] { return 2; }).has_value());
+  EXPECT_THROW(pool.submit([] { return 3; }), Error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndDrains) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op
+  EXPECT_EQ(done.load(), 32);
+}
+
+// Regression: exceptions thrown inside tasks must reach exactly their own
+// future — never another submitter's — and wait_idle() must still observe a
+// fully drained queue while many threads submit concurrently.
+TEST(ThreadPool, ExceptionPropagationUnderConcurrentSubmitters) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::vector<std::future<int>>> futs(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &futs, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        futs[t].push_back(pool.submit([t, i]() -> int {
+          if (i % 7 == 3) throw std::runtime_error("task failure");
+          return t * 1000 + i;
+        }));
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  pool.wait_idle();
+  int ok = 0, failed = 0;
+  for (int t = 0; t < kSubmitters; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      if (i % 7 == 3) {
+        EXPECT_THROW(futs[t][i].get(), std::runtime_error);
+        ++failed;
+      } else {
+        EXPECT_EQ(futs[t][i].get(), t * 1000 + i);
+        ++ok;
+      }
+    }
+  }
+  EXPECT_EQ(ok + failed, kSubmitters * kPerThread);
+}
+
+TEST(ThreadPool, WaitIdleUnderConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        pool.submit([&done] { done.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  // All submissions have happened; wait_idle() must see every one finish.
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 400);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

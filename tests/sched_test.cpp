@@ -176,7 +176,9 @@ TEST(Trace, DeterministicAndOrdered) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].job.id, b[i].job.id);
     EXPECT_DOUBLE_EQ(a[i].job.actual_s, b[i].job.actual_s);
-    if (i > 0) EXPECT_GE(a[i].job.submit_s, a[i - 1].job.submit_s);
+    if (i > 0) {
+      EXPECT_GE(a[i].job.submit_s, a[i - 1].job.submit_s);
+    }
   }
 }
 

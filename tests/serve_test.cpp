@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace pddl::serve {
+namespace {
+
+// Small, fast options (mirrors core_test): tiny GHN, reduced campaign.
+core::PredictDdlOptions fast_options() {
+  core::PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 12;
+  opts.ghn.mlp_hidden = 12;
+  opts.ghn_trainer.corpus_size = 10;
+  opts.ghn_trainer.epochs = 4;
+  opts.ghn_trainer.batch_size = 5;
+  opts.ghn_trainer.darts.max_cells = 3;
+  opts.campaign.models = {"alexnet",   "resnet18",           "resnet50",
+                          "vgg11",     "mobilenet_v3_small", "squeezenet1_1",
+                          "densenet121"};
+  opts.campaign.max_servers = 8;
+  opts.campaign.batch_sizes = {64};
+  return opts;
+}
+
+core::PredictRequest make_request(const std::string& model, int servers = 4,
+                                  const std::string& sku = "p100") {
+  core::PredictRequest req;
+  req.workload = {model, workload::cifar10(), /*batch=*/64, /*epochs=*/10};
+  req.cluster = cluster::make_uniform_cluster(sku, servers);
+  return req;
+}
+
+// One PredictDdl trained once for the whole suite — offline training is the
+// expensive part, and every test serves from the same frozen state.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pool_ = new ThreadPool(8);
+    sim_ = new sim::DdlSimulator();
+    pddl_ = new core::PredictDdl(*sim_, *pool_, fast_options());
+    pddl_->train_offline(workload::cifar10());
+  }
+  static void TearDownTestSuite() {
+    delete pddl_;
+    delete sim_;
+    delete pool_;
+    pddl_ = nullptr;
+    sim_ = nullptr;
+    pool_ = nullptr;
+  }
+
+  static ThreadPool* pool_;
+  static sim::DdlSimulator* sim_;
+  static core::PredictDdl* pddl_;
+};
+
+ThreadPool* ServeTest::pool_ = nullptr;
+sim::DdlSimulator* ServeTest::sim_ = nullptr;
+core::PredictDdl* ServeTest::pddl_ = nullptr;
+
+TEST_F(ServeTest, ServesSingleRequestMatchingDirectPath) {
+  PredictionService service(*pddl_);
+  const core::PredictRequest req = make_request("resnet18");
+  const ServeResult r = service.predict(req);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_GT(r.response.predicted_time_s, 0.0);
+  EXPECT_FALSE(r.cache_hit);  // fresh cache
+  // Same embedding → same features → same prediction as the direct path.
+  const core::PredictResponse direct = pddl_->submit(req);
+  EXPECT_DOUBLE_EQ(r.response.predicted_time_s, direct.predicted_time_s);
+  EXPECT_GE(r.total_ms, 0.0);
+  EXPECT_GE(r.queue_ms, 0.0);
+}
+
+TEST_F(ServeTest, DeterministicCacheAccountingOnRepeatTraffic) {
+  PredictionService service(*pddl_);
+  const core::PredictRequest req = make_request("vgg11");
+  const ServeResult first = service.predict(req);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  for (int i = 0; i < 5; ++i) {
+    const ServeResult r = service.predict(req);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.cache_hit);
+    EXPECT_DOUBLE_EQ(r.response.predicted_time_s,
+                     first.response.predicted_time_s);
+  }
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.submitted, 6u);
+  EXPECT_EQ(m.completed, 6u);
+  EXPECT_EQ(m.cache_misses, 1u);
+  EXPECT_EQ(m.cache_hits, 5u);
+  EXPECT_EQ(m.cache_entries, 1u);
+  EXPECT_EQ(m.e2e.count, 6u);
+}
+
+TEST_F(ServeTest, CacheKeyIsStructuralAcrossClusterShapes) {
+  // Same model on different clusters/batch sizes shares one embedding.
+  PredictionService service(*pddl_);
+  ASSERT_TRUE(service.predict(make_request("alexnet", 4, "p100")).ok());
+  const ServeResult r = service.predict(make_request("alexnet", 8, "e5_2630"));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(service.metrics().cache_misses, 1u);
+}
+
+TEST_F(ServeTest, WarmUpPopulatesCache) {
+  PredictionService service(*pddl_);
+  std::vector<workload::DlWorkload> ws;
+  for (const char* model : {"resnet18", "vgg11", "alexnet"}) {
+    ws.push_back({model, workload::cifar10(), 64, 10});
+  }
+  // Workloads for an untrained dataset are skipped, not fatal.
+  ws.push_back({"resnet18", workload::tiny_imagenet(), 64, 10});
+  EXPECT_EQ(service.warm_up(ws), 3u);
+  EXPECT_EQ(service.warm_up(ws), 0u);  // idempotent
+  for (const char* model : {"resnet18", "vgg11", "alexnet"}) {
+    const ServeResult r = service.predict(make_request(model));
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.cache_hit);
+  }
+  EXPECT_EQ(service.metrics().cache_misses, 0u);
+  EXPECT_EQ(service.metrics().cache_hits, 3u);
+}
+
+TEST_F(ServeTest, UntrainedDatasetIsRejectedNotTrained) {
+  PredictionService service(*pddl_);
+  core::PredictRequest req = make_request("resnet18");
+  req.workload.dataset = workload::tiny_imagenet();
+  const ServeResult r = service.predict(req);
+  EXPECT_EQ(r.status, ServeStatus::kUntrainedDataset);
+  EXPECT_FALSE(r.error.empty());
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.rejected_untrained, 1u);
+  EXPECT_EQ(m.completed, 0u);
+}
+
+TEST_F(ServeTest, RejectsWithReasonWhenQueueSaturated) {
+  ServiceConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.dispatcher_threads = 1;
+  cfg.start_paused = true;  // hold dispatch so the queue fills deterministically
+  PredictionService service(*pddl_, cfg);
+
+  std::vector<std::future<ServeResult>> accepted;
+  for (int i = 0; i < 4; ++i) {
+    accepted.push_back(service.submit(make_request("resnet18")));
+  }
+  // Queue is at capacity: further admissions must fail fast with a reason.
+  for (int i = 0; i < 3; ++i) {
+    std::future<ServeResult> f = service.submit(make_request("resnet18"));
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const ServeResult r = f.get();
+    EXPECT_EQ(r.status, ServeStatus::kRejectedQueueFull);
+    EXPECT_NE(r.error.find("capacity"), std::string::npos);
+  }
+  EXPECT_EQ(service.queue_depth(), 4u);
+
+  service.resume();
+  for (auto& f : accepted) {
+    const ServeResult r = f.get();
+    EXPECT_TRUE(r.ok()) << r.error;
+  }
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.submitted, 7u);
+  EXPECT_EQ(m.completed, 4u);
+  EXPECT_EQ(m.rejected_queue_full, 3u);
+}
+
+TEST_F(ServeTest, DeadlineExpiresWhileQueued) {
+  ServiceConfig cfg;
+  cfg.start_paused = true;
+  PredictionService service(*pddl_, cfg);
+  std::future<ServeResult> doomed =
+      service.submit(make_request("resnet18"), /*deadline_ms=*/5.0);
+  std::future<ServeResult> patient =
+      service.submit(make_request("resnet18"));  // no deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  service.resume();
+  const ServeResult r = doomed.get();
+  EXPECT_EQ(r.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_GE(r.queue_ms, 5.0);
+  EXPECT_TRUE(patient.get().ok());
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.deadline_expired, 1u);
+  EXPECT_EQ(m.completed, 1u);
+}
+
+TEST_F(ServeTest, ShutdownRejectsNewButDrainsQueued) {
+  ServiceConfig cfg;
+  cfg.start_paused = true;
+  PredictionService service(*pddl_, cfg);
+  std::future<ServeResult> queued = service.submit(make_request("vgg11"));
+  service.stop();  // must drain the paused queue, not drop it
+  EXPECT_TRUE(queued.get().ok());
+  const ServeResult late = service.predict(make_request("vgg11"));
+  EXPECT_EQ(late.status, ServeStatus::kShutdown);
+}
+
+// The headline concurrency test: N client threads × M requests of mixed
+// cached/uncached traffic.  Every request must get exactly one response
+// (no lost promises), metrics must stay consistent, and a second identical
+// wave over the warm cache must be all hits.
+TEST_F(ServeTest, StressManyClientsMixedTraffic) {
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 32;
+  const std::vector<std::string> models = {
+      "alexnet", "resnet18", "resnet50",        "vgg11",
+      "vgg16",   "densenet121", "mobilenet_v3_small"};
+
+  ServiceConfig cfg;
+  cfg.dispatcher_threads = 4;
+  cfg.queue_capacity = kThreads * kPerThread;  // no rejections in this test
+  PredictionService service(*pddl_, cfg);
+
+  auto run_wave = [&] {
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&, t] {
+        std::vector<std::future<ServeResult>> futs;
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::string& model = models[(t + i) % models.size()];
+          const int servers = (i % 2 == 0) ? 4 : 8;
+          const char* sku = (t % 2 == 0) ? "p100" : "e5_2630";
+          futs.push_back(service.submit(make_request(model, servers, sku)));
+        }
+        for (auto& f : futs) {
+          const ServeResult r = f.get();
+          if (r.ok() && r.response.predicted_time_s > 0.0) ok.fetch_add(1);
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    return ok.load();
+  };
+
+  EXPECT_EQ(run_wave(), kThreads * kPerThread);
+  const MetricsSnapshot wave1 = service.metrics();
+  EXPECT_EQ(wave1.submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(wave1.completed, wave1.submitted);
+  EXPECT_EQ(wave1.cache_hits + wave1.cache_misses, wave1.completed);
+  // Every distinct architecture misses at least once; concurrent first
+  // touches may duplicate a miss, but never exceed request count.
+  EXPECT_GE(wave1.cache_misses, models.size());
+  EXPECT_EQ(wave1.rejected_queue_full, 0u);
+  EXPECT_EQ(wave1.errors, 0u);
+  EXPECT_EQ(wave1.e2e.count, wave1.completed);
+
+  // Second wave over a warm cache: zero new misses, all hits.
+  EXPECT_EQ(run_wave(), kThreads * kPerThread);
+  const MetricsSnapshot wave2 = service.metrics();
+  EXPECT_EQ(wave2.completed, 2u * kThreads * kPerThread);
+  EXPECT_EQ(wave2.cache_misses, wave1.cache_misses);
+  EXPECT_EQ(wave2.cache_hits,
+            wave2.completed - wave2.cache_misses);
+
+  // Metrics are monotone across snapshots.
+  EXPECT_GE(wave2.submitted, wave1.submitted);
+  EXPECT_GE(wave2.cache_hits, wave1.cache_hits);
+  EXPECT_GE(wave2.e2e.count, wave1.e2e.count);
+  EXPECT_GE(wave2.e2e.max_ms, 0.0);
+}
+
+// ---- ShardedEmbeddingCache unit coverage ----
+
+TEST(ShardedEmbeddingCache, LruEvictsLeastRecentlyUsed) {
+  ShardedEmbeddingCache cache(/*shards=*/1, /*capacity=*/3);
+  cache.put("d", 1, {1.0});
+  cache.put("d", 2, {2.0});
+  cache.put("d", 3, {3.0});
+  ASSERT_TRUE(cache.get("d", 1).has_value());  // promote fp=1 to MRU
+  cache.put("d", 4, {4.0});                    // evicts fp=2 (LRU)
+  EXPECT_FALSE(cache.get("d", 2).has_value());
+  EXPECT_TRUE(cache.get("d", 1).has_value());
+  EXPECT_TRUE(cache.get("d", 3).has_value());
+  EXPECT_TRUE(cache.get("d", 4).has_value());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.inserts, 4u);
+}
+
+TEST(ShardedEmbeddingCache, PutRefreshesExistingKey) {
+  ShardedEmbeddingCache cache(2, 8);
+  cache.put("d", 7, {1.0});
+  cache.put("d", 7, {9.0});
+  const auto v = cache.get("d", 7);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 9.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedEmbeddingCache, DatasetsDoNotCollide) {
+  ShardedEmbeddingCache cache(4, 16);
+  cache.put("cifar10", 42, {1.0});
+  cache.put("tiny_imagenet", 42, {2.0});
+  EXPECT_EQ((*cache.get("cifar10", 42))[0], 1.0);
+  EXPECT_EQ((*cache.get("tiny_imagenet", 42))[0], 2.0);
+}
+
+TEST(ShardedEmbeddingCache, ConcurrentHammerStaysConsistent) {
+  ShardedEmbeddingCache cache(8, 64);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 500;
+  std::atomic<std::uint64_t> gets{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t fp = static_cast<std::uint64_t>((t * 7 + i) % 96);
+        if (i % 3 == 0) {
+          cache.put("d", fp, {static_cast<double>(fp)});
+        } else {
+          gets.fetch_add(1);
+          if (auto v = cache.get("d", fp)) {
+            // A hit must return the value stored under that key.
+            EXPECT_EQ((*v)[0], static_cast<double>(fp));
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, gets.load());
+  EXPECT_EQ(s.entries, cache.size());
+}
+
+// ---- LatencyHistogram unit coverage ----
+
+TEST(LatencyHistogram, QuantilesLandInTheRightBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(1.5);   // bucket (1, 2]
+  for (int i = 0; i < 10; ++i) h.record(150.0);  // bucket (100, 200]
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean_ms, 0.9 * 1.5 + 0.1 * 150.0, 0.01);
+  EXPECT_GT(s.p50_ms, 1.0);
+  EXPECT_LE(s.p50_ms, 2.0);
+  EXPECT_GT(s.p95_ms, 100.0);
+  EXPECT_LE(s.p95_ms, 200.0);
+  EXPECT_GT(s.p99_ms, 100.0);
+  EXPECT_LE(s.p99_ms, 200.0);
+  EXPECT_NEAR(s.max_ms, 150.0, 1e-6);
+}
+
+TEST(LatencyHistogram, EmptyAndSingleSample) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().p99_ms, 0.0);
+  h.record(3.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GT(s.p50_ms, 2.0);
+  EXPECT_LE(s.p50_ms, 5.0);
+  EXPECT_NEAR(s.max_ms, 3.0, 1e-6);
+}
+
+TEST(LatencyHistogram, OverflowBucketUsesObservedMax) {
+  LatencyHistogram h;
+  h.record(45000.0);  // beyond the last bound (30 s)
+  const auto s = h.snapshot();
+  EXPECT_NEAR(s.p99_ms, 45000.0, 1e-3);
+}
+
+TEST(Metrics, SnapshotRendersKeyFields) {
+  ServiceMetrics m;
+  m.submitted.store(10);
+  m.completed.store(8);
+  m.cache_hits.store(6);
+  m.cache_misses.store(2);
+  m.e2e_ms.record(1.0);
+  const std::string text = m.snapshot().to_string();
+  EXPECT_NE(text.find("submitted=10"), std::string::npos);
+  EXPECT_NE(text.find("hit_rate=75.0%"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(ServeStatus, ToStringCoversAllStatuses) {
+  EXPECT_STREQ(to_string(ServeStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(ServeStatus::kRejectedQueueFull),
+               "rejected_queue_full");
+  EXPECT_STREQ(to_string(ServeStatus::kUntrainedDataset),
+               "untrained_dataset");
+  EXPECT_STREQ(to_string(ServeStatus::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(to_string(ServeStatus::kShutdown), "shutdown");
+  EXPECT_STREQ(to_string(ServeStatus::kError), "error");
+}
+
+}  // namespace
+}  // namespace pddl::serve
