@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "io/snapshot.hpp"
 #include "simulator/measurement_io.hpp"
 
 namespace pddl::core {
@@ -39,6 +40,20 @@ void InferenceEngine::set_regressor(
     std::unique_ptr<regress::Regressor> regressor) {
   PDDL_CHECK(regressor != nullptr, "null regressor");
   regressor_ = std::move(regressor);
+}
+
+void InferenceEngine::save(io::BinaryWriter& w) const {
+  w.str(regressor_->name());
+  regressor_->save(w);
+}
+
+void InferenceEngine::load(io::BinaryReader& r) {
+  const std::string tag = r.str();
+  PDDL_CHECK(tag == regressor_->name(), r.what(),
+             ": saved regressor is '", tag, "' but this engine is configured "
+             "for '", regressor_->name(),
+             "' — restore with the same make_regressor factory");
+  regressor_->load(r);
 }
 
 PredictDdl::PredictDdl(const sim::DdlSimulator& sim, ThreadPool& pool,
@@ -130,39 +145,54 @@ bool PredictDdl::ready_for(const std::string& dataset) const {
 
 void PredictDdl::save_state(const std::string& dir) const {
   std::filesystem::create_directories(dir);
-  // const_cast: GhnRegistry::model() is non-const only because embedding
-  // memoization mutates; serialization reads parameters.
-  auto& registry = const_cast<ghn::GhnRegistry&>(registry_);
-  for (const std::string& dataset : registry.datasets()) {
-    ghn::Ghn2* ghn = registry.model(dataset);
+  io::SnapshotWriter snap;
+  for (const std::string& dataset : registry_.datasets()) {
+    const ghn::Ghn2* ghn = registry_.model(dataset);
     PDDL_CHECK(ghn != nullptr, "registry lost dataset '", dataset, "'");
-    ghn::save_ghn(dir + "/ghn_" + dataset + ".bin", *ghn);
+    ghn::save_ghn(snap.add("ghn/" + dataset), *ghn);
   }
   for (const auto& [dataset, measurements] : training_data_) {
+    sim::save_measurements(snap.add("campaign/" + dataset), measurements);
+    // Lossy-free but human-readable companion for spreadsheets / diffing.
     sim::save_measurements_csv_file(dir + "/campaign_" + dataset + ".csv",
                                     measurements);
   }
+  for (const auto& [dataset, engine] : engines_) {
+    if (!engine.fitted()) continue;
+    engine.save(snap.add("regressor/" + dataset));
+  }
+  snap.save_file(dir + "/state.pddl");
 }
 
 void PredictDdl::load_state(const std::string& dir) {
-  PDDL_CHECK(std::filesystem::is_directory(dir), "no such state dir: ", dir);
+  const std::string path = dir + "/state.pddl";
+  PDDL_CHECK(std::filesystem::exists(path), "no state snapshot at ", path);
+  io::SnapshotReader snap(path);
   std::size_t ghns = 0;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("ghn_", 0) == 0 && entry.path().extension() == ".bin") {
-      const std::string dataset =
-          name.substr(4, name.size() - 4 - 4);  // strip "ghn_" and ".bin"
-      registry_.put(dataset, ghn::load_ghn(entry.path().string()));
-      ++ghns;
-    }
+  for (const std::string& name : snap.names()) {
+    if (name.rfind("ghn/", 0) != 0) continue;
+    io::BinaryReader r = snap.reader(name);
+    registry_.put(name.substr(4), ghn::load_ghn(r));
+    ++ghns;
   }
-  PDDL_CHECK(ghns > 0, "no GHN files found in ", dir);
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("campaign_", 0) == 0 && entry.path().extension() == ".csv") {
-      const std::string dataset = name.substr(9, name.size() - 9 - 4);
-      const auto measurements =
-          sim::load_measurements_csv_file(entry.path().string());
+  PDDL_CHECK(ghns > 0, "snapshot has no GHN sections: ", path);
+  // Fitted regressors restore directly — no refit — so a warm restart is
+  // milliseconds and predicts bit-identically to the saved instance.
+  for (const std::string& name : snap.names()) {
+    if (name.rfind("regressor/", 0) != 0) continue;
+    io::BinaryReader r = snap.reader(name);
+    engine_for(name.substr(10)).load(r);
+  }
+  for (const std::string& name : snap.names()) {
+    if (name.rfind("campaign/", 0) != 0) continue;
+    const std::string dataset = name.substr(9);
+    io::BinaryReader r = snap.reader(name);
+    auto measurements = sim::load_measurements(r);
+    if (const auto it = engines_.find(dataset);
+        it != engines_.end() && it->second.fitted()) {
+      training_data_[dataset] = std::move(measurements);
+    } else {
+      // Older snapshot without a regressor section: fall back to refitting.
       fit_predictor(dataset, measurements);
     }
   }

@@ -66,6 +66,14 @@ class InferenceEngine {
   // Swap in a different regression algorithm (design objective 2, §III-A).
   void set_regressor(std::unique_ptr<regress::Regressor> regressor);
 
+  // Snapshot-section payload: the regressor's name tag followed by its
+  // fitted state.  load() requires the engine's configured regressor to
+  // match the saved tag (rebuild with the same make_regressor factory) —
+  // this avoids a global regressor factory registry while still failing
+  // loudly on algorithm mismatch instead of silently mis-decoding bytes.
+  void save(io::BinaryWriter& w) const;
+  void load(io::BinaryReader& r);
+
  private:
   std::unique_ptr<regress::Regressor> regressor_;
 };
@@ -128,11 +136,16 @@ class PredictDdl {
   void ensure_ghn(const workload::DatasetDescriptor& dataset);
 
   // ---- persistence ----
-  // Saves every trained GHN plus the campaign measurements used for each
-  // fitted predictor into `dir` (created if absent).  load_state() restores
-  // the GHNs and refits the predictors from the saved campaigns — the
-  // regressor fit is milliseconds, so only the expensive artifacts (GHN
-  // weights, measured data) are serialized.
+  // Saves the framework state into `dir` (created if absent) as a single
+  // checksummed snapshot `state.pddl` (src/io/snapshot.hpp) with sections
+  //   ghn/<dataset>        trained GHN config + weights
+  //   campaign/<dataset>   measurements the predictor was fitted on
+  //   regressor/<dataset>  the fitted regressor itself
+  // plus a campaign_<dataset>.csv per dataset as a human-readable export.
+  // load_state() restores GHNs, campaigns, AND fitted regressors — no refit
+  // happens, so a restored instance predicts bit-identically to the saved
+  // one.  (Refit is the fallback only for a campaign section with no
+  // matching regressor section, e.g. a snapshot from an older build.)
   void save_state(const std::string& dir) const;
   void load_state(const std::string& dir);
 

@@ -1,5 +1,6 @@
 #include "ghn/ghn2.hpp"
 
+#include <bit>
 #include <fstream>
 
 namespace pddl::ghn {
@@ -120,52 +121,85 @@ std::vector<Matrix*> Ghn2::parameters() {
 }
 
 namespace {
-template <typename T>
-void write_pod(std::ostream& os, T v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  PDDL_CHECK(is.good(), "GHN file truncated");
-  return v;
-}
+constexpr char kMagic[4] = {'P', 'G', 'H', 'N'};
+// Version 2 moved the format onto the io layer (explicit little-endian,
+// versioned, CRC-trailed standalone files).
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
-void save_ghn(const std::string& path, Ghn2& ghn) {
+void save_ghn(io::BinaryWriter& w, const Ghn2& ghn) {
+  const GhnConfig& c = ghn.config();
+  w.magic(kMagic);
+  w.u32(kVersion);
+  w.u64(c.hidden_dim);
+  w.u64(c.mlp_hidden);
+  w.i32(c.num_passes);
+  w.boolean(c.virtual_edges);
+  w.i32(c.s_max);
+  w.boolean(c.op_normalization);
+  nn::save_parameters(w, ghn.parameters());
+}
+
+std::unique_ptr<Ghn2> load_ghn(io::BinaryReader& r) {
+  r.expect_magic(kMagic, "GHN");
+  const std::uint32_t version = r.u32();
+  PDDL_CHECK(version == kVersion, r.what(), ": unsupported GHN file version ",
+             version, " (this build reads version ", kVersion, ")");
+  GhnConfig c;
+  c.hidden_dim = r.u64();
+  c.mlp_hidden = r.u64();
+  c.num_passes = r.i32();
+  c.virtual_edges = r.boolean();
+  c.s_max = r.i32();
+  c.op_normalization = r.boolean();
+  PDDL_CHECK(c.hidden_dim > 0 && c.hidden_dim <= (1u << 16) &&
+                 c.mlp_hidden > 0 && c.mlp_hidden <= (1u << 16),
+             r.what(), ": implausible GHN dimensions ", c.hidden_dim, "/",
+             c.mlp_hidden);
+  Rng rng(0);  // parameters are overwritten immediately
+  auto ghn = std::make_unique<Ghn2>(c, rng);
+  nn::load_parameters(r, ghn->parameters());
+  return ghn;
+}
+
+void save_ghn(const std::string& path, const Ghn2& ghn) {
   std::ofstream os(path, std::ios::binary);
   PDDL_CHECK(os.good(), "cannot open for write: ", path);
-  const GhnConfig& c = ghn.config();
-  os.write("PGHN", 4);
-  write_pod<std::uint64_t>(os, c.hidden_dim);
-  write_pod<std::uint64_t>(os, c.mlp_hidden);
-  write_pod<std::int32_t>(os, c.num_passes);
-  write_pod<std::uint8_t>(os, c.virtual_edges ? 1 : 0);
-  write_pod<std::int32_t>(os, c.s_max);
-  write_pod<std::uint8_t>(os, c.op_normalization ? 1 : 0);
-  auto ps = ghn.parameters();
-  nn::save_parameters(os, {ps.begin(), ps.end()});
+  io::BinaryWriter w(os);
+  save_ghn(w, ghn);
+  w.finish_crc();
 }
 
 std::unique_ptr<Ghn2> load_ghn(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   PDDL_CHECK(is.good(), "cannot open for read: ", path);
-  char magic[4];
-  is.read(magic, 4);
-  PDDL_CHECK(is.good() && std::string(magic, 4) == "PGHN",
-             "not a GHN file: ", path);
-  GhnConfig c;
-  c.hidden_dim = read_pod<std::uint64_t>(is);
-  c.mlp_hidden = read_pod<std::uint64_t>(is);
-  c.num_passes = read_pod<std::int32_t>(is);
-  c.virtual_edges = read_pod<std::uint8_t>(is) != 0;
-  c.s_max = read_pod<std::int32_t>(is);
-  c.op_normalization = read_pod<std::uint8_t>(is) != 0;
-  Rng rng(0);  // parameters are overwritten immediately
-  auto ghn = std::make_unique<Ghn2>(c, rng);
-  nn::load_parameters(is, ghn->parameters());
+  io::BinaryReader r(is, path);
+  auto ghn = load_ghn(r);
+  r.verify_crc();
   return ghn;
+}
+
+std::uint64_t ghn_checksum(const Ghn2& ghn) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  const GhnConfig& c = ghn.config();
+  mix(c.hidden_dim);
+  mix(c.mlp_hidden);
+  mix(static_cast<std::uint64_t>(c.num_passes));
+  mix(c.virtual_edges ? 1 : 0);
+  mix(static_cast<std::uint64_t>(c.s_max));
+  mix(c.op_normalization ? 1 : 0);
+  for (const Matrix* p : ghn.parameters()) {
+    mix(p->rows());
+    mix(p->cols());
+    for (std::size_t i = 0; i < p->size(); ++i) {
+      mix(std::bit_cast<std::uint64_t>(p->data()[i]));
+    }
+  }
+  return h;
 }
 
 }  // namespace pddl::ghn

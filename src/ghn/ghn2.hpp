@@ -54,6 +54,7 @@ class Ghn2 final : public nn::Module {
   Vector embedding(const graph::CompGraph& g);
 
   std::vector<Matrix*> parameters() override;
+  using nn::Module::parameters;  // un-hide the const read-only overload
 
  private:
   GhnConfig cfg_;
@@ -65,9 +66,21 @@ class Ghn2 final : public nn::Module {
   std::vector<Matrix> op_gains_;
 };
 
-// Binary serialization of config + parameters.
-void save_ghn(const std::string& path, Ghn2& ghn);
+// Binary serialization of config + parameters via the io layer.  The
+// writer/reader forms are the composable payloads embedded in snapshot
+// sections (core::PredictDdl::save_state); the path forms wrap them in a
+// standalone file with a CRC-32 trailer.
+void save_ghn(io::BinaryWriter& w, const Ghn2& ghn);
+std::unique_ptr<Ghn2> load_ghn(io::BinaryReader& r);
+void save_ghn(const std::string& path, const Ghn2& ghn);
 // Reconstructs the Ghn2 (config is stored in the file).
 std::unique_ptr<Ghn2> load_ghn(const std::string& path);
+
+// FNV-1a digest of the GHN's config and every parameter scalar.  Two GHNs
+// produce identical embeddings for every graph iff their checksums match,
+// so this is the validity key for persisted embedding caches: a warm-cache
+// snapshot taken under one GHN must be discarded when a different GHN (new
+// training run, different config) is registered for the dataset.
+std::uint64_t ghn_checksum(const Ghn2& ghn);
 
 }  // namespace pddl::ghn

@@ -123,4 +123,10 @@ Ghn2* GhnRegistry::model(const std::string& dataset) {
   return it == entries_.end() ? nullptr : it->second.ghn.get();
 }
 
+const Ghn2* GhnRegistry::model(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(dataset);
+  return it == entries_.end() ? nullptr : it->second.ghn.get();
+}
+
 }  // namespace pddl::ghn

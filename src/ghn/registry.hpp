@@ -64,6 +64,10 @@ class GhnRegistry {
 
   // Direct access for ablations; nullptr when absent.
   Ghn2* model(const std::string& dataset);
+  // Const read path for serialization (save_ghn / ghn_checksum read only
+  // config + parameters; the embedding memo lives in the registry entry, not
+  // the Ghn2, so no mutation is bypassed here).
+  const Ghn2* model(const std::string& dataset) const;
 
  private:
   struct Entry {

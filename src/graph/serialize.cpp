@@ -4,97 +4,87 @@
 #include <iomanip>
 #include <sstream>
 
+#include "io/binary.hpp"
+
 namespace pddl::graph {
 
 namespace {
 
 constexpr char kMagic[4] = {'P', 'D', 'C', 'G'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 moved the format onto the io layer: identical node payload, plus
+// a CRC-32 trailer.  Version-1 files (no trailer) remain readable.
+constexpr std::uint32_t kVersion = 2;
 
-template <typename T>
-void write_pod(std::ostream& os, T v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+void write_node_payload(io::BinaryWriter& w, const CompGraph& g) {
+  w.str(g.name());
+  w.u64(g.num_nodes());
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto& n = g.node(static_cast<int>(i));
+    w.i32(static_cast<std::int32_t>(n.type));
+    w.i32(n.out_shape.c);
+    w.i32(n.out_shape.h);
+    w.i32(n.out_shape.w);
+    w.i64(n.params);
+    w.i64(n.flops);
+    w.i32(n.attrs.kernel);
+    w.i32(n.attrs.stride);
+    w.i32(n.attrs.groups);
+    w.str(n.label);
+    const auto& ins = g.in_edges(static_cast<int>(i));
+    w.u32(static_cast<std::uint32_t>(ins.size()));
+    for (int in : ins) w.i32(in);
+  }
 }
 
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  PDDL_CHECK(is.good(), "graph stream truncated");
-  return v;
-}
-
-void write_string(std::ostream& os, const std::string& s) {
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::istream& is) {
-  const auto len = read_pod<std::uint32_t>(is);
-  PDDL_CHECK(len < (1u << 20), "unreasonable string length in graph file");
-  std::string s(len, '\0');
-  is.read(s.data(), len);
-  PDDL_CHECK(is.good(), "graph stream truncated");
-  return s;
+CompGraph read_node_payload(io::BinaryReader& r) {
+  CompGraph g(r.str());
+  const std::uint64_t count = r.u64();
+  PDDL_CHECK(count > 0 && count < (1ull << 24), "bad node count ", count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CompGraph::Node n;
+    const std::int32_t type = r.i32();
+    PDDL_CHECK(type >= 0 && type < static_cast<std::int32_t>(kNumOpTypes),
+               "bad op type ", type);
+    n.type = static_cast<OpType>(type);
+    n.out_shape.c = r.i32();
+    n.out_shape.h = r.i32();
+    n.out_shape.w = r.i32();
+    n.params = r.i64();
+    n.flops = r.i64();
+    n.attrs.kernel = r.i32();
+    n.attrs.stride = r.i32();
+    n.attrs.groups = r.i32();
+    n.label = r.str();
+    const std::uint32_t in_count = r.u32();
+    PDDL_CHECK(in_count <= count, "bad in-degree ", in_count);
+    std::vector<int> ins(in_count);
+    for (auto& in : ins) in = r.i32();
+    g.add_node(std::move(n), ins);
+  }
+  g.validate();
+  return g;
 }
 
 }  // namespace
 
 void save_graph(std::ostream& os, const CompGraph& g) {
-  os.write(kMagic, 4);
-  write_pod<std::uint32_t>(os, kVersion);
-  write_string(os, g.name());
-  write_pod<std::uint64_t>(os, g.num_nodes());
-  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
-    const auto& n = g.node(static_cast<int>(i));
-    write_pod<std::int32_t>(os, static_cast<std::int32_t>(n.type));
-    write_pod<std::int32_t>(os, n.out_shape.c);
-    write_pod<std::int32_t>(os, n.out_shape.h);
-    write_pod<std::int32_t>(os, n.out_shape.w);
-    write_pod<std::int64_t>(os, n.params);
-    write_pod<std::int64_t>(os, n.flops);
-    write_pod<std::int32_t>(os, n.attrs.kernel);
-    write_pod<std::int32_t>(os, n.attrs.stride);
-    write_pod<std::int32_t>(os, n.attrs.groups);
-    write_string(os, n.label);
-    const auto& ins = g.in_edges(static_cast<int>(i));
-    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(ins.size()));
-    for (int in : ins) write_pod<std::int32_t>(os, in);
-  }
-  PDDL_CHECK(os.good(), "failed writing graph");
+  io::BinaryWriter w(os);
+  w.magic(kMagic);
+  w.u32(kVersion);
+  write_node_payload(w, g);
+  w.finish_crc();
 }
 
 CompGraph load_graph(std::istream& is) {
-  char magic[4];
-  is.read(magic, 4);
-  PDDL_CHECK(is.good() && std::string(magic, 4) == "PDCG",
-             "not a computational-graph file");
-  const auto version = read_pod<std::uint32_t>(is);
-  PDDL_CHECK(version == kVersion, "unsupported graph file version ", version);
-  CompGraph g(read_string(is));
-  const auto count = read_pod<std::uint64_t>(is);
-  PDDL_CHECK(count > 0 && count < (1ull << 24), "bad node count ", count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    CompGraph::Node n;
-    const auto type = read_pod<std::int32_t>(is);
-    PDDL_CHECK(type >= 0 && type < static_cast<std::int32_t>(kNumOpTypes),
-               "bad op type ", type);
-    n.type = static_cast<OpType>(type);
-    n.out_shape.c = read_pod<std::int32_t>(is);
-    n.out_shape.h = read_pod<std::int32_t>(is);
-    n.out_shape.w = read_pod<std::int32_t>(is);
-    n.params = read_pod<std::int64_t>(is);
-    n.flops = read_pod<std::int64_t>(is);
-    n.attrs.kernel = read_pod<std::int32_t>(is);
-    n.attrs.stride = read_pod<std::int32_t>(is);
-    n.attrs.groups = read_pod<std::int32_t>(is);
-    n.label = read_string(is);
-    const auto in_count = read_pod<std::uint32_t>(is);
-    std::vector<int> ins(in_count);
-    for (auto& in : ins) in = read_pod<std::int32_t>(is);
-    g.add_node(std::move(n), ins);
-  }
-  g.validate();
+  io::BinaryReader r(is, "graph stream");
+  r.expect_magic(kMagic, "computational-graph");
+  const std::uint32_t version = r.u32();
+  PDDL_CHECK(version == 1 || version == kVersion,
+             "unsupported graph file version ", version);
+  CompGraph g = read_node_payload(r);
+  // Version 1 predates the io layer and carries no checksum; version 2 ends
+  // with a CRC-32 of everything from the magic on.
+  if (version >= 2) r.verify_crc();
   return g;
 }
 

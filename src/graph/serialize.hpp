@@ -6,12 +6,15 @@
 // round-tripping graphs between tools, and DOT export for visual inspection
 // (the paper's Fig. 3-style drawings).
 //
-// Binary layout (little-endian):
+// Binary layout (io layer, little-endian):
 //   magic "PDCG", u32 version, u32 name-length, name bytes,
 //   u64 node count, then per node:
 //     i32 op type, i32 c,h,w, i64 params, i64 flops,
 //     i32 kernel, stride, groups, u32 label-length, label bytes,
 //     u32 in-degree, i32 input ids...
+//   version ≥ 2: u32 CRC-32 trailer over everything from the magic on.
+// Version-1 files (pre-io-layer, no trailer) still load; corruption in a
+// version-2 file fails the checksum with a clean error.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,175 @@
+#include "io/binary.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace pddl::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = crc_table();
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+// ---- BinaryWriter ----
+
+void BinaryWriter::raw(const void* data, std::size_t size) {
+  os_.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  PDDL_CHECK(os_.good(), "binary write failed after ", bytes_, " bytes");
+  crc_ = crc32_update(crc_, data, size);
+  bytes_ += size;
+}
+
+void BinaryWriter::u8(std::uint8_t v) { raw(&v, 1); }
+
+void BinaryWriter::u32(std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  raw(b, 4);
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  raw(b, 8);
+}
+
+void BinaryWriter::i32(std::int32_t v) {
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void BinaryWriter::i64(std::int64_t v) {
+  u64(static_cast<std::uint64_t>(v));
+}
+
+void BinaryWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void BinaryWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  if (!s.empty()) raw(s.data(), s.size());
+}
+
+void BinaryWriter::magic(const char m[4]) { raw(m, 4); }
+
+void BinaryWriter::finish_crc() {
+  const std::uint32_t trailer = crc();
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) {
+    b[i] = static_cast<unsigned char>(trailer >> (8 * i));
+  }
+  os_.write(reinterpret_cast<const char*>(b), 4);
+  PDDL_CHECK(os_.good(), "binary write failed writing CRC trailer");
+  bytes_ += 4;
+}
+
+// ---- BinaryReader ----
+
+BinaryReader::BinaryReader(std::istream& is, std::string what)
+    : is_(&is), what_(std::move(what)) {}
+
+BinaryReader::BinaryReader(std::string bytes, std::string what)
+    : owned_(std::make_unique<std::istringstream>(
+          std::move(bytes), std::ios::binary)),
+      is_(owned_.get()),
+      what_(std::move(what)) {}
+
+void BinaryReader::raw(void* dst, std::size_t size) {
+  is_->read(static_cast<char*>(dst), static_cast<std::streamsize>(size));
+  PDDL_CHECK(is_->good() || (is_->eof() &&
+                             static_cast<std::size_t>(is_->gcount()) == size),
+             what_, " truncated at byte ", bytes_);
+  crc_ = crc32_update(crc_, dst, size);
+  bytes_ += size;
+}
+
+std::uint8_t BinaryReader::u8() {
+  std::uint8_t v = 0;
+  raw(&v, 1);
+  return v;
+}
+
+std::uint32_t BinaryReader::u32() {
+  unsigned char b[4];
+  raw(b, 4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  unsigned char b[8];
+  raw(b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::int32_t BinaryReader::i32() { return static_cast<std::int32_t>(u32()); }
+
+std::int64_t BinaryReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double BinaryReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string BinaryReader::str(std::uint32_t max_len) {
+  const std::uint32_t len = u32();
+  PDDL_CHECK(len <= max_len, what_, ": unreasonable string length ", len);
+  std::string s(len, '\0');
+  if (len > 0) raw(s.data(), len);
+  return s;
+}
+
+void BinaryReader::expect_magic(const char expected[4],
+                                const char* format_name) {
+  char m[4];
+  raw(m, 4);
+  PDDL_CHECK(std::memcmp(m, expected, 4) == 0, what_, ": not a ", format_name,
+             " file (bad magic)");
+}
+
+void BinaryReader::verify_crc() {
+  const std::uint32_t expected = crc();
+  unsigned char b[4];
+  is_->read(reinterpret_cast<char*>(b), 4);
+  PDDL_CHECK(is_->good() || (is_->eof() && is_->gcount() == 4), what_,
+             " truncated (missing CRC trailer)");
+  bytes_ += 4;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  }
+  PDDL_CHECK(stored == expected, what_, " corrupted: CRC mismatch (stored ",
+             stored, ", computed ", expected, ")");
+}
+
+bool BinaryReader::at_end() {
+  return is_->peek() == std::istream::traits_type::eof();
+}
+
+}  // namespace pddl::io

@@ -1,0 +1,102 @@
+// Versioned, checksummed binary stream primitives — the base of every
+// on-disk format in the repository (see DESIGN.md "Snapshot container
+// format").
+//
+// Every multi-byte value is encoded explicitly little-endian, byte by byte,
+// so files written on one platform load on any other.  Both endpoints keep a
+// running CRC-32 (IEEE 802.3) of the bytes that passed through them; writers
+// append it as a trailer with finish_crc() and readers verify it with
+// verify_crc(), which turns any single flipped bit between header and
+// trailer into a clean PDDL_CHECK error instead of silently corrupt state.
+//
+// Truncation, oversized length prefixes, and bad magic all fail the same
+// way: a pddl::Error naming the stream, never undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace pddl::io {
+
+// Running CRC-32 (reflected, polynomial 0xEDB88320, as used by zip/png).
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  // u32 length prefix + raw bytes.
+  void str(const std::string& s);
+  // Exactly 4 magic bytes, e.g. "PDCG" (not length-prefixed).
+  void magic(const char m[4]);
+  void raw(const void* data, std::size_t size);
+
+  std::uint64_t bytes_written() const { return bytes_; }
+  std::uint32_t crc() const { return crc_ ^ 0xffffffffu; }
+
+  // Appends the CRC of everything written so far as a u32 trailer.  The
+  // trailer itself is excluded from the running CRC, so a reader can verify
+  // with verify_crc() after consuming the payload.
+  void finish_crc();
+
+ private:
+  std::ostream& os_;
+  std::uint64_t bytes_ = 0;
+  std::uint32_t crc_ = 0xffffffffu;  // running (pre-final-xor) state
+};
+
+class BinaryReader {
+ public:
+  // Reads from a caller-owned stream (`what` names it in error messages).
+  explicit BinaryReader(std::istream& is, std::string what = "stream");
+  // Reads from an owned in-memory buffer (e.g. a snapshot section).
+  explicit BinaryReader(std::string bytes, std::string what = "buffer");
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  std::int64_t i64();
+  double f64();
+  bool boolean() { return u8() != 0; }
+  // Rejects length prefixes above `max_len` before allocating.
+  std::string str(std::uint32_t max_len = (1u << 20));
+  // Reads 4 bytes and checks them against `expected` ("not a <what> file"
+  // otherwise).
+  void expect_magic(const char expected[4], const char* format_name);
+  void raw(void* dst, std::size_t size);
+
+  std::uint64_t bytes_read() const { return bytes_; }
+  std::uint32_t crc() const { return crc_ ^ 0xffffffffu; }
+
+  // Reads the u32 trailer written by finish_crc() and checks it against the
+  // CRC of everything consumed so far.
+  void verify_crc();
+  // True when the underlying stream has no bytes left.
+  bool at_end();
+
+  const std::string& what() const { return what_; }
+
+ private:
+  std::unique_ptr<std::istringstream> owned_;  // set for the buffer ctor
+  std::istream* is_;
+  std::string what_;
+  std::uint64_t bytes_ = 0;
+  std::uint32_t crc_ = 0xffffffffu;
+};
+
+}  // namespace pddl::io

@@ -1,0 +1,35 @@
+#include "io/tensor_io.hpp"
+
+namespace pddl::io {
+
+void write_vector(BinaryWriter& w, const Vector& v) {
+  w.u64(v.size());
+  for (double x : v) w.f64(x);
+}
+
+Vector read_vector(BinaryReader& r, std::uint64_t max_len) {
+  const std::uint64_t n = r.u64();
+  PDDL_CHECK(n <= max_len, r.what(), ": unreasonable vector length ", n);
+  Vector v(static_cast<std::size_t>(n));
+  for (double& x : v) x = r.f64();
+  return v;
+}
+
+void write_matrix(BinaryWriter& w, const Matrix& m) {
+  w.u64(m.rows());
+  w.u64(m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) w.f64(m.data()[i]);
+}
+
+Matrix read_matrix(BinaryReader& r, std::uint64_t max_size) {
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t cols = r.u64();
+  PDDL_CHECK(rows <= max_size && cols <= max_size &&
+                 (rows == 0 || cols <= max_size / rows),
+             r.what(), ": unreasonable matrix shape ", rows, "x", cols);
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = r.f64();
+  return m;
+}
+
+}  // namespace pddl::io

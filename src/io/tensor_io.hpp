@@ -1,0 +1,20 @@
+// Matrix/Vector payload helpers for the io layer.
+//
+// Shared by every client that persists numeric state (nn parameter blobs,
+// fitted regressors, embedding caches): shape-prefixed, little-endian
+// doubles with sanity caps on load so a corrupt length prefix fails cleanly
+// instead of allocating gigabytes.
+#pragma once
+
+#include "io/binary.hpp"
+#include "tensor/matrix.hpp"
+
+namespace pddl::io {
+
+void write_vector(BinaryWriter& w, const Vector& v);
+Vector read_vector(BinaryReader& r, std::uint64_t max_len = (1ull << 24));
+
+void write_matrix(BinaryWriter& w, const Matrix& m);
+Matrix read_matrix(BinaryReader& r, std::uint64_t max_size = (1ull << 26));
+
+}  // namespace pddl::io

@@ -1,10 +1,11 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+
+#include "io/tensor_io.hpp"
 
 namespace pddl::nn {
 
@@ -112,51 +113,37 @@ std::vector<Matrix*> GruCell::parameters() {
 
 namespace {
 constexpr char kMagic[4] = {'P', 'D', 'N', 'N'};
-
-template <typename T>
-void write_pod(std::ostream& os, T v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  PDDL_CHECK(is.good(), "parameter stream truncated");
-  return v;
-}
 }  // namespace
 
-void save_parameters(std::ostream& os, const std::vector<const Matrix*>& ps) {
-  os.write(kMagic, 4);
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(ps.size()));
-  for (const Matrix* p : ps) {
-    write_pod<std::uint64_t>(os, p->rows());
-    write_pod<std::uint64_t>(os, p->cols());
-    os.write(reinterpret_cast<const char*>(p->data()),
-             static_cast<std::streamsize>(p->size() * sizeof(double)));
-  }
-  PDDL_CHECK(os.good(), "failed writing parameters");
+void save_parameters(io::BinaryWriter& w,
+                     const std::vector<const Matrix*>& ps) {
+  w.magic(kMagic);
+  w.u32(static_cast<std::uint32_t>(ps.size()));
+  for (const Matrix* p : ps) io::write_matrix(w, *p);
 }
 
-void load_parameters(std::istream& is, const std::vector<Matrix*>& ps) {
-  char magic[4];
-  is.read(magic, 4);
-  PDDL_CHECK(is.good() && std::memcmp(magic, kMagic, 4) == 0,
-             "bad parameter file magic");
-  const auto count = read_pod<std::uint32_t>(is);
+void load_parameters(io::BinaryReader& r, const std::vector<Matrix*>& ps) {
+  r.expect_magic(kMagic, "parameter blob");
+  const std::uint32_t count = r.u32();
   PDDL_CHECK(count == ps.size(), "parameter count mismatch: file has ", count,
              ", module expects ", ps.size());
   for (Matrix* p : ps) {
-    const auto rows = read_pod<std::uint64_t>(is);
-    const auto cols = read_pod<std::uint64_t>(is);
-    PDDL_CHECK(rows == p->rows() && cols == p->cols(),
-               "parameter shape mismatch: file has ", rows, "x", cols,
+    Matrix m = io::read_matrix(r);
+    PDDL_CHECK(m.rows() == p->rows() && m.cols() == p->cols(),
+               "parameter shape mismatch: file has ", m.rows(), "x", m.cols(),
                ", module expects ", p->rows(), "x", p->cols());
-    is.read(reinterpret_cast<char*>(p->data()),
-            static_cast<std::streamsize>(p->size() * sizeof(double)));
-    PDDL_CHECK(is.good(), "parameter stream truncated");
+    *p = std::move(m);
   }
+}
+
+void save_parameters(std::ostream& os, const std::vector<const Matrix*>& ps) {
+  io::BinaryWriter w(os);
+  save_parameters(w, ps);
+}
+
+void load_parameters(std::istream& is, const std::vector<Matrix*>& ps) {
+  io::BinaryReader r(is, "parameter stream");
+  load_parameters(r, ps);
 }
 
 void save_parameters_file(const std::string& path, Module& m) {

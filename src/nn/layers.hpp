@@ -15,6 +15,7 @@
 
 #include "autograd/tape.hpp"
 #include "common/rng.hpp"
+#include "io/binary.hpp"
 
 namespace pddl::nn {
 
@@ -99,8 +100,13 @@ class GruCell final : public Module {
 };
 
 // ---- Parameter (de)serialization ----
-// Binary format: magic "PDNN", u32 count, then per matrix u64 rows, u64 cols,
-// doubles row-major.  Shapes must match the module exactly on load.
+// Binary format (io layer, little-endian): magic "PDNN", u32 count, then per
+// matrix u64 rows, u64 cols, doubles row-major.  Shapes must match the
+// module exactly on load.  The writer/reader overloads are the composable
+// form used inside snapshot sections (src/io/snapshot.hpp); the stream
+// overloads wrap them for standalone files.
+void save_parameters(io::BinaryWriter& w, const std::vector<const Matrix*>& ps);
+void load_parameters(io::BinaryReader& r, const std::vector<Matrix*>& ps);
 void save_parameters(std::ostream& os, const std::vector<const Matrix*>& ps);
 void load_parameters(std::istream& is, const std::vector<Matrix*>& ps);
 void save_parameters_file(const std::string& path, Module& m);

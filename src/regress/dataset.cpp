@@ -152,4 +152,16 @@ Matrix StandardScaler::transform(const Matrix& x) const {
   return out;
 }
 
+void StandardScaler::save(io::BinaryWriter& w) const {
+  io::write_vector(w, mean_);
+  io::write_vector(w, std_);
+}
+
+void StandardScaler::load(io::BinaryReader& r) {
+  mean_ = io::read_vector(r);
+  std_ = io::read_vector(r);
+  PDDL_CHECK(mean_.size() == std_.size(), r.what(),
+             ": scaler mean/stddev length mismatch");
+}
+
 }  // namespace pddl::regress

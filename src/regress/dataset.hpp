@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "io/tensor_io.hpp"
 #include "tensor/matrix.hpp"
 
 namespace pddl::regress {
@@ -61,6 +62,10 @@ class StandardScaler {
 
   const Vector& mean() const { return mean_; }
   const Vector& stddev() const { return std_; }
+
+  // Snapshot-section payload: the fitted per-feature statistics.
+  void save(io::BinaryWriter& w) const;
+  void load(io::BinaryReader& r);
 
  private:
   Vector mean_;

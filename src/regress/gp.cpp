@@ -93,4 +93,30 @@ double expected_improvement(double mean, double variance, double best) {
   return ei > 0.0 ? ei : 0.0;
 }
 
+void GaussianProcess::save(io::BinaryWriter& w) const {
+  w.f64(cfg_.length_scale);
+  w.f64(cfg_.signal_var);
+  w.f64(cfg_.noise_var);
+  scaler_.save(w);
+  w.f64(y_mean_);
+  io::write_matrix(w, train_);
+  io::write_matrix(w, chol_l_);
+  io::write_vector(w, alpha_);
+}
+
+void GaussianProcess::load(io::BinaryReader& r) {
+  cfg_.length_scale = r.f64();
+  cfg_.signal_var = r.f64();
+  cfg_.noise_var = r.f64();
+  scaler_.load(r);
+  y_mean_ = r.f64();
+  train_ = io::read_matrix(r);
+  chol_l_ = io::read_matrix(r);
+  alpha_ = io::read_vector(r);
+  PDDL_CHECK(alpha_.size() == train_.rows() &&
+                 chol_l_.rows() == train_.rows() &&
+                 chol_l_.cols() == train_.rows(),
+             r.what(), ": inconsistent GP posterior shapes");
+}
+
 }  // namespace pddl::regress

@@ -33,6 +33,8 @@ class GaussianProcess : public Regressor {
   std::unique_ptr<Regressor> clone_config() const override {
     return std::make_unique<GaussianProcess>(cfg_);
   }
+  void save(io::BinaryWriter& w) const override;
+  void load(io::BinaryReader& r) override;
 
   // Posterior mean and variance at a point (variance ≥ 0).
   struct Posterior {

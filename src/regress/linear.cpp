@@ -74,4 +74,32 @@ std::unique_ptr<Regressor> PolynomialRegression::clone_config() const {
   return std::make_unique<PolynomialRegression>(interactions_, lambda_);
 }
 
+void LinearRegression::save(io::BinaryWriter& w) const {
+  w.f64(lambda_);
+  scaler_.save(w);
+  io::write_vector(w, coef_);
+  w.f64(intercept_);
+}
+
+void LinearRegression::load(io::BinaryReader& r) {
+  lambda_ = r.f64();
+  scaler_.load(r);
+  coef_ = io::read_vector(r);
+  intercept_ = r.f64();
+  PDDL_CHECK(coef_.size() == scaler_.mean().size(), r.what(),
+             ": coefficient count does not match scaler width");
+}
+
+void PolynomialRegression::save(io::BinaryWriter& w) const {
+  w.boolean(interactions_);
+  w.f64(lambda_);
+  inner_.save(w);
+}
+
+void PolynomialRegression::load(io::BinaryReader& r) {
+  interactions_ = r.boolean();
+  lambda_ = r.f64();
+  inner_.load(r);
+}
+
 }  // namespace pddl::regress

@@ -21,6 +21,8 @@ class LinearRegression : public Regressor {
   std::unique_ptr<Regressor> clone_config() const override {
     return std::make_unique<LinearRegression>(lambda_);
   }
+  void save(io::BinaryWriter& w) const override;
+  void load(io::BinaryReader& r) override;
 
   const Vector& coefficients() const { return coef_; }
   double intercept() const { return intercept_; }
@@ -59,6 +61,8 @@ class PolynomialRegression : public Regressor {
   double predict(const Vector& features) const override;
   std::string name() const override { return "polynomial2"; }
   std::unique_ptr<Regressor> clone_config() const override;
+  void save(io::BinaryWriter& w) const override;
+  void load(io::BinaryReader& r) override;
 
  private:
   bool interactions_;

@@ -27,4 +27,16 @@ double LogTargetRegressor::predict(const Vector& features) const {
   return std::exp(std::clamp(raw, log_min_ - 1.0, log_max_ + 1.0));
 }
 
+void LogTargetRegressor::save(io::BinaryWriter& w) const {
+  w.f64(log_min_);
+  w.f64(log_max_);
+  inner_->save(w);
+}
+
+void LogTargetRegressor::load(io::BinaryReader& r) {
+  log_min_ = r.f64();
+  log_max_ = r.f64();
+  inner_->load(r);
+}
+
 }  // namespace pddl::regress

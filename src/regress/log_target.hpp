@@ -29,6 +29,8 @@ class LogTargetRegressor : public Regressor {
   std::unique_ptr<Regressor> clone_config() const override {
     return std::make_unique<LogTargetRegressor>(inner_->clone_config());
   }
+  void save(io::BinaryWriter& w) const override;
+  void load(io::BinaryReader& r) override;
 
   const Regressor& inner() const { return *inner_; }
 

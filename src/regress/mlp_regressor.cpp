@@ -49,4 +49,49 @@ double MlpRegressor::predict(const Vector& features) const {
   return y_mean_ + y_scale_ * out.value()(0, 0);
 }
 
+void MlpRegressor::save(io::BinaryWriter& w) const {
+  w.u64(cfg_.hidden_neurons);
+  w.i32(cfg_.epochs);
+  w.f64(cfg_.learning_rate);
+  w.u64(cfg_.seed);
+  scaler_.save(w);
+  w.f64(y_mean_);
+  w.f64(y_scale_);
+  w.f64(final_loss_);
+  w.boolean(mlp_ != nullptr);
+  if (mlp_ != nullptr) {
+    w.u64(mlp_->in_features());
+    const nn::Module& m = *mlp_;
+    nn::save_parameters(w, m.parameters());
+  }
+}
+
+void MlpRegressor::load(io::BinaryReader& r) {
+  cfg_.hidden_neurons = static_cast<std::size_t>(r.u64());
+  cfg_.epochs = r.i32();
+  cfg_.learning_rate = r.f64();
+  cfg_.seed = r.u64();
+  PDDL_CHECK(cfg_.hidden_neurons >= 1 && cfg_.hidden_neurons <= 64, r.what(),
+             ": hidden_neurons out of supported range");
+  scaler_.load(r);
+  y_mean_ = r.f64();
+  y_scale_ = r.f64();
+  final_loss_ = r.f64();
+  if (!r.boolean()) {
+    mlp_.reset();
+    return;
+  }
+  const std::uint64_t in = r.u64();
+  PDDL_CHECK(in >= 1 && in < (1u << 16), r.what(),
+             ": implausible MLP input width ", in);
+  // Rebuild the exact architecture, then overwrite the freshly initialised
+  // weights with the saved ones.
+  Rng rng(cfg_.seed);
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<std::size_t>{static_cast<std::size_t>(in),
+                               cfg_.hidden_neurons, 1},
+      rng, nn::Activation::kTanh);
+  nn::load_parameters(r, mlp_->parameters());
+}
+
 }  // namespace pddl::regress

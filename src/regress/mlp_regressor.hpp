@@ -27,6 +27,8 @@ class MlpRegressor : public Regressor {
   std::unique_ptr<Regressor> clone_config() const override {
     return std::make_unique<MlpRegressor>(cfg_);
   }
+  void save(io::BinaryWriter& w) const override;
+  void load(io::BinaryReader& r) override;
 
   const MlpRegressorConfig& config() const { return cfg_; }
   double final_train_loss() const { return final_loss_; }

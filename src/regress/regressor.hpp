@@ -24,6 +24,14 @@ class Regressor {
   // Fresh unfitted copy with the same hyper-parameters.
   virtual std::unique_ptr<Regressor> clone_config() const = 0;
 
+  // Serialize / restore the full fitted state (hyper-parameters and learned
+  // coefficients) as a snapshot-section payload.  load() on a regressor of
+  // the wrong concrete type is a format error; callers match on name() first
+  // (see core::InferenceEngine).  After load(), predict() is bit-identical
+  // to the instance that was saved — no refit needed.
+  virtual void save(io::BinaryWriter& w) const = 0;
+  virtual void load(io::BinaryReader& r) = 0;
+
   Vector predict_batch(const Matrix& x) const {
     Vector out(x.rows());
     for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));

@@ -180,4 +180,41 @@ std::size_t Svr::num_support_vectors() const {
   return c;
 }
 
+void Svr::save(io::BinaryWriter& w) const {
+  w.u8(cfg_.kernel == SvrKernel::kRbf ? 1 : 0);
+  w.f64(cfg_.c);
+  w.f64(cfg_.gamma);
+  w.f64(cfg_.epsilon);
+  w.i32(cfg_.max_iter);
+  w.f64(cfg_.tol);
+  scaler_.save(w);
+  w.f64(y_mean_);
+  w.f64(y_scale_);
+  io::write_matrix(w, support_);
+  io::write_vector(w, beta_);
+  w.f64(bias_);
+  w.i32(iterations_);
+}
+
+void Svr::load(io::BinaryReader& r) {
+  const std::uint8_t kernel = r.u8();
+  PDDL_CHECK(kernel <= 1, r.what(), ": unknown SVR kernel tag ",
+             static_cast<int>(kernel));
+  cfg_.kernel = kernel == 1 ? SvrKernel::kRbf : SvrKernel::kLinear;
+  cfg_.c = r.f64();
+  cfg_.gamma = r.f64();
+  cfg_.epsilon = r.f64();
+  cfg_.max_iter = r.i32();
+  cfg_.tol = r.f64();
+  scaler_.load(r);
+  y_mean_ = r.f64();
+  y_scale_ = r.f64();
+  support_ = io::read_matrix(r);
+  beta_ = io::read_vector(r);
+  bias_ = r.f64();
+  iterations_ = r.i32();
+  PDDL_CHECK(beta_.size() == support_.rows(), r.what(),
+             ": SVR dual coefficients do not match support rows");
+}
+
 }  // namespace pddl::regress

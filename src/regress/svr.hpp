@@ -43,6 +43,8 @@ class Svr : public Regressor {
   std::unique_ptr<Regressor> clone_config() const override {
     return std::make_unique<Svr>(cfg_);
   }
+  void save(io::BinaryWriter& w) const override;
+  void load(io::BinaryReader& r) override;
 
   const SvrConfig& config() const { return cfg_; }
   // Number of support vectors (|β_i| > 0).

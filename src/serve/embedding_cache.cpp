@@ -99,4 +99,18 @@ void ShardedEmbeddingCache::clear() {
   }
 }
 
+std::vector<ShardedEmbeddingCache::Entry>
+ShardedEmbeddingCache::export_entries() const {
+  std::vector<Entry> out;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    // Back-to-front: LRU first, so re-put() on restore ends with the same
+    // entry in the MRU slot.
+    for (auto it = s->lru.rbegin(); it != s->lru.rend(); ++it) {
+      out.push_back(Entry{it->dataset, it->fp, it->embedding});
+    }
+  }
+  return out;
+}
+
 }  // namespace pddl::serve

@@ -57,6 +57,17 @@ class ShardedEmbeddingCache {
   CacheStats stats() const;
   void clear();
 
+  // All resident entries, ordered least-recently-used first within each
+  // shard, so replaying them through put() on a fresh cache reproduces the
+  // recency order (the last put() wins the MRU slot).  Used by the service's
+  // warm-restart snapshot.
+  struct Entry {
+    std::string dataset;
+    std::uint64_t fp = 0;
+    Vector embedding;
+  };
+  std::vector<Entry> export_entries() const;
+
  private:
   struct Node {
     std::string dataset;

@@ -1,9 +1,12 @@
 #include "serve/service.hpp"
 
+#include <map>
 #include <utility>
 
 #include "common/stopwatch.hpp"
 #include "ghn/registry.hpp"
+#include "io/snapshot.hpp"
+#include "io/tensor_io.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace pddl::serve {
@@ -169,6 +172,7 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     Vector embedding;
     double embed_ms = 0.0;
     bool cache_hit = false;
+    bool expired = false;  // deadline passed before its embed could run
   };
   std::vector<Work> live;
   live.reserve(batch.size());
@@ -232,8 +236,26 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
   // per miss, all in flight together.  try_submit falls back to inline
   // execution if the pool is tearing down underneath us.
   std::vector<std::size_t> misses;  // indices into `live`
+  const Clock::time_point pre_embed = Clock::now();
   for (std::size_t k = 0; k < live.size(); ++k) {
-    if (!live[k].cache_hit) misses.push_back(k);
+    Work& w = live[k];
+    if (w.cache_hit) continue;
+    Pending& p = batch[w.idx];
+    if (pre_embed > p.deadline) {
+      // Deadline re-check just before paying for the GHN forward pass: a
+      // request that expired while earlier items in the batch were being
+      // admitted should not burn embed compute on an answer nobody will
+      // read.
+      metrics_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      ServeResult r;
+      r.queue_ms = ms_between(p.enqueued, dequeued);
+      r.status = ServeStatus::kDeadlineExceeded;
+      r.error = "deadline expired before embedding started";
+      finish(p, std::move(r));
+      w.expired = true;
+      continue;
+    }
+    misses.push_back(k);
   }
   std::vector<std::pair<std::size_t, std::future<void>>> inflight;
   std::vector<std::exception_ptr> miss_errors(live.size());
@@ -272,6 +294,7 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
   }
 
   for (Work& w : live) {
+    if (w.expired) continue;  // already finished with kDeadlineExceeded
     Pending& p = batch[w.idx];
     ServeResult r;
     r.queue_ms = ms_between(p.enqueued, dequeued);
@@ -344,6 +367,58 @@ std::size_t PredictionService::warm_up(
     cache_.put(item.dataset, item.fp, std::move(item.embedding));
   }
   return misses.size();
+}
+
+void PredictionService::save_cache(const std::string& path) const {
+  const auto entries = cache_.export_entries();
+  // Group per dataset, preserving the LRU-first order within each group.
+  std::map<std::string, std::vector<const ShardedEmbeddingCache::Entry*>>
+      by_dataset;
+  for (const auto& e : entries) by_dataset[e.dataset].push_back(&e);
+
+  io::SnapshotWriter snap;
+  for (const auto& [dataset, es] : by_dataset) {
+    const ghn::Ghn2* ghn =
+        std::as_const(engine_.registry()).model(dataset);
+    if (ghn == nullptr) continue;  // no validity key — not worth persisting
+    io::BinaryWriter& w = snap.add("cache/" + dataset);
+    w.u64(ghn::ghn_checksum(*ghn));
+    w.u64(es.size());
+    for (const auto* e : es) {
+      w.u64(e->fp);
+      io::write_vector(w, e->embedding);
+    }
+  }
+  snap.save_file(path);
+}
+
+std::size_t PredictionService::load_cache(const std::string& path) {
+  if (!cfg_.cache_enabled) return 0;
+  io::SnapshotReader snap(path);
+  std::size_t restored = 0;
+  for (const std::string& name : snap.names()) {
+    if (name.rfind("cache/", 0) != 0) continue;
+    const std::string dataset = name.substr(6);
+    io::BinaryReader r = snap.reader(name);
+    const std::uint64_t checksum = r.u64();
+    const ghn::Ghn2* ghn =
+        std::as_const(engine_.registry()).model(dataset);
+    if (ghn == nullptr || ghn::ghn_checksum(*ghn) != checksum) {
+      // The GHN changed (retrained / different config) or is gone: every
+      // embedding in this section is stale.  Skip it wholesale.
+      continue;
+    }
+    const std::uint64_t count = r.u64();
+    PDDL_CHECK(count <= (1ull << 24), r.what(),
+               ": unreasonable cache entry count ", count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t fp = r.u64();
+      Vector embedding = io::read_vector(r);
+      cache_.put(dataset, fp, std::move(embedding));
+      ++restored;
+    }
+  }
+  return restored;
 }
 
 MetricsSnapshot PredictionService::metrics() const {

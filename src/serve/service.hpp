@@ -101,6 +101,17 @@ class PredictionService {
   // disabled.
   std::size_t warm_up(const std::vector<workload::DlWorkload>& workloads);
 
+  // ---- warm-restart cache snapshot ----
+  // Writes the embedding cache to `path` as a snapshot (src/io/snapshot.hpp)
+  // with one section per dataset, keyed by the registered GHN's checksum
+  // (ghn::ghn_checksum).  load_cache() restores only sections whose checksum
+  // still matches the currently registered GHN — embeddings computed under a
+  // retrained or reconfigured GHN are stale and silently dropped — and
+  // returns the number of entries restored.  Restoring preserves recency
+  // order, so the restarted service's first repeat request is a cache hit.
+  void save_cache(const std::string& path) const;
+  std::size_t load_cache(const std::string& path);
+
   // Halt / restart dispatch.  Admission stays open while paused, so queued
   // requests accumulate (and can expire or trigger backpressure).
   void pause();

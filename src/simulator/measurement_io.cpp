@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.hpp"
 #include "graph/models.hpp"
+#include "io/tensor_io.hpp"
 
 namespace pddl::sim {
 
@@ -23,7 +24,66 @@ std::vector<std::string> split_csv_line(const std::string& line) {
 
 constexpr std::size_t kFixedColumns = 12;
 
+constexpr char kBinaryMagic[4] = {'P', 'D', 'M', 'S'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
 }  // namespace
+
+void save_measurements(io::BinaryWriter& w,
+                       const std::vector<Measurement>& ms) {
+  w.magic(kBinaryMagic);
+  w.u32(kBinaryVersion);
+  w.u64(ms.size());
+  for (const Measurement& m : ms) {
+    w.str(m.model);
+    w.str(m.dataset);
+    w.str(m.sku);
+    w.i32(m.servers);
+    w.i32(m.batch_size);
+    w.i32(m.epochs);
+    w.f64(m.time_s);
+    w.f64(m.expected_s);
+    w.i64(m.model_params);
+    w.i64(m.model_flops);
+    w.i32(m.model_layers);
+    w.i32(m.model_depth);
+    w.i32(m.model_index);
+    io::write_vector(w, m.cluster_features);
+  }
+}
+
+std::vector<Measurement> load_measurements(io::BinaryReader& r) {
+  r.expect_magic(kBinaryMagic, "measurement");
+  const std::uint32_t version = r.u32();
+  PDDL_CHECK(version == kBinaryVersion, r.what(),
+             ": unsupported measurement section version ", version);
+  const std::uint64_t count = r.u64();
+  PDDL_CHECK(count < (1ull << 24), r.what(), ": unreasonable row count ",
+             count);
+  std::vector<Measurement> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Measurement m;
+    m.model = r.str();
+    m.dataset = r.str();
+    m.sku = r.str();
+    m.servers = r.i32();
+    m.batch_size = r.i32();
+    m.epochs = r.i32();
+    m.time_s = r.f64();
+    m.expected_s = r.f64();
+    m.model_params = r.i64();
+    m.model_flops = r.i64();
+    m.model_layers = r.i32();
+    m.model_depth = r.i32();
+    m.model_index = r.i32();
+    m.cluster_features = io::read_vector(r, 1u << 10);
+    PDDL_CHECK(m.time_s > 0 && m.servers > 0, r.what(),
+               ": corrupt measurement row ", i);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
 
 void save_measurements_csv(std::ostream& os,
                            const std::vector<Measurement>& ms) {

@@ -56,6 +56,44 @@ TEST(GraphSerialize, RejectsTruncatedStream) {
   EXPECT_THROW(load_graph(cut), Error);
 }
 
+TEST(GraphSerialize, LoadsVersion1FilesWithoutCrcTrailer) {
+  // Version-1 PDCG files predate the CRC trailer but share the payload
+  // layout byte for byte.  Synthesize one from a current file: patch the
+  // version field to 1 and drop the 4-byte trailer.
+  const CompGraph g = build_model("alexnet", {3, 32, 32}, 10);
+  std::stringstream ss;
+  save_graph(ss, g);
+  std::string v1 = ss.str();
+  ASSERT_GT(v1.size(), 12u);
+  v1.resize(v1.size() - 4);  // strip the CRC trailer
+  v1[4] = 1;                 // little-endian u32 version right after "PDCG"
+  v1[5] = v1[6] = v1[7] = 0;
+
+  std::stringstream old_file(v1);
+  const CompGraph loaded = load_graph(old_file);
+  EXPECT_TRUE(graphs_equal(g, loaded));
+}
+
+TEST(GraphSerialize, RejectsFutureVersion) {
+  const CompGraph g = build_model("alexnet", {3, 32, 32}, 10);
+  std::stringstream ss;
+  save_graph(ss, g);
+  std::string data = ss.str();
+  data[4] = 9;
+  std::stringstream future(data);
+  EXPECT_THROW(load_graph(future), Error);
+}
+
+TEST(GraphSerialize, CorruptedByteFailsChecksum) {
+  const CompGraph g = build_model("alexnet", {3, 32, 32}, 10);
+  std::stringstream ss;
+  save_graph(ss, g);
+  std::string data = ss.str();
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x01);
+  std::stringstream corrupted(data);
+  EXPECT_THROW(load_graph(corrupted), Error);
+}
+
 class SerializeAllModels : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(SerializeAllModels, RoundTripIsLossless) {

@@ -1,0 +1,335 @@
+// Round-trip and adversarial tests for the src/io/ layer: binary
+// primitives, tensor payloads, and the snapshot container.  The adversarial
+// half asserts the layer's core promise — truncation, bit flips, bad magic,
+// and version skew all surface as clean pddl::Error, never as garbage state.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "io/binary.hpp"
+#include "io/snapshot.hpp"
+#include "io/tensor_io.hpp"
+#include "simulator/measurement_io.hpp"
+
+namespace pddl::io {
+namespace {
+
+TEST(Binary, PrimitivesRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.f64(3.14159);
+  w.f64(-0.0);
+  w.boolean(true);
+  w.str("hello, snapshot");
+  w.str("");
+  w.magic("PDXX");
+
+  BinaryReader r(ss, "test");
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.f64(), -0.0);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello, snapshot");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_NO_THROW(r.expect_magic("PDXX", "test"));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.bytes_read(), w.bytes_written());
+}
+
+TEST(Binary, NonFiniteDoublesAreBitExact) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-std::numeric_limits<double>::infinity());
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.f64(std::numeric_limits<double>::denorm_min());
+
+  BinaryReader r(ss, "test");
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(r.f64()));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Binary, LittleEndianOnTheWire) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.u32(0x01020304u);
+  const std::string bytes = ss.str();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(Binary, CrcMatchesKnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xcbf43926.
+  const char* s = "123456789";
+  const std::uint32_t crc = crc32_update(0xffffffffu, s, 9) ^ 0xffffffffu;
+  EXPECT_EQ(crc, 0xcbf43926u);
+}
+
+TEST(Binary, CrcTrailerRoundTrips) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.str("payload");
+  w.u64(7);
+  w.finish_crc();
+
+  BinaryReader r(ss, "test");
+  EXPECT_EQ(r.str(), "payload");
+  EXPECT_EQ(r.u64(), 7u);
+  EXPECT_NO_THROW(r.verify_crc());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Binary, SingleFlippedBitFailsCrc) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.str("payload");
+  w.u64(7);
+  w.finish_crc();
+  std::string bytes = ss.str();
+  // Flip one bit somewhere in the payload (not the trailer).
+  bytes[5] = static_cast<char>(bytes[5] ^ 0x10);
+
+  BinaryReader r(std::move(bytes), "test");
+  (void)r.str();
+  (void)r.u64();
+  EXPECT_THROW(r.verify_crc(), Error);
+}
+
+TEST(Binary, TruncationIsACleanError) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.str("a fairly long string so truncation lands inside it");
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+
+  BinaryReader r(std::move(bytes), "test");
+  EXPECT_THROW((void)r.str(), Error);
+}
+
+TEST(Binary, OversizedStringPrefixRejectedBeforeAllocating) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.u32(0xfffffff0u);  // absurd length prefix, no such bytes follow
+  BinaryReader r(ss, "test");
+  EXPECT_THROW((void)r.str(), Error);
+}
+
+TEST(Binary, WrongMagicNamesTheFormat) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  w.magic("XXXX");
+  BinaryReader r(ss, "test");
+  try {
+    r.expect_magic("PDCG", "graph");
+    FAIL() << "expected magic mismatch to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("graph"), std::string::npos);
+  }
+}
+
+TEST(TensorIo, RandomVectorsAndMatricesRoundTripBitExact) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = rng.uniform_int(std::uint64_t{1}, 40);
+    Vector v(n);
+    for (double& x : v) x = rng.gaussian() * 1e6;
+    const std::size_t rows = rng.uniform_int(std::uint64_t{1}, 12);
+    const std::size_t cols = rng.uniform_int(std::uint64_t{1}, 12);
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.gaussian();
+    }
+
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    write_vector(w, v);
+    write_matrix(w, m);
+
+    BinaryReader r(ss, "test");
+    const Vector v2 = read_vector(r);
+    const Matrix m2 = read_matrix(r);
+    ASSERT_EQ(v2.size(), v.size());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(v2[i], v[i]);
+    ASSERT_EQ(m2.rows(), rows);
+    ASSERT_EQ(m2.cols(), cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) EXPECT_EQ(m2(i, j), m(i, j));
+    }
+  }
+}
+
+TEST(TensorIo, EmptyVectorRoundTrips) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  write_vector(w, Vector{});
+  BinaryReader r(ss, "test");
+  EXPECT_TRUE(read_vector(r).empty());
+}
+
+std::vector<sim::Measurement> random_measurements(Rng& rng, std::size_t n) {
+  std::vector<sim::Measurement> ms;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Measurement m;
+    m.model = "model_" + std::to_string(rng.uniform_int(std::uint64_t{100}));
+    m.dataset = rng.uniform() < 0.5 ? "cifar10" : "tiny_imagenet";
+    m.sku = "sku" + std::to_string(i);
+    m.servers = static_cast<int>(rng.uniform_int(std::uint64_t{1}, 16));
+    m.batch_size = 32;
+    m.epochs = static_cast<int>(rng.uniform_int(std::uint64_t{1}, 90));
+    m.time_s = rng.uniform(1.0, 1e5);
+    m.expected_s = rng.uniform(1.0, 1e5);
+    m.model_params = static_cast<std::int64_t>(rng.uniform_int(1u << 30));
+    m.model_flops = static_cast<std::int64_t>(rng.uniform_int(1u << 30));
+    m.model_layers = static_cast<int>(rng.uniform_int(std::uint64_t{1}, 200));
+    m.model_depth = m.model_layers / 2;
+    m.model_index = static_cast<int>(rng.uniform_int(std::int64_t{-1}, 10));
+    m.cluster_features.resize(rng.uniform_int(std::uint64_t{1}, 8));
+    for (double& f : m.cluster_features) f = rng.gaussian();
+    ms.push_back(std::move(m));
+  }
+  return ms;
+}
+
+TEST(MeasurementIo, BinarySectionRoundTripsBitExact) {
+  Rng rng(7);
+  const auto ms = random_measurements(rng, 50);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  sim::save_measurements(w, ms);
+  BinaryReader r(ss, "test");
+  const auto loaded = sim::load_measurements(r);
+  ASSERT_EQ(loaded.size(), ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(loaded[i].model, ms[i].model);
+    EXPECT_EQ(loaded[i].dataset, ms[i].dataset);
+    EXPECT_EQ(loaded[i].sku, ms[i].sku);
+    EXPECT_EQ(loaded[i].servers, ms[i].servers);
+    EXPECT_EQ(loaded[i].time_s, ms[i].time_s);  // bit-exact, not approximate
+    EXPECT_EQ(loaded[i].expected_s, ms[i].expected_s);
+    EXPECT_EQ(loaded[i].model_flops, ms[i].model_flops);
+    EXPECT_EQ(loaded[i].model_index, ms[i].model_index);
+    EXPECT_EQ(loaded[i].cluster_features, ms[i].cluster_features);
+  }
+}
+
+TEST(Snapshot, SectionsRoundTripInOrder) {
+  SnapshotWriter snap;
+  snap.add("alpha").str("first");
+  snap.add("beta/nested").u64(99);
+  {
+    BinaryWriter& w = snap.add("gamma");
+    write_vector(w, Vector{1.5, -2.5});
+  }
+
+  std::stringstream ss;
+  snap.save(ss);
+
+  SnapshotReader loaded(ss, "test");
+  EXPECT_EQ(loaded.names(),
+            (std::vector<std::string>{"alpha", "beta/nested", "gamma"}));
+  EXPECT_TRUE(loaded.has("beta/nested"));
+  EXPECT_FALSE(loaded.has("delta"));
+  BinaryReader a = loaded.reader("alpha");
+  EXPECT_EQ(a.str(), "first");
+  BinaryReader b = loaded.reader("beta/nested");
+  EXPECT_EQ(b.u64(), 99u);
+  BinaryReader g = loaded.reader("gamma");
+  const Vector v = read_vector(g);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1.5);
+  EXPECT_EQ(v[1], -2.5);
+}
+
+TEST(Snapshot, EmptySnapshotIsValid) {
+  SnapshotWriter snap;
+  std::stringstream ss;
+  snap.save(ss);
+  SnapshotReader loaded(ss, "test");
+  EXPECT_TRUE(loaded.names().empty());
+}
+
+TEST(Snapshot, DuplicateSectionNameRejectedAtWrite) {
+  SnapshotWriter snap;
+  snap.add("dup");
+  EXPECT_THROW(snap.add("dup"), Error);
+}
+
+TEST(Snapshot, MissingSectionIsACleanError) {
+  SnapshotWriter snap;
+  snap.add("present");
+  std::stringstream ss;
+  snap.save(ss);
+  SnapshotReader loaded(ss, "test");
+  EXPECT_THROW((void)loaded.reader("absent"), Error);
+}
+
+std::string valid_snapshot_bytes() {
+  SnapshotWriter snap;
+  snap.add("section").str("some payload content");
+  std::stringstream ss;
+  snap.save(ss);
+  return ss.str();
+}
+
+TEST(Snapshot, FlippedMagicRejected) {
+  std::string bytes = valid_snapshot_bytes();
+  bytes[0] = 'X';
+  std::stringstream ss(bytes);
+  EXPECT_THROW(SnapshotReader(ss, "test"), Error);
+}
+
+TEST(Snapshot, FutureVersionRejectedWithReadableMessage) {
+  std::string bytes = valid_snapshot_bytes();
+  bytes[4] = 77;  // little-endian u32 version field right after the magic
+  std::stringstream ss(bytes);
+  try {
+    SnapshotReader loaded(ss, "test");
+    FAIL() << "expected version check to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, TruncatedFileRejected) {
+  const std::string bytes = valid_snapshot_bytes();
+  // Every possible truncation point must fail cleanly — header, name,
+  // payload, and trailer truncations all land here.
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::stringstream ss(bytes.substr(0, keep));
+    EXPECT_THROW(SnapshotReader(ss, "test"), Error) << "kept " << keep;
+  }
+}
+
+TEST(Snapshot, AnyCorruptedByteRejected) {
+  const std::string bytes = valid_snapshot_bytes();
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x01);
+    std::stringstream ss(mutated);
+    EXPECT_THROW(SnapshotReader(ss, "test"), Error) << "byte " << pos;
+  }
+}
+
+TEST(Snapshot, TrailingGarbageRejected) {
+  std::string bytes = valid_snapshot_bytes();
+  bytes += "extra";
+  std::stringstream ss(bytes);
+  EXPECT_THROW(SnapshotReader(ss, "test"), Error);
+}
+
+}  // namespace
+}  // namespace pddl::io

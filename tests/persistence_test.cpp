@@ -1,14 +1,44 @@
-// Measurement CSV round-trips and full PredictDdl state save/load.
+// Measurement CSV round-trips, full PredictDdl state save/load (snapshot
+// container, no refit), and the prediction service's warm-cache restore.
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "core/predict_ddl.hpp"
+#include "serve/service.hpp"
 #include "simulator/measurement_io.hpp"
 
 namespace pddl {
 namespace {
+
+// Forwards everything to a real regressor but refuses to fit: restoring
+// through an engine configured with this wrapper proves load_state() never
+// refits from the campaign when a saved regressor section is present.
+class RefuseToFit : public regress::Regressor {
+ public:
+  RefuseToFit()
+      : inner_(std::make_unique<regress::LogTargetRegressor>(
+            std::make_unique<regress::PolynomialRegression>())) {}
+
+  void fit(const regress::RegressionData&) override {
+    PDDL_CHECK(false, "fit() called during restore — load was not refit-free");
+  }
+  bool fitted() const override { return inner_->fitted(); }
+  double predict(const Vector& features) const override {
+    return inner_->predict(features);
+  }
+  std::string name() const override { return inner_->name(); }
+  std::unique_ptr<regress::Regressor> clone_config() const override {
+    return std::make_unique<RefuseToFit>();
+  }
+  void save(io::BinaryWriter& w) const override { inner_->save(w); }
+  void load(io::BinaryReader& r) override { inner_->load(r); }
+
+ private:
+  std::unique_ptr<regress::Regressor> inner_;
+};
 
 std::vector<sim::Measurement> small_campaign(ThreadPool& pool,
                                              const sim::DdlSimulator& sim) {
@@ -83,23 +113,129 @@ TEST(Persistence, SaveLoadStateReproducesPredictions) {
       std::filesystem::temp_directory_path() / "pddl_state_test";
   std::filesystem::remove_all(dir);
   original.save_state(dir.string());
-  EXPECT_TRUE(std::filesystem::exists(dir / "ghn_cifar10.bin"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "state.pddl"));
+  // Human-readable campaign export alongside the snapshot.
   EXPECT_TRUE(std::filesystem::exists(dir / "campaign_cifar10.csv"));
 
+  // Restore through an engine whose fit() aborts the test: the snapshot
+  // carries the fitted regressor, so no refit may happen.
   core::PredictDdlOptions opts2;
+  opts2.make_regressor = [] { return std::make_unique<RefuseToFit>(); };
   core::PredictDdl restored(sim, pool, std::move(opts2));
   restored.load_state(dir.string());
   EXPECT_TRUE(restored.ready_for("cifar10"));
 
-  // Identical prediction for an identical request.
+  // Bit-identical prediction for an identical request — restored weights
+  // and coefficients are exact copies, not a refit approximation.
   workload::DlWorkload w{"resnet18", workload::cifar10(), 64, 10};
   const auto cluster = cluster::make_uniform_cluster("p100", 3);
   const double a = original.predict_from_features(
       "cifar10", original.features().build(w, cluster));
   const double b = restored.predict_from_features(
       "cifar10", restored.features().build(w, cluster));
-  EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::abs(a)));
+  EXPECT_EQ(a, b);
   std::filesystem::remove_all(dir);
+}
+
+TEST(Persistence, CorruptedSnapshotFailsCleanly) {
+  ThreadPool pool(8);
+  sim::DdlSimulator sim;
+  core::PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 8;
+  opts.ghn.mlp_hidden = 8;
+  opts.ghn_trainer.corpus_size = 6;
+  opts.ghn_trainer.epochs = 2;
+  opts.ghn_trainer.darts.max_cells = 3;
+  core::PredictDdl original(sim, pool, std::move(opts));
+  original.ensure_ghn(workload::cifar10());
+  original.fit_predictor("cifar10", small_campaign(pool, sim));
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "pddl_corrupt_state";
+  std::filesystem::remove_all(dir);
+  original.save_state(dir.string());
+
+  // Flip one byte in the middle of the snapshot: the CRC trailer must turn
+  // this into a clean error at load, not silently corrupt weights.
+  const auto snap_path = dir / "state.pddl";
+  std::string bytes;
+  {
+    std::ifstream is(snap_path, std::ios::binary);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    bytes = buf.str();
+  }
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  {
+    std::ofstream os(snap_path, std::ios::binary | std::ios::trunc);
+    os << bytes;
+  }
+
+  core::PredictDdl restored(sim, pool, {});
+  EXPECT_THROW(restored.load_state(dir.string()), Error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Persistence, WarmCacheRestoreHitsOnFirstRepeatRequest) {
+  ThreadPool pool(8);
+  sim::DdlSimulator sim;
+  core::PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 8;
+  opts.ghn.mlp_hidden = 8;
+  opts.ghn_trainer.corpus_size = 6;
+  opts.ghn_trainer.epochs = 2;
+  opts.ghn_trainer.darts.max_cells = 3;
+  const ghn::GhnConfig ghn_cfg = opts.ghn;
+  core::PredictDdl engine(sim, pool, std::move(opts));
+  engine.ensure_ghn(workload::cifar10());
+  engine.fit_predictor("cifar10", small_campaign(pool, sim));
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "pddl_cache_test.pddl";
+  std::filesystem::remove(path);
+
+  core::PredictRequest req;
+  req.workload = {"resnet18", workload::cifar10(), 64, 10};
+  req.cluster = cluster::make_uniform_cluster("p100", 2);
+
+  double first_prediction = 0.0;
+  {
+    serve::PredictionService svc(engine);
+    const serve::ServeResult r = svc.predict(req);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_FALSE(r.cache_hit);  // cold cache: this request paid for embed
+    first_prediction = r.response.predicted_time_s;
+    svc.save_cache(path.string());
+    svc.stop();
+  }
+
+  {
+    // "Restarted" service over the same trained engine: after load_cache
+    // the very first repeat request is a hit.
+    serve::PredictionService svc(engine);
+    EXPECT_GT(svc.load_cache(path.string()), 0u);
+    const serve::ServeResult r = svc.predict(req);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.cache_hit);
+    EXPECT_EQ(r.response.predicted_time_s, first_prediction);
+    EXPECT_GE(svc.metrics().cache_hits, 1u);
+    svc.stop();
+  }
+
+  {
+    // Swap in a different GHN for the dataset: the snapshot's checksum no
+    // longer matches, so every persisted embedding is stale and none may be
+    // restored.
+    Rng rng(987654321);
+    engine.registry().put("cifar10", std::make_unique<ghn::Ghn2>(ghn_cfg, rng));
+    serve::PredictionService svc(engine);
+    EXPECT_EQ(svc.load_cache(path.string()), 0u);
+    const serve::ServeResult r = svc.predict(req);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_FALSE(r.cache_hit);
+    svc.stop();
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(Persistence, LoadStateRejectsEmptyDirectory) {
