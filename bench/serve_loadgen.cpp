@@ -14,12 +14,26 @@
 //      (rejections + deadline expiries) instead of growing without bound;
 //      the same overload against a warmed cache is absorbed entirely.
 //
+//   3. Wire overhead: the same closed-loop repeat traffic through the rpc
+//      front-end on loopback (one TCP connection per client thread), against
+//      the identical warmed service measured in-process.  The delta prices
+//      the protocol: frame encode/decode + CRC + two syscalls per request.
+//
 // Output: one row per run with throughput, tail latency (p50/p95/p99 from
-// the metrics layer), and cache hit rate; CSV lands in bench_results/.
+// the metrics layer), and cache hit rate; CSVs land in bench_results/
+// (serve_loadgen.csv, serve_loadgen_remote.csv) plus the final metrics
+// snapshot as JSON (serve_loadgen_metrics.json, via the same formatter the
+// stats op serves).
+//
+// `--remote HOST:PORT` skips training and drives an already-running
+// predict_server instead — the external-scheduler view of the service.
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
 #include "serve/service.hpp"
 
 namespace pddl::bench {
@@ -96,6 +110,75 @@ RunStats closed_loop(serve::PredictionService& service,
   s.submitted = threads * rounds * reqs.size();
   s.metrics = service.metrics();
   return s;
+}
+
+// Mean client-side wall time one request occupies one thread for — the
+// number the wire overhead is priced in (server-side e2e histograms exclude
+// the socket hop, so throughput is the honest basis).
+double us_per_request(const RunStats& s, std::size_t threads) {
+  return s.ok == 0 ? 0.0
+                   : 1e6 * static_cast<double>(threads) / s.throughput_rps();
+}
+
+Table wire_comparison_table() {
+  return Table({"transport", "requests", "ok", "tput_rps", "us_per_req",
+                "hit_pct", "p50_ms", "p95_ms", "p99_ms"});
+}
+
+void add_wire_row(Table& table, const std::string& transport,
+                  std::size_t threads, const RunStats& s) {
+  table.row()
+      .add(transport)
+      .add(static_cast<std::size_t>(s.submitted))
+      .add(static_cast<std::size_t>(s.ok))
+      .add(s.throughput_rps(), 1)
+      .add(us_per_request(s, threads), 1)
+      .add(100.0 * s.metrics.cache_hit_rate(), 1)
+      .add(s.metrics.e2e.p50_ms, 3)
+      .add(s.metrics.e2e.p95_ms, 3)
+      .add(s.metrics.e2e.p99_ms, 3);
+}
+
+// The closed loop again, but through the rpc front-end: each thread opens
+// its own connection and round-trips every request over the wire.  Metrics
+// come back through the stats op, so the snapshot includes the rpc-layer
+// counters (and, against an external server, its whole service lifetime).
+RunStats closed_loop_remote(const std::string& host, std::uint16_t port,
+                            const std::vector<core::PredictRequest>& reqs,
+                            std::size_t threads, std::size_t rounds) {
+  std::atomic<std::uint64_t> ok{0};
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      rpc::Client client(host, port);
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          const auto& req = reqs[(t + i) % reqs.size()];
+          if (client.predict(req).ok()) ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  RunStats s;
+  s.wall_s = wall.seconds();
+  s.ok = ok.load();
+  s.submitted = threads * rounds * reqs.size();
+  s.metrics = rpc::Client(host, port).stats();
+  return s;
+}
+
+// Persists the snapshot through the same to_json the stats op serves.
+void write_metrics_json(const serve::MetricsSnapshot& m,
+                        const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PDDL_CHECK(f != nullptr, "cannot open metrics output: ", path);
+  std::fputs((m.to_json() + "\n").c_str(), f);
+  std::fclose(f);
+  std::printf("  -> %s\n\n", path.c_str());
 }
 
 // Fixed arrival rate for `duration_s`; every request carries `deadline_ms`.
@@ -207,6 +290,41 @@ int run() {
   emit(table, "serve_loadgen — prediction service under load",
        "serve_loadgen.csv");
 
+  // --- Wire overhead: identical warmed services, in-process vs loopback. ---
+  Table wire_table = wire_comparison_table();
+  RunStats local;
+  {
+    serve::PredictionService service(pddl, base);
+    service.warm_up(workload::table2_cifar_workloads());
+    local = closed_loop(service, reqs, kThreads, kRounds);
+    add_wire_row(wire_table, "in-process", kThreads, local);
+  }
+  RunStats wire;
+  {
+    serve::PredictionService service(pddl, base);
+    service.warm_up(workload::table2_cifar_workloads());
+    rpc::Server server(service);
+    server.start();
+    wire = closed_loop_remote("127.0.0.1", server.port(), reqs, kThreads,
+                              kRounds);
+    server.stop();
+    add_wire_row(wire_table, "loopback-rpc", kThreads, wire);
+  }
+  emit(wire_table, "serve_loadgen — wire-protocol overhead (loopback rpc)",
+       "serve_loadgen_remote.csv");
+  write_metrics_json(wire.metrics, "serve_loadgen_metrics.json");
+  const double local_us = us_per_request(local, kThreads);
+  const double wire_us = us_per_request(wire, kThreads);
+  std::printf(
+      "wire overhead on repeat traffic: %.1fus/request (in-process %.1fus -> "
+      "loopback %.1fus, %.0f%% of in-process throughput; frames in/out "
+      "%llu/%llu, frame errors %llu)\n",
+      wire_us - local_us, local_us, wire_us,
+      100.0 * wire.throughput_rps() / std::max(1e-9, local.throughput_rps()),
+      static_cast<unsigned long long>(wire.metrics.rpc_frames_received),
+      static_cast<unsigned long long>(wire.metrics.rpc_frames_sent),
+      static_cast<unsigned long long>(wire.metrics.rpc_frame_errors));
+
   const double speedup =
       cached.throughput_rps() / std::max(1e-9, nocache.throughput_rps());
   std::printf(
@@ -217,7 +335,56 @@ int run() {
   return speedup >= 2.0 ? 0 : 1;
 }
 
+// `--remote HOST:PORT`: no training, no local service — drive a running
+// predict_server over the wire and report what an external scheduler sees.
+int run_remote(const std::string& host, std::uint16_t port,
+               std::size_t threads, std::size_t rounds) {
+  const auto reqs = request_mix();
+  std::printf("driving %s:%u — %zu threads x %zu rounds x %zu requests\n\n",
+              host.c_str(), port, threads, rounds, reqs.size());
+  const RunStats s = closed_loop_remote(host, port, reqs, threads, rounds);
+  Table table = wire_comparison_table();
+  add_wire_row(table, "remote", threads, s);
+  emit(table, "serve_loadgen --remote — rpc front-end under load",
+       "serve_loadgen_remote.csv");
+  write_metrics_json(s.metrics, "serve_loadgen_metrics.json");
+  std::printf("%s", s.metrics.to_string().c_str());
+  return s.ok == s.submitted ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace pddl::bench
 
-int main() { return pddl::bench::run(); }
+int main(int argc, char** argv) {
+  std::string endpoint;
+  std::size_t threads = 8;
+  std::size_t rounds = 12;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--remote" && i + 1 < argc) {
+      endpoint = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--rounds" && i + 1 < argc) {
+      rounds = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--remote HOST:PORT] [--threads N] [--rounds N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!endpoint.empty()) {
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--remote expects HOST:PORT, got %s\n",
+                   endpoint.c_str());
+      return 2;
+    }
+    return pddl::bench::run_remote(
+        endpoint.substr(0, colon),
+        static_cast<std::uint16_t>(std::atoi(endpoint.c_str() + colon + 1)),
+        threads, rounds);
+  }
+  return pddl::bench::run();
+}

@@ -1,0 +1,129 @@
+// Command-line client for a running predict_server — the scheduler's-eye
+// view of the prediction service, over the wire.
+//
+//   ./predict_client --connect HOST:PORT [op]
+//
+// Ops (default --ping):
+//   --ping                       round-trip an empty frame, print latency
+//   --predict MODEL              predict training time for MODEL
+//       [--dataset cifar10|tiny_imagenet] [--sku p100|e5_2630|e5_2650]
+//       [--servers N] [--batch-size B] [--epochs E] [--deadline-ms D]
+//       [--count N]              repeat N times (cache-hit demo / smoke)
+//   --stats [--json]             fetch + print the server metrics snapshot
+//   --shutdown                   ask the server to drain and exit
+//
+// Exits nonzero on transport errors or failed predictions, so it doubles
+// as the CI loopback smoke client.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "rpc/client.hpp"
+
+using namespace pddl;
+
+int main(int argc, char** argv) {
+  std::string endpoint;
+  std::string op = "ping";
+  std::string model;
+  std::string dataset = "cifar10";
+  std::string sku = "p100";
+  int servers = 4;
+  int batch_size = 64;
+  int epochs = 10;
+  double deadline_ms = -1.0;
+  int count = 1;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      endpoint = argv[++i];
+    } else if (arg == "--ping") {
+      op = "ping";
+    } else if (arg == "--predict" && i + 1 < argc) {
+      op = "predict";
+      model = argv[++i];
+    } else if (arg == "--stats") {
+      op = "stats";
+    } else if (arg == "--shutdown") {
+      op = "shutdown";
+    } else if (arg == "--dataset" && i + 1 < argc) {
+      dataset = argv[++i];
+    } else if (arg == "--sku" && i + 1 < argc) {
+      sku = argv[++i];
+    } else if (arg == "--servers" && i + 1 < argc) {
+      servers = std::atoi(argv[++i]);
+    } else if (arg == "--batch-size" && i + 1 < argc) {
+      batch_size = std::atoi(argv[++i]);
+    } else if (arg == "--epochs" && i + 1 < argc) {
+      epochs = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
+    } else if (arg == "--count" && i + 1 < argc) {
+      count = std::atoi(argv[++i]);
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const std::size_t colon = endpoint.rfind(':');
+  if (endpoint.empty() || colon == std::string::npos) {
+    std::fprintf(stderr,
+                 "usage: %s --connect HOST:PORT "
+                 "[--ping | --predict MODEL | --stats | --shutdown] ...\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+
+  try {
+    rpc::Client client(host, static_cast<std::uint16_t>(port));
+    if (op == "ping") {
+      std::printf("ping %s: %.3fms\n", endpoint.c_str(), client.ping());
+    } else if (op == "predict") {
+      core::PredictRequest req;
+      req.workload = {model, workload::dataset_by_name(dataset), batch_size,
+                      epochs};
+      req.cluster = cluster::make_uniform_cluster(sku, servers);
+      int failed = 0;
+      for (int i = 0; i < count; ++i) {
+        const serve::ServeResult r = client.predict(req, deadline_ms);
+        if (i == 0 || !r.ok()) {
+          std::printf("%-28s %2d×%-8s → status=%s", req.workload.key().c_str(),
+                      servers, sku.c_str(), serve::to_string(r.status));
+          if (r.ok()) {
+            std::printf("  %.1fs  (%s, embed %.2fms, infer %.2fms, "
+                        "e2e %.2fms)",
+                        r.response.predicted_time_s,
+                        r.cache_hit ? "cache hit" : "cache miss",
+                        r.response.embedding_ms, r.response.inference_ms,
+                        r.total_ms);
+          } else {
+            std::printf("  (%s)", r.error.c_str());
+          }
+          std::printf("\n");
+        }
+        if (!r.ok()) ++failed;
+      }
+      if (count > 1) {
+        std::printf("%d/%d predictions ok\n", count - failed, count);
+      }
+      if (failed > 0) return 1;
+    } else if (op == "stats") {
+      const serve::MetricsSnapshot m = client.stats();
+      std::printf("%s", json ? (m.to_json() + "\n").c_str()
+                             : m.to_string().c_str());
+    } else if (op == "shutdown") {
+      client.request_shutdown();
+      std::printf("shutdown requested\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

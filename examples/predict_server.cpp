@@ -1,39 +1,98 @@
-// Prediction server demo: PredictDDL behind the concurrent serving layer.
+// Prediction server: PredictDDL behind the concurrent serving layer and the
+// TCP rpc front-end, serving external schedulers until SIGINT.
 //
-//   1. Train PredictDDL offline for both evaluation dataset types (the
-//      expensive, explicit step — the service never trains inline).
+//   1. Obtain a trained engine: load a `state.pddl` snapshot written by
+//      PredictDdl::save_state (--state DIR, ~2 ms warm restart), or train
+//      offline here (the expensive, explicit step — the service never
+//      trains inline).
 //   2. Stand up a PredictionService and warm its sharded embedding cache
 //      with the Table II workloads so first-request latency is flat.
-//   3. Fire mixed-dataset traffic from several client threads, including a
-//      request for an untrained dataset (rejected, not trained inline).
-//   4. Dump the metrics snapshot: counters, cache hit rate, and
-//      p50/p95/p99 latency histograms.
+//   3. Bind an rpc::Server on --host:--port and serve predict /
+//      predict_batch / stats / ping frames until SIGINT (or a client's
+//      shutdown op), then drain gracefully and dump the metrics snapshot.
 //
-// Build & run:  ./build/examples/predict_server
-#include <atomic>
+// Flags:
+//   --port N      listen port (default 7077; 0 picks an ephemeral port)
+//   --host H      bind address (default 127.0.0.1; 0.0.0.0 for all)
+//   --state DIR   load a save_state() snapshot instead of training
+//   --fast        tiny offline training, cifar10 only (CI smoke / demos)
+//
+// Talk to it with examples/predict_client, e.g.:
+//   ./build/examples/predict_server --fast --port 7077 &
+//   ./build/examples/predict_client --connect 127.0.0.1:7077 --predict resnet18
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
-#include <vector>
 
-#include "serve/service.hpp"
+#include "rpc/server.hpp"
 
 using namespace pddl;
 
-int main() {
+namespace {
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_signal(int) { g_interrupted = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7077;
+  std::string state_dir;
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--state" && i + 1 < argc) {
+      state_dir = argv[++i];
+    } else if (arg == "--fast") {
+      fast = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--host H] [--state DIR] [--fast]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   ThreadPool pool;
   sim::DdlSimulator simulator;
 
   core::PredictDdlOptions opts;
-  opts.ghn_trainer.corpus_size = 32;  // demo-sized offline training
-  opts.ghn_trainer.epochs = 12;
+  if (fast) {
+    opts.ghn.hidden_dim = 12;
+    opts.ghn.mlp_hidden = 12;
+    opts.ghn_trainer.corpus_size = 10;
+    opts.ghn_trainer.epochs = 4;
+    opts.ghn_trainer.batch_size = 5;
+    opts.ghn_trainer.darts.max_cells = 3;
+  } else {
+    opts.ghn_trainer.corpus_size = 32;  // demo-sized offline training
+    opts.ghn_trainer.epochs = 12;
+  }
   core::PredictDdl pddl(simulator, pool, std::move(opts));
 
-  for (const auto& dataset : {workload::cifar10(), workload::tiny_imagenet()}) {
-    std::printf("offline training for dataset '%s'...\n",
-                dataset.name.c_str());
+  if (!state_dir.empty()) {
     Stopwatch sw;
-    pddl.train_offline(dataset);
-    std::printf("  done in %.1fs\n", sw.seconds());
+    pddl.load_state(state_dir);
+    std::printf("state restored from %s in %.1fms\n", state_dir.c_str(),
+                sw.millis());
+  } else {
+    const auto datasets =
+        fast ? std::vector<workload::DatasetDescriptor>{workload::cifar10()}
+             : std::vector<workload::DatasetDescriptor>{
+                   workload::cifar10(), workload::tiny_imagenet()};
+    for (const auto& dataset : datasets) {
+      std::printf("offline training for dataset '%s'...\n",
+                  dataset.name.c_str());
+      Stopwatch sw;
+      pddl.train_offline(dataset);
+      std::printf("  done in %.1fs\n", sw.seconds());
+    }
   }
 
   serve::ServiceConfig cfg;
@@ -45,57 +104,27 @@ int main() {
 
   Stopwatch warm_sw;
   const std::size_t warmed = service.warm_up(workload::table2_workloads());
-  std::printf("\nwarm-up: %zu embeddings precomputed in %.0fms\n", warmed,
+  std::printf("warm-up: %zu embeddings precomputed in %.0fms\n", warmed,
               warm_sw.millis());
 
-  // Mixed-dataset traffic from four concurrent clients.
-  const auto workloads = workload::table2_workloads();
-  const struct {
-    const char* sku;
-    int servers;
-  } clusters[] = {{"p100", 4}, {"p100", 16}, {"e5_2630", 8}};
-  constexpr int kClients = 4;
-  constexpr int kPerClient = 50;
-  std::atomic<int> ok{0}, failed{0};
-  Stopwatch traffic_sw;
-  std::vector<std::thread> clients;
-  for (int t = 0; t < kClients; ++t) {
-    clients.emplace_back([&, t] {
-      for (int i = 0; i < kPerClient; ++i) {
-        core::PredictRequest req;
-        req.workload = workloads[(t * kPerClient + i) % workloads.size()];
-        const auto& c = clusters[(t + i) % 3];
-        req.cluster = cluster::make_uniform_cluster(c.sku, c.servers);
-        const serve::ServeResult r = service.predict(req);
-        (r.ok() ? ok : failed).fetch_add(1);
-        if (r.ok() && i == 0) {
-          std::printf(
-              "  client %d: %-28s %2d×%-8s → %7.1fs  (%s, embed %.2fms, "
-              "infer %.2fms)\n",
-              t, req.workload.key().c_str(), c.servers, c.sku,
-              r.response.predicted_time_s,
-              r.cache_hit ? "cache hit" : "cache miss",
-              r.response.embedding_ms, r.response.inference_ms);
-        }
-      }
-    });
+  rpc::ServerConfig rpc_cfg;
+  rpc_cfg.host = host;
+  rpc_cfg.port = static_cast<std::uint16_t>(port);
+  rpc::Server server(service, rpc_cfg);
+  server.start();
+  std::printf("listening on %s\n", server.endpoint().c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_interrupted == 0 && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  for (auto& c : clients) c.join();
-  std::printf("\nmixed traffic: %d ok, %d failed in %.0fms\n", ok.load(),
-              failed.load(), traffic_sw.millis());
+  std::printf("\n%s — draining...\n",
+              g_interrupted ? "signal received" : "shutdown op received");
 
-  // A dataset without a trained GHN is rejected with a reason — the online
-  // path never falls into minutes of offline training.
-  core::PredictRequest unknown;
-  unknown.workload = {"resnet18",
-                      {"imagenet", 150 << 20, 1000000, 1000, {3, 224, 224}},
-                      64,
-                      10};
-  unknown.cluster = cluster::make_uniform_cluster("p100", 4);
-  const serve::ServeResult rejected = service.predict(unknown);
-  std::printf("\nuntrained dataset: status=%s (%s)\n",
-              serve::to_string(rejected.status), rejected.error.c_str());
-
-  std::printf("\n%s", service.metrics().to_string().c_str());
+  server.stop();    // graceful: in-flight requests finish, responses go out
+  service.stop();   // then drain the admission queue
+  std::printf("%s", server.metrics().to_string().c_str());
   return 0;
 }

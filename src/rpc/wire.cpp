@@ -1,0 +1,395 @@
+#include "rpc/wire.hpp"
+
+#include <sstream>
+
+namespace pddl::rpc {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kPing:
+      return "ping";
+    case Op::kPredict:
+      return "predict";
+    case Op::kPredictBatch:
+      return "predict_batch";
+    case Op::kStats:
+      return "stats";
+    case Op::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* to_string(RpcStatus status) {
+  switch (status) {
+    case RpcStatus::kOk:
+      return "ok";
+    case RpcStatus::kRejectedOverloaded:
+      return "rejected_overloaded";
+    case RpcStatus::kBadRequest:
+      return "bad_request";
+    case RpcStatus::kShuttingDown:
+      return "shutting_down";
+    case RpcStatus::kInternalError:
+      return "internal_error";
+  }
+  return "unknown";
+}
+
+// ---- frame envelope ----
+
+std::string encode_frame(const std::string& body) {
+  PDDL_CHECK(body.size() + kFrameOverheadBytes <= kMaxFrameBytes,
+             "rpc frame body of ", body.size(), " bytes exceeds the ",
+             kMaxFrameBytes, "-byte frame bound");
+  std::ostringstream os;
+  io::BinaryWriter w(os);
+  w.magic(kFrameMagic);
+  w.u32(kProtocolVersion);
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.raw(body.data(), body.size());
+  w.finish_crc();
+  return os.str();
+}
+
+std::uint32_t decode_frame_prefix(const char* prefix, std::size_t max_frame) {
+  io::BinaryReader r(std::string(prefix, kFramePrefixBytes), "rpc frame");
+  r.expect_magic(kFrameMagic, "rpc frame");
+  const std::uint32_t version = r.u32();
+  PDDL_CHECK(version == kProtocolVersion,
+             "rpc protocol version skew: peer sent version ", version,
+             ", this build speaks version ", kProtocolVersion);
+  const std::uint32_t body_len = r.u32();
+  PDDL_CHECK(body_len + kFrameOverheadBytes <= max_frame,
+             "rpc frame body length ", body_len, " exceeds the ", max_frame,
+             "-byte frame bound");
+  return body_len;
+}
+
+std::string decode_frame(const std::string& frame, std::size_t max_frame) {
+  PDDL_CHECK(frame.size() >= kFrameOverheadBytes,
+             "rpc frame truncated: ", frame.size(),
+             " bytes is shorter than the ", kFrameOverheadBytes,
+             "-byte envelope");
+  const std::uint32_t body_len =
+      decode_frame_prefix(frame.data(), max_frame);
+  PDDL_CHECK(frame.size() == body_len + kFrameOverheadBytes,
+             "rpc frame framing mismatch: envelope announces ", body_len,
+             " body bytes but ", frame.size(), " total bytes were supplied");
+  io::BinaryReader r(frame, "rpc frame");
+  r.expect_magic(kFrameMagic, "rpc frame");
+  (void)r.u32();  // version, validated above
+  (void)r.u32();  // body length, validated above
+  std::string body(body_len, '\0');
+  r.raw(body.data(), body.size());
+  r.verify_crc();
+  return body;
+}
+
+// ---- field-level payload codecs ----
+
+void write_predict_request(io::BinaryWriter& w, const core::PredictRequest& r) {
+  w.str(r.workload.model);
+  w.str(r.workload.dataset.name);
+  w.i64(r.workload.dataset.size_bytes);
+  w.i64(r.workload.dataset.num_samples);
+  w.i32(r.workload.dataset.num_classes);
+  w.i32(r.workload.dataset.input.c);
+  w.i32(r.workload.dataset.input.h);
+  w.i32(r.workload.dataset.input.w);
+  w.i32(r.workload.batch_size_per_server);
+  w.i32(r.workload.epochs);
+
+  w.u32(static_cast<std::uint32_t>(r.cluster.servers.size()));
+  for (const cluster::ServerSpec& s : r.cluster.servers) {
+    w.str(s.name);
+    w.str(s.sku);
+    w.i32(s.cpu_cores);
+    w.f64(s.cpu_flops);
+    w.f64(s.ram_bytes);
+    w.f64(s.disk_bw_bps);
+    w.f64(s.net_bw_bps);
+    w.i32(s.gpus);
+    w.f64(s.gpu_flops);
+    w.f64(s.gpu_mem_bytes);
+    w.f64(s.cpu_availability);
+    w.f64(s.mem_availability);
+  }
+  w.f64(r.cluster.nfs_bw_bps);
+}
+
+core::PredictRequest read_predict_request(io::BinaryReader& r) {
+  core::PredictRequest req;
+  req.workload.model = r.str();
+  req.workload.dataset.name = r.str();
+  req.workload.dataset.size_bytes = r.i64();
+  req.workload.dataset.num_samples = r.i64();
+  req.workload.dataset.num_classes = r.i32();
+  req.workload.dataset.input.c = r.i32();
+  req.workload.dataset.input.h = r.i32();
+  req.workload.dataset.input.w = r.i32();
+  req.workload.batch_size_per_server = r.i32();
+  req.workload.epochs = r.i32();
+
+  const std::uint32_t n_servers = r.u32();
+  PDDL_CHECK(n_servers <= kMaxClusterServers, r.what(),
+             ": unreasonable cluster size ", n_servers);
+  req.cluster.servers.reserve(n_servers);
+  for (std::uint32_t i = 0; i < n_servers; ++i) {
+    cluster::ServerSpec s;
+    s.name = r.str();
+    s.sku = r.str();
+    s.cpu_cores = r.i32();
+    s.cpu_flops = r.f64();
+    s.ram_bytes = r.f64();
+    s.disk_bw_bps = r.f64();
+    s.net_bw_bps = r.f64();
+    s.gpus = r.i32();
+    s.gpu_flops = r.f64();
+    s.gpu_mem_bytes = r.f64();
+    s.cpu_availability = r.f64();
+    s.mem_availability = r.f64();
+    req.cluster.servers.push_back(std::move(s));
+  }
+  req.cluster.nfs_bw_bps = r.f64();
+  return req;
+}
+
+void write_serve_result(io::BinaryWriter& w, const serve::ServeResult& r) {
+  w.u8(static_cast<std::uint8_t>(r.status));
+  w.f64(r.response.predicted_time_s);
+  w.boolean(r.response.triggered_offline_training);
+  w.f64(r.response.embedding_ms);
+  w.f64(r.response.inference_ms);
+  w.boolean(r.cache_hit);
+  w.f64(r.queue_ms);
+  w.f64(r.total_ms);
+  w.str(r.error);
+}
+
+serve::ServeResult read_serve_result(io::BinaryReader& r) {
+  serve::ServeResult out;
+  const std::uint8_t status = r.u8();
+  PDDL_CHECK(status <= static_cast<std::uint8_t>(serve::ServeStatus::kError),
+             r.what(), ": invalid serve status byte ", int{status});
+  out.status = static_cast<serve::ServeStatus>(status);
+  out.response.predicted_time_s = r.f64();
+  out.response.triggered_offline_training = r.boolean();
+  out.response.embedding_ms = r.f64();
+  out.response.inference_ms = r.f64();
+  out.cache_hit = r.boolean();
+  out.queue_ms = r.f64();
+  out.total_ms = r.f64();
+  out.error = r.str();
+  return out;
+}
+
+namespace {
+void write_histogram(io::BinaryWriter& w,
+                     const serve::LatencyHistogram::Snapshot& h) {
+  w.u64(h.count);
+  w.f64(h.mean_ms);
+  w.f64(h.p50_ms);
+  w.f64(h.p95_ms);
+  w.f64(h.p99_ms);
+  w.f64(h.max_ms);
+}
+
+serve::LatencyHistogram::Snapshot read_histogram(io::BinaryReader& r) {
+  serve::LatencyHistogram::Snapshot h;
+  h.count = r.u64();
+  h.mean_ms = r.f64();
+  h.p50_ms = r.f64();
+  h.p95_ms = r.f64();
+  h.p99_ms = r.f64();
+  h.max_ms = r.f64();
+  return h;
+}
+}  // namespace
+
+void write_metrics(io::BinaryWriter& w, const serve::MetricsSnapshot& m) {
+  w.u64(m.submitted);
+  w.u64(m.completed);
+  w.u64(m.cache_hits);
+  w.u64(m.cache_misses);
+  w.u64(m.rejected_queue_full);
+  w.u64(m.rejected_untrained);
+  w.u64(m.deadline_expired);
+  w.u64(m.errors);
+  w.u64(m.cache_entries);
+  w.u64(m.cache_evictions);
+  w.u64(m.rpc_connections_accepted);
+  w.u64(m.rpc_connections_active);
+  w.u64(m.rpc_connections_rejected);
+  w.u64(m.rpc_frames_received);
+  w.u64(m.rpc_frames_sent);
+  w.u64(m.rpc_frame_errors);
+  w.u64(m.rpc_read_timeouts);
+  write_histogram(w, m.e2e);
+  write_histogram(w, m.queue);
+  write_histogram(w, m.service);
+}
+
+serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
+  serve::MetricsSnapshot m;
+  m.submitted = r.u64();
+  m.completed = r.u64();
+  m.cache_hits = r.u64();
+  m.cache_misses = r.u64();
+  m.rejected_queue_full = r.u64();
+  m.rejected_untrained = r.u64();
+  m.deadline_expired = r.u64();
+  m.errors = r.u64();
+  m.cache_entries = r.u64();
+  m.cache_evictions = r.u64();
+  m.rpc_connections_accepted = r.u64();
+  m.rpc_connections_active = r.u64();
+  m.rpc_connections_rejected = r.u64();
+  m.rpc_frames_received = r.u64();
+  m.rpc_frames_sent = r.u64();
+  m.rpc_frame_errors = r.u64();
+  m.rpc_read_timeouts = r.u64();
+  m.e2e = read_histogram(r);
+  m.queue = read_histogram(r);
+  m.service = read_histogram(r);
+  return m;
+}
+
+// ---- request / response bodies ----
+
+namespace {
+Op read_op(io::BinaryReader& r) {
+  const std::uint8_t op = r.u8();
+  PDDL_CHECK(op <= static_cast<std::uint8_t>(Op::kShutdown), r.what(),
+             ": unknown rpc op byte ", int{op});
+  return static_cast<Op>(op);
+}
+
+// A body must be consumed exactly: leftover bytes mean the two endpoints
+// disagree about the encoding, which should fail loudly, not silently.
+void expect_fully_consumed(io::BinaryReader& r) {
+  PDDL_CHECK(r.at_end(), r.what(), ": trailing bytes after the body");
+}
+}  // namespace
+
+std::string encode_request(const Request& req) {
+  if (req.op == Op::kPredict) {
+    PDDL_CHECK(req.reqs.size() == 1,
+               "rpc predict request must carry exactly one PredictRequest, "
+               "got ",
+               req.reqs.size());
+  }
+  PDDL_CHECK(req.reqs.size() <= kMaxBatchRequests,
+             "rpc batch of ", req.reqs.size(), " requests exceeds the ",
+             kMaxBatchRequests, "-request bound");
+  std::ostringstream os;
+  io::BinaryWriter w(os);
+  w.u8(static_cast<std::uint8_t>(req.op));
+  switch (req.op) {
+    case Op::kPredict:
+      w.f64(req.deadline_ms);
+      write_predict_request(w, req.reqs.front());
+      break;
+    case Op::kPredictBatch:
+      w.f64(req.deadline_ms);
+      w.u32(static_cast<std::uint32_t>(req.reqs.size()));
+      for (const core::PredictRequest& r : req.reqs) {
+        write_predict_request(w, r);
+      }
+      break;
+    case Op::kPing:
+    case Op::kStats:
+    case Op::kShutdown:
+      break;
+  }
+  return os.str();
+}
+
+Request decode_request(const std::string& body) {
+  io::BinaryReader r(body, "rpc request");
+  Request req;
+  req.op = read_op(r);
+  switch (req.op) {
+    case Op::kPredict:
+      req.deadline_ms = r.f64();
+      req.reqs.push_back(read_predict_request(r));
+      break;
+    case Op::kPredictBatch: {
+      req.deadline_ms = r.f64();
+      const std::uint32_t n = r.u32();
+      PDDL_CHECK(n <= kMaxBatchRequests, r.what(), ": batch of ", n,
+                 " requests exceeds the ", kMaxBatchRequests,
+                 "-request bound");
+      req.reqs.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        req.reqs.push_back(read_predict_request(r));
+      }
+      break;
+    }
+    case Op::kPing:
+    case Op::kStats:
+    case Op::kShutdown:
+      break;
+  }
+  expect_fully_consumed(r);
+  return req;
+}
+
+std::string encode_response(const Response& resp) {
+  std::ostringstream os;
+  io::BinaryWriter w(os);
+  w.u8(static_cast<std::uint8_t>(resp.op));
+  w.u8(static_cast<std::uint8_t>(resp.status));
+  w.str(resp.message);
+  switch (resp.op) {
+    case Op::kPredict:
+    case Op::kPredictBatch:
+      w.u32(static_cast<std::uint32_t>(resp.results.size()));
+      for (const serve::ServeResult& r : resp.results) {
+        write_serve_result(w, r);
+      }
+      break;
+    case Op::kStats:
+      if (resp.status == RpcStatus::kOk) write_metrics(w, resp.stats);
+      break;
+    case Op::kPing:
+    case Op::kShutdown:
+      break;
+  }
+  return os.str();
+}
+
+Response decode_response(const std::string& body) {
+  io::BinaryReader r(body, "rpc response");
+  Response resp;
+  resp.op = read_op(r);
+  const std::uint8_t status = r.u8();
+  PDDL_CHECK(
+      status <= static_cast<std::uint8_t>(RpcStatus::kInternalError),
+      r.what(), ": unknown rpc status byte ", int{status});
+  resp.status = static_cast<RpcStatus>(status);
+  resp.message = r.str();
+  switch (resp.op) {
+    case Op::kPredict:
+    case Op::kPredictBatch: {
+      const std::uint32_t n = r.u32();
+      PDDL_CHECK(n <= kMaxBatchRequests, r.what(), ": batch of ", n,
+                 " results exceeds the ", kMaxBatchRequests, "-result bound");
+      resp.results.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        resp.results.push_back(read_serve_result(r));
+      }
+      break;
+    }
+    case Op::kStats:
+      if (resp.status == RpcStatus::kOk) resp.stats = read_metrics(r);
+      break;
+    case Op::kPing:
+    case Op::kShutdown:
+      break;
+  }
+  expect_fully_consumed(r);
+  return resp;
+}
+
+}  // namespace pddl::rpc

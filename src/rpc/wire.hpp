@@ -1,0 +1,137 @@
+// PredictDDL RPC wire format (see DESIGN.md "RPC wire format").
+//
+// Everything an external scheduler exchanges with the prediction service is
+// a *frame*: a length-prefixed, CRC-checked binary envelope built on the
+// same io::BinaryWriter/BinaryReader primitives as the on-disk snapshots,
+// so endianness, truncation, corruption, and version skew are solved once
+// and fail the same way everywhere — a clean pddl::Error, never undefined
+// behaviour.  Frame layout (all little-endian):
+//
+//   magic "PDRP" | u32 protocol version | u32 body length | body bytes
+//   | u32 CRC-32 of every preceding byte
+//
+// The 12-byte prefix (magic + version + length) is fixed-size so a socket
+// reader can learn how many bytes to expect before trusting anything; the
+// body length is bounded (kMaxFrameBytes) so a hostile length prefix is
+// rejected before any allocation.
+//
+// Bodies are op-tagged.  A request body is
+//
+//   u8 op | op-specific payload
+//     kPing          (empty)
+//     kPredict       f64 deadline_ms | PredictRequest
+//     kPredictBatch  f64 deadline_ms | u32 n | n × PredictRequest
+//     kStats         (empty)
+//     kShutdown      (empty)
+//
+// and a response body is
+//
+//   u8 op (echo) | u8 rpc status | str message | op-specific payload
+//     kPredict / kPredictBatch   u32 n | n × ServeResult
+//     kStats (status ok)         MetricsSnapshot
+//
+// Versioning policy: kProtocolVersion bumps on any incompatible body or
+// envelope change; both endpoints reject mismatched versions with a typed
+// error naming both numbers.  There is no negotiation — the predictor and
+// its schedulers deploy together (ROADMAP: thin transport, no third-party
+// deps), so skew is a bug to surface, not a case to paper over.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/predict_ddl.hpp"
+#include "serve/service.hpp"
+
+namespace pddl::rpc {
+
+inline constexpr char kFrameMagic[4] = {'P', 'D', 'R', 'P'};
+inline constexpr std::uint32_t kProtocolVersion = 1;
+// Fixed-size frame prefix: magic (4) + version (4) + body length (4).
+inline constexpr std::size_t kFramePrefixBytes = 12;
+// Envelope overhead beyond the body: prefix + CRC trailer.
+inline constexpr std::size_t kFrameOverheadBytes = kFramePrefixBytes + 4;
+// Upper bound on a whole frame (prefix + body + CRC).  Large enough for a
+// 4096-request batch over a 100-server cluster; small enough that a hostile
+// length prefix cannot make the server allocate gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = 8u << 20;
+// Per-frame request-count bound for kPredictBatch.
+inline constexpr std::uint32_t kMaxBatchRequests = 4096;
+// Per-cluster server-count bound (the paper's clusters top out at 60).
+inline constexpr std::uint32_t kMaxClusterServers = 100000;
+
+enum class Op : std::uint8_t {
+  kPing = 0,
+  kPredict = 1,
+  kPredictBatch = 2,
+  kStats = 3,
+  kShutdown = 4,  // ask the server to begin a graceful drain
+};
+const char* to_string(Op op);
+
+// Transport/envelope-level status.  Request-level outcomes (untrained
+// dataset, deadline expired, queue full, …) travel inside each ServeResult;
+// RpcStatus covers what the rpc layer itself decided.
+enum class RpcStatus : std::uint8_t {
+  kOk = 0,
+  kRejectedOverloaded = 1,  // connection cap hit, or admission queue pushed
+                            // back on every request in the frame
+  kBadRequest = 2,          // frame decoded but the body is invalid
+  kShuttingDown = 3,        // server is draining; no new work accepted
+  kInternalError = 4,       // request processing threw (message has details)
+};
+const char* to_string(RpcStatus status);
+
+// ---- frame envelope ----
+
+// Wraps `body` in magic | version | length | body | CRC.
+std::string encode_frame(const std::string& body);
+
+// Validates the envelope (magic, version, length bound, CRC, and that
+// `frame` holds exactly one frame — no truncation, no trailing bytes) and
+// returns the body.  Throws pddl::Error on any violation.
+std::string decode_frame(const std::string& frame,
+                         std::size_t max_frame = kMaxFrameBytes);
+
+// Parses just the fixed-size prefix (first kFramePrefixBytes of `prefix`)
+// and returns the body length, so a socket reader knows how many more bytes
+// (body + 4-byte CRC) to read before handing the whole frame to
+// decode_frame().  Same validation/errors as decode_frame for the prefix
+// fields.
+std::uint32_t decode_frame_prefix(const char* prefix,
+                                  std::size_t max_frame = kMaxFrameBytes);
+
+// ---- bodies ----
+
+struct Request {
+  Op op = Op::kPing;
+  double deadline_ms = -1.0;  // kPredict/kPredictBatch; <0 = server default
+  std::vector<core::PredictRequest> reqs;  // exactly 1 for kPredict
+};
+
+struct Response {
+  Op op = Op::kPing;  // echoes the request op
+  RpcStatus status = RpcStatus::kOk;
+  std::string message;                      // human-readable error detail
+  std::vector<serve::ServeResult> results;  // kPredict/kPredictBatch
+  serve::MetricsSnapshot stats;             // kStats with status kOk
+};
+
+std::string encode_request(const Request& req);
+Request decode_request(const std::string& body);
+
+std::string encode_response(const Response& resp);
+Response decode_response(const std::string& body);
+
+// ---- field-level payload codecs (shared by both directions; exposed for
+// tests) ----
+void write_predict_request(io::BinaryWriter& w, const core::PredictRequest& r);
+core::PredictRequest read_predict_request(io::BinaryReader& r);
+
+void write_serve_result(io::BinaryWriter& w, const serve::ServeResult& r);
+serve::ServeResult read_serve_result(io::BinaryReader& r);
+
+void write_metrics(io::BinaryWriter& w, const serve::MetricsSnapshot& m);
+serve::MetricsSnapshot read_metrics(io::BinaryReader& r);
+
+}  // namespace pddl::rpc

@@ -99,7 +99,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
 }
 
 std::string MetricsSnapshot::to_string() const {
-  char buf[1024];
+  char buf[2048];
   auto line = [&buf](const LatencyHistogram::Snapshot& h) {
     char lbuf[256];
     std::snprintf(lbuf, sizeof(lbuf),
@@ -130,7 +130,75 @@ std::string MetricsSnapshot::to_string() const {
       static_cast<unsigned long long>(cache_entries),
       static_cast<unsigned long long>(cache_evictions), line(e2e).c_str(),
       line(queue).c_str(), line(service).c_str());
-  return buf;
+  std::string out = buf;
+  // The rpc line only appears when a transport actually served traffic, so
+  // in-process dumps are unchanged.
+  if (rpc_connections_accepted != 0 || rpc_connections_rejected != 0 ||
+      rpc_frame_errors != 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  rpc      : conns=%llu active=%llu rejected=%llu frames_in=%llu "
+        "frames_out=%llu frame_errors=%llu read_timeouts=%llu\n",
+        static_cast<unsigned long long>(rpc_connections_accepted),
+        static_cast<unsigned long long>(rpc_connections_active),
+        static_cast<unsigned long long>(rpc_connections_rejected),
+        static_cast<unsigned long long>(rpc_frames_received),
+        static_cast<unsigned long long>(rpc_frames_sent),
+        static_cast<unsigned long long>(rpc_frame_errors),
+        static_cast<unsigned long long>(rpc_read_timeouts));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{";
+  auto num = [&out](const char* key, std::uint64_t v, bool comma = true) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "\"%s\":%llu%s", key,
+                  static_cast<unsigned long long>(v), comma ? "," : "");
+    out += buf;
+  };
+  auto hist = [&out](const char* key, const LatencyHistogram::Snapshot& h,
+                     bool comma = true) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"count\":%llu,\"mean_ms\":%.6f,\"p50_ms\":%.6f,"
+                  "\"p95_ms\":%.6f,\"p99_ms\":%.6f,\"max_ms\":%.6f}%s",
+                  key, static_cast<unsigned long long>(h.count), h.mean_ms,
+                  h.p50_ms, h.p95_ms, h.p99_ms, h.max_ms, comma ? "," : "");
+    out += buf;
+  };
+  num("submitted", submitted);
+  num("completed", completed);
+  num("cache_hits", cache_hits);
+  num("cache_misses", cache_misses);
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"cache_hit_rate\":%.6f,",
+                  cache_hit_rate());
+    out += buf;
+  }
+  num("rejected_queue_full", rejected_queue_full);
+  num("rejected_untrained", rejected_untrained);
+  num("deadline_expired", deadline_expired);
+  num("errors", errors);
+  num("cache_entries", cache_entries);
+  num("cache_evictions", cache_evictions);
+  out += "\"rpc\":{";
+  num("connections_accepted", rpc_connections_accepted);
+  num("connections_active", rpc_connections_active);
+  num("connections_rejected", rpc_connections_rejected);
+  num("frames_received", rpc_frames_received);
+  num("frames_sent", rpc_frames_sent);
+  num("frame_errors", rpc_frame_errors);
+  num("read_timeouts", rpc_read_timeouts, /*comma=*/false);
+  out += "},";
+  hist("e2e", e2e);
+  hist("queue", queue);
+  hist("service", service, /*comma=*/false);
+  out += "}";
+  return out;
 }
 
 }  // namespace pddl::serve

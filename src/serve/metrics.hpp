@@ -62,6 +62,16 @@ struct MetricsSnapshot {
   std::uint64_t cache_entries = 0;        // live entries across all shards
   std::uint64_t cache_evictions = 0;
 
+  // ---- rpc layer (all zero when serving in-process; rpc::Server overlays
+  // its connection and frame counters before answering a `stats` op) ----
+  std::uint64_t rpc_connections_accepted = 0;
+  std::uint64_t rpc_connections_active = 0;
+  std::uint64_t rpc_connections_rejected = 0;  // over the connection cap
+  std::uint64_t rpc_frames_received = 0;
+  std::uint64_t rpc_frames_sent = 0;
+  std::uint64_t rpc_frame_errors = 0;      // bad magic / CRC / length / version
+  std::uint64_t rpc_read_timeouts = 0;     // stalled connections reaped
+
   LatencyHistogram::Snapshot e2e;      // admission → response
   LatencyHistogram::Snapshot queue;    // admission → dequeue
   LatencyHistogram::Snapshot service;  // embed + inference only
@@ -75,6 +85,11 @@ struct MetricsSnapshot {
   // Multi-line human-readable dump (the "metrics dump" of the example
   // server and the load generator's per-run report).
   std::string to_string() const;
+
+  // Single-object JSON rendering of every field (counters, rpc layer, and
+  // the three histograms).  One implementation shared by the rpc `stats`
+  // consumers (predict_client --json) and serve_loadgen's persisted report.
+  std::string to_json() const;
 };
 
 // The service's live counters.  Members are public atomics: the service

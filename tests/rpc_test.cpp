@@ -1,0 +1,637 @@
+// Coverage for the src/rpc/ subsystem, in two halves.
+//
+// Wire format (pure, in-memory): frame and body round-trips, then the
+// adversarial promise mirrored from io_test — every-byte corruption,
+// truncation at every offset, oversized-frame rejection, and version skew
+// all surface as clean pddl::Error, never as garbage state.
+//
+// Loopback server (real sockets on 127.0.0.1, ephemeral ports): remote
+// predictions match the in-process path bit-identically, ≥10k round-trips
+// complete with zero frame errors, N concurrent clients hammer one server,
+// deadlines expire over the wire, the connection cap rejects with a typed
+// overload error, garbage bytes can't crash or wedge the server, and
+// stop() drains in-flight requests.  This binary also runs under
+// ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+
+namespace pddl::rpc {
+namespace {
+
+core::PredictRequest make_request(const std::string& model, int servers = 4,
+                                  const std::string& sku = "p100") {
+  core::PredictRequest req;
+  req.workload = {model, workload::cifar10(), /*batch=*/64, /*epochs=*/10};
+  req.cluster = cluster::make_uniform_cluster(sku, servers);
+  return req;
+}
+
+// Reads one whole frame off a raw socket and decodes the response — used by
+// the tests that need to observe frame-level statuses the Client maps away.
+Response read_response_frame(const Socket& sock) {
+  char prefix[kFramePrefixBytes];
+  EXPECT_EQ(recv_exact(sock, prefix, sizeof(prefix)), RecvOutcome::kOk);
+  const std::uint32_t body_len = decode_frame_prefix(prefix);
+  std::string full(kFrameOverheadBytes + body_len, '\0');
+  full.replace(0, sizeof(prefix), prefix, sizeof(prefix));
+  EXPECT_EQ(recv_exact(sock, full.data() + kFramePrefixBytes,
+                       full.size() - kFramePrefixBytes),
+            RecvOutcome::kOk);
+  return decode_response(decode_frame(full));
+}
+
+// ---- wire format: round-trips ----
+
+TEST(Wire, FrameRoundTrips) {
+  const std::string body = "arbitrary body bytes \x00\x01\x7f";
+  const std::string frame = encode_frame(body);
+  EXPECT_EQ(frame.size(), body.size() + kFrameOverheadBytes);
+  EXPECT_EQ(decode_frame(frame), body);
+}
+
+TEST(Wire, EmptyBodyFrameRoundTrips) {
+  const std::string frame = encode_frame("");
+  EXPECT_EQ(frame.size(), kFrameOverheadBytes);
+  EXPECT_EQ(decode_frame(frame), "");
+}
+
+TEST(Wire, PredictRequestRoundTripsBitExact) {
+  core::PredictRequest req = make_request("resnet50", 7, "e5_2630");
+  req.workload.dataset.size_bytes = 123456789;
+  req.cluster.servers[2].cpu_availability = 0.375;
+  req.cluster.nfs_bw_bps = 9.87e8;
+
+  Request r;
+  r.op = Op::kPredict;
+  r.deadline_ms = 321.5;
+  r.reqs.push_back(req);
+  const Request back = decode_request(encode_request(r));
+
+  ASSERT_EQ(back.op, Op::kPredict);
+  EXPECT_EQ(back.deadline_ms, 321.5);
+  ASSERT_EQ(back.reqs.size(), 1u);
+  const core::PredictRequest& b = back.reqs.front();
+  EXPECT_EQ(b.workload.model, "resnet50");
+  EXPECT_EQ(b.workload.dataset.name, "cifar10");
+  EXPECT_EQ(b.workload.dataset.size_bytes, 123456789);
+  EXPECT_EQ(b.workload.dataset.input, req.workload.dataset.input);
+  EXPECT_EQ(b.workload.batch_size_per_server, 64);
+  EXPECT_EQ(b.workload.epochs, 10);
+  ASSERT_EQ(b.cluster.servers.size(), 7u);
+  EXPECT_EQ(b.cluster.servers[2].sku, "e5_2630");
+  EXPECT_EQ(b.cluster.servers[2].cpu_availability, 0.375);
+  EXPECT_EQ(b.cluster.servers[2].cpu_flops, req.cluster.servers[2].cpu_flops);
+  EXPECT_EQ(b.cluster.nfs_bw_bps, 9.87e8);
+}
+
+TEST(Wire, BatchRequestAndAllOpsRoundTrip) {
+  Request batch;
+  batch.op = Op::kPredictBatch;
+  batch.deadline_ms = 10.0;
+  batch.reqs = {make_request("alexnet"), make_request("vgg11", 2)};
+  const Request back = decode_request(encode_request(batch));
+  ASSERT_EQ(back.reqs.size(), 2u);
+  EXPECT_EQ(back.reqs[1].workload.model, "vgg11");
+
+  for (Op op : {Op::kPing, Op::kStats, Op::kShutdown}) {
+    Request r;
+    r.op = op;
+    EXPECT_EQ(decode_request(encode_request(r)).op, op);
+  }
+}
+
+TEST(Wire, ResponseWithResultsRoundTrips) {
+  Response resp;
+  resp.op = Op::kPredictBatch;
+  resp.status = RpcStatus::kOk;
+  serve::ServeResult ok;
+  ok.status = serve::ServeStatus::kOk;
+  ok.response.predicted_time_s = 1234.5;
+  ok.response.embedding_ms = 3.25;
+  ok.response.inference_ms = 0.125;
+  ok.cache_hit = true;
+  ok.queue_ms = 0.5;
+  ok.total_ms = 4.75;
+  serve::ServeResult rejected;
+  rejected.status = serve::ServeStatus::kRejectedQueueFull;
+  rejected.error = "admission queue at capacity (64)";
+  resp.results = {ok, rejected};
+
+  const Response back = decode_response(encode_response(resp));
+  ASSERT_EQ(back.results.size(), 2u);
+  EXPECT_EQ(back.results[0].status, serve::ServeStatus::kOk);
+  EXPECT_EQ(back.results[0].response.predicted_time_s, 1234.5);
+  EXPECT_TRUE(back.results[0].cache_hit);
+  EXPECT_EQ(back.results[0].total_ms, 4.75);
+  EXPECT_EQ(back.results[1].status, serve::ServeStatus::kRejectedQueueFull);
+  EXPECT_EQ(back.results[1].error, "admission queue at capacity (64)");
+}
+
+TEST(Wire, StatsResponseRoundTripsEveryCounter) {
+  Response resp;
+  resp.op = Op::kStats;
+  resp.stats.submitted = 11;
+  resp.stats.completed = 10;
+  resp.stats.cache_hits = 7;
+  resp.stats.rpc_connections_accepted = 3;
+  resp.stats.rpc_frames_received = 42;
+  resp.stats.rpc_frame_errors = 2;
+  resp.stats.rpc_read_timeouts = 1;
+  resp.stats.e2e.count = 10;
+  resp.stats.e2e.p99_ms = 12.5;
+
+  const Response back = decode_response(encode_response(resp));
+  EXPECT_EQ(back.stats.submitted, 11u);
+  EXPECT_EQ(back.stats.cache_hits, 7u);
+  EXPECT_EQ(back.stats.rpc_connections_accepted, 3u);
+  EXPECT_EQ(back.stats.rpc_frames_received, 42u);
+  EXPECT_EQ(back.stats.rpc_frame_errors, 2u);
+  EXPECT_EQ(back.stats.rpc_read_timeouts, 1u);
+  EXPECT_EQ(back.stats.e2e.count, 10u);
+  EXPECT_EQ(back.stats.e2e.p99_ms, 12.5);
+}
+
+TEST(Wire, ErrorResponseRoundTrips) {
+  Response resp;
+  resp.op = Op::kPredict;
+  resp.status = RpcStatus::kBadRequest;
+  resp.message = "rpc frame: CRC mismatch";
+  const Response back = decode_response(encode_response(resp));
+  EXPECT_EQ(back.status, RpcStatus::kBadRequest);
+  EXPECT_EQ(back.message, "rpc frame: CRC mismatch");
+  EXPECT_TRUE(back.results.empty());
+}
+
+// ---- wire format: adversarial ----
+
+std::string valid_frame_bytes() {
+  Request r;
+  r.op = Op::kPredict;
+  r.deadline_ms = 100.0;
+  r.reqs.push_back(make_request("resnet18", 3));
+  return encode_frame(encode_request(r));
+}
+
+TEST(Wire, AnyCorruptedByteRejected) {
+  const std::string frame = valid_frame_bytes();
+  for (std::size_t pos = 0; pos < frame.size(); ++pos) {
+    std::string mutated = frame;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x01);
+    EXPECT_THROW(
+        {
+          const std::string body = decode_frame(mutated);
+          (void)decode_request(body);
+        },
+        Error)
+        << "byte " << pos;
+  }
+}
+
+TEST(Wire, TruncationAtEveryOffsetRejected) {
+  const std::string frame = valid_frame_bytes();
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    EXPECT_THROW((void)decode_frame(frame.substr(0, keep)), Error)
+        << "kept " << keep;
+  }
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  EXPECT_THROW((void)decode_frame(valid_frame_bytes() + "x"), Error);
+}
+
+TEST(Wire, OversizedFrameRejectedBeforeAllocation) {
+  // A hostile length prefix far beyond the bound must be rejected from the
+  // 12 prefix bytes alone — no allocation of the announced size.
+  std::string frame = valid_frame_bytes();
+  frame[8] = '\xff';  // little-endian length field: bytes 8..11
+  frame[9] = '\xff';
+  frame[10] = '\xff';
+  frame[11] = '\x7f';
+  try {
+    (void)decode_frame_prefix(frame.data());
+    FAIL() << "expected oversized frame to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bound"), std::string::npos);
+  }
+  // And a legal-looking frame above a caller-tightened bound as well.
+  EXPECT_THROW((void)decode_frame(valid_frame_bytes(), /*max_frame=*/32),
+               Error);
+}
+
+TEST(Wire, VersionSkewRejectedWithBothVersions) {
+  std::string frame = valid_frame_bytes();
+  frame[4] = static_cast<char>(kProtocolVersion + 1);  // version bytes 4..7
+  try {
+    (void)decode_frame(frame);
+    FAIL() << "expected version skew to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version"), std::string::npos);
+    EXPECT_NE(what.find(std::to_string(kProtocolVersion + 1)),
+              std::string::npos);
+  }
+}
+
+TEST(Wire, UnknownOpAndStatusBytesRejected) {
+  Request r;
+  r.op = Op::kPing;
+  std::string body = encode_request(r);
+  body[0] = 99;  // op byte
+  EXPECT_THROW((void)decode_request(body), Error);
+
+  Response resp;
+  std::string rbody = encode_response(resp);
+  rbody[1] = 99;  // status byte
+  EXPECT_THROW((void)decode_response(rbody), Error);
+}
+
+TEST(Wire, OverlongBatchCountRejected) {
+  Request r;
+  r.op = Op::kPredictBatch;
+  std::string body = encode_request(r);  // n = 0
+  // Patch the u32 batch count (after op byte + f64 deadline) to a huge value.
+  body[9] = '\xff';
+  body[10] = '\xff';
+  body[11] = '\xff';
+  body[12] = '\x00';
+  EXPECT_THROW((void)decode_request(body), Error);
+}
+
+// ---- loopback server ----
+
+// Small, fast options (mirrors serve_test): tiny GHN, reduced campaign.
+core::PredictDdlOptions fast_options() {
+  core::PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 12;
+  opts.ghn.mlp_hidden = 12;
+  opts.ghn_trainer.corpus_size = 10;
+  opts.ghn_trainer.epochs = 4;
+  opts.ghn_trainer.batch_size = 5;
+  opts.ghn_trainer.darts.max_cells = 3;
+  opts.campaign.models = {"alexnet",   "resnet18",           "resnet50",
+                          "vgg11",     "mobilenet_v3_small", "squeezenet1_1",
+                          "densenet121"};
+  opts.campaign.max_servers = 8;
+  opts.campaign.batch_sizes = {64};
+  return opts;
+}
+
+// One PredictDdl trained once for the whole suite; each test stands up its
+// own service + server on an ephemeral loopback port.
+class RpcLoopbackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pool_ = new ThreadPool(8);
+    sim_ = new sim::DdlSimulator();
+    pddl_ = new core::PredictDdl(*sim_, *pool_, fast_options());
+    pddl_->train_offline(workload::cifar10());
+  }
+  static void TearDownTestSuite() {
+    delete pddl_;
+    delete sim_;
+    delete pool_;
+    pddl_ = nullptr;
+    sim_ = nullptr;
+    pool_ = nullptr;
+  }
+
+  static ThreadPool* pool_;
+  static sim::DdlSimulator* sim_;
+  static core::PredictDdl* pddl_;
+};
+
+ThreadPool* RpcLoopbackTest::pool_ = nullptr;
+sim::DdlSimulator* RpcLoopbackTest::sim_ = nullptr;
+core::PredictDdl* RpcLoopbackTest::pddl_ = nullptr;
+
+TEST_F(RpcLoopbackTest, RemotePredictionMatchesInProcessBitExact) {
+  serve::PredictionService service(*pddl_);
+  Server server(service);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  const core::PredictRequest req = make_request("resnet18");
+  const serve::ServeResult remote = client.predict(req);
+  ASSERT_TRUE(remote.ok()) << remote.error;
+  const serve::ServeResult local = service.predict(req);
+  ASSERT_TRUE(local.ok()) << local.error;
+  EXPECT_DOUBLE_EQ(remote.response.predicted_time_s,
+                   local.response.predicted_time_s);
+  EXPECT_GT(client.ping(), 0.0);
+}
+
+TEST_F(RpcLoopbackTest, PredictBatchAlignsResultsWithRequests) {
+  serve::PredictionService service(*pddl_);
+  Server server(service);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  std::vector<core::PredictRequest> reqs = {
+      make_request("alexnet"), make_request("vgg11", 8, "e5_2630"),
+      make_request("resnet50", 2)};
+  // One untrained dataset in the middle of the batch: its slot reports the
+  // typed rejection, the others still succeed.
+  reqs.insert(reqs.begin() + 1, make_request("resnet18"));
+  reqs[1].workload.dataset = workload::tiny_imagenet();
+
+  const auto results = client.predict_batch(reqs);
+  ASSERT_EQ(results.size(), reqs.size());
+  EXPECT_TRUE(results[0].ok()) << results[0].error;
+  EXPECT_EQ(results[1].status, serve::ServeStatus::kUntrainedDataset);
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_TRUE(results[3].ok());
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    EXPECT_DOUBLE_EQ(results[i].response.predicted_time_s,
+                     service.predict(reqs[i]).response.predicted_time_s);
+  }
+}
+
+// Acceptance bar: ≥10k predict round-trips on one connection with zero
+// frame errors.
+TEST_F(RpcLoopbackTest, TenThousandRoundTripsZeroFrameErrors) {
+  serve::PredictionService service(*pddl_);
+  Server server(service);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  const core::PredictRequest req = make_request("alexnet");
+  ASSERT_TRUE(client.predict(req).ok());  // prime the embedding cache
+  constexpr int kRoundTrips = 10000;
+  for (int i = 0; i < kRoundTrips; ++i) {
+    const serve::ServeResult r = client.predict(req);
+    ASSERT_TRUE(r.ok()) << "round-trip " << i << ": " << r.error;
+  }
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.rpc_frame_errors, 0u);
+  EXPECT_EQ(m.rpc_read_timeouts, 0u);
+  EXPECT_GE(m.rpc_frames_received, static_cast<std::uint64_t>(kRoundTrips));
+  EXPECT_EQ(m.rpc_frames_received, m.rpc_frames_sent);
+  EXPECT_EQ(m.completed, static_cast<std::uint64_t>(kRoundTrips) + 1);
+}
+
+TEST_F(RpcLoopbackTest, ConcurrentClientsHammerOneServer) {
+  serve::ServiceConfig scfg;
+  scfg.dispatcher_threads = 4;
+  scfg.queue_capacity = 4096;
+  serve::PredictionService service(*pddl_, scfg);
+  Server server(service);
+  server.start();
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 100;
+  const std::vector<std::string> models = {"alexnet", "resnet18", "vgg11",
+                                           "resnet50", "densenet121"};
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client client("127.0.0.1", server.port());
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto& model = models[(t + i) % models.size()];
+        const serve::ServeResult r =
+            client.predict(make_request(model, (i % 2) ? 4 : 8));
+        if (r.ok() && r.response.predicted_time_s > 0.0) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+
+  const serve::MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.completed, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(m.rpc_connections_accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(m.rpc_frame_errors, 0u);
+  EXPECT_EQ(m.errors, 0u);
+}
+
+TEST_F(RpcLoopbackTest, DeadlineExpiresOverTheWire) {
+  serve::ServiceConfig scfg;
+  scfg.start_paused = true;  // hold dispatch so the deadline lapses in queue
+  serve::PredictionService service(*pddl_, scfg);
+  Server server(service);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  std::thread resumer([&service] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    service.resume();
+  });
+  const serve::ServeResult r =
+      client.predict(make_request("resnet18"), /*deadline_ms=*/5.0);
+  resumer.join();
+  EXPECT_EQ(r.status, serve::ServeStatus::kDeadlineExceeded);
+  EXPECT_GE(r.queue_ms, 5.0);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST_F(RpcLoopbackTest, QueueFullSurfacesAsOverloadedFrame) {
+  serve::ServiceConfig scfg;
+  scfg.queue_capacity = 2;
+  scfg.start_paused = true;  // queue fills and stays full
+  serve::PredictionService service(*pddl_, scfg);
+  Server server(service);
+  server.start();
+
+  // Fill the admission queue through one connection (submit-only futures).
+  auto f1 = service.submit(make_request("resnet18"));
+  auto f2 = service.submit(make_request("resnet18"));
+  ASSERT_EQ(service.queue_depth(), 2u);
+
+  // Frame level: the response is flagged rejected_overloaded and still
+  // carries the per-request result (observe it with a raw socket — the
+  // Client maps the frame status away when results are present).
+  {
+    Socket raw = connect_tcp("127.0.0.1", server.port());
+    set_recv_timeout(raw, 5000.0);
+    Request r;
+    r.op = Op::kPredict;
+    r.reqs.push_back(make_request("resnet18"));
+    const std::string frame = encode_frame(encode_request(r));
+    send_all(raw, frame.data(), frame.size());
+    const Response resp = read_response_frame(raw);
+    EXPECT_EQ(resp.status, RpcStatus::kRejectedOverloaded);
+    ASSERT_EQ(resp.results.size(), 1u);
+    EXPECT_EQ(resp.results[0].status, serve::ServeStatus::kRejectedQueueFull);
+  }
+
+  // Client level: the shed request surfaces as a typed per-request result,
+  // exactly like the in-process path — not an exception.
+  Client client("127.0.0.1", server.port());
+  const serve::ServeResult shed = client.predict(make_request("resnet18"));
+  EXPECT_EQ(shed.status, serve::ServeStatus::kRejectedQueueFull);
+  EXPECT_FALSE(shed.error.empty());
+
+  service.resume();
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+}
+
+TEST_F(RpcLoopbackTest, ConnectionCapRejectsWithTypedOverload) {
+  serve::PredictionService service(*pddl_);
+  ServerConfig cfg;
+  cfg.max_connections = 1;
+  Server server(service, cfg);
+  server.start();
+
+  Client first("127.0.0.1", server.port());
+  EXPECT_TRUE(first.predict(make_request("alexnet")).ok());
+
+  // The second connection is over the cap: the server pushes an explicit
+  // overload frame right after accept (read it raw — sending first would
+  // race the server's close and could surface as a reset instead).
+  {
+    Socket second = connect_tcp("127.0.0.1", server.port());
+    set_recv_timeout(second, 5000.0);
+    const Response resp = read_response_frame(second);
+    EXPECT_EQ(resp.status, RpcStatus::kRejectedOverloaded);
+    EXPECT_NE(resp.message.find("connection cap"), std::string::npos);
+  }
+  EXPECT_GE(server.metrics().rpc_connections_rejected, 1u);
+
+  // The capped connection still works, and closing it frees the slot.
+  EXPECT_TRUE(first.predict(make_request("alexnet")).ok());
+  first.close();
+  for (int attempt = 0;; ++attempt) {
+    // The server reaps the closed connection asynchronously; retry briefly.
+    try {
+      Client third("127.0.0.1", server.port());
+      EXPECT_GT(third.ping(), 0.0);
+      break;
+    } catch (const Error&) {
+      ASSERT_LT(attempt, 100) << "connection slot never freed";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+TEST_F(RpcLoopbackTest, GarbageBytesGetTypedErrorNeverACrash) {
+  serve::PredictionService service(*pddl_);
+  Server server(service);
+  server.start();
+
+  {
+    // Raw socket, no protocol: 64 bytes of garbage.  The server must
+    // answer with a typed bad_request frame and close — never crash.
+    Socket raw = connect_tcp("127.0.0.1", server.port());
+    set_recv_timeout(raw, 5000.0);
+    std::string garbage(64, '\xa5');
+    send_all(raw, garbage.data(), garbage.size());
+    const Response resp = read_response_frame(raw);
+    EXPECT_EQ(resp.status, RpcStatus::kBadRequest);
+    EXPECT_FALSE(resp.message.empty());
+  }
+  {
+    // A CRC-valid envelope around an invalid body keeps the stream in
+    // sync: typed error, then the same connection serves a real request.
+    Socket raw = connect_tcp("127.0.0.1", server.port());
+    set_recv_timeout(raw, 5000.0);
+    std::string bad_body(1, '\x63');  // op byte 99
+    const std::string bad = encode_frame(bad_body);
+    send_all(raw, bad.data(), bad.size());
+    EXPECT_EQ(read_response_frame(raw).status, RpcStatus::kBadRequest);
+
+    Request good;
+    good.op = Op::kPing;
+    const std::string frame = encode_frame(encode_request(good));
+    send_all(raw, frame.data(), frame.size());
+    EXPECT_EQ(read_response_frame(raw).status, RpcStatus::kOk);
+  }
+  EXPECT_GE(server.metrics().rpc_frame_errors, 2u);
+
+  // And after all that abuse, a well-behaved client still gets service.
+  Client client("127.0.0.1", server.port());
+  EXPECT_TRUE(client.predict(make_request("resnet18")).ok());
+}
+
+TEST_F(RpcLoopbackTest, StalledClientIsReapedByReadTimeout) {
+  serve::PredictionService service(*pddl_);
+  ServerConfig cfg;
+  cfg.read_timeout_ms = 100.0;  // aggressive reap for the test
+  Server server(service, cfg);
+  server.start();
+
+  // Send half a frame prefix, then stall.
+  Socket stalled = connect_tcp("127.0.0.1", server.port());
+  send_all(stalled, "PDRP", 4);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (server.metrics().rpc_read_timeouts >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.metrics().rpc_read_timeouts, 1u);
+
+  // The reaped thread freed capacity; new clients are unaffected.
+  Client client("127.0.0.1", server.port());
+  EXPECT_TRUE(client.predict(make_request("alexnet")).ok());
+}
+
+TEST_F(RpcLoopbackTest, StopDrainsInFlightRequests) {
+  serve::ServiceConfig scfg;
+  scfg.start_paused = true;  // requests park in the admission queue
+  serve::PredictionService service(*pddl_, scfg);
+  Server server(service);
+  server.start();
+
+  // One in-flight remote request, blocked behind the paused service.
+  std::thread client_thread([&server] {
+    Client client("127.0.0.1", server.port());
+    const serve::ServeResult r = client.predict(make_request("resnet18"));
+    EXPECT_TRUE(r.ok()) << r.error;  // drain delivered the response
+  });
+  while (service.queue_depth() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Graceful stop must let the in-flight request finish, not drop it.
+  std::thread stopper([&server] { server.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.resume();  // un-gate the dispatcher so the drain can complete
+  stopper.join();
+  client_thread.join();
+
+  // After stop, new connections are refused outright.
+  EXPECT_THROW(
+      {
+        Client late("127.0.0.1", server.port());
+        (void)late.ping();
+      },
+      Error);
+}
+
+TEST_F(RpcLoopbackTest, ShutdownOpFlagsTheServerForDrain) {
+  serve::PredictionService service(*pddl_);
+  Server server(service);
+  server.start();
+  EXPECT_FALSE(server.shutdown_requested());
+  Client client("127.0.0.1", server.port());
+  client.request_shutdown();
+  EXPECT_TRUE(server.shutdown_requested());
+  server.stop();
+}
+
+TEST_F(RpcLoopbackTest, StatsOpCarriesRpcCounters) {
+  serve::PredictionService service(*pddl_);
+  Server server(service);
+  server.start();
+  Client client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.predict(make_request("vgg11")).ok());
+  const serve::MetricsSnapshot m = client.stats();
+  EXPECT_EQ(m.completed, 1u);
+  EXPECT_EQ(m.submitted, 1u);
+  EXPECT_GE(m.rpc_connections_accepted, 1u);
+  EXPECT_GE(m.rpc_connections_active, 1u);
+  EXPECT_GE(m.rpc_frames_received, 2u);  // the predict + this stats frame
+  EXPECT_EQ(m.rpc_frame_errors, 0u);
+  // The snapshot renders through both shared formatters.
+  EXPECT_NE(m.to_string().find("rpc"), std::string::npos);
+  EXPECT_NE(m.to_json().find("\"connections_accepted\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pddl::rpc
