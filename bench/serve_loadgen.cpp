@@ -19,6 +19,14 @@
 //      the identical warmed service measured in-process.  The delta prices
 //      the protocol: frame encode/decode + CRC + two syscalls per request.
 //
+//   4. Feedback interleave (--feedback-rate R, R in [0,1]): after a fraction
+//      R of successful predictions each client thread also reports an
+//      observation of (1 + --feedback-skew) × the predicted time, the way a
+//      scheduler would close the loop with measured runtimes.  A skew past
+//      the drift threshold triggers background refits while predict traffic
+//      keeps flowing; the run reports the drift/refit counters and writes
+//      the snapshot to bench_results/serve_loadgen_feedback.json.
+//
 // Output: one row per run with throughput, tail latency (p50/p95/p99 from
 // the metrics layer), and cache hit rate; CSVs land in bench_results/
 // (serve_loadgen.csv, serve_loadgen_remote.csv) plus the final metrics
@@ -26,12 +34,14 @@
 // stats op serves).
 //
 // `--remote HOST:PORT` skips training and drives an already-running
-// predict_server instead — the external-scheduler view of the service.
+// predict_server instead — the external-scheduler view of the service
+// (combine with --feedback-rate to interleave observe frames over the wire).
 #include <atomic>
 #include <cstdlib>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "feedback/controller.hpp"
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
 #include "serve/service.hpp"
@@ -87,18 +97,31 @@ void add_row(Table& table, const std::string& run, bool cache,
 }
 
 // T threads, each issuing `rounds` passes over the mix, back-to-back.
+// With a controller and fb_rate > 0, each thread also reports an observation
+// of (1 + fb_skew) × the prediction after a deterministic fraction fb_rate
+// of its successful predictions — the scheduler's closed feedback loop.
 RunStats closed_loop(serve::PredictionService& service,
                      const std::vector<core::PredictRequest>& reqs,
-                     std::size_t threads, std::size_t rounds) {
+                     std::size_t threads, std::size_t rounds,
+                     feedback::FeedbackController* fb = nullptr,
+                     double fb_rate = 0.0, double fb_skew = 0.0) {
   std::atomic<std::uint64_t> ok{0};
   Stopwatch wall;
   std::vector<std::thread> clients;
   for (std::size_t t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
+      double fb_acc = 0.0;
       for (std::size_t r = 0; r < rounds; ++r) {
         for (std::size_t i = 0; i < reqs.size(); ++i) {
           const auto& req = reqs[(t + i) % reqs.size()];
-          if (service.predict(req).ok()) ok.fetch_add(1);
+          const serve::ServeResult res = service.predict(req);
+          if (!res.ok()) continue;
+          ok.fetch_add(1);
+          if (fb != nullptr && (fb_acc += fb_rate) >= 1.0) {
+            fb_acc -= 1.0;
+            fb->observe(req,
+                        res.response.predicted_time_s * (1.0 + fb_skew));
+          }
         }
       }
     });
@@ -110,6 +133,19 @@ RunStats closed_loop(serve::PredictionService& service,
   s.submitted = threads * rounds * reqs.size();
   s.metrics = service.metrics();
   return s;
+}
+
+void print_feedback_counters(const serve::MetricsSnapshot& m) {
+  std::printf(
+      "feedback: observed=%llu rejected=%llu drift_events=%llu "
+      "refits=%llu/%llu (failed=%llu) engine_swaps=%llu\n",
+      static_cast<unsigned long long>(m.observations_ingested),
+      static_cast<unsigned long long>(m.observations_rejected),
+      static_cast<unsigned long long>(m.drift_events),
+      static_cast<unsigned long long>(m.refits_completed),
+      static_cast<unsigned long long>(m.refits_started),
+      static_cast<unsigned long long>(m.refits_failed),
+      static_cast<unsigned long long>(m.engine_swaps));
 }
 
 // Mean client-side wall time one request occupies one thread for — the
@@ -145,17 +181,26 @@ void add_wire_row(Table& table, const std::string& transport,
 // counters (and, against an external server, its whole service lifetime).
 RunStats closed_loop_remote(const std::string& host, std::uint16_t port,
                             const std::vector<core::PredictRequest>& reqs,
-                            std::size_t threads, std::size_t rounds) {
+                            std::size_t threads, std::size_t rounds,
+                            double fb_rate = 0.0, double fb_skew = 0.0) {
   std::atomic<std::uint64_t> ok{0};
   Stopwatch wall;
   std::vector<std::thread> clients;
   for (std::size_t t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
       rpc::Client client(host, port);
+      double fb_acc = 0.0;
       for (std::size_t r = 0; r < rounds; ++r) {
         for (std::size_t i = 0; i < reqs.size(); ++i) {
           const auto& req = reqs[(t + i) % reqs.size()];
-          if (client.predict(req).ok()) ok.fetch_add(1);
+          const serve::ServeResult res = client.predict(req);
+          if (!res.ok()) continue;
+          ok.fetch_add(1);
+          if (fb_rate > 0.0 && (fb_acc += fb_rate) >= 1.0) {
+            fb_acc -= 1.0;
+            client.observe(req,
+                           res.response.predicted_time_s * (1.0 + fb_skew));
+          }
         }
       }
     });
@@ -214,7 +259,7 @@ RunStats open_loop(serve::PredictionService& service,
   return s;
 }
 
-int run() {
+int run(double feedback_rate, double feedback_skew) {
   ThreadPool pool;
   sim::DdlSimulator simulator;
   const core::PredictDdlOptions opts = standard_options();
@@ -313,6 +358,22 @@ int run() {
   emit(wire_table, "serve_loadgen — wire-protocol overhead (loopback rpc)",
        "serve_loadgen_remote.csv");
   write_metrics_json(wire.metrics, "serve_loadgen_metrics.json");
+
+  // --- Feedback interleave: observations + background refits under load. ---
+  if (feedback_rate > 0.0) {
+    serve::PredictionService service(pddl, base);
+    service.warm_up(workload::table2_cifar_workloads());
+    feedback::FeedbackController fb(service, pddl);
+    const RunStats s = closed_loop(service, reqs, kThreads, kRounds, &fb,
+                                   feedback_rate, feedback_skew);
+    fb.wait_idle();  // let queued refits finish so the counters are final
+    std::printf(
+        "\nfeedback interleave: rate=%.2f skew=%+.0f%% — %.0f rps with "
+        "observations riding along\n",
+        feedback_rate, 100.0 * feedback_skew, s.throughput_rps());
+    print_feedback_counters(service.metrics());
+    write_metrics_json(service.metrics(), "serve_loadgen_feedback.json");
+  }
   const double local_us = us_per_request(local, kThreads);
   const double wire_us = us_per_request(wire, kThreads);
   std::printf(
@@ -338,16 +399,19 @@ int run() {
 // `--remote HOST:PORT`: no training, no local service — drive a running
 // predict_server over the wire and report what an external scheduler sees.
 int run_remote(const std::string& host, std::uint16_t port,
-               std::size_t threads, std::size_t rounds) {
+               std::size_t threads, std::size_t rounds, double feedback_rate,
+               double feedback_skew) {
   const auto reqs = request_mix();
   std::printf("driving %s:%u — %zu threads x %zu rounds x %zu requests\n\n",
               host.c_str(), port, threads, rounds, reqs.size());
-  const RunStats s = closed_loop_remote(host, port, reqs, threads, rounds);
+  const RunStats s = closed_loop_remote(host, port, reqs, threads, rounds,
+                                        feedback_rate, feedback_skew);
   Table table = wire_comparison_table();
   add_wire_row(table, "remote", threads, s);
   emit(table, "serve_loadgen --remote — rpc front-end under load",
        "serve_loadgen_remote.csv");
   write_metrics_json(s.metrics, "serve_loadgen_metrics.json");
+  if (feedback_rate > 0.0) print_feedback_counters(s.metrics);
   std::printf("%s", s.metrics.to_string().c_str());
   return s.ok == s.submitted ? 0 : 1;
 }
@@ -359,6 +423,8 @@ int main(int argc, char** argv) {
   std::string endpoint;
   std::size_t threads = 8;
   std::size_t rounds = 12;
+  double feedback_rate = 0.0;  // fraction of ok predictions also observed
+  double feedback_skew = 0.5;  // measured = (1 + skew) × predicted
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--remote" && i + 1 < argc) {
@@ -367,9 +433,14 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--rounds" && i + 1 < argc) {
       rounds = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--feedback-rate" && i + 1 < argc) {
+      feedback_rate = std::atof(argv[++i]);
+    } else if (arg == "--feedback-skew" && i + 1 < argc) {
+      feedback_skew = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--remote HOST:PORT] [--threads N] [--rounds N]\n",
+                   "usage: %s [--remote HOST:PORT] [--threads N] [--rounds N] "
+                   "[--feedback-rate R] [--feedback-skew S]\n",
                    argv[0]);
       return 2;
     }
@@ -384,7 +455,7 @@ int main(int argc, char** argv) {
     return pddl::bench::run_remote(
         endpoint.substr(0, colon),
         static_cast<std::uint16_t>(std::atoi(endpoint.c_str() + colon + 1)),
-        threads, rounds);
+        threads, rounds, feedback_rate, feedback_skew);
   }
-  return pddl::bench::run();
+  return pddl::bench::run(feedback_rate, feedback_skew);
 }

@@ -9,6 +9,15 @@
 //       [--dataset cifar10|tiny_imagenet] [--sku p100|e5_2630|e5_2650]
 //       [--servers N] [--batch-size B] [--epochs E] [--deadline-ms D]
 //       [--count N]              repeat N times (cache-hit demo / smoke)
+//   --predict-value MODEL        print ONLY the predicted seconds, full
+//                                precision (for scripting / CI comparisons)
+//   --observe MODEL              report an observed training run for MODEL
+//       --measured-s S           ground-truth seconds, or
+//       --measured-factor F      F × the live prediction (lets a smoke test
+//                                inject a known skew without shell floats)
+//       [--count N]              send N observations
+//   --refit --dataset D          explicitly enqueue a refit for dataset D
+//   --refit-status               print refit counters + per-dataset errors
 //   --stats [--json]             fetch + print the server metrics snapshot
 //   --shutdown                   ask the server to drain and exit
 //
@@ -33,6 +42,8 @@ int main(int argc, char** argv) {
   int batch_size = 64;
   int epochs = 10;
   double deadline_ms = -1.0;
+  double measured_s = 0.0;
+  double measured_factor = 0.0;
   int count = 1;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
@@ -44,6 +55,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--predict" && i + 1 < argc) {
       op = "predict";
       model = argv[++i];
+    } else if (arg == "--predict-value" && i + 1 < argc) {
+      op = "predict-value";
+      model = argv[++i];
+    } else if (arg == "--observe" && i + 1 < argc) {
+      op = "observe";
+      model = argv[++i];
+    } else if (arg == "--measured-s" && i + 1 < argc) {
+      measured_s = std::atof(argv[++i]);
+    } else if (arg == "--measured-factor" && i + 1 < argc) {
+      measured_factor = std::atof(argv[++i]);
+    } else if (arg == "--refit") {
+      op = "refit";
+    } else if (arg == "--refit-status") {
+      op = "refit-status";
     } else if (arg == "--stats") {
       op = "stats";
     } else if (arg == "--shutdown") {
@@ -73,7 +98,9 @@ int main(int argc, char** argv) {
   if (endpoint.empty() || colon == std::string::npos) {
     std::fprintf(stderr,
                  "usage: %s --connect HOST:PORT "
-                 "[--ping | --predict MODEL | --stats | --shutdown] ...\n",
+                 "[--ping | --predict MODEL | --predict-value MODEL | "
+                 "--observe MODEL | --refit | --refit-status | --stats | "
+                 "--shutdown] ...\n",
                  argv[0]);
     return 2;
   }
@@ -82,13 +109,17 @@ int main(int argc, char** argv) {
 
   try {
     rpc::Client client(host, static_cast<std::uint16_t>(port));
-    if (op == "ping") {
-      std::printf("ping %s: %.3fms\n", endpoint.c_str(), client.ping());
-    } else if (op == "predict") {
+    const auto make_request = [&] {
       core::PredictRequest req;
       req.workload = {model, workload::dataset_by_name(dataset), batch_size,
                       epochs};
       req.cluster = cluster::make_uniform_cluster(sku, servers);
+      return req;
+    };
+    if (op == "ping") {
+      std::printf("ping %s: %.3fms\n", endpoint.c_str(), client.ping());
+    } else if (op == "predict") {
+      const core::PredictRequest req = make_request();
       int failed = 0;
       for (int i = 0; i < count; ++i) {
         const serve::ServeResult r = client.predict(req, deadline_ms);
@@ -113,6 +144,81 @@ int main(int argc, char** argv) {
         std::printf("%d/%d predictions ok\n", count - failed, count);
       }
       if (failed > 0) return 1;
+    } else if (op == "predict-value") {
+      const serve::ServeResult r = client.predict(make_request(), deadline_ms);
+      if (!r.ok()) {
+        std::fprintf(stderr, "predict failed: %s (%s)\n",
+                     serve::to_string(r.status), r.error.c_str());
+        return 1;
+      }
+      // Bare, full-precision: scripts diff this against a later prediction
+      // to confirm a refit actually moved the model.
+      std::printf("%.17g\n", r.response.predicted_time_s);
+    } else if (op == "observe") {
+      const core::PredictRequest req = make_request();
+      double measured = measured_s;
+      if (measured_factor > 0.0) {
+        const serve::ServeResult live = client.predict(req, deadline_ms);
+        if (!live.ok()) {
+          std::fprintf(stderr, "observe: live prediction failed: %s (%s)\n",
+                       serve::to_string(live.status), live.error.c_str());
+          return 1;
+        }
+        measured = live.response.predicted_time_s * measured_factor;
+      }
+      int accepted = 0;
+      bool drifted = false;
+      bool refit_triggered = false;
+      std::string reason;
+      for (int i = 0; i < count; ++i) {
+        const feedback::ObserveOutcome o = client.observe(req, measured);
+        if (o.accepted) ++accepted;
+        if (!o.accepted && reason.empty()) reason = o.reason;
+        drifted = drifted || o.drifted;
+        refit_triggered = refit_triggered || o.refit_triggered;
+        if (i == 0) {
+          std::printf("%-28s observed %.1fs vs predicted %.1fs "
+                      "(rel_err %.2f)\n",
+                      req.workload.key().c_str(), measured, o.predicted_s,
+                      o.rel_error);
+        }
+      }
+      std::printf("observations: %d/%d accepted, drifted=%s, "
+                  "refit_triggered=%s\n",
+                  accepted, count, drifted ? "true" : "false",
+                  refit_triggered ? "true" : "false");
+      if (!reason.empty()) std::printf("rejected: %s\n", reason.c_str());
+      if (accepted == 0) return 1;
+    } else if (op == "refit") {
+      const bool started = client.request_refit(dataset);
+      std::printf("refit %s: %s\n", dataset.c_str(),
+                  started ? "enqueued" : "already queued or running");
+    } else if (op == "refit-status") {
+      const feedback::RefitStatus s = client.refit_status();
+      std::printf("refits: started=%llu completed=%llu failed=%llu "
+                  "in_progress=%s queued=%zu\n",
+                  static_cast<unsigned long long>(s.started),
+                  static_cast<unsigned long long>(s.completed),
+                  static_cast<unsigned long long>(s.failed),
+                  s.in_progress ? "true" : "false", s.queued);
+      if (!s.last_dataset.empty()) {
+        std::printf("last: dataset=%s campaign_rows=%llu "
+                    "observation_rows=%llu\n",
+                    s.last_dataset.c_str(),
+                    static_cast<unsigned long long>(s.last_campaign_rows),
+                    static_cast<unsigned long long>(s.last_observation_rows));
+      }
+      if (!s.last_error.empty()) {
+        std::printf("last_error: %s\n", s.last_error.c_str());
+      }
+      for (const feedback::DatasetFeedback& d : s.datasets) {
+        std::printf("dataset %-16s observations=%llu window=%zu "
+                    "p50_rel=%.3f p95_rel=%.3f p50_abs=%.2fs drifted=%s\n",
+                    d.dataset.c_str(),
+                    static_cast<unsigned long long>(d.observations),
+                    d.errors.count, d.errors.p50_rel, d.errors.p95_rel,
+                    d.errors.p50_abs_s, d.errors.drifted ? "true" : "false");
+      }
     } else if (op == "stats") {
       const serve::MetricsSnapshot m = client.stats();
       std::printf("%s", json ? (m.to_json() + "\n").c_str()

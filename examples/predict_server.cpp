@@ -12,10 +12,19 @@
 //      shutdown op), then drain gracefully and dump the metrics snapshot.
 //
 // Flags:
-//   --port N      listen port (default 7077; 0 picks an ephemeral port)
-//   --host H      bind address (default 127.0.0.1; 0.0.0.0 for all)
-//   --state DIR   load a save_state() snapshot instead of training
-//   --fast        tiny offline training, cifar10 only (CI smoke / demos)
+//   --port N          listen port (default 7077; 0 picks an ephemeral port)
+//   --host H          bind address (default 127.0.0.1; 0.0.0.0 for all)
+//   --state DIR       load a save_state() snapshot instead of training
+//                     (restores the feedback observation log too)
+//   --save-state DIR  on drain, save state.pddl (GHNs, campaigns, the
+//                     current — possibly refitted — regressors, and the
+//                     observation log) into DIR for a warm restart
+//   --fast            tiny offline training, cifar10 only (CI smoke / demos)
+//
+// The server always runs a feedback::FeedbackController, so the observe /
+// refit / refit_status ops work out of the box: schedulers report measured
+// training times, drift past the threshold refits the regressor on a
+// background thread, and the new model is hot-swapped in with zero downtime.
 //
 // Talk to it with examples/predict_client, e.g.:
 //   ./build/examples/predict_server --fast --port 7077 &
@@ -40,6 +49,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7077;
   std::string state_dir;
+  std::string save_state_dir;
   bool fast = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -49,11 +59,14 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--state" && i + 1 < argc) {
       state_dir = argv[++i];
+    } else if (arg == "--save-state" && i + 1 < argc) {
+      save_state_dir = argv[++i];
     } else if (arg == "--fast") {
       fast = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port N] [--host H] [--state DIR] [--fast]\n",
+                   "usage: %s [--port N] [--host H] [--state DIR] "
+                   "[--save-state DIR] [--fast]\n",
                    argv[0]);
       return 2;
     }
@@ -107,10 +120,20 @@ int main(int argc, char** argv) {
   std::printf("warm-up: %zu embeddings precomputed in %.0fms\n", warmed,
               warm_sw.millis());
 
+  feedback::FeedbackController feedback(service, pddl);
+  if (!state_dir.empty()) {
+    const io::SnapshotReader snap(state_dir + "/state.pddl");
+    const std::size_t restored = feedback.load(snap);
+    if (restored > 0) {
+      std::printf("observation log: %zu records restored\n", restored);
+    }
+  }
+
   rpc::ServerConfig rpc_cfg;
   rpc_cfg.host = host;
   rpc_cfg.port = static_cast<std::uint16_t>(port);
   rpc::Server server(service, rpc_cfg);
+  server.attach_feedback(&feedback);
   server.start();
   std::printf("listening on %s\n", server.endpoint().c_str());
   std::fflush(stdout);
@@ -123,8 +146,16 @@ int main(int argc, char** argv) {
   std::printf("\n%s — draining...\n",
               g_interrupted ? "signal received" : "shutdown op received");
 
-  server.stop();    // graceful: in-flight requests finish, responses go out
-  service.stop();   // then drain the admission queue
+  server.stop();         // graceful: in-flight requests finish
+  feedback.wait_idle();  // let a queued refit land before snapshotting
+  service.stop();        // then drain the admission queue
+  if (!save_state_dir.empty()) {
+    Stopwatch sw;
+    pddl.save_state(save_state_dir,
+                    [&feedback](io::SnapshotWriter& s) { feedback.save(s); });
+    std::printf("state saved to %s in %.1fms\n", save_state_dir.c_str(),
+                sw.millis());
+  }
   std::printf("%s", server.metrics().to_string().c_str());
   return 0;
 }

@@ -65,13 +65,22 @@ PredictDdl::PredictDdl(const sim::DdlSimulator& sim, ThreadPool& pool,
       checker_(registry_) {}
 
 InferenceEngine& PredictDdl::engine_for(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
   auto it = engines_.find(dataset);
   if (it == engines_.end()) {
     it = engines_
-             .emplace(dataset, InferenceEngine(opts_.make_regressor()))
+             .emplace(dataset, std::make_shared<InferenceEngine>(
+                                   opts_.make_regressor()))
              .first;
   }
-  return it->second;
+  return *it->second;
+}
+
+std::shared_ptr<InferenceEngine> PredictDdl::engine_ptr(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  const auto it = engines_.find(dataset);
+  return it == engines_.end() ? nullptr : it->second;
 }
 
 void PredictDdl::ensure_ghn(const workload::DatasetDescriptor& dataset) {
@@ -115,11 +124,34 @@ double PredictDdl::predict_from_features(const std::string& dataset,
   return engine_for(dataset).predict(features);
 }
 
-const InferenceEngine* PredictDdl::engine_if_ready(
+std::shared_ptr<const InferenceEngine> PredictDdl::engine_if_ready(
     const std::string& dataset) const {
-  const auto it = engines_.find(dataset);
-  if (it == engines_.end() || !it->second.fitted()) return nullptr;
-  return &it->second;
+  std::shared_ptr<InferenceEngine> engine = engine_ptr(dataset);
+  if (engine == nullptr || !engine->fitted()) return nullptr;
+  return engine;
+}
+
+std::shared_ptr<InferenceEngine> PredictDdl::fit_fresh_engine(
+    const regress::RegressionData& data) const {
+  PDDL_CHECK(data.size() > 0, "fit_fresh_engine: no training rows");
+  auto engine = std::make_shared<InferenceEngine>(opts_.make_regressor());
+  engine->fit(data);
+  return engine;
+}
+
+void PredictDdl::install_engine(const std::string& dataset,
+                                std::shared_ptr<InferenceEngine> engine) {
+  PDDL_CHECK(engine != nullptr && engine->fitted(),
+             "install_engine: engine for '", dataset, "' must be fitted");
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  engines_[dataset] = std::move(engine);
+}
+
+std::vector<sim::Measurement> PredictDdl::training_measurements(
+    const std::string& dataset) const {
+  const auto it = training_data_.find(dataset);
+  return it == training_data_.end() ? std::vector<sim::Measurement>{}
+                                    : it->second;
 }
 
 double PredictDdl::train_offline(const workload::DatasetDescriptor& dataset) {
@@ -138,12 +170,12 @@ double PredictDdl::train_offline(const workload::DatasetDescriptor& dataset) {
 }
 
 bool PredictDdl::ready_for(const std::string& dataset) const {
-  const auto it = engines_.find(dataset);
-  return registry_.has_model(dataset) && it != engines_.end() &&
-         it->second.fitted();
+  return registry_.has_model(dataset) && engine_if_ready(dataset) != nullptr;
 }
 
-void PredictDdl::save_state(const std::string& dir) const {
+void PredictDdl::save_state(
+    const std::string& dir,
+    const std::function<void(io::SnapshotWriter&)>& extra) const {
   std::filesystem::create_directories(dir);
   io::SnapshotWriter snap;
   for (const std::string& dataset : registry_.datasets()) {
@@ -157,10 +189,22 @@ void PredictDdl::save_state(const std::string& dir) const {
     sim::save_measurements_csv_file(dir + "/campaign_" + dataset + ".csv",
                                     measurements);
   }
-  for (const auto& [dataset, engine] : engines_) {
-    if (!engine.fitted()) continue;
-    engine.save(snap.add("regressor/" + dataset));
+  {
+    // Snapshot the map under the lock, then serialize outside it; a refit
+    // publishing mid-save sees either the old or new engine, never a torn
+    // mix.  Whichever engine is current when the section is written is the
+    // one a warm restart restores — including a freshly hot-swapped one.
+    std::map<std::string, std::shared_ptr<InferenceEngine>> engines;
+    {
+      std::lock_guard<std::mutex> lock(engines_mutex_);
+      engines = engines_;
+    }
+    for (const auto& [dataset, engine] : engines) {
+      if (!engine->fitted()) continue;
+      engine->save(snap.add("regressor/" + dataset));
+    }
   }
+  if (extra) extra(snap);
   snap.save_file(dir + "/state.pddl");
 }
 
@@ -168,28 +212,24 @@ void PredictDdl::load_state(const std::string& dir) {
   const std::string path = dir + "/state.pddl";
   PDDL_CHECK(std::filesystem::exists(path), "no state snapshot at ", path);
   io::SnapshotReader snap(path);
-  std::size_t ghns = 0;
-  for (const std::string& name : snap.names()) {
-    if (name.rfind("ghn/", 0) != 0) continue;
+  const auto ghn_names = snap.names_with_prefix("ghn/");
+  PDDL_CHECK(!ghn_names.empty(), "snapshot has no GHN sections: ", path);
+  for (const std::string& name : ghn_names) {
     io::BinaryReader r = snap.reader(name);
     registry_.put(name.substr(4), ghn::load_ghn(r));
-    ++ghns;
   }
-  PDDL_CHECK(ghns > 0, "snapshot has no GHN sections: ", path);
   // Fitted regressors restore directly — no refit — so a warm restart is
   // milliseconds and predicts bit-identically to the saved instance.
-  for (const std::string& name : snap.names()) {
-    if (name.rfind("regressor/", 0) != 0) continue;
+  for (const std::string& name : snap.names_with_prefix("regressor/")) {
     io::BinaryReader r = snap.reader(name);
     engine_for(name.substr(10)).load(r);
   }
-  for (const std::string& name : snap.names()) {
-    if (name.rfind("campaign/", 0) != 0) continue;
+  for (const std::string& name : snap.names_with_prefix("campaign/")) {
     const std::string dataset = name.substr(9);
     io::BinaryReader r = snap.reader(name);
     auto measurements = sim::load_measurements(r);
-    if (const auto it = engines_.find(dataset);
-        it != engines_.end() && it->second.fitted()) {
+    if (const auto engine = engine_ptr(dataset);
+        engine != nullptr && engine->fitted()) {
       training_data_[dataset] = std::move(measurements);
     } else {
       // Older snapshot without a regressor section: fall back to refitting.

@@ -16,12 +16,15 @@
 //                                         (snapshot consumed at step 6)
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "cluster/resource_collector.hpp"
 #include "common/stopwatch.hpp"
 #include "core/features.hpp"
+#include "io/snapshot.hpp"
 #include "regress/linear.hpp"
 #include "regress/log_target.hpp"
 
@@ -128,10 +131,27 @@ class PredictDdl {
   double predict_from_features(const std::string& dataset,
                                const Vector& features);
   // Read-only engine lookup for concurrent callers (the prediction service):
-  // returns nullptr unless the dataset's predictor is fitted.  Unlike
-  // submit(), never mutates `engines_`, so it is safe to call from many
-  // threads as long as no thread is concurrently training.
-  const InferenceEngine* engine_if_ready(const std::string& dataset) const;
+  // returns null unless the dataset's predictor is fitted.  The returned
+  // shared_ptr pins the engine for the caller's lifetime, so a concurrent
+  // install_engine() (feedback refit hot-swap) never destroys an engine a
+  // batch is still predicting with — in-flight work finishes on the old
+  // model, later lookups see the new one.
+  std::shared_ptr<const InferenceEngine> engine_if_ready(
+      const std::string& dataset) const;
+  // Builds a *fresh* engine from the configured make_regressor factory and
+  // fits it on `data`, without touching the installed engine — the feedback
+  // refit path trains off to the side, then publishes via install_engine().
+  std::shared_ptr<InferenceEngine> fit_fresh_engine(
+      const regress::RegressionData& data) const;
+  // Atomically publishes `engine` for `dataset` (the hot-swap primitive).
+  // The previous engine stays alive as long as any engine_if_ready() caller
+  // still holds it.  The engine must be fitted.
+  void install_engine(const std::string& dataset,
+                      std::shared_ptr<InferenceEngine> engine);
+  // Copy of the campaign measurements the dataset's predictor was last
+  // fitted on via fit_predictor / train_offline (empty if none recorded).
+  std::vector<sim::Measurement> training_measurements(
+      const std::string& dataset) const;
   // Train only the GHN for a dataset (no campaign / predictor).
   void ensure_ghn(const workload::DatasetDescriptor& dataset);
 
@@ -146,11 +166,18 @@ class PredictDdl {
   // happens, so a restored instance predicts bit-identically to the saved
   // one.  (Refit is the fallback only for a campaign section with no
   // matching regressor section, e.g. a snapshot from an older build.)
-  void save_state(const std::string& dir) const;
+  // `extra` (optional) is invoked with the snapshot writer before it is
+  // saved, so higher layers (the feedback observation log) can append their
+  // own sections into the same state.pddl.
+  void save_state(const std::string& dir,
+                  const std::function<void(io::SnapshotWriter&)>& extra =
+                      {}) const;
   void load_state(const std::string& dir);
 
  private:
   InferenceEngine& engine_for(const std::string& dataset);
+  std::shared_ptr<InferenceEngine> engine_ptr(
+      const std::string& dataset) const;
 
   const sim::DdlSimulator& sim_;
   ThreadPool& pool_;
@@ -158,7 +185,12 @@ class PredictDdl {
   ghn::GhnRegistry registry_;
   FeatureBuilder features_;
   TaskChecker checker_;
-  std::map<std::string, InferenceEngine> engines_;  // one per dataset
+  // One engine per dataset, held by shared_ptr so install_engine() can swap
+  // a refitted engine in while concurrent readers (engine_if_ready callers)
+  // keep the old one alive until their batch finishes.  The mutex guards
+  // only the map itself, never a predict call.
+  mutable std::mutex engines_mutex_;
+  std::map<std::string, std::shared_ptr<InferenceEngine>> engines_;
   // Measurements each predictor was last fitted on (persisted by
   // save_state; absent for fit_predictor_raw fits).
   std::map<std::string, std::vector<sim::Measurement>> training_data_;

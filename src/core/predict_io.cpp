@@ -1,0 +1,90 @@
+#include "core/predict_io.hpp"
+
+namespace pddl::core {
+
+void write_workload(io::BinaryWriter& w, const workload::DlWorkload& wl) {
+  w.str(wl.model);
+  w.str(wl.dataset.name);
+  w.i64(wl.dataset.size_bytes);
+  w.i64(wl.dataset.num_samples);
+  w.i32(wl.dataset.num_classes);
+  w.i32(wl.dataset.input.c);
+  w.i32(wl.dataset.input.h);
+  w.i32(wl.dataset.input.w);
+  w.i32(wl.batch_size_per_server);
+  w.i32(wl.epochs);
+}
+
+workload::DlWorkload read_workload(io::BinaryReader& r) {
+  workload::DlWorkload wl;
+  wl.model = r.str();
+  wl.dataset.name = r.str();
+  wl.dataset.size_bytes = r.i64();
+  wl.dataset.num_samples = r.i64();
+  wl.dataset.num_classes = r.i32();
+  wl.dataset.input.c = r.i32();
+  wl.dataset.input.h = r.i32();
+  wl.dataset.input.w = r.i32();
+  wl.batch_size_per_server = r.i32();
+  wl.epochs = r.i32();
+  return wl;
+}
+
+void write_cluster(io::BinaryWriter& w, const cluster::ClusterSpec& c) {
+  w.u32(static_cast<std::uint32_t>(c.servers.size()));
+  for (const cluster::ServerSpec& s : c.servers) {
+    w.str(s.name);
+    w.str(s.sku);
+    w.i32(s.cpu_cores);
+    w.f64(s.cpu_flops);
+    w.f64(s.ram_bytes);
+    w.f64(s.disk_bw_bps);
+    w.f64(s.net_bw_bps);
+    w.i32(s.gpus);
+    w.f64(s.gpu_flops);
+    w.f64(s.gpu_mem_bytes);
+    w.f64(s.cpu_availability);
+    w.f64(s.mem_availability);
+  }
+  w.f64(c.nfs_bw_bps);
+}
+
+cluster::ClusterSpec read_cluster(io::BinaryReader& r) {
+  cluster::ClusterSpec c;
+  const std::uint32_t n_servers = r.u32();
+  PDDL_CHECK(n_servers <= kMaxClusterServers, r.what(),
+             ": unreasonable cluster size ", n_servers);
+  c.servers.reserve(n_servers);
+  for (std::uint32_t i = 0; i < n_servers; ++i) {
+    cluster::ServerSpec s;
+    s.name = r.str();
+    s.sku = r.str();
+    s.cpu_cores = r.i32();
+    s.cpu_flops = r.f64();
+    s.ram_bytes = r.f64();
+    s.disk_bw_bps = r.f64();
+    s.net_bw_bps = r.f64();
+    s.gpus = r.i32();
+    s.gpu_flops = r.f64();
+    s.gpu_mem_bytes = r.f64();
+    s.cpu_availability = r.f64();
+    s.mem_availability = r.f64();
+    c.servers.push_back(std::move(s));
+  }
+  c.nfs_bw_bps = r.f64();
+  return c;
+}
+
+void write_predict_request(io::BinaryWriter& w, const PredictRequest& req) {
+  write_workload(w, req.workload);
+  write_cluster(w, req.cluster);
+}
+
+PredictRequest read_predict_request(io::BinaryReader& r) {
+  PredictRequest req;
+  req.workload = read_workload(r);
+  req.cluster = read_cluster(r);
+  return req;
+}
+
+}  // namespace pddl::core

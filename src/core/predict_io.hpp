@@ -1,0 +1,28 @@
+// Binary codecs for PredictRequest and its parts (workload + cluster).
+//
+// These encodings are shared by two consumers that must agree byte-for-byte:
+// the rpc wire format (src/rpc/wire.cpp frames them inside request bodies)
+// and the feedback observation log (src/feedback/ persists observed
+// workload/cluster pairs through the io snapshot layer).  Keeping them here,
+// below both layers, means an observation written from a live rpc request
+// round-trips through disk without a translation step.
+#pragma once
+
+#include "core/predict_ddl.hpp"
+#include "io/binary.hpp"
+
+namespace pddl::core {
+
+// Per-cluster server-count bound (the paper's clusters top out at 60).
+inline constexpr std::uint32_t kMaxClusterServers = 100000;
+
+void write_workload(io::BinaryWriter& w, const workload::DlWorkload& wl);
+workload::DlWorkload read_workload(io::BinaryReader& r);
+
+void write_cluster(io::BinaryWriter& w, const cluster::ClusterSpec& c);
+cluster::ClusterSpec read_cluster(io::BinaryReader& r);
+
+void write_predict_request(io::BinaryWriter& w, const PredictRequest& req);
+PredictRequest read_predict_request(io::BinaryReader& r);
+
+}  // namespace pddl::core

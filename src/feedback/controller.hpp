@@ -1,0 +1,142 @@
+// Feedback controller: closes the loop from observed training times back
+// into the serving regressor, without taking the service offline.
+//
+//   observe(req, measured_s)
+//     ├─ score against the LIVE serving path (PredictionService::predict,
+//     │  same engine resolution and embedding cache a client would hit)
+//     ├─ append to the bounded ObservationLog (persisted in state.pddl)
+//     ├─ feed |err| and |err|/measured into the dataset's DriftDetector
+//     └─ drift crossing → note_drift() and (if auto_refit) enqueue a refit
+//
+//   refit (background worker thread, one dataset at a time)
+//     ├─ training set = campaign measurements ⊕ accepted observations
+//     │  (regress::merge), featurized through the same FeatureBuilder
+//     ├─ PredictDdl::fit_fresh_engine — the installed engine is untouched
+//     │  while fitting, so serving never blocks
+//     ├─ PredictionService::swap_engine — atomic publish; in-flight batches
+//     │  finish on the engine they resolved at dequeue
+//     └─ detector reset (the old model's errors don't indict the new one)
+//
+// Thread-safety: observe()/request_refit()/status() may be called from any
+// number of threads (rpc handlers, loadgen threads); the refit worker is the
+// only thread that fits and swaps.  Every counter also lands in the
+// service's MetricsSnapshot via the note_* hooks, so stats consumers see
+// feedback activity without a second endpoint.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <thread>
+
+#include "feedback/drift.hpp"
+#include "feedback/observation_log.hpp"
+#include "serve/service.hpp"
+
+namespace pddl::feedback {
+
+struct FeedbackConfig {
+  std::size_t log_capacity = 4096;  // observation ring bound
+  DriftConfig drift;
+  bool auto_refit = true;  // drift crossing enqueues a refit automatically
+};
+
+// What happened to one observe() call.
+struct ObserveOutcome {
+  bool accepted = false;
+  double predicted_s = 0.0;  // live prediction the error was scored against
+  double abs_error_s = 0.0;
+  double rel_error = 0.0;   // |pred − measured| / measured
+  bool drifted = false;     // detector state after this sample
+  bool refit_triggered = false;
+  std::string reason;  // populated when rejected
+};
+
+// Per-dataset rolling state, reported by status().
+struct DatasetFeedback {
+  std::string dataset;
+  std::uint64_t observations = 0;  // accepted for this dataset (lifetime)
+  ErrorStats errors;               // current window
+};
+
+struct RefitStatus {
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  bool in_progress = false;      // worker currently fitting
+  std::size_t queued = 0;        // datasets waiting behind it
+  std::string last_dataset;      // most recently completed refit
+  std::uint64_t last_campaign_rows = 0;
+  std::uint64_t last_observation_rows = 0;
+  std::string last_error;        // most recent failure, if any
+  std::vector<DatasetFeedback> datasets;
+};
+
+class FeedbackController {
+ public:
+  FeedbackController(serve::PredictionService& service,
+                     core::PredictDdl& engine, FeedbackConfig cfg = {});
+  ~FeedbackController();  // drains the pending queue, then joins the worker
+
+  FeedbackController(const FeedbackController&) = delete;
+  FeedbackController& operator=(const FeedbackController&) = delete;
+
+  // Ingest one observed run.  Blocks for one live prediction (the scoring
+  // reference); rejects observations that cannot be scored (non-positive or
+  // non-finite measurement, unknown dataset, service rejection).
+  ObserveOutcome observe(const core::PredictRequest& req, double measured_s);
+
+  // Explicitly enqueue a refit for `dataset` regardless of drift state.
+  // Returns false when one is already queued or running for that dataset.
+  bool request_refit(const std::string& dataset);
+
+  RefitStatus status() const;
+
+  // Blocks until the refit queue is empty and the worker is idle.
+  void wait_idle();
+
+  const ObservationLog& log() const { return log_; }
+  const FeedbackConfig& config() const { return cfg_; }
+
+  // ---- persistence (sections inside the PredictDdl state snapshot) ----
+  // Appends the observation log as section "feedback/observations"; pass as
+  // the `extra` hook of PredictDdl::save_state so one state.pddl holds the
+  // whole warm-restart state (GHNs, campaigns, regressors, observations).
+  void save(io::SnapshotWriter& snap) const;
+  // Restores the observation log if the section is present; returns the
+  // number of records restored (0 when absent — e.g. a pre-feedback
+  // snapshot).  Error windows intentionally start empty: restored
+  // observations are training data, not evidence against the (also
+  // restored, possibly refitted) regressor.
+  std::size_t load(const io::SnapshotReader& snap);
+
+ private:
+  void worker_loop();
+  void do_refit(const std::string& dataset);
+  bool enqueue_refit_locked(const std::string& dataset);
+
+  serve::PredictionService& service_;
+  core::PredictDdl& engine_;
+  const FeedbackConfig cfg_;
+  ObservationLog log_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;       // worker wake-up
+  std::condition_variable idle_cv_;  // wait_idle wake-up
+  std::deque<std::string> refit_queue_;
+  std::map<std::string, bool> refit_pending_;  // queued or running
+  std::map<std::string, DriftDetector> detectors_;
+  std::map<std::string, std::uint64_t> accepted_per_dataset_;
+  bool stopping_ = false;
+  bool refit_in_progress_ = false;
+  std::uint64_t refits_started_ = 0;
+  std::uint64_t refits_completed_ = 0;
+  std::uint64_t refits_failed_ = 0;
+  std::string last_dataset_;
+  std::uint64_t last_campaign_rows_ = 0;
+  std::uint64_t last_observation_rows_ = 0;
+  std::string last_error_;
+
+  std::thread worker_;  // started last, joined in the destructor
+};
+
+}  // namespace pddl::feedback

@@ -1,0 +1,96 @@
+#include "feedback/observation_log.hpp"
+
+#include "io/snapshot.hpp"
+
+namespace pddl::feedback {
+
+ObservationLog::ObservationLog(std::size_t capacity) : capacity_(capacity) {
+  PDDL_CHECK(capacity_ > 0, "observation log capacity must be positive");
+}
+
+std::uint64_t ObservationLog::append(Observation obs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs.seq = next_seq_++;
+  const std::uint64_t seq = obs.seq;
+  log_.push_back(std::move(obs));
+  if (log_.size() > capacity_) log_.pop_front();
+  return seq;
+}
+
+std::size_t ObservationLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_.size();
+}
+
+std::uint64_t ObservationLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::vector<Observation> ObservationLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Observation>(log_.begin(), log_.end());
+}
+
+std::vector<Observation> ObservationLog::for_dataset(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Observation> out;
+  for (const Observation& obs : log_) {
+    if (obs.request.workload.dataset.name == dataset) out.push_back(obs);
+  }
+  return out;
+}
+
+void ObservationLog::save(io::BinaryWriter& w) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  w.magic(kObservationMagic);
+  w.u32(kObservationLogVersion);
+  w.u64(next_seq_);
+  w.u32(static_cast<std::uint32_t>(log_.size()));
+  for (const Observation& obs : log_) {
+    core::write_predict_request(w, obs.request);
+    w.f64(obs.measured_s);
+    w.f64(obs.predicted_s);
+    w.u64(obs.seq);
+  }
+}
+
+void ObservationLog::load(io::BinaryReader& r) {
+  r.expect_magic(kObservationMagic, "observation log");
+  const std::uint32_t version = r.u32();
+  PDDL_CHECK(version == kObservationLogVersion, r.what(),
+             ": unsupported observation log version ", version,
+             " (this build reads version ", kObservationLogVersion, ")");
+  const std::uint64_t next_seq = r.u64();
+  const std::uint32_t count = r.u32();
+  PDDL_CHECK(count <= (1u << 22), r.what(),
+             ": unreasonable observation count ", count);
+  std::deque<Observation> loaded;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Observation obs;
+    obs.request = core::read_predict_request(r);
+    obs.measured_s = r.f64();
+    obs.predicted_s = r.f64();
+    obs.seq = r.u64();
+    loaded.push_back(std::move(obs));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  log_ = std::move(loaded);
+  while (log_.size() > capacity_) log_.pop_front();
+  next_seq_ = next_seq;
+}
+
+void ObservationLog::save_file(const std::string& path) const {
+  io::SnapshotWriter snap;
+  save(snap.add("observations"));
+  snap.save_file(path);
+}
+
+void ObservationLog::load_file(const std::string& path) {
+  io::SnapshotReader snap(path);
+  io::BinaryReader r = snap.reader("observations");
+  load(r);
+}
+
+}  // namespace pddl::feedback

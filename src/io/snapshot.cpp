@@ -76,6 +76,15 @@ void SnapshotReader::parse(std::istream& is) {
   PDDL_CHECK(r.at_end(), what_, ": trailing bytes after CRC trailer");
 }
 
+std::vector<std::string> SnapshotReader::names_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const std::string& n : names_) {
+    if (n.rfind(prefix, 0) == 0) out.push_back(n);
+  }
+  return out;
+}
+
 bool SnapshotReader::has(const std::string& name) const {
   for (const std::string& n : names_) {
     if (n == name) return true;

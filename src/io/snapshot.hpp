@@ -60,6 +60,10 @@ class SnapshotReader {
 
   // Section names in file order.
   const std::vector<std::string>& names() const { return names_; }
+  // Section names beginning with `prefix`, in file order — the idiom every
+  // multi-section consumer (GHN/campaign/regressor/cache/observation
+  // loaders) shares.
+  std::vector<std::string> names_with_prefix(const std::string& prefix) const;
   bool has(const std::string& name) const;
 
   // Reader over a section's payload bytes; throws if the section is absent.

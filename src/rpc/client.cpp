@@ -73,6 +73,28 @@ serve::MetricsSnapshot Client::stats() {
   return call(r).stats;
 }
 
+feedback::ObserveOutcome Client::observe(const core::PredictRequest& req,
+                                         double measured_s) {
+  Request r;
+  r.op = Op::kObserve;
+  r.measured_s = measured_s;
+  r.reqs.push_back(req);
+  return call(r).observe;
+}
+
+bool Client::request_refit(const std::string& dataset) {
+  Request r;
+  r.op = Op::kRefit;
+  r.dataset = dataset;
+  return call(r).refit_started;
+}
+
+feedback::RefitStatus Client::refit_status() {
+  Request r;
+  r.op = Op::kRefitStatus;
+  return call(r).refit;
+}
+
 double Client::ping() {
   Request r;
   r.op = Op::kPing;

@@ -46,6 +46,21 @@ class Client {
   // Serialized MetricsSnapshot, including the server's rpc-layer counters.
   serve::MetricsSnapshot stats();
 
+  // Reports an observed training run; the outcome carries the live
+  // prediction it was scored against plus drift/refit flags.  A rejected
+  // observation (e.g. unscoreable measurement) comes back with
+  // accepted=false and a reason, not an exception; throws only when the
+  // server has no feedback controller attached.
+  feedback::ObserveOutcome observe(const core::PredictRequest& req,
+                                   double measured_s);
+
+  // Explicitly enqueue a server-side refit for `dataset`.  Returns whether
+  // a refit was newly enqueued (false = one is already queued or running).
+  bool request_refit(const std::string& dataset);
+
+  // Feedback-loop status: refit counters and per-dataset error windows.
+  feedback::RefitStatus refit_status();
+
   // Round-trip time of an empty frame, in milliseconds.
   double ping();
 

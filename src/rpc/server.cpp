@@ -110,8 +110,12 @@ void Server::accept_loop() {
 bool Server::send_response(const Socket& sock, const Response& resp) {
   try {
     const std::string frame = encode_frame(encode_response(resp));
-    send_all(sock, frame.data(), frame.size());
+    // Count before writing: a client that holds the response must already
+    // see it in frames_sent, so received==sent is observable the moment
+    // the last round-trip completes.  A failed send overcounts by one,
+    // but that connection is closed immediately anyway.
     frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    send_all(sock, frame.data(), frame.size());
     return true;
   } catch (const std::exception&) {
     return false;  // peer is gone; the connection is closed by the caller
@@ -149,6 +153,35 @@ Response Server::execute(const Request& req) {
     }
     case Op::kStats:
       resp.stats = metrics();
+      break;
+    case Op::kObserve:
+      if (feedback_ == nullptr) {
+        resp.status = RpcStatus::kBadRequest;
+        resp.message = "feedback ingestion is not enabled on this server";
+        break;
+      }
+      resp.observe = feedback_->observe(req.reqs.front(), req.measured_s);
+      break;
+    case Op::kRefit:
+      if (feedback_ == nullptr) {
+        resp.status = RpcStatus::kBadRequest;
+        resp.message = "feedback ingestion is not enabled on this server";
+        break;
+      }
+      if (req.dataset.empty()) {
+        resp.status = RpcStatus::kBadRequest;
+        resp.message = "refit needs a dataset name";
+        break;
+      }
+      resp.refit_started = feedback_->request_refit(req.dataset);
+      break;
+    case Op::kRefitStatus:
+      if (feedback_ == nullptr) {
+        resp.status = RpcStatus::kBadRequest;
+        resp.message = "feedback ingestion is not enabled on this server";
+        break;
+      }
+      resp.refit = feedback_->status();
       break;
     case Op::kShutdown:
       shutdown_requested_.store(true, std::memory_order_release);

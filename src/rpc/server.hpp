@@ -53,6 +53,14 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
+  // Enables the feedback ops (observe / refit / refit_status) by routing
+  // them to `feedback`, which must outlive the server.  Call before
+  // start(); without a controller the feedback ops answer kBadRequest.
+  void attach_feedback(feedback::FeedbackController* feedback) {
+    PDDL_CHECK(!running(), "attach_feedback must precede start()");
+    feedback_ = feedback;
+  }
+
   // Binds, listens, and starts accepting.  Throws pddl::Error if the
   // address is unavailable.
   void start();
@@ -95,6 +103,7 @@ class Server {
   void reap_finished_locked();
 
   serve::PredictionService& service_;
+  feedback::FeedbackController* feedback_ = nullptr;  // optional, not owned
   ServerConfig cfg_;
   std::uint16_t port_ = 0;
 

@@ -16,6 +16,12 @@ const char* to_string(Op op) {
       return "stats";
     case Op::kShutdown:
       return "shutdown";
+    case Op::kObserve:
+      return "observe";
+    case Op::kRefit:
+      return "refit";
+    case Op::kRefitStatus:
+      return "refit_status";
   }
   return "unknown";
 }
@@ -88,71 +94,15 @@ std::string decode_frame(const std::string& frame, std::size_t max_frame) {
 
 // ---- field-level payload codecs ----
 
+// The PredictRequest encoding is owned by core (core/predict_io.hpp) so the
+// feedback observation log shares it byte-for-byte; these wrappers keep the
+// rpc-level names that the wire tests and codecs use.
 void write_predict_request(io::BinaryWriter& w, const core::PredictRequest& r) {
-  w.str(r.workload.model);
-  w.str(r.workload.dataset.name);
-  w.i64(r.workload.dataset.size_bytes);
-  w.i64(r.workload.dataset.num_samples);
-  w.i32(r.workload.dataset.num_classes);
-  w.i32(r.workload.dataset.input.c);
-  w.i32(r.workload.dataset.input.h);
-  w.i32(r.workload.dataset.input.w);
-  w.i32(r.workload.batch_size_per_server);
-  w.i32(r.workload.epochs);
-
-  w.u32(static_cast<std::uint32_t>(r.cluster.servers.size()));
-  for (const cluster::ServerSpec& s : r.cluster.servers) {
-    w.str(s.name);
-    w.str(s.sku);
-    w.i32(s.cpu_cores);
-    w.f64(s.cpu_flops);
-    w.f64(s.ram_bytes);
-    w.f64(s.disk_bw_bps);
-    w.f64(s.net_bw_bps);
-    w.i32(s.gpus);
-    w.f64(s.gpu_flops);
-    w.f64(s.gpu_mem_bytes);
-    w.f64(s.cpu_availability);
-    w.f64(s.mem_availability);
-  }
-  w.f64(r.cluster.nfs_bw_bps);
+  core::write_predict_request(w, r);
 }
 
 core::PredictRequest read_predict_request(io::BinaryReader& r) {
-  core::PredictRequest req;
-  req.workload.model = r.str();
-  req.workload.dataset.name = r.str();
-  req.workload.dataset.size_bytes = r.i64();
-  req.workload.dataset.num_samples = r.i64();
-  req.workload.dataset.num_classes = r.i32();
-  req.workload.dataset.input.c = r.i32();
-  req.workload.dataset.input.h = r.i32();
-  req.workload.dataset.input.w = r.i32();
-  req.workload.batch_size_per_server = r.i32();
-  req.workload.epochs = r.i32();
-
-  const std::uint32_t n_servers = r.u32();
-  PDDL_CHECK(n_servers <= kMaxClusterServers, r.what(),
-             ": unreasonable cluster size ", n_servers);
-  req.cluster.servers.reserve(n_servers);
-  for (std::uint32_t i = 0; i < n_servers; ++i) {
-    cluster::ServerSpec s;
-    s.name = r.str();
-    s.sku = r.str();
-    s.cpu_cores = r.i32();
-    s.cpu_flops = r.f64();
-    s.ram_bytes = r.f64();
-    s.disk_bw_bps = r.f64();
-    s.net_bw_bps = r.f64();
-    s.gpus = r.i32();
-    s.gpu_flops = r.f64();
-    s.gpu_mem_bytes = r.f64();
-    s.cpu_availability = r.f64();
-    s.mem_availability = r.f64();
-    req.cluster.servers.push_back(std::move(s));
-  }
-  req.cluster.nfs_bw_bps = r.f64();
-  return req;
+  return core::read_predict_request(r);
 }
 
 void write_serve_result(io::BinaryWriter& w, const serve::ServeResult& r) {
@@ -225,6 +175,15 @@ void write_metrics(io::BinaryWriter& w, const serve::MetricsSnapshot& m) {
   w.u64(m.rpc_frames_sent);
   w.u64(m.rpc_frame_errors);
   w.u64(m.rpc_read_timeouts);
+  w.u64(m.observations_ingested);
+  w.u64(m.observations_rejected);
+  w.u64(m.drift_events);
+  w.u64(m.refits_started);
+  w.u64(m.refits_completed);
+  w.u64(m.refits_failed);
+  w.u64(m.engine_swaps);
+  w.u64(m.batches_dispatched);
+  for (std::uint64_t c : m.batch_size_counts) w.u64(c);
   write_histogram(w, m.e2e);
   write_histogram(w, m.queue);
   write_histogram(w, m.service);
@@ -249,10 +208,110 @@ serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
   m.rpc_frames_sent = r.u64();
   m.rpc_frame_errors = r.u64();
   m.rpc_read_timeouts = r.u64();
+  m.observations_ingested = r.u64();
+  m.observations_rejected = r.u64();
+  m.drift_events = r.u64();
+  m.refits_started = r.u64();
+  m.refits_completed = r.u64();
+  m.refits_failed = r.u64();
+  m.engine_swaps = r.u64();
+  m.batches_dispatched = r.u64();
+  for (std::uint64_t& c : m.batch_size_counts) c = r.u64();
   m.e2e = read_histogram(r);
   m.queue = read_histogram(r);
   m.service = read_histogram(r);
   return m;
+}
+
+void write_observe_outcome(io::BinaryWriter& w,
+                           const feedback::ObserveOutcome& o) {
+  w.boolean(o.accepted);
+  w.f64(o.predicted_s);
+  w.f64(o.abs_error_s);
+  w.f64(o.rel_error);
+  w.boolean(o.drifted);
+  w.boolean(o.refit_triggered);
+  w.str(o.reason);
+}
+
+feedback::ObserveOutcome read_observe_outcome(io::BinaryReader& r) {
+  feedback::ObserveOutcome o;
+  o.accepted = r.boolean();
+  o.predicted_s = r.f64();
+  o.abs_error_s = r.f64();
+  o.rel_error = r.f64();
+  o.drifted = r.boolean();
+  o.refit_triggered = r.boolean();
+  o.reason = r.str();
+  return o;
+}
+
+namespace {
+void write_error_stats(io::BinaryWriter& w, const feedback::ErrorStats& s) {
+  w.u64(s.count);
+  w.f64(s.mean_abs_s);
+  w.f64(s.mean_rel);
+  w.f64(s.p50_abs_s);
+  w.f64(s.p95_abs_s);
+  w.f64(s.p50_rel);
+  w.f64(s.p95_rel);
+  w.boolean(s.drifted);
+}
+
+feedback::ErrorStats read_error_stats(io::BinaryReader& r) {
+  feedback::ErrorStats s;
+  s.count = r.u64();
+  s.mean_abs_s = r.f64();
+  s.mean_rel = r.f64();
+  s.p50_abs_s = r.f64();
+  s.p95_abs_s = r.f64();
+  s.p50_rel = r.f64();
+  s.p95_rel = r.f64();
+  s.drifted = r.boolean();
+  return s;
+}
+}  // namespace
+
+void write_refit_status(io::BinaryWriter& w, const feedback::RefitStatus& s) {
+  w.u64(s.started);
+  w.u64(s.completed);
+  w.u64(s.failed);
+  w.boolean(s.in_progress);
+  w.u64(s.queued);
+  w.str(s.last_dataset);
+  w.u64(s.last_campaign_rows);
+  w.u64(s.last_observation_rows);
+  w.str(s.last_error);
+  w.u32(static_cast<std::uint32_t>(s.datasets.size()));
+  for (const feedback::DatasetFeedback& d : s.datasets) {
+    w.str(d.dataset);
+    w.u64(d.observations);
+    write_error_stats(w, d.errors);
+  }
+}
+
+feedback::RefitStatus read_refit_status(io::BinaryReader& r) {
+  feedback::RefitStatus s;
+  s.started = r.u64();
+  s.completed = r.u64();
+  s.failed = r.u64();
+  s.in_progress = r.boolean();
+  s.queued = r.u64();
+  s.last_dataset = r.str();
+  s.last_campaign_rows = r.u64();
+  s.last_observation_rows = r.u64();
+  s.last_error = r.str();
+  const std::uint32_t n = r.u32();
+  PDDL_CHECK(n <= 4096, r.what(), ": unreasonable dataset count ", n);
+  s.datasets.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    feedback::DatasetFeedback d;
+    d.dataset = r.str();
+    d.observations = r.u64();
+    d.errors = read_error_stats(r);
+    s.datasets.push_back(std::move(d));
+  }
+  return s;
 }
 
 // ---- request / response bodies ----
@@ -260,7 +319,7 @@ serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
 namespace {
 Op read_op(io::BinaryReader& r) {
   const std::uint8_t op = r.u8();
-  PDDL_CHECK(op <= static_cast<std::uint8_t>(Op::kShutdown), r.what(),
+  PDDL_CHECK(op <= static_cast<std::uint8_t>(Op::kRefitStatus), r.what(),
              ": unknown rpc op byte ", int{op});
   return static_cast<Op>(op);
 }
@@ -273,10 +332,9 @@ void expect_fully_consumed(io::BinaryReader& r) {
 }  // namespace
 
 std::string encode_request(const Request& req) {
-  if (req.op == Op::kPredict) {
-    PDDL_CHECK(req.reqs.size() == 1,
-               "rpc predict request must carry exactly one PredictRequest, "
-               "got ",
+  if (req.op == Op::kPredict || req.op == Op::kObserve) {
+    PDDL_CHECK(req.reqs.size() == 1, "rpc ", to_string(req.op),
+               " request must carry exactly one PredictRequest, got ",
                req.reqs.size());
   }
   PDDL_CHECK(req.reqs.size() <= kMaxBatchRequests,
@@ -288,18 +346,26 @@ std::string encode_request(const Request& req) {
   switch (req.op) {
     case Op::kPredict:
       w.f64(req.deadline_ms);
-      write_predict_request(w, req.reqs.front());
+      rpc::write_predict_request(w, req.reqs.front());
       break;
     case Op::kPredictBatch:
       w.f64(req.deadline_ms);
       w.u32(static_cast<std::uint32_t>(req.reqs.size()));
       for (const core::PredictRequest& r : req.reqs) {
-        write_predict_request(w, r);
+        rpc::write_predict_request(w, r);
       }
+      break;
+    case Op::kObserve:
+      w.f64(req.measured_s);
+      rpc::write_predict_request(w, req.reqs.front());
+      break;
+    case Op::kRefit:
+      w.str(req.dataset);
       break;
     case Op::kPing:
     case Op::kStats:
     case Op::kShutdown:
+    case Op::kRefitStatus:
       break;
   }
   return os.str();
@@ -326,9 +392,17 @@ Request decode_request(const std::string& body) {
       }
       break;
     }
+    case Op::kObserve:
+      req.measured_s = r.f64();
+      req.reqs.push_back(read_predict_request(r));
+      break;
+    case Op::kRefit:
+      req.dataset = r.str();
+      break;
     case Op::kPing:
     case Op::kStats:
     case Op::kShutdown:
+    case Op::kRefitStatus:
       break;
   }
   expect_fully_consumed(r);
@@ -351,6 +425,17 @@ std::string encode_response(const Response& resp) {
       break;
     case Op::kStats:
       if (resp.status == RpcStatus::kOk) write_metrics(w, resp.stats);
+      break;
+    case Op::kObserve:
+      if (resp.status == RpcStatus::kOk) {
+        write_observe_outcome(w, resp.observe);
+      }
+      break;
+    case Op::kRefit:
+      if (resp.status == RpcStatus::kOk) w.boolean(resp.refit_started);
+      break;
+    case Op::kRefitStatus:
+      if (resp.status == RpcStatus::kOk) write_refit_status(w, resp.refit);
       break;
     case Op::kPing:
     case Op::kShutdown:
@@ -383,6 +468,17 @@ Response decode_response(const std::string& body) {
     }
     case Op::kStats:
       if (resp.status == RpcStatus::kOk) resp.stats = read_metrics(r);
+      break;
+    case Op::kObserve:
+      if (resp.status == RpcStatus::kOk) {
+        resp.observe = read_observe_outcome(r);
+      }
+      break;
+    case Op::kRefit:
+      if (resp.status == RpcStatus::kOk) resp.refit_started = r.boolean();
+      break;
+    case Op::kRefitStatus:
+      if (resp.status == RpcStatus::kOk) resp.refit = read_refit_status(r);
       break;
     case Op::kPing:
     case Op::kShutdown:

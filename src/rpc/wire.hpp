@@ -23,12 +23,18 @@
 //     kPredictBatch  f64 deadline_ms | u32 n | n × PredictRequest
 //     kStats         (empty)
 //     kShutdown      (empty)
+//     kObserve       f64 measured_s | PredictRequest
+//     kRefit         str dataset
+//     kRefitStatus   (empty)
 //
 // and a response body is
 //
 //   u8 op (echo) | u8 rpc status | str message | op-specific payload
 //     kPredict / kPredictBatch   u32 n | n × ServeResult
 //     kStats (status ok)         MetricsSnapshot
+//     kObserve (status ok)       ObserveOutcome
+//     kRefit (status ok)         bool refit_started
+//     kRefitStatus (status ok)   RefitStatus
 //
 // Versioning policy: kProtocolVersion bumps on any incompatible body or
 // envelope change; both endpoints reject mismatched versions with a typed
@@ -40,13 +46,16 @@
 #include <string>
 #include <vector>
 
-#include "core/predict_ddl.hpp"
+#include "core/predict_io.hpp"
+#include "feedback/controller.hpp"
 #include "serve/service.hpp"
 
 namespace pddl::rpc {
 
 inline constexpr char kFrameMagic[4] = {'P', 'D', 'R', 'P'};
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// v2: feedback ops (observe / refit / refit_status) + feedback and
+// micro-batch counters in the MetricsSnapshot encoding.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 // Fixed-size frame prefix: magic (4) + version (4) + body length (4).
 inline constexpr std::size_t kFramePrefixBytes = 12;
 // Envelope overhead beyond the body: prefix + CRC trailer.
@@ -58,14 +67,17 @@ inline constexpr std::size_t kMaxFrameBytes = 8u << 20;
 // Per-frame request-count bound for kPredictBatch.
 inline constexpr std::uint32_t kMaxBatchRequests = 4096;
 // Per-cluster server-count bound (the paper's clusters top out at 60).
-inline constexpr std::uint32_t kMaxClusterServers = 100000;
+inline constexpr std::uint32_t kMaxClusterServers = core::kMaxClusterServers;
 
 enum class Op : std::uint8_t {
   kPing = 0,
   kPredict = 1,
   kPredictBatch = 2,
   kStats = 3,
-  kShutdown = 4,  // ask the server to begin a graceful drain
+  kShutdown = 4,     // ask the server to begin a graceful drain
+  kObserve = 5,      // report an observed (workload, cluster, seconds) run
+  kRefit = 6,        // explicitly enqueue a regressor refit for a dataset
+  kRefitStatus = 7,  // feedback-loop status (refit counts, error windows)
 };
 const char* to_string(Op op);
 
@@ -106,7 +118,9 @@ std::uint32_t decode_frame_prefix(const char* prefix,
 struct Request {
   Op op = Op::kPing;
   double deadline_ms = -1.0;  // kPredict/kPredictBatch; <0 = server default
-  std::vector<core::PredictRequest> reqs;  // exactly 1 for kPredict
+  std::vector<core::PredictRequest> reqs;  // exactly 1 for kPredict/kObserve
+  double measured_s = 0.0;                 // kObserve: ground-truth seconds
+  std::string dataset;                     // kRefit: dataset to refit
 };
 
 struct Response {
@@ -115,6 +129,9 @@ struct Response {
   std::string message;                      // human-readable error detail
   std::vector<serve::ServeResult> results;  // kPredict/kPredictBatch
   serve::MetricsSnapshot stats;             // kStats with status kOk
+  feedback::ObserveOutcome observe;         // kObserve with status kOk
+  bool refit_started = false;               // kRefit with status kOk
+  feedback::RefitStatus refit;              // kRefitStatus with status kOk
 };
 
 std::string encode_request(const Request& req);
@@ -133,5 +150,12 @@ serve::ServeResult read_serve_result(io::BinaryReader& r);
 
 void write_metrics(io::BinaryWriter& w, const serve::MetricsSnapshot& m);
 serve::MetricsSnapshot read_metrics(io::BinaryReader& r);
+
+void write_observe_outcome(io::BinaryWriter& w,
+                           const feedback::ObserveOutcome& o);
+feedback::ObserveOutcome read_observe_outcome(io::BinaryReader& r);
+
+void write_refit_status(io::BinaryWriter& w, const feedback::RefitStatus& s);
+feedback::RefitStatus read_refit_status(io::BinaryReader& r);
 
 }  // namespace pddl::rpc

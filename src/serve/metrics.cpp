@@ -82,6 +82,13 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   return s;
 }
 
+void ServiceMetrics::record_batch_size(std::size_t n) {
+  if (n == 0) return;
+  batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t idx = std::min(n, kMaxTrackedBatchSize + 1) - 1;
+  batch_size_counts[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsSnapshot ServiceMetrics::snapshot() const {
   MetricsSnapshot s;
   s.submitted = submitted.load(std::memory_order_relaxed);
@@ -92,10 +99,34 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.rejected_untrained = rejected_untrained.load(std::memory_order_relaxed);
   s.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
   s.errors = errors.load(std::memory_order_relaxed);
+  s.observations_ingested =
+      observations_ingested.load(std::memory_order_relaxed);
+  s.observations_rejected =
+      observations_rejected.load(std::memory_order_relaxed);
+  s.drift_events = drift_events.load(std::memory_order_relaxed);
+  s.refits_started = refits_started.load(std::memory_order_relaxed);
+  s.refits_completed = refits_completed.load(std::memory_order_relaxed);
+  s.refits_failed = refits_failed.load(std::memory_order_relaxed);
+  s.engine_swaps = engine_swaps.load(std::memory_order_relaxed);
+  s.batches_dispatched = batches_dispatched.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < s.batch_size_counts.size(); ++i) {
+    s.batch_size_counts[i] =
+        batch_size_counts[i].load(std::memory_order_relaxed);
+  }
   s.e2e = e2e_ms.snapshot();
   s.queue = queue_ms.snapshot();
   s.service = service_ms.snapshot();
   return s;
+}
+
+double MetricsSnapshot::mean_batch_size() const {
+  if (batches_dispatched == 0) return 0.0;
+  std::uint64_t weighted = 0;
+  for (std::size_t i = 0; i < batch_size_counts.size(); ++i) {
+    weighted += batch_size_counts[i] * (i + 1);
+  }
+  return static_cast<double>(weighted) /
+         static_cast<double>(batches_dispatched);
 }
 
 std::string MetricsSnapshot::to_string() const {
@@ -148,6 +179,29 @@ std::string MetricsSnapshot::to_string() const {
         static_cast<unsigned long long>(rpc_read_timeouts));
     out += buf;
   }
+  if (batches_dispatched != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  batch    : dispatched=%llu mean_size=%.2f\n",
+                  static_cast<unsigned long long>(batches_dispatched),
+                  mean_batch_size());
+    out += buf;
+  }
+  // Like rpc, the feedback line only appears once the loop saw traffic.
+  if (observations_ingested != 0 || observations_rejected != 0 ||
+      refits_started != 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  feedback : observed=%llu rejected=%llu drift_events=%llu "
+        "refits=%llu/%llu (failed=%llu) engine_swaps=%llu\n",
+        static_cast<unsigned long long>(observations_ingested),
+        static_cast<unsigned long long>(observations_rejected),
+        static_cast<unsigned long long>(drift_events),
+        static_cast<unsigned long long>(refits_completed),
+        static_cast<unsigned long long>(refits_started),
+        static_cast<unsigned long long>(refits_failed),
+        static_cast<unsigned long long>(engine_swaps));
+    out += buf;
+  }
   return out;
 }
 
@@ -194,6 +248,31 @@ std::string MetricsSnapshot::to_json() const {
   num("frame_errors", rpc_frame_errors);
   num("read_timeouts", rpc_read_timeouts, /*comma=*/false);
   out += "},";
+  out += "\"feedback\":{";
+  num("observations_ingested", observations_ingested);
+  num("observations_rejected", observations_rejected);
+  num("drift_events", drift_events);
+  num("refits_started", refits_started);
+  num("refits_completed", refits_completed);
+  num("refits_failed", refits_failed);
+  num("engine_swaps", engine_swaps, /*comma=*/false);
+  out += "},";
+  out += "\"batch\":{";
+  num("dispatched", batches_dispatched);
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"mean_size\":%.6f,", mean_batch_size());
+    out += buf;
+  }
+  out += "\"size_counts\":[";
+  for (std::size_t i = 0; i < batch_size_counts.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(batch_size_counts[i]),
+                  i + 1 < batch_size_counts.size() ? "," : "");
+    out += buf;
+  }
+  out += "]},";
   hist("e2e", e2e);
   hist("queue", queue);
   hist("service", service, /*comma=*/false);

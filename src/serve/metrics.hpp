@@ -48,6 +48,12 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> max_ns_{0};
 };
 
+// Per-dispatch micro-batch sizes are tracked exactly up to this size; larger
+// batches land in one overflow slot.  Covers every sane max_batch setting
+// (default 8) while keeping the counter array small enough to snapshot and
+// ship over the stats op.
+inline constexpr std::size_t kMaxTrackedBatchSize = 32;
+
 // One snapshot of every service counter plus derived rates; returned by
 // PredictionService::metrics() and rendered by to_string().
 struct MetricsSnapshot {
@@ -72,6 +78,21 @@ struct MetricsSnapshot {
   std::uint64_t rpc_frame_errors = 0;      // bad magic / CRC / length / version
   std::uint64_t rpc_read_timeouts = 0;     // stalled connections reaped
 
+  // ---- feedback loop (all zero until a FeedbackController is attached) ----
+  std::uint64_t observations_ingested = 0;  // accepted into the log
+  std::uint64_t observations_rejected = 0;  // invalid / unscoreable
+  std::uint64_t drift_events = 0;           // detector crossings
+  std::uint64_t refits_started = 0;
+  std::uint64_t refits_completed = 0;
+  std::uint64_t refits_failed = 0;
+  std::uint64_t engine_swaps = 0;           // hot-swapped engines installed
+
+  // ---- micro-batching (ROADMAP: surface the chosen batch sizes) ----
+  std::uint64_t batches_dispatched = 0;
+  // counts[s-1] = batches of exactly s requests (s ≤ kMaxTrackedBatchSize);
+  // the last slot counts larger batches.
+  std::array<std::uint64_t, kMaxTrackedBatchSize + 1> batch_size_counts{};
+
   LatencyHistogram::Snapshot e2e;      // admission → response
   LatencyHistogram::Snapshot queue;    // admission → dequeue
   LatencyHistogram::Snapshot service;  // embed + inference only
@@ -81,6 +102,10 @@ struct MetricsSnapshot {
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) /
                                   static_cast<double>(total);
   }
+
+  // Mean requests per dispatched micro-batch (overflow batches count as
+  // kMaxTrackedBatchSize + 1, a floor); 0 when nothing was dispatched.
+  double mean_batch_size() const;
 
   // Multi-line human-readable dump (the "metrics dump" of the example
   // server and the load generator's per-run report).
@@ -104,6 +129,22 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> rejected_untrained{0};
   std::atomic<std::uint64_t> deadline_expired{0};
   std::atomic<std::uint64_t> errors{0};
+
+  // Feedback loop (bumped via the service's note_* hooks).
+  std::atomic<std::uint64_t> observations_ingested{0};
+  std::atomic<std::uint64_t> observations_rejected{0};
+  std::atomic<std::uint64_t> drift_events{0};
+  std::atomic<std::uint64_t> refits_started{0};
+  std::atomic<std::uint64_t> refits_completed{0};
+  std::atomic<std::uint64_t> refits_failed{0};
+  std::atomic<std::uint64_t> engine_swaps{0};
+
+  std::atomic<std::uint64_t> batches_dispatched{0};
+  std::array<std::atomic<std::uint64_t>, kMaxTrackedBatchSize + 1>
+      batch_size_counts{};
+
+  // One relaxed increment per dispatched micro-batch.
+  void record_batch_size(std::size_t n);
 
   LatencyHistogram e2e_ms;
   LatencyHistogram queue_ms;

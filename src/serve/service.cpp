@@ -162,13 +162,16 @@ void PredictionService::finish(Pending& p, ServeResult result) {
 }
 
 void PredictionService::process_batch(std::vector<Pending> batch) {
+  metrics_.record_batch_size(batch.size());
   // Per-item embedding work for this micro-batch; indices refer to `batch`.
+  // The engine shared_ptr pins the model this batch resolved at dequeue: a
+  // concurrent swap_engine() cannot destroy it mid-predict.
   struct Work {
     std::size_t idx = 0;
     graph::CompGraph graph;
     std::uint64_t fp = 0;
     ghn::Ghn2* ghn = nullptr;
-    const core::InferenceEngine* engine = nullptr;
+    std::shared_ptr<const core::InferenceEngine> engine;
     Vector embedding;
     double embed_ms = 0.0;
     bool cache_hit = false;
@@ -195,7 +198,8 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     }
 
     const std::string& dataset = p.req.workload.dataset.name;
-    const core::InferenceEngine* engine = engine_.engine_if_ready(dataset);
+    std::shared_ptr<const core::InferenceEngine> engine =
+        engine_.engine_if_ready(dataset);
     ghn::Ghn2* ghn = engine_.registry().model(dataset);
     if (engine == nullptr || ghn == nullptr) {
       metrics_.rejected_untrained.fetch_add(1, std::memory_order_relaxed);
@@ -208,7 +212,7 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
 
     Work w;
     w.idx = i;
-    w.engine = engine;
+    w.engine = std::move(engine);
     w.ghn = ghn;
     try {
       w.graph = p.req.workload.build_graph();
@@ -396,8 +400,7 @@ std::size_t PredictionService::load_cache(const std::string& path) {
   if (!cfg_.cache_enabled) return 0;
   io::SnapshotReader snap(path);
   std::size_t restored = 0;
-  for (const std::string& name : snap.names()) {
-    if (name.rfind("cache/", 0) != 0) continue;
+  for (const std::string& name : snap.names_with_prefix("cache/")) {
     const std::string dataset = name.substr(6);
     io::BinaryReader r = snap.reader(name);
     const std::uint64_t checksum = r.u64();
@@ -419,6 +422,31 @@ std::size_t PredictionService::load_cache(const std::string& path) {
     }
   }
   return restored;
+}
+
+void PredictionService::swap_engine(
+    const std::string& dataset,
+    std::shared_ptr<core::InferenceEngine> engine) {
+  engine_.install_engine(dataset, std::move(engine));
+  metrics_.engine_swaps.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictionService::note_observation(bool accepted) {
+  (accepted ? metrics_.observations_ingested : metrics_.observations_rejected)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictionService::note_drift() {
+  metrics_.drift_events.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictionService::note_refit_started() {
+  metrics_.refits_started.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictionService::note_refit_finished(bool ok) {
+  (ok ? metrics_.refits_completed : metrics_.refits_failed)
+      .fetch_add(1, std::memory_order_relaxed);
 }
 
 MetricsSnapshot PredictionService::metrics() const {

@@ -27,7 +27,10 @@
 //
 // Thread-safety contract: any number of threads may call submit()/predict()
 // concurrently; training on the underlying PredictDdl must not run
-// concurrently with serving.
+// concurrently with serving.  The one sanctioned in-service mutation is a
+// feedback refit (src/feedback/): it fits a *fresh* engine off to the side
+// and publishes it through swap_engine(), which is atomic with respect to
+// serving — in-flight batches keep the engine they resolved at dequeue.
 #pragma once
 
 #include <chrono>
@@ -120,6 +123,22 @@ class PredictionService {
   // Stop admission and drain: dispatchers finish every queued request, then
   // exit.  Idempotent; the destructor calls it.
   void stop();
+
+  // ---- feedback-loop hooks (src/feedback/) ----
+  // Atomically installs a refitted engine for `dataset` (and counts the
+  // swap).  In-flight batches hold a shared_ptr to the engine they resolved
+  // at dequeue time, so they finish on the old model while every later
+  // dequeue sees the new one — the zero-downtime half of the refit
+  // protocol.  The embedding cache stays valid: the GHN (which keys it) is
+  // untouched by a regressor swap.
+  void swap_engine(const std::string& dataset,
+                   std::shared_ptr<core::InferenceEngine> engine);
+  // Counter hooks for the feedback controller, so drift/refit activity shows
+  // up in the same MetricsSnapshot (and stats op) as serving counters.
+  void note_observation(bool accepted);
+  void note_drift();
+  void note_refit_started();
+  void note_refit_finished(bool ok);
 
   // Counter snapshot, with cache occupancy folded in.
   MetricsSnapshot metrics() const;

@@ -1,0 +1,658 @@
+// Coverage for the src/feedback/ subsystem, in three layers.
+//
+// ObservationLog: bounded append semantics, bit-exact save/load through the
+// snapshot container, and the adversarial promise mirrored from io_test —
+// every-byte corruption and truncation at every offset surface as clean
+// pddl::Error, never as garbage records.
+//
+// DriftDetector: the sliding-window median rule fires only past the
+// configured threshold with the min-count gate, recovers when the window
+// refills with small errors, and reset() forgets the old model's errors.
+//
+// FeedbackController (over a real trained engine + PredictionService):
+// observe() scores against the live serving path, rejects unscorable
+// measurements, drift auto-triggers a background refit that hot-swaps the
+// regressor with zero failed predictions under 16 concurrent client
+// threads, and a warm restart restores both the observation log and the
+// refitted regressor bit-identically.  This binary also runs under
+// ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "feedback/controller.hpp"
+#include "io/snapshot.hpp"
+
+namespace pddl::feedback {
+namespace {
+
+core::PredictRequest make_request(const std::string& model, int servers = 4,
+                                  const std::string& sku = "p100") {
+  core::PredictRequest req;
+  req.workload = {model, workload::cifar10(), /*batch=*/64, /*epochs=*/10};
+  req.cluster = cluster::make_uniform_cluster(sku, servers);
+  return req;
+}
+
+Observation make_observation(const std::string& model, double measured_s,
+                             int servers = 4) {
+  Observation obs;
+  obs.request = make_request(model, servers);
+  obs.measured_s = measured_s;
+  obs.predicted_s = measured_s * 0.5;
+  return obs;
+}
+
+// ---- ObservationLog: append semantics ----
+
+TEST(ObservationLog, AppendAssignsMonotoneSeqAndBoundsCapacity) {
+  ObservationLog log(/*capacity=*/4);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(log.append(make_observation("alexnet", 100.0 + i)),
+              static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(log.size(), 4u);             // oldest three evicted
+  EXPECT_EQ(log.total_appended(), 7u);   // lifetime count survives eviction
+  const auto records = log.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, 3u + i);   // the four newest, in order
+    EXPECT_EQ(records[i].measured_s, 103.0 + static_cast<double>(i));
+  }
+}
+
+TEST(ObservationLog, RejectsZeroCapacity) {
+  EXPECT_THROW(ObservationLog(0), Error);
+}
+
+TEST(ObservationLog, ForDatasetFiltersByWorkloadDataset) {
+  ObservationLog log(8);
+  log.append(make_observation("alexnet", 10.0));
+  Observation other = make_observation("resnet18", 20.0);
+  other.request.workload.dataset = workload::tiny_imagenet();
+  log.append(std::move(other));
+  log.append(make_observation("vgg11", 30.0));
+
+  const auto cifar = log.for_dataset("cifar10");
+  ASSERT_EQ(cifar.size(), 2u);
+  EXPECT_EQ(cifar[0].request.workload.model, "alexnet");
+  EXPECT_EQ(cifar[1].request.workload.model, "vgg11");
+  EXPECT_EQ(log.for_dataset("tiny_imagenet").size(), 1u);
+  EXPECT_TRUE(log.for_dataset("no_such_dataset").empty());
+}
+
+// ---- ObservationLog: persistence ----
+
+// ObservationLog holds a mutex, so helpers fill a caller-owned instance.
+void populate_log(ObservationLog& log) {
+  log.append(make_observation("alexnet", 123.5, 2));
+  log.append(make_observation("resnet18", 2048.25, 8));
+  Observation tuned = make_observation("vgg11", 777.0, 3);
+  tuned.request.cluster.servers[1].cpu_availability = 0.375;
+  tuned.request.cluster.nfs_bw_bps = 9.87e8;
+  tuned.request.workload.dataset.size_bytes = 123456789;
+  log.append(std::move(tuned));
+}
+
+void expect_logs_identical(const ObservationLog& a, const ObservationLog& b) {
+  EXPECT_EQ(a.total_appended(), b.total_appended());
+  const auto ra = a.snapshot();
+  const auto rb = b.snapshot();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].seq, rb[i].seq);
+    EXPECT_EQ(ra[i].measured_s, rb[i].measured_s);
+    EXPECT_EQ(ra[i].predicted_s, rb[i].predicted_s);
+    EXPECT_EQ(ra[i].request.workload.model, rb[i].request.workload.model);
+    EXPECT_EQ(ra[i].request.workload.dataset.name,
+              rb[i].request.workload.dataset.name);
+    EXPECT_EQ(ra[i].request.workload.dataset.size_bytes,
+              rb[i].request.workload.dataset.size_bytes);
+    ASSERT_EQ(ra[i].request.cluster.servers.size(),
+              rb[i].request.cluster.servers.size());
+    for (std::size_t s = 0; s < ra[i].request.cluster.servers.size(); ++s) {
+      EXPECT_EQ(ra[i].request.cluster.servers[s].sku,
+                rb[i].request.cluster.servers[s].sku);
+      EXPECT_EQ(ra[i].request.cluster.servers[s].cpu_availability,
+                rb[i].request.cluster.servers[s].cpu_availability);
+    }
+    EXPECT_EQ(ra[i].request.cluster.nfs_bw_bps,
+              rb[i].request.cluster.nfs_bw_bps);
+  }
+}
+
+TEST(ObservationLog, SaveLoadRoundTripsBitExact) {
+  ObservationLog log(16);
+  populate_log(log);
+  const auto path = std::filesystem::temp_directory_path() / "pddl_obs.pddl";
+  std::filesystem::remove(path);
+  log.save_file(path.string());
+
+  ObservationLog restored(16);
+  restored.load_file(path.string());
+  expect_logs_identical(log, restored);
+
+  // Sequence numbering continues where the saved log left off.
+  EXPECT_EQ(restored.append(make_observation("alexnet", 1.0)), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(ObservationLog, LoadIntoSmallerCapacityTrimsOldestFirst) {
+  ObservationLog log(16);
+  populate_log(log);
+  std::ostringstream os;
+  {
+    io::SnapshotWriter snap;
+    log.save(snap.add("observations"));
+    snap.save(os);
+  }
+  std::istringstream is(os.str());
+  const io::SnapshotReader snap(is, "test");
+  ObservationLog small(2);
+  io::BinaryReader r = snap.reader("observations");
+  small.load(r);
+  EXPECT_EQ(small.size(), 2u);
+  EXPECT_EQ(small.total_appended(), 3u);
+  const auto records = small.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].request.workload.model, "resnet18");  // oldest dropped
+  EXPECT_EQ(records[1].request.workload.model, "vgg11");
+}
+
+std::string valid_log_bytes() {
+  ObservationLog log(16);
+  populate_log(log);
+  std::ostringstream os;
+  io::SnapshotWriter snap;
+  log.save(snap.add("observations"));
+  snap.save(os);
+  return os.str();
+}
+
+TEST(ObservationLog, AnyCorruptedByteRejected) {
+  const std::string bytes = valid_log_bytes();
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x01);
+    EXPECT_THROW(
+        {
+          std::istringstream is(mutated);
+          const io::SnapshotReader snap(is, "test");
+          ObservationLog log(16);
+          io::BinaryReader r = snap.reader("observations");
+          log.load(r);
+        },
+        Error)
+        << "byte " << pos;
+  }
+}
+
+TEST(ObservationLog, TruncationAtEveryOffsetRejected) {
+  const std::string bytes = valid_log_bytes();
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    EXPECT_THROW(
+        {
+          std::istringstream is(bytes.substr(0, keep));
+          const io::SnapshotReader snap(is, "test");
+          ObservationLog log(16);
+          io::BinaryReader r = snap.reader("observations");
+          log.load(r);
+        },
+        Error)
+        << "kept " << keep;
+  }
+}
+
+TEST(ObservationLog, WrongMagicAndVersionRejected) {
+  std::ostringstream os;
+  {
+    io::SnapshotWriter snap;
+    io::BinaryWriter& w = snap.add("observations");
+    w.magic(kObservationMagic);
+    w.u32(kObservationLogVersion + 1);  // future version
+    w.u64(0);
+    w.u32(0);
+    snap.save(os);
+  }
+  std::istringstream is(os.str());
+  const io::SnapshotReader snap(is, "test");
+  ObservationLog log(4);
+  try {
+    io::BinaryReader r = snap.reader("observations");
+    log.load(r);
+    FAIL() << "expected version check to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+// ---- DriftDetector ----
+
+TEST(DriftDetector, ValidatesConfig) {
+  EXPECT_THROW(DriftDetector({0, 1, 0.25}), Error);    // window = 0
+  EXPECT_THROW(DriftDetector({8, 0, 0.25}), Error);    // min_count = 0
+  EXPECT_THROW(DriftDetector({8, 9, 0.25}), Error);    // min_count > window
+  EXPECT_THROW(DriftDetector({8, 4, 0.0}), Error);     // threshold <= 0
+}
+
+TEST(DriftDetector, FiresOnlyPastMinCountAndThreshold) {
+  DriftDetector det({/*window=*/8, /*min_count=*/4, /*rel_p50=*/0.25});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(det.record(1.0, 0.5));  // below min_count, never fires
+  }
+  EXPECT_TRUE(det.record(1.0, 0.5));     // 4th sample: median 0.5 > 0.25
+  EXPECT_TRUE(det.drifted());
+  const ErrorStats s = det.stats();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_TRUE(s.drifted);
+  EXPECT_DOUBLE_EQ(s.mean_rel, 0.5);
+  EXPECT_DOUBLE_EQ(s.p50_rel, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_abs_s, 1.0);
+}
+
+TEST(DriftDetector, MedianRuleIsRobustToOutliers) {
+  DriftDetector det({8, 4, 0.25});
+  // Three accurate samples and one wild outlier: the median stays low, so a
+  // single bad measurement cannot flag drift.
+  det.record(0.1, 0.01);
+  det.record(0.1, 0.02);
+  det.record(0.1, 0.01);
+  EXPECT_FALSE(det.record(500.0, 25.0));
+  EXPECT_FALSE(det.drifted());
+}
+
+TEST(DriftDetector, WindowEvictionRecoversAfterGoodSamples) {
+  DriftDetector det({/*window=*/4, /*min_count=*/2, /*rel_p50=*/0.25});
+  det.record(2.0, 0.6);
+  EXPECT_TRUE(det.record(2.0, 0.6));
+  // Four small errors push both bad samples out of the window.
+  for (int i = 0; i < 4; ++i) det.record(0.05, 0.01);
+  EXPECT_FALSE(det.drifted());
+  EXPECT_EQ(det.stats().count, 4u);
+}
+
+TEST(DriftDetector, ThresholdIsStrictlyExceeded) {
+  DriftDetector det({4, 1, 0.25});
+  EXPECT_FALSE(det.record(1.0, 0.25));  // exactly at threshold: no drift
+  EXPECT_TRUE(det.record(1.0, 0.30));   // median 0.275 crosses it
+}
+
+TEST(DriftDetector, ClampsNonFiniteAndNegativeSamples) {
+  DriftDetector det({4, 1, 0.25});
+  EXPECT_FALSE(det.record(std::nan(""), std::nan("")));
+  EXPECT_FALSE(det.record(-3.0, -1.0));
+  const ErrorStats s = det.stats();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.p50_rel, 0.0);
+}
+
+TEST(DriftDetector, ResetForgetsTheWindow) {
+  DriftDetector det({8, 2, 0.25});
+  det.record(1.0, 0.9);
+  det.record(1.0, 0.9);
+  ASSERT_TRUE(det.drifted());
+  det.reset();
+  EXPECT_FALSE(det.drifted());
+  EXPECT_EQ(det.stats().count, 0u);
+  // Re-arms: the same bad errors trigger again after reset.
+  det.record(1.0, 0.9);
+  EXPECT_TRUE(det.record(1.0, 0.9));
+}
+
+TEST(DriftDetector, StatsQuantilesFromKnownSamples) {
+  DriftDetector det({16, 1, 10.0});  // threshold high: stats only
+  for (int i = 1; i <= 4; ++i) {
+    det.record(static_cast<double>(i), 0.1 * i);
+  }
+  const ErrorStats s = det.stats();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_abs_s, 2.5);
+  EXPECT_DOUBLE_EQ(s.p50_abs_s, 2.5);   // interpolated between 2 and 3
+  EXPECT_NEAR(s.p95_abs_s, 3.85, 1e-9);
+  EXPECT_NEAR(s.mean_rel, 0.25, 1e-12);
+  EXPECT_FALSE(s.drifted);
+}
+
+// ---- FeedbackController over a live service ----
+
+// Small, fast options (mirrors serve_test): tiny GHN, reduced campaign.
+core::PredictDdlOptions fast_options() {
+  core::PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 12;
+  opts.ghn.mlp_hidden = 12;
+  opts.ghn_trainer.corpus_size = 10;
+  opts.ghn_trainer.epochs = 4;
+  opts.ghn_trainer.batch_size = 5;
+  opts.ghn_trainer.darts.max_cells = 3;
+  opts.campaign.models = {"alexnet",   "resnet18",           "resnet50",
+                          "vgg11",     "mobilenet_v3_small", "squeezenet1_1",
+                          "densenet121"};
+  opts.campaign.max_servers = 8;
+  opts.campaign.batch_sizes = {64};
+  return opts;
+}
+
+// One PredictDdl trained once for the whole suite.  Refits install a fresh
+// regressor into the shared engine, but the GHN and campaign stay frozen
+// and every test measures its own before/after predictions at runtime, so
+// suite-level sharing stays order-independent.
+class FeedbackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pool_ = new ThreadPool(8);
+    sim_ = new sim::DdlSimulator();
+    pddl_ = new core::PredictDdl(*sim_, *pool_, fast_options());
+    pddl_->train_offline(workload::cifar10());
+  }
+  static void TearDownTestSuite() {
+    delete pddl_;
+    delete sim_;
+    delete pool_;
+    pddl_ = nullptr;
+    sim_ = nullptr;
+    pool_ = nullptr;
+  }
+
+  static ThreadPool* pool_;
+  static sim::DdlSimulator* sim_;
+  static core::PredictDdl* pddl_;
+};
+
+ThreadPool* FeedbackTest::pool_ = nullptr;
+sim::DdlSimulator* FeedbackTest::sim_ = nullptr;
+core::PredictDdl* FeedbackTest::pddl_ = nullptr;
+
+TEST_F(FeedbackTest, ObserveScoresAgainstTheLiveServingPath) {
+  serve::PredictionService service(*pddl_);
+  FeedbackController fb(service, *pddl_);
+
+  const core::PredictRequest req = make_request("resnet18");
+  const serve::ServeResult live = service.predict(req);
+  ASSERT_TRUE(live.ok()) << live.error;
+
+  // A perfect observation: zero error, no drift, logged.
+  const ObserveOutcome o = fb.observe(req, live.response.predicted_time_s);
+  EXPECT_TRUE(o.accepted) << o.reason;
+  EXPECT_EQ(o.predicted_s, live.response.predicted_time_s);
+  EXPECT_EQ(o.abs_error_s, 0.0);
+  EXPECT_EQ(o.rel_error, 0.0);
+  EXPECT_FALSE(o.drifted);
+  EXPECT_FALSE(o.refit_triggered);
+  EXPECT_EQ(fb.log().size(), 1u);
+
+  const serve::MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.observations_ingested, 1u);
+  EXPECT_EQ(m.observations_rejected, 0u);
+  EXPECT_EQ(m.drift_events, 0u);
+
+  const RefitStatus s = fb.status();
+  ASSERT_EQ(s.datasets.size(), 1u);
+  EXPECT_EQ(s.datasets[0].dataset, "cifar10");
+  EXPECT_EQ(s.datasets[0].observations, 1u);
+  EXPECT_EQ(s.datasets[0].errors.count, 1u);
+}
+
+TEST_F(FeedbackTest, RejectsUnscorableObservations) {
+  serve::PredictionService service(*pddl_);
+  FeedbackController fb(service, *pddl_);
+
+  const core::PredictRequest req = make_request("alexnet");
+  for (double bad : {0.0, -5.0, std::nan(""),
+                     std::numeric_limits<double>::infinity()}) {
+    const ObserveOutcome o = fb.observe(req, bad);
+    EXPECT_FALSE(o.accepted);
+    EXPECT_NE(o.reason.find("positive finite"), std::string::npos);
+  }
+
+  // A dataset without a fitted predictor cannot be scored either.
+  core::PredictRequest untrained = make_request("resnet18");
+  untrained.workload.dataset = workload::tiny_imagenet();
+  const ObserveOutcome o = fb.observe(untrained, 100.0);
+  EXPECT_FALSE(o.accepted);
+  EXPECT_NE(o.reason.find("untrained"), std::string::npos);
+
+  EXPECT_EQ(fb.log().size(), 0u);  // rejected observations are never logged
+  const serve::MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.observations_ingested, 0u);
+  EXPECT_EQ(m.observations_rejected, 5u);
+}
+
+TEST_F(FeedbackTest, DriftTriggersBackgroundRefitAndShiftsPredictions) {
+  serve::PredictionService service(*pddl_);
+  FeedbackConfig cfg;
+  cfg.drift.window = 16;
+  cfg.drift.min_count = 8;
+  cfg.drift.rel_p50_threshold = 0.25;
+  FeedbackController fb(service, *pddl_, cfg);
+
+  const core::PredictRequest req = make_request("resnet18");
+  const double before = service.predict(req).response.predicted_time_s;
+  ASSERT_GT(before, 0.0);
+
+  // Report the measured runtime as 3× the prediction: rel error 2/3, far
+  // past the threshold, so the min_count-th observation flags drift and
+  // auto-enqueues exactly one refit.
+  bool drift_seen = false;
+  bool refit_seen = false;
+  for (std::size_t i = 0; i < cfg.drift.min_count; ++i) {
+    const ObserveOutcome o = fb.observe(req, 3.0 * before);
+    ASSERT_TRUE(o.accepted) << o.reason;
+    EXPECT_NEAR(o.rel_error, 2.0 / 3.0, 1e-9);
+    const bool expect_drift = (i + 1 == cfg.drift.min_count);
+    EXPECT_EQ(o.drifted, expect_drift) << "observation " << i;
+    drift_seen = drift_seen || o.drifted;
+    refit_seen = refit_seen || o.refit_triggered;
+  }
+  EXPECT_TRUE(drift_seen);
+  EXPECT_TRUE(refit_seen);
+
+  fb.wait_idle();
+  const RefitStatus s = fb.status();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.last_dataset, "cifar10");
+  EXPECT_GT(s.last_campaign_rows, 0u);
+  EXPECT_EQ(s.last_observation_rows,
+            static_cast<std::uint64_t>(cfg.drift.min_count));
+  // Successful refit resets the dataset's error window.
+  ASSERT_EQ(s.datasets.size(), 1u);
+  EXPECT_FALSE(s.datasets[0].errors.drifted);
+  EXPECT_EQ(s.datasets[0].errors.count, 0u);
+
+  // The hot-swapped regressor actually moved: same request, new prediction.
+  const double after = service.predict(req).response.predicted_time_s;
+  EXPECT_NE(after, before);
+  EXPECT_GT(after, 0.0);
+
+  const serve::MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.drift_events, 1u);
+  EXPECT_EQ(m.refits_started, 1u);
+  EXPECT_EQ(m.refits_completed, 1u);
+  EXPECT_EQ(m.refits_failed, 0u);
+  EXPECT_EQ(m.engine_swaps, 1u);
+}
+
+TEST_F(FeedbackTest, ExplicitRefitWorksWithoutAnyObservations) {
+  serve::PredictionService service(*pddl_);
+  FeedbackController fb(service, *pddl_);
+
+  const core::PredictRequest req = make_request("vgg11");
+  const double before = service.predict(req).response.predicted_time_s;
+
+  ASSERT_TRUE(fb.request_refit("cifar10"));
+  fb.wait_idle();
+  const RefitStatus s = fb.status();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_GT(s.last_campaign_rows, 0u);
+  EXPECT_EQ(s.last_observation_rows, 0u);  // campaign-only refit
+
+  // Campaign-only refit with the same deterministic fitting procedure still
+  // serves a valid prediction (the regressor family is deterministic, so the
+  // value may or may not be bit-identical; it must stay positive and sane).
+  const double after = service.predict(req).response.predicted_time_s;
+  EXPECT_GT(after, 0.0);
+  EXPECT_LT(std::fabs(after - before) / before, 0.5);
+  EXPECT_EQ(service.metrics().engine_swaps, 1u);
+}
+
+TEST_F(FeedbackTest, RefitOfUnknownDatasetFailsCleanly) {
+  serve::PredictionService service(*pddl_);
+  FeedbackController fb(service, *pddl_);
+  ASSERT_TRUE(fb.request_refit("no_such_dataset"));
+  fb.wait_idle();
+  const RefitStatus s = fb.status();
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_NE(s.last_error.find("no_such_dataset"), std::string::npos);
+  EXPECT_EQ(service.metrics().refits_failed, 1u);
+  EXPECT_EQ(service.metrics().engine_swaps, 0u);
+
+  // The failure left serving untouched.
+  EXPECT_TRUE(service.predict(make_request("alexnet")).ok());
+}
+
+// The headline zero-downtime test: 16 client threads hammer predict while
+// the worker repeatedly refits and hot-swaps the engine underneath them.
+// Every prediction must succeed — no failures, no blocking on the fit.
+TEST_F(FeedbackTest, HotSwapUnderConcurrentPredictionsNeverFailsARequest) {
+  serve::ServiceConfig scfg;
+  scfg.dispatcher_threads = 4;
+  scfg.queue_capacity = 4096;
+  serve::PredictionService service(*pddl_, scfg);
+  FeedbackController fb(service, *pddl_);
+
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 40;
+  const std::vector<std::string> models = {"alexnet", "resnet18", "vgg11",
+                                           "resnet50", "densenet121"};
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto& model = models[(t + i) % models.size()];
+        const serve::ServeResult r =
+            service.predict(make_request(model, (i % 2) ? 4 : 8));
+        if (r.ok() && r.response.predicted_time_s > 0.0) ok.fetch_add(1);
+      }
+    });
+  }
+
+  // Interleave refits with the live traffic: each one fits a fresh engine
+  // and swaps it in while predictions are in flight.  wait_idle() between
+  // requests makes every enqueue succeed, so the count is deterministic.
+  constexpr int kRefits = 5;
+  for (int k = 0; k < kRefits; ++k) {
+    ASSERT_TRUE(fb.request_refit("cifar10"));
+    fb.wait_idle();
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);  // zero failed predictions
+  const RefitStatus s = fb.status();
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kRefits));
+  EXPECT_EQ(s.failed, 0u);
+
+  const serve::MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.completed, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(m.errors, 0u);
+  EXPECT_EQ(m.engine_swaps, static_cast<std::uint64_t>(kRefits));
+}
+
+TEST_F(FeedbackTest, WarmRestartRestoresObservationsAndRefittedRegressor) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "pddl_feedback_state";
+  std::filesystem::remove_all(dir);
+
+  const core::PredictRequest req = make_request("resnet18");
+  double pre_refit = 0.0;
+  double post_refit = 0.0;
+  std::vector<Observation> saved_records;
+  {
+    serve::PredictionService service(*pddl_);
+    FeedbackConfig cfg;
+    cfg.drift.window = 16;
+    cfg.drift.min_count = 6;
+    FeedbackController fb(service, *pddl_, cfg);
+
+    pre_refit = service.predict(req).response.predicted_time_s;
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(fb.observe(req, 3.0 * pre_refit).accepted);
+    }
+    fb.wait_idle();
+    ASSERT_EQ(fb.status().completed, 1u);
+    post_refit = service.predict(req).response.predicted_time_s;
+    ASSERT_NE(post_refit, pre_refit);
+    saved_records = fb.log().snapshot();
+
+    // One snapshot holds everything: engine state + observation log.
+    pddl_->save_state(dir.string(),
+                      [&fb](io::SnapshotWriter& snap) { fb.save(snap); });
+  }
+
+  // Fresh process: restore, and serve the REFITTED model bit-identically —
+  // a silent fallback to the pre-refit regressor would be a regression.
+  {
+    ThreadPool pool(4);
+    sim::DdlSimulator sim;
+    core::PredictDdl restored(sim, pool, fast_options());
+    restored.load_state(dir.string());
+    serve::PredictionService service(restored);
+    FeedbackController fb(service, restored);
+    EXPECT_EQ(fb.load(io::SnapshotReader(dir.string() + "/state.pddl")),
+              saved_records.size());
+
+    const double warm = service.predict(req).response.predicted_time_s;
+    EXPECT_EQ(warm, post_refit);   // bit-identical to the refitted model
+    EXPECT_NE(warm, pre_refit);    // and provably not the pre-refit one
+
+    // The observation log came back bit-identically too, and feeds the next
+    // refit: sequence numbers, measurements, and requests all survive.
+    const auto restored_records = fb.log().snapshot();
+    ASSERT_EQ(restored_records.size(), saved_records.size());
+    for (std::size_t i = 0; i < saved_records.size(); ++i) {
+      EXPECT_EQ(restored_records[i].seq, saved_records[i].seq);
+      EXPECT_EQ(restored_records[i].measured_s, saved_records[i].measured_s);
+      EXPECT_EQ(restored_records[i].predicted_s,
+                saved_records[i].predicted_s);
+      EXPECT_EQ(restored_records[i].request.workload.model,
+                saved_records[i].request.workload.model);
+    }
+    ASSERT_TRUE(fb.request_refit("cifar10"));
+    fb.wait_idle();
+    const RefitStatus s = fb.status();
+    EXPECT_EQ(s.completed, 1u);
+    EXPECT_EQ(s.last_observation_rows, saved_records.size());
+  }
+
+  // A pre-feedback snapshot (no observation section) restores to an empty
+  // log instead of failing.
+  {
+    ThreadPool pool(2);
+    sim::DdlSimulator sim;
+    core::PredictDdl plain(sim, pool, fast_options());
+    const auto plain_dir =
+        std::filesystem::temp_directory_path() / "pddl_feedback_plain";
+    std::filesystem::remove_all(plain_dir);
+    pddl_->save_state(plain_dir.string());  // no extra sections
+    plain.load_state(plain_dir.string());
+    serve::PredictionService service(plain);
+    FeedbackController fb(service, plain);
+    EXPECT_EQ(
+        fb.load(io::SnapshotReader(plain_dir.string() + "/state.pddl")), 0u);
+    EXPECT_EQ(fb.log().size(), 0u);
+    std::filesystem::remove_all(plain_dir);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pddl::feedback

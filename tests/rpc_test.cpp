@@ -100,11 +100,105 @@ TEST(Wire, BatchRequestAndAllOpsRoundTrip) {
   ASSERT_EQ(back.reqs.size(), 2u);
   EXPECT_EQ(back.reqs[1].workload.model, "vgg11");
 
-  for (Op op : {Op::kPing, Op::kStats, Op::kShutdown}) {
+  for (Op op : {Op::kPing, Op::kStats, Op::kShutdown, Op::kRefitStatus}) {
     Request r;
     r.op = op;
     EXPECT_EQ(decode_request(encode_request(r)).op, op);
   }
+}
+
+TEST(Wire, ObserveRequestAndOutcomeRoundTrip) {
+  Request r;
+  r.op = Op::kObserve;
+  r.measured_s = 4321.125;
+  r.reqs.push_back(make_request("resnet50", 6, "e5_2650"));
+  const Request back = decode_request(encode_request(r));
+  ASSERT_EQ(back.op, Op::kObserve);
+  EXPECT_EQ(back.measured_s, 4321.125);
+  ASSERT_EQ(back.reqs.size(), 1u);
+  EXPECT_EQ(back.reqs.front().workload.model, "resnet50");
+  ASSERT_EQ(back.reqs.front().cluster.servers.size(), 6u);
+
+  Response resp;
+  resp.op = Op::kObserve;
+  resp.observe.accepted = true;
+  resp.observe.predicted_s = 1000.5;
+  resp.observe.abs_error_s = 3320.625;
+  resp.observe.rel_error = 0.768;
+  resp.observe.drifted = true;
+  resp.observe.refit_triggered = true;
+  resp.observe.reason = "";
+  const Response rback = decode_response(encode_response(resp));
+  EXPECT_TRUE(rback.observe.accepted);
+  EXPECT_EQ(rback.observe.predicted_s, 1000.5);
+  EXPECT_EQ(rback.observe.abs_error_s, 3320.625);
+  EXPECT_EQ(rback.observe.rel_error, 0.768);
+  EXPECT_TRUE(rback.observe.drifted);
+  EXPECT_TRUE(rback.observe.refit_triggered);
+
+  // And the rejection shape: reason text survives, flags stay false.
+  Response rejected;
+  rejected.op = Op::kObserve;
+  rejected.observe.reason = "measured_seconds must be a positive finite number";
+  const Response jback = decode_response(encode_response(rejected));
+  EXPECT_FALSE(jback.observe.accepted);
+  EXPECT_EQ(jback.observe.reason, rejected.observe.reason);
+}
+
+TEST(Wire, RefitRequestAndStatusRoundTrip) {
+  Request r;
+  r.op = Op::kRefit;
+  r.dataset = "tiny_imagenet";
+  const Request back = decode_request(encode_request(r));
+  ASSERT_EQ(back.op, Op::kRefit);
+  EXPECT_EQ(back.dataset, "tiny_imagenet");
+
+  Response resp;
+  resp.op = Op::kRefit;
+  resp.refit_started = true;
+  EXPECT_TRUE(decode_response(encode_response(resp)).refit_started);
+
+  Response status;
+  status.op = Op::kRefitStatus;
+  status.refit.started = 5;
+  status.refit.completed = 3;
+  status.refit.failed = 2;
+  status.refit.in_progress = true;
+  status.refit.queued = 4;
+  status.refit.last_dataset = "cifar10";
+  status.refit.last_campaign_rows = 56;
+  status.refit.last_observation_rows = 17;
+  status.refit.last_error = "refit for 'x' failed: no campaign";
+  feedback::DatasetFeedback d;
+  d.dataset = "cifar10";
+  d.observations = 42;
+  d.errors.count = 16;
+  d.errors.mean_abs_s = 12.5;
+  d.errors.mean_rel = 0.25;
+  d.errors.p50_abs_s = 10.0;
+  d.errors.p95_abs_s = 40.0;
+  d.errors.p50_rel = 0.2;
+  d.errors.p95_rel = 0.8;
+  d.errors.drifted = true;
+  status.refit.datasets.push_back(d);
+
+  const Response sback = decode_response(encode_response(status));
+  EXPECT_EQ(sback.refit.started, 5u);
+  EXPECT_EQ(sback.refit.completed, 3u);
+  EXPECT_EQ(sback.refit.failed, 2u);
+  EXPECT_TRUE(sback.refit.in_progress);
+  EXPECT_EQ(sback.refit.queued, 4u);
+  EXPECT_EQ(sback.refit.last_dataset, "cifar10");
+  EXPECT_EQ(sback.refit.last_campaign_rows, 56u);
+  EXPECT_EQ(sback.refit.last_observation_rows, 17u);
+  EXPECT_EQ(sback.refit.last_error, status.refit.last_error);
+  ASSERT_EQ(sback.refit.datasets.size(), 1u);
+  EXPECT_EQ(sback.refit.datasets[0].dataset, "cifar10");
+  EXPECT_EQ(sback.refit.datasets[0].observations, 42u);
+  EXPECT_EQ(sback.refit.datasets[0].errors.count, 16u);
+  EXPECT_EQ(sback.refit.datasets[0].errors.mean_abs_s, 12.5);
+  EXPECT_EQ(sback.refit.datasets[0].errors.p95_rel, 0.8);
+  EXPECT_TRUE(sback.refit.datasets[0].errors.drifted);
 }
 
 TEST(Wire, ResponseWithResultsRoundTrips) {
@@ -146,6 +240,17 @@ TEST(Wire, StatsResponseRoundTripsEveryCounter) {
   resp.stats.rpc_read_timeouts = 1;
   resp.stats.e2e.count = 10;
   resp.stats.e2e.p99_ms = 12.5;
+  resp.stats.observations_ingested = 21;
+  resp.stats.observations_rejected = 4;
+  resp.stats.drift_events = 2;
+  resp.stats.refits_started = 3;
+  resp.stats.refits_completed = 2;
+  resp.stats.refits_failed = 1;
+  resp.stats.engine_swaps = 2;
+  resp.stats.batches_dispatched = 9;
+  resp.stats.batch_size_counts[0] = 5;
+  resp.stats.batch_size_counts[7] = 3;
+  resp.stats.batch_size_counts[serve::kMaxTrackedBatchSize] = 1;
 
   const Response back = decode_response(encode_response(resp));
   EXPECT_EQ(back.stats.submitted, 11u);
@@ -156,6 +261,17 @@ TEST(Wire, StatsResponseRoundTripsEveryCounter) {
   EXPECT_EQ(back.stats.rpc_read_timeouts, 1u);
   EXPECT_EQ(back.stats.e2e.count, 10u);
   EXPECT_EQ(back.stats.e2e.p99_ms, 12.5);
+  EXPECT_EQ(back.stats.observations_ingested, 21u);
+  EXPECT_EQ(back.stats.observations_rejected, 4u);
+  EXPECT_EQ(back.stats.drift_events, 2u);
+  EXPECT_EQ(back.stats.refits_started, 3u);
+  EXPECT_EQ(back.stats.refits_completed, 2u);
+  EXPECT_EQ(back.stats.refits_failed, 1u);
+  EXPECT_EQ(back.stats.engine_swaps, 2u);
+  EXPECT_EQ(back.stats.batches_dispatched, 9u);
+  EXPECT_EQ(back.stats.batch_size_counts[0], 5u);
+  EXPECT_EQ(back.stats.batch_size_counts[7], 3u);
+  EXPECT_EQ(back.stats.batch_size_counts[serve::kMaxTrackedBatchSize], 1u);
 }
 
 TEST(Wire, ErrorResponseRoundTrips) {
@@ -631,6 +747,84 @@ TEST_F(RpcLoopbackTest, StatsOpCarriesRpcCounters) {
   // The snapshot renders through both shared formatters.
   EXPECT_NE(m.to_string().find("rpc"), std::string::npos);
   EXPECT_NE(m.to_json().find("\"connections_accepted\":"), std::string::npos);
+}
+
+// The full feedback loop over the wire: skewed observations trip the drift
+// detector, the background refit lands, and subsequent remote predictions
+// shift — all through Client's observe/request_refit/refit_status surface.
+TEST_F(RpcLoopbackTest, ObserveDriftRefitShiftsRemotePredictions) {
+  serve::PredictionService service(*pddl_);
+  feedback::FeedbackConfig fcfg;
+  fcfg.drift.window = 16;
+  fcfg.drift.min_count = 8;
+  fcfg.drift.rel_p50_threshold = 0.25;
+  feedback::FeedbackController fb(service, *pddl_, fcfg);
+  Server server(service);
+  server.attach_feedback(&fb);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  const core::PredictRequest req = make_request("resnet18");
+  const serve::ServeResult before = client.predict(req);
+  ASSERT_TRUE(before.ok()) << before.error;
+
+  bool refit_triggered = false;
+  for (std::size_t i = 0; i < fcfg.drift.min_count; ++i) {
+    const feedback::ObserveOutcome o =
+        client.observe(req, before.response.predicted_time_s * 3.0);
+    ASSERT_TRUE(o.accepted) << o.reason;
+    EXPECT_GT(o.rel_error, fcfg.drift.rel_p50_threshold);
+    refit_triggered = refit_triggered || o.refit_triggered;
+  }
+  EXPECT_TRUE(refit_triggered);
+
+  fb.wait_idle();
+  const feedback::RefitStatus status = client.refit_status();
+  EXPECT_EQ(status.completed, 1u);
+  EXPECT_EQ(status.failed, 0u);
+  EXPECT_EQ(status.last_dataset, "cifar10");
+  EXPECT_EQ(status.last_observation_rows, fcfg.drift.min_count);
+  ASSERT_EQ(status.datasets.size(), 1u);
+  EXPECT_EQ(status.datasets[0].dataset, "cifar10");
+  EXPECT_EQ(status.datasets[0].observations, fcfg.drift.min_count);
+
+  const serve::ServeResult after = client.predict(req);
+  ASSERT_TRUE(after.ok()) << after.error;
+  EXPECT_NE(after.response.predicted_time_s, before.response.predicted_time_s);
+
+  // Explicit refits work over the wire too.  (A duplicate request may or
+  // may not dedupe depending on whether the worker already finished, so
+  // only the first enqueue is asserted.)
+  EXPECT_TRUE(client.request_refit("cifar10"));
+  fb.wait_idle();
+
+  const serve::MetricsSnapshot m = client.stats();
+  EXPECT_EQ(m.observations_ingested, fcfg.drift.min_count);
+  EXPECT_GE(m.drift_events, 1u);
+  EXPECT_GE(m.refits_completed, 1u);
+  EXPECT_GE(m.engine_swaps, 1u);
+}
+
+// Feedback ops against a server with no controller attached come back as
+// typed bad_request errors, not crashes or hangs.
+TEST_F(RpcLoopbackTest, FeedbackOpsWithoutControllerAreTypedErrors) {
+  serve::PredictionService service(*pddl_);
+  Server server(service);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  const core::PredictRequest req = make_request("alexnet");
+  EXPECT_THROW(client.observe(req, 100.0), Error);
+  EXPECT_THROW(client.request_refit("cifar10"), Error);
+  EXPECT_THROW(client.refit_status(), Error);
+  try {
+    client.observe(req, 100.0);
+    FAIL() << "observe without a controller must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("not enabled"), std::string::npos);
+  }
+  // The connection survives the typed errors: a normal predict still works.
+  EXPECT_TRUE(client.predict(req).ok());
 }
 
 }  // namespace

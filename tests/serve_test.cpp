@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -369,6 +371,116 @@ TEST(LatencyHistogram, OverflowBucketUsesObservedMax) {
   h.record(45000.0);  // beyond the last bound (30 s)
   const auto s = h.snapshot();
   EXPECT_NEAR(s.p99_ms, 45000.0, 1e-3);
+}
+
+namespace {
+std::size_t count_char(const std::string& s, char c) {
+  return static_cast<std::size_t>(std::count(s.begin(), s.end(), c));
+}
+}  // namespace
+
+TEST(Metrics, ToJsonZeroRequestSnapshotIsWellFormed) {
+  // A snapshot taken before any traffic: every counter zero, every
+  // histogram empty.  The JSON must still be complete and finite — no
+  // missing sections, no NaN/inf leaking from empty-histogram math.
+  ServiceMetrics m;
+  const std::string json = m.snapshot().to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(count_char(json, '{'), count_char(json, '}'));
+  EXPECT_EQ(count_char(json, '['), count_char(json, ']'));
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"submitted\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"feedback\":{\"observations_ingested\":0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"batch\":{\"dispatched\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"e2e\":{\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ms\":0.000000"), std::string::npos);
+  // The size distribution renders all slots (exact sizes + overflow).
+  EXPECT_NE(json.find("\"size_counts\":[0,"), std::string::npos);
+}
+
+TEST(Metrics, ToJsonReportsFeedbackCounters) {
+  ServiceMetrics m;
+  m.observations_ingested.store(7);
+  m.observations_rejected.store(2);
+  m.drift_events.store(3);
+  m.refits_started.store(2);
+  m.refits_completed.store(1);
+  m.refits_failed.store(1);
+  m.engine_swaps.store(1);
+  const MetricsSnapshot s = m.snapshot();
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"observations_ingested\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"observations_rejected\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"drift_events\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"refits_started\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"refits_completed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"refits_failed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"engine_swaps\":1"), std::string::npos);
+  // The human dump grows a feedback line once the loop saw traffic.
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("feedback"), std::string::npos);
+  EXPECT_NE(text.find("observed=7"), std::string::npos);
+  EXPECT_NE(text.find("refits=1/2 (failed=1)"), std::string::npos);
+}
+
+TEST(Metrics, QuietSnapshotOmitsOptionalTextSections) {
+  // No rpc, batch, or feedback traffic: the human-readable dump stays the
+  // in-process four-section shape (json keeps all sections, always).
+  const std::string text = ServiceMetrics().snapshot().to_string();
+  EXPECT_EQ(text.find("rpc"), std::string::npos);
+  EXPECT_EQ(text.find("batch"), std::string::npos);
+  EXPECT_EQ(text.find("feedback"), std::string::npos);
+}
+
+TEST(Metrics, BatchSizeDistributionTracksExactSlotsAndOverflow) {
+  ServiceMetrics m;
+  m.record_batch_size(0);  // empty dispatch: not a batch, not counted
+  m.record_batch_size(1);
+  m.record_batch_size(4);
+  m.record_batch_size(4);
+  m.record_batch_size(kMaxTrackedBatchSize);       // largest exact slot
+  m.record_batch_size(kMaxTrackedBatchSize + 5);   // overflow slot
+  const MetricsSnapshot s = m.snapshot();
+  EXPECT_EQ(s.batches_dispatched, 5u);
+  EXPECT_EQ(s.batch_size_counts[0], 1u);                        // size 1
+  EXPECT_EQ(s.batch_size_counts[3], 2u);                        // size 4
+  EXPECT_EQ(s.batch_size_counts[kMaxTrackedBatchSize - 1], 1u); // size 32
+  EXPECT_EQ(s.batch_size_counts[kMaxTrackedBatchSize], 1u);     // overflow
+  // Overflow contributes its slot weight (kMax+1), so the mean is a floor.
+  EXPECT_NEAR(s.mean_batch_size(),
+              (1.0 + 4.0 + 4.0 + 32.0 + 33.0) / 5.0, 1e-12);
+  EXPECT_NE(s.to_json().find("\"dispatched\":5"), std::string::npos);
+  EXPECT_NE(s.to_string().find("dispatched=5"), std::string::npos);
+}
+
+TEST(Metrics, MeanBatchSizeOfZeroBatchesIsZero) {
+  EXPECT_EQ(ServiceMetrics().snapshot().mean_batch_size(), 0.0);
+}
+
+TEST_F(ServeTest, DispatcherBatchSizesLandInTheDistribution) {
+  // One dispatcher, dispatch held, six queued requests, max_batch 4: resume
+  // must produce exactly one batch of 4 and one of 2 — the distribution the
+  // ROADMAP's adaptive-sizing work will tune against.
+  ServiceConfig cfg;
+  cfg.dispatcher_threads = 1;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 16;
+  cfg.start_paused = true;
+  PredictionService service(*pddl_, cfg);
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < 6; ++i) {
+    futs.push_back(service.submit(make_request("resnet18")));
+  }
+  service.resume();
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.batches_dispatched, 2u);
+  EXPECT_EQ(m.batch_size_counts[3], 1u);  // one batch of 4
+  EXPECT_EQ(m.batch_size_counts[1], 1u);  // one batch of 2
+  EXPECT_DOUBLE_EQ(m.mean_batch_size(), 3.0);
 }
 
 TEST(Metrics, SnapshotRendersKeyFields) {
