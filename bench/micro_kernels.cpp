@@ -4,6 +4,7 @@
 
 #include "core/features.hpp"
 #include "ghn/ghn2.hpp"
+#include "ghn/infer.hpp"
 #include "graph/models.hpp"
 #include "regress/linear.hpp"
 #include "regress/log_target.hpp"
@@ -26,7 +27,8 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
                           n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(128);
+// 32/128 exercise the small i-k-j path, 256/512 the cache-blocked one.
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_CholeskySolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -60,18 +62,48 @@ void BM_BuildGraph(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildGraph);
 
-void BM_GhnEmbedding(benchmark::State& state) {
+// One representative per registry model family, shared by the tape/fast
+// embedding benchmarks below so speedups are directly comparable per line.
+constexpr const char* kEmbedModels[] = {
+    "alexnet",         "vgg16",      "resnet50",        "resnext50_32x4d",
+    "wide_resnet50_2", "densenet201", "squeezenet1_1",  "mobilenet_v2",
+    "efficientnet_b0", "shufflenet_v2_x1_0", "googlenet"};
+constexpr int kNumEmbedModels =
+    static_cast<int>(sizeof(kEmbedModels) / sizeof(kEmbedModels[0]));
+
+// Baseline: the autograd-tape path (Ghn2::embedding) — what serving paid
+// before the tape-free engine landed.
+void BM_Embed_Tape(benchmark::State& state) {
   ghn::GhnConfig cfg;
   Rng rng(4);
   ghn::Ghn2 ghn(cfg, rng);
   const auto g = graph::build_model(
-      state.range(0) == 0 ? "resnet18" : "densenet201", {3, 32, 32}, 10);
+      kEmbedModels[static_cast<std::size_t>(state.range(0))], {3, 32, 32}, 10);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ghn.embedding(g));
   }
   state.SetLabel(g.name() + " (" + std::to_string(g.num_nodes()) + " nodes)");
 }
-BENCHMARK(BM_GhnEmbedding)->Arg(0)->Arg(1);
+BENCHMARK(BM_Embed_Tape)->DenseRange(0, kNumEmbedModels - 1);
+
+// The serving hot path: tape-free GhnInference with memoized messages,
+// batched GEMM node updates, and a warm per-thread scratch arena.
+void BM_Embed_Fast(benchmark::State& state) {
+  ghn::GhnConfig cfg;
+  Rng rng(4);
+  ghn::Ghn2 ghn(cfg, rng);
+  ghn::GhnInference inf(ghn);
+  const auto g = graph::build_model(
+      kEmbedModels[static_cast<std::size_t>(state.range(0))], {3, 32, 32}, 10);
+  Vector out;
+  inf.embed_into(g, out);  // warm the arena outside the timed loop
+  for (auto _ : state) {
+    inf.embed_into(g, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(g.name() + " (" + std::to_string(g.num_nodes()) + " nodes)");
+}
+BENCHMARK(BM_Embed_Fast)->DenseRange(0, kNumEmbedModels - 1);
 
 void BM_SimulateRun(benchmark::State& state) {
   sim::DdlSimulator sim;

@@ -111,6 +111,7 @@ Vector Ghn2::embedding(const CompGraph& g) {
 }
 
 std::vector<Matrix*> Ghn2::parameters() {
+  invalidate_checksum();  // mutable pointers escape below
   std::vector<Matrix*> ps;
   for (Matrix* p : embed_layer_.parameters()) ps.push_back(p);
   for (Matrix* p : msg_mlp_.parameters()) ps.push_back(p);
@@ -180,6 +181,9 @@ std::unique_ptr<Ghn2> load_ghn(const std::string& path) {
 }
 
 std::uint64_t ghn_checksum(const Ghn2& ghn) {
+  if (ghn.checksum_valid_.load(std::memory_order_acquire)) {
+    return ghn.checksum_value_.load(std::memory_order_relaxed);
+  }
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -199,6 +203,11 @@ std::uint64_t ghn_checksum(const Ghn2& ghn) {
       mix(std::bit_cast<std::uint64_t>(p->data()[i]));
     }
   }
+  // parameters() above marked the cache dirty (its const overload routes
+  // through the non-const one); publish value before flag so a concurrent
+  // reader that observes `valid` also observes the matching digest.
+  ghn.checksum_value_.store(h, std::memory_order_relaxed);
+  ghn.checksum_valid_.store(true, std::memory_order_release);
   return h;
 }
 

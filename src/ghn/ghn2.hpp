@@ -23,6 +23,7 @@
 // up hidden-state magnitudes.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -53,10 +54,28 @@ class Ghn2 final : public nn::Module {
   // Inference convenience: runs a private tape and returns the plain vector.
   Vector embedding(const graph::CompGraph& g);
 
+  // Marks the cached ghn_checksum dirty: handing out mutable parameter
+  // pointers means the caller may write through them.
   std::vector<Matrix*> parameters() override;
   using nn::Module::parameters;  // un-hide the const read-only overload
 
+  // Drops the cached ghn_checksum value.  Call after mutating parameters
+  // through pointers obtained earlier (the trainer's optimizer does this;
+  // a fresh parameters() call invalidates automatically).
+  void invalidate_checksum() {
+    checksum_valid_.store(false, std::memory_order_release);
+  }
+
+  // ---- raw module access for the tape-free inference engine ----
+  const nn::Linear& embed_layer() const { return embed_layer_; }
+  const nn::Mlp& msg_mlp() const { return msg_mlp_; }
+  const nn::Mlp& msg_mlp_sp() const { return msg_mlp_sp_; }
+  const nn::GruCell& gru() const { return gru_; }
+  const std::vector<Matrix>& op_gains() const { return op_gains_; }
+
  private:
+  friend std::uint64_t ghn_checksum(const Ghn2& ghn);
+
   GhnConfig cfg_;
   nn::Linear embed_layer_;
   nn::Mlp msg_mlp_;     // MLP(·) of Eq. 3
@@ -64,6 +83,13 @@ class Ghn2 final : public nn::Module {
   nn::GruCell gru_;
   // One learned 1×d gain per op type (operation-dependent normalization).
   std::vector<Matrix> op_gains_;
+  // ghn_checksum memo: hashing every parameter scalar on each save_cache /
+  // load_cache call is O(|θ|); the value only changes when parameters do,
+  // so it is computed lazily and dropped on mutation (see parameters()).
+  // `valid` is published with release/acquire so a concurrent reader never
+  // sees the flag before the value.
+  mutable std::atomic<std::uint64_t> checksum_value_{0};
+  mutable std::atomic<bool> checksum_valid_{false};
 };
 
 // Binary serialization of config + parameters via the io layer.  The
@@ -81,6 +107,9 @@ std::unique_ptr<Ghn2> load_ghn(const std::string& path);
 // so this is the validity key for persisted embedding caches: a warm-cache
 // snapshot taken under one GHN must be discarded when a different GHN (new
 // training run, different config) is registered for the dataset.
+// Memoized inside the Ghn2: repeat calls (every save_cache/load_cache)
+// return the cached digest; any non-const parameters() access or an
+// explicit invalidate_checksum() triggers a re-hash on the next call.
 std::uint64_t ghn_checksum(const Ghn2& ghn);
 
 }  // namespace pddl::ghn

@@ -1,0 +1,308 @@
+#include "ghn/infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pddl::ghn {
+
+using graph::CompGraph;
+
+namespace {
+
+// dst (m × cols(w)) = a (m × k) · w, zero-initialised.  Ascending-k
+// accumulation with zero-skip: the same element-wise operation sequence as
+// pddl::matmul's small path, so every row matches the tape's per-row matmul
+// bit-for-bit.
+void gemm_rows(const double* a, std::size_t m, std::size_t k, const Matrix& w,
+               double* dst) {
+  const std::size_t ncols = w.cols();
+  std::fill(dst, dst + m * ncols, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* drow = dst + i * ncols;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = arow[kk];
+      if (aik == 0.0) continue;
+      const double* wrow = w.row_ptr(kk);
+      for (std::size_t j = 0; j < ncols; ++j) drow[j] += aik * wrow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void GhnInference::TMlp::forward_row(const double* x, double* y,
+                                     double* scratch) const {
+  double* ping = scratch;
+  double* pong = scratch + max_width;
+  const double* cur = x;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const TLinear& l = layers[i];
+    double* dst = i + 1 == layers.size() ? y : (i % 2 == 0 ? ping : pong);
+    dot_rows_transposed(cur, l.wt.data(), l.wt.rows(), l.wt.cols(),
+                        l.b.empty() ? nullptr : l.b.data(), dst);
+    if (i + 1 < layers.size()) {
+      for (std::size_t j = 0; j < l.wt.rows(); ++j) {
+        dst[j] = nn::activate_scalar(dst[j], act);
+      }
+    }
+    cur = dst;
+  }
+}
+
+GhnInference::GhnInference(const Ghn2& ghn)
+    : cfg_(ghn.config()),
+      source_checksum_(ghn_checksum(ghn)),
+      embed_w_(ghn.embed_layer().weight()),
+      gru_wzt_(ghn.gru().wz().transposed()),
+      gru_wrt_(ghn.gru().wr().transposed()),
+      gru_wnt_(ghn.gru().wn().transposed()),
+      gru_uz_(ghn.gru().uz()),
+      gru_ur_(ghn.gru().ur()),
+      gru_unt_(ghn.gru().un().transposed()),
+      gru_bz_(ghn.gru().bz().row(0)),
+      gru_br_(ghn.gru().br().row(0)),
+      gru_bn_(ghn.gru().bn().row(0)),
+      op_gains_(graph::kNumOpTypes, ghn.config().hidden_dim) {
+  const std::size_t H = cfg_.hidden_dim;
+  embed_b_ = ghn.embed_layer().has_bias() ? ghn.embed_layer().bias().row(0)
+                                          : Vector(H, 0.0);
+  auto transpose_mlp = [](const nn::Mlp& m) {
+    TMlp t;
+    t.act = m.hidden_activation();
+    t.max_width = m.max_width();
+    t.layers.reserve(m.layers().size());
+    for (const nn::Linear& l : m.layers()) {
+      TLinear tl;
+      tl.wt = l.weight().transposed();
+      if (l.has_bias()) tl.b = l.bias().row(0);
+      t.layers.push_back(std::move(tl));
+    }
+    return t;
+  };
+  msg_mlp_ = transpose_mlp(ghn.msg_mlp());
+  msg_mlp_sp_ = transpose_mlp(ghn.msg_mlp_sp());
+  for (std::size_t op = 0; op < graph::kNumOpTypes; ++op) {
+    op_gains_.set_row(op, ghn.op_gains()[op].row(0));
+  }
+}
+
+ScratchArena& GhnInference::thread_arena() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+Vector GhnInference::embedding(const CompGraph& g) const {
+  Vector out;
+  embed_into(g, out);
+  return out;
+}
+
+void GhnInference::embed_into(const CompGraph& g, Vector& out) const {
+  const std::size_t n = g.num_nodes();
+  PDDL_CHECK(n > 0, "cannot embed an empty graph");
+  const std::size_t H = cfg_.hidden_dim;
+  const std::size_t F = CompGraph::kNodeFeatureDim;
+  ScratchArena& arena = thread_arena();
+  arena.reset();
+
+  // ---- module 1: node features + row-batched embedding layer ----
+  double* feats = arena.doubles(n * F);
+  std::fill(feats, feats + n * F, 0.0);
+  const double total_flops =
+      static_cast<double>(std::max<std::int64_t>(1, g.total_flops()));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nd = g.node(static_cast<int>(i));
+    double* row = feats + i * F;
+    row[static_cast<std::size_t>(nd.type)] = 1.0;
+    row[graph::kNumOpTypes + 0] =
+        std::log1p(static_cast<double>(nd.out_shape.c)) / 8.0;
+    row[graph::kNumOpTypes + 1] =
+        std::log1p(static_cast<double>(nd.attrs.kernel * nd.attrs.kernel)) /
+        4.0;
+    row[graph::kNumOpTypes + 2] = static_cast<double>(nd.flops) / total_flops;
+  }
+  double* h = arena.doubles(n * H);
+  gemm_rows(feats, n, F, embed_w_, h);
+  const double* eb = embed_b_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* hrow = h + i * H;
+    for (std::size_t j = 0; j < H; ++j) hrow[j] += eb[j];
+  }
+
+  // ---- virtual edges (Eq. 4): BFS hop counts → per-node CSR lists ----
+  // fw lists pair v with upstream nodes u (dist u→v), bw with downstream
+  // ones (dist v→u); sources are enumerated u-ascending exactly like the
+  // tape path so message accumulation order is identical.
+  int* fw_off = nullptr;
+  int* fw_u = nullptr;
+  double* fw_w = nullptr;
+  int* bw_off = nullptr;
+  int* bw_u = nullptr;
+  double* bw_w = nullptr;
+  if (cfg_.virtual_edges) {
+    int* dist = arena.ints(n * n);
+    std::fill(dist, dist + n * n, -1);
+    int* queue = arena.ints(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      int* drow = dist + s * n;
+      drow[s] = 0;
+      std::size_t qh = 0, qt = 0;
+      queue[qt++] = static_cast<int>(s);
+      while (qh < qt) {
+        const int u = queue[qh++];
+        for (int v : g.out_edges(u)) {
+          if (drow[v] < 0) {
+            drow[v] = drow[u] + 1;
+            queue[qt++] = v;
+          }
+        }
+      }
+    }
+    fw_off = arena.ints(n + 1);
+    bw_off = arena.ints(n + 1);
+    fw_off[0] = 0;
+    bw_off[0] = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      int cf = 0, cb = 0;
+      for (std::size_t u = 0; u < n; ++u) {
+        const int s_uv = dist[u * n + v];
+        if (s_uv > 1 && s_uv <= cfg_.s_max) ++cf;
+        const int s_vu = dist[v * n + u];
+        if (s_vu > 1 && s_vu <= cfg_.s_max) ++cb;
+      }
+      fw_off[v + 1] = fw_off[v] + cf;
+      bw_off[v + 1] = bw_off[v] + cb;
+    }
+    fw_u = arena.ints(static_cast<std::size_t>(fw_off[n]));
+    fw_w = arena.doubles(static_cast<std::size_t>(fw_off[n]));
+    bw_u = arena.ints(static_cast<std::size_t>(bw_off[n]));
+    bw_w = arena.doubles(static_cast<std::size_t>(bw_off[n]));
+    for (std::size_t v = 0; v < n; ++v) {
+      int pf = fw_off[v], pb = bw_off[v];
+      for (std::size_t u = 0; u < n; ++u) {
+        const int s_uv = dist[u * n + v];
+        if (s_uv > 1 && s_uv <= cfg_.s_max) {
+          fw_u[pf] = static_cast<int>(u);
+          fw_w[pf++] = 1.0 / s_uv;
+        }
+        const int s_vu = dist[v * n + u];
+        if (s_vu > 1 && s_vu <= cfg_.s_max) {
+          bw_u[pb] = static_cast<int>(u);
+          bw_w[pb++] = 1.0 / s_vu;
+        }
+      }
+    }
+  }
+
+  // ---- module 2: T rounds of fw/bw gated message passing ----
+  double* hu_z = arena.doubles(n * H);   // pass-start h·Uz (batched)
+  double* hu_r = arena.doubles(n * H);   // pass-start h·Ur (batched)
+  double* memo_d = arena.doubles(n * H);  // lazily memoized MLP(h_u)
+  double* memo_s = cfg_.virtual_edges ? arena.doubles(n * H) : nullptr;
+  int* have_d = arena.ints(n);
+  int* have_s = cfg_.virtual_edges ? arena.ints(n) : nullptr;
+  double* mvec = arena.doubles(H);
+  double* gz = arena.doubles(H);
+  double* gr = arena.doubles(H);
+  double* gn = arena.doubles(H);
+  double* rh = arena.doubles(H);
+  double* rhu = arena.doubles(H);
+  const std::size_t mlp_w = std::max(msg_mlp_.max_width, msg_mlp_sp_.max_width);
+  double* mlp_scratch = arena.doubles(2 * mlp_w);
+
+  // MLP(h_u) for the current half-pass, computed at most once per node.
+  // Exact (not approximate) because u's state is final for the half-pass
+  // before any consumer v reads it — see the invariant in the header.
+  auto memo_row = [&](const TMlp& mlp, double* table, int* have,
+                      int u) -> const double* {
+    double* row = table + static_cast<std::size_t>(u) * H;
+    if (!have[u]) {
+      mlp.forward_row(h + static_cast<std::size_t>(u) * H, row, mlp_scratch);
+      have[u] = 1;
+    }
+    return row;
+  };
+
+  auto run_half_pass = [&](bool forward) {
+    // Old-state GRU projections as two N×H GEMMs.  Valid batched: node v's
+    // gates read h_v *before* its own (unique) update, i.e. the
+    // half-pass-start value these products are computed from.
+    gemm_rows(h, n, H, gru_uz_, hu_z);
+    gemm_rows(h, n, H, gru_ur_, hu_r);
+    std::fill(have_d, have_d + n, 0);
+    if (cfg_.virtual_edges) std::fill(have_s, have_s + n, 0);
+
+    auto update_node = [&](int v) {
+      const std::size_t vz = static_cast<std::size_t>(v);
+      // m_v: direct neighbours first, then virtual ones, same order and
+      // association as the tape's sequential adds.
+      const auto& direct = forward ? g.in_edges(v) : g.out_edges(v);
+      std::fill(mvec, mvec + H, 0.0);
+      for (int u : direct) {
+        const double* mu = memo_row(msg_mlp_, memo_d, have_d, u);
+        for (std::size_t j = 0; j < H; ++j) mvec[j] += mu[j];
+      }
+      if (cfg_.virtual_edges) {
+        const int* voff = forward ? fw_off : bw_off;
+        const int* vus = forward ? fw_u : bw_u;
+        const double* vws = forward ? fw_w : bw_w;
+        for (int p = voff[vz]; p < voff[vz + 1]; ++p) {
+          const double* mu = memo_row(msg_mlp_sp_, memo_s, have_s, vus[p]);
+          const double wgt = vws[p];
+          for (std::size_t j = 0; j < H; ++j) mvec[j] += wgt * mu[j];
+        }
+      }
+      double* hrow = h + vz * H;
+      // GRU (same op order as GruCell::forward: m·W dot, + h·U, + bias,
+      // then the squashing nonlinearity).
+      dot_rows_transposed(mvec, gru_wzt_.data(), H, H, nullptr, gz);
+      dot_rows_transposed(mvec, gru_wrt_.data(), H, H, nullptr, gr);
+      dot_rows_transposed(mvec, gru_wnt_.data(), H, H, nullptr, gn);
+      const double* huz = hu_z + vz * H;
+      const double* hur = hu_r + vz * H;
+      for (std::size_t j = 0; j < H; ++j) {
+        gz[j] = 1.0 / (1.0 + std::exp(-((gz[j] + huz[j]) + gru_bz_[j])));
+        gr[j] = 1.0 / (1.0 + std::exp(-((gr[j] + hur[j]) + gru_br_[j])));
+        rh[j] = gr[j] * hrow[j];
+      }
+      dot_rows_transposed(rh, gru_unt_.data(), H, H, nullptr, rhu);
+      for (std::size_t j = 0; j < H; ++j) {
+        const double nj = std::tanh((gn[j] + rhu[j]) + gru_bn_[j]);
+        // h' = (n − z∘n) + z∘h, the tape's association.
+        hrow[j] = (nj - gz[j] * nj) + gz[j] * hrow[j];
+      }
+      if (cfg_.op_normalization) {
+        const double* gain =
+            op_gains_.row_ptr(static_cast<std::size_t>(g.node(v).type));
+        for (std::size_t j = 0; j < H; ++j) {
+          hrow[j] = std::tanh(hrow[j]) * gain[j];
+        }
+      }
+    };
+
+    if (forward) {
+      for (int v = 0; v < static_cast<int>(n); ++v) update_node(v);
+    } else {
+      for (int v = static_cast<int>(n) - 1; v >= 0; --v) update_node(v);
+    }
+  };
+
+  for (int t = 0; t < cfg_.num_passes; ++t) {
+    run_half_pass(/*forward=*/true);
+    run_half_pass(/*forward=*/false);
+  }
+
+  // ---- module 3 (skipped per PredictDDL §III-E): mean-pool readout ----
+  double* acc = mvec;  // message scratch is free now
+  std::copy(h, h + H, acc);
+  for (std::size_t v = 1; v < n; ++v) {
+    const double* hrow = h + v * H;
+    for (std::size_t j = 0; j < H; ++j) acc[j] += hrow[j];
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  if (out.size() != H) out.resize(H);
+  for (std::size_t j = 0; j < H; ++j) out[j] = acc[j] * inv;
+}
+
+}  // namespace pddl::ghn

@@ -1,0 +1,175 @@
+// Tape-free GHN inference engine — the serving hot path (DESIGN.md §10).
+//
+// Ghn2::embedding builds a full autograd tape per call: thousands of tape
+// nodes, one 1×H Matrix allocation each, and one message-MLP forward per
+// *edge* per traversal even though a node's state is frozen once its own
+// update ran.  Inference needs none of that.  GhnInference snapshots the
+// GHN's parameters once (weights pre-transposed for unit-stride dot
+// micro-kernels) and then evaluates the identical arithmetic with
+//
+//   1. per-pass message memoization — MLP(h_u) / MLP_sp(h_u) computed
+//      lazily once per node per traversal direction and reused by every
+//      out-neighbour: O(N) MLP forwards instead of O(E).  Exact because
+//      node ids are topological: in a forward half-pass every message
+//      source u < v has already taken its (unique) update for the pass,
+//      so h_u is final when any consumer reads it; symmetrically for the
+//      backward half-pass.
+//   2. row-batched GEMMs — the embedding layer runs as one N×F · F×H
+//      product, and the GRU's old-state projections H·Uz / H·Ur as two
+//      N×H · H×H products per half-pass (valid because each node reads its
+//      own pre-update state, which is the half-pass-start state).  The GRU
+//      recurrence itself stays sequential per node in topological order.
+//   3. a per-thread ScratchArena — every intermediate (features, states,
+//      memo tables, BFS distance matrix, virtual-edge CSR) lives in
+//      reusable chunked buffers, so a steady-state embed performs zero
+//      heap allocations and concurrent embeds from the micro-batch
+//      ThreadPool never share scratch.
+//
+// Parity guarantee: every kernel accumulates partial sums in the same
+// (ascending-k) order as the tape ops, so embeddings agree with
+// Ghn2::embedding to ≤ 1e-9 relative (bit-identical up to floating-point
+// contraction differences).  The tape path remains the training engine and
+// the parity oracle (tests/ghn_infer_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ghn/ghn2.hpp"
+
+namespace pddl::ghn {
+
+// Chunked bump allocator for embed-local scratch.  take() hands out spans
+// from pre-allocated blocks; when the active block is exhausted the arena
+// opens the next one (growing geometrically), so previously returned spans
+// never move.  reset() rewinds every block without releasing memory: after
+// one warm-up embed, later embeds of same-or-smaller graphs allocate
+// nothing.  One arena per thread (GhnInference::thread_arena) keeps this
+// safe under concurrent embeds.
+class ScratchArena {
+ public:
+  double* doubles(std::size_t n) { return doubles_.take(n); }
+  int* ints(std::size_t n) { return ints_.take(n); }
+
+  // Rewind all blocks; outstanding spans become invalid, capacity is kept.
+  void reset() {
+    doubles_.reset();
+    ints_.reset();
+  }
+
+  // Observability / test hooks.
+  std::size_t block_allocations() const {
+    return doubles_.allocations + ints_.allocations;
+  }
+  std::size_t capacity_bytes() const {
+    return doubles_.bytes() + ints_.bytes();
+  }
+
+ private:
+  template <typename T>
+  struct Pool {
+    struct Block {
+      std::unique_ptr<T[]> data;
+      std::size_t cap = 0;
+      std::size_t used = 0;
+    };
+    std::vector<Block> blocks;
+    std::size_t cursor = 0;  // index of the block currently being filled
+    std::size_t allocations = 0;
+
+    T* take(std::size_t n) {
+      while (cursor < blocks.size()) {
+        Block& b = blocks[cursor];
+        if (b.used + n <= b.cap) {
+          T* p = b.data.get() + b.used;
+          b.used += n;
+          return p;
+        }
+        ++cursor;  // tail of this block is skipped for the rest of the round
+      }
+      const std::size_t last = blocks.empty() ? 0 : blocks.back().cap;
+      const std::size_t cap = std::max<std::size_t>(
+          n, std::max<std::size_t>(4096, 2 * last));
+      Block b;
+      b.data = std::make_unique<T[]>(cap);
+      b.cap = cap;
+      b.used = n;
+      blocks.push_back(std::move(b));
+      ++allocations;
+      return blocks.back().data.get();
+    }
+    void reset() {
+      for (Block& b : blocks) b.used = 0;
+      cursor = 0;
+    }
+    std::size_t bytes() const {
+      std::size_t s = 0;
+      for (const Block& b : blocks) s += b.cap * sizeof(T);
+      return s;
+    }
+  };
+
+  Pool<double> doubles_;
+  Pool<int> ints_;
+};
+
+// Immutable, gradient-free snapshot of one Ghn2.  Construction copies (and
+// pre-transposes) every parameter, so the engine stays valid and
+// thread-safe even if the source GHN is later retrained or destroyed;
+// GhnRegistry invalidates its engines whenever a GHN is replaced.
+class GhnInference {
+ public:
+  explicit GhnInference(const Ghn2& ghn);
+
+  const GhnConfig& config() const { return cfg_; }
+  std::size_t hidden_dim() const { return cfg_.hidden_dim; }
+  // ghn_checksum of the source GHN at snapshot time (staleness key).
+  std::uint64_t source_checksum() const { return source_checksum_; }
+
+  // Tape-free embedding, ≤ 1e-9 relative from Ghn2::embedding(g).  The
+  // convenience form allocates only the returned Vector.
+  Vector embedding(const graph::CompGraph& g) const;
+  // Zero-allocation form: writes hidden_dim() values into `out`.  With a
+  // warm arena and `out` already at size, a call performs no heap
+  // allocation at all (asserted by the allocation-counting test).
+  void embed_into(const graph::CompGraph& g, Vector& out) const;
+
+  // The calling thread's scratch arena (exposed for warm-up and the
+  // allocation / reuse tests; embeds reset it on entry).
+  static ScratchArena& thread_arena();
+
+ private:
+  // One Linear with the weight stored transposed (out×in) so a row forward
+  // is a unit-stride dot per output.
+  struct TLinear {
+    Matrix wt;
+    Vector b;  // empty when the source layer has no bias
+  };
+  struct TMlp {
+    std::vector<TLinear> layers;
+    nn::Activation act = nn::Activation::kRelu;
+    std::size_t max_width = 0;
+    // y = mlp(x); scratch holds ≥ 2×max_width doubles.
+    void forward_row(const double* x, double* y, double* scratch) const;
+  };
+
+  GhnConfig cfg_;
+  std::uint64_t source_checksum_ = 0;
+
+  // Module 1 (kept in tape layout: it runs as a row-batched i-k-j GEMM).
+  Matrix embed_w_;  // F×H
+  Vector embed_b_;  // H (zeros when the layer has no bias)
+
+  // Module 2.
+  TMlp msg_mlp_;     // MLP(·) of Eq. 3
+  TMlp msg_mlp_sp_;  // MLP_sp(·) of Eq. 4
+  Matrix gru_wzt_, gru_wrt_, gru_wnt_;  // input weights, transposed (H×H)
+  Matrix gru_uz_, gru_ur_;  // old-state weights, tape layout (batched GEMM)
+  Matrix gru_unt_;          // Un transposed (sequential r∘h projection)
+  Vector gru_bz_, gru_br_, gru_bn_;
+
+  Matrix op_gains_;  // kNumOpTypes × H (row per op type)
+};
+
+}  // namespace pddl::ghn

@@ -9,7 +9,25 @@ void GhnRegistry::put(const std::string& dataset, std::unique_ptr<Ghn2> ghn) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = entries_[dataset];
   e.ghn = std::move(ghn);
+  e.infer.reset();  // stale engine: rebuilt lazily from the new parameters
   e.cache.clear();
+}
+
+const std::shared_ptr<const GhnInference>& GhnRegistry::inference_locked(
+    Entry& e) {
+  if (e.infer == nullptr) {
+    e.infer = std::make_shared<GhnInference>(*e.ghn);
+  }
+  return e.infer;
+}
+
+std::shared_ptr<const GhnInference> GhnRegistry::inference(
+    const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(dataset);
+  PDDL_CHECK(it != entries_.end(), "no GHN registered for dataset '", dataset,
+             "' — run the offline trainer first (§III-G)");
+  return inference_locked(it->second);
 }
 
 bool GhnRegistry::has_model(const std::string& dataset) const {
@@ -61,7 +79,7 @@ Vector GhnRegistry::embedding(const std::string& dataset,
   const std::uint64_t key = structural_fingerprint(g);
   auto cached = e.cache.find(key);
   if (cached != e.cache.end()) return cached->second;
-  Vector emb = e.ghn->embedding(g);
+  Vector emb = inference_locked(e)->embedding(g);
   e.cache[key] = emb;
   return emb;
 }
@@ -70,8 +88,9 @@ std::vector<Vector> GhnRegistry::embeddings(
     const std::string& dataset,
     const std::vector<const graph::CompGraph*>& gs, ThreadPool& pool) {
   // Resolve cache hits under the lock, release it for the parallel forward
-  // passes (Ghn2::embedding is const w.r.t. parameters), then publish.
-  Ghn2* ghn = nullptr;
+  // passes (the inference engine is an immutable snapshot, so concurrent
+  // embeds — even across a racing put() — are safe), then publish.
+  std::shared_ptr<const GhnInference> fast;
   std::vector<Vector> out(gs.size());
   std::vector<std::size_t> misses;
   {
@@ -79,7 +98,7 @@ std::vector<Vector> GhnRegistry::embeddings(
     auto it = entries_.find(dataset);
     PDDL_CHECK(it != entries_.end(), "no GHN registered for dataset '",
                dataset, "'");
-    ghn = it->second.ghn.get();
+    fast = inference_locked(it->second);
     for (std::size_t i = 0; i < gs.size(); ++i) {
       PDDL_CHECK(gs[i] != nullptr, "null graph in batch embed");
       auto cached = it->second.cache.find(structural_fingerprint(*gs[i]));
@@ -91,12 +110,12 @@ std::vector<Vector> GhnRegistry::embeddings(
     }
   }
   parallel_for(pool, 0, misses.size(), [&](std::size_t k) {
-    out[misses[k]] = ghn->embedding(*gs[misses[k]]);
+    out[misses[k]] = fast->embedding(*gs[misses[k]]);
   });
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(dataset);
-    if (it != entries_.end() && it->second.ghn.get() == ghn) {
+    if (it != entries_.end() && it->second.infer == fast) {
       for (std::size_t k : misses) {
         it->second.cache[structural_fingerprint(*gs[k])] = out[k];
       }

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "ghn/ghn2.hpp"
+#include "ghn/infer.hpp"
 #include "ghn/trainer.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -62,6 +63,12 @@ class GhnRegistry {
                                  const TrainerConfig& trainer_cfg,
                                  ThreadPool& pool);
 
+  // Tape-free inference engine for the dataset's GHN, built lazily from the
+  // registered parameters and shared: holders keep embedding safely across a
+  // concurrent put(), which installs a fresh engine for later callers.
+  // Throws if no GHN is registered.
+  std::shared_ptr<const GhnInference> inference(const std::string& dataset);
+
   // Direct access for ablations; nullptr when absent.
   Ghn2* model(const std::string& dataset);
   // Const read path for serialization (save_ghn / ghn_checksum read only
@@ -72,8 +79,13 @@ class GhnRegistry {
  private:
   struct Entry {
     std::unique_ptr<Ghn2> ghn;
+    // Lazily built tape-free engine (src/ghn/infer.hpp); reset by put().
+    std::shared_ptr<const GhnInference> infer;
     std::map<std::uint64_t, Vector> cache;  // structural fingerprint → embedding
   };
+  // Returns e.infer, building it first if absent.  Caller holds mutex_.
+  const std::shared_ptr<const GhnInference>& inference_locked(Entry& e);
+
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
 };

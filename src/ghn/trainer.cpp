@@ -130,6 +130,10 @@ TrainReport GhnTrainer::train(ThreadPool& pool) {
   report.final_loss = report.epoch_losses.empty()
                           ? 0.0
                           : report.epoch_losses.back();
+  // The optimizer wrote through parameter pointers captured at
+  // construction, bypassing Ghn2::parameters(); drop the checksum memo so
+  // the next ghn_checksum() re-hashes the trained weights.
+  ghn_.invalidate_checksum();
   return report;
 }
 

@@ -27,6 +27,11 @@ enum class Activation { kNone, kRelu, kTanh, kSigmoid };
 // Applies the given activation as a tape op (kNone is the identity).
 Var activate(Var x, Activation act);
 
+// Tape-free scalar form of the same activations, guaranteed to match the
+// tape ops bit-for-bit (same formulas, same libm calls).  The gradient-free
+// GHN inference engine (src/ghn/infer.hpp) is built on these.
+double activate_scalar(double x, Activation act);
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -49,8 +54,19 @@ class Linear final : public Module {
   Var forward(Ctx& ctx, Var x);
   std::vector<Matrix*> parameters() override;
 
+  // Tape-free single-row forward: y[0..out) = x·W (+ b), with x holding
+  // in_features() doubles.  Summation order matches the tape path exactly
+  // (ascending k), so results are bit-identical to forward().
+  void forward_row(const double* x, double* y) const;
+
   std::size_t in_features() const { return w_.rows(); }
   std::size_t out_features() const { return w_.cols(); }
+
+  // Raw read access for tape-free engines that pre-transform the weights
+  // (e.g. transpose them once for a dot micro-kernel).
+  const Matrix& weight() const { return w_; }
+  const Matrix& bias() const { return b_; }  // empty when bias is disabled
+  bool has_bias() const { return has_bias_; }
 
  private:
   Matrix w_;  // in × out, Xavier-uniform init
@@ -68,8 +84,17 @@ class Mlp final : public Module {
   Var forward(Ctx& ctx, Var x);
   std::vector<Matrix*> parameters() override;
 
+  // Tape-free single-row forward (bit-identical to forward()).  `scratch`
+  // must hold at least 2 × max_width() doubles; y needs out_features().
+  void forward_row(const double* x, double* y, double* scratch) const;
+
   std::size_t in_features() const { return layers_.front().in_features(); }
   std::size_t out_features() const { return layers_.back().out_features(); }
+  // Widest intermediate row any layer produces (scratch sizing).
+  std::size_t max_width() const;
+
+  const std::vector<Linear>& layers() const { return layers_; }
+  Activation hidden_activation() const { return hidden_act_; }
 
  private:
   std::vector<Linear> layers_;
@@ -92,6 +117,18 @@ class GruCell final : public Module {
 
   std::size_t hidden_dim() const { return uz_.rows(); }
   std::size_t input_dim() const { return wz_.rows(); }
+
+  // Raw read access to the gate weights (order as in Eq. above) for
+  // tape-free engines that pre-transpose / pre-multiply them.
+  const Matrix& wz() const { return wz_; }
+  const Matrix& uz() const { return uz_; }
+  const Matrix& bz() const { return bz_; }
+  const Matrix& wr() const { return wr_; }
+  const Matrix& ur() const { return ur_; }
+  const Matrix& br() const { return br_; }
+  const Matrix& wn() const { return wn_; }
+  const Matrix& un() const { return un_; }
+  const Matrix& bn() const { return bn_; }
 
  private:
   Matrix wz_, uz_, bz_;

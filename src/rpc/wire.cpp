@@ -187,6 +187,8 @@ void write_metrics(io::BinaryWriter& w, const serve::MetricsSnapshot& m) {
   write_histogram(w, m.e2e);
   write_histogram(w, m.queue);
   write_histogram(w, m.service);
+  write_histogram(w, m.embed_hit);
+  write_histogram(w, m.embed_miss);
 }
 
 serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
@@ -220,6 +222,8 @@ serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
   m.e2e = read_histogram(r);
   m.queue = read_histogram(r);
   m.service = read_histogram(r);
+  m.embed_hit = read_histogram(r);
+  m.embed_miss = read_histogram(r);
   return m;
 }
 

@@ -116,6 +116,8 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.e2e = e2e_ms.snapshot();
   s.queue = queue_ms.snapshot();
   s.service = service_ms.snapshot();
+  s.embed_hit = embed_hit_ms.snapshot();
+  s.embed_miss = embed_miss_ms.snapshot();
   return s;
 }
 
@@ -149,7 +151,9 @@ std::string MetricsSnapshot::to_string() const {
       "evictions=%llu\n"
       "  e2e      : %s\n"
       "  queue    : %s\n"
-      "  service  : %s\n",
+      "  service  : %s\n"
+      "  embed hit: %s\n"
+      "  embed mis: %s\n",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(errors),
@@ -160,7 +164,8 @@ std::string MetricsSnapshot::to_string() const {
       static_cast<unsigned long long>(cache_misses), 100.0 * cache_hit_rate(),
       static_cast<unsigned long long>(cache_entries),
       static_cast<unsigned long long>(cache_evictions), line(e2e).c_str(),
-      line(queue).c_str(), line(service).c_str());
+      line(queue).c_str(), line(service).c_str(), line(embed_hit).c_str(),
+      line(embed_miss).c_str());
   std::string out = buf;
   // The rpc line only appears when a transport actually served traffic, so
   // in-process dumps are unchanged.
@@ -275,7 +280,9 @@ std::string MetricsSnapshot::to_json() const {
   out += "]},";
   hist("e2e", e2e);
   hist("queue", queue);
-  hist("service", service, /*comma=*/false);
+  hist("service", service);
+  hist("embed_hit", embed_hit);
+  hist("embed_miss", embed_miss, /*comma=*/false);
   out += "}";
   return out;
 }

@@ -96,6 +96,11 @@ struct MetricsSnapshot {
   LatencyHistogram::Snapshot e2e;      // admission → response
   LatencyHistogram::Snapshot queue;    // admission → dequeue
   LatencyHistogram::Snapshot service;  // embed + inference only
+  // Embedding latency split by cache outcome: a hit is a shard-cache lookup
+  // (µs), a miss pays a full GHN forward pass — mixing them in one
+  // histogram hides the miss tail behind the hit mass.
+  LatencyHistogram::Snapshot embed_hit;   // cache-hit lookup time
+  LatencyHistogram::Snapshot embed_miss;  // forward-pass (uncached) time
 
   double cache_hit_rate() const {
     const std::uint64_t total = cache_hits + cache_misses;
@@ -149,6 +154,8 @@ class ServiceMetrics {
   LatencyHistogram e2e_ms;
   LatencyHistogram queue_ms;
   LatencyHistogram service_ms;
+  LatencyHistogram embed_hit_ms;
+  LatencyHistogram embed_miss_ms;
 
   // Counter + histogram snapshot; cache fields are filled in by the service,
   // which owns the cache.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/stopwatch.hpp"
+#include "ghn/infer.hpp"
 #include "ghn/registry.hpp"
 #include "io/snapshot.hpp"
 #include "io/tensor_io.hpp"
@@ -171,6 +172,9 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     graph::CompGraph graph;
     std::uint64_t fp = 0;
     ghn::Ghn2* ghn = nullptr;
+    // Tape-free engine (when cfg_.fast_embed); like `engine`, the shared_ptr
+    // pins the snapshot this batch resolved even across a concurrent put().
+    std::shared_ptr<const ghn::GhnInference> fast;
     std::shared_ptr<const core::InferenceEngine> engine;
     Vector embedding;
     double embed_ms = 0.0;
@@ -215,6 +219,7 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     w.engine = std::move(engine);
     w.ghn = ghn;
     try {
+      if (cfg_.fast_embed) w.fast = engine_.registry().inference(dataset);
       w.graph = p.req.workload.build_graph();
     } catch (const std::exception& e) {
       metrics_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -265,8 +270,13 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
   std::vector<std::exception_ptr> miss_errors(live.size());
   auto embed_one = [&live](std::size_t k) {
     Stopwatch sw;
-    live[k].embedding = live[k].ghn->embedding(live[k].graph);
-    live[k].embed_ms = sw.millis();
+    Work& w = live[k];
+    if (w.fast != nullptr) {
+      w.fast->embed_into(w.graph, w.embedding);
+    } else {
+      w.embedding = w.ghn->embedding(w.graph);
+    }
+    w.embed_ms = sw.millis();
   };
   if (misses.size() > 1) {
     for (std::size_t k : misses) {
@@ -319,8 +329,10 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     const std::string& dataset = p.req.workload.dataset.name;
     if (w.cache_hit) {
       metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      metrics_.embed_hit_ms.record(w.embed_ms);
     } else {
       metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      metrics_.embed_miss_ms.record(w.embed_ms);
       if (cfg_.cache_enabled) cache_.put(dataset, w.fp, w.embedding);
     }
 
@@ -350,6 +362,7 @@ std::size_t PredictionService::warm_up(
     graph::CompGraph graph;
     std::uint64_t fp = 0;
     ghn::Ghn2* ghn = nullptr;
+    std::shared_ptr<const ghn::GhnInference> fast;
     Vector embedding;
   };
   std::vector<Item> misses;
@@ -361,11 +374,17 @@ std::size_t PredictionService::warm_up(
     item.graph = w.build_graph();
     item.fp = ghn::structural_fingerprint(item.graph);
     item.ghn = ghn;
+    if (cfg_.fast_embed) item.fast = engine_.registry().inference(item.dataset);
     if (cache_.get(item.dataset, item.fp)) continue;  // already warm
     misses.push_back(std::move(item));
   }
   parallel_for(engine_.pool(), 0, misses.size(), [&](std::size_t i) {
-    misses[i].embedding = misses[i].ghn->embedding(misses[i].graph);
+    Item& item = misses[i];
+    if (item.fast != nullptr) {
+      item.fast->embed_into(item.graph, item.embedding);
+    } else {
+      item.embedding = item.ghn->embedding(item.graph);
+    }
   });
   for (Item& item : misses) {
     cache_.put(item.dataset, item.fp, std::move(item.embedding));

@@ -76,6 +76,10 @@ struct ServiceConfig {
   std::size_t cache_shards = 8;
   std::size_t cache_capacity = 4096;   // total entries across shards
   bool cache_enabled = true;           // false = loadgen baseline mode
+  bool fast_embed = true;              // cache misses use the tape-free
+                                       // GhnInference engine (src/ghn/infer.hpp);
+                                       // false = legacy autograd-tape path
+                                       // (parity baseline / ablations)
   double default_deadline_ms = 0.0;    // 0 = requests never expire
   bool start_paused = false;           // admission on, dispatch off (tests,
                                        // pre-warm before taking traffic)

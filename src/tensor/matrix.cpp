@@ -145,21 +145,76 @@ Matrix hadamard(const Matrix& a, const Matrix& b) {
   return out;
 }
 
+namespace {
+// Cache-block shape for the big-product gemm path: one B panel is
+// kKc×kNc doubles = 128 KiB, sized to sit in L2 while it is streamed
+// against every row of A.
+constexpr std::size_t kKc = 64;
+constexpr std::size_t kNc = 256;
+}  // namespace
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   PDDL_CHECK(a.cols() == b.rows(), "matmul inner-dimension mismatch: ",
              a.rows(), "x", a.cols(), " · ", b.rows(), "x", b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix out(m, n);
-  // i-k-j loop order keeps the inner loop contiguous in both b and out.
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a.row_ptr(i);
-    double* orow = out.row_ptr(i);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double aik = arow[kk];
-      if (aik == 0.0) continue;
-      const double* brow = b.row_ptr(kk);
-      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+  if (k <= kKc || n <= kNc) {
+    // Small B: the whole operand fits comfortably in cache, so a plain
+    // i-k-j sweep (inner loop contiguous in both b and out) is optimal.
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* arow = a.row_ptr(i);
+      double* orow = out.row_ptr(i);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double aik = arow[kk];
+        if (aik == 0.0) continue;
+        const double* brow = b.row_ptr(kk);
+        for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
     }
+    return out;
+  }
+  // Blocked path: tile over k and n so one kKc×kNc panel of B is reused
+  // across every row of A before the next panel is touched.  Each out
+  // element still receives its partial sums directly and in ascending-k
+  // order (k tiles ascend, kk ascends within a tile), so the result is
+  // bit-identical to the small-B sweep.
+  for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+    const std::size_t k1 = std::min(k, k0 + kKc);
+    for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
+      const std::size_t j1 = std::min(n, j0 + kNc);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* arow = a.row_ptr(i);
+        double* orow = out.row_ptr(i);
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const double aik = arow[kk];
+          if (aik == 0.0) continue;
+          const double* brow = b.row_ptr(kk);
+          for (std::size_t j = j0; j < j1; ++j) orow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void dot_rows_transposed(const double* x, const double* bt, std::size_t n,
+                         std::size_t k_dim, const double* bias, double* y) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* brow = bt + j * k_dim;
+    double s = 0.0;
+    for (std::size_t kk = 0; kk < k_dim; ++kk) s += x[kk] * brow[kk];
+    y[j] = bias == nullptr ? s : s + bias[j];
+  }
+}
+
+Matrix matmul_transposed_b(const Matrix& a, const Matrix& bt) {
+  PDDL_CHECK(a.cols() == bt.cols(), "matmul_transposed_b shape mismatch: ",
+             a.rows(), "x", a.cols(), " · (", bt.rows(), "x", bt.cols(),
+             ")ᵀ");
+  Matrix out(a.rows(), bt.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    dot_rows_transposed(a.row_ptr(i), bt.data(), bt.rows(), bt.cols(),
+                        nullptr, out.row_ptr(i));
   }
   return out;
 }

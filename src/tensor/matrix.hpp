@@ -2,8 +2,9 @@
 //
 // All numerical code in the repository (autograd, regression, GHN) is built
 // on this type.  The sizes involved are modest (feature matrices of a few
-// thousand rows, GHN hidden sizes ≤ 128), so kernels are plain loops with a
-// blocked gemm; no external BLAS dependency.
+// thousand rows, GHN hidden sizes ≤ 128): small products run a plain i-k-j
+// sweep, large ones a cache-blocked gemm (see matmul), and pre-transposed
+// operands get a unit-stride dot micro-kernel; no external BLAS dependency.
 #pragma once
 
 #include <cstddef>
@@ -105,8 +106,23 @@ Matrix operator*(const Matrix& a, double s);
 Matrix operator*(double s, const Matrix& a);
 Matrix hadamard(const Matrix& a, const Matrix& b);
 
-// Blocked matrix multiply: (m×k) · (k×n) → (m×n).
+// Matrix multiply (m×k) · (k×n) → (m×n).  Small products use a plain i-k-j
+// sweep; once the B panel outgrows L1/L2 the kernel tiles over k and n so
+// each B block is reused across all rows of A while cache-resident.  Both
+// paths accumulate each element's partial sums in ascending-k order, so the
+// result is bit-identical regardless of which path runs.
 Matrix matmul(const Matrix& a, const Matrix& b);
+// C = A·Bᵀ with B supplied already transposed (`bt` is n×k): a dot-product
+// micro-kernel with unit stride through both operands.  This is the layout
+// of choice for the skinny products GHN inference performs (1..N rows
+// against pre-transposed weight matrices); per-element summation order
+// matches matmul(a, b), so results agree bit-for-bit.
+Matrix matmul_transposed_b(const Matrix& a, const Matrix& bt);
+// Raw-pointer row kernel behind matmul_transposed_b, reusable by callers
+// that manage their own buffers (the tape-free GHN inference engine):
+// y[j] = Σ_k x[k]·bt[j·k_dim + k] (+ bias[j] when bias != nullptr).
+void dot_rows_transposed(const double* x, const double* bt, std::size_t n,
+                         std::size_t k_dim, const double* bias, double* y);
 // y = A·x.
 Vector matvec(const Matrix& a, const Vector& x);
 // y = Aᵀ·x.

@@ -1,0 +1,250 @@
+// Tests for the tape-free GHN inference engine (src/ghn/infer.hpp): parity
+// with the autograd-tape oracle across every model family and GHN config,
+// the zero-allocation steady-state contract, arena reuse across graph
+// sizes, and thread-safety of concurrent embeds (run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <vector>
+
+#include "ghn/ghn2.hpp"
+#include "ghn/infer.hpp"
+#include "ghn/registry.hpp"
+#include "graph/models.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+// ---- allocation-counting hook ----
+// The test binary replaces global operator new so individual tests can
+// assert that a code region performs zero heap allocations.  Counting is
+// per-thread and off by default, so gtest machinery and other threads are
+// unaffected.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+thread_local std::size_t t_alloc_count = 0;
+}  // namespace
+
+// The replaced operator new below is malloc-backed, so free() in the
+// replaced operator delete is the matching deallocator; GCC cannot see the
+// pairing at inlined call sites and warns spuriously.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t sz) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) ++t_alloc_count;
+  if (void* p = std::malloc(sz == 0 ? 1 : sz)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pddl::ghn {
+namespace {
+
+// One representative per model family in graph::model_registry().
+constexpr const char* kFamilyReps[] = {
+    "alexnet",           "vgg11",          "resnet18",
+    "resnext50_32x4d",   "wide_resnet50_2", "densenet121",
+    "squeezenet1_1",     "mobilenet_v3_small", "efficientnet_b0",
+    "shufflenet_v2_x0_5", "googlenet"};
+
+GhnConfig small_config(bool virtual_edges = true,
+                       bool op_normalization = true) {
+  GhnConfig c;
+  c.hidden_dim = 16;
+  c.mlp_hidden = 16;
+  c.virtual_edges = virtual_edges;
+  c.op_normalization = op_normalization;
+  return c;
+}
+
+void expect_parity(const Vector& tape, const Vector& fast,
+                   const std::string& what) {
+  ASSERT_EQ(tape.size(), fast.size()) << what;
+  for (std::size_t j = 0; j < tape.size(); ++j) {
+    const double tol = 1e-9 * std::max(1.0, std::fabs(tape[j]));
+    EXPECT_NEAR(fast[j], tape[j], tol) << what << " coordinate " << j;
+  }
+}
+
+// Tentpole acceptance: the fast engine reproduces the tape path to ≤ 1e-9
+// relative for every model family under every {virtual_edges,
+// op_normalization} combination.
+TEST(GhnInference, MatchesTapeAcrossFamiliesAndConfigs) {
+  std::vector<graph::CompGraph> graphs;
+  for (const char* name : kFamilyReps) {
+    graphs.push_back(graph::build_model(name, {3, 32, 32}, 10));
+  }
+  for (bool virtual_edges : {false, true}) {
+    for (bool op_normalization : {false, true}) {
+      Rng rng(11);
+      Ghn2 ghn(small_config(virtual_edges, op_normalization), rng);
+      const GhnInference inf(ghn);
+      for (const graph::CompGraph& g : graphs) {
+        const Vector tape = ghn.embedding(g);
+        const Vector fast = inf.embedding(g);
+        expect_parity(tape, fast,
+                      g.name() + (virtual_edges ? " +ve" : " -ve") +
+                          (op_normalization ? " +on" : " -on"));
+      }
+    }
+  }
+}
+
+TEST(GhnInference, MatchesTapeAtDefaultDimensions) {
+  // Default hidden_dim 32 exercises wider GEMMs than small_config.
+  GhnConfig cfg;
+  Rng rng(12);
+  Ghn2 ghn(cfg, rng);
+  const GhnInference inf(ghn);
+  const auto g = graph::build_model("resnet50", {3, 32, 32}, 10);
+  expect_parity(ghn.embedding(g), inf.embedding(g), "resnet50 @ default cfg");
+}
+
+TEST(GhnInference, SnapshotSurvivesSourceMutation) {
+  Rng rng(13);
+  Ghn2 ghn(small_config(), rng);
+  const auto g = graph::build_model("alexnet", {3, 32, 32}, 10);
+  const Vector before = ghn.embedding(g);
+  const GhnInference inf(ghn);
+  // Perturb the source GHN; the engine holds copies, so it keeps producing
+  // the snapshot-time embedding.
+  for (Matrix* p : ghn.parameters()) (*p) *= 1.5;
+  EXPECT_NE(ghn.embedding(g), before);
+  expect_parity(before, inf.embedding(g), "snapshot after mutation");
+}
+
+TEST(GhnInference, SourceChecksumMatchesSnapshotTimeChecksum) {
+  Rng rng(14);
+  Ghn2 ghn(small_config(), rng);
+  const std::uint64_t sum = ghn_checksum(ghn);
+  const GhnInference inf(ghn);
+  EXPECT_EQ(inf.source_checksum(), sum);
+  for (Matrix* p : ghn.parameters()) (*p) *= 2.0;
+  EXPECT_NE(ghn_checksum(ghn), inf.source_checksum());
+}
+
+// Acceptance: steady-state embed_into performs zero heap allocations — the
+// arena is warm, the output vector is sized, and nothing else on the path
+// allocates.
+TEST(GhnInference, SteadyStateEmbedPerformsNoAllocations) {
+  Rng rng(15);
+  Ghn2 ghn(small_config(), rng);
+  const GhnInference inf(ghn);
+  const auto g = graph::build_model("resnet18", {3, 32, 32}, 10);
+  Vector out;
+  inf.embed_into(g, out);  // warm-up: sizes the arena and `out`
+  const Vector warm = out;
+
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  t_alloc_count = 0;
+  inf.embed_into(g, out);
+  const std::size_t allocs = t_alloc_count;
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(out, warm);
+}
+
+TEST(GhnInference, ArenaIsReusedAcrossGraphSizes) {
+  Rng rng(16);
+  Ghn2 ghn(small_config(), rng);
+  const GhnInference inf(ghn);
+  const auto big = graph::build_model("densenet121", {3, 32, 32}, 10);
+  const auto small = graph::build_model("alexnet", {3, 32, 32}, 10);
+  Vector out;
+  inf.embed_into(big, out);  // largest graph first: arena at high-water mark
+  const std::size_t blocks =
+      GhnInference::thread_arena().block_allocations();
+  const std::size_t bytes = GhnInference::thread_arena().capacity_bytes();
+  // Smaller (and repeat) embeds must fit the existing blocks.
+  inf.embed_into(small, out);
+  inf.embed_into(big, out);
+  inf.embed_into(small, out);
+  EXPECT_EQ(GhnInference::thread_arena().block_allocations(), blocks);
+  EXPECT_EQ(GhnInference::thread_arena().capacity_bytes(), bytes);
+}
+
+// Run under TSan in CI: concurrent embeds on pool threads must not share
+// scratch (each thread has its own arena) and must agree with the oracle.
+TEST(GhnInference, ConcurrentEmbedsAreRaceFreeAndCorrect) {
+  Rng rng(17);
+  Ghn2 ghn(small_config(), rng);
+  const GhnInference inf(ghn);
+  std::vector<graph::CompGraph> graphs;
+  for (const char* name : kFamilyReps) {
+    graphs.push_back(graph::build_model(name, {3, 32, 32}, 10));
+  }
+  std::vector<Vector> expected;
+  for (const auto& g : graphs) expected.push_back(ghn.embedding(g));
+
+  ThreadPool pool(4);
+  constexpr int kRounds = 3;  // repeats reuse each pool thread's warm arena
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<Vector> got(graphs.size());
+    parallel_for(pool, 0, graphs.size(),
+                 [&](std::size_t i) { got[i] = inf.embedding(graphs[i]); });
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      expect_parity(expected[i], got[i], graphs[i].name() + " (concurrent)");
+    }
+  }
+}
+
+TEST(ScratchArena, SpansAreStableAcrossGrowth) {
+  ScratchArena arena;
+  double* first = arena.doubles(100);
+  first[0] = 42.0;
+  // Force several new blocks; the first span must not move.
+  for (int i = 0; i < 20; ++i) arena.ints(1 << 12);
+  (void)arena.doubles(1 << 20);
+  EXPECT_EQ(first[0], 42.0);
+  const std::size_t cap = arena.capacity_bytes();
+  arena.reset();
+  // reset() keeps capacity: re-taking the same sizes allocates no blocks.
+  const std::size_t blocks = arena.block_allocations();
+  (void)arena.doubles(100);
+  (void)arena.doubles(1 << 20);
+  EXPECT_EQ(arena.block_allocations(), blocks);
+  EXPECT_EQ(arena.capacity_bytes(), cap);
+}
+
+TEST(GhnRegistry, InferenceEngineIsCachedAndInvalidatedByPut) {
+  GhnRegistry reg;
+  Rng rng(18);
+  reg.put("cifar10", std::make_unique<Ghn2>(small_config(), rng));
+  auto a = reg.inference("cifar10");
+  auto b = reg.inference("cifar10");
+  EXPECT_EQ(a.get(), b.get());  // built once, cached
+  reg.put("cifar10", std::make_unique<Ghn2>(small_config(), rng));
+  auto c = reg.inference("cifar10");
+  EXPECT_NE(a.get(), c.get());  // replaced GHN → fresh engine
+  EXPECT_EQ(c->source_checksum(), ghn_checksum(*reg.model("cifar10")));
+  EXPECT_THROW((void)reg.inference("unknown"), std::exception);
+}
+
+TEST(GhnRegistry, EmbeddingPathUsesEngineButMatchesTape) {
+  GhnRegistry reg;
+  Rng rng(19);
+  auto ghn = std::make_unique<Ghn2>(small_config(), rng);
+  const auto g = graph::build_model("googlenet", {3, 32, 32}, 10);
+  const Vector tape = ghn->embedding(g);
+  reg.put("cifar10", std::move(ghn));
+  expect_parity(tape, reg.embedding("cifar10", g), "registry embedding");
+  // Batch path too (concurrent fast embeds + cache publish).
+  ThreadPool pool(2);
+  const auto g2 = graph::build_model("alexnet", {3, 32, 32}, 10);
+  const Vector tape2 = reg.model("cifar10")->embedding(g2);
+  auto out = reg.embeddings("cifar10", {&g, &g2}, pool);
+  ASSERT_EQ(out.size(), 2u);
+  expect_parity(tape, out[0], "registry batch [0]");
+  expect_parity(tape2, out[1], "registry batch [1]");
+}
+
+}  // namespace
+}  // namespace pddl::ghn

@@ -119,6 +119,49 @@ TEST(Ghn2, SerializationRoundTrip) {
   }
 }
 
+TEST(Ghn2, ChecksumIsStableAcrossRepeatCalls) {
+  Rng rng(81);
+  Ghn2 ghn(small_config(), rng);
+  const std::uint64_t first = ghn_checksum(ghn);
+  // Second call returns the memoized digest; both must agree with a fresh
+  // hash after an explicit invalidation (nothing changed).
+  EXPECT_EQ(ghn_checksum(ghn), first);
+  ghn.invalidate_checksum();
+  EXPECT_EQ(ghn_checksum(ghn), first);
+}
+
+TEST(Ghn2, ChecksumTracksParameterMutation) {
+  Rng rng(82);
+  Ghn2 ghn(small_config(), rng);
+  const std::uint64_t before = ghn_checksum(ghn);
+  // parameters() hands out mutable pointers and must drop the memo, so a
+  // write through them is reflected by the next checksum call.
+  std::vector<Matrix*> ps = ghn.parameters();
+  (*ps.front())(0, 0) += 1.0;
+  EXPECT_NE(ghn_checksum(ghn), before);
+  (*ps.front())(0, 0) -= 1.0;
+  ghn.invalidate_checksum();  // mutation through a stale pointer
+  EXPECT_EQ(ghn_checksum(ghn), before);
+}
+
+TEST(Ghn2, TrainingInvalidatesChecksumMemo) {
+  Rng rng(83);
+  Ghn2 ghn(small_config(), rng);
+  const std::uint64_t untrained = ghn_checksum(ghn);
+  TrainerConfig tcfg;
+  tcfg.corpus_size = 4;
+  tcfg.epochs = 1;
+  tcfg.batch_size = 2;
+  tcfg.darts.input = {3, 16, 16};
+  tcfg.darts.max_cells = 3;
+  GhnTrainer trainer(ghn, tcfg);
+  ThreadPool pool(2);
+  trainer.train(pool);
+  // The optimizer wrote through pointers captured before training; the
+  // trainer must have dropped the memo so the digest reflects new weights.
+  EXPECT_NE(ghn_checksum(ghn), untrained);
+}
+
 TEST(ComplexityTargets, DimensionAndMonotonicity) {
   Vector small = complexity_targets(
       graph::build_model("mobilenet_v3_small", {3, 32, 32}, 10));

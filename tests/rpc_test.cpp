@@ -251,6 +251,10 @@ TEST(Wire, StatsResponseRoundTripsEveryCounter) {
   resp.stats.batch_size_counts[0] = 5;
   resp.stats.batch_size_counts[7] = 3;
   resp.stats.batch_size_counts[serve::kMaxTrackedBatchSize] = 1;
+  resp.stats.embed_hit.count = 7;
+  resp.stats.embed_hit.p95_ms = 0.02;
+  resp.stats.embed_miss.count = 3;
+  resp.stats.embed_miss.max_ms = 11.5;
 
   const Response back = decode_response(encode_response(resp));
   EXPECT_EQ(back.stats.submitted, 11u);
@@ -272,6 +276,10 @@ TEST(Wire, StatsResponseRoundTripsEveryCounter) {
   EXPECT_EQ(back.stats.batch_size_counts[0], 5u);
   EXPECT_EQ(back.stats.batch_size_counts[7], 3u);
   EXPECT_EQ(back.stats.batch_size_counts[serve::kMaxTrackedBatchSize], 1u);
+  EXPECT_EQ(back.stats.embed_hit.count, 7u);
+  EXPECT_EQ(back.stats.embed_hit.p95_ms, 0.02);
+  EXPECT_EQ(back.stats.embed_miss.count, 3u);
+  EXPECT_EQ(back.stats.embed_miss.max_ms, 11.5);
 }
 
 TEST(Wire, ErrorResponseRoundTrips) {

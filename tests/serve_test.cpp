@@ -101,6 +101,45 @@ TEST_F(ServeTest, DeterministicCacheAccountingOnRepeatTraffic) {
   EXPECT_EQ(m.e2e.count, 6u);
 }
 
+TEST_F(ServeTest, EmbedLatencySplitsByCacheOutcome) {
+  PredictionService service(*pddl_);
+  const core::PredictRequest req = make_request("resnet18");
+  ASSERT_TRUE(service.predict(req).ok());  // miss: full forward pass
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(service.predict(req).ok());
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.embed_miss.count, 1u);
+  EXPECT_EQ(m.embed_hit.count, 3u);
+  // Histogram counts mirror the hit/miss counters by construction.
+  EXPECT_EQ(m.embed_hit.count, m.cache_hits);
+  EXPECT_EQ(m.embed_miss.count, m.cache_misses);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"embed_hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"embed_miss\""), std::string::npos);
+  EXPECT_NE(m.to_string().find("embed hit"), std::string::npos);
+}
+
+TEST_F(ServeTest, TapeFallbackPathMatchesFastEngine) {
+  // fast_embed=false serves through the legacy autograd-tape path; the two
+  // engines agree to ≤1e-9 relative, so predictions must match to fp noise.
+  ServiceConfig fast_cfg;
+  ServiceConfig tape_cfg;
+  tape_cfg.fast_embed = false;
+  PredictionService fast_service(*pddl_, fast_cfg);
+  PredictionService tape_service(*pddl_, tape_cfg);
+  for (const char* model : {"alexnet", "densenet121"}) {
+    const core::PredictRequest req = make_request(model);
+    const ServeResult fast = fast_service.predict(req);
+    const ServeResult tape = tape_service.predict(req);
+    ASSERT_TRUE(fast.ok()) << fast.error;
+    ASSERT_TRUE(tape.ok()) << tape.error;
+    const double tol =
+        1e-6 * std::max(1.0, std::fabs(tape.response.predicted_time_s));
+    EXPECT_NEAR(fast.response.predicted_time_s,
+                tape.response.predicted_time_s, tol)
+        << model;
+  }
+}
+
 TEST_F(ServeTest, CacheKeyIsStructuralAcrossClusterShapes) {
   // Same model on different clusters/batch sizes shares one embedding.
   PredictionService service(*pddl_);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <sstream>
 
@@ -55,6 +56,89 @@ TEST(Matrix, MatmulIdentityIsNoop) {
 TEST(Matrix, MatmulShapeMismatchThrows) {
   Matrix a(2, 3), b(2, 3);
   EXPECT_THROW(matmul(a, b), Error);
+}
+
+// Reference i-j-k product for validating the optimised matmul paths.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+TEST(Matrix, BlockedMatmulMatchesNaiveReference) {
+  // Shapes straddling the small→blocked thresholds (k ≤ 64, n ≤ 256),
+  // including odd sizes that leave partial tiles on every edge.
+  const std::size_t shapes[][3] = {{1, 1, 1},    {7, 65, 3},   {64, 64, 300},
+                                   {65, 65, 257}, {33, 300, 277}, {2, 129, 511},
+                                   {130, 257, 259}};
+  Rng rng(41);
+  for (const auto& s : shapes) {
+    const Matrix a = Matrix::randn(s[0], s[1], rng);
+    const Matrix b = Matrix::randn(s[1], s[2], rng);
+    const Matrix got = matmul(a, b);
+    const Matrix want = naive_matmul(a, b);
+    ASSERT_TRUE(got.same_shape(want));
+    EXPECT_LT((got - want).max_abs(), 1e-12)
+        << s[0] << "x" << s[1] << " · " << s[1] << "x" << s[2];
+  }
+}
+
+TEST(Matrix, BlockedPathIsBitIdenticalToSmallPath) {
+  // The blocked kernel accumulates each element in ascending-k order, same
+  // as the small path; slicing a big product into n ≤ 256 column strips
+  // forces the small path for comparison and must match exactly.
+  Rng rng(42);
+  const std::size_t m = 5, k = 100, n = 400;
+  const Matrix a = Matrix::randn(m, k, rng);
+  const Matrix b = Matrix::randn(k, n, rng);
+  const Matrix big = matmul(a, b);  // blocked (k > 64 and n > 256)
+  Matrix strip_b(k, 200);
+  for (std::size_t off = 0; off < n; off += 200) {
+    for (std::size_t r = 0; r < k; ++r) {
+      for (std::size_t c = 0; c < 200; ++c) strip_b(r, c) = b(r, off + c);
+    }
+    const Matrix strip = matmul(a, strip_b);  // small path (n ≤ 256)
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < 200; ++c) {
+        EXPECT_EQ(strip(r, c), big(r, off + c)) << r << "," << off + c;
+      }
+    }
+  }
+}
+
+TEST(Matrix, MatmulTransposedBMatchesMatmul) {
+  Rng rng(43);
+  for (const auto& s : {std::array<std::size_t, 3>{1, 16, 16},
+                        std::array<std::size_t, 3>{9, 33, 7},
+                        std::array<std::size_t, 3>{40, 70, 90}}) {
+    const Matrix a = Matrix::randn(s[0], s[1], rng);
+    const Matrix b = Matrix::randn(s[1], s[2], rng);
+    const Matrix got = matmul_transposed_b(a, b.transposed());
+    const Matrix want = matmul(a, b);
+    ASSERT_TRUE(got.same_shape(want));
+    EXPECT_LT((got - want).max_abs(), 1e-12);
+  }
+}
+
+TEST(Matrix, DotRowsTransposedAppliesOptionalBias) {
+  const Matrix bt{{1, 2}, {3, 4}, {5, 6}};  // B is 2x3, supplied transposed
+  const double x[2] = {10.0, 1.0};
+  const double bias[3] = {0.5, -0.5, 1.0};
+  double y[3];
+  dot_rows_transposed(x, bt.data(), 3, 2, nullptr, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 34.0);
+  EXPECT_DOUBLE_EQ(y[2], 56.0);
+  dot_rows_transposed(x, bt.data(), 3, 2, bias, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.5);
+  EXPECT_DOUBLE_EQ(y[1], 33.5);
+  EXPECT_DOUBLE_EQ(y[2], 57.0);
 }
 
 TEST(Matrix, MatmulAssociativity) {
