@@ -8,10 +8,25 @@
 // GHN and whether the neighbour belongs to the same architecture family;
 // the summary is the family-match rate plus the mean intra- vs inter-family
 // cosine gap.
+//
+// The second half calibrates the reuse index (src/reuse/, DESIGN.md §11):
+// for every model pair it dumps the embedding cosine distance, the signature
+// cosine distance (what the index thresholds at probe time, since a query
+// has no embedding yet), and the coarse prefilter distance to
+// bench_results/fig05_distances.csv; then, for a sweep of candidate ε
+// values, it measures what reuse actually costs — the relative prediction
+// error of substituting each within-ε neighbour's embedding for the model's
+// own, against both the own-embedding prediction and the simulator's ground
+// truth.  The chosen default ε and its error budget are recorded in
+// DESIGN.md §11.
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "bench_common.hpp"
 #include "graph/models.hpp"
+#include "reuse/reuse_index.hpp"
+#include "reuse/signature.hpp"
 
 using namespace pddl;
 
@@ -82,5 +97,125 @@ int main() {
   bench::emit(s, "Fig. 5 summary — intra-family similarity must exceed "
                  "inter-family",
               "fig05_summary.csv");
+
+  // ---- reuse-index calibration (DESIGN.md §11) ----
+  // Per-pair distances.  sig_cos is the quantity ReuseIndex::probe()
+  // thresholds against ε; embed_cos_dist is the quantity that actually
+  // controls prediction error.  The CSV lets DESIGN.md show how tightly the
+  // first bounds the second.
+  std::vector<reuse::StructuralSignature> sigs;
+  sigs.reserve(names.size());
+  for (const auto& spec : registry) {
+    sigs.push_back(reuse::make_signature(spec.build({3, 32, 32}, 10)));
+  }
+
+  // Fit the predictor exactly as the serving path fits it (train_offline on
+  // the CIFAR-10 campaign); predictions use a mid-sized uniform cluster.
+  // pred_sub(q ← donor) prices what the reuse index would actually serve:
+  // q's own workload scalars and cluster, the donor's embedding.
+  pddl.train_offline(workload::cifar10());
+  const cluster::ClusterSpec cl = cluster::make_uniform_cluster("p100", 4);
+  std::vector<double> pred_own(embs.size()), actual(embs.size());
+  std::vector<workload::DlWorkload> wls;
+  for (std::size_t i = 0; i < embs.size(); ++i) {
+    wls.push_back(workload::DlWorkload{names[i], workload::cifar10(), 64, 10});
+    pred_own[i] = pddl.predict_from_features(
+        "cifar10", pddl.features().assemble_features(embs[i], wls[i], cl));
+    actual[i] = simulator.expected(wls[i], cl).total_s;
+  }
+  auto pred_sub = [&](std::size_t q, std::size_t donor) {
+    return pddl.predict_from_features(
+        "cifar10", pddl.features().assemble_features(embs[donor], wls[q], cl));
+  };
+
+  Table d({"model_a", "model_b", "same_family", "embed_cos_dist", "sig_cos",
+           "sig_prefilter", "dpred_a_from_b", "dpred_b_from_a"});
+  double intra_sig_max = 0.0, inter_sig_min = 10.0;
+  for (std::size_t i = 0; i < embs.size(); ++i) {
+    for (std::size_t j = i + 1; j < embs.size(); ++j) {
+      const bool same = families[i] == families[j];
+      const double embed_dist = 1.0 - cosine_similarity(embs[i], embs[j]);
+      const double sig_cos = reuse::signature_cosine_distance(sigs[i], sigs[j]);
+      const double sig_pre = reuse::signature_distance(sigs[i], sigs[j]);
+      if (same) {
+        intra_sig_max = std::max(intra_sig_max, sig_cos);
+      } else {
+        inter_sig_min = std::min(inter_sig_min, sig_cos);
+      }
+      d.row()
+          .add(names[i])
+          .add(names[j])
+          .add(same ? "yes" : "no")
+          .add(embed_dist, 6)
+          .add(sig_cos, 6)
+          .add(sig_pre, 6)
+          .add(std::fabs(pred_sub(i, j) - pred_own[i]) / pred_own[i], 4)
+          .add(std::fabs(pred_sub(j, i) - pred_own[j]) / pred_own[j], 4);
+    }
+  }
+  bench::emit(d,
+              "Fig. 5 extension — pairwise embedding vs structural-signature "
+              "distances (reuse-index calibration)",
+              "fig05_distances.csv");
+
+  // ε sweep: for each candidate threshold, treat every ordered pair (query,
+  // donor) that passes the index's *joint* hit gate — sig_cos ≤ ε AND
+  // prefilter distance ≤ max_signature_distance (op-mix cosine is
+  // scale-invariant; the prefilter's node/edge terms are what keep distant
+  // depth variants out) — as a reuse hit and price the substitution.  The
+  // `budget=∞` rows show why the joint gate exists.
+
+  const double default_budget = reuse::ReuseConfig{}.max_signature_distance;
+  Table e({"epsilon", "prefilter budget", "eligible pairs",
+           "mean |Δpred|/pred", "max |Δpred|/pred", "reused err vs actual",
+           "own err vs actual"});
+  auto sweep_row = [&](double eps, double budget) {
+    double dsum = 0.0, dmax = 0.0, reused_err = 0.0, own_err = 0.0;
+    std::size_t n = 0;
+    for (std::size_t q = 0; q < embs.size(); ++q) {
+      for (std::size_t donor = 0; donor < embs.size(); ++donor) {
+        if (q == donor) continue;
+        if (reuse::signature_distance(sigs[q], sigs[donor]) > budget) continue;
+        if (reuse::signature_cosine_distance(sigs[q], sigs[donor]) > eps) {
+          continue;
+        }
+        const double reused_pred = pred_sub(q, donor);
+        const double delta = std::fabs(reused_pred - pred_own[q]) / pred_own[q];
+        dsum += delta;
+        dmax = std::max(dmax, delta);
+        reused_err += std::fabs(reused_pred - actual[q]) / actual[q];
+        own_err += std::fabs(pred_own[q] - actual[q]) / actual[q];
+        ++n;
+      }
+    }
+    auto& row = e.row().add(eps, 4);
+    if (std::isfinite(budget)) {
+      row.add(budget, 2);
+    } else {
+      row.add("inf");
+    }
+    row.add(n);
+    if (n == 0) {
+      row.add("-").add("-").add("-").add("-");
+    } else {
+      const double dn = static_cast<double>(n);
+      row.add(dsum / dn, 4).add(dmax, 4).add(reused_err / dn, 4)
+          .add(own_err / dn, 4);
+    }
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double eps : {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05}) {
+    sweep_row(eps, default_budget);
+  }
+  // Without the size half of the gate the same ε admits distant depth and
+  // width variants and the substitution error explodes.
+  sweep_row(0.005, inf);
+  sweep_row(reuse::ReuseConfig{}.epsilon, inf);
+  e.row().add("intra-family max sig_cos").add(intra_sig_max, 6);
+  e.row().add("inter-family min sig_cos").add(inter_sig_min, 6);
+  bench::emit(e,
+              "Fig. 5 extension — ε sweep: prediction-error cost of serving "
+              "within-ε neighbours from the reuse index",
+              "fig05_epsilon.csv");
   return 0;
 }

@@ -1,0 +1,186 @@
+// Reuse planner bench (DESIGN.md §11): end-to-end cost of predicting a batch
+// of N (model × cluster) candidates with and without the reuse subsystem.
+//
+// Baseline ("fresh"): the batch arrives as one concurrent burst at a
+// reuse-off service with a cold cache.  The service deliberately has no
+// in-flight fingerprint dedup (see serve/service.cpp), so every candidate —
+// including identical architectures on different clusters — pays its own GHN
+// forward pass: N candidates, N fresh embeds.
+//
+// Planned: plan_batch() groups the same candidates by the reuse index's
+// joint hit gate, execute_plan() runs anchors to completion first, then the
+// rest land on the embedding cache (identical architecture) or the reuse
+// index (within-ε neighbour).  Only one embed per structural group.
+//
+// The headline column is the total embedding compute (Σ per-request
+// embedding_ms) — the paper's batch-scalability cost metric (Fig. 13): the
+// GHN forward pass dominates per-request cost, and aggregate compute is what
+// a scheduler pays regardless of how many cores happen to absorb the burst.
+// Wall clock for both paths is reported alongside.
+//
+// The second table prices what reuse costs in accuracy at paper scale: for
+// every reused step of the largest batch, the relative delta between the
+// reused prediction and the own-embedding prediction must sit inside the
+// ε-budget measured in fig05_epsilon.csv (mean ≈ 5.6%, max ≈ 8.1% at the
+// default gate).
+#include <cmath>
+#include <future>
+#include <utility>
+
+#include "bench_common.hpp"
+#include "reuse/batch_planner.hpp"
+
+using namespace pddl;
+
+namespace {
+
+struct RunStats {
+  std::size_t fresh = 0, cache = 0, reused = 0;
+  double embed_ms = 0.0;  // Σ per-request embedding_ms (compute cost)
+  double wall_ms = 0.0;
+};
+
+RunStats run_baseline(core::PredictDdl& pddl,
+                      const std::vector<reuse::BatchCandidate>& batch) {
+  serve::ServiceConfig cfg;
+  cfg.dispatcher_threads = 1;
+  cfg.max_batch = batch.size();
+  serve::PredictionService service(pddl, cfg);  // reuse off, cold cache
+  RunStats out;
+  Stopwatch wall;
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (const auto& c : batch) {
+    futures.push_back(
+        service.submit(core::PredictRequest{c.workload, c.cluster}));
+  }
+  for (auto& f : futures) {
+    const serve::ServeResult r = f.get();
+    PDDL_CHECK(r.ok(), "baseline request failed: ", r.error);
+    out.embed_ms += r.response.embedding_ms;
+    if (r.cache_hit) {
+      ++out.cache;
+    } else {
+      ++out.fresh;
+    }
+  }
+  out.wall_ms = wall.millis();
+  service.stop();
+  return out;
+}
+
+RunStats run_planned(core::PredictDdl& pddl,
+                     const std::vector<reuse::BatchCandidate>& batch,
+                     reuse::BatchExecution* exec_out = nullptr) {
+  serve::ServiceConfig cfg;
+  cfg.dispatcher_threads = 1;
+  cfg.max_batch = batch.size();
+  cfg.reuse.enabled = true;
+  serve::PredictionService service(pddl, cfg);
+  const reuse::BatchPlan plan =
+      reuse::plan_batch(batch, reuse::ReuseConfig{}.epsilon);
+  const reuse::BatchExecution exec =
+      reuse::execute_plan(service, batch, plan);
+  RunStats out;
+  out.fresh = exec.fresh_embeds;
+  out.cache = exec.cache_hits;
+  out.reused = exec.reuse_hits;
+  out.wall_ms = exec.total_ms;
+  for (const auto& step : exec.steps) {
+    PDDL_CHECK(step.result.ok(), "planned request failed: ",
+               step.result.error);
+    out.embed_ms += step.result.response.embedding_ms;
+  }
+  if (exec_out != nullptr) *exec_out = exec;
+  service.stop();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdl pddl(simulator, pool, bench::standard_options());
+  bench::ensure_ghn_cached(pddl, workload::cifar10(),
+                           bench::standard_options());
+  pddl.train_offline(workload::cifar10());
+
+  // Ordered so every prefix is a realistic planning batch: three structural
+  // groups (vgg, efficientnet, squeezenet), each mixing a cluster sweep of
+  // the anchor with a within-ε family variant.  All reuse edges here pass
+  // the default joint gate (see fig05_distances.csv).
+  auto cand = [&](const char* model, int servers) {
+    return reuse::BatchCandidate{
+        workload::DlWorkload{model, workload::cifar10(), 64, 10},
+        cluster::make_uniform_cluster("p100", servers)};
+  };
+  const std::vector<reuse::BatchCandidate> all = {
+      cand("vgg11", 4),           cand("vgg13", 4),
+      cand("vgg11", 8),           cand("efficientnet_b1", 4),
+      cand("efficientnet_b2", 4), cand("efficientnet_b1", 8),
+      cand("squeezenet1_0", 4),   cand("squeezenet1_1", 4),
+  };
+
+  Table t({"batch", "fresh embeds (baseline)", "fresh embeds (planned)",
+           "cache hits", "reuse hits", "baseline embed ms",
+           "planned embed ms", "speedup", "baseline wall ms",
+           "planned wall ms"});
+  reuse::BatchExecution largest;
+  for (const std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{6},
+                              std::size_t{8}}) {
+    const std::vector<reuse::BatchCandidate> batch(all.begin(),
+                                                   all.begin() + n);
+    const RunStats base = run_baseline(pddl, batch);
+    const RunStats planned =
+        run_planned(pddl, batch, n == all.size() ? &largest : nullptr);
+    t.row()
+        .add(n)
+        .add(base.fresh)
+        .add(planned.fresh)
+        .add(planned.cache)
+        .add(planned.reused)
+        .add(base.embed_ms, 1)
+        .add(planned.embed_ms, 1)
+        .add(base.embed_ms / planned.embed_ms, 2)
+        .add(base.wall_ms, 1)
+        .add(planned.wall_ms, 1);
+  }
+  bench::emit(t,
+              "Reuse planner — planned batch vs unplanned fresh burst "
+              "(speedup = total embedding compute, fresh/planned)",
+              "reuse_planner.csv");
+
+  // Accuracy cost of the reused steps in the 8-candidate batch: reused
+  // prediction vs the own-embedding prediction for the same (workload,
+  // cluster).  Must stay inside the fig05 ε budget.
+  Table a({"model", "donor", "sig_cos", "reused pred (s)", "own pred (s)",
+           "|Δpred|/pred"});
+  const reuse::BatchPlan plan =
+      reuse::plan_batch(all, reuse::ReuseConfig{}.epsilon);
+  for (const auto& step : largest.steps) {
+    if (step.result.confidence != serve::Confidence::kReused) continue;
+    const auto& c = all[step.candidate];
+    const Vector own_emb =
+        pddl.registry().embedding("cifar10", c.workload.build_graph());
+    const double own = pddl.predict_from_features(
+        "cifar10",
+        pddl.features().assemble_features(own_emb, c.workload, c.cluster));
+    const double reused = step.result.response.predicted_time_s;
+    std::size_t anchor = step.candidate;
+    for (const auto& s : plan.order) {
+      if (s.candidate == step.candidate) anchor = s.anchor;
+    }
+    a.row()
+        .add(c.workload.model)
+        .add(all[anchor].workload.model)
+        .add(step.result.reuse_distance, 4)
+        .add(reused, 1)
+        .add(own, 1)
+        .add(std::fabs(reused - own) / own, 4);
+  }
+  bench::emit(a,
+              "Reuse planner — prediction cost of each reuse edge in the "
+              "8-candidate batch (must sit inside the fig05 ε budget)",
+              "reuse_planner_error.csv");
+  return 0;
+}

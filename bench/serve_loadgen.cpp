@@ -302,6 +302,13 @@ int run(double feedback_rate, double feedback_skew) {
     add_row(table, "closed", true, std::to_string(kThreads) + " threads",
             cached);
     std::printf("%s\n", cached.metrics.to_string().c_str());
+    // Shard occupancy: the fingerprint hash should spread the warmed
+    // working set roughly evenly, or one hot shard serializes the lookups.
+    std::printf("cache shard occupancy:");
+    for (const std::size_t n : service.cache().shard_entry_counts()) {
+      std::printf(" %zu", n);
+    }
+    std::printf("\n\n");
   }
 
   // --- Open loop: arrival-rate sweep against a small admission queue. ---

@@ -1,0 +1,91 @@
+// Batch planner example (DESIGN.md §11): order a batch of (model × cluster)
+// candidates so later candidates reuse earlier embeddings instead of each
+// paying a GHN forward pass.
+//
+// A realistic capacity-planning batch mixes three kinds of redundancy:
+//   - the same model swept over cluster sizes (embedding-cache hits),
+//   - near-duplicate depth/width variants of one family (reuse-index hits),
+//   - genuinely distinct architectures (fresh embeds — the anchors).
+// plan_batch() groups the candidates by the reuse index's joint hit gate
+// (signature cosine ≤ ε AND prefilter distance ≤ budget), orders anchors
+// first, and execute_plan() runs the two waves against a live
+// PredictionService.
+//
+// Build & run:  ./build/examples/batch_planner
+#include <cstdio>
+
+#include "reuse/batch_planner.hpp"
+
+using namespace pddl;
+
+int main() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdlOptions opts;
+  opts.ghn_trainer.corpus_size = 32;
+  opts.ghn_trainer.epochs = 12;
+  core::PredictDdl pddl(simulator, pool, std::move(opts));
+  std::printf("training PredictDDL once for cifar10...\n\n");
+  pddl.train_offline(workload::cifar10());
+
+  // Eight candidates, three structural groups (see DESIGN.md §11 for why
+  // these pairs pass the gate at the default ε).
+  auto cand = [&](const char* model, int servers) {
+    return reuse::BatchCandidate{
+        workload::DlWorkload{model, workload::cifar10(), 64, 10},
+        cluster::make_uniform_cluster("p100", servers)};
+  };
+  const std::vector<reuse::BatchCandidate> batch = {
+      cand("vgg11", 4),           cand("vgg13", 4),
+      cand("vgg11", 8),           cand("efficientnet_b1", 4),
+      cand("efficientnet_b2", 4), cand("efficientnet_b1", 8),
+      cand("squeezenet1_0", 4),   cand("squeezenet1_1", 4),
+  };
+
+  const reuse::ReuseConfig defaults;
+  const reuse::BatchPlan plan = reuse::plan_batch(batch, defaults.epsilon);
+  std::printf("plan: %zu candidates in %zu structural groups "
+              "(eps=%g, prefilter budget=%g)\n\n",
+              batch.size(), plan.num_groups, defaults.epsilon,
+              defaults.max_signature_distance);
+  std::printf("%4s %20s %8s %6s %20s %10s\n", "step", "model", "servers",
+              "group", "anchor", "sig_cos");
+  for (std::size_t s = 0; s < plan.order.size(); ++s) {
+    const auto& step = plan.order[s];
+    const auto& c = batch[step.candidate];
+    std::printf("%4zu %20s %8zu %6zu %20s %10.4f\n", s,
+                c.workload.model.c_str(), c.cluster.servers.size(), step.group,
+                step.is_anchor() ? "(anchor)"
+                                 : batch[step.anchor].workload.model.c_str(),
+                step.planned_distance);
+  }
+
+  serve::ServiceConfig cfg;
+  cfg.reuse.enabled = true;
+  serve::PredictionService service(pddl, cfg);
+  const reuse::BatchExecution exec =
+      reuse::execute_plan(service, batch, plan);
+
+  std::printf("\nexecuted in %.1fms — %zu fresh embeds, %zu cache hits, "
+              "%zu reuse hits\n\n",
+              exec.total_ms, exec.fresh_embeds, exec.cache_hits,
+              exec.reuse_hits);
+  std::printf("%20s %8s %14s %12s\n", "model", "servers", "predicted(s)",
+              "confidence");
+  for (const auto& step : exec.steps) {
+    const auto& c = batch[step.candidate];
+    char conf[48];
+    if (step.result.confidence == serve::Confidence::kReused) {
+      std::snprintf(conf, sizeof(conf), "reused(%.4f)",
+                    step.result.reuse_distance);
+    } else {
+      std::snprintf(conf, sizeof(conf), "%s",
+                    step.result.cache_hit ? "exact(cache)" : "exact");
+    }
+    std::printf("%20s %8zu %14.1f %12s\n", c.workload.model.c_str(),
+                c.cluster.servers.size(),
+                step.result.response.predicted_time_s, conf);
+  }
+  service.stop();
+  return 0;
+}

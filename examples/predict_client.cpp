@@ -130,7 +130,9 @@ int main(int argc, char** argv) {
             std::printf("  %.1fs  (%s, embed %.2fms, infer %.2fms, "
                         "e2e %.2fms)",
                         r.response.predicted_time_s,
-                        r.cache_hit ? "cache hit" : "cache miss",
+                        r.confidence == serve::Confidence::kReused
+                            ? "reused"
+                            : (r.cache_hit ? "cache hit" : "cache miss"),
                         r.response.embedding_ms, r.response.inference_ms,
                         r.total_ms);
           } else {

@@ -20,6 +20,12 @@
 //                     current — possibly refitted — regressors, and the
 //                     observation log) into DIR for a warm restart
 //   --fast            tiny offline training, cifar10 only (CI smoke / demos)
+//   --reuse-eps E     enable the near-duplicate reuse index (src/reuse/)
+//                     with hit threshold ε = E (0 disables; see DESIGN.md
+//                     §11 for the calibrated default 0.05).  Warm-up then
+//                     also seeds the index, so near-duplicates of the
+//                     Table II workloads are served without a GHN forward
+//                     pass, tagged reused(distance) in the response.
 //
 // The server always runs a feedback::FeedbackController, so the observe /
 // refit / refit_status ops work out of the box: schedulers report measured
@@ -51,6 +57,7 @@ int main(int argc, char** argv) {
   std::string state_dir;
   std::string save_state_dir;
   bool fast = false;
+  double reuse_eps = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -63,10 +70,12 @@ int main(int argc, char** argv) {
       save_state_dir = argv[++i];
     } else if (arg == "--fast") {
       fast = true;
+    } else if (arg == "--reuse-eps" && i + 1 < argc) {
+      reuse_eps = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--host H] [--state DIR] "
-                   "[--save-state DIR] [--fast]\n",
+                   "[--save-state DIR] [--fast] [--reuse-eps E]\n",
                    argv[0]);
       return 2;
     }
@@ -113,6 +122,12 @@ int main(int argc, char** argv) {
   cfg.queue_capacity = 256;
   cfg.cache_shards = 8;
   cfg.cache_capacity = 1024;
+  if (reuse_eps > 0.0) {
+    cfg.reuse.enabled = true;
+    cfg.reuse.epsilon = reuse_eps;
+    std::printf("near-duplicate reuse on (eps=%g, prefilter budget=%g)\n",
+                reuse_eps, cfg.reuse.max_signature_distance);
+  }
   serve::PredictionService service(pddl, cfg);
 
   Stopwatch warm_sw;

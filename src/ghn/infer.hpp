@@ -65,6 +65,13 @@ class ScratchArena {
   std::size_t capacity_bytes() const {
     return doubles_.bytes() + ints_.bytes();
   }
+  // Live blocks across both pools — with capacity_bytes() this is the
+  // arena's high-water mark the service's metrics report: capacity only
+  // grows, so (bytes, chunks) after an embed is the footprint every later
+  // same-shape embed reuses allocation-free.
+  std::size_t chunk_count() const {
+    return doubles_.blocks.size() + ints_.blocks.size();
+  }
 
  private:
   template <typename T>

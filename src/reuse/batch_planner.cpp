@@ -1,0 +1,115 @@
+#include "reuse/batch_planner.hpp"
+
+#include <future>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+#include "ghn/registry.hpp"
+#include "reuse/signature.hpp"
+
+namespace pddl::reuse {
+
+BatchPlan plan_batch(const std::vector<BatchCandidate>& candidates,
+                     double epsilon, double max_signature_distance) {
+  struct Group {
+    std::size_t anchor = 0;
+    StructuralSignature sig;
+    std::uint64_t fp = 0;
+  };
+  std::vector<Group> groups;
+  std::vector<PlannedStep> steps;
+  steps.reserve(candidates.size());
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const graph::CompGraph g = candidates[i].workload.build_graph();
+    const StructuralSignature sig = make_signature(g);
+    const std::uint64_t fp = ghn::structural_fingerprint(g);
+
+    PlannedStep step;
+    step.candidate = i;
+    std::size_t best_group = groups.size();
+    double best_distance = 0.0;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      if (groups[gi].fp != fp &&
+          signature_distance(sig, groups[gi].sig) > max_signature_distance) {
+        continue;
+      }
+      const double d =
+          groups[gi].fp == fp ? 0.0 : signature_cosine_distance(sig, groups[gi].sig);
+      if (d <= epsilon &&
+          (best_group == groups.size() || d < best_distance)) {
+        best_group = gi;
+        best_distance = d;
+      }
+    }
+    if (best_group == groups.size()) {
+      groups.push_back(Group{i, sig, fp});
+      best_distance = 0.0;
+    }
+    step.group = best_group;
+    step.anchor = groups[best_group].anchor;
+    step.planned_distance = best_distance;
+    steps.push_back(step);
+  }
+
+  BatchPlan plan;
+  plan.num_groups = groups.size();
+  plan.order.reserve(steps.size());
+  for (const PlannedStep& s : steps) {
+    if (s.is_anchor()) plan.order.push_back(s);
+  }
+  for (const PlannedStep& s : steps) {
+    if (!s.is_anchor()) plan.order.push_back(s);
+  }
+  return plan;
+}
+
+BatchExecution execute_plan(serve::PredictionService& service,
+                            const std::vector<BatchCandidate>& candidates,
+                            const BatchPlan& plan) {
+  BatchExecution out;
+  out.steps.reserve(plan.order.size());
+  Stopwatch wall;
+
+  auto account = [&out](std::size_t candidate, serve::ServeResult result) {
+    if (result.ok()) {
+      if (result.confidence == serve::Confidence::kReused) {
+        ++out.reuse_hits;
+      } else if (result.cache_hit) {
+        ++out.cache_hits;
+      } else {
+        ++out.fresh_embeds;
+      }
+    }
+    out.steps.push_back(BatchExecution::Step{candidate, std::move(result)});
+  };
+
+  // Wave 1: anchors, waited to completion so each group's embedding is in
+  // the cache and the reuse index before any reuser is admitted.
+  std::vector<std::pair<std::size_t, std::future<serve::ServeResult>>> wave;
+  for (const PlannedStep& s : plan.order) {
+    if (!s.is_anchor()) continue;
+    const BatchCandidate& c = candidates[s.candidate];
+    wave.emplace_back(
+        s.candidate,
+        service.submit(core::PredictRequest{c.workload, c.cluster}));
+  }
+  for (auto& [candidate, future] : wave) account(candidate, future.get());
+  wave.clear();
+
+  // Wave 2: every reuser in flight together — each lands on either the
+  // cache (identical architecture) or the reuse index (near-duplicate).
+  for (const PlannedStep& s : plan.order) {
+    if (s.is_anchor()) continue;
+    const BatchCandidate& c = candidates[s.candidate];
+    wave.emplace_back(
+        s.candidate,
+        service.submit(core::PredictRequest{c.workload, c.cluster}));
+  }
+  for (auto& [candidate, future] : wave) account(candidate, future.get());
+
+  out.total_ms = wall.millis();
+  return out;
+}
+
+}  // namespace pddl::reuse

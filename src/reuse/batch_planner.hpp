@@ -1,0 +1,87 @@
+// Batch prediction planner: order N (model × cluster) candidates so later
+// candidates reuse earlier embeddings.
+//
+// The paper's headline batch scenario — predicting 2–8 workloads is
+// 2.6×–10.3× cheaper than profiling them — rests on the observation that a
+// batch of candidates usually contains structural near-duplicates (depth
+// variants of one family, or one model swept over several cluster sizes).
+// The served analogue: embed one representative ("anchor") of each
+// structural group fresh, then let every remaining candidate hit either the
+// embedding cache (same architecture, different cluster) or the reuse index
+// (within-ε neighbour).  The planner makes that ordering explicit:
+//
+//   1. group candidates by signature cosine distance to each group's anchor
+//      (identical fingerprints always share a group);
+//   2. emit all anchors first, then the reusers.
+//
+// execute_plan() runs the plan against a live PredictionService in two
+// waves — anchors to completion, then every reuser concurrently — and
+// reports per-step ServeResults plus how each embedding was actually
+// obtained, so the reuse_planner bench can compare planned vs fresh
+// end-to-end cost directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "reuse/reuse_index.hpp"
+#include "serve/service.hpp"
+
+namespace pddl::reuse {
+
+struct BatchCandidate {
+  workload::DlWorkload workload;
+  cluster::ClusterSpec cluster;
+};
+
+struct PlannedStep {
+  std::size_t candidate = 0;  // index into the input candidate vector
+  std::size_t group = 0;      // structural group id (anchor-ordered)
+  std::size_t anchor = 0;     // candidate index of this group's anchor
+  // Signature cosine distance to the anchor (0 for the anchor itself and
+  // for identical architectures).
+  double planned_distance = 0.0;
+
+  bool is_anchor() const { return candidate == anchor; }
+};
+
+struct BatchPlan {
+  // Anchors first (one per group, in group order), then the reusers.
+  std::vector<PlannedStep> order;
+  std::size_t num_groups = 0;
+};
+
+// Groups candidates greedily: a candidate joins the closest group whose
+// anchor passes the reuse index's joint hit gate — signature cosine ≤
+// `epsilon` AND prefilter signature distance ≤ `max_signature_distance` —
+// else founds a new group, so the plan's reuse edges are exactly the ones
+// the index will later serve.  Throws pddl::Error when a workload names an
+// unknown model.
+BatchPlan plan_batch(const std::vector<BatchCandidate>& candidates,
+                     double epsilon,
+                     double max_signature_distance =
+                         ReuseConfig{}.max_signature_distance);
+
+struct BatchExecution {
+  struct Step {
+    std::size_t candidate = 0;
+    serve::ServeResult result;
+  };
+  std::vector<Step> steps;  // plan order
+  double total_ms = 0.0;    // wall clock for both waves
+  // How the embeddings were actually obtained (kOk steps only).
+  std::size_t fresh_embeds = 0;
+  std::size_t cache_hits = 0;
+  std::size_t reuse_hits = 0;
+};
+
+// Runs the plan against `service`: anchors first (waited to completion so
+// their embeddings are cached and indexed), then every remaining candidate
+// in flight together.  The service must already be trained for the
+// candidates' datasets.
+BatchExecution execute_plan(serve::PredictionService& service,
+                            const std::vector<BatchCandidate>& candidates,
+                            const BatchPlan& plan);
+
+}  // namespace pddl::reuse

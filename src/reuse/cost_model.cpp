@@ -1,0 +1,39 @@
+#include "reuse/cost_model.hpp"
+
+namespace pddl::reuse {
+
+namespace {
+void ewma_update(double& est, std::uint64_t& samples, double alpha,
+                 double value) {
+  est = samples == 0 ? value : (1.0 - alpha) * est + alpha * value;
+  ++samples;
+}
+}  // namespace
+
+void ReuseCostModel::observe_fresh_embed_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ewma_update(embed_ewma_ms_, embed_samples_, cfg_.alpha, ms);
+}
+
+void ReuseCostModel::observe_probe_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ewma_update(probe_ewma_ms_, probe_samples_, cfg_.alpha, ms);
+}
+
+bool ReuseCostModel::should_probe() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (embed_samples_ == 0 || probe_samples_ == 0) return true;
+  return probe_ewma_ms_ * cfg_.min_advantage < embed_ewma_ms_;
+}
+
+double ReuseCostModel::embed_ewma_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return embed_ewma_ms_;
+}
+
+double ReuseCostModel::probe_ewma_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return probe_ewma_ms_;
+}
+
+}  // namespace pddl::reuse

@@ -1,0 +1,56 @@
+// Reuse-vs-fresh-embed cost model.
+//
+// SNIPPETS.md's collaborative-optimizer rule, specialised to one decision:
+// probing the reuse index is only worth doing when its expected cost is
+// comfortably below the cost it may save — a fresh GHN forward pass.  Both
+// costs are observed, not assumed: the serving path reports every fresh
+// embed latency (the same quantity the embed_miss histogram tracks) and
+// every index probe latency, and the model keeps an EWMA of each.  Until
+// both sides have been priced the model says "probe" — the first fresh
+// embeds both seed the index and price the comparison.
+//
+// The decision is deliberately coarse (one branch per cache-missed request)
+// because the asymmetry is large: a probe scans a few compact signatures
+// under a mutex (µs) while a fresh embed runs GHN message passing (ms).
+// The min_advantage factor keeps probing hysteresis-free: the index must be
+// an order cheaper than embedding before it is consulted at all, so a
+// pathological index (huge shortlists, contended lock) degrades back to
+// exactly the pre-reuse serving path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace pddl::reuse {
+
+struct CostModelConfig {
+  double alpha = 0.2;          // EWMA smoothing for both latency estimates
+  double min_advantage = 4.0;  // probe must be ≥ this factor cheaper
+};
+
+class ReuseCostModel {
+ public:
+  explicit ReuseCostModel(CostModelConfig cfg = {}) : cfg_(cfg) {}
+
+  void observe_fresh_embed_ms(double ms);
+  void observe_probe_ms(double ms);
+
+  // True when probing is expected to pay for itself.  Optimistic before
+  // both costs are priced (a probe that can't be priced can't be charged).
+  bool should_probe() const;
+
+  // Current estimates (0 until first observation); exposed for tests and
+  // metrics plumbing.
+  double embed_ewma_ms() const;
+  double probe_ewma_ms() const;
+
+ private:
+  CostModelConfig cfg_;
+  mutable std::mutex mutex_;
+  double embed_ewma_ms_ = 0.0;
+  double probe_ewma_ms_ = 0.0;
+  std::uint64_t embed_samples_ = 0;
+  std::uint64_t probe_samples_ = 0;
+};
+
+}  // namespace pddl::reuse

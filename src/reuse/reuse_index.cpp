@@ -1,0 +1,230 @@
+#include "reuse/reuse_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "io/tensor_io.hpp"
+
+namespace pddl::reuse {
+
+ReuseIndex::ReuseIndex(ReuseConfig cfg) : cfg_(cfg) {}
+
+ReuseIndex::Partition& ReuseIndex::partition_for(const std::string& dataset,
+                                                 std::uint64_t ghn_checksum) {
+  Partition& p = partitions_[dataset];
+  if (p.checksum != ghn_checksum) {
+    if (!p.entries.empty()) {
+      ++stats_.invalidations;
+      stats_.entries -= p.entries.size();
+      p.entries.clear();
+      p.by_fp.clear();
+      p.next_victim = 0;
+    }
+    p.checksum = ghn_checksum;
+  }
+  return p;
+}
+
+std::optional<ReuseHit> ReuseIndex::probe(const std::string& dataset,
+                                          std::uint64_t ghn_checksum,
+                                          std::uint64_t fp,
+                                          const StructuralSignature& sig) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.probes;
+  Partition& p = partition_for(dataset, ghn_checksum);
+
+  // Phase 1: structural prefilter.  Keep the `shortlist` closest signatures
+  // within budget; embeddings are not touched yet.
+  std::vector<std::pair<double, std::size_t>> shortlist;  // (sig dist, slot)
+  shortlist.reserve(cfg_.shortlist + 1);
+  for (std::size_t slot = 0; slot < p.entries.size(); ++slot) {
+    const Entry& e = p.entries[slot];
+    const double sd =
+        e.fp == fp ? 0.0 : signature_distance(sig, e.sig);
+    if (sd > cfg_.max_signature_distance) continue;
+    shortlist.emplace_back(sd, slot);
+    std::push_heap(shortlist.begin(), shortlist.end());
+    if (shortlist.size() > cfg_.shortlist) {
+      std::pop_heap(shortlist.begin(), shortlist.end());
+      shortlist.pop_back();
+    }
+  }
+  if (shortlist.empty()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
+  // Phase 2: exact cosine over the shortlist's op-count vectors.  An entry
+  // with the query's own fingerprint is distance 0 by construction and wins
+  // any tie — when several entries share a structure, the one that *is* the
+  // query's architecture must be the donor.
+  double best = 2.0;
+  std::size_t best_slot = p.entries.size();
+  for (const auto& [sd, slot] : shortlist) {
+    const Entry& e = p.entries[slot];
+    const bool exact = e.fp == fp;
+    const double d = exact ? 0.0 : signature_cosine_distance(sig, e.sig);
+    if (d < best || (exact && d <= best)) {
+      best = d;
+      best_slot = slot;
+    }
+  }
+  if (best_slot >= p.entries.size() || best > cfg_.epsilon) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  const Entry& e = p.entries[best_slot];
+  return ReuseHit{e.embedding, best, e.fp};
+}
+
+bool ReuseIndex::insert(const std::string& dataset, std::uint64_t ghn_checksum,
+                        std::uint64_t fp, const StructuralSignature& sig,
+                        const Vector& embedding) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Partition& p = partition_for(dataset, ghn_checksum);
+  if (p.by_fp.count(fp) != 0) return false;
+  insert_locked(p, fp, sig, embedding);
+  return true;
+}
+
+void ReuseIndex::insert_locked(Partition& p, std::uint64_t fp,
+                               const StructuralSignature& sig,
+                               Vector embedding) {
+  if (cfg_.max_entries > 0 && p.entries.size() >= cfg_.max_entries) {
+    // FIFO eviction: overwrite the slot under the cursor.
+    const std::size_t victim = p.next_victim % p.entries.size();
+    p.by_fp.erase(p.entries[victim].fp);
+    p.entries[victim] = Entry{fp, sig, std::move(embedding)};
+    p.by_fp[fp] = victim;
+    p.next_victim = victim + 1;
+    ++stats_.evictions;
+    ++stats_.inserts;
+    return;
+  }
+  p.by_fp[fp] = p.entries.size();
+  p.entries.push_back(Entry{fp, sig, std::move(embedding)});
+  ++stats_.inserts;
+  ++stats_.entries;
+}
+
+void ReuseIndex::invalidate(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = partitions_.find(dataset);
+  if (it == partitions_.end()) return;
+  if (!it->second.entries.empty()) {
+    ++stats_.invalidations;
+    stats_.entries -= it->second.entries.size();
+  }
+  partitions_.erase(it);
+}
+
+void ReuseIndex::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, p] : partitions_) {
+    if (!p.entries.empty()) ++stats_.invalidations;
+  }
+  partitions_.clear();
+  stats_.entries = 0;
+}
+
+std::size_t ReuseIndex::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.entries;
+}
+
+std::size_t ReuseIndex::size(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = partitions_.find(dataset);
+  return it == partitions_.end() ? 0 : it->second.entries.size();
+}
+
+ReuseStats ReuseIndex::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ReuseIndex::save(io::SnapshotWriter& snap) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  io::BinaryWriter& w = snap.add(kReuseIndexSection);
+  w.magic(kReuseIndexMagic);
+  w.u32(kReuseIndexVersion);
+  w.u32(static_cast<std::uint32_t>(graph::kNumOpTypes));
+  w.u32(static_cast<std::uint32_t>(partitions_.size()));
+  for (const auto& [dataset, p] : partitions_) {
+    w.str(dataset);
+    w.u64(p.checksum);
+    w.u32(static_cast<std::uint32_t>(p.entries.size()));
+    for (const Entry& e : p.entries) {
+      w.u64(e.fp);
+      w.u32(e.sig.nodes);
+      w.u32(e.sig.edges);
+      w.u64(e.sig.params);
+      for (std::uint32_t c : e.sig.op_counts) w.u32(c);
+      io::write_vector(w, e.embedding);
+    }
+  }
+}
+
+std::size_t ReuseIndex::load_section(
+    io::BinaryReader& r,
+    const std::function<std::uint64_t(const std::string&)>& live_checksum) {
+  r.expect_magic(kReuseIndexMagic, "reuse index");
+  const std::uint32_t version = r.u32();
+  PDDL_CHECK(version == kReuseIndexVersion, r.what(),
+             ": unsupported reuse index version ", version);
+  const std::uint32_t num_ops = r.u32();
+  PDDL_CHECK(num_ops == graph::kNumOpTypes, r.what(),
+             ": reuse index op-type count ", num_ops, " != ",
+             graph::kNumOpTypes, " — incompatible build");
+  const std::uint32_t num_datasets = r.u32();
+  PDDL_CHECK(num_datasets <= 1024, r.what(), ": implausible dataset count ",
+             num_datasets);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t restored = 0;
+  for (std::uint32_t d = 0; d < num_datasets; ++d) {
+    const std::string dataset = r.str();
+    const std::uint64_t checksum = r.u64();
+    const std::uint32_t count = r.u32();
+    PDDL_CHECK(count <= (1u << 20), r.what(), ": implausible entry count ",
+               count);
+    const bool keep = live_checksum(dataset) == checksum;
+    Partition* p = nullptr;
+    if (keep) {
+      p = &partitions_[dataset];
+      if (p->checksum != checksum && !p->entries.empty()) {
+        ++stats_.invalidations;
+        stats_.entries -= p->entries.size();
+        p->entries.clear();
+        p->by_fp.clear();
+        p->next_victim = 0;
+      }
+      p->checksum = checksum;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Entry e;
+      e.fp = r.u64();
+      e.sig.nodes = r.u32();
+      e.sig.edges = r.u32();
+      e.sig.params = r.u64();
+      for (std::uint32_t& c : e.sig.op_counts) c = r.u32();
+      e.embedding = io::read_vector(r);
+      // A stale or duplicate entry is still fully consumed from the stream
+      // so the following datasets stay in frame.
+      if (p == nullptr || p->by_fp.count(e.fp) != 0) continue;
+      if (cfg_.max_entries > 0 && p->entries.size() >= cfg_.max_entries) {
+        continue;
+      }
+      p->by_fp[e.fp] = p->entries.size();
+      p->entries.push_back(std::move(e));
+      ++stats_.entries;
+      ++restored;
+    }
+  }
+  return restored;
+}
+
+}  // namespace pddl::reuse

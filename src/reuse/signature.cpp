@@ -1,0 +1,57 @@
+#include "reuse/signature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pddl::reuse {
+
+StructuralSignature make_signature(const graph::CompGraph& g) {
+  StructuralSignature sig;
+  sig.nodes = static_cast<std::uint32_t>(g.num_nodes());
+  sig.edges = static_cast<std::uint32_t>(g.num_edges());
+  sig.params = static_cast<std::uint64_t>(g.total_params());
+  for (int id = 0; id < static_cast<int>(g.num_nodes()); ++id) {
+    ++sig.op_counts[static_cast<std::size_t>(g.node(id).type)];
+  }
+  return sig;
+}
+
+namespace {
+double relative_gap(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t hi = std::max(a, b);
+  if (hi == 0) return 0.0;
+  const std::uint64_t lo = std::min(a, b);
+  return static_cast<double>(hi - lo) / static_cast<double>(hi);
+}
+}  // namespace
+
+double signature_distance(const StructuralSignature& a,
+                          const StructuralSignature& b) {
+  double l1 = 0.0;
+  const double na = std::max<std::uint32_t>(a.nodes, 1);
+  const double nb = std::max<std::uint32_t>(b.nodes, 1);
+  for (std::size_t i = 0; i < graph::kNumOpTypes; ++i) {
+    l1 += std::fabs(static_cast<double>(a.op_counts[i]) / na -
+                    static_cast<double>(b.op_counts[i]) / nb);
+  }
+  return 0.5 * l1 + relative_gap(a.nodes, b.nodes) +
+         relative_gap(a.edges, b.edges) + relative_gap(a.params, b.params);
+}
+
+double signature_cosine_distance(const StructuralSignature& a,
+                                 const StructuralSignature& b) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < graph::kNumOpTypes; ++i) {
+    const double ca = a.op_counts[i];
+    const double cb = b.op_counts[i];
+    dot += ca * cb;
+    na += ca * ca;
+    nb += cb * cb;
+  }
+  if (na <= 0.0 || nb <= 0.0) return 1.0;
+  return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace pddl::reuse

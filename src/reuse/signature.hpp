@@ -1,0 +1,62 @@
+// Structural signature: the cheap prefilter key of the reuse index.
+//
+// A signature summarises a computational graph by the same inputs the
+// structural fingerprint hashes — node count, edge count, and the op-type
+// inventory — plus the total learnable-parameter count, kept as comparable
+// quantities instead of collapsed into one hash.  Two graphs with equal
+// fingerprints always have equal signatures; two graphs from the same
+// architecture family (resnet18 vs resnet34, vgg11 vs vgg13) have *close*
+// signatures, while graphs from different families differ in op mix or size
+// and land far apart.  That makes signature distance a sound shortlist
+// filter for the embedding-space nearest-neighbour search
+// (src/reuse/reuse_index.hpp): cosine distance is only evaluated on
+// candidates whose structure could plausibly be within ε.
+//
+// The parameter count is load-bearing: op mix, node count, and edge count
+// are all blind to channel *width* (a wide_resnet50_2 is graph-identical to
+// a resnet50), yet width moves the GHN embedding magnitude and hence the
+// predicted training time.  The Fig. 5 calibration shows the relative
+// parameter gap tracking embedding-substitution error almost monotonically,
+// which is why it is a term of the prefilter distance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/comp_graph.hpp"
+
+namespace pddl::reuse {
+
+struct StructuralSignature {
+  std::uint32_t nodes = 0;
+  std::uint32_t edges = 0;
+  std::uint64_t params = 0;  // total learnable parameters
+  std::array<std::uint32_t, graph::kNumOpTypes> op_counts{};
+
+  friend bool operator==(const StructuralSignature&,
+                         const StructuralSignature&) = default;
+};
+
+StructuralSignature make_signature(const graph::CompGraph& g);
+
+// Prefilter distance in [0, 4]: the L1 gap between the normalised op-type
+// histograms (∈ [0, 2], halved) plus the relative node-, edge-, and
+// parameter-count gaps (each ∈ [0, 1]).  0 means structurally identical
+// inventories; same-family variants that differ only slightly in depth or
+// width stay well under 1, different families (and width-doubled or
+// depth-doubled variants of the same family) exceed the default reuse
+// budget.
+double signature_distance(const StructuralSignature& a,
+                          const StructuralSignature& b);
+
+// Exact-phase metric: cosine distance in [0, 1] between the raw op-count
+// vectors.  Scale-invariant, so depth variants of one family (whose op mix
+// is nearly proportional) land close to 0 while different families with a
+// different op mix land far away.  This is the distance ε bounds; its
+// calibration against GHN embedding distance — the quantity that actually
+// controls prediction error — is measured by bench/fig05_embedding_similarity
+// and recorded in DESIGN.md §11.
+double signature_cosine_distance(const StructuralSignature& a,
+                                 const StructuralSignature& b);
+
+}  // namespace pddl::reuse

@@ -112,6 +112,8 @@ void write_serve_result(io::BinaryWriter& w, const serve::ServeResult& r) {
   w.f64(r.response.embedding_ms);
   w.f64(r.response.inference_ms);
   w.boolean(r.cache_hit);
+  w.u8(static_cast<std::uint8_t>(r.confidence));
+  w.f64(r.reuse_distance);
   w.f64(r.queue_ms);
   w.f64(r.total_ms);
   w.str(r.error);
@@ -128,6 +130,12 @@ serve::ServeResult read_serve_result(io::BinaryReader& r) {
   out.response.embedding_ms = r.f64();
   out.response.inference_ms = r.f64();
   out.cache_hit = r.boolean();
+  const std::uint8_t confidence = r.u8();
+  PDDL_CHECK(
+      confidence <= static_cast<std::uint8_t>(serve::Confidence::kReused),
+      r.what(), ": invalid confidence byte ", int{confidence});
+  out.confidence = static_cast<serve::Confidence>(confidence);
+  out.reuse_distance = r.f64();
   out.queue_ms = r.f64();
   out.total_ms = r.f64();
   out.error = r.str();
@@ -153,6 +161,28 @@ serve::LatencyHistogram::Snapshot read_histogram(io::BinaryReader& r) {
   h.p95_ms = r.f64();
   h.p99_ms = r.f64();
   h.max_ms = r.f64();
+  return h;
+}
+
+void write_distance_histogram(io::BinaryWriter& w,
+                              const serve::DistanceHistogram::Snapshot& h) {
+  w.u64(h.count);
+  w.f64(h.mean);
+  w.f64(h.p50);
+  w.f64(h.p95);
+  w.f64(h.p99);
+  w.f64(h.max);
+}
+
+serve::DistanceHistogram::Snapshot read_distance_histogram(
+    io::BinaryReader& r) {
+  serve::DistanceHistogram::Snapshot h;
+  h.count = r.u64();
+  h.mean = r.f64();
+  h.p50 = r.f64();
+  h.p95 = r.f64();
+  h.p99 = r.f64();
+  h.max = r.f64();
   return h;
 }
 }  // namespace
@@ -184,11 +214,21 @@ void write_metrics(io::BinaryWriter& w, const serve::MetricsSnapshot& m) {
   w.u64(m.engine_swaps);
   w.u64(m.batches_dispatched);
   for (std::uint64_t c : m.batch_size_counts) w.u64(c);
+  w.u64(m.reuse_hits);
+  w.u64(m.reuse_rejected);
+  w.u64(m.reuse_misses);
+  w.u64(m.reuse_inserts);
+  w.u64(m.reuse_evictions);
+  w.u64(m.reuse_invalidations);
+  w.u64(m.reuse_entries);
+  w.u64(m.arena_hwm_bytes);
+  w.u64(m.arena_chunks);
   write_histogram(w, m.e2e);
   write_histogram(w, m.queue);
   write_histogram(w, m.service);
   write_histogram(w, m.embed_hit);
   write_histogram(w, m.embed_miss);
+  write_distance_histogram(w, m.reuse_distance);
 }
 
 serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
@@ -219,11 +259,21 @@ serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
   m.engine_swaps = r.u64();
   m.batches_dispatched = r.u64();
   for (std::uint64_t& c : m.batch_size_counts) c = r.u64();
+  m.reuse_hits = r.u64();
+  m.reuse_rejected = r.u64();
+  m.reuse_misses = r.u64();
+  m.reuse_inserts = r.u64();
+  m.reuse_evictions = r.u64();
+  m.reuse_invalidations = r.u64();
+  m.reuse_entries = r.u64();
+  m.arena_hwm_bytes = r.u64();
+  m.arena_chunks = r.u64();
   m.e2e = read_histogram(r);
   m.queue = read_histogram(r);
   m.service = read_histogram(r);
   m.embed_hit = read_histogram(r);
   m.embed_miss = read_histogram(r);
+  m.reuse_distance = read_distance_histogram(r);
   return m;
 }
 

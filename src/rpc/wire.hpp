@@ -56,7 +56,10 @@ inline constexpr char kFrameMagic[4] = {'P', 'D', 'R', 'P'};
 // v2: feedback ops (observe / refit / refit_status) + feedback and
 // micro-batch counters in the MetricsSnapshot encoding.
 // v3: embedding hit/miss latency histograms in the MetricsSnapshot encoding.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+// v4: reuse confidence + distance in the ServeResult encoding; reuse
+// counters, distance histogram, and arena high-water mark in the
+// MetricsSnapshot encoding.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 // Fixed-size frame prefix: magic (4) + version (4) + body length (4).
 inline constexpr std::size_t kFramePrefixBytes = 12;
 // Envelope overhead beyond the body: prefix + CRC trailer.

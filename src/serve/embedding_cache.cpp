@@ -78,6 +78,16 @@ std::size_t ShardedEmbeddingCache::size() const {
   return n;
 }
 
+std::vector<std::size_t> ShardedEmbeddingCache::shard_entry_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    counts.push_back(s->lru.size());
+  }
+  return counts;
+}
+
 CacheStats ShardedEmbeddingCache::stats() const {
   CacheStats out;
   for (const auto& s : shards_) {

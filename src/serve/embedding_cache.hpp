@@ -55,6 +55,10 @@ class ShardedEmbeddingCache {
   std::size_t capacity() const { return shards_.size() * per_shard_capacity_; }
   std::size_t size() const;
   CacheStats stats() const;
+  // Live entries per shard, index-aligned with the internal shard order.
+  // Lets tests and serve_loadgen check how evenly the key hash spreads
+  // entries (and sanity-check occupancy against the reuse index).
+  std::vector<std::size_t> shard_entry_counts() const;
   void clear();
 
   // All resident entries, ordered least-recently-used first within each

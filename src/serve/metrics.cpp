@@ -82,6 +82,88 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   return s;
 }
 
+const std::array<double, DistanceHistogram::kBuckets - 1>&
+DistanceHistogram::bucket_bounds() {
+  // 1-2-5 decades from 1e-5 to 2: dense near zero where same-family
+  // neighbour distances land, coarse toward the ε-rejection region.
+  static const std::array<double, kBuckets - 1> bounds = {
+      1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+      5e-3, 0.01, 0.02, 0.05, 0.1,  0.5,  2.0};
+  return bounds;
+}
+
+void DistanceHistogram::record(double d) {
+  if (!(d >= 0.0)) d = 0.0;  // clamp NaN / negative rounding noise
+  const auto& bounds = bucket_bounds();
+  const std::size_t idx =
+      std::upper_bound(bounds.begin(), bounds.end(), d) - bounds.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  const auto fixed = static_cast<std::uint64_t>(d * 1e9);
+  sum_1e9_.fetch_add(fixed, std::memory_order_relaxed);
+  std::uint64_t prev = max_1e9_.load(std::memory_order_relaxed);
+  while (prev < fixed && !max_1e9_.compare_exchange_weak(
+                             prev, fixed, std::memory_order_relaxed)) {
+  }
+}
+
+std::array<std::uint64_t, DistanceHistogram::kBuckets>
+DistanceHistogram::bucket_counts() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+DistanceHistogram::Snapshot DistanceHistogram::snapshot() const {
+  Snapshot s;
+  const auto counts = bucket_counts();
+  for (std::uint64_t c : counts) s.count += c;
+  s.max = static_cast<double>(max_1e9_.load(std::memory_order_relaxed)) / 1e9;
+  if (s.count == 0) return s;
+  s.mean = static_cast<double>(sum_1e9_.load(std::memory_order_relaxed)) /
+           1e9 / static_cast<double>(s.count);
+  const auto& bounds = bucket_bounds();
+  auto quantile = [&](double q) {
+    const double target = q * static_cast<double>(s.count);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::uint64_t next = cum + counts[i];
+      if (static_cast<double>(next) >= target && counts[i] > 0) {
+        if (i == bounds.size()) return s.max;
+        const double lo = i == 0 ? 0.0 : bounds[i - 1];
+        const double hi = bounds[i];
+        const double frac = (target - static_cast<double>(cum)) /
+                            static_cast<double>(counts[i]);
+        return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+      }
+      cum = next;
+    }
+    return s.max;
+  };
+  s.p50 = std::min(quantile(0.50), s.max);
+  s.p95 = std::min(quantile(0.95), s.max);
+  s.p99 = std::min(quantile(0.99), s.max);
+  return s;
+}
+
+void ServiceMetrics::note_arena(std::size_t capacity_bytes,
+                                std::size_t chunks) {
+  const auto bytes = static_cast<std::uint64_t>(capacity_bytes);
+  std::uint64_t prev = arena_hwm_bytes.load(std::memory_order_relaxed);
+  while (prev < bytes) {
+    if (arena_hwm_bytes.compare_exchange_weak(prev, bytes,
+                                              std::memory_order_relaxed)) {
+      // This thread advanced the high-water mark; its chunk count is the
+      // one that belongs with it.  A racing larger arena will overwrite
+      // both fields, so the pair stays coherent enough for telemetry.
+      arena_chunks.store(static_cast<std::uint64_t>(chunks),
+                         std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
 void ServiceMetrics::record_batch_size(std::size_t n) {
   if (n == 0) return;
   batches_dispatched.fetch_add(1, std::memory_order_relaxed);
@@ -113,11 +195,14 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
     s.batch_size_counts[i] =
         batch_size_counts[i].load(std::memory_order_relaxed);
   }
+  s.arena_hwm_bytes = arena_hwm_bytes.load(std::memory_order_relaxed);
+  s.arena_chunks = arena_chunks.load(std::memory_order_relaxed);
   s.e2e = e2e_ms.snapshot();
   s.queue = queue_ms.snapshot();
   s.service = service_ms.snapshot();
   s.embed_hit = embed_hit_ms.snapshot();
   s.embed_miss = embed_miss_ms.snapshot();
+  s.reuse_distance = reuse_distance.snapshot();
   return s;
 }
 
@@ -207,6 +292,32 @@ std::string MetricsSnapshot::to_string() const {
         static_cast<unsigned long long>(engine_swaps));
     out += buf;
   }
+  // Reuse and arena lines appear only once the reuse index / fast-embed
+  // path saw traffic, so pre-reuse dumps keep their exact shape.
+  if (reuse_hits != 0 || reuse_rejected != 0 || reuse_misses != 0 ||
+      reuse_inserts != 0 || reuse_invalidations != 0 || reuse_entries != 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  reuse    : hits=%llu rejected=%llu misses=%llu entries=%llu "
+        "inserts=%llu evictions=%llu invalidations=%llu dist_p50=%.4f "
+        "dist_max=%.4f\n",
+        static_cast<unsigned long long>(reuse_hits),
+        static_cast<unsigned long long>(reuse_rejected),
+        static_cast<unsigned long long>(reuse_misses),
+        static_cast<unsigned long long>(reuse_entries),
+        static_cast<unsigned long long>(reuse_inserts),
+        static_cast<unsigned long long>(reuse_evictions),
+        static_cast<unsigned long long>(reuse_invalidations),
+        reuse_distance.p50, reuse_distance.max);
+    out += buf;
+  }
+  if (arena_hwm_bytes != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  arena    : hwm_bytes=%llu chunks=%llu\n",
+                  static_cast<unsigned long long>(arena_hwm_bytes),
+                  static_cast<unsigned long long>(arena_chunks));
+    out += buf;
+  }
   return out;
 }
 
@@ -261,6 +372,29 @@ std::string MetricsSnapshot::to_json() const {
   num("refits_completed", refits_completed);
   num("refits_failed", refits_failed);
   num("engine_swaps", engine_swaps, /*comma=*/false);
+  out += "},";
+  out += "\"reuse\":{";
+  num("hits", reuse_hits);
+  num("rejected", reuse_rejected);
+  num("misses", reuse_misses);
+  num("inserts", reuse_inserts);
+  num("evictions", reuse_evictions);
+  num("invalidations", reuse_invalidations);
+  num("entries", reuse_entries);
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"distance\":{\"count\":%llu,\"mean\":%.9f,\"p50\":%.9f,"
+                  "\"p95\":%.9f,\"p99\":%.9f,\"max\":%.9f}",
+                  static_cast<unsigned long long>(reuse_distance.count),
+                  reuse_distance.mean, reuse_distance.p50, reuse_distance.p95,
+                  reuse_distance.p99, reuse_distance.max);
+    out += buf;
+  }
+  out += "},";
+  out += "\"arena\":{";
+  num("hwm_bytes", arena_hwm_bytes);
+  num("chunks", arena_chunks, /*comma=*/false);
   out += "},";
   out += "\"batch\":{";
   num("dispatched", batches_dispatched);

@@ -48,6 +48,38 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> max_ns_{0};
 };
 
+// Histogram over log-spaced cosine-distance buckets, for the reuse index's
+// served neighbour distances.  Same lock-free shape as LatencyHistogram but
+// with unitless bounds covering 1e-5 (near-identical op mixes) through 2
+// (opposed vectors); the sum is kept in 1e-9 fixed point so means stay
+// exact for tiny distances.
+class DistanceHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 16;
+
+  // Upper bounds of buckets 0..kBuckets-2; the last bucket is +inf.
+  static const std::array<double, kBuckets - 1>& bucket_bounds();
+
+  void record(double d);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  std::array<std::uint64_t, kBuckets> bucket_counts() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> sum_1e9_{0};  // Σ distance, ×1e9 fixed point
+  std::atomic<std::uint64_t> max_1e9_{0};
+};
+
 // Per-dispatch micro-batch sizes are tracked exactly up to this size; larger
 // batches land in one overflow slot.  Covers every sane max_batch setting
 // (default 8) while keeping the counter array small enough to snapshot and
@@ -86,6 +118,21 @@ struct MetricsSnapshot {
   std::uint64_t refits_completed = 0;
   std::uint64_t refits_failed = 0;
   std::uint64_t engine_swaps = 0;           // hot-swapped engines installed
+
+  // ---- reuse index (src/reuse/; all zero until ReuseConfig::enabled) ----
+  std::uint64_t reuse_hits = 0;      // served a within-ε neighbour embedding
+  std::uint64_t reuse_rejected = 0;  // shortlist found, nearest beyond ε
+  std::uint64_t reuse_misses = 0;    // probe found nothing past the prefilter
+  std::uint64_t reuse_inserts = 0;
+  std::uint64_t reuse_evictions = 0;
+  std::uint64_t reuse_invalidations = 0;  // partitions dropped (GHN hot-swap)
+  std::uint64_t reuse_entries = 0;        // live index entries
+  DistanceHistogram::Snapshot reuse_distance;  // served neighbour distances
+
+  // ---- scratch-arena high-water mark (tape-free embed path; zero when
+  // fast_embed is off or nothing was embedded) ----
+  std::uint64_t arena_hwm_bytes = 0;  // max per-thread arena capacity seen
+  std::uint64_t arena_chunks = 0;     // block count at that high-water mark
 
   // ---- micro-batching (ROADMAP: surface the chosen batch sizes) ----
   std::uint64_t batches_dispatched = 0;
@@ -151,11 +198,20 @@ class ServiceMetrics {
   // One relaxed increment per dispatched micro-batch.
   void record_batch_size(std::size_t n);
 
+  // Scratch-arena high-water mark (CAS-max, called after each fast embed).
+  // Bytes and chunks are tracked as one pair from the same arena so the
+  // snapshot never mixes measurements from two threads.
+  void note_arena(std::size_t capacity_bytes, std::size_t chunks);
+
+  std::atomic<std::uint64_t> arena_hwm_bytes{0};
+  std::atomic<std::uint64_t> arena_chunks{0};
+
   LatencyHistogram e2e_ms;
   LatencyHistogram queue_ms;
   LatencyHistogram service_ms;
   LatencyHistogram embed_hit_ms;
   LatencyHistogram embed_miss_ms;
+  DistanceHistogram reuse_distance;
 
   // Counter + histogram snapshot; cache fields are filled in by the service,
   // which owns the cache.

@@ -30,6 +30,16 @@ const char* to_string(ServeStatus status) {
   return "unknown";
 }
 
+const char* to_string(Confidence confidence) {
+  switch (confidence) {
+    case Confidence::kExact:
+      return "exact";
+    case Confidence::kReused:
+      return "reused";
+  }
+  return "unknown";
+}
+
 namespace {
 double ms_between(std::chrono::steady_clock::time_point a,
                   std::chrono::steady_clock::time_point b) {
@@ -42,6 +52,7 @@ PredictionService::PredictionService(core::PredictDdl& engine,
     : engine_(engine),
       cfg_(cfg),
       cache_(cfg.cache_shards, cfg.cache_capacity),
+      reuse_index_(cfg.reuse),
       paused_(cfg.start_paused) {
   PDDL_CHECK(cfg_.queue_capacity > 0, "queue capacity must be positive");
   PDDL_CHECK(cfg_.dispatcher_threads > 0, "need at least one dispatcher");
@@ -179,6 +190,11 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     Vector embedding;
     double embed_ms = 0.0;
     bool cache_hit = false;
+    bool reused = false;  // embedding came from a reuse-index neighbour
+    double reuse_distance = 0.0;
+    // Reuse-index keys, filled only on the cache-miss + reuse-enabled path.
+    reuse::StructuralSignature sig;
+    std::uint64_t ghn_checksum = 0;
     bool expired = false;  // deadline passed before its embed could run
   };
   std::vector<Work> live;
@@ -238,6 +254,27 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
         w.cache_hit = true;
       }
     }
+    if (!w.cache_hit && reuse_on()) {
+      // Near-duplicate path: before paying a GHN forward pass, ask the
+      // reuse index for a within-ε structural neighbour.  The probe is
+      // cost-gated — when the index stops being an order cheaper than
+      // embedding, serving degrades to the plain fresh-embed path.
+      w.sig = reuse::make_signature(w.graph);
+      w.ghn_checksum = w.fast != nullptr ? w.fast->source_checksum()
+                                         : ghn::ghn_checksum(*w.ghn);
+      if (!cfg_.reuse.use_cost_model || reuse_cost_.should_probe()) {
+        Stopwatch probe;
+        auto hit = reuse_index_.probe(dataset, w.ghn_checksum, w.fp, w.sig);
+        reuse_cost_.observe_probe_ms(probe.millis());
+        if (hit) {
+          w.embedding = std::move(hit->embedding);
+          w.embed_ms = probe.millis();
+          w.reused = true;
+          w.reuse_distance = hit->distance;
+          metrics_.reuse_distance.record(hit->distance);
+        }
+      }
+    }
     live.push_back(std::move(w));
   }
 
@@ -248,7 +285,7 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
   const Clock::time_point pre_embed = Clock::now();
   for (std::size_t k = 0; k < live.size(); ++k) {
     Work& w = live[k];
-    if (w.cache_hit) continue;
+    if (w.cache_hit || w.reused) continue;
     Pending& p = batch[w.idx];
     if (pre_embed > p.deadline) {
       // Deadline re-check just before paying for the GHN forward pass: a
@@ -268,11 +305,13 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
   }
   std::vector<std::pair<std::size_t, std::future<void>>> inflight;
   std::vector<std::exception_ptr> miss_errors(live.size());
-  auto embed_one = [&live](std::size_t k) {
+  auto embed_one = [this, &live](std::size_t k) {
     Stopwatch sw;
     Work& w = live[k];
     if (w.fast != nullptr) {
       w.fast->embed_into(w.graph, w.embedding);
+      const ghn::ScratchArena& arena = ghn::GhnInference::thread_arena();
+      metrics_.note_arena(arena.capacity_bytes(), arena.chunk_count());
     } else {
       w.embedding = w.ghn->embedding(w.graph);
     }
@@ -330,10 +369,26 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     if (w.cache_hit) {
       metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       metrics_.embed_hit_ms.record(w.embed_ms);
+    } else if (w.reused) {
+      // A reuse hit is neither a cache hit nor a cache miss — it never
+      // touched the shard cache and never embedded.  It has its own
+      // counter, so with reuse on:
+      //   completed == cache_hits + cache_misses + reuse_hits.
+      // The donor's embedding is deliberately NOT re-inserted into the
+      // cache under this fingerprint: a later exact request for this
+      // architecture should still be able to embed fresh.
     } else {
       metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
       metrics_.embed_miss_ms.record(w.embed_ms);
       if (cfg_.cache_enabled) cache_.put(dataset, w.fp, w.embedding);
+      if (reuse_on()) {
+        // Insert-on-miss: this freshly embedded architecture becomes a
+        // donor for future near-duplicates, and its embed time prices the
+        // fresh side of the reuse cost model.
+        reuse_index_.insert(dataset, w.ghn_checksum, w.fp, w.sig,
+                            w.embedding);
+        reuse_cost_.observe_fresh_embed_ms(w.embed_ms);
+      }
     }
 
     try {
@@ -344,6 +399,10 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
       r.response.inference_ms = infer.millis();
       r.response.embedding_ms = w.embed_ms;
       r.cache_hit = w.cache_hit;
+      if (w.reused) {
+        r.confidence = Confidence::kReused;
+        r.reuse_distance = w.reuse_distance;
+      }
       r.status = ServeStatus::kOk;
     } catch (const std::exception& e) {
       metrics_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -382,11 +441,23 @@ std::size_t PredictionService::warm_up(
     Item& item = misses[i];
     if (item.fast != nullptr) {
       item.fast->embed_into(item.graph, item.embedding);
+      const ghn::ScratchArena& arena = ghn::GhnInference::thread_arena();
+      metrics_.note_arena(arena.capacity_bytes(), arena.chunk_count());
     } else {
       item.embedding = item.ghn->embedding(item.graph);
     }
   });
   for (Item& item : misses) {
+    if (reuse_on()) {
+      // Warm embeddings double as reuse donors, so the first near-duplicate
+      // of a warmed model is already a reuse hit.
+      const std::uint64_t checksum = item.fast != nullptr
+                                         ? item.fast->source_checksum()
+                                         : ghn::ghn_checksum(*item.ghn);
+      reuse_index_.insert(item.dataset, checksum,
+                          item.fp, reuse::make_signature(item.graph),
+                          item.embedding);
+    }
     cache_.put(item.dataset, item.fp, std::move(item.embedding));
   }
   return misses.size();
@@ -412,6 +483,10 @@ void PredictionService::save_cache(const std::string& path) const {
       io::write_vector(w, e->embedding);
     }
   }
+  // The reuse index rides along in its own section so a warm restart keeps
+  // near-duplicate serving warm too.  Skipped when reuse is off or empty,
+  // leaving pre-reuse snapshot files byte-for-byte unchanged.
+  if (reuse_on() && reuse_index_.size() > 0) reuse_index_.save(snap);
   snap.save_file(path);
 }
 
@@ -439,6 +514,12 @@ std::size_t PredictionService::load_cache(const std::string& path) {
       cache_.put(dataset, fp, std::move(embedding));
       ++restored;
     }
+  }
+  if (reuse_on()) {
+    restored += reuse_index_.load(snap, [this](const std::string& dataset) {
+      const ghn::Ghn2* ghn = std::as_const(engine_.registry()).model(dataset);
+      return ghn == nullptr ? 0 : ghn::ghn_checksum(*ghn);
+    });
   }
   return restored;
 }
@@ -473,6 +554,14 @@ MetricsSnapshot PredictionService::metrics() const {
   const CacheStats cs = cache_.stats();
   s.cache_entries = cs.entries;
   s.cache_evictions = cs.evictions;
+  const reuse::ReuseStats rs = reuse_index_.stats();
+  s.reuse_hits = rs.hits;
+  s.reuse_rejected = rs.rejected;
+  s.reuse_misses = rs.misses;
+  s.reuse_inserts = rs.inserts;
+  s.reuse_evictions = rs.evictions;
+  s.reuse_invalidations = rs.invalidations;
+  s.reuse_entries = rs.entries;
   return s;
 }
 

@@ -43,6 +43,8 @@
 #include <vector>
 
 #include "core/predict_ddl.hpp"
+#include "reuse/cost_model.hpp"
+#include "reuse/reuse_index.hpp"
 #include "serve/embedding_cache.hpp"
 #include "serve/metrics.hpp"
 
@@ -58,10 +60,22 @@ enum class ServeStatus {
 };
 const char* to_string(ServeStatus status);
 
+// How the embedding behind a prediction was obtained.  kExact covers both a
+// fresh GHN forward pass and a shard-cache hit (same architecture, same
+// embedding); kReused means a within-ε structural neighbour's embedding was
+// substituted by the reuse index — `reuse_distance` then carries how far.
+enum class Confidence : std::uint8_t {
+  kExact = 0,
+  kReused = 1,
+};
+const char* to_string(Confidence confidence);
+
 struct ServeResult {
   ServeStatus status = ServeStatus::kError;
   core::PredictResponse response;  // valid when status == kOk
   bool cache_hit = false;
+  Confidence confidence = Confidence::kExact;
+  double reuse_distance = 0.0;  // signature cosine distance when kReused
   double queue_ms = 0.0;  // admission → dequeue
   double total_ms = 0.0;  // admission → response
   std::string error;      // populated when status == kError
@@ -83,6 +97,13 @@ struct ServiceConfig {
   double default_deadline_ms = 0.0;    // 0 = requests never expire
   bool start_paused = false;           // admission on, dispatch off (tests,
                                        // pre-warm before taking traffic)
+  // Near-duplicate reuse (src/reuse/).  Off by default; when enabled,
+  // cache-missed requests first probe the reuse index and within-ε
+  // neighbours are served with Confidence::kReused instead of paying a GHN
+  // forward pass.  Note the accounting consequence: a reused request counts
+  // in reuse_hits, not cache_hits/cache_misses, so with reuse on
+  //   completed == cache_hits + cache_misses + reuse_hits.
+  reuse::ReuseConfig reuse;
 };
 
 class PredictionService {
@@ -144,9 +165,11 @@ class PredictionService {
   void note_refit_started();
   void note_refit_finished(bool ok);
 
-  // Counter snapshot, with cache occupancy folded in.
+  // Counter snapshot, with cache occupancy and reuse-index stats folded in.
   MetricsSnapshot metrics() const;
   const ShardedEmbeddingCache& cache() const { return cache_; }
+  const reuse::ReuseIndex& reuse_index() const { return reuse_index_; }
+  const reuse::ReuseCostModel& reuse_cost_model() const { return reuse_cost_; }
   std::size_t queue_depth() const;
 
  private:
@@ -162,10 +185,16 @@ class PredictionService {
   void dispatcher_loop();
   void process_batch(std::vector<Pending> batch);
   void finish(Pending& p, ServeResult result);
+  // True when the reuse index participates in serving at all.
+  bool reuse_on() const {
+    return cfg_.reuse.enabled && cfg_.reuse.epsilon > 0.0;
+  }
 
   core::PredictDdl& engine_;
   ServiceConfig cfg_;
   ShardedEmbeddingCache cache_;
+  reuse::ReuseIndex reuse_index_;
+  reuse::ReuseCostModel reuse_cost_;
   ServiceMetrics metrics_;
 
   mutable std::mutex mutex_;
