@@ -105,6 +105,45 @@ void BM_Embed_Fast(benchmark::State& state) {
 }
 BENCHMARK(BM_Embed_Fast)->DenseRange(0, kNumEmbedModels - 1);
 
+// Batched multi-graph embedding: one embed_batch_into pass over `width`
+// copies of the same mid-sized graph (resnet50), so items/s is directly
+// comparable across widths — the gain over width 1 is the per-graph saving
+// from fusing the embed-layer and gate GEMMs and sharing weight traffic
+// across the micro-batch.
+void BM_EmbedBatch(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  ghn::GhnConfig cfg;
+  Rng rng(4);
+  ghn::Ghn2 ghn(cfg, rng);
+  ghn::GhnInference inf(ghn);
+  std::vector<graph::CompGraph> graphs;
+  graphs.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    graphs.push_back(graph::build_model("resnet50", {3, 32, 32}, 10));
+  }
+  std::vector<const graph::CompGraph*> gs(width);
+  std::vector<Vector> outs(width);
+  std::vector<Vector*> ops(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    gs[i] = &graphs[i];
+    ops[i] = &outs[i];
+  }
+  inf.embed_batch_into(std::span<const graph::CompGraph* const>(gs),
+                       std::span<Vector* const>(ops));  // warm the arena
+  for (auto _ : state) {
+    inf.embed_batch_into(std::span<const graph::CompGraph* const>(gs),
+                         std::span<Vector* const>(ops));
+    benchmark::DoNotOptimize(outs.front().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(width));
+  std::size_t nodes = 0;
+  for (const auto& g : graphs) nodes += g.num_nodes();
+  state.SetLabel(std::to_string(width) + " graphs, " + std::to_string(nodes) +
+                 " nodes total");
+}
+BENCHMARK(BM_EmbedBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_SimulateRun(benchmark::State& state) {
   sim::DdlSimulator sim;
   const workload::DlWorkload w{"resnet50", workload::cifar10(), 64, 10};

@@ -33,9 +33,22 @@
 // snapshot as JSON (serve_loadgen_metrics.json, via the same formatter the
 // stats op serves).
 //
+// Cold-miss rows exercise the batched embedding pipeline (DESIGN.md §12):
+// every cache miss in a dispatch joins one multi-graph embed_batch_into
+// pass, duplicate fingerprints coalesce onto a single forward pass, and the
+// `closed-adaptive` row additionally sizes each dispatch from queue depth /
+// arrival rate / batch service time instead of the static cap.  The
+// embatch/adaptive telemetry printed after each cold run shows how wide the
+// passes actually ran.
+//
 // `--remote HOST:PORT` skips training and drives an already-running
 // predict_server instead — the external-scheduler view of the service
 // (combine with --feedback-rate to interleave observe frames over the wire).
+//
+// `--smoke` is the CI mode: tiny offline training, a short uncached sweep
+// with adaptive batching on, driven through the loopback rpc front-end.
+// Exits nonzero unless every request succeeded, the wire saw zero frame
+// errors, and completed == cache_hits + cache_misses + reuse_hits.
 #include <atomic>
 #include <cstdlib>
 #include <thread>
@@ -146,6 +159,24 @@ void print_feedback_counters(const serve::MetricsSnapshot& m) {
       static_cast<unsigned long long>(m.refits_started),
       static_cast<unsigned long long>(m.refits_failed),
       static_cast<unsigned long long>(m.engine_swaps));
+}
+
+void print_batch_telemetry(const serve::MetricsSnapshot& m) {
+  std::printf(
+      "embatch: batches=%llu graphs=%llu mean_width=%.2f coalesced=%llu",
+      static_cast<unsigned long long>(m.embed_batches),
+      static_cast<unsigned long long>(m.embed_batch_graphs),
+      m.mean_embed_batch_width(),
+      static_cast<unsigned long long>(m.embed_coalesced));
+  if (m.adaptive_decisions != 0) {
+    std::printf(
+        " | adaptive: decisions=%llu mean_choice=%.2f arrival_hz=%.1f "
+        "batch_service_ms=%.3f",
+        static_cast<unsigned long long>(m.adaptive_decisions),
+        m.mean_adaptive_choice(), m.adaptive_arrival_hz,
+        m.adaptive_batch_service_ms);
+  }
+  std::printf("\n");
 }
 
 // Mean client-side wall time one request occupies one thread for — the
@@ -291,6 +322,21 @@ int run(double feedback_rate, double feedback_skew) {
     nocache = closed_loop(service, reqs, kThreads, kRounds);
     add_row(table, "closed", false, std::to_string(kThreads) + " threads",
             nocache);
+    print_batch_telemetry(nocache.metrics);
+  }
+
+  // --- Closed loop, no cache, adaptive dispatch sizing: the sizer grows
+  // batches under backlog instead of always popping the static cap. ---
+  RunStats adaptive_cold;
+  {
+    serve::ServiceConfig cfg = base;
+    cfg.cache_enabled = false;
+    cfg.adaptive_batch = true;
+    serve::PredictionService service(pddl, cfg);
+    adaptive_cold = closed_loop(service, reqs, kThreads, kRounds);
+    add_row(table, "closed-adaptive", false,
+            std::to_string(kThreads) + " threads", adaptive_cold);
+    print_batch_telemetry(adaptive_cold.metrics);
   }
 
   // --- Closed loop, warm cache: repeat traffic skips the forward pass. ---
@@ -393,6 +439,11 @@ int run(double feedback_rate, double feedback_skew) {
       static_cast<unsigned long long>(wire.metrics.rpc_frames_sent),
       static_cast<unsigned long long>(wire.metrics.rpc_frame_errors));
 
+  std::printf(
+      "cold-miss (uncached) throughput: static dispatch %.0f rps (p99 "
+      "%.3fms), adaptive %.0f rps (p99 %.3fms)\n",
+      nocache.throughput_rps(), nocache.metrics.e2e.p99_ms,
+      adaptive_cold.throughput_rps(), adaptive_cold.metrics.e2e.p99_ms);
   const double speedup =
       cached.throughput_rps() / std::max(1e-9, nocache.throughput_rps());
   std::printf(
@@ -423,11 +474,69 @@ int run_remote(const std::string& host, std::uint16_t port,
   return s.ok == s.submitted ? 0 : 1;
 }
 
+// `--smoke`: the CI gate.  Tiny offline training, then a short uncached
+// sweep with adaptive batching on, driven through the loopback rpc
+// front-end so the frame counters are exercised too.  Asserts the invariants
+// the batched miss path must preserve: every request succeeds, the wire sees
+// zero frame errors, and completed == cache_hits + cache_misses + reuse_hits
+// (coalesced requests still count as misses).
+int run_smoke() {
+  ThreadPool pool;
+  sim::DdlSimulator simulator;
+  core::PredictDdlOptions opts;
+  opts.ghn.hidden_dim = 12;
+  opts.ghn.mlp_hidden = 12;
+  opts.ghn_trainer.corpus_size = 10;
+  opts.ghn_trainer.epochs = 4;
+  opts.ghn_trainer.batch_size = 5;
+  opts.ghn_trainer.darts.max_cells = 3;
+  core::PredictDdl pddl(simulator, pool, std::move(opts));
+  std::printf("smoke: tiny offline training (cifar10)...\n");
+  pddl.train_offline(workload::cifar10());
+
+  const auto reqs = request_mix();
+  serve::ServiceConfig cfg;
+  cfg.dispatcher_threads = 2;
+  cfg.queue_capacity = 1024;
+  cfg.cache_enabled = false;  // every request exercises the batched miss path
+  cfg.adaptive_batch = true;
+  serve::PredictionService service(pddl, cfg);
+  rpc::Server server(service);
+  server.start();
+  const RunStats s =
+      closed_loop_remote("127.0.0.1", server.port(), reqs, /*threads=*/4,
+                         /*rounds=*/2);
+  server.stop();
+
+  const serve::MetricsSnapshot& m = s.metrics;
+  print_batch_telemetry(m);
+  const bool all_ok = s.ok == s.submitted;
+  const bool no_frame_errors = m.rpc_frame_errors == 0;
+  const bool accounted =
+      m.completed == m.cache_hits + m.cache_misses + m.reuse_hits;
+  std::printf(
+      "smoke: %llu/%llu ok, frame_errors=%llu, completed=%llu "
+      "(hits=%llu misses=%llu reuse=%llu), adaptive_decisions=%llu\n",
+      static_cast<unsigned long long>(s.ok),
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(m.rpc_frame_errors),
+      static_cast<unsigned long long>(m.completed),
+      static_cast<unsigned long long>(m.cache_hits),
+      static_cast<unsigned long long>(m.cache_misses),
+      static_cast<unsigned long long>(m.reuse_hits),
+      static_cast<unsigned long long>(m.adaptive_decisions));
+  const bool pass = all_ok && no_frame_errors && accounted;
+  std::printf("smoke: %s (all_ok=%d frame_errors_zero=%d accounting=%d)\n",
+              pass ? "PASS" : "FAIL", all_ok, no_frame_errors, accounted);
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace pddl::bench
 
 int main(int argc, char** argv) {
   std::string endpoint;
+  bool smoke = false;
   std::size_t threads = 8;
   std::size_t rounds = 12;
   double feedback_rate = 0.0;  // fraction of ok predictions also observed
@@ -436,6 +545,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--remote" && i + 1 < argc) {
       endpoint = argv[++i];
+    } else if (arg == "--smoke") {
+      smoke = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--rounds" && i + 1 < argc) {
@@ -446,11 +557,14 @@ int main(int argc, char** argv) {
       feedback_skew = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--remote HOST:PORT] [--threads N] [--rounds N] "
-                   "[--feedback-rate R] [--feedback-skew S]\n",
+                   "usage: %s [--remote HOST:PORT] [--smoke] [--threads N] "
+                   "[--rounds N] [--feedback-rate R] [--feedback-skew S]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (smoke) {
+    return pddl::bench::run_smoke();
   }
   if (!endpoint.empty()) {
     const std::size_t colon = endpoint.rfind(':');

@@ -26,6 +26,13 @@
 //                     also seeds the index, so near-duplicates of the
 //                     Table II workloads are served without a GHN forward
 //                     pass, tagged reused(distance) in the response.
+//   --max-batch N     micro-batch size cap per dispatch (default 8); cache
+//                     misses in one dispatch run as a single batched GHN
+//                     forward pass (DESIGN.md §12)
+//   --adaptive-batch  size each dispatch from queue depth, arrival rate,
+//                     and batch service time instead of always popping up
+//                     to the cap (serve/batch_sizer.hpp); telemetry shows
+//                     up in the stats op's adaptive section
 //
 // The server always runs a feedback::FeedbackController, so the observe /
 // refit / refit_status ops work out of the box: schedulers report measured
@@ -58,6 +65,8 @@ int main(int argc, char** argv) {
   std::string save_state_dir;
   bool fast = false;
   double reuse_eps = 0.0;
+  int max_batch = 8;
+  bool adaptive_batch = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -72,10 +81,19 @@ int main(int argc, char** argv) {
       fast = true;
     } else if (arg == "--reuse-eps" && i + 1 < argc) {
       reuse_eps = std::atof(argv[++i]);
+    } else if (arg == "--max-batch" && i + 1 < argc) {
+      max_batch = std::atoi(argv[++i]);
+      if (max_batch < 1) {
+        std::fprintf(stderr, "--max-batch must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--adaptive-batch") {
+      adaptive_batch = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--host H] [--state DIR] "
-                   "[--save-state DIR] [--fast] [--reuse-eps E]\n",
+                   "[--save-state DIR] [--fast] [--reuse-eps E] "
+                   "[--max-batch N] [--adaptive-batch]\n",
                    argv[0]);
       return 2;
     }
@@ -122,6 +140,12 @@ int main(int argc, char** argv) {
   cfg.queue_capacity = 256;
   cfg.cache_shards = 8;
   cfg.cache_capacity = 1024;
+  cfg.max_batch = static_cast<std::size_t>(max_batch);
+  cfg.adaptive_batch = adaptive_batch;
+  if (adaptive_batch) {
+    std::printf("adaptive batching on (dispatch size in [1, %d])\n",
+                max_batch);
+  }
   if (reuse_eps > 0.0) {
     cfg.reuse.enabled = true;
     cfg.reuse.epsilon = reuse_eps;

@@ -99,41 +99,79 @@ Vector GhnInference::embedding(const CompGraph& g) const {
 }
 
 void GhnInference::embed_into(const CompGraph& g, Vector& out) const {
-  const std::size_t n = g.num_nodes();
-  PDDL_CHECK(n > 0, "cannot embed an empty graph");
+  const CompGraph* gp = &g;
+  Vector* op = &out;
+  embed_batch_into(std::span<const CompGraph* const>(&gp, 1),
+                   std::span<Vector* const>(&op, 1));
+}
+
+// Batched layout: graph g's node v occupies global row off[g]+v of one
+// concatenated node space of N = Σ n_g rows.  Everything that was per-node
+// in the one-graph path (features, states, memo tables, hu projections, the
+// virtual-edge CSR) is indexed by global row, so the embed layer and the
+// gate halves run as single N-row GEMMs; everything that was per-*step*
+// (the three message-gate products) gathers one row per live graph into a
+// compact L×H panel and runs as one fused GEMM against each weight matrix.
+void GhnInference::embed_batch_into(
+    std::span<const CompGraph* const> graphs,
+    std::span<Vector* const> outs) const {
+  const std::size_t G = graphs.size();
+  PDDL_CHECK(G > 0, "cannot embed an empty batch");
+  PDDL_CHECK(outs.size() == G,
+             "embed_batch_into: graphs/outs length mismatch (", G, " vs ",
+             outs.size(), ")");
   const std::size_t H = cfg_.hidden_dim;
   const std::size_t F = CompGraph::kNodeFeatureDim;
   ScratchArena& arena = thread_arena();
   arena.reset();
 
-  // ---- module 1: node features + row-batched embedding layer ----
-  double* feats = arena.doubles(n * F);
-  std::fill(feats, feats + n * F, 0.0);
-  const double total_flops =
-      static_cast<double>(std::max<std::int64_t>(1, g.total_flops()));
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& nd = g.node(static_cast<int>(i));
-    double* row = feats + i * F;
-    row[static_cast<std::size_t>(nd.type)] = 1.0;
-    row[graph::kNumOpTypes + 0] =
-        std::log1p(static_cast<double>(nd.out_shape.c)) / 8.0;
-    row[graph::kNumOpTypes + 1] =
-        std::log1p(static_cast<double>(nd.attrs.kernel * nd.attrs.kernel)) /
-        4.0;
-    row[graph::kNumOpTypes + 2] = static_cast<double>(nd.flops) / total_flops;
+  // ---- global row offsets ----
+  int* off = arena.ints(G + 1);
+  off[0] = 0;
+  std::size_t max_n = 0;
+  for (std::size_t g = 0; g < G; ++g) {
+    const std::size_t n = graphs[g]->num_nodes();
+    PDDL_CHECK(n > 0, "cannot embed an empty graph");
+    off[g + 1] = off[g] + static_cast<int>(n);
+    max_n = std::max(max_n, n);
   }
-  double* h = arena.doubles(n * H);
-  gemm_rows(feats, n, F, embed_w_, h);
+  const std::size_t N = static_cast<std::size_t>(off[G]);
+
+  // ---- module 1: node features + one batch-wide embedding GEMM ----
+  double* feats = arena.doubles(N * F);
+  std::fill(feats, feats + N * F, 0.0);
+  for (std::size_t g = 0; g < G; ++g) {
+    const CompGraph& cg = *graphs[g];
+    const std::size_t n = cg.num_nodes();
+    const double total_flops =
+        static_cast<double>(std::max<std::int64_t>(1, cg.total_flops()));
+    double* grows = feats + static_cast<std::size_t>(off[g]) * F;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& nd = cg.node(static_cast<int>(i));
+      double* row = grows + i * F;
+      row[static_cast<std::size_t>(nd.type)] = 1.0;
+      row[graph::kNumOpTypes + 0] =
+          std::log1p(static_cast<double>(nd.out_shape.c)) / 8.0;
+      row[graph::kNumOpTypes + 1] =
+          std::log1p(static_cast<double>(nd.attrs.kernel * nd.attrs.kernel)) /
+          4.0;
+      row[graph::kNumOpTypes + 2] = static_cast<double>(nd.flops) / total_flops;
+    }
+  }
+  double* h = arena.doubles(N * H);
+  gemm_rows(feats, N, F, embed_w_, h);
   const double* eb = embed_b_.data();
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < N; ++i) {
     double* hrow = h + i * H;
     for (std::size_t j = 0; j < H; ++j) hrow[j] += eb[j];
   }
 
-  // ---- virtual edges (Eq. 4): BFS hop counts → per-node CSR lists ----
-  // fw lists pair v with upstream nodes u (dist u→v), bw with downstream
-  // ones (dist v→u); sources are enumerated u-ascending exactly like the
-  // tape path so message accumulation order is identical.
+  // ---- virtual edges (Eq. 4): per-graph BFS → one global CSR ----
+  // Every graph's n×n hop matrix stays live in one Σn_g² block so the count
+  // and fill passes can run over the whole batch; fw lists pair global row
+  // off[g]+v with its upstream sources off[g]+u (dist u→v), bw with
+  // downstream ones, sources u-ascending per graph exactly like the tape
+  // path so message accumulation order is preserved.
   int* fw_off = nullptr;
   int* fw_u = nullptr;
   double* fw_w = nullptr;
@@ -141,79 +179,109 @@ void GhnInference::embed_into(const CompGraph& g, Vector& out) const {
   int* bw_u = nullptr;
   double* bw_w = nullptr;
   if (cfg_.virtual_edges) {
-    int* dist = arena.ints(n * n);
-    std::fill(dist, dist + n * n, -1);
-    int* queue = arena.ints(n);
-    for (std::size_t s = 0; s < n; ++s) {
-      int* drow = dist + s * n;
-      drow[s] = 0;
-      std::size_t qh = 0, qt = 0;
-      queue[qt++] = static_cast<int>(s);
-      while (qh < qt) {
-        const int u = queue[qh++];
-        for (int v : g.out_edges(u)) {
-          if (drow[v] < 0) {
-            drow[v] = drow[u] + 1;
-            queue[qt++] = v;
+    std::size_t dist_total = 0;
+    for (std::size_t g = 0; g < G; ++g) {
+      const std::size_t n = graphs[g]->num_nodes();
+      dist_total += n * n;
+    }
+    int* dist_all = arena.ints(dist_total);
+    std::fill(dist_all, dist_all + dist_total, -1);
+    int* queue = arena.ints(max_n);
+    std::size_t dbase = 0;
+    for (std::size_t g = 0; g < G; ++g) {
+      const CompGraph& cg = *graphs[g];
+      const std::size_t n = cg.num_nodes();
+      int* dist = dist_all + dbase;
+      for (std::size_t s = 0; s < n; ++s) {
+        int* drow = dist + s * n;
+        drow[s] = 0;
+        std::size_t qh = 0, qt = 0;
+        queue[qt++] = static_cast<int>(s);
+        while (qh < qt) {
+          const int u = queue[qh++];
+          for (int v : cg.out_edges(u)) {
+            if (drow[v] < 0) {
+              drow[v] = drow[u] + 1;
+              queue[qt++] = v;
+            }
           }
         }
       }
+      dbase += n * n;
     }
-    fw_off = arena.ints(n + 1);
-    bw_off = arena.ints(n + 1);
+    fw_off = arena.ints(N + 1);
+    bw_off = arena.ints(N + 1);
     fw_off[0] = 0;
     bw_off[0] = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      int cf = 0, cb = 0;
-      for (std::size_t u = 0; u < n; ++u) {
-        const int s_uv = dist[u * n + v];
-        if (s_uv > 1 && s_uv <= cfg_.s_max) ++cf;
-        const int s_vu = dist[v * n + u];
-        if (s_vu > 1 && s_vu <= cfg_.s_max) ++cb;
+    dbase = 0;
+    for (std::size_t g = 0; g < G; ++g) {
+      const std::size_t n = graphs[g]->num_nodes();
+      const int* dist = dist_all + dbase;
+      const std::size_t base = static_cast<std::size_t>(off[g]);
+      for (std::size_t v = 0; v < n; ++v) {
+        int cf = 0, cb = 0;
+        for (std::size_t u = 0; u < n; ++u) {
+          const int s_uv = dist[u * n + v];
+          if (s_uv > 1 && s_uv <= cfg_.s_max) ++cf;
+          const int s_vu = dist[v * n + u];
+          if (s_vu > 1 && s_vu <= cfg_.s_max) ++cb;
+        }
+        fw_off[base + v + 1] = fw_off[base + v] + cf;
+        bw_off[base + v + 1] = bw_off[base + v] + cb;
       }
-      fw_off[v + 1] = fw_off[v] + cf;
-      bw_off[v + 1] = bw_off[v] + cb;
+      dbase += n * n;
     }
-    fw_u = arena.ints(static_cast<std::size_t>(fw_off[n]));
-    fw_w = arena.doubles(static_cast<std::size_t>(fw_off[n]));
-    bw_u = arena.ints(static_cast<std::size_t>(bw_off[n]));
-    bw_w = arena.doubles(static_cast<std::size_t>(bw_off[n]));
-    for (std::size_t v = 0; v < n; ++v) {
-      int pf = fw_off[v], pb = bw_off[v];
-      for (std::size_t u = 0; u < n; ++u) {
-        const int s_uv = dist[u * n + v];
-        if (s_uv > 1 && s_uv <= cfg_.s_max) {
-          fw_u[pf] = static_cast<int>(u);
-          fw_w[pf++] = 1.0 / s_uv;
-        }
-        const int s_vu = dist[v * n + u];
-        if (s_vu > 1 && s_vu <= cfg_.s_max) {
-          bw_u[pb] = static_cast<int>(u);
-          bw_w[pb++] = 1.0 / s_vu;
+    fw_u = arena.ints(static_cast<std::size_t>(fw_off[N]));
+    fw_w = arena.doubles(static_cast<std::size_t>(fw_off[N]));
+    bw_u = arena.ints(static_cast<std::size_t>(bw_off[N]));
+    bw_w = arena.doubles(static_cast<std::size_t>(bw_off[N]));
+    dbase = 0;
+    for (std::size_t g = 0; g < G; ++g) {
+      const std::size_t n = graphs[g]->num_nodes();
+      const int* dist = dist_all + dbase;
+      const std::size_t base = static_cast<std::size_t>(off[g]);
+      for (std::size_t v = 0; v < n; ++v) {
+        int pf = fw_off[base + v], pb = bw_off[base + v];
+        for (std::size_t u = 0; u < n; ++u) {
+          const int s_uv = dist[u * n + v];
+          if (s_uv > 1 && s_uv <= cfg_.s_max) {
+            fw_u[pf] = static_cast<int>(base + u);
+            fw_w[pf++] = 1.0 / s_uv;
+          }
+          const int s_vu = dist[v * n + u];
+          if (s_vu > 1 && s_vu <= cfg_.s_max) {
+            bw_u[pb] = static_cast<int>(base + u);
+            bw_w[pb++] = 1.0 / s_vu;
+          }
         }
       }
+      dbase += n * n;
     }
   }
 
-  // ---- module 2: T rounds of fw/bw gated message passing ----
-  double* hu_z = arena.doubles(n * H);   // pass-start h·Uz (batched)
-  double* hu_r = arena.doubles(n * H);   // pass-start h·Ur (batched)
-  double* memo_d = arena.doubles(n * H);  // lazily memoized MLP(h_u)
-  double* memo_s = cfg_.virtual_edges ? arena.doubles(n * H) : nullptr;
-  int* have_d = arena.ints(n);
-  int* have_s = cfg_.virtual_edges ? arena.ints(n) : nullptr;
-  double* mvec = arena.doubles(H);
-  double* gz = arena.doubles(H);
-  double* gr = arena.doubles(H);
-  double* gn = arena.doubles(H);
-  double* rh = arena.doubles(H);
-  double* rhu = arena.doubles(H);
+  // ---- module 2: T rounds of fw/bw gated message passing, interleaved ----
+  double* hu_z = arena.doubles(N * H);    // pass-start h·Uz (batched)
+  double* hu_r = arena.doubles(N * H);    // pass-start h·Ur (batched)
+  double* memo_d = arena.doubles(N * H);  // lazily memoized MLP(h_u)
+  double* memo_s = cfg_.virtual_edges ? arena.doubles(N * H) : nullptr;
+  int* have_d = arena.ints(N);
+  int* have_s = cfg_.virtual_edges ? arena.ints(N) : nullptr;
+  // Per-step gather panels: one row per live graph.
+  int* live = arena.ints(G);        // graph index per panel row
+  double* mpan = arena.doubles(G * H);  // messages m_v
+  double* gz = arena.doubles(G * H);
+  double* gr = arena.doubles(G * H);
+  double* gn = arena.doubles(G * H);
+  double* rh = arena.doubles(G * H);
+  double* rhu = arena.doubles(G * H);
   const std::size_t mlp_w = std::max(msg_mlp_.max_width, msg_mlp_sp_.max_width);
   double* mlp_scratch = arena.doubles(2 * mlp_w);
 
-  // MLP(h_u) for the current half-pass, computed at most once per node.
-  // Exact (not approximate) because u's state is final for the half-pass
-  // before any consumer v reads it — see the invariant in the header.
+  // MLP(h_u) for the current half-pass, computed at most once per global
+  // node.  Exact (not approximate) because u's state is final for the
+  // half-pass before any consumer v reads it — node ids are topological
+  // within each graph and the interleaving never reorders a graph against
+  // itself — see the invariant in the header.
   auto memo_row = [&](const TMlp& mlp, double* table, int* have,
                       int u) -> const double* {
     double* row = table + static_cast<std::size_t>(u) * H;
@@ -225,66 +293,106 @@ void GhnInference::embed_into(const CompGraph& g, Vector& out) const {
   };
 
   auto run_half_pass = [&](bool forward) {
-    // Old-state GRU projections as two N×H GEMMs.  Valid batched: node v's
-    // gates read h_v *before* its own (unique) update, i.e. the
-    // half-pass-start value these products are computed from.
-    gemm_rows(h, n, H, gru_uz_, hu_z);
-    gemm_rows(h, n, H, gru_ur_, hu_r);
-    std::fill(have_d, have_d + n, 0);
-    if (cfg_.virtual_edges) std::fill(have_s, have_s + n, 0);
+    // Old-state GRU projections as two N×H GEMMs over the whole batch.
+    // Valid batched: node v's gates read h_v *before* its own (unique)
+    // update, i.e. the half-pass-start value these products hold.
+    gemm_rows(h, N, H, gru_uz_, hu_z);
+    gemm_rows(h, N, H, gru_ur_, hu_r);
+    std::fill(have_d, have_d + N, 0);
+    if (cfg_.virtual_edges) std::fill(have_s, have_s + N, 0);
 
-    auto update_node = [&](int v) {
-      const std::size_t vz = static_cast<std::size_t>(v);
-      // m_v: direct neighbours first, then virtual ones, same order and
-      // association as the tape's sequential adds.
-      const auto& direct = forward ? g.in_edges(v) : g.out_edges(v);
-      std::fill(mvec, mvec + H, 0.0);
-      for (int u : direct) {
-        const double* mu = memo_row(msg_mlp_, memo_d, have_d, u);
-        for (std::size_t j = 0; j < H; ++j) mvec[j] += mu[j];
+    // Step s updates node s (forward) / n_g−1−s (backward) of every graph
+    // that still has one; graphs retire from the panel as s passes their
+    // size.  Sources are always from earlier steps of the same graph, so
+    // gathering all messages before any of the step's state updates cannot
+    // read a stale or early value.
+    for (std::size_t s = 0; s < max_n; ++s) {
+      std::size_t L = 0;
+      for (std::size_t g = 0; g < G; ++g) {
+        if (graphs[g]->num_nodes() > s) live[L++] = static_cast<int>(g);
       }
-      if (cfg_.virtual_edges) {
-        const int* voff = forward ? fw_off : bw_off;
-        const int* vus = forward ? fw_u : bw_u;
-        const double* vws = forward ? fw_w : bw_w;
-        for (int p = voff[vz]; p < voff[vz + 1]; ++p) {
-          const double* mu = memo_row(msg_mlp_sp_, memo_s, have_s, vus[p]);
-          const double wgt = vws[p];
-          for (std::size_t j = 0; j < H; ++j) mvec[j] += wgt * mu[j];
+      // 1) gather messages, one panel row per live graph.
+      for (std::size_t l = 0; l < L; ++l) {
+        const std::size_t g = static_cast<std::size_t>(live[l]);
+        const CompGraph& cg = *graphs[g];
+        const std::size_t n = cg.num_nodes();
+        const int v = forward ? static_cast<int>(s)
+                              : static_cast<int>(n - 1 - s);
+        const std::size_t base = static_cast<std::size_t>(off[g]);
+        const std::size_t gv = base + static_cast<std::size_t>(v);
+        double* mrow = mpan + l * H;
+        // m_v: direct neighbours first, then virtual ones, same order and
+        // association as the tape's sequential adds.
+        const auto& direct = forward ? cg.in_edges(v) : cg.out_edges(v);
+        std::fill(mrow, mrow + H, 0.0);
+        for (int u : direct) {
+          const double* mu = memo_row(msg_mlp_, memo_d, have_d,
+                                      static_cast<int>(base) + u);
+          for (std::size_t j = 0; j < H; ++j) mrow[j] += mu[j];
+        }
+        if (cfg_.virtual_edges) {
+          const int* voff = forward ? fw_off : bw_off;
+          const int* vus = forward ? fw_u : bw_u;
+          const double* vws = forward ? fw_w : bw_w;
+          for (int p = voff[gv]; p < voff[gv + 1]; ++p) {
+            const double* mu = memo_row(msg_mlp_sp_, memo_s, have_s, vus[p]);
+            const double wgt = vws[p];
+            for (std::size_t j = 0; j < H; ++j) mrow[j] += wgt * mu[j];
+          }
         }
       }
-      double* hrow = h + vz * H;
-      // GRU (same op order as GruCell::forward: m·W dot, + h·U, + bias,
-      // then the squashing nonlinearity).
-      dot_rows_transposed(mvec, gru_wzt_.data(), H, H, nullptr, gz);
-      dot_rows_transposed(mvec, gru_wrt_.data(), H, H, nullptr, gr);
-      dot_rows_transposed(mvec, gru_wnt_.data(), H, H, nullptr, gn);
-      const double* huz = hu_z + vz * H;
-      const double* hur = hu_r + vz * H;
-      for (std::size_t j = 0; j < H; ++j) {
-        gz[j] = 1.0 / (1.0 + std::exp(-((gz[j] + huz[j]) + gru_bz_[j])));
-        gr[j] = 1.0 / (1.0 + std::exp(-((gr[j] + hur[j]) + gru_br_[j])));
-        rh[j] = gr[j] * hrow[j];
-      }
-      dot_rows_transposed(rh, gru_unt_.data(), H, H, nullptr, rhu);
-      for (std::size_t j = 0; j < H; ++j) {
-        const double nj = std::tanh((gn[j] + rhu[j]) + gru_bn_[j]);
-        // h' = (n − z∘n) + z∘h, the tape's association.
-        hrow[j] = (nj - gz[j] * nj) + gz[j] * hrow[j];
-      }
-      if (cfg_.op_normalization) {
-        const double* gain =
-            op_gains_.row_ptr(static_cast<std::size_t>(g.node(v).type));
+      // 2) the three gate products, fused across the panel: one kernel call
+      // per weight matrix per step instead of one dot per graph.
+      matmul_rows_transposed_b(mpan, L, gru_wzt_.data(), H, H, gz);
+      matmul_rows_transposed_b(mpan, L, gru_wrt_.data(), H, H, gr);
+      matmul_rows_transposed_b(mpan, L, gru_wnt_.data(), H, H, gn);
+      // 3) sigmoid gates + r∘h (same op order as GruCell::forward: m·W dot,
+      // + h·U, + bias, then the squashing nonlinearity).
+      for (std::size_t l = 0; l < L; ++l) {
+        const std::size_t g = static_cast<std::size_t>(live[l]);
+        const std::size_t n = graphs[g]->num_nodes();
+        const std::size_t gv = static_cast<std::size_t>(off[g]) +
+                               (forward ? s : n - 1 - s);
+        const double* huz = hu_z + gv * H;
+        const double* hur = hu_r + gv * H;
+        const double* hrow = h + gv * H;
+        double* gzr = gz + l * H;
+        double* grr = gr + l * H;
+        double* rhr = rh + l * H;
         for (std::size_t j = 0; j < H; ++j) {
-          hrow[j] = std::tanh(hrow[j]) * gain[j];
+          gzr[j] = 1.0 / (1.0 + std::exp(-((gzr[j] + huz[j]) + gru_bz_[j])));
+          grr[j] = 1.0 / (1.0 + std::exp(-((grr[j] + hur[j]) + gru_br_[j])));
+          rhr[j] = grr[j] * hrow[j];
         }
       }
-    };
-
-    if (forward) {
-      for (int v = 0; v < static_cast<int>(n); ++v) update_node(v);
-    } else {
-      for (int v = static_cast<int>(n) - 1; v >= 0; --v) update_node(v);
+      // 4) candidate-state projection, fused.
+      matmul_rows_transposed_b(rh, L, gru_unt_.data(), H, H, rhu);
+      // 5) state update + optional op normalization.
+      for (std::size_t l = 0; l < L; ++l) {
+        const std::size_t g = static_cast<std::size_t>(live[l]);
+        const CompGraph& cg = *graphs[g];
+        const std::size_t n = cg.num_nodes();
+        const int v =
+            forward ? static_cast<int>(s) : static_cast<int>(n - 1 - s);
+        const std::size_t gv = static_cast<std::size_t>(off[g]) +
+                               static_cast<std::size_t>(v);
+        double* hrow = h + gv * H;
+        const double* gzr = gz + l * H;
+        const double* gnr = gn + l * H;
+        const double* rhur = rhu + l * H;
+        for (std::size_t j = 0; j < H; ++j) {
+          const double nj = std::tanh((gnr[j] + rhur[j]) + gru_bn_[j]);
+          // h' = (n − z∘n) + z∘h, the tape's association.
+          hrow[j] = (nj - gzr[j] * nj) + gzr[j] * hrow[j];
+        }
+        if (cfg_.op_normalization) {
+          const double* gain =
+              op_gains_.row_ptr(static_cast<std::size_t>(cg.node(v).type));
+          for (std::size_t j = 0; j < H; ++j) {
+            hrow[j] = std::tanh(hrow[j]) * gain[j];
+          }
+        }
+      }
     }
   };
 
@@ -294,15 +402,20 @@ void GhnInference::embed_into(const CompGraph& g, Vector& out) const {
   }
 
   // ---- module 3 (skipped per PredictDDL §III-E): mean-pool readout ----
-  double* acc = mvec;  // message scratch is free now
-  std::copy(h, h + H, acc);
-  for (std::size_t v = 1; v < n; ++v) {
-    const double* hrow = h + v * H;
-    for (std::size_t j = 0; j < H; ++j) acc[j] += hrow[j];
+  double* acc = mpan;  // panel scratch is free now
+  for (std::size_t g = 0; g < G; ++g) {
+    const std::size_t n = graphs[g]->num_nodes();
+    const double* grows = h + static_cast<std::size_t>(off[g]) * H;
+    std::copy(grows, grows + H, acc);
+    for (std::size_t v = 1; v < n; ++v) {
+      const double* hrow = grows + v * H;
+      for (std::size_t j = 0; j < H; ++j) acc[j] += hrow[j];
+    }
+    const double inv = 1.0 / static_cast<double>(n);
+    Vector& out = *outs[g];
+    if (out.size() != H) out.resize(H);
+    for (std::size_t j = 0; j < H; ++j) out[j] = acc[j] * inv;
   }
-  const double inv = 1.0 / static_cast<double>(n);
-  if (out.size() != H) out.resize(H);
-  for (std::size_t j = 0; j < H; ++j) out[j] = acc[j] * inv;
 }
 
 }  // namespace pddl::ghn

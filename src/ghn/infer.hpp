@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ghn/ghn2.hpp"
@@ -139,8 +140,26 @@ class GhnInference {
   Vector embedding(const graph::CompGraph& g) const;
   // Zero-allocation form: writes hidden_dim() values into `out`.  With a
   // warm arena and `out` already at size, a call performs no heap
-  // allocation at all (asserted by the allocation-counting test).
+  // allocation at all (asserted by the allocation-counting test).  This is
+  // the width-1 wrapper over embed_batch_into, so its parity contract is the
+  // batched engine's.
   void embed_into(const graph::CompGraph& g, Vector& out) const;
+  // Batched multi-graph form: embeds graphs[i] into *outs[i], all from one
+  // widened arena layout (concatenated node-row space, one global
+  // virtual-edge CSR, per-step gather buffers).  The embed layer and the
+  // H·Uz/H·Ur gate halves run as single GEMMs over every node of every
+  // graph, and the per-node GRU recurrence is interleaved across graphs in
+  // schedule order: step s updates node s (forward half-pass) or n_g−1−s
+  // (backward) of every still-live graph, with the three message-gate
+  // products fused into one matmul_rows_transposed_b call per step instead
+  // of one dot per graph — the batch shares each weight row's cache traffic.
+  // Exactness: every fused row is the same independent ascending-k dot the
+  // one-graph path computes, and cross-graph interleaving preserves each
+  // graph's internal update order, so per-graph results are bit-identical to
+  // embed_into at any batch width (and the ≤1e-9 tape contract carries
+  // over; asserted at widths 2/4/8 in ghn_infer_test).
+  void embed_batch_into(std::span<const graph::CompGraph* const> graphs,
+                        std::span<Vector* const> outs) const;
 
   // The calling thread's scratch arena (exposed for warm-up and the
   // allocation / reuse tests; embeds reset it on entry).

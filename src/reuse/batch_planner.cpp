@@ -69,6 +69,7 @@ BatchExecution execute_plan(serve::PredictionService& service,
                             const BatchPlan& plan) {
   BatchExecution out;
   out.steps.reserve(plan.order.size());
+  const serve::MetricsSnapshot before = service.metrics();
   Stopwatch wall;
 
   auto account = [&out](std::size_t candidate, serve::ServeResult result) {
@@ -109,6 +110,11 @@ BatchExecution execute_plan(serve::PredictionService& service,
   for (auto& [candidate, future] : wave) account(candidate, future.get());
 
   out.total_ms = wall.millis();
+  const serve::MetricsSnapshot after = service.metrics();
+  out.embed_batches = after.embed_batches - before.embed_batches;
+  out.embed_batch_graphs =
+      after.embed_batch_graphs - before.embed_batch_graphs;
+  out.embed_coalesced = after.embed_coalesced - before.embed_coalesced;
   return out;
 }
 

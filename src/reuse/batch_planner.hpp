@@ -74,6 +74,13 @@ struct BatchExecution {
   std::size_t fresh_embeds = 0;
   std::size_t cache_hits = 0;
   std::size_t reuse_hits = 0;
+  // Batched-embed telemetry over this execution (service-metrics deltas):
+  // with the batched dispatcher, the anchor wave should land as a few wide
+  // embed_batch_into passes — embed_batches ≪ fresh_embeds — rather than
+  // one forward pass per anchor.
+  std::uint64_t embed_batches = 0;       // batched forward passes run
+  std::uint64_t embed_batch_graphs = 0;  // unique graphs across them
+  std::uint64_t embed_coalesced = 0;     // duplicate-fp requests coalesced
 };
 
 // Runs the plan against `service`: anchors first (waited to completion so

@@ -20,7 +20,7 @@ ReuseIndex::Partition& ReuseIndex::partition_for(const std::string& dataset,
       stats_.entries -= p.entries.size();
       p.entries.clear();
       p.by_fp.clear();
-      p.next_victim = 0;
+      p.tick = 0;
     }
     p.checksum = ghn_checksum;
   }
@@ -76,7 +76,10 @@ std::optional<ReuseHit> ReuseIndex::probe(const std::string& dataset,
     return std::nullopt;
   }
   ++stats_.hits;
-  const Entry& e = p.entries[best_slot];
+  Entry& e = p.entries[best_slot];
+  // A served donor is a *used* donor: bump its recency so LRU eviction
+  // keeps hot donors alive under sustained insert pressure.
+  e.last_used = ++p.tick;
   return ReuseHit{e.embedding, best, e.fp};
 }
 
@@ -94,18 +97,24 @@ void ReuseIndex::insert_locked(Partition& p, std::uint64_t fp,
                                const StructuralSignature& sig,
                                Vector embedding) {
   if (cfg_.max_entries > 0 && p.entries.size() >= cfg_.max_entries) {
-    // FIFO eviction: overwrite the slot under the cursor.
-    const std::size_t victim = p.next_victim % p.entries.size();
+    // LRU eviction: overwrite the entry with the oldest recency tick.  The
+    // O(n) scan only runs at capacity, and n is bounded by max_entries —
+    // the same order as the probe's own prefilter scan.
+    std::size_t victim = 0;
+    for (std::size_t slot = 1; slot < p.entries.size(); ++slot) {
+      if (p.entries[slot].last_used < p.entries[victim].last_used) {
+        victim = slot;
+      }
+    }
     p.by_fp.erase(p.entries[victim].fp);
-    p.entries[victim] = Entry{fp, sig, std::move(embedding)};
+    p.entries[victim] = Entry{fp, sig, std::move(embedding), ++p.tick};
     p.by_fp[fp] = victim;
-    p.next_victim = victim + 1;
     ++stats_.evictions;
     ++stats_.inserts;
     return;
   }
   p.by_fp[fp] = p.entries.size();
-  p.entries.push_back(Entry{fp, sig, std::move(embedding)});
+  p.entries.push_back(Entry{fp, sig, std::move(embedding), ++p.tick});
   ++stats_.inserts;
   ++stats_.entries;
 }
@@ -157,13 +166,23 @@ void ReuseIndex::save(io::SnapshotWriter& snap) const {
     w.str(dataset);
     w.u64(p.checksum);
     w.u32(static_cast<std::uint32_t>(p.entries.size()));
-    for (const Entry& e : p.entries) {
-      w.u64(e.fp);
-      w.u32(e.sig.nodes);
-      w.u32(e.sig.edges);
-      w.u64(e.sig.params);
-      for (std::uint32_t c : e.sig.op_counts) w.u32(c);
-      io::write_vector(w, e.embedding);
+    // Persist least-recently-used first: load_section re-stamps recency in
+    // read order, so the restored partition evicts in the same order this
+    // one would have — without serializing the ticks themselves.
+    std::vector<const Entry*> by_recency;
+    by_recency.reserve(p.entries.size());
+    for (const Entry& e : p.entries) by_recency.push_back(&e);
+    std::sort(by_recency.begin(), by_recency.end(),
+              [](const Entry* a, const Entry* b) {
+                return a->last_used < b->last_used;
+              });
+    for (const Entry* e : by_recency) {
+      w.u64(e->fp);
+      w.u32(e->sig.nodes);
+      w.u32(e->sig.edges);
+      w.u64(e->sig.params);
+      for (std::uint32_t c : e->sig.op_counts) w.u32(c);
+      io::write_vector(w, e->embedding);
     }
   }
 }
@@ -200,7 +219,7 @@ std::size_t ReuseIndex::load_section(
         stats_.entries -= p->entries.size();
         p->entries.clear();
         p->by_fp.clear();
-        p->next_victim = 0;
+        p->tick = 0;
       }
       p->checksum = checksum;
     }
@@ -218,6 +237,9 @@ std::size_t ReuseIndex::load_section(
       if (cfg_.max_entries > 0 && p->entries.size() >= cfg_.max_entries) {
         continue;
       }
+      // Sections are written LRU-first, so stamping in read order restores
+      // the saved eviction order.
+      e.last_used = ++p->tick;
       p->by_fp[e.fp] = p->entries.size();
       p->entries.push_back(std::move(e));
       ++stats_.entries;

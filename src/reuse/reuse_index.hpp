@@ -92,7 +92,9 @@ struct ReuseConfig {
   double max_signature_distance = 0.35;
   // Exact-cosine shortlist size after the prefilter.
   std::size_t shortlist = 8;
-  // Entry budget per dataset partition; the oldest entry is evicted first.
+  // Entry budget per dataset partition; the least-recently-used entry (a
+  // probe hit counts as a use) is evicted first, so hot donors survive
+  // sustained insert pressure.
   std::size_t max_entries = 4096;
   // Consult the ReuseCostModel before probing (false = always probe).
   bool use_cost_model = true;
@@ -154,6 +156,9 @@ class ReuseIndex {
   // u32 dataset count | per dataset: str name | u64 ghn_checksum |
   // u32 entry count | per entry: u64 fp | u32 nodes | u32 edges |
   // u64 params | op-type counts | embedding.
+  // Entries are written least-recently-used first and load() re-stamps
+  // recency in read order, so LRU eviction order survives a restart without
+  // any format change (recency ticks are never serialized).
   void save(io::SnapshotWriter& snap) const;
   // Restores from `snap` if the section is present.  `live_checksum` maps a
   // dataset to the checksum of its currently registered GHN (0 = none);
@@ -179,12 +184,13 @@ class ReuseIndex {
     std::uint64_t fp = 0;
     StructuralSignature sig;
     Vector embedding;
+    std::uint64_t last_used = 0;  // partition tick at insert / last probe hit
   };
   struct Partition {
     std::uint64_t checksum = 0;
     std::vector<Entry> entries;
     std::map<std::uint64_t, std::size_t> by_fp;  // fp → slot in `entries`
-    std::size_t next_victim = 0;                 // FIFO eviction cursor
+    std::uint64_t tick = 0;  // monotonic recency clock for LRU eviction
   };
 
   // Drops the partition's entries when `ghn_checksum` differs (counts an

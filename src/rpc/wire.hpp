@@ -59,7 +59,9 @@ inline constexpr char kFrameMagic[4] = {'P', 'D', 'R', 'P'};
 // v4: reuse confidence + distance in the ServeResult encoding; reuse
 // counters, distance histogram, and arena high-water mark in the
 // MetricsSnapshot encoding.
-inline constexpr std::uint32_t kProtocolVersion = 4;
+// v5: batched-embed counters (batches / graphs / coalesced + width
+// histogram) and adaptive-batch telemetry in the MetricsSnapshot encoding.
+inline constexpr std::uint32_t kProtocolVersion = 5;
 // Fixed-size frame prefix: magic (4) + version (4) + body length (4).
 inline constexpr std::size_t kFramePrefixBytes = 12;
 // Envelope overhead beyond the body: prefix + CRC trailer.

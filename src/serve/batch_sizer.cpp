@@ -1,0 +1,71 @@
+#include "serve/batch_sizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pddl::serve {
+
+AdaptiveBatchSizer::AdaptiveBatchSizer(AdaptiveBatchConfig cfg) : cfg_(cfg) {
+  PDDL_CHECK(cfg_.max_batch >= 1, "AdaptiveBatchSizer: max_batch must be >= 1");
+  PDDL_CHECK(cfg_.ema_alpha > 0.0 && cfg_.ema_alpha <= 1.0,
+             "AdaptiveBatchSizer: ema_alpha must be in (0, 1]");
+  PDDL_CHECK(cfg_.drain_fraction >= 0.0,
+             "AdaptiveBatchSizer: drain_fraction must be >= 0");
+}
+
+void AdaptiveBatchSizer::note_arrival(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!have_arrival_) {
+    have_arrival_ = true;
+    last_arrival_s_ = now_s;
+    return;
+  }
+  // Clamp below so a same-tick burst drives the rate estimate high instead
+  // of dividing by zero, and a clock hiccup never yields a negative gap.
+  const double dt = std::max(now_s - last_arrival_s_, 1e-9);
+  last_arrival_s_ = now_s;
+  interarrival_ema_s_ = interarrival_ema_s_ == 0.0
+                            ? dt
+                            : (1.0 - cfg_.ema_alpha) * interarrival_ema_s_ +
+                                  cfg_.ema_alpha * dt;
+}
+
+void AdaptiveBatchSizer::note_batch(double service_s) {
+  if (!(service_s > 0.0)) return;  // also drops NaN
+  std::lock_guard<std::mutex> lock(mutex_);
+  service_ema_s_ = service_ema_s_ == 0.0
+                       ? service_s
+                       : (1.0 - cfg_.ema_alpha) * service_ema_s_ +
+                             cfg_.ema_alpha * service_s;
+}
+
+std::size_t AdaptiveBatchSizer::choose(std::size_t queue_depth) const {
+  double expected = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (interarrival_ema_s_ > 0.0 && service_ema_s_ > 0.0) {
+      expected = service_ema_s_ / interarrival_ema_s_;  // λ̂·Ŝ
+    }
+  }
+  const double want =
+      expected + cfg_.drain_fraction * static_cast<double>(queue_depth);
+  const double chosen = std::ceil(want);
+  if (!(chosen >= 1.0)) return 1;
+  return std::min(cfg_.max_batch,
+                  static_cast<std::size_t>(
+                      std::min(chosen, static_cast<double>(cfg_.max_batch))));
+}
+
+double AdaptiveBatchSizer::arrival_rate_hz() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return interarrival_ema_s_ > 0.0 ? 1.0 / interarrival_ema_s_ : 0.0;
+}
+
+double AdaptiveBatchSizer::batch_service_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return service_ema_s_;
+}
+
+}  // namespace pddl::serve

@@ -1,0 +1,64 @@
+// Queue-aware adaptive micro-batch sizing for the dispatcher (DESIGN.md §12).
+//
+// A static max_batch is wrong at both ends of the load curve: under light
+// traffic it makes the dispatcher wait on work that will never co-arrive
+// (one request per dispatch is optimal), and under bursts it caps how much
+// of the backlog one batched embed can drain.  The sizer picks the next
+// dispatch size from observed load instead, with a Little's-law estimate:
+//
+//   choose(d) = clamp( ceil( λ̂·Ŝ + drain_fraction·d ), 1, max_batch )
+//
+// where λ̂ is the arrival rate (EMA over inter-arrival gaps), Ŝ the
+// per-batch service time (EMA over completed dispatches), and d the queue
+// depth at dispatch.  λ̂·Ŝ is the work expected to arrive while the batch
+// runs — taking it now keeps the queue from ratcheting up under steady
+// saturation — and the drain term works off backlog that already exists.
+// Before either estimate is warm the drain term alone decides, so a cold
+// sizer degrades to "one per dispatch" at empty queue and grows with depth.
+//
+// The class is a pure unit: time enters only through the note_* arguments
+// (seconds on any monotonic axis), so tests replay arrival traces without
+// clocks or sleeps.  All methods are internally locked; dispatcher threads
+// and submitters may call concurrently.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace pddl::serve {
+
+struct AdaptiveBatchConfig {
+  std::size_t max_batch = 8;     // clamp ceiling (ServiceConfig::max_batch)
+  double ema_alpha = 0.2;        // smoothing for both EMAs, in (0, 1]
+  double drain_fraction = 0.5;   // share of existing backlog added per batch
+};
+
+class AdaptiveBatchSizer {
+ public:
+  explicit AdaptiveBatchSizer(AdaptiveBatchConfig cfg = {});
+
+  // One admitted request at time `now_s`.  Feeds the inter-arrival EMA; the
+  // first call only seeds the reference point.
+  void note_arrival(double now_s);
+
+  // One completed dispatch that took `service_s` seconds of wall time.
+  void note_batch(double service_s);
+
+  // Next dispatch size for the current queue depth, in [1, max_batch].
+  // Monotone non-decreasing in `queue_depth` for fixed estimator state.
+  std::size_t choose(std::size_t queue_depth) const;
+
+  // Telemetry gauges (0 until the corresponding estimate is warm).
+  double arrival_rate_hz() const;
+  double batch_service_s() const;
+
+ private:
+  AdaptiveBatchConfig cfg_;
+  mutable std::mutex mutex_;
+  bool have_arrival_ = false;
+  double last_arrival_s_ = 0.0;
+  double interarrival_ema_s_ = 0.0;  // 0 = not warm yet
+  double service_ema_s_ = 0.0;       // 0 = not warm yet
+};
+
+}  // namespace pddl::serve

@@ -171,6 +171,24 @@ void ServiceMetrics::record_batch_size(std::size_t n) {
   batch_size_counts[idx].fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServiceMetrics::record_embed_batch(std::size_t unique_graphs,
+                                        std::size_t coalesced) {
+  if (unique_graphs == 0) return;
+  embed_batches.fetch_add(1, std::memory_order_relaxed);
+  embed_batch_graphs.fetch_add(unique_graphs, std::memory_order_relaxed);
+  if (coalesced != 0) {
+    embed_coalesced.fetch_add(coalesced, std::memory_order_relaxed);
+  }
+  const std::size_t idx = std::min(unique_graphs, kMaxTrackedBatchSize + 1) - 1;
+  embed_batch_size_counts[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::record_adaptive_choice(std::size_t n) {
+  if (n == 0) return;
+  adaptive_decisions.fetch_add(1, std::memory_order_relaxed);
+  adaptive_chosen_graphs.fetch_add(n, std::memory_order_relaxed);
+}
+
 MetricsSnapshot ServiceMetrics::snapshot() const {
   MetricsSnapshot s;
   s.submitted = submitted.load(std::memory_order_relaxed);
@@ -195,6 +213,16 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
     s.batch_size_counts[i] =
         batch_size_counts[i].load(std::memory_order_relaxed);
   }
+  s.embed_batches = embed_batches.load(std::memory_order_relaxed);
+  s.embed_batch_graphs = embed_batch_graphs.load(std::memory_order_relaxed);
+  s.embed_coalesced = embed_coalesced.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < s.embed_batch_size_counts.size(); ++i) {
+    s.embed_batch_size_counts[i] =
+        embed_batch_size_counts[i].load(std::memory_order_relaxed);
+  }
+  s.adaptive_decisions = adaptive_decisions.load(std::memory_order_relaxed);
+  s.adaptive_chosen_graphs =
+      adaptive_chosen_graphs.load(std::memory_order_relaxed);
   s.arena_hwm_bytes = arena_hwm_bytes.load(std::memory_order_relaxed);
   s.arena_chunks = arena_chunks.load(std::memory_order_relaxed);
   s.e2e = e2e_ms.snapshot();
@@ -214,6 +242,18 @@ double MetricsSnapshot::mean_batch_size() const {
   }
   return static_cast<double>(weighted) /
          static_cast<double>(batches_dispatched);
+}
+
+double MetricsSnapshot::mean_embed_batch_width() const {
+  if (embed_batches == 0) return 0.0;
+  return static_cast<double>(embed_batch_graphs) /
+         static_cast<double>(embed_batches);
+}
+
+double MetricsSnapshot::mean_adaptive_choice() const {
+  if (adaptive_decisions == 0) return 0.0;
+  return static_cast<double>(adaptive_chosen_graphs) /
+         static_cast<double>(adaptive_decisions);
 }
 
 std::string MetricsSnapshot::to_string() const {
@@ -274,6 +314,27 @@ std::string MetricsSnapshot::to_string() const {
                   "  batch    : dispatched=%llu mean_size=%.2f\n",
                   static_cast<unsigned long long>(batches_dispatched),
                   mean_batch_size());
+    out += buf;
+  }
+  // Batched-embed and adaptive-sizer lines appear only once those paths ran,
+  // so dumps from older configurations keep their exact shape.
+  if (embed_batches != 0 || embed_coalesced != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  embatch  : batches=%llu graphs=%llu mean_width=%.2f "
+                  "coalesced=%llu\n",
+                  static_cast<unsigned long long>(embed_batches),
+                  static_cast<unsigned long long>(embed_batch_graphs),
+                  mean_embed_batch_width(),
+                  static_cast<unsigned long long>(embed_coalesced));
+    out += buf;
+  }
+  if (adaptive_decisions != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  adaptive : decisions=%llu mean_choice=%.2f "
+                  "arrival_hz=%.1f batch_service_ms=%.3f\n",
+                  static_cast<unsigned long long>(adaptive_decisions),
+                  mean_adaptive_choice(), adaptive_arrival_hz,
+                  adaptive_batch_service_ms);
     out += buf;
   }
   // Like rpc, the feedback line only appears once the loop saw traffic.
@@ -412,6 +473,37 @@ std::string MetricsSnapshot::to_json() const {
     out += buf;
   }
   out += "]},";
+  out += "\"embed_batch\":{";
+  num("batches", embed_batches);
+  num("graphs", embed_batch_graphs);
+  num("coalesced", embed_coalesced);
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"mean_width\":%.6f,",
+                  mean_embed_batch_width());
+    out += buf;
+  }
+  out += "\"width_counts\":[";
+  for (std::size_t i = 0; i < embed_batch_size_counts.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(embed_batch_size_counts[i]),
+                  i + 1 < embed_batch_size_counts.size() ? "," : "");
+    out += buf;
+  }
+  out += "]},";
+  out += "\"adaptive\":{";
+  num("decisions", adaptive_decisions);
+  {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\"mean_choice\":%.6f,\"arrival_hz\":%.6f,"
+                  "\"batch_service_ms\":%.6f",
+                  mean_adaptive_choice(), adaptive_arrival_hz,
+                  adaptive_batch_service_ms);
+    out += buf;
+  }
+  out += "},";
   hist("e2e", e2e);
   hist("queue", queue);
   hist("service", service);

@@ -140,6 +140,23 @@ struct MetricsSnapshot {
   // the last slot counts larger batches.
   std::array<std::uint64_t, kMaxTrackedBatchSize + 1> batch_size_counts{};
 
+  // ---- batched multi-graph embedding (zero until a miss group runs
+  // through GhnInference::embed_batch_into) ----
+  std::uint64_t embed_batches = 0;       // batched forward passes
+  std::uint64_t embed_batch_graphs = 0;  // unique graphs embedded across them
+  std::uint64_t embed_coalesced = 0;     // duplicate-fingerprint misses that
+                                         // copied a batchmate's embedding
+                                         // instead of paying a forward pass
+  // counts[w-1] = batched passes of exactly w unique graphs; last = overflow.
+  std::array<std::uint64_t, kMaxTrackedBatchSize + 1> embed_batch_size_counts{};
+
+  // ---- adaptive batch sizing (zero unless ServiceConfig::adaptive_batch;
+  // gauges are the sizer's live estimates at snapshot time) ----
+  std::uint64_t adaptive_decisions = 0;      // dispatch sizes chosen
+  std::uint64_t adaptive_chosen_graphs = 0;  // Σ of the chosen sizes
+  double adaptive_arrival_hz = 0.0;          // λ̂: admitted-arrival rate EMA
+  double adaptive_batch_service_ms = 0.0;    // Ŝ: per-batch service time EMA
+
   LatencyHistogram::Snapshot e2e;      // admission → response
   LatencyHistogram::Snapshot queue;    // admission → dequeue
   LatencyHistogram::Snapshot service;  // embed + inference only
@@ -158,6 +175,12 @@ struct MetricsSnapshot {
   // Mean requests per dispatched micro-batch (overflow batches count as
   // kMaxTrackedBatchSize + 1, a floor); 0 when nothing was dispatched.
   double mean_batch_size() const;
+
+  // Mean unique graphs per batched forward pass; 0 when none ran.
+  double mean_embed_batch_width() const;
+
+  // Mean dispatch size the adaptive sizer chose; 0 when it never ran.
+  double mean_adaptive_choice() const;
 
   // Multi-line human-readable dump (the "metrics dump" of the example
   // server and the load generator's per-run report).
@@ -195,8 +218,24 @@ class ServiceMetrics {
   std::array<std::atomic<std::uint64_t>, kMaxTrackedBatchSize + 1>
       batch_size_counts{};
 
+  std::atomic<std::uint64_t> embed_batches{0};
+  std::atomic<std::uint64_t> embed_batch_graphs{0};
+  std::atomic<std::uint64_t> embed_coalesced{0};
+  std::array<std::atomic<std::uint64_t>, kMaxTrackedBatchSize + 1>
+      embed_batch_size_counts{};
+
+  std::atomic<std::uint64_t> adaptive_decisions{0};
+  std::atomic<std::uint64_t> adaptive_chosen_graphs{0};
+
   // One relaxed increment per dispatched micro-batch.
   void record_batch_size(std::size_t n);
+
+  // One batched forward pass of `unique_graphs` graphs that additionally
+  // satisfied `coalesced` duplicate-fingerprint requests.
+  void record_embed_batch(std::size_t unique_graphs, std::size_t coalesced);
+
+  // One adaptive sizer decision of `n` requests.
+  void record_adaptive_choice(std::size_t n);
 
   // Scratch-arena high-water mark (CAS-max, called after each fast embed).
   // Bytes and chunks are tracked as one pair from the same arena so the

@@ -1,6 +1,8 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <map>
+#include <span>
 #include <utility>
 
 #include "common/stopwatch.hpp"
@@ -53,6 +55,7 @@ PredictionService::PredictionService(core::PredictDdl& engine,
       cfg_(cfg),
       cache_(cfg.cache_shards, cfg.cache_capacity),
       reuse_index_(cfg.reuse),
+      sizer_(AdaptiveBatchConfig{cfg.max_batch}),
       paused_(cfg.start_paused) {
   PDDL_CHECK(cfg_.queue_capacity > 0, "queue capacity must be positive");
   PDDL_CHECK(cfg_.dispatcher_threads > 0, "need at least one dispatcher");
@@ -131,6 +134,12 @@ std::future<ServeResult> PredictionService::submit(core::PredictRequest req,
     }
     queue_.push_back(std::move(p));
   }
+  if (cfg_.adaptive_batch) {
+    // Admitted arrivals feed the sizer's rate estimate (rejections don't:
+    // they never become dispatchable work).
+    sizer_.note_arrival(std::chrono::duration<double>(p.enqueued - epoch_)
+                            .count());
+  }
   cv_.notify_one();
   return future;
 }
@@ -152,12 +161,19 @@ void PredictionService::dispatcher_loop() {
         if (stopping_) return;
         continue;
       }
-      while (!queue_.empty() && batch.size() < cfg_.max_batch) {
+      std::size_t want = cfg_.max_batch;
+      if (cfg_.adaptive_batch) {
+        want = sizer_.choose(queue_.size());
+        metrics_.record_adaptive_choice(want);
+      }
+      while (!queue_.empty() && batch.size() < want) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
     }
+    Stopwatch sw;
     process_batch(std::move(batch));
+    if (cfg_.adaptive_batch) sizer_.note_batch(sw.millis() / 1000.0);
   }
 }
 
@@ -191,6 +207,8 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     double embed_ms = 0.0;
     bool cache_hit = false;
     bool reused = false;  // embedding came from a reuse-index neighbour
+    bool coalesced = false;  // duplicate-fingerprint miss; copies its
+                             // group representative's embedding
     double reuse_distance = 0.0;
     // Reuse-index keys, filled only on the cache-miss + reuse-enabled path.
     reuse::StructuralSignature sig;
@@ -278,9 +296,8 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     live.push_back(std::move(w));
   }
 
-  // Micro-batch the cache misses onto the shared pool: one GHN forward pass
-  // per miss, all in flight together.  try_submit falls back to inline
-  // execution if the pool is tearing down underneath us.
+  // Collect the misses that survive the pre-embed deadline re-check; they
+  // are then grouped per engine and embedded batched, below.
   std::vector<std::size_t> misses;  // indices into `live`
   const Clock::time_point pre_embed = Clock::now();
   for (std::size_t k = 0; k < live.size(); ++k) {
@@ -303,33 +320,129 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     }
     misses.push_back(k);
   }
-  std::vector<std::pair<std::size_t, std::future<void>>> inflight;
-  std::vector<std::exception_ptr> miss_errors(live.size());
-  auto embed_one = [this, &live](std::size_t k) {
-    Stopwatch sw;
+  // Group the misses by their resolved tape-free engine and run each group
+  // as ONE batched forward pass (GhnInference::embed_batch_into): the group
+  // shares the embed-layer GEMM and the per-step fused gate GEMMs, and — as
+  // important under load — pays one dispatch instead of one pool round-trip
+  // per request.  Within a group, misses with identical fingerprints are
+  // coalesced onto one representative forward pass and the duplicates copy
+  // its embedding (bit-identical: same engine, same graph).  A coalesced
+  // request still counts as a cache miss — it probed the shard cache and
+  // missed — so completed == cache_hits + cache_misses + reuse_hits holds
+  // unchanged; embed_coalesced records the saved forward passes.  Requests
+  // without a tape-free engine (cfg_.fast_embed off) keep the legacy
+  // per-graph tape path on the shared pool.
+  struct MissGroup {
+    const ghn::GhnInference* fast = nullptr;
+    std::vector<std::size_t> reps;  // indices into `live`: unique fingerprints
+    std::vector<std::pair<std::size_t, std::size_t>> dups;  // (dup, its rep)
+  };
+  std::vector<MissGroup> groups;
+  std::vector<std::size_t> tape_misses;
+  for (std::size_t k : misses) {
     Work& w = live[k];
-    if (w.fast != nullptr) {
-      w.fast->embed_into(w.graph, w.embedding);
+    if (w.fast == nullptr) {
+      tape_misses.push_back(k);
+      continue;
+    }
+    MissGroup* g = nullptr;
+    for (MissGroup& cand : groups) {
+      if (cand.fast == w.fast.get()) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back(MissGroup{w.fast.get(), {}, {}});
+      g = &groups.back();
+    }
+    bool coalesced = false;
+    for (std::size_t rep : g->reps) {
+      if (live[rep].fp == w.fp) {
+        g->dups.emplace_back(k, rep);
+        w.coalesced = true;
+        coalesced = true;
+        break;
+      }
+    }
+    if (!coalesced) g->reps.push_back(k);
+  }
+
+  std::vector<std::exception_ptr> miss_errors(live.size());
+  auto run_group = [this, &live, &miss_errors](MissGroup& g) {
+    Stopwatch sw;
+    try {
+      std::vector<const graph::CompGraph*> gs(g.reps.size());
+      std::vector<Vector*> outs(g.reps.size());
+      for (std::size_t i = 0; i < g.reps.size(); ++i) {
+        gs[i] = &live[g.reps[i]].graph;
+        outs[i] = &live[g.reps[i]].embedding;
+      }
+      g.fast->embed_batch_into(
+          std::span<const graph::CompGraph* const>(gs.data(), gs.size()),
+          std::span<Vector* const>(outs.data(), outs.size()));
       const ghn::ScratchArena& arena = ghn::GhnInference::thread_arena();
       metrics_.note_arena(arena.capacity_bytes(), arena.chunk_count());
-    } else {
-      w.embedding = w.ghn->embedding(w.graph);
+    } catch (...) {
+      // One batched pass serves the whole group, so a failure is the whole
+      // group's failure — every member reports the same error.
+      const std::exception_ptr err = std::current_exception();
+      for (std::size_t rep : g.reps) miss_errors[rep] = err;
+      for (const auto& [dup, rep] : g.dups) miss_errors[dup] = err;
+      return;
     }
+    for (const auto& [dup, rep] : g.dups) {
+      live[dup].embedding = live[rep].embedding;
+    }
+    // Every member — representative or coalesced — reports the same
+    // amortised share of the batch's wall time, so per-request embed_ms
+    // sums to what the batch actually cost.
+    const double per_req =
+        sw.millis() / static_cast<double>(g.reps.size() + g.dups.size());
+    for (std::size_t rep : g.reps) live[rep].embed_ms = per_req;
+    for (const auto& [dup, rep] : g.dups) live[dup].embed_ms = per_req;
+    metrics_.record_embed_batch(g.reps.size(), g.dups.size());
+  };
+  if (groups.size() > 1) {
+    // Multi-dataset dispatch: overlap the per-engine groups on the shared
+    // pool.  try_submit falls back to inline execution if the pool is
+    // tearing down underneath us; run_group never throws (it routes errors
+    // through miss_errors), so the futures only synchronise.
+    std::vector<std::future<void>> inflight;
+    for (MissGroup& g : groups) {
+      if (auto f = engine_.pool().try_submit(run_group, std::ref(g))) {
+        inflight.push_back(std::move(*f));
+      } else {
+        run_group(g);
+      }
+    }
+    for (auto& f : inflight) f.get();
+  } else {
+    // The common single-dataset dispatch runs inline on the dispatcher
+    // thread: one batched embed needs no pool round-trip.
+    for (MissGroup& g : groups) run_group(g);
+  }
+
+  auto embed_tape = [&live](std::size_t k) {
+    Stopwatch sw;
+    Work& w = live[k];
+    w.embedding = w.ghn->embedding(w.graph);
     w.embed_ms = sw.millis();
   };
-  if (misses.size() > 1) {
-    for (std::size_t k : misses) {
-      if (auto f = engine_.pool().try_submit(embed_one, k)) {
-        inflight.emplace_back(k, std::move(*f));
+  if (tape_misses.size() > 1) {
+    std::vector<std::pair<std::size_t, std::future<void>>> tape_inflight;
+    for (std::size_t k : tape_misses) {
+      if (auto f = engine_.pool().try_submit(embed_tape, k)) {
+        tape_inflight.emplace_back(k, std::move(*f));
       } else {
         try {
-          embed_one(k);
+          embed_tape(k);
         } catch (...) {
           miss_errors[k] = std::current_exception();
         }
       }
     }
-    for (auto& [k, f] : inflight) {
+    for (auto& [k, f] : tape_inflight) {
       try {
         f.get();
       } catch (...) {
@@ -337,9 +450,9 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
       }
     }
   } else {
-    for (std::size_t k : misses) {
+    for (std::size_t k : tape_misses) {
       try {
-        embed_one(k);
+        embed_tape(k);
       } catch (...) {
         miss_errors[k] = std::current_exception();
       }
@@ -380,14 +493,19 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     } else {
       metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
       metrics_.embed_miss_ms.record(w.embed_ms);
-      if (cfg_.cache_enabled) cache_.put(dataset, w.fp, w.embedding);
-      if (reuse_on()) {
-        // Insert-on-miss: this freshly embedded architecture becomes a
-        // donor for future near-duplicates, and its embed time prices the
-        // fresh side of the reuse cost model.
-        reuse_index_.insert(dataset, w.ghn_checksum, w.fp, w.sig,
-                            w.embedding);
-        reuse_cost_.observe_fresh_embed_ms(w.embed_ms);
+      if (!w.coalesced) {
+        // Coalesced duplicates skip insertion: their representative already
+        // installed this fingerprint's embedding (and priced the fresh-embed
+        // side of the reuse cost model) this dispatch.
+        if (cfg_.cache_enabled) cache_.put(dataset, w.fp, w.embedding);
+        if (reuse_on()) {
+          // Insert-on-miss: this freshly embedded architecture becomes a
+          // donor for future near-duplicates, and its embed time prices the
+          // fresh side of the reuse cost model.
+          reuse_index_.insert(dataset, w.ghn_checksum, w.fp, w.sig,
+                              w.embedding);
+          reuse_cost_.observe_fresh_embed_ms(w.embed_ms);
+        }
       }
     }
 
@@ -437,15 +555,43 @@ std::size_t PredictionService::warm_up(
     if (cache_.get(item.dataset, item.fp)) continue;  // already warm
     misses.push_back(std::move(item));
   }
-  parallel_for(engine_.pool(), 0, misses.size(), [&](std::size_t i) {
-    Item& item = misses[i];
-    if (item.fast != nullptr) {
-      item.fast->embed_into(item.graph, item.embedding);
-      const ghn::ScratchArena& arena = ghn::GhnInference::thread_arena();
-      metrics_.note_arena(arena.capacity_bytes(), arena.chunk_count());
-    } else {
-      item.embedding = item.ghn->embedding(item.graph);
+  // One batched forward pass per engine (same grouping as the dispatcher's
+  // miss path); items without a tape-free engine fall back to per-graph
+  // tape embeds on the pool.
+  std::vector<std::pair<const ghn::GhnInference*, std::vector<std::size_t>>>
+      groups;
+  std::vector<std::size_t> tape_items;
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    if (misses[i].fast == nullptr) {
+      tape_items.push_back(i);
+      continue;
     }
+    const ghn::GhnInference* fast = misses[i].fast.get();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [fast](const auto& g) { return g.first == fast; });
+    if (it == groups.end()) {
+      groups.emplace_back(fast, std::vector<std::size_t>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(i);
+  }
+  for (auto& [fast, idxs] : groups) {
+    std::vector<const graph::CompGraph*> gs(idxs.size());
+    std::vector<Vector*> outs(idxs.size());
+    for (std::size_t i = 0; i < idxs.size(); ++i) {
+      gs[i] = &misses[idxs[i]].graph;
+      outs[i] = &misses[idxs[i]].embedding;
+    }
+    fast->embed_batch_into(
+        std::span<const graph::CompGraph* const>(gs.data(), gs.size()),
+        std::span<Vector* const>(outs.data(), outs.size()));
+    const ghn::ScratchArena& arena = ghn::GhnInference::thread_arena();
+    metrics_.note_arena(arena.capacity_bytes(), arena.chunk_count());
+    metrics_.record_embed_batch(idxs.size(), 0);
+  }
+  parallel_for(engine_.pool(), 0, tape_items.size(), [&](std::size_t i) {
+    Item& item = misses[tape_items[i]];
+    item.embedding = item.ghn->embedding(item.graph);
   });
   for (Item& item : misses) {
     if (reuse_on()) {
@@ -551,6 +697,8 @@ void PredictionService::note_refit_finished(bool ok) {
 
 MetricsSnapshot PredictionService::metrics() const {
   MetricsSnapshot s = metrics_.snapshot();
+  s.adaptive_arrival_hz = sizer_.arrival_rate_hz();
+  s.adaptive_batch_service_ms = sizer_.batch_service_s() * 1000.0;
   const CacheStats cs = cache_.stats();
   s.cache_entries = cs.entries;
   s.cache_evictions = cs.evictions;

@@ -45,6 +45,7 @@
 #include "core/predict_ddl.hpp"
 #include "reuse/cost_model.hpp"
 #include "reuse/reuse_index.hpp"
+#include "serve/batch_sizer.hpp"
 #include "serve/embedding_cache.hpp"
 #include "serve/metrics.hpp"
 
@@ -86,7 +87,11 @@ struct ServeResult {
 struct ServiceConfig {
   std::size_t queue_capacity = 1024;   // admission bound (backpressure knob)
   std::size_t dispatcher_threads = 2;  // queue consumers
-  std::size_t max_batch = 8;           // micro-batch size per dispatch
+  std::size_t max_batch = 8;           // micro-batch size cap per dispatch
+  bool adaptive_batch = false;         // size each dispatch from queue depth,
+                                       // arrival rate, and batch service time
+                                       // (serve/batch_sizer.hpp) instead of
+                                       // always popping up to max_batch
   std::size_t cache_shards = 8;
   std::size_t cache_capacity = 4096;   // total entries across shards
   bool cache_enabled = true;           // false = loadgen baseline mode
@@ -196,6 +201,8 @@ class PredictionService {
   reuse::ReuseIndex reuse_index_;
   reuse::ReuseCostModel reuse_cost_;
   ServiceMetrics metrics_;
+  AdaptiveBatchSizer sizer_;
+  const Clock::time_point epoch_ = Clock::now();  // sizer time origin
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -207,6 +207,22 @@ void dot_rows_transposed(const double* x, const double* bt, std::size_t n,
   }
 }
 
+void matmul_rows_transposed_b(const double* a, std::size_t m, const double* bt,
+                              std::size_t n, std::size_t k_dim, double* out) {
+  // j-outer: one pass over the weight rows, each reused across all m data
+  // rows while hot.  Each element is an independent ascending-k dot, so the
+  // loop order only changes cache behaviour, never the bits.
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* brow = bt + j * k_dim;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* arow = a + i * k_dim;
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < k_dim; ++kk) s += arow[kk] * brow[kk];
+      out[i * n + j] = s;
+    }
+  }
+}
+
 Matrix matmul_transposed_b(const Matrix& a, const Matrix& bt) {
   PDDL_CHECK(a.cols() == bt.cols(), "matmul_transposed_b shape mismatch: ",
              a.rows(), "x", a.cols(), " · (", bt.rows(), "x", bt.cols(),

@@ -123,6 +123,15 @@ Matrix matmul_transposed_b(const Matrix& a, const Matrix& bt);
 // y[j] = Σ_k x[k]·bt[j·k_dim + k] (+ bias[j] when bias != nullptr).
 void dot_rows_transposed(const double* x, const double* bt, std::size_t n,
                          std::size_t k_dim, const double* bias, double* y);
+// Multi-row form of dot_rows_transposed, fused over the weight matrix:
+// out[i·n + j] = Σ_k a[i·k_dim + k]·bt[j·k_dim + k] for every row i < m.
+// The loop runs j-outer so each transposed weight row streams through cache
+// once per call instead of once per data row — the batched GHN engine uses
+// this to share gate-weight traffic across the graphs of a micro-batch.
+// Every (i, j) element is the same ascending-k dot dot_rows_transposed
+// computes, so the result is bit-identical to m separate row calls.
+void matmul_rows_transposed_b(const double* a, std::size_t m, const double* bt,
+                              std::size_t n, std::size_t k_dim, double* out);
 // y = A·x.
 Vector matvec(const Matrix& a, const Vector& x);
 // y = Aᵀ·x.

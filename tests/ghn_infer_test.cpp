@@ -97,6 +97,115 @@ TEST(GhnInference, MatchesTapeAcrossFamiliesAndConfigs) {
   }
 }
 
+// Batched-engine acceptance: one embed_batch_into pass reproduces
+// embed_into bit-for-bit for every member, for every family, at widths
+// 2/4/8 — and therefore inherits the single-graph path's ≤1e-9 tape
+// contract unchanged.
+TEST(GhnInference, BatchBitIdenticalToSingleAtWidths248) {
+  Rng rng(21);
+  Ghn2 ghn(small_config(), rng);
+  const GhnInference inf(ghn);
+  std::vector<graph::CompGraph> graphs;
+  for (const char* name : kFamilyReps) {
+    graphs.push_back(graph::build_model(name, {3, 32, 32}, 10));
+  }
+  std::vector<Vector> single(graphs.size());
+  std::vector<Vector> tape;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    inf.embed_into(graphs[i], single[i]);
+    tape.push_back(ghn.embedding(graphs[i]));
+  }
+  for (const std::size_t width :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    // Rotate the batch window so every family leads a batch at every width
+    // (the leader drives the interleaved schedule's live-set shrinkage).
+    for (std::size_t start = 0; start < graphs.size(); ++start) {
+      std::vector<const graph::CompGraph*> gs(width);
+      std::vector<Vector> outs(width);
+      std::vector<Vector*> ops(width);
+      for (std::size_t i = 0; i < width; ++i) {
+        gs[i] = &graphs[(start + i) % graphs.size()];
+        ops[i] = &outs[i];
+      }
+      inf.embed_batch_into(std::span<const graph::CompGraph* const>(gs),
+                           std::span<Vector* const>(ops));
+      for (std::size_t i = 0; i < width; ++i) {
+        const std::size_t gi = (start + i) % graphs.size();
+        EXPECT_EQ(outs[i], single[gi])
+            << graphs[gi].name() << " width " << width << " lane " << i;
+        expect_parity(tape[gi], outs[i],
+                      graphs[gi].name() + " batched vs tape");
+      }
+    }
+  }
+}
+
+TEST(GhnInference, BatchMatchesSingleAcrossConfigs) {
+  // The global virtual-edge CSR and per-node op gains are the batch
+  // layout's trickiest pieces; exercise all four config combinations.
+  std::vector<graph::CompGraph> graphs;
+  graphs.push_back(graph::build_model("alexnet", {3, 32, 32}, 10));
+  graphs.push_back(graph::build_model("densenet121", {3, 32, 32}, 10));
+  graphs.push_back(graph::build_model("googlenet", {3, 32, 32}, 10));
+  graphs.push_back(graph::build_model("resnet18", {3, 32, 32}, 10));
+  for (bool virtual_edges : {false, true}) {
+    for (bool op_normalization : {false, true}) {
+      Rng rng(22);
+      Ghn2 ghn(small_config(virtual_edges, op_normalization), rng);
+      const GhnInference inf(ghn);
+      std::vector<const graph::CompGraph*> gs;
+      std::vector<Vector> outs(graphs.size());
+      std::vector<Vector*> ops;
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        gs.push_back(&graphs[i]);
+        ops.push_back(&outs[i]);
+      }
+      inf.embed_batch_into(std::span<const graph::CompGraph* const>(gs),
+                           std::span<Vector* const>(ops));
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        Vector one;
+        inf.embed_into(graphs[i], one);
+        EXPECT_EQ(outs[i], one)
+            << graphs[i].name() << (virtual_edges ? " +ve" : " -ve")
+            << (op_normalization ? " +on" : " -on");
+      }
+    }
+  }
+}
+
+// The zero-allocation contract extends to the batched path: with a warm
+// arena and sized outputs, a whole multi-graph pass allocates nothing.
+TEST(GhnInference, SteadyStateBatchEmbedPerformsNoAllocations) {
+  Rng rng(23);
+  Ghn2 ghn(small_config(), rng);
+  const GhnInference inf(ghn);
+  std::vector<graph::CompGraph> graphs;
+  graphs.push_back(graph::build_model("resnet18", {3, 32, 32}, 10));
+  graphs.push_back(graph::build_model("vgg11", {3, 32, 32}, 10));
+  graphs.push_back(graph::build_model("alexnet", {3, 32, 32}, 10));
+  graphs.push_back(graph::build_model("squeezenet1_1", {3, 32, 32}, 10));
+  std::vector<const graph::CompGraph*> gs;
+  std::vector<Vector> outs(graphs.size());
+  std::vector<Vector*> ops;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    gs.push_back(&graphs[i]);
+    ops.push_back(&outs[i]);
+  }
+  const std::span<const graph::CompGraph* const> gspan(gs);
+  const std::span<Vector* const> ospan(ops);
+  inf.embed_batch_into(gspan, ospan);  // warm-up: sizes arena and outputs
+  const std::vector<Vector> warm = outs;
+
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  t_alloc_count = 0;
+  inf.embed_batch_into(gspan, ospan);
+  const std::size_t allocs = t_alloc_count;
+  g_count_allocs.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(allocs, 0u);
+  for (std::size_t i = 0; i < outs.size(); ++i) EXPECT_EQ(outs[i], warm[i]);
+}
+
 TEST(GhnInference, MatchesTapeAtDefaultDimensions) {
   // Default hidden_dim 32 exercises wider GEMMs than small_config.
   GhnConfig cfg;

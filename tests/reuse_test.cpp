@@ -182,7 +182,7 @@ TEST(ReuseIndex, DuplicateFingerprintInsertIsRefused) {
   EXPECT_EQ(hit->embedding, dummy_embedding(1.0));
 }
 
-TEST(ReuseIndex, FifoEvictionAtCapacity) {
+TEST(ReuseIndex, LruEvictionAtCapacity) {
   ReuseConfig cfg = test_config();
   cfg.max_entries = 2;
   cfg.epsilon = 1e-12;
@@ -199,12 +199,69 @@ TEST(ReuseIndex, FifoEvictionAtCapacity) {
   EXPECT_EQ(s.entries, 2u);
   EXPECT_EQ(s.evictions, 1u);
   EXPECT_EQ(s.inserts, 3u);
-  // fp 1 was the FIFO victim; 2 and 3 remain.
+  // With no intervening probes LRU degenerates to insertion order, so fp 1
+  // was the victim; 2 and 3 remain.
   EXPECT_FALSE(index.probe("cifar10", 1, 1, sig).has_value() &&
                index.probe("cifar10", 1, 1, sig)->distance == 0.0 &&
                index.probe("cifar10", 1, 1, sig)->donor_fp == 1);
   EXPECT_EQ(index.probe("cifar10", 1, 2, sig)->donor_fp, 2u);
   EXPECT_EQ(index.probe("cifar10", 1, 3, sig)->donor_fp, 3u);
+}
+
+TEST(ReuseIndex, ProbeHitProtectsDonorFromEviction) {
+  ReuseConfig cfg = test_config();
+  cfg.max_entries = 2;
+  cfg.epsilon = 1e-12;
+  ReuseIndex index(cfg);
+  StructuralSignature sig;
+  sig.nodes = 4;
+  sig.edges = 4;
+  sig.params = 100;
+  sig.op_counts[0] = 4;
+  ASSERT_TRUE(index.insert("cifar10", 1, 1, sig, dummy_embedding(1)));
+  ASSERT_TRUE(index.insert("cifar10", 1, 2, sig, dummy_embedding(2)));
+  // A probe hit is a *use*: it bumps fp 1's recency past fp 2's...
+  ASSERT_EQ(index.probe("cifar10", 1, 1, sig)->donor_fp, 1u);
+  // ...so the insert at capacity evicts fp 2, not the older-inserted but
+  // hotter fp 1 (the behaviour FIFO got wrong).
+  ASSERT_TRUE(index.insert("cifar10", 1, 3, sig, dummy_embedding(3)));
+  const ReuseStats s = index.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(index.probe("cifar10", 1, 1, sig)->donor_fp, 1u);
+  EXPECT_EQ(index.probe("cifar10", 1, 3, sig)->donor_fp, 3u);
+  EXPECT_NE(index.probe("cifar10", 1, 2, sig)->donor_fp, 2u);
+}
+
+TEST(ReuseIndexPersistence, RoundTripPreservesLruEvictionOrder) {
+  ReuseConfig cfg = test_config();
+  cfg.max_entries = 2;
+  cfg.epsilon = 1e-12;
+  ReuseIndex index(cfg);
+  StructuralSignature sig;
+  sig.nodes = 4;
+  sig.edges = 4;
+  sig.params = 100;
+  sig.op_counts[0] = 4;
+  ASSERT_TRUE(index.insert("cifar10", 1, 1, sig, dummy_embedding(1)));
+  ASSERT_TRUE(index.insert("cifar10", 1, 2, sig, dummy_embedding(2)));
+  ASSERT_EQ(index.probe("cifar10", 1, 1, sig)->donor_fp, 1u);  // fp 2 is LRU
+
+  io::SnapshotWriter snap;
+  index.save(snap);
+  std::ostringstream os;
+  snap.save(os);
+  std::istringstream is(os.str());
+  const io::SnapshotReader reader(is, "lru round trip");
+
+  ReuseIndex restored(cfg);
+  ASSERT_EQ(restored.load(reader, [](const std::string&) { return 1u; }), 2u);
+  // The snapshot carries no recency ticks, only LRU-first entry order; the
+  // restored partition must still evict fp 2 first.
+  ASSERT_TRUE(restored.insert("cifar10", 1, 3, sig, dummy_embedding(3)));
+  EXPECT_EQ(restored.probe("cifar10", 1, 1, sig)->donor_fp, 1u);
+  EXPECT_NE(restored.probe("cifar10", 1, 2, sig)->donor_fp, 2u);
+  EXPECT_EQ(restored.probe("cifar10", 1, 3, sig)->donor_fp, 3u);
 }
 
 TEST(ReuseIndex, ChecksumMismatchDropsPartition) {

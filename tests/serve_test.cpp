@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/batch_sizer.hpp"
 #include "serve/service.hpp"
 
 namespace pddl::serve {
@@ -520,6 +521,202 @@ TEST_F(ServeTest, DispatcherBatchSizesLandInTheDistribution) {
   EXPECT_EQ(m.batch_size_counts[3], 1u);  // one batch of 4
   EXPECT_EQ(m.batch_size_counts[1], 1u);  // one batch of 2
   EXPECT_DOUBLE_EQ(m.mean_batch_size(), 3.0);
+}
+
+// ---- AdaptiveBatchSizer unit coverage (pure: time injected via note_*) ----
+
+TEST(AdaptiveBatchSizer, ColdSizerScalesWithQueueDepthOnly) {
+  AdaptiveBatchSizer sizer(AdaptiveBatchConfig{8, 0.2, 0.5});
+  // No estimates yet: choose() is the drain term alone, floored at 1.
+  EXPECT_EQ(sizer.choose(0), 1u);
+  EXPECT_EQ(sizer.choose(1), 1u);   // ceil(0.5)
+  EXPECT_EQ(sizer.choose(4), 2u);   // ceil(2.0)
+  EXPECT_EQ(sizer.choose(9), 5u);   // ceil(4.5)
+  EXPECT_EQ(sizer.choose(100), 8u);  // clamped to max_batch
+  EXPECT_EQ(sizer.arrival_rate_hz(), 0.0);
+  EXPECT_EQ(sizer.batch_service_s(), 0.0);
+}
+
+TEST(AdaptiveBatchSizer, SteadyTraceStaysNarrowBurstyTraceWidens) {
+  const AdaptiveBatchConfig cfg{8, 0.2, 0.5};
+  // Steady 10 Hz trace with 2 ms batches: work expected per batch is
+  // 0.002/0.1 = 0.02 — an empty queue gets single-request dispatches.
+  AdaptiveBatchSizer steady(cfg);
+  for (int i = 0; i < 50; ++i) steady.note_arrival(0.1 * i);
+  for (int i = 0; i < 10; ++i) steady.note_batch(0.002);
+  EXPECT_EQ(steady.choose(0), 1u);
+  EXPECT_NEAR(steady.arrival_rate_hz(), 10.0, 1e-6);
+  EXPECT_NEAR(steady.batch_service_s(), 0.002, 1e-12);
+
+  // Bursty 1 kHz trace with 4 ms batches: λ̂·Ŝ = 4 requests arrive while a
+  // batch runs, so even an empty queue dispatches wide.
+  AdaptiveBatchSizer bursty(cfg);
+  for (int i = 0; i < 50; ++i) bursty.note_arrival(0.001 * i);
+  for (int i = 0; i < 10; ++i) bursty.note_batch(0.004);
+  EXPECT_EQ(bursty.choose(0), 4u);
+  EXPECT_EQ(bursty.choose(8), 8u);  // 4 + 0.5·8 = 8
+  EXPECT_GT(bursty.choose(0), steady.choose(0));
+}
+
+TEST(AdaptiveBatchSizer, MonotoneInQueueDepthAndClamped) {
+  AdaptiveBatchSizer sizer(AdaptiveBatchConfig{6, 0.2, 0.5});
+  for (int i = 0; i < 20; ++i) sizer.note_arrival(0.01 * i);
+  for (int i = 0; i < 5; ++i) sizer.note_batch(0.003);
+  std::size_t prev = 0;
+  for (std::size_t d = 0; d <= 64; ++d) {
+    const std::size_t n = sizer.choose(d);
+    EXPECT_GE(n, 1u);
+    EXPECT_LE(n, 6u);
+    EXPECT_GE(n, prev) << "choose() not monotone at depth " << d;
+    prev = n;
+  }
+  EXPECT_EQ(sizer.choose(64), 6u);  // deep backlog saturates the clamp
+}
+
+TEST(AdaptiveBatchSizer, IgnoresDegenerateObservations) {
+  AdaptiveBatchSizer sizer(AdaptiveBatchConfig{8, 0.2, 0.5});
+  sizer.note_batch(0.0);    // dropped
+  sizer.note_batch(-1.0);   // dropped
+  EXPECT_EQ(sizer.batch_service_s(), 0.0);
+  sizer.note_arrival(5.0);
+  sizer.note_arrival(5.0);  // zero gap clamps, does not divide by zero
+  EXPECT_GT(sizer.arrival_rate_hz(), 0.0);
+  EXPECT_LE(sizer.choose(0), 8u);
+}
+
+// ---- batched miss path ----
+
+// The batched and one-at-a-time miss paths must cache bit-identical
+// embeddings: embed_batch_into is bit-compatible with embed_into, so the
+// only difference is how many forward passes one dispatch pays for.
+TEST_F(ServeTest, BatchedAndSequentialMissPathsCacheIdenticalEmbeddings) {
+  const std::vector<std::string> models = {"alexnet", "resnet18", "vgg11",
+                                           "densenet121", "squeezenet1_1"};
+  ServiceConfig seq_cfg;
+  seq_cfg.dispatcher_threads = 1;
+  seq_cfg.max_batch = 1;  // every miss embeds alone
+  PredictionService sequential(*pddl_, seq_cfg);
+  for (const std::string& m : models) {
+    ASSERT_TRUE(sequential.predict(make_request(m)).ok());
+  }
+
+  ServiceConfig batch_cfg;
+  batch_cfg.dispatcher_threads = 1;
+  batch_cfg.max_batch = 8;
+  batch_cfg.start_paused = true;  // queue everything, then one dispatch
+  PredictionService batched(*pddl_, batch_cfg);
+  std::vector<std::future<ServeResult>> futs;
+  for (const std::string& m : models) {
+    futs.push_back(batched.submit(make_request(m)));
+  }
+  batched.resume();
+  std::vector<ServeResult> results;
+  for (auto& f : futs) results.push_back(f.get());
+  for (const ServeResult& r : results) ASSERT_TRUE(r.ok()) << r.error;
+
+  // One batched pass covered all five unique graphs...
+  const MetricsSnapshot bm = batched.metrics();
+  EXPECT_EQ(bm.embed_batches, 1u);
+  EXPECT_EQ(bm.embed_batch_graphs, models.size());
+  EXPECT_EQ(bm.cache_misses, models.size());
+  // ...and the cached embeddings are bit-identical to the sequential path's.
+  auto entries_by_fp = [](const PredictionService& s) {
+    auto es = s.cache().export_entries();
+    std::sort(es.begin(), es.end(),
+              [](const auto& a, const auto& b) { return a.fp < b.fp; });
+    return es;
+  };
+  const auto seq_entries = entries_by_fp(sequential);
+  const auto bat_entries = entries_by_fp(batched);
+  ASSERT_EQ(seq_entries.size(), models.size());
+  ASSERT_EQ(bat_entries.size(), models.size());
+  for (std::size_t i = 0; i < seq_entries.size(); ++i) {
+    EXPECT_EQ(seq_entries[i].fp, bat_entries[i].fp);
+    EXPECT_EQ(seq_entries[i].embedding, bat_entries[i].embedding)
+        << "embedding for fp " << seq_entries[i].fp
+        << " differs between batched and sequential miss paths";
+  }
+}
+
+TEST_F(ServeTest, DuplicateMissesInOneDispatchAreCoalesced) {
+  ServiceConfig cfg;
+  cfg.dispatcher_threads = 1;
+  cfg.max_batch = 8;
+  cfg.start_paused = true;
+  PredictionService service(*pddl_, cfg);
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(service.submit(make_request("resnet18")));
+  for (int i = 0; i < 2; ++i) futs.push_back(service.submit(make_request("vgg11")));
+  service.resume();
+  std::vector<ServeResult> results;
+  for (auto& f : futs) results.push_back(f.get());
+  for (const ServeResult& r : results) ASSERT_TRUE(r.ok()) << r.error;
+  // Duplicates share their representative's forward pass but still count as
+  // misses (they probed the cache and missed), so the accounting identity
+  // completed == cache_hits + cache_misses holds.
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.completed, 6u);
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_EQ(m.cache_misses, 6u);
+  EXPECT_EQ(m.embed_batches, 1u);
+  EXPECT_EQ(m.embed_batch_graphs, 2u);  // one pass, two unique graphs
+  EXPECT_EQ(m.embed_coalesced, 4u);
+  EXPECT_EQ(m.embed_batch_size_counts[1], 1u);  // width-2 pass
+  EXPECT_DOUBLE_EQ(m.mean_embed_batch_width(), 2.0);
+  EXPECT_EQ(m.cache_entries, 2u);
+  // All four resnet18 requests saw the same embedding → same prediction.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(results[i].response.predicted_time_s,
+                     results[0].response.predicted_time_s);
+  }
+}
+
+TEST_F(ServeTest, AdaptiveBatchingServesMixedTrafficConsistently) {
+  ServiceConfig cfg;
+  cfg.dispatcher_threads = 2;
+  cfg.max_batch = 8;
+  cfg.adaptive_batch = true;
+  cfg.queue_capacity = 512;
+  PredictionService service(*pddl_, cfg);
+  const std::vector<std::string> models = {"alexnet", "resnet18", "vgg11",
+                                           "densenet121"};
+  std::vector<std::future<ServeResult>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(service.submit(make_request(models[i % models.size()],
+                                               (i % 2 == 0) ? 4 : 8)));
+  }
+  int ok = 0;
+  for (auto& f : futs) ok += f.get().ok() ? 1 : 0;
+  EXPECT_EQ(ok, 64);
+  const MetricsSnapshot m = service.metrics();
+  EXPECT_EQ(m.completed, 64u);
+  EXPECT_EQ(m.cache_hits + m.cache_misses, m.completed);
+  EXPECT_GT(m.adaptive_decisions, 0u);
+  EXPECT_GE(m.mean_adaptive_choice(), 1.0);
+  EXPECT_LE(m.mean_adaptive_choice(), 8.0);
+  // The sizer's gauges surface through the snapshot (arrival EMA warms
+  // after the second admitted request).
+  EXPECT_GT(m.adaptive_arrival_hz, 0.0);
+  const std::string text = m.to_string();
+  EXPECT_NE(text.find("adaptive"), std::string::npos);
+  EXPECT_NE(m.to_json().find("\"adaptive\""), std::string::npos);
+}
+
+TEST(Metrics, EmbedBatchTelemetryTracksWidthsAndCoalescing) {
+  ServiceMetrics m;
+  m.record_embed_batch(4, 2);
+  m.record_embed_batch(1, 0);
+  m.record_embed_batch(kMaxTrackedBatchSize + 9, 0);  // overflow slot
+  m.record_embed_batch(0, 5);                         // dropped
+  const MetricsSnapshot s = m.snapshot();
+  EXPECT_EQ(s.embed_batches, 3u);
+  EXPECT_EQ(s.embed_batch_graphs, 4u + 1u + kMaxTrackedBatchSize + 9u);
+  EXPECT_EQ(s.embed_coalesced, 2u);
+  EXPECT_EQ(s.embed_batch_size_counts[3], 1u);
+  EXPECT_EQ(s.embed_batch_size_counts[0], 1u);
+  EXPECT_EQ(s.embed_batch_size_counts[kMaxTrackedBatchSize], 1u);
+  EXPECT_NE(s.to_json().find("\"embed_batch\""), std::string::npos);
+  EXPECT_NE(s.to_string().find("embatch"), std::string::npos);
 }
 
 TEST(Metrics, SnapshotRendersKeyFields) {

@@ -141,6 +141,31 @@ TEST(Matrix, DotRowsTransposedAppliesOptionalBias) {
   EXPECT_DOUBLE_EQ(y[2], 57.0);
 }
 
+TEST(Matrix, MatmulRowsTransposedBBitIdenticalToRowCalls) {
+  // The fused multi-row kernel must agree bit-for-bit with m separate
+  // dot_rows_transposed calls — the batched GHN engine relies on this to
+  // keep batched embeddings identical to single-graph ones.
+  Rng rng(44);
+  for (const auto& s : {std::array<std::size_t, 3>{1, 5, 7},
+                        std::array<std::size_t, 3>{4, 16, 16},
+                        std::array<std::size_t, 3>{13, 33, 9},
+                        std::array<std::size_t, 3>{64, 48, 32}}) {
+    const std::size_t m = s[0], k_dim = s[1], n = s[2];
+    const Matrix a = Matrix::randn(m, k_dim, rng);
+    const Matrix bt = Matrix::randn(n, k_dim, rng);
+    std::vector<double> fused(m * n, -1.0);
+    matmul_rows_transposed_b(a.data(), m, bt.data(), n, k_dim, fused.data());
+    std::vector<double> row(n);
+    for (std::size_t i = 0; i < m; ++i) {
+      dot_rows_transposed(a.data() + i * k_dim, bt.data(), n, k_dim, nullptr,
+                          row.data());
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(fused[i * n + j], row[j]) << "row " << i << " col " << j;
+      }
+    }
+  }
+}
+
 TEST(Matrix, MatmulAssociativity) {
   Rng rng(3);
   Matrix a = Matrix::randn(3, 4, rng);
