@@ -42,10 +42,13 @@ inline void ensure_ghn_cached(core::PredictDdl& pddl,
                               const core::PredictDdlOptions& opts) {
   if (pddl.registry().has_model(dataset.name)) return;
   std::filesystem::create_directories(kCacheDir);
+  // The op-type count pins the node-feature width: a cache written before
+  // an op kind was added would load with mismatched parameter shapes.
   const std::string path = std::string(kCacheDir) + "/ghn_" + dataset.name +
                            "_d" + std::to_string(opts.ghn.hidden_dim) +
                            (opts.ghn.virtual_edges ? "" : "_nove") + "_s" +
-                           std::to_string(opts.ghn.s_max) + ".bin";
+                           std::to_string(opts.ghn.s_max) + "_op" +
+                           std::to_string(graph::kNumOpTypes) + ".bin";
   if (std::filesystem::exists(path)) {
     pddl.registry().put(dataset.name, ghn::load_ghn(path));
     return;

@@ -41,6 +41,11 @@
 // embatch/adaptive telemetry printed after each cold run shows how wide the
 // passes actually ran.
 //
+// `--family cnn|transformers|all` picks the workload population: the
+// Table II CIFAR-10 rows (default), the bert/gpt families on wikitext103,
+// or both — the mixed-fleet scheduler view.  Training and warm-up follow
+// the choice.
+//
 // `--remote HOST:PORT` skips training and drives an already-running
 // predict_server instead — the external-scheduler view of the service
 // (combine with --feedback-rate to interleave observe frames over the wire).
@@ -62,13 +67,36 @@
 namespace pddl::bench {
 namespace {
 
-std::vector<core::PredictRequest> request_mix() {
+// Workload population behind the request mix.  "cnn" is the historical
+// default (Table II CIFAR-10 rows); "transformers" swaps in the
+// bert/gpt families on wikitext103; "all" drives both, the mixed-fleet
+// scheduler view.
+std::vector<workload::DlWorkload> family_workloads(const std::string& family) {
+  if (family == "cnn") return workload::table2_cifar_workloads();
+  if (family == "transformers") return workload::transformer_workloads();
+  PDDL_CHECK(family == "all", "unknown --family '", family,
+             "' (expected cnn, transformers, or all)");
+  std::vector<workload::DlWorkload> ws = workload::table2_cifar_workloads();
+  for (auto& w : workload::transformer_workloads()) ws.push_back(std::move(w));
+  return ws;
+}
+
+// Datasets the predictor must be trained on to serve `family`.
+std::vector<workload::DatasetDescriptor> family_datasets(
+    const std::string& family) {
+  std::vector<workload::DatasetDescriptor> ds;
+  if (family != "transformers") ds.push_back(workload::cifar10());
+  if (family != "cnn") ds.push_back(workload::wikitext103());
+  return ds;
+}
+
+std::vector<core::PredictRequest> request_mix(const std::string& family) {
   std::vector<core::PredictRequest> reqs;
   const struct {
     const char* sku;
     int servers;
   } clusters[] = {{"p100", 4}, {"p100", 16}, {"e5_2630", 8}};
-  for (const workload::DlWorkload& w : workload::table2_cifar_workloads()) {
+  for (const workload::DlWorkload& w : family_workloads(family)) {
     for (const auto& c : clusters) {
       core::PredictRequest req;
       req.workload = w;
@@ -290,16 +318,19 @@ RunStats open_loop(serve::PredictionService& service,
   return s;
 }
 
-int run(double feedback_rate, double feedback_skew) {
+int run(double feedback_rate, double feedback_skew,
+        const std::string& family) {
   ThreadPool pool;
   sim::DdlSimulator simulator;
   const core::PredictDdlOptions opts = standard_options();
   core::PredictDdl pddl(simulator, pool, opts);
-  ensure_ghn_cached(pddl, workload::cifar10(), opts);
-  std::printf("fitting the cifar10 predictor...\n");
-  pddl.train_offline(workload::cifar10());
+  for (const workload::DatasetDescriptor& ds : family_datasets(family)) {
+    ensure_ghn_cached(pddl, ds, opts);
+    std::printf("fitting the %s predictor...\n", ds.name.c_str());
+    pddl.train_offline(ds);
+  }
 
-  const auto reqs = request_mix();
+  const auto reqs = request_mix(family);
   std::printf("request mix: %zu distinct (model, cluster) pairs\n\n",
               reqs.size());
 
@@ -343,7 +374,7 @@ int run(double feedback_rate, double feedback_skew) {
   RunStats cached;
   {
     serve::PredictionService service(pddl, base);
-    service.warm_up(workload::table2_cifar_workloads());
+    service.warm_up(family_workloads(family));
     cached = closed_loop(service, reqs, kThreads, kRounds);
     add_row(table, "closed", true, std::to_string(kThreads) + " threads",
             cached);
@@ -376,7 +407,7 @@ int run(double feedback_rate, double feedback_skew) {
   {
     // Same 2× overload, but with a warm cache: absorbed without shedding.
     serve::PredictionService service(pddl, open_cfg);
-    service.warm_up(workload::table2_cifar_workloads());
+    service.warm_up(family_workloads(family));
     const RunStats s =
         open_loop(service, reqs, 2.0 * capacity, 3.0, kDeadlineMs);
     char label[64];
@@ -393,14 +424,14 @@ int run(double feedback_rate, double feedback_skew) {
   RunStats local;
   {
     serve::PredictionService service(pddl, base);
-    service.warm_up(workload::table2_cifar_workloads());
+    service.warm_up(family_workloads(family));
     local = closed_loop(service, reqs, kThreads, kRounds);
     add_wire_row(wire_table, "in-process", kThreads, local);
   }
   RunStats wire;
   {
     serve::PredictionService service(pddl, base);
-    service.warm_up(workload::table2_cifar_workloads());
+    service.warm_up(family_workloads(family));
     rpc::Server server(service);
     server.start();
     wire = closed_loop_remote("127.0.0.1", server.port(), reqs, kThreads,
@@ -415,7 +446,7 @@ int run(double feedback_rate, double feedback_skew) {
   // --- Feedback interleave: observations + background refits under load. ---
   if (feedback_rate > 0.0) {
     serve::PredictionService service(pddl, base);
-    service.warm_up(workload::table2_cifar_workloads());
+    service.warm_up(family_workloads(family));
     feedback::FeedbackController fb(service, pddl);
     const RunStats s = closed_loop(service, reqs, kThreads, kRounds, &fb,
                                    feedback_rate, feedback_skew);
@@ -458,8 +489,8 @@ int run(double feedback_rate, double feedback_skew) {
 // predict_server over the wire and report what an external scheduler sees.
 int run_remote(const std::string& host, std::uint16_t port,
                std::size_t threads, std::size_t rounds, double feedback_rate,
-               double feedback_skew) {
-  const auto reqs = request_mix();
+               double feedback_skew, const std::string& family) {
+  const auto reqs = request_mix(family);
   std::printf("driving %s:%u — %zu threads x %zu rounds x %zu requests\n\n",
               host.c_str(), port, threads, rounds, reqs.size());
   const RunStats s = closed_loop_remote(host, port, reqs, threads, rounds,
@@ -480,7 +511,7 @@ int run_remote(const std::string& host, std::uint16_t port,
 // the batched miss path must preserve: every request succeeds, the wire sees
 // zero frame errors, and completed == cache_hits + cache_misses + reuse_hits
 // (coalesced requests still count as misses).
-int run_smoke() {
+int run_smoke(const std::string& family) {
   ThreadPool pool;
   sim::DdlSimulator simulator;
   core::PredictDdlOptions opts;
@@ -491,10 +522,12 @@ int run_smoke() {
   opts.ghn_trainer.batch_size = 5;
   opts.ghn_trainer.darts.max_cells = 3;
   core::PredictDdl pddl(simulator, pool, std::move(opts));
-  std::printf("smoke: tiny offline training (cifar10)...\n");
-  pddl.train_offline(workload::cifar10());
+  for (const workload::DatasetDescriptor& ds : family_datasets(family)) {
+    std::printf("smoke: tiny offline training (%s)...\n", ds.name.c_str());
+    pddl.train_offline(ds);
+  }
 
-  const auto reqs = request_mix();
+  const auto reqs = request_mix(family);
   serve::ServiceConfig cfg;
   cfg.dispatcher_threads = 2;
   cfg.queue_capacity = 1024;
@@ -541,6 +574,7 @@ int main(int argc, char** argv) {
   std::size_t rounds = 12;
   double feedback_rate = 0.0;  // fraction of ok predictions also observed
   double feedback_skew = 0.5;  // measured = (1 + skew) × predicted
+  std::string family = "cnn";  // request-mix population (cnn | transformers | all)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--remote" && i + 1 < argc) {
@@ -555,16 +589,19 @@ int main(int argc, char** argv) {
       feedback_rate = std::atof(argv[++i]);
     } else if (arg == "--feedback-skew" && i + 1 < argc) {
       feedback_skew = std::atof(argv[++i]);
+    } else if (arg == "--family" && i + 1 < argc) {
+      family = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--remote HOST:PORT] [--smoke] [--threads N] "
-                   "[--rounds N] [--feedback-rate R] [--feedback-skew S]\n",
+                   "[--rounds N] [--feedback-rate R] [--feedback-skew S] "
+                   "[--family cnn|transformers|all]\n",
                    argv[0]);
       return 2;
     }
   }
   if (smoke) {
-    return pddl::bench::run_smoke();
+    return pddl::bench::run_smoke(family);
   }
   if (!endpoint.empty()) {
     const std::size_t colon = endpoint.rfind(':');
@@ -576,7 +613,7 @@ int main(int argc, char** argv) {
     return pddl::bench::run_remote(
         endpoint.substr(0, colon),
         static_cast<std::uint16_t>(std::atoi(endpoint.c_str() + colon + 1)),
-        threads, rounds, feedback_rate, feedback_skew);
+        threads, rounds, feedback_rate, feedback_skew, family);
   }
-  return pddl::bench::run(feedback_rate, feedback_skew);
+  return pddl::bench::run(feedback_rate, feedback_skew, family);
 }

@@ -6,9 +6,15 @@
 // Ops (default --ping):
 //   --ping                       round-trip an empty frame, print latency
 //   --predict MODEL              predict training time for MODEL
-//       [--dataset cifar10|tiny_imagenet] [--sku p100|e5_2630|e5_2650]
-//       [--servers N] [--batch-size B] [--epochs E] [--deadline-ms D]
+//       [--dataset cifar10|tiny_imagenet|wikitext103]
+//       [--sku p100|e5_2630|e5_2650] [--servers N] [--batch-size B]
+//       [--epochs E] [--deadline-ms D] [--parallelism dp|ppSxM|tpT]
 //       [--count N]              repeat N times (cache-hit demo / smoke)
+//   --predict-family FAM         predict every registered model in family
+//                                FAM (resnet, vgg, ..., bert, gpt); the
+//                                transformer families default to the
+//                                wikitext103 dataset unless --dataset is
+//                                given explicitly
 //   --predict-value MODEL        print ONLY the predicted seconds, full
 //                                precision (for scripting / CI comparisons)
 //   --observe MODEL              report an observed training run for MODEL
@@ -17,7 +23,9 @@
 //                                inject a known skew without shell floats)
 //       [--count N]              send N observations
 //   --refit --dataset D          explicitly enqueue a refit for dataset D
-//   --refit-status               print refit counters + per-dataset errors
+//   --refit-status               print refit counters, per-dataset errors,
+//                                and the per-family decomposition with the
+//                                ghn_drift (retrain-the-GHN) signal
 //   --stats [--json]             fetch + print the server metrics snapshot
 //   --shutdown                   ask the server to drain and exit
 //
@@ -28,6 +36,8 @@
 #include <cstring>
 #include <string>
 
+#include "graph/models.hpp"
+#include "graph/models_transformer.hpp"
 #include "rpc/client.hpp"
 
 using namespace pddl;
@@ -36,7 +46,10 @@ int main(int argc, char** argv) {
   std::string endpoint;
   std::string op = "ping";
   std::string model;
+  std::string family;
   std::string dataset = "cifar10";
+  bool dataset_given = false;
+  std::string parallelism = "dp";
   std::string sku = "p100";
   int servers = 4;
   int batch_size = 64;
@@ -55,6 +68,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--predict" && i + 1 < argc) {
       op = "predict";
       model = argv[++i];
+    } else if (arg == "--predict-family" && i + 1 < argc) {
+      op = "predict-family";
+      family = argv[++i];
     } else if (arg == "--predict-value" && i + 1 < argc) {
       op = "predict-value";
       model = argv[++i];
@@ -75,6 +91,9 @@ int main(int argc, char** argv) {
       op = "shutdown";
     } else if (arg == "--dataset" && i + 1 < argc) {
       dataset = argv[++i];
+      dataset_given = true;
+    } else if (arg == "--parallelism" && i + 1 < argc) {
+      parallelism = argv[++i];
     } else if (arg == "--sku" && i + 1 < argc) {
       sku = argv[++i];
     } else if (arg == "--servers" && i + 1 < argc) {
@@ -98,9 +117,9 @@ int main(int argc, char** argv) {
   if (endpoint.empty() || colon == std::string::npos) {
     std::fprintf(stderr,
                  "usage: %s --connect HOST:PORT "
-                 "[--ping | --predict MODEL | --predict-value MODEL | "
-                 "--observe MODEL | --refit | --refit-status | --stats | "
-                 "--shutdown] ...\n",
+                 "[--ping | --predict MODEL | --predict-family FAM | "
+                 "--predict-value MODEL | --observe MODEL | --refit | "
+                 "--refit-status | --stats | --shutdown] ...\n",
                  argv[0]);
     return 2;
   }
@@ -109,10 +128,21 @@ int main(int argc, char** argv) {
 
   try {
     rpc::Client client(host, static_cast<std::uint16_t>(port));
+    // Token-stream models live on wikitext103; let an explicit --dataset
+    // override (mirrors the --predict-family default).
+    if (!dataset_given && !model.empty()) {
+      for (const graph::ModelSpec& spec :
+           graph::transformer_model_registry()) {
+        if (spec.name == model) {
+          dataset = "wikitext103";
+          break;
+        }
+      }
+    }
     const auto make_request = [&] {
       core::PredictRequest req;
       req.workload = {model, workload::dataset_by_name(dataset), batch_size,
-                      epochs};
+                      epochs, workload::parallelism_from_key(parallelism)};
       req.cluster = cluster::make_uniform_cluster(sku, servers);
       return req;
     };
@@ -145,6 +175,49 @@ int main(int argc, char** argv) {
       if (count > 1) {
         std::printf("%d/%d predictions ok\n", count - failed, count);
       }
+      if (failed > 0) return 1;
+    } else if (op == "predict-family") {
+      std::vector<std::string> models;
+      bool transformer_family = false;
+      for (const graph::ModelSpec& spec : graph::model_registry()) {
+        if (spec.family == family) models.push_back(spec.name);
+      }
+      for (const graph::ModelSpec& spec :
+           graph::transformer_model_registry()) {
+        if (spec.family == family) {
+          models.push_back(spec.name);
+          transformer_family = true;
+        }
+      }
+      if (models.empty()) {
+        std::fprintf(stderr, "no registered models in family '%s'\n",
+                     family.c_str());
+        return 2;
+      }
+      // Token-stream families live on wikitext103; let an explicit
+      // --dataset override.
+      if (transformer_family && !dataset_given) dataset = "wikitext103";
+      int failed = 0;
+      for (const std::string& m : models) {
+        model = m;
+        const core::PredictRequest req = make_request();
+        const serve::ServeResult r = client.predict(req, deadline_ms);
+        std::printf("%-28s → status=%s", req.workload.key().c_str(),
+                    serve::to_string(r.status));
+        if (r.ok()) {
+          std::printf("  %.1fs  (%s)", r.response.predicted_time_s,
+                      r.confidence == serve::Confidence::kReused
+                          ? "reused"
+                          : (r.cache_hit ? "cache hit" : "cache miss"));
+        } else {
+          std::printf("  (%s)", r.error.c_str());
+          ++failed;
+        }
+        std::printf("\n");
+      }
+      std::printf("family %s: %zu/%zu predictions ok\n", family.c_str(),
+                  models.size() - static_cast<std::size_t>(failed),
+                  models.size());
       if (failed > 0) return 1;
     } else if (op == "predict-value") {
       const serve::ServeResult r = client.predict(make_request(), deadline_ms);
@@ -220,6 +293,15 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(d.observations),
                     d.errors.count, d.errors.p50_rel, d.errors.p95_rel,
                     d.errors.p50_abs_s, d.errors.drifted ? "true" : "false");
+      }
+      for (const feedback::FamilyFeedback& f : s.families) {
+        std::printf("family  %-10s @%-12s observations=%llu window=%zu "
+                    "p50_rel=%.3f p95_rel=%.3f drifted=%s ghn_drift=%s\n",
+                    f.family.c_str(), f.dataset.c_str(),
+                    static_cast<unsigned long long>(f.observations),
+                    f.errors.count, f.errors.p50_rel, f.errors.p95_rel,
+                    f.errors.drifted ? "true" : "false",
+                    f.ghn_drift ? "true" : "false");
       }
     } else if (op == "stats") {
       const serve::MetricsSnapshot m = client.stats();

@@ -33,6 +33,9 @@
 //                     and batch service time instead of always popping up
 //                     to the cap (serve/batch_sizer.hpp); telemetry shows
 //                     up in the stats op's adaptive section
+//   --family F        workload families to train and warm for: cnn
+//                     (default; the Table II datasets), transformers
+//                     (bert/gpt on wikitext103), or all
 //
 // The server always runs a feedback::FeedbackController, so the observe /
 // refit / refit_status ops work out of the box: schedulers report measured
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
   double reuse_eps = 0.0;
   int max_batch = 8;
   bool adaptive_batch = false;
+  std::string family = "cnn";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -89,11 +93,20 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--adaptive-batch") {
       adaptive_batch = true;
+    } else if (arg == "--family" && i + 1 < argc) {
+      family = argv[++i];
+      if (family != "cnn" && family != "transformers" && family != "all") {
+        std::fprintf(stderr,
+                     "--family expects cnn, transformers, or all; got %s\n",
+                     family.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--host H] [--state DIR] "
                    "[--save-state DIR] [--fast] [--reuse-eps E] "
-                   "[--max-batch N] [--adaptive-batch]\n",
+                   "[--max-batch N] [--adaptive-batch] "
+                   "[--family cnn|transformers|all]\n",
                    argv[0]);
       return 2;
     }
@@ -114,6 +127,13 @@ int main(int argc, char** argv) {
     opts.ghn_trainer.corpus_size = 32;  // demo-sized offline training
     opts.ghn_trainer.epochs = 12;
   }
+  if (family != "cnn") {
+    // Clients price transformer workloads under pipeline/tensor strategies
+    // (`--parallelism pp4x8`); cross the offline campaign over them so the
+    // regressor learns the strategy scalars instead of clamping an
+    // extrapolation to the dp-only label range.
+    opts.campaign.strategies = {"dp", "pp2x4", "pp4x8", "tp2", "tp4"};
+  }
   core::PredictDdl pddl(simulator, pool, std::move(opts));
 
   if (!state_dir.empty()) {
@@ -122,10 +142,15 @@ int main(int argc, char** argv) {
     std::printf("state restored from %s in %.1fms\n", state_dir.c_str(),
                 sw.millis());
   } else {
-    const auto datasets =
-        fast ? std::vector<workload::DatasetDescriptor>{workload::cifar10()}
-             : std::vector<workload::DatasetDescriptor>{
-                   workload::cifar10(), workload::tiny_imagenet()};
+    // --family picks the training datasets: the CNN evaluation datasets
+    // (cifar10, plus tiny_imagenet outside --fast), wikitext103 for the
+    // transformer families, or both.
+    std::vector<workload::DatasetDescriptor> datasets;
+    if (family != "transformers") {
+      datasets.push_back(workload::cifar10());
+      if (!fast) datasets.push_back(workload::tiny_imagenet());
+    }
+    if (family != "cnn") datasets.push_back(workload::wikitext103());
     for (const auto& dataset : datasets) {
       std::printf("offline training for dataset '%s'...\n",
                   dataset.name.c_str());
@@ -155,7 +180,14 @@ int main(int argc, char** argv) {
   serve::PredictionService service(pddl, cfg);
 
   Stopwatch warm_sw;
-  const std::size_t warmed = service.warm_up(workload::table2_workloads());
+  std::vector<workload::DlWorkload> warm;
+  if (family != "transformers") warm = workload::table2_workloads();
+  if (family != "cnn") {
+    for (auto& w : workload::transformer_workloads()) {
+      warm.push_back(std::move(w));
+    }
+  }
+  const std::size_t warmed = service.warm_up(warm);
   std::printf("warm-up: %zu embeddings precomputed in %.0fms\n", warmed,
               warm_sw.millis());
 

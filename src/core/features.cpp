@@ -5,15 +5,16 @@
 namespace pddl::core {
 
 std::size_t FeatureBuilder::feature_dim(std::size_t embed_dim) {
-  return embed_dim + cluster::cluster_feature_names().size() + 5;
+  return embed_dim + cluster::cluster_feature_names().size() + 8;
 }
 
 Vector FeatureBuilder::assemble(const Vector& embedding,
                                 const Vector& cluster_features,
                                 const workload::DatasetDescriptor& dataset,
-                                int batch, int epochs) const {
+                                int batch, int epochs,
+                                const workload::ParallelismSpec& par) const {
   Vector f;
-  f.reserve(embedding.size() + cluster_features.size() + 5);
+  f.reserve(embedding.size() + cluster_features.size() + 8);
   f.insert(f.end(), embedding.begin(), embedding.end());
   f.insert(f.end(), cluster_features.begin(), cluster_features.end());
   f.push_back(static_cast<double>(batch));
@@ -23,6 +24,11 @@ Vector FeatureBuilder::assemble(const Vector& embedding,
   f.push_back(std::log10(static_cast<double>(
       std::max<std::int64_t>(1, dataset.num_samples))));
   f.push_back(static_cast<double>(dataset.input.h));
+  // Parallelism strategy: all three are 1 under pure data parallelism, so
+  // the encoding is neutral for the paper's original campaign.
+  f.push_back(static_cast<double>(par.pipeline_stages));
+  f.push_back(static_cast<double>(par.micro_batches));
+  f.push_back(static_cast<double>(par.tensor_degree));
   return f;
 }
 
@@ -30,7 +36,7 @@ Vector FeatureBuilder::build(const workload::DlWorkload& w,
                              const cluster::ClusterSpec& cluster) {
   const Vector emb = registry_.embedding(w.dataset.name, w.build_graph());
   return assemble(emb, cluster.features(), w.dataset,
-                  w.batch_size_per_server, w.epochs);
+                  w.batch_size_per_server, w.epochs, w.parallelism);
 }
 
 Vector FeatureBuilder::build(const sim::Measurement& m) {
@@ -38,21 +44,23 @@ Vector FeatureBuilder::build(const sim::Measurement& m) {
   const graph::CompGraph g =
       graph::build_model(m.model, ds.input, ds.num_classes);
   const Vector emb = registry_.embedding(m.dataset, g);
-  return assemble(emb, m.cluster_features, ds, m.batch_size, m.epochs);
+  return assemble(emb, m.cluster_features, ds, m.batch_size, m.epochs,
+                  workload::parallelism_from_key(m.parallelism));
 }
 
 Vector FeatureBuilder::build_for_graph(
     const graph::CompGraph& g, const workload::DatasetDescriptor& dataset,
     int batch, int epochs, const cluster::ClusterSpec& cluster) {
   const Vector emb = registry_.embedding(dataset.name, g);
-  return assemble(emb, cluster.features(), dataset, batch, epochs);
+  return assemble(emb, cluster.features(), dataset, batch, epochs,
+                  workload::ParallelismSpec{});
 }
 
 Vector FeatureBuilder::assemble_features(
     const Vector& embedding, const workload::DlWorkload& w,
     const cluster::ClusterSpec& cluster) const {
   return assemble(embedding, cluster.features(), w.dataset,
-                  w.batch_size_per_server, w.epochs);
+                  w.batch_size_per_server, w.epochs, w.parallelism);
 }
 
 regress::RegressionData FeatureBuilder::build_dataset(

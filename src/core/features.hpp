@@ -2,9 +2,11 @@
 // unifies GHN-2 embeddings with cluster description features".
 //
 // A prediction feature vector is the concatenation of
-//   [ GHN embedding (d) | cluster features (10) | workload scalars (5) ]
+//   [ GHN embedding (d) | cluster features (10) | workload scalars (8) ]
 // where the workload scalars are batch size, epochs, log dataset bytes,
-// log sample count, and input resolution.
+// log sample count, input resolution, and the parallelism strategy
+// (pipeline stages, micro-batches, tensor degree — all 1 under the paper's
+// pure data parallelism, so DP feature rows are unchanged by the encoding).
 #pragma once
 
 #include "cluster/cluster.hpp"
@@ -53,7 +55,7 @@ class FeatureBuilder {
  private:
   Vector assemble(const Vector& embedding, const Vector& cluster_features,
                   const workload::DatasetDescriptor& dataset, int batch,
-                  int epochs) const;
+                  int epochs, const workload::ParallelismSpec& par) const;
 
   ghn::GhnRegistry& registry_;
 };

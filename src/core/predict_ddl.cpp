@@ -161,9 +161,11 @@ double PredictDdl::train_offline(const workload::DatasetDescriptor& dataset) {
   sim::CampaignConfig cc = opts_.campaign;
   cc.include_cifar10 = dataset.name == "cifar10";
   cc.include_tiny_imagenet = dataset.name == "tiny_imagenet";
-  PDDL_CHECK(cc.include_cifar10 || cc.include_tiny_imagenet,
-             "campaign supports cifar10/tiny_imagenet datasets; got '",
-             dataset.name, "'");
+  cc.include_wikitext103 = dataset.name == "wikitext103";
+  PDDL_CHECK(
+      cc.include_cifar10 || cc.include_tiny_imagenet || cc.include_wikitext103,
+      "campaign supports cifar10/tiny_imagenet/wikitext103 datasets; got '",
+      dataset.name, "'");
   const auto measurements = sim::run_campaign(sim_, cc, pool_);
   // ... (3) fit the prediction model on embeddings ⊕ cluster features.
   return fit_predictor(dataset.name, measurements);

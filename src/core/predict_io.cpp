@@ -13,9 +13,11 @@ void write_workload(io::BinaryWriter& w, const workload::DlWorkload& wl) {
   w.i32(wl.dataset.input.w);
   w.i32(wl.batch_size_per_server);
   w.i32(wl.epochs);
+  w.str(wl.parallelism.key());
 }
 
-workload::DlWorkload read_workload(io::BinaryReader& r) {
+workload::DlWorkload read_workload(io::BinaryReader& r,
+                                   bool with_parallelism) {
   workload::DlWorkload wl;
   wl.model = r.str();
   wl.dataset.name = r.str();
@@ -27,6 +29,9 @@ workload::DlWorkload read_workload(io::BinaryReader& r) {
   wl.dataset.input.w = r.i32();
   wl.batch_size_per_server = r.i32();
   wl.epochs = r.i32();
+  if (with_parallelism) {
+    wl.parallelism = workload::parallelism_from_key(r.str());
+  }
   return wl;
 }
 
@@ -80,9 +85,10 @@ void write_predict_request(io::BinaryWriter& w, const PredictRequest& req) {
   write_cluster(w, req.cluster);
 }
 
-PredictRequest read_predict_request(io::BinaryReader& r) {
+PredictRequest read_predict_request(io::BinaryReader& r,
+                                    bool with_parallelism) {
   PredictRequest req;
-  req.workload = read_workload(r);
+  req.workload = read_workload(r, with_parallelism);
   req.cluster = read_cluster(r);
   return req;
 }

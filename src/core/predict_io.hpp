@@ -16,13 +16,18 @@ namespace pddl::core {
 // Per-cluster server-count bound (the paper's clusters top out at 60).
 inline constexpr std::uint32_t kMaxClusterServers = 100000;
 
+// The workload codec carries the parallelism-strategy key since rpc
+// protocol v6 / observation-log v2; readers of older sections pass
+// `with_parallelism = false` and get the data-parallel default.
 void write_workload(io::BinaryWriter& w, const workload::DlWorkload& wl);
-workload::DlWorkload read_workload(io::BinaryReader& r);
+workload::DlWorkload read_workload(io::BinaryReader& r,
+                                   bool with_parallelism = true);
 
 void write_cluster(io::BinaryWriter& w, const cluster::ClusterSpec& c);
 cluster::ClusterSpec read_cluster(io::BinaryReader& r);
 
 void write_predict_request(io::BinaryWriter& w, const PredictRequest& req);
-PredictRequest read_predict_request(io::BinaryReader& r);
+PredictRequest read_predict_request(io::BinaryReader& r,
+                                    bool with_parallelism = true);
 
 }  // namespace pddl::core

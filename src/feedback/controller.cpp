@@ -2,12 +2,19 @@
 
 #include <cmath>
 
+#include "graph/models.hpp"
 #include "regress/dataset.hpp"
 
 namespace pddl::feedback {
 
 namespace {
 constexpr const char* kObservationSection = "feedback/observations";
+
+// Family id for the per-family decomposition; models outside both
+// registries (NAS candidates, ad-hoc graphs) pool under "custom".
+std::string family_of(const std::string& model) {
+  return graph::has_model(model) ? graph::model_family(model) : "custom";
+}
 }  // namespace
 
 FeedbackController::FeedbackController(serve::PredictionService& service,
@@ -62,10 +69,22 @@ ObserveOutcome FeedbackController::observe(const core::PredictRequest& req,
   service_.note_observation(true);
 
   const std::string& dataset = req.workload.dataset.name;
+  const std::string family = family_of(req.workload.model);
   bool fire_refit = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++accepted_per_dataset_[dataset];
+    // Family window first: it feeds the ghn_drift decomposition but never
+    // triggers a refit on its own — refitting the regressor cannot fix a
+    // strained embedding; the signal asks for GHN retraining instead.
+    const auto family_key = std::make_pair(dataset, family);
+    ++accepted_per_family_[family_key];
+    auto fit = family_detectors_.find(family_key);
+    if (fit == family_detectors_.end()) {
+      fit = family_detectors_.emplace(family_key, DriftDetector(cfg_.drift))
+                .first;
+    }
+    fit->second.record(out.abs_error_s, out.rel_error);
     auto it = detectors_.find(dataset);
     if (it == detectors_.end()) {
       it = detectors_.emplace(dataset, DriftDetector(cfg_.drift)).first;
@@ -180,6 +199,9 @@ void FeedbackController::do_refit(const std::string& dataset) {
       if (const auto it = detectors_.find(dataset); it != detectors_.end()) {
         it->second.reset();
       }
+      for (auto& [key, detector] : family_detectors_) {
+        if (key.first == dataset) detector.reset();
+      }
     }
     service_.note_refit_finished(true);
   } catch (const std::exception& e) {
@@ -211,6 +233,35 @@ RefitStatus FeedbackController::status() const {
     d.observations = it == accepted_per_dataset_.end() ? 0 : it->second;
     d.errors = detector.stats();
     s.datasets.push_back(std::move(d));
+  }
+  for (const auto& [key, detector] : family_detectors_) {
+    FamilyFeedback f;
+    f.dataset = key.first;
+    f.family = key.second;
+    const auto it = accepted_per_family_.find(key);
+    f.observations = it == accepted_per_family_.end() ? 0 : it->second;
+    f.errors = detector.stats();
+    s.families.push_back(std::move(f));
+  }
+  // "Retrain the GHN" decomposition: a family whose window drifted against
+  // a mostly-clean background of other scored families is embedding strain,
+  // not regressor/cluster drift.  A board-wide shift (more drifted peers
+  // than clean ones) points at the shared model instead and stays with the
+  // ordinary refit path.
+  for (FamilyFeedback& f : s.families) {
+    if (!f.errors.drifted) continue;
+    std::size_t clean_peers = 0;
+    std::size_t drifted_peers = 0;
+    for (const FamilyFeedback& other : s.families) {
+      if (&other == &f) continue;
+      if (other.errors.count < cfg_.drift.min_count) continue;
+      if (other.errors.drifted) {
+        ++drifted_peers;
+      } else {
+        ++clean_peers;
+      }
+    }
+    f.ghn_drift = drifted_peers == 0 || clean_peers >= drifted_peers;
   }
   return s;
 }

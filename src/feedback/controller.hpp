@@ -58,6 +58,21 @@ struct DatasetFeedback {
   ErrorStats errors;               // current window
 };
 
+// Per-(dataset, model-family) error decomposition.  `ghn_drift` is the
+// "retrain the GHN" signal: this family's window has drifted while the
+// other observed families are clean, so the shared regressor and cluster
+// model are fine and the frozen graph embedding is what strains — exactly
+// the failure mode a new architecture family (transformers) provokes.
+// Family-wide drift across the board points at the regressor/cluster
+// instead, and the regular refit path handles it.
+struct FamilyFeedback {
+  std::string dataset;
+  std::string family;              // graph::model_family(), or "custom"
+  std::uint64_t observations = 0;  // accepted for this family (lifetime)
+  ErrorStats errors;               // current window
+  bool ghn_drift = false;
+};
+
 struct RefitStatus {
   std::uint64_t started = 0;
   std::uint64_t completed = 0;
@@ -69,6 +84,7 @@ struct RefitStatus {
   std::uint64_t last_observation_rows = 0;
   std::string last_error;        // most recent failure, if any
   std::vector<DatasetFeedback> datasets;
+  std::vector<FamilyFeedback> families;  // per-family decomposition
 };
 
 class FeedbackController {
@@ -126,6 +142,11 @@ class FeedbackController {
   std::map<std::string, bool> refit_pending_;  // queued or running
   std::map<std::string, DriftDetector> detectors_;
   std::map<std::string, std::uint64_t> accepted_per_dataset_;
+  // Per-(dataset, family) windows behind the ghn_drift signal.
+  std::map<std::pair<std::string, std::string>, DriftDetector>
+      family_detectors_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t>
+      accepted_per_family_;
   bool stopping_ = false;
   bool refit_in_progress_ = false;
   std::uint64_t refits_started_ = 0;

@@ -59,9 +59,9 @@ void ObservationLog::save(io::BinaryWriter& w) const {
 void ObservationLog::load(io::BinaryReader& r) {
   r.expect_magic(kObservationMagic, "observation log");
   const std::uint32_t version = r.u32();
-  PDDL_CHECK(version == kObservationLogVersion, r.what(),
+  PDDL_CHECK(version >= 1 && version <= kObservationLogVersion, r.what(),
              ": unsupported observation log version ", version,
-             " (this build reads version ", kObservationLogVersion, ")");
+             " (this build reads versions 1..", kObservationLogVersion, ")");
   const std::uint64_t next_seq = r.u64();
   const std::uint32_t count = r.u32();
   PDDL_CHECK(count <= (1u << 22), r.what(),
@@ -69,7 +69,8 @@ void ObservationLog::load(io::BinaryReader& r) {
   std::deque<Observation> loaded;
   for (std::uint32_t i = 0; i < count; ++i) {
     Observation obs;
-    obs.request = core::read_predict_request(r);
+    obs.request = core::read_predict_request(r, /*with_parallelism=*/
+                                             version >= 2);
     obs.measured_s = r.f64();
     obs.predicted_s = r.f64();
     obs.seq = r.u64();

@@ -24,7 +24,9 @@
 namespace pddl::feedback {
 
 inline constexpr char kObservationMagic[4] = {'P', 'D', 'O', 'B'};
-inline constexpr std::uint32_t kObservationLogVersion = 1;
+// v1: workloads without a parallelism strategy (implicitly data parallel).
+// v2: the workload codec carries the strategy key.  Both load.
+inline constexpr std::uint32_t kObservationLogVersion = 2;
 
 struct Observation {
   core::PredictRequest request;

@@ -227,6 +227,42 @@ int GraphBuilder::dropout(int in) {
                 "");
 }
 
+int GraphBuilder::embedding(int in, int vocab, int hidden,
+                            const std::string& label) {
+  const TensorShape s = shape(in);
+  PDDL_CHECK(s.c == 1 && s.w == 1,
+             "embedding expects a raw token stream {1, seq, 1}");
+  PDDL_CHECK(vocab > 0 && hidden > 0, "embedding: vocab/hidden must be > 0");
+  TensorShape out{hidden, s.h, 1};
+  // Token table + learned position table; the lookup itself is a gather,
+  // the position add costs one pass over the activations.
+  const std::int64_t params =
+      static_cast<std::int64_t>(vocab + s.h) * hidden;
+  const std::int64_t flops = 2 * out.numel();
+  return add_op(OpType::kEmbedding, out, params, flops, {}, {in}, label);
+}
+
+int GraphBuilder::token_linear(int in, int out_features,
+                               const std::string& label) {
+  const TensorShape s = shape(in);
+  TensorShape out{out_features, s.h, s.w};
+  const std::int64_t params =
+      static_cast<std::int64_t>(s.c) * out_features + out_features;
+  const std::int64_t flops =
+      2 * static_cast<std::int64_t>(s.c) * out_features * s.h * s.w;
+  return add_op(OpType::kLinear, out, params, flops, {}, {in}, label);
+}
+
+int GraphBuilder::attention_matmul(int a, int b, TensorShape out, int contract,
+                                   int heads, const std::string& label) {
+  PDDL_CHECK(contract > 0 && heads > 0,
+             "attention_matmul: contract/heads must be > 0");
+  const std::int64_t flops =
+      2 * static_cast<std::int64_t>(contract) * out.numel();
+  return add_op(OpType::kAttentionMatmul, out, 0, flops, {0, 1, heads},
+                {a, b}, label);
+}
+
 int GraphBuilder::conv_bn_relu(int in, int out_channels, int kernel,
                                int stride) {
   return relu(batch_norm(conv(in, out_channels, kernel, stride)));
@@ -241,6 +277,44 @@ int GraphBuilder::squeeze_excite(int in, int reduced_channels,
   g = conv(g, c, 1, 1, /*bias=*/true, "se_expand");
   g = hard_gates ? hard_sigmoid(g) : sigmoid(g);
   return mul(in, g);
+}
+
+int GraphBuilder::multi_head_attention(int in,
+                                       int heads,
+                                       const std::string& label_prefix) {
+  const TensorShape s = shape(in);
+  PDDL_CHECK(s.w == 1, "multi_head_attention expects {d, seq, 1}");
+  PDDL_CHECK(heads > 0 && s.c % heads == 0,
+             "multi_head_attention: hidden dim not divisible by heads");
+  const int d = s.c;
+  const int seq = s.h;
+  const auto name = [&](const char* suffix) {
+    return label_prefix.empty() ? std::string(suffix)
+                                : label_prefix + "." + suffix;
+  };
+  const int q = token_linear(in, d, name("q_proj"));
+  const int k = token_linear(in, d, name("k_proj"));
+  const int v = token_linear(in, d, name("v_proj"));
+  // Scores: per head, (seq × d/h)·(d/h × seq); all heads together contract
+  // the full feature dim d per (query, key) pair.
+  int scores = attention_matmul(q, k, {seq, seq, 1}, d, heads, name("qk"));
+  scores = softmax(scores);
+  // Context: (seq × seq)·(seq × d/h) per head — contracts the key axis.
+  const int context =
+      attention_matmul(scores, v, {d, seq, 1}, seq, heads, name("av"));
+  return token_linear(context, d, name("out_proj"));
+}
+
+int GraphBuilder::transformer_mlp(int in, int hidden_mult,
+                                  const std::string& label_prefix) {
+  const TensorShape s = shape(in);
+  const auto name = [&](const char* suffix) {
+    return label_prefix.empty() ? std::string(suffix)
+                                : label_prefix + "." + suffix;
+  };
+  int x = token_linear(in, s.c * hidden_mult, name("mlp_up"));
+  x = gelu(x);
+  return token_linear(x, s.c, name("mlp_down"));
 }
 
 CompGraph GraphBuilder::finish(int num_classes) && {

@@ -69,12 +69,37 @@ class GraphBuilder {
   int flatten(int in);
   int dropout(int in);
 
+  // ---- transformer primitives ----
+  // Token-sequence convention: shapes are {c = feature dim, h = sequence
+  // length, w = 1}.  The input node for a transformer is the raw token
+  // stream {1, seq, 1}.
+  //
+  // Token + learned-position embedding lookup: {1, s, 1} → {hidden, s, 1}.
+  int embedding(int in, int vocab, int hidden,
+                const std::string& label = "");
+  // Per-token affine map {c, s, w} → {out_features, s, w}; unlike linear()
+  // the sequence axis is preserved instead of flattened.
+  int token_linear(int in, int out_features, const std::string& label = "");
+  // Batched matmul inside attention (QK^T or scores·V): contracts `contract`
+  // features per output element.  Shape checks live in the composite below.
+  int attention_matmul(int a, int b, TensorShape out, int contract, int heads,
+                       const std::string& label = "");
+
   // ---- composite helpers shared by several families ----
   // conv → bn → relu.
   int conv_bn_relu(int in, int out_channels, int kernel, int stride = 1);
   // Squeeze-and-excitation block returning the rescaled tensor.
   int squeeze_excite(int in, int reduced_channels,
                      bool hard_gates = false);
+  // Multi-head self-attention over {d, s, 1}: Q/K/V projections, scaled
+  // QK^T, softmax, scores·V, output projection.  Returns the {d, s, 1}
+  // attention output (residual/norm wiring is the caller's, since pre-LN
+  // and post-LN families differ exactly there).
+  int multi_head_attention(int in, int heads,
+                           const std::string& label_prefix = "");
+  // Position-wise feed-forward: token_linear(mult·d) → gelu → token_linear(d).
+  int transformer_mlp(int in, int hidden_mult = 4,
+                      const std::string& label_prefix = "");
 
   // Appends global-avg-pool → flatten → linear(num_classes) → softmax and
   // returns the validated graph.

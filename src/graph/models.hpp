@@ -25,12 +25,17 @@ struct ModelSpec {
 // All 31 models, in a stable order.
 const std::vector<ModelSpec>& model_registry();
 
-// Lookup + build; throws pddl::Error for unknown names.
+// Lookup + build; searches the CNN registry and the transformer registry
+// (models_transformer.hpp); throws pddl::Error for unknown names.
 CompGraph build_model(const std::string& name, TensorShape input,
                       int num_classes);
 
-// True if `name` is registered.
+// True if `name` is registered (either registry).
 bool has_model(const std::string& name);
+
+// Family id for a registered model ("resnet", "bert", ...); throws for
+// unknown names.  Drives the per-family error decomposition in feedback.
+const std::string& model_family(const std::string& name);
 
 // ---- individual builders (all exposed for direct use and tests) ----
 CompGraph build_alexnet(TensorShape in, int classes);

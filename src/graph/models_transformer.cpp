@@ -1,0 +1,100 @@
+// Transformer family builders (models_transformer.hpp).
+//
+// Scales follow the published checkpoints: the BERT miniatures from Turc et
+// al. (tiny/mini/small/medium, L2–L8, d128–512) plus bert_base (L12 d768
+// h12), and a GPT ladder ending at the GPT-2 small configuration (L12 d768
+// h12).  Head count tracks d/64 as in the originals.
+#include "graph/models_transformer.hpp"
+
+#include "graph/builder.hpp"
+
+namespace pddl::graph {
+
+namespace {
+
+// Shared encoder/decoder trunk: embedding + dropout, then `layers` blocks.
+// `pre_ln` selects GPT-style (LN inside the residual branch) vs BERT-style
+// (LN after the residual add) wiring.
+int transformer_trunk(GraphBuilder& b, int layers, int hidden, int heads,
+                      int vocab, bool pre_ln) {
+  int x = b.embedding(b.input(), vocab, hidden, "embed");
+  x = b.dropout(x);
+  for (int l = 0; l < layers; ++l) {
+    const std::string prefix = "block" + std::to_string(l);
+    if (pre_ln) {
+      // GPT: x += MHA(LN(x)); x += MLP(LN(x)).
+      int branch = b.layer_norm(x);
+      branch = b.multi_head_attention(branch, heads, prefix + ".attn");
+      x = b.add({x, branch});
+      branch = b.layer_norm(x);
+      branch = b.transformer_mlp(branch, 4, prefix);
+      x = b.add({x, branch});
+    } else {
+      // BERT: x = LN(x + MHA(x)); x = LN(x + MLP(x)).
+      int branch = b.multi_head_attention(x, heads, prefix + ".attn");
+      x = b.layer_norm(b.add({x, branch}));
+      branch = b.transformer_mlp(x, 4, prefix);
+      x = b.layer_norm(b.add({x, branch}));
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+CompGraph build_bert(int layers, int hidden, int heads, TensorShape in,
+                     int classes) {
+  GraphBuilder b("bert_L" + std::to_string(layers) + "_d" +
+                     std::to_string(hidden),
+                 in);
+  transformer_trunk(b, layers, hidden, heads, /*vocab=*/classes,
+                    /*pre_ln=*/false);
+  // finish() mean-pools the sequence axis and attaches the classifier.
+  return std::move(b).finish(classes);
+}
+
+CompGraph build_gpt(int layers, int hidden, int heads, TensorShape in,
+                    int classes) {
+  GraphBuilder b("gpt_L" + std::to_string(layers) + "_d" +
+                     std::to_string(hidden),
+                 in);
+  int x = transformer_trunk(b, layers, hidden, heads, /*vocab=*/classes,
+                            /*pre_ln=*/true);
+  x = b.layer_norm(x);
+  // Per-token language-model head over the full vocabulary — the decoder's
+  // head dominates its parameter count, unlike the pooled BERT classifier.
+  x = b.token_linear(x, classes, "lm_head");
+  b.softmax(x);
+  return std::move(b).take();
+}
+
+const std::vector<ModelSpec>& transformer_model_registry() {
+  static const std::vector<ModelSpec> registry = [] {
+    std::vector<ModelSpec> r;
+    auto bert = [&r](std::string name, int layers, int hidden, int heads) {
+      r.push_back({std::move(name), "bert",
+                   [layers, hidden, heads](TensorShape in, int c) {
+                     return build_bert(layers, hidden, heads, in, c);
+                   }});
+    };
+    auto gpt = [&r](std::string name, int layers, int hidden, int heads) {
+      r.push_back({std::move(name), "gpt",
+                   [layers, hidden, heads](TensorShape in, int c) {
+                     return build_gpt(layers, hidden, heads, in, c);
+                   }});
+    };
+    bert("bert_tiny", 2, 128, 2);
+    bert("bert_mini", 4, 256, 4);
+    bert("bert_small", 4, 512, 8);
+    bert("bert_medium", 8, 512, 8);
+    bert("bert_base", 12, 768, 12);
+    gpt("gpt_tiny", 2, 128, 2);
+    gpt("gpt_mini", 4, 256, 4);
+    gpt("gpt_medium", 8, 512, 8);
+    gpt("gpt2", 12, 768, 12);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace pddl::graph

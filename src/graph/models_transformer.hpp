@@ -1,0 +1,37 @@
+// Transformer workload families: BERT-style post-LN encoders and GPT-style
+// pre-LN decoders as op-level DAGs, at several scales each.
+//
+// These are the first non-vision families in the reproduction — the
+// strongest available test of the paper's "reusable across architectures"
+// claim, since the GHN is trained on conv-heavy DARTS cells and has never
+// seen an attention block.  Token-sequence convention (builder.hpp): shapes
+// are {c = feature dim, h = sequence length, w = 1}; the graph input is the
+// raw token stream {1, seq, 1} and `num_classes` is the vocabulary size
+// (GPT language-model head) or the label count (BERT classification head).
+//
+// Both families share the attention/MLP composites; they differ in residual
+// wiring (post-LN vs pre-LN) and in the head, so their structural
+// fingerprints and op histograms are distinct — exactly what the reuse
+// index and the drift detector need to tell them apart.
+#pragma once
+
+#include "graph/models.hpp"
+
+namespace pddl::graph {
+
+// BERT family (post-LN encoder): bert_tiny, bert_mini, bert_small,
+// bert_medium, bert_base.  GPT family (pre-LN decoder): gpt_tiny, gpt_mini,
+// gpt_medium, gpt2.  Stable order; names never reused across scales.
+const std::vector<ModelSpec>& transformer_model_registry();
+
+// Post-LN encoder stack: embedding → L × [MHA → add → LN → MLP → add → LN]
+// → mean-pool → classifier.
+CompGraph build_bert(int layers, int hidden, int heads, TensorShape in,
+                     int classes);
+
+// Pre-LN decoder stack: embedding → L × [LN → MHA → add → LN → MLP → add]
+// → final LN → per-token LM head over the vocabulary.
+CompGraph build_gpt(int layers, int hidden, int heads, TensorShape in,
+                    int classes);
+
+}  // namespace pddl::graph

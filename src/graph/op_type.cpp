@@ -14,7 +14,8 @@ const std::string& op_name(OpType type) {
       "tanh",          "hard_swish",    "hard_sigmoid",  "swish",
       "gelu",          "softmax",       "max_pool",      "avg_pool",
       "global_avg_pool", "add",         "mul",           "concat",
-      "channel_shuffle", "flatten",     "dropout"};
+      "channel_shuffle", "flatten",     "dropout",       "embedding",
+      "attention_matmul"};
   const auto idx = static_cast<std::size_t>(type);
   PDDL_CHECK(idx < kNumOpTypes, "invalid OpType");
   return names[idx];
@@ -29,6 +30,7 @@ bool op_has_params(OpType type) {
     case OpType::kBiasAdd:
     case OpType::kBatchNorm:
     case OpType::kLayerNorm:
+    case OpType::kEmbedding:
       return true;
     default:
       return false;

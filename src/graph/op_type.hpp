@@ -5,7 +5,10 @@
 // torchvision-family architectures in src/graph/builders/ plus the DARTS
 // primitives used to train the GHN: convolutions (dense / grouped /
 // depthwise), normalizations, activations, poolings, and the structural ops
-// (add / concat / channel shuffle) that create the DAG topology.
+// (add / concat / channel shuffle) that create the DAG topology.  The
+// transformer families (models_transformer.*) add the embedding lookup and
+// the batched attention matmul; new kinds are appended before the sentinel
+// so persisted graphs keep their op codes.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +44,8 @@ enum class OpType : int {
   kChannelShuffle,   // ShuffleNet-V2
   kFlatten,
   kDropout,
+  kEmbedding,        // token + position lookup table (transformer stem)
+  kAttentionMatmul,  // batched QK^T / AV matmul inside attention
   kOpTypeCount       // sentinel — size of the one-hot encoding
 };
 

@@ -1,7 +1,11 @@
-// Model registry: the 31 evaluation architectures (§IV-A2).
+// Model registry: the 31 evaluation architectures (§IV-A2) plus the
+// transformer families (models_transformer.hpp).  The two live in separate
+// registries so the paper-pinned 31-model set stays exactly as evaluated;
+// lookup helpers search both.
 #include <algorithm>
 
 #include "graph/models.hpp"
+#include "graph/models_transformer.hpp"
 
 namespace pddl::graph {
 
@@ -68,19 +72,36 @@ const std::vector<ModelSpec>& model_registry() {
   return registry;
 }
 
-bool has_model(const std::string& name) {
-  const auto& r = model_registry();
-  return std::any_of(r.begin(), r.end(),
-                     [&](const ModelSpec& s) { return s.name == name; });
+namespace {
+
+const ModelSpec* find_model(const std::string& name) {
+  for (const ModelSpec& s : model_registry()) {
+    if (s.name == name) return &s;
+  }
+  for (const ModelSpec& s : transformer_model_registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
 }
+
+}  // namespace
+
+bool has_model(const std::string& name) { return find_model(name) != nullptr; }
 
 CompGraph build_model(const std::string& name, TensorShape input,
                       int num_classes) {
-  for (const ModelSpec& s : model_registry()) {
-    if (s.name == name) return s.build(input, num_classes);
-  }
-  PDDL_CHECK(false, "unknown model '", name,
-             "' — see graph::model_registry() for the supported set");
+  const ModelSpec* spec = find_model(name);
+  PDDL_CHECK(spec != nullptr, "unknown model '", name,
+             "' — see graph::model_registry() / "
+             "graph::transformer_model_registry() for the supported set");
+  return spec->build(input, num_classes);
+}
+
+const std::string& model_family(const std::string& name) {
+  const ModelSpec* spec = find_model(name);
+  PDDL_CHECK(spec != nullptr, "unknown model '", name,
+             "' — no family for unregistered models");
+  return spec->family;
 }
 
 }  // namespace pddl::graph

@@ -195,9 +195,17 @@ std::size_t ReuseIndex::load_section(
   PDDL_CHECK(version == kReuseIndexVersion, r.what(),
              ": unsupported reuse index version ", version);
   const std::uint32_t num_ops = r.u32();
-  PDDL_CHECK(num_ops == graph::kNumOpTypes, r.what(),
-             ": reuse index op-type count ", num_ops, " != ",
-             graph::kNumOpTypes, " — incompatible build");
+  PDDL_CHECK(num_ops > 0 && num_ops <= 1024, r.what(),
+             ": implausible reuse index op-type count ", num_ops);
+  // Op kinds are append-only (graph/op_type.hpp), so a section written by an
+  // older build is a strict prefix of today's histogram: zero-extend the
+  // stored counts and keep the entries — CNN-era signatures have zero of
+  // every later-added op kind anyway, so distances are unchanged.  A section
+  // written by a NEWER build (wider histogram) cannot be compared here; its
+  // partitions are still parsed at the stored width to keep the stream in
+  // frame, then dropped without error.
+  const bool width_ok =
+      num_ops <= static_cast<std::uint32_t>(graph::kNumOpTypes);
   const std::uint32_t num_datasets = r.u32();
   PDDL_CHECK(num_datasets <= 1024, r.what(), ": implausible dataset count ",
              num_datasets);
@@ -210,7 +218,7 @@ std::size_t ReuseIndex::load_section(
     const std::uint32_t count = r.u32();
     PDDL_CHECK(count <= (1u << 20), r.what(), ": implausible entry count ",
                count);
-    const bool keep = live_checksum(dataset) == checksum;
+    const bool keep = width_ok && live_checksum(dataset) == checksum;
     Partition* p = nullptr;
     if (keep) {
       p = &partitions_[dataset];
@@ -229,7 +237,10 @@ std::size_t ReuseIndex::load_section(
       e.sig.nodes = r.u32();
       e.sig.edges = r.u32();
       e.sig.params = r.u64();
-      for (std::uint32_t& c : e.sig.op_counts) c = r.u32();
+      for (std::uint32_t c = 0; c < num_ops; ++c) {
+        const std::uint32_t v = r.u32();
+        if (c < e.sig.op_counts.size()) e.sig.op_counts[c] = v;
+      }
       e.embedding = io::read_vector(r);
       // A stale or duplicate entry is still fully consumed from the stream
       // so the following datasets stay in frame.

@@ -163,8 +163,11 @@ class ReuseIndex {
   // Restores from `snap` if the section is present.  `live_checksum` maps a
   // dataset to the checksum of its currently registered GHN (0 = none);
   // partitions whose saved checksum no longer matches are skipped — a
-  // retrained GHN makes every embedding in them stale.  Returns the number
-  // of entries restored.
+  // retrained GHN makes every embedding in them stale.  Sections whose
+  // op-type histogram is narrower than this build's (an older build; op
+  // kinds are append-only) load with the counts zero-extended; sections
+  // wider than this build (a downgrade) are parsed but dropped rather than
+  // rejected.  Returns the number of entries restored.
   template <typename ChecksumFn>
   std::size_t load(const io::SnapshotReader& snap, ChecksumFn live_checksum) {
     if (!snap.has(kReuseIndexSection)) return 0;

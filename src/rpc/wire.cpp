@@ -358,6 +358,14 @@ void write_refit_status(io::BinaryWriter& w, const feedback::RefitStatus& s) {
     w.u64(d.observations);
     write_error_stats(w, d.errors);
   }
+  w.u32(static_cast<std::uint32_t>(s.families.size()));
+  for (const feedback::FamilyFeedback& f : s.families) {
+    w.str(f.dataset);
+    w.str(f.family);
+    w.u64(f.observations);
+    write_error_stats(w, f.errors);
+    w.boolean(f.ghn_drift);
+  }
 }
 
 feedback::RefitStatus read_refit_status(io::BinaryReader& r) {
@@ -380,6 +388,18 @@ feedback::RefitStatus read_refit_status(io::BinaryReader& r) {
     d.observations = r.u64();
     d.errors = read_error_stats(r);
     s.datasets.push_back(std::move(d));
+  }
+  const std::uint32_t nf = r.u32();
+  PDDL_CHECK(nf <= 4096, r.what(), ": unreasonable family count ", nf);
+  s.families.reserve(nf);
+  for (std::uint32_t i = 0; i < nf; ++i) {
+    feedback::FamilyFeedback f;
+    f.dataset = r.str();
+    f.family = r.str();
+    f.observations = r.u64();
+    f.errors = read_error_stats(r);
+    f.ghn_drift = r.boolean();
+    s.families.push_back(std::move(f));
   }
   return s;
 }

@@ -61,7 +61,10 @@ inline constexpr char kFrameMagic[4] = {'P', 'D', 'R', 'P'};
 // MetricsSnapshot encoding.
 // v5: batched-embed counters (batches / graphs / coalesced + width
 // histogram) and adaptive-batch telemetry in the MetricsSnapshot encoding.
-inline constexpr std::uint32_t kProtocolVersion = 5;
+// v6: parallelism-strategy key in the workload encoding; per-family error
+// decomposition (FamilyFeedback rows + ghn_drift signal) in the
+// RefitStatus encoding.
+inline constexpr std::uint32_t kProtocolVersion = 6;
 // Fixed-size frame prefix: magic (4) + version (4) + body length (4).
 inline constexpr std::size_t kFramePrefixBytes = 12;
 // Envelope overhead beyond the body: prefix + CRC trailer.

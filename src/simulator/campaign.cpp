@@ -4,9 +4,22 @@
 #include <map>
 
 #include "graph/models.hpp"
+#include "graph/models_transformer.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace pddl::sim {
+
+int model_registry_index(const std::string& name) {
+  const auto& reg = graph::model_registry();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    if (reg[i].name == name) return static_cast<int>(i);
+  }
+  const auto& treg = graph::transformer_model_registry();
+  for (std::size_t i = 0; i < treg.size(); ++i) {
+    if (treg[i].name == name) return static_cast<int>(reg.size() + i);
+  }
+  return -1;
+}
 
 namespace {
 
@@ -17,6 +30,7 @@ struct ConfigPoint {
   int servers;
   int batch;
   int model_index;
+  workload::ParallelismSpec parallelism;
   std::uint64_t stream;  // per-point RNG stream id
 };
 
@@ -31,8 +45,22 @@ std::vector<Measurement> run_campaign(const DdlSimulator& sim,
 
   std::vector<std::string> models = cfg.models;
   if (models.empty()) {
-    for (const auto& spec : graph::model_registry()) {
-      models.push_back(spec.name);
+    // The default model population follows the dataset selection: image
+    // models cannot build at the token-stream resolution (and vice versa),
+    // so a wikitext-only campaign defaults to the transformer registry and
+    // any image campaign to the paper's 31 models.  Mixing wikitext103 with
+    // an image dataset requires an explicit (and compatible) model list.
+    if (cfg.include_wikitext103) {
+      PDDL_CHECK(!cfg.include_cifar10 && !cfg.include_tiny_imagenet,
+                 "campaign cannot default-cross one model list over both "
+                 "image and token datasets; set cfg.models explicitly");
+      for (const auto& spec : graph::transformer_model_registry()) {
+        models.push_back(spec.name);
+      }
+    } else {
+      for (const auto& spec : graph::model_registry()) {
+        models.push_back(spec.name);
+      }
     }
   }
 
@@ -43,19 +71,26 @@ std::vector<Measurement> run_campaign(const DdlSimulator& sim,
   if (cfg.include_tiny_imagenet) {
     datasets.push_back({workload::tiny_imagenet(), cfg.tiny_imagenet_sku});
   }
+  if (cfg.include_wikitext103) {
+    datasets.push_back({workload::wikitext103(), cfg.wikitext_sku});
+  }
   PDDL_CHECK(!datasets.empty(), "campaign needs at least one dataset");
+  PDDL_CHECK(!cfg.strategies.empty(), "campaign needs a parallelism strategy");
+  std::vector<workload::ParallelismSpec> strategies;
+  for (const std::string& key : cfg.strategies) {
+    strategies.push_back(workload::parallelism_from_key(key));
+  }
 
   // model_index is the position in the global registry (stable across
-  // campaign configurations and CSV round-trips); -1 for custom models.
+  // campaign configurations and CSV round-trips); transformer models index
+  // past the 31 CNN slots; -1 for custom models.
   auto registry_index = [](const std::string& name) {
-    const auto& reg = graph::model_registry();
-    for (std::size_t i = 0; i < reg.size(); ++i) {
-      if (reg[i].name == name) return static_cast<int>(i);
-    }
-    return -1;
+    return model_registry_index(name);
   };
 
-  // Enumerate configurations deterministically.
+  // Enumerate configurations deterministically.  The strategy loop is
+  // innermost so a single-"dp" config reproduces the paper's campaign
+  // points on the same RNG streams.
   std::vector<ConfigPoint> points;
   std::uint64_t stream = 0;
   for (std::size_t mi = 0; mi < models.size(); ++mi) {
@@ -63,7 +98,10 @@ std::vector<Measurement> run_campaign(const DdlSimulator& sim,
     for (const auto& [ds, sku] : datasets) {
       for (int n = cfg.min_servers; n <= cfg.max_servers; ++n) {
         for (int b : cfg.batch_sizes) {
-          points.push_back({models[mi], ds, sku, n, b, reg_idx, stream++});
+          for (const auto& strat : strategies) {
+            points.push_back(
+                {models[mi], ds, sku, n, b, reg_idx, strat, stream++});
+          }
         }
       }
     }
@@ -93,7 +131,8 @@ std::vector<Measurement> run_campaign(const DdlSimulator& sim,
   parallel_for(pool, 0, points.size(), [&](std::size_t i) {
     const ConfigPoint& p = points[i];
     const graph::CompGraph& g = *graph_by_key.at(p.model + "@" + p.dataset.name);
-    workload::DlWorkload w{p.model, p.dataset, p.batch, cfg.epochs};
+    workload::DlWorkload w{p.model, p.dataset, p.batch, cfg.epochs,
+                           p.parallelism};
     const cluster::ClusterSpec cluster = cluster::make_uniform_cluster(p.sku, p.servers);
     Rng rng(cfg.seed ^ (p.stream * 0x9e3779b97f4a7c15ULL + 1));
     const SimResult noisy = sim.run(w, g, cluster, rng);
@@ -113,6 +152,7 @@ std::vector<Measurement> run_campaign(const DdlSimulator& sim,
     m.model_layers = g.num_parametric_layers();
     m.model_depth = g.depth();
     m.model_index = p.model_index;
+    m.parallelism = p.parallelism.key();
     m.cluster_features = cluster.features();
     out[i] = std::move(m);
   });

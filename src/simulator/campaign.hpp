@@ -34,6 +34,9 @@ struct Measurement {
   int model_layers = 0;  // parametric layers (gray-box feature, Fig. 1/2)
   int model_depth = 0;
   int model_index = 0;   // position in the registry (black-box "name" id)
+  // Parallelism strategy key ("dp", "pp<S>x<M>", "tp<t>"); "dp" for every
+  // point of the paper's original campaign.
+  std::string parallelism = "dp";
   Vector cluster_features;
 };
 
@@ -45,8 +48,19 @@ struct CampaignConfig {
   int epochs = 10;
   bool include_cifar10 = true;
   bool include_tiny_imagenet = true;
+  // Transformer campaign: wikitext103 on GPU servers.  Image models cannot
+  // build at the token-stream resolution (and vice versa), so a transformer
+  // campaign sets `models` to transformer names and disables the image
+  // datasets.
+  bool include_wikitext103 = false;
   std::string cifar_sku = "p100";        // GPU servers for CIFAR-10
   std::string tiny_imagenet_sku = "e5_2630";
+  std::string wikitext_sku = "p100";
+  // Parallelism strategies to cross with every (model, dataset, servers,
+  // batch) point, as ParallelismSpec keys.  The default single "dp" entry
+  // reproduces the paper's campaign exactly (same points, same RNG
+  // streams).
+  std::vector<std::string> strategies{"dp"};
   std::uint64_t seed = 2023;
 };
 
@@ -55,6 +69,10 @@ struct CampaignConfig {
 std::vector<Measurement> run_campaign(const DdlSimulator& sim,
                                       const CampaignConfig& cfg,
                                       ThreadPool& pool);
+
+// Stable registry position for a model name: 0..30 for the paper's 31-model
+// registry, 31+ for the transformer registry, -1 for custom models.
+int model_registry_index(const std::string& name);
 
 // Filter helpers used by the benches.
 std::vector<Measurement> filter_by_dataset(const std::vector<Measurement>& ms,

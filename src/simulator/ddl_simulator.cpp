@@ -69,6 +69,21 @@ double DdlSimulator::op_mix_efficiency(const CompGraph& g, bool gpu) const {
   return total / weighted;
 }
 
+NetworkModel DdlSimulator::network_model(
+    const cluster::ClusterSpec& cluster) const {
+  NetworkModel net;
+  net.inter_bw_bps = std::min(cfg_.network_bw_bps,
+                              cluster.slowest_server().net_bw_bps);
+  net.inter_latency_s = cfg_.network_latency_s;
+  net.intra_bw_bps =
+      cfg_.intra_node_bw_bps > 0 ? cfg_.intra_node_bw_bps : net.inter_bw_bps;
+  net.intra_latency_s = cfg_.intra_node_latency_s >= 0
+                            ? cfg_.intra_node_latency_s
+                            : net.inter_latency_s;
+  net.gpus_per_node = std::max(1, cfg_.gpus_per_node);
+  return net;
+}
+
 SimResult DdlSimulator::simulate(const workload::DlWorkload& w,
                                  const CompGraph& g,
                                  const cluster::ClusterSpec& cluster,
@@ -78,21 +93,22 @@ SimResult DdlSimulator::simulate(const workload::DlWorkload& w,
              "invalid workload hyper-parameters");
   const std::size_t m = cluster.size();
   const double md = static_cast<double>(m);
-  // Weak scaling: per-server batch fixed, global batch grows with m.
-  // Strong scaling: workload batch IS the global batch, split across m.
+  // Weak scaling: per-replica batch fixed, global batch grows with the
+  // replica count.  Strong scaling: workload batch IS the global batch,
+  // split across m.
   const double per_server_batch =
       cfg_.strong_scaling
           ? std::max(1.0, static_cast<double>(w.batch_size_per_server) / md)
           : static_cast<double>(w.batch_size_per_server);
-  const double global_batch = per_server_batch * md;
-  const long iterations = static_cast<long>(std::ceil(
-      static_cast<double>(w.dataset.num_samples) / global_batch));
 
   // fwd+bwd ≈ 3× forward FLOPs (standard backprop cost model).
   const double flops_per_sample = 3.0 * static_cast<double>(g.total_flops());
 
-  // Synchronous DDP: the slowest server bounds the compute phase.
-  double compute_iter = 0.0;
+  // Synchronous barrier: the slowest server bounds the compute phase.  This
+  // is the time for one worker to push its per-replica minibatch through
+  // the *whole* model; parallelism below divides it across stages or
+  // partitions.
+  double full_model_compute = 0.0;
   for (const auto& s : cluster.servers) {
     const bool gpu = s.has_gpu();
     const double eff = op_mix_efficiency(g, gpu);
@@ -103,18 +119,33 @@ SimResult DdlSimulator::simulate(const workload::DlWorkload& w,
     const double batch_factor = b / (b + b_half);
     const double sustained = s.effective_flops() * eff * batch_factor;
     const double t = flops_per_sample * b / sustained;
-    compute_iter = std::max(compute_iter, t);
+    full_model_compute = std::max(full_model_compute, t);
   }
 
-  // Ring all-reduce of FP32 gradients once per iteration.
-  double comm_iter = 0.0;
-  if (m > 1) {
-    const double bytes = 4.0 * static_cast<double>(g.total_params());
-    const double bw = std::min(cfg_.network_bw_bps,
-                               cluster.slowest_server().net_bw_bps);
-    comm_iter = 2.0 * (md - 1.0) / md * bytes / bw +
-                2.0 * (md - 1.0) * cfg_.network_latency_s;
+  // Representative inter-layer activation tensor (pipeline p2p sends and
+  // tensor-parallel collectives): mean node output, per-replica batch.
+  double act_numel = 0.0;
+  std::int64_t partitioned_layers = 0;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const auto& nd = g.node(static_cast<int>(i));
+    act_numel += static_cast<double>(nd.out_shape.numel());
+    if (graph::op_is_conv(nd.type) || nd.type == OpType::kLinear) {
+      ++partitioned_layers;
+    }
   }
+  act_numel /= static_cast<double>(g.num_nodes());
+  const double activation_bytes = 4.0 * per_server_batch * act_numel;
+
+  const double grad_bytes = 4.0 * static_cast<double>(g.total_params());
+  const ParallelCosts costs = apply_parallelism(
+      w.parallelism, m, full_model_compute, grad_bytes, activation_bytes,
+      partitioned_layers, per_server_batch, network_model(cluster));
+
+  const double compute_iter = costs.compute_iter_s;
+  const double comm_iter = costs.comm_iter_s;
+  const double global_batch = costs.global_batch;
+  const long iterations = static_cast<long>(std::ceil(
+      static_cast<double>(w.dataset.num_samples) / global_batch));
   const double exposed_comm =
       std::max(0.0, comm_iter - cfg_.comm_overlap * compute_iter);
 

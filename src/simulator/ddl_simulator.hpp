@@ -20,6 +20,12 @@
 // adds a job-startup overhead (DDP init, NFS mount) that grows mildly with
 // the cluster size — this is what makes tiny workloads scale badly, the
 // effect Ernest's 1/m + log m + m feature set was designed to capture.
+//
+// Beyond the paper's data-parallel regime, the workload's ParallelismSpec
+// selects pipeline- or tensor-parallel execution, and the config's
+// intra-node fabric fields select a hierarchical network; both are priced
+// by simulator/parallelism.* and fold into the same compute/comm/input
+// decomposition (defaults reproduce the flat data-parallel model exactly).
 #pragma once
 
 #include <optional>
@@ -27,6 +33,7 @@
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "graph/comp_graph.hpp"
+#include "simulator/parallelism.hpp"
 #include "workload/workload.hpp"
 
 namespace pddl::sim {
@@ -34,6 +41,13 @@ namespace pddl::sim {
 struct SimConfig {
   double network_bw_bps = 3.125e9;    // allreduce link bandwidth (25 GbE)
   double network_latency_s = 100e-6;  // per allreduce step
+  // Hierarchical network (DESIGN.md §13): workers within a node share a
+  // fast NVLink-class fabric; nodes talk over the NIC above.  The defaults
+  // describe a flat network (one worker per node), under which every
+  // collective reduces exactly to the paper's flat ring.
+  double intra_node_bw_bps = 0.0;      // ≤0 → same as network_bw_bps
+  double intra_node_latency_s = -1.0;  // <0 → same as network_latency_s
+  int gpus_per_node = 1;
   double startup_base_s = 20.0;       // job launch, imports, NFS mount
   double startup_per_server_s = 1.2;  // DDP rendezvous grows with servers
   double comm_overlap = 0.7;          // fraction of comm hidden under bwd
@@ -85,6 +99,11 @@ class DdlSimulator {
   // Op-mix efficiency of a graph on CPU/GPU in (0, 1]: the fraction of peak
   // FLOP/s the architecture sustains.  Exposed for tests/ablations.
   double op_mix_efficiency(const graph::CompGraph& g, bool gpu) const;
+
+  // The network model simulate() prices collectives on: inter-node
+  // bandwidth capped by the slowest NIC in the cluster, intra-node fabric
+  // from the config (flat when unset).  Exposed for property tests.
+  NetworkModel network_model(const cluster::ClusterSpec& cluster) const;
 
  private:
   SimResult simulate(const workload::DlWorkload& w, const graph::CompGraph& g,

@@ -22,10 +22,14 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return cells;
 }
 
-constexpr std::size_t kFixedColumns = 12;
+// v1 layout; v2 appends the parallelism-strategy column.
+constexpr std::size_t kFixedColumnsV1 = 12;
+constexpr std::size_t kFixedColumnsV2 = 13;
 
 constexpr char kBinaryMagic[4] = {'P', 'D', 'M', 'S'};
-constexpr std::uint32_t kBinaryVersion = 1;
+// v1: no parallelism field (implicitly "dp").  v2: strategy key string
+// after model_index.
+constexpr std::uint32_t kBinaryVersion = 2;
 
 }  // namespace
 
@@ -48,6 +52,7 @@ void save_measurements(io::BinaryWriter& w,
     w.i32(m.model_layers);
     w.i32(m.model_depth);
     w.i32(m.model_index);
+    w.str(m.parallelism);
     io::write_vector(w, m.cluster_features);
   }
 }
@@ -55,7 +60,7 @@ void save_measurements(io::BinaryWriter& w,
 std::vector<Measurement> load_measurements(io::BinaryReader& r) {
   r.expect_magic(kBinaryMagic, "measurement");
   const std::uint32_t version = r.u32();
-  PDDL_CHECK(version == kBinaryVersion, r.what(),
+  PDDL_CHECK(version >= 1 && version <= kBinaryVersion, r.what(),
              ": unsupported measurement section version ", version);
   const std::uint64_t count = r.u64();
   PDDL_CHECK(count < (1ull << 24), r.what(), ": unreasonable row count ",
@@ -77,6 +82,7 @@ std::vector<Measurement> load_measurements(io::BinaryReader& r) {
     m.model_layers = r.i32();
     m.model_depth = r.i32();
     m.model_index = r.i32();
+    m.parallelism = version >= 2 ? r.str() : "dp";
     m.cluster_features = io::read_vector(r, 1u << 10);
     PDDL_CHECK(m.time_s > 0 && m.servers > 0, r.what(),
                ": corrupt measurement row ", i);
@@ -90,7 +96,7 @@ void save_measurements_csv(std::ostream& os,
   PDDL_CHECK(!ms.empty(), "nothing to save");
   const std::size_t cf = ms[0].cluster_features.size();
   os << "model,dataset,sku,servers,batch_size,epochs,time_s,expected_s,"
-        "model_params,model_flops,model_layers,model_depth";
+        "model_params,model_flops,model_layers,model_depth,parallelism";
   for (std::size_t i = 0; i < cf; ++i) os << ",cf" << i;
   os << '\n';
   os.precision(17);
@@ -100,7 +106,8 @@ void save_measurements_csv(std::ostream& os,
     os << m.model << ',' << m.dataset << ',' << m.sku << ',' << m.servers
        << ',' << m.batch_size << ',' << m.epochs << ',' << m.time_s << ','
        << m.expected_s << ',' << m.model_params << ',' << m.model_flops << ','
-       << m.model_layers << ',' << m.model_depth;
+       << m.model_layers << ',' << m.model_depth << ','
+       << (m.parallelism.empty() ? "dp" : m.parallelism);
     for (double v : m.cluster_features) os << ',' << v;
     os << '\n';
   }
@@ -112,9 +119,14 @@ std::vector<Measurement> load_measurements_csv(std::istream& is) {
   PDDL_CHECK(static_cast<bool>(std::getline(is, line)),
              "empty measurement CSV");
   const auto header = split_csv_line(line);
-  PDDL_CHECK(header.size() > kFixedColumns && header[0] == "model",
+  PDDL_CHECK(header.size() > kFixedColumnsV1 && header[0] == "model",
              "not a measurement CSV (bad header)");
-  const std::size_t cf = header.size() - kFixedColumns;
+  // Old exports lack the parallelism column; detect from the header.
+  const bool has_parallelism =
+      header.size() > kFixedColumnsV2 - 1 &&
+      header[kFixedColumnsV2 - 1] == "parallelism";
+  const std::size_t fixed = has_parallelism ? kFixedColumnsV2 : kFixedColumnsV1;
+  const std::size_t cf = header.size() - fixed;
 
   // Model index is reconstructed from the registry order at load time.
   std::vector<Measurement> out;
@@ -136,24 +148,18 @@ std::vector<Measurement> load_measurements_csv(std::istream& is) {
     m.model_flops = std::stoll(cells[9]);
     m.model_layers = std::stoi(cells[10]);
     m.model_depth = std::stoi(cells[11]);
+    m.parallelism = has_parallelism ? cells[12] : "dp";
     m.cluster_features.resize(cf);
     for (std::size_t i = 0; i < cf; ++i) {
-      m.cluster_features[i] = std::stod(cells[kFixedColumns + i]);
+      m.cluster_features[i] = std::stod(cells[fixed + i]);
     }
     PDDL_CHECK(m.time_s > 0 && m.servers > 0, "corrupt measurement row");
     out.push_back(std::move(m));
   }
   // Rebuild the registry-order model index (-1 for custom models), matching
   // run_campaign's convention.
-  const auto& registry = graph::model_registry();
   for (Measurement& m : out) {
-    m.model_index = -1;
-    for (std::size_t i = 0; i < registry.size(); ++i) {
-      if (registry[i].name == m.model) {
-        m.model_index = static_cast<int>(i);
-        break;
-      }
-    }
+    m.model_index = model_registry_index(m.model);
   }
   return out;
 }

@@ -1,0 +1,158 @@
+#include "simulator/parallelism.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pddl::sim {
+
+double ring_allreduce_time(double bytes, std::size_t m, double bw_bps,
+                           double latency_s) {
+  PDDL_CHECK(bw_bps > 0, "ring_allreduce_time: bandwidth must be positive");
+  if (m <= 1) return 0.0;
+  const double md = static_cast<double>(m);
+  return 2.0 * (md - 1.0) / md * bytes / bw_bps +
+         2.0 * (md - 1.0) * latency_s;
+}
+
+double ring_allgather_time(double bytes, int degree, double bw_bps,
+                           double latency_s) {
+  PDDL_CHECK(bw_bps > 0, "ring_allgather_time: bandwidth must be positive");
+  if (degree <= 1) return 0.0;
+  const double d = static_cast<double>(degree);
+  return (d - 1.0) / d * bytes / bw_bps + (d - 1.0) * latency_s;
+}
+
+double allreduce_time(double bytes, std::size_t m, const NetworkModel& net) {
+  if (m <= 1) return 0.0;
+  // Uniform fabric: the hierarchical schedule's bandwidth term telescopes to
+  // the flat ring's 2(m−1)/m, and the flat ring needs fewer latency steps —
+  // take it exactly (this is the reduction property the tests pin).
+  if (net.uniform()) {
+    return ring_allreduce_time(bytes, m, net.inter_bw_bps,
+                               net.inter_latency_s);
+  }
+  const std::size_t k =
+      std::min<std::size_t>(m, static_cast<std::size_t>(net.gpus_per_node));
+  const std::size_t nodes = (m + k - 1) / k;
+  if (nodes <= 1) {
+    return ring_allreduce_time(bytes, m, net.intra_bw_bps,
+                               net.intra_latency_s);
+  }
+  // Reduce-scatter within the node, allreduce the 1/k shard across nodes,
+  // allgather within the node.  With intra == inter this totals
+  // 2(m−1)/m·bytes/bw exactly (m = nodes·k).
+  const double kd = static_cast<double>(k);
+  const double intra = 2.0 * ring_allgather_time(bytes, static_cast<int>(k),
+                                                 net.intra_bw_bps,
+                                                 net.intra_latency_s);
+  const double inter = ring_allreduce_time(bytes / kd, nodes,
+                                           net.inter_bw_bps,
+                                           net.inter_latency_s);
+  return intra + inter;
+}
+
+double pipeline_bubble_fraction(int stages, int micro_batches) {
+  PDDL_CHECK(stages >= 1 && micro_batches >= 1,
+             "pipeline_bubble_fraction: stages/micro_batches must be >= 1");
+  const double s = static_cast<double>(stages);
+  const double mb = static_cast<double>(micro_batches);
+  return (s - 1.0) / (mb + s - 1.0);
+}
+
+double tensor_parallel_comm_time(double activation_bytes, int degree,
+                                 std::int64_t partitioned_layers,
+                                 const NetworkModel& net) {
+  PDDL_CHECK(degree >= 1, "tensor_parallel_comm_time: degree must be >= 1");
+  if (degree <= 1 || partitioned_layers <= 0) return 0.0;
+  // Groups that fit inside a node ride the fast fabric; wider groups are
+  // bottlenecked by the NIC.
+  const bool fits_in_node = degree <= net.gpus_per_node;
+  const double bw = fits_in_node ? net.intra_bw_bps : net.inter_bw_bps;
+  const double lat = fits_in_node ? net.intra_latency_s : net.inter_latency_s;
+  // Megatron: forward allgather + reduce-scatter per partitioned layer, and
+  // the mirror pair in backward — 4 collectives per layer per iteration.
+  const double per_collective =
+      ring_allgather_time(activation_bytes, degree, bw, lat);
+  return 4.0 * static_cast<double>(partitioned_layers) * per_collective;
+}
+
+ParallelCosts apply_parallelism(const workload::ParallelismSpec& spec,
+                                std::size_t m, double full_model_compute_s,
+                                double grad_bytes, double activation_bytes,
+                                std::int64_t partitioned_layers,
+                                double per_replica_batch,
+                                const NetworkModel& net) {
+  using workload::ParallelismKind;
+  PDDL_CHECK(m >= 1, "apply_parallelism: empty cluster");
+  ParallelCosts c;
+  switch (spec.kind) {
+    case ParallelismKind::kDataParallel: {
+      // The paper's regime: every worker holds the whole model.
+      c.replicas = static_cast<int>(m);
+      c.compute_iter_s = full_model_compute_s;
+      c.comm_iter_s = allreduce_time(grad_bytes, m, net);
+      c.global_batch = per_replica_batch * static_cast<double>(m);
+      return c;
+    }
+    case ParallelismKind::kPipeline: {
+      // S stages per pipeline; any left-over workers form extra
+      // data-parallel pipeline replicas.
+      const int s = std::clamp(spec.pipeline_stages, 1,
+                               static_cast<int>(m));
+      const int mb = std::max(1, spec.micro_batches);
+      const int replicas = std::max<int>(1, static_cast<int>(m) / s);
+      const double sd = static_cast<double>(s);
+      const double mbd = static_cast<double>(mb);
+      // Steady state: (M+S−1) stage-steps of the 1/(S·M) micro-stage time.
+      c.compute_iter_s =
+          full_model_compute_s / sd * (mbd + sd - 1.0) / mbd;
+      c.bubble_fraction = pipeline_bubble_fraction(s, mb);
+      // Activation p2p: each micro-batch crosses S−1 stage boundaries in
+      // forward and again in backward.  Boundaries between stages on the
+      // same node see the intra fabric.
+      double p2p = 0.0;
+      if (s > 1) {
+        const int per_node = std::max(1, net.gpus_per_node);
+        const int nodes_used = (s + per_node - 1) / per_node;
+        const int inter_cuts = nodes_used - 1;
+        const int intra_cuts = (s - 1) - inter_cuts;
+        const double micro_act = activation_bytes / mbd;
+        const double per_micro =
+            static_cast<double>(intra_cuts) *
+                (micro_act / net.intra_bw_bps + net.intra_latency_s) +
+            static_cast<double>(inter_cuts) *
+                (micro_act / net.inter_bw_bps + net.inter_latency_s);
+        p2p = 2.0 * mbd * per_micro;
+      }
+      // Each stage holds 1/S of the parameters; replicas allreduce them.
+      const double grad_sync = allreduce_time(
+          grad_bytes / sd, static_cast<std::size_t>(replicas), net);
+      c.comm_iter_s = p2p + grad_sync;
+      c.replicas = replicas;
+      c.global_batch = per_replica_batch * static_cast<double>(replicas);
+      return c;
+    }
+    case ParallelismKind::kTensor: {
+      const int t = std::clamp(spec.tensor_degree, 1, static_cast<int>(m));
+      const int replicas = std::max<int>(1, static_cast<int>(m) / t);
+      const double td = static_cast<double>(t);
+      // Partitioned GEMMs run t-wide; non-GEMM work is small enough that the
+      // 1/t critical path is the standard Megatron approximation.
+      c.compute_iter_s = full_model_compute_s / td;
+      const double act_comm = tensor_parallel_comm_time(
+          activation_bytes, t, partitioned_layers, net);
+      // Each worker owns 1/t of the parameters; replicas allreduce them.
+      const double grad_sync = allreduce_time(
+          grad_bytes / td, static_cast<std::size_t>(replicas), net);
+      c.comm_iter_s = act_comm + grad_sync;
+      c.replicas = replicas;
+      c.global_batch = per_replica_batch * static_cast<double>(replicas);
+      return c;
+    }
+  }
+  PDDL_CHECK(false, "invalid ParallelismKind");
+}
+
+}  // namespace pddl::sim

@@ -1,0 +1,108 @@
+// Parallelism strategies and hierarchical network cost models (DESIGN.md
+// §13) — the simulator's extension beyond flat ring-allreduce data
+// parallelism.
+//
+// Three cost models, all α–β (latency–bandwidth) style:
+//
+//   data parallel   — ring allreduce of the gradients; on a hierarchical
+//                     network it runs as reduce-scatter within each node,
+//                     allreduce of the shard across nodes, allgather within
+//                     each node.  The bandwidth term telescopes back to the
+//                     flat-ring 2(m−1)/m on a uniform network, which is the
+//                     reduction property simulator_property_test pins down.
+//   pipeline        — GPipe: the model is split into S stages, the minibatch
+//                     into M micro-batches; steady state processes a micro
+//                     per stage-step, so an iteration takes (M+S−1)/(S·M) of
+//                     the unpartitioned time plus per-boundary activation
+//                     sends.  The idle "bubble" fraction (S−1)/(M+S−1)
+//                     shrinks monotonically in M.
+//   tensor          — Megatron: every parametric layer is partitioned over t
+//                     workers; each partitioned layer pays allgather +
+//                     reduce-scatter of its activations per direction, so
+//                     comm grows with t while compute shrinks.
+//
+// The NetworkModel distinguishes the intra-node fabric (NVLink-class) from
+// the inter-node NIC (RDMA-flavored): collectives that stay inside a node
+// see the fast link; anything crossing nodes sees the slow one.
+#pragma once
+
+#include <cstddef>
+
+#include "workload/workload.hpp"
+
+namespace pddl::sim {
+
+struct NetworkModel {
+  double inter_bw_bps = 3.125e9;   // NIC / RDMA link between nodes
+  double inter_latency_s = 100e-6;
+  double intra_bw_bps = 3.125e9;   // NVLink-class fabric within a node
+  double intra_latency_s = 100e-6;
+  int gpus_per_node = 1;           // workers sharing the intra-node fabric
+
+  // True when both links are indistinguishable — hierarchical collectives
+  // then reduce exactly to their flat forms.
+  bool uniform() const {
+    return gpus_per_node <= 1 || (intra_bw_bps == inter_bw_bps &&
+                                  intra_latency_s == inter_latency_s);
+  }
+
+  static NetworkModel flat(double bw_bps, double latency_s) {
+    NetworkModel n;
+    n.inter_bw_bps = n.intra_bw_bps = bw_bps;
+    n.inter_latency_s = n.intra_latency_s = latency_s;
+    n.gpus_per_node = 1;
+    return n;
+  }
+};
+
+// Flat ring allreduce over m participants: 2(m−1)/m·bytes/bw + 2(m−1)·lat.
+double ring_allreduce_time(double bytes, std::size_t m, double bw_bps,
+                           double latency_s);
+
+// Ring allgather (or reduce-scatter — same cost) over `degree` participants:
+// (degree−1)/degree·bytes/bw + (degree−1)·lat.
+double ring_allgather_time(double bytes, int degree, double bw_bps,
+                           double latency_s);
+
+// Gradient allreduce over m workers on a possibly hierarchical network.
+// Uniform networks take the flat ring exactly; otherwise reduce-scatter
+// intra-node, allreduce the 1/k shard inter-node, allgather intra-node.
+double allreduce_time(double bytes, std::size_t m, const NetworkModel& net);
+
+// Pipeline fill/drain overhead: the fraction of stage-steps spent idle,
+// (S−1)/(M+S−1).  Zero for a single stage; strictly decreasing in M.
+double pipeline_bubble_fraction(int stages, int micro_batches);
+
+// Per-iteration activation-collective time of tensor parallelism: every
+// partitioned layer pays 2 allgathers + 2 reduce-scatters (forward +
+// backward) of its activations across the t-way group.  Groups that fit in
+// a node use the intra fabric.  Strictly increasing in `degree`.
+double tensor_parallel_comm_time(double activation_bytes, int degree,
+                                 std::int64_t partitioned_layers,
+                                 const NetworkModel& net);
+
+// One simulated iteration under a parallelism strategy, already reduced to
+// the two scalars DdlSimulator folds into its overlap/exposure model.
+struct ParallelCosts {
+  double compute_iter_s = 0.0;  // critical-path compute per iteration
+  double comm_iter_s = 0.0;     // gradient sync + p2p + activation collectives
+  double bubble_fraction = 0.0; // pipeline only; 0 elsewhere
+  double global_batch = 0.0;    // samples consumed per iteration
+  int replicas = 1;             // data-parallel replica count (gradient sync)
+};
+
+// Prices one iteration of `spec` on m workers.
+//   full_model_compute_s — time for one worker to fwd+bwd the per-replica
+//                          minibatch through the *whole* model
+//   grad_bytes           — total gradient volume (4 B/param)
+//   activation_bytes     — representative inter-layer activation tensor
+//   partitioned_layers   — parametric layers a tensor partition splits
+//   per_replica_batch    — samples per replica per iteration
+ParallelCosts apply_parallelism(const workload::ParallelismSpec& spec,
+                                std::size_t m, double full_model_compute_s,
+                                double grad_bytes, double activation_bytes,
+                                std::int64_t partitioned_layers,
+                                double per_replica_batch,
+                                const NetworkModel& net);
+
+}  // namespace pddl::sim

@@ -1,5 +1,9 @@
 #include "workload/workload.hpp"
 
+#include <cstdlib>
+
+#include "graph/models_transformer.hpp"
+
 namespace pddl::workload {
 
 DatasetDescriptor cifar10() {
@@ -22,11 +26,60 @@ DatasetDescriptor tiny_imagenet() {
   return d;
 }
 
+DatasetDescriptor wikitext103() {
+  DatasetDescriptor d;
+  d.name = "wikitext103";
+  d.size_bytes = 517LL * 1024 * 1024;
+  // ~103M tokens in sequences of 128; classes = BPE vocabulary size.
+  d.num_samples = 820'000;
+  d.num_classes = 32'768;
+  d.input = {1, 128, 1};
+  return d;
+}
+
 DatasetDescriptor dataset_by_name(const std::string& name) {
   if (name == "cifar10") return cifar10();
   if (name == "tiny_imagenet") return tiny_imagenet();
+  if (name == "wikitext103") return wikitext103();
   PDDL_CHECK(false, "unknown dataset '", name,
-             "' (expected cifar10 or tiny_imagenet)");
+             "' (expected cifar10, tiny_imagenet, or wikitext103)");
+}
+
+std::string ParallelismSpec::key() const {
+  switch (kind) {
+    case ParallelismKind::kDataParallel:
+      return "dp";
+    case ParallelismKind::kPipeline:
+      return "pp" + std::to_string(pipeline_stages) + "x" +
+             std::to_string(micro_batches);
+    case ParallelismKind::kTensor:
+      return "tp" + std::to_string(tensor_degree);
+  }
+  PDDL_CHECK(false, "invalid ParallelismKind");
+}
+
+ParallelismSpec parallelism_from_key(const std::string& key) {
+  ParallelismSpec p;
+  if (key == "dp" || key.empty()) return p;
+  if (key.size() > 2 && key.compare(0, 2, "tp") == 0) {
+    p.kind = ParallelismKind::kTensor;
+    p.tensor_degree = std::atoi(key.c_str() + 2);
+    PDDL_CHECK(p.tensor_degree >= 1, "bad tensor-parallel key '", key, "'");
+    return p;
+  }
+  if (key.size() > 2 && key.compare(0, 2, "pp") == 0) {
+    const auto x = key.find('x');
+    PDDL_CHECK(x != std::string::npos && x > 2 && x + 1 < key.size(),
+               "bad pipeline key '", key, "' (expected pp<S>x<M>)");
+    p.kind = ParallelismKind::kPipeline;
+    p.pipeline_stages = std::atoi(key.substr(2, x - 2).c_str());
+    p.micro_batches = std::atoi(key.substr(x + 1).c_str());
+    PDDL_CHECK(p.pipeline_stages >= 1 && p.micro_batches >= 1,
+               "bad pipeline key '", key, "'");
+    return p;
+  }
+  PDDL_CHECK(false, "unknown parallelism key '", key,
+             "' (expected dp, pp<S>x<M>, or tp<t>)");
 }
 
 graph::CompGraph DlWorkload::build_graph() const {
@@ -56,6 +109,17 @@ std::vector<DlWorkload> table2_tiny_imagenet_workloads() {
 std::vector<DlWorkload> table2_workloads() {
   std::vector<DlWorkload> ws = table2_cifar_workloads();
   for (auto& w : table2_tiny_imagenet_workloads()) ws.push_back(w);
+  return ws;
+}
+
+std::vector<DlWorkload> transformer_workloads() {
+  const DatasetDescriptor wt = wikitext103();
+  std::vector<DlWorkload> ws;
+  for (const auto& spec : graph::transformer_model_registry()) {
+    // Sequences are heavier than CIFAR images; batch 32 keeps the per-server
+    // minibatch in the regime the Table II workloads occupy.
+    ws.push_back({spec.name, wt, 32, 10});
+  }
   return ws;
 }
 

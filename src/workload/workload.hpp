@@ -30,23 +30,88 @@ struct DatasetDescriptor {
 // The two evaluation datasets (§IV-A3).
 DatasetDescriptor cifar10();        // ≈163 MB, 60k images, 10 classes, 32×32
 DatasetDescriptor tiny_imagenet();  // ≈250 MB, 100k images, 200 classes, 64×64
+// Language-modelling dataset for the transformer families: token stream
+// {1, 128, 1}, classes = BPE vocabulary size.
+DatasetDescriptor wikitext103();    // ≈517 MB, ~820k sequences, 32768 vocab
 
-// Lookup by registry key ("cifar10", "tiny_imagenet"); throws for unknown
-// names.
+// Lookup by registry key ("cifar10", "tiny_imagenet", "wikitext103");
+// throws for unknown names.
 DatasetDescriptor dataset_by_name(const std::string& name);
+
+// How the training job is distributed across the cluster (DESIGN.md §13).
+enum class ParallelismKind : int {
+  kDataParallel = 0,  // flat/hierarchical ring allreduce (the paper's setup)
+  kPipeline,          // GPipe-style layer stages with micro-batches
+  kTensor,            // Megatron-style per-layer partition
+};
+
+struct ParallelismSpec {
+  ParallelismKind kind = ParallelismKind::kDataParallel;
+  int pipeline_stages = 1;  // kPipeline: S (clamped to cluster size)
+  int micro_batches = 1;    // kPipeline: M
+  int tensor_degree = 1;    // kTensor: t (clamped to cluster size)
+
+  static ParallelismSpec data_parallel() { return {}; }
+  static ParallelismSpec pipeline(int stages, int micro) {
+    ParallelismSpec p;
+    p.kind = ParallelismKind::kPipeline;
+    p.pipeline_stages = stages;
+    p.micro_batches = micro;
+    return p;
+  }
+  static ParallelismSpec tensor(int degree) {
+    ParallelismSpec p;
+    p.kind = ParallelismKind::kTensor;
+    p.tensor_degree = degree;
+    return p;
+  }
+
+  bool is_default() const {
+    return kind == ParallelismKind::kDataParallel && pipeline_stages == 1 &&
+           micro_batches == 1 && tensor_degree == 1;
+  }
+
+  // Stable short id: "dp", "pp<S>x<M>", "tp<t>".
+  std::string key() const;
+};
+
+// Parse a ParallelismSpec key ("dp" / "pp4x8" / "tp4"); throws on garbage.
+ParallelismSpec parallelism_from_key(const std::string& key);
 
 struct DlWorkload {
   std::string model;        // name in graph::model_registry()
   DatasetDescriptor dataset;
   int batch_size_per_server = 64;
   int epochs = 10;
+  ParallelismSpec parallelism;  // default: pure data parallelism
+
+  DlWorkload() = default;
+  // Explicit constructor (not aggregate init) so the large pre-parallelism
+  // call-site population — `{model, dataset, batch, epochs}` — stays valid
+  // under -Wextra without spelling the defaulted strategy everywhere.
+  DlWorkload(std::string model_name, DatasetDescriptor ds, int batch,
+             int num_epochs, ParallelismSpec par = {})
+      : model(std::move(model_name)),
+        dataset(std::move(ds)),
+        batch_size_per_server(batch),
+        epochs(num_epochs),
+        parallelism(par) {}
 
   // Builds the computational graph of this workload's DNN at the dataset's
   // input resolution.
   graph::CompGraph build_graph() const;
 
-  // Unique key for caching/bookkeeping: "<model>@<dataset>".
-  std::string key() const { return model + "@" + dataset.name; }
+  // Unique key for caching/bookkeeping: "<model>@<dataset>" plus a
+  // "#<strategy>" suffix for non-default parallelism (existing keys are
+  // unchanged, so persisted bookkeeping stays valid).
+  std::string key() const {
+    std::string k = model + "@" + dataset.name;
+    if (!parallelism.is_default()) {
+      k += '#';
+      k += parallelism.key();
+    }
+    return k;
+  }
 };
 
 // The eight CIFAR-10 + three Tiny-ImageNet evaluation workloads (Table II).
@@ -55,5 +120,8 @@ std::vector<DlWorkload> table2_workloads();
 std::vector<DlWorkload> table2_cifar_workloads();
 // Only the Tiny-ImageNet rows of Table II.
 std::vector<DlWorkload> table2_tiny_imagenet_workloads();
+// Every transformer family model on wikitext103 under pure data
+// parallelism; the campaign driver crosses these with further strategies.
+std::vector<DlWorkload> transformer_workloads();
 
 }  // namespace pddl::workload

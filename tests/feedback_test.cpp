@@ -654,5 +654,141 @@ TEST_F(FeedbackTest, WarmRestartRestoresObservationsAndRefittedRegressor) {
   std::filesystem::remove_all(dir);
 }
 
+// ---- per-family error decomposition & the "retrain the GHN" signal ----
+
+// auto_refit off so the error windows stay inspectable; small window so a
+// handful of observations crosses min_count.
+FeedbackConfig family_cfg() {
+  FeedbackConfig cfg;
+  cfg.auto_refit = false;
+  cfg.drift.window = 16;
+  cfg.drift.min_count = 4;
+  cfg.drift.rel_p50_threshold = 0.25;
+  return cfg;
+}
+
+const FamilyFeedback* find_family(const RefitStatus& s,
+                                  const std::string& dataset,
+                                  const std::string& family) {
+  for (const FamilyFeedback& f : s.families) {
+    if (f.dataset == dataset && f.family == family) return &f;
+  }
+  return nullptr;
+}
+
+TEST_F(FeedbackTest, FamilyDriftAgainstCleanPeersFlagsGhnDrift) {
+  serve::PredictionService service(*pddl_);
+  FeedbackController fb(service, *pddl_, family_cfg());
+
+  // Two in-distribution families report accurate measurements; the
+  // squeezenet family comes back 3x off — the signature of a strained
+  // embedding, not of a board-wide regressor failure.
+  for (const char* model : {"resnet18", "vgg11"}) {
+    const core::PredictRequest req = make_request(model);
+    const double live = service.predict(req).response.predicted_time_s;
+    ASSERT_GT(live, 0.0);
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(fb.observe(req, live).accepted);
+  }
+  const core::PredictRequest off = make_request("squeezenet1_1");
+  const double off_live = service.predict(off).response.predicted_time_s;
+  ASSERT_GT(off_live, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fb.observe(off, 3.0 * off_live).accepted);
+  }
+
+  const RefitStatus s = fb.status();
+  ASSERT_EQ(s.families.size(), 3u);
+  const FamilyFeedback* squeeze = find_family(s, "cifar10", "squeezenet");
+  ASSERT_NE(squeeze, nullptr);
+  EXPECT_EQ(squeeze->observations, 4u);
+  EXPECT_TRUE(squeeze->errors.drifted);
+  EXPECT_TRUE(squeeze->ghn_drift);  // lone drifted family, clean peers
+  for (const char* fam : {"resnet", "vgg"}) {
+    const FamilyFeedback* f = find_family(s, "cifar10", fam);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->observations, 4u);
+    EXPECT_FALSE(f->errors.drifted) << fam;
+    EXPECT_FALSE(f->ghn_drift) << fam;
+  }
+  // Family windows never trigger refits: the dataset-level window's median
+  // sits on the 8 accurate samples, so no drift fired and nothing ran.
+  EXPECT_EQ(s.started, 0u);
+  ASSERT_EQ(s.datasets.size(), 1u);
+  EXPECT_FALSE(s.datasets[0].errors.drifted);
+}
+
+TEST_F(FeedbackTest, BoardWideDriftDoesNotBlameTheGhn) {
+  serve::PredictionService service(*pddl_);
+  FeedbackController fb(service, *pddl_, family_cfg());
+
+  // Every family is off by the same 3x: the shared regressor (or cluster
+  // model) drifted, and retraining the GHN would fix nothing — the signal
+  // must stay quiet and leave this to the ordinary refit path.
+  for (const char* model : {"resnet18", "vgg11", "squeezenet1_1"}) {
+    const core::PredictRequest req = make_request(model);
+    const double live = service.predict(req).response.predicted_time_s;
+    ASSERT_GT(live, 0.0);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(fb.observe(req, 3.0 * live).accepted);
+    }
+  }
+
+  const RefitStatus s = fb.status();
+  ASSERT_EQ(s.families.size(), 3u);
+  for (const FamilyFeedback& f : s.families) {
+    EXPECT_TRUE(f.errors.drifted) << f.family;
+    EXPECT_FALSE(f.ghn_drift) << f.family;
+  }
+}
+
+TEST(TransformerFeedback, HeldOutTransformerFamilyFiresGhnDriftSignal) {
+  ThreadPool pool(8);
+  sim::DdlSimulator sim;
+  // Token-resolution engine: GHN trained on wikitext103, regressor fitted
+  // on a gpt-only campaign — the bert family is entirely held out.
+  core::PredictDdlOptions opts = fast_options();
+  opts.campaign.models = {"gpt_tiny", "gpt_mini"};
+  opts.campaign.max_servers = 6;
+  opts.campaign.batch_sizes = {32};
+  core::PredictDdl pddl(sim, pool, opts);
+  pddl.train_offline(workload::wikitext103());
+
+  serve::PredictionService service(pddl);
+  FeedbackController fb(service, pddl, family_cfg());
+
+  auto request = [](const std::string& model) {
+    core::PredictRequest req;
+    req.workload = {model, workload::wikitext103(), /*batch=*/32,
+                    /*epochs=*/10};
+    req.cluster = cluster::make_uniform_cluster("p100", 4);
+    return req;
+  };
+
+  // In-distribution gpt observations come back accurate; the held-out bert
+  // family reports 3x errors — embedding strain on an unseen family.
+  const core::PredictRequest gpt = request("gpt_tiny");
+  const double gpt_live = service.predict(gpt).response.predicted_time_s;
+  ASSERT_GT(gpt_live, 0.0);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(fb.observe(gpt, gpt_live).accepted);
+
+  const core::PredictRequest bert = request("bert_tiny");
+  const double bert_live = service.predict(bert).response.predicted_time_s;
+  ASSERT_GT(bert_live, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fb.observe(bert, 3.0 * bert_live).accepted);
+  }
+
+  const RefitStatus s = fb.status();
+  const FamilyFeedback* b = find_family(s, "wikitext103", "bert");
+  const FamilyFeedback* g = find_family(s, "wikitext103", "gpt");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(b->observations, 4u);
+  EXPECT_TRUE(b->errors.drifted);
+  EXPECT_TRUE(b->ghn_drift);  // the held-out family strains the embedding
+  EXPECT_FALSE(g->errors.drifted);
+  EXPECT_FALSE(g->ghn_drift);  // the fitted family stays clean
+}
+
 }  // namespace
 }  // namespace pddl::feedback

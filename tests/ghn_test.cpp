@@ -198,7 +198,7 @@ TEST(Trainer, TrainedEmbeddingSeparatesComplexityBetterThanRandom) {
   tc.corpus_size = 24;
   tc.epochs = 12;
   tc.batch_size = 6;
-  tc.seed = 13;
+  tc.seed = 17;
   tc.darts.input = {3, 16, 16};
   tc.darts.max_cells = 3;
   GhnTrainer trainer(ghn, tc);

@@ -2,9 +2,11 @@
 
 #include <sstream>
 
+#include "ghn/registry.hpp"
 #include "graph/builder.hpp"
 #include "graph/darts.hpp"
 #include "graph/models.hpp"
+#include "graph/models_transformer.hpp"
 #include "graph/serialize.hpp"
 
 namespace pddl::graph {
@@ -109,6 +111,69 @@ INSTANTIATE_TEST_SUITE_P(
       for (const auto& m : model_registry()) names.push_back(m.name);
       return names;
     }()));
+
+// ---- transformer op kinds (kEmbedding, kAttentionMatmul) ----
+
+TEST(GraphSerialize, TransformerOpsRoundTrip) {
+  const CompGraph g = build_model("bert_tiny", {1, 128, 1}, 1000);
+  const Vector hist = g.op_type_histogram();
+  ASSERT_GT(hist[static_cast<std::size_t>(OpType::kEmbedding)], 0.0);
+  ASSERT_GT(hist[static_cast<std::size_t>(OpType::kAttentionMatmul)], 0.0);
+  std::stringstream ss;
+  save_graph(ss, g);
+  const CompGraph loaded = load_graph(ss);
+  EXPECT_TRUE(graphs_equal(g, loaded));
+  EXPECT_EQ(loaded.total_params(), g.total_params());
+}
+
+class SerializeTransformerModels
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeTransformerModels, RoundTripIsLossless) {
+  const CompGraph g = build_model(GetParam(), {1, 128, 1}, 1000);
+  std::stringstream ss;
+  save_graph(ss, g);
+  EXPECT_TRUE(graphs_equal(g, load_graph(ss)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transformers, SerializeTransformerModels, ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& m : transformer_model_registry()) {
+        names.push_back(m.name);
+      }
+      return names;
+    }()));
+
+TEST(GraphSerialize, TransformerCorruptionSweepAlwaysRejected) {
+  const CompGraph g = build_model("gpt_tiny", {1, 128, 1}, 512);
+  std::stringstream ss;
+  save_graph(ss, g);
+  const std::string data = ss.str();
+  // Flip a bit at a stride of offsets covering header, payload, and CRC
+  // trailer; every corruption must surface as a clean Error, never as a
+  // silently different graph.
+  for (std::size_t off = 0; off < data.size(); off += 17) {
+    std::string bad = data;
+    bad[off] = static_cast<char>(bad[off] ^ 0x20);
+    std::stringstream corrupted(bad);
+    EXPECT_THROW(load_graph(corrupted), Error) << "offset " << off;
+  }
+}
+
+TEST(GraphSerialize, FingerprintSeparatesEncoderFromDecoder) {
+  // bert_mini and gpt_mini share the trunk scale (L4 d256 h4) but differ in
+  // residual wiring and head; the structural fingerprint must tell them
+  // apart — it keys the reuse index and the embedding cache.
+  const CompGraph bert = build_model("bert_mini", {1, 128, 1}, 2048);
+  const CompGraph gpt = build_model("gpt_mini", {1, 128, 1}, 2048);
+  EXPECT_NE(ghn::structural_fingerprint(bert),
+            ghn::structural_fingerprint(gpt));
+  // Scales inside one family separate too.
+  const CompGraph tiny = build_model("bert_tiny", {1, 128, 1}, 2048);
+  EXPECT_NE(ghn::structural_fingerprint(bert),
+            ghn::structural_fingerprint(tiny));
+}
 
 TEST(GraphSerialize, DartsGraphsRoundTrip) {
   auto corpus = sample_darts_corpus(5, 123);

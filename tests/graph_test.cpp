@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "graph/builder.hpp"
@@ -7,6 +8,7 @@
 #include "graph/darts.hpp"
 #include "graph/models.hpp"
 #include "graph/models_extended.hpp"
+#include "graph/models_transformer.hpp"
 
 namespace pddl::graph {
 namespace {
@@ -310,6 +312,83 @@ TEST(Darts, DeterministicForSeed) {
     EXPECT_EQ(a[i].total_params(), b[i].total_params());
     EXPECT_EQ(a[i].total_flops(), b[i].total_flops());
   }
+}
+
+// ---- transformer families (models_transformer.hpp) ----
+
+TEST(TransformerModels, RegistryHasTwoFamiliesAtFourPlusScales) {
+  const auto& reg = transformer_model_registry();
+  EXPECT_EQ(reg.size(), 9u);
+  std::map<std::string, int> scales;
+  for (const auto& m : reg) {
+    ++scales[m.family];
+    // Names and families stay disjoint from the paper-pinned 31-model set.
+    for (const auto& base : model_registry()) {
+      EXPECT_NE(base.name, m.name);
+      EXPECT_NE(base.family, m.family) << m.name;
+    }
+    // The shared lookup helpers search both registries.
+    EXPECT_TRUE(has_model(m.name));
+    EXPECT_EQ(model_family(m.name), m.family);
+  }
+  ASSERT_EQ(scales.size(), 2u);
+  EXPECT_GE(scales["bert"], 4);
+  EXPECT_GE(scales["gpt"], 4);
+}
+
+class TransformerModelsValidate : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(TransformerModelsValidate, BuildsOnTokenStreamShape) {
+  CompGraph g = build_model(GetParam(), {1, 128, 1}, 1000);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_GT(g.total_params(), 0);
+  EXPECT_GT(g.total_flops(), 0);
+  // The op inventory is transformer-shaped: embedding stem and attention
+  // matmuls present, no convolutions anywhere.
+  const Vector hist = g.op_type_histogram();
+  EXPECT_GT(hist[static_cast<std::size_t>(OpType::kEmbedding)], 0.0);
+  EXPECT_GT(hist[static_cast<std::size_t>(OpType::kAttentionMatmul)], 0.0);
+  EXPECT_GT(hist[static_cast<std::size_t>(OpType::kLayerNorm)], 0.0);
+  EXPECT_EQ(hist[static_cast<std::size_t>(OpType::kConv)], 0.0);
+  EXPECT_EQ(hist[static_cast<std::size_t>(OpType::kBatchNorm)], 0.0);
+  const auto& sink = g.node(static_cast<int>(g.num_nodes()) - 1);
+  EXPECT_EQ(sink.type, OpType::kSoftmax);
+  EXPECT_EQ(sink.out_shape.c, 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transformers, TransformerModelsValidate, ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& m : transformer_model_registry()) {
+        names.push_back(m.name);
+      }
+      return names;
+    }()));
+
+TEST(TransformerModels, ScalesOrderByFlops) {
+  const TensorShape tokens{1, 128, 1};
+  const auto f = [&](const std::string& n) {
+    return build_model(n, tokens, 2048).total_flops();
+  };
+  EXPECT_LT(f("bert_tiny"), f("bert_mini"));
+  EXPECT_LT(f("bert_mini"), f("bert_small"));
+  EXPECT_LT(f("bert_small"), f("bert_medium"));
+  EXPECT_LT(f("bert_medium"), f("bert_base"));
+  EXPECT_LT(f("gpt_tiny"), f("gpt_mini"));
+  EXPECT_LT(f("gpt_mini"), f("gpt_medium"));
+  EXPECT_LT(f("gpt_medium"), f("gpt2"));
+}
+
+TEST(TransformerModels, DecoderLmHeadOutweighsPooledClassifier) {
+  // Same trunk scale (L12 d768, h12): the GPT head projects every token onto
+  // the full vocabulary while BERT pools the sequence to one classifier row,
+  // so at a real vocabulary size the decoder costs strictly more.
+  const TensorShape tokens{1, 128, 1};
+  const CompGraph bert = build_model("bert_base", tokens, 32768);
+  const CompGraph gpt = build_model("gpt2", tokens, 32768);
+  EXPECT_GT(gpt.total_params(), bert.total_params());
+  EXPECT_GT(gpt.total_flops(), bert.total_flops());
 }
 
 TEST(Darts, RespectsInputConfig) {

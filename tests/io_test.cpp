@@ -197,6 +197,8 @@ std::vector<sim::Measurement> random_measurements(Rng& rng, std::size_t n) {
     m.model_layers = static_cast<int>(rng.uniform_int(std::uint64_t{1}, 200));
     m.model_depth = m.model_layers / 2;
     m.model_index = static_cast<int>(rng.uniform_int(std::int64_t{-1}, 10));
+    const char* strategies[] = {"dp", "pp2x4", "tp2"};
+    m.parallelism = strategies[rng.uniform_int(std::uint64_t{3})];
     m.cluster_features.resize(rng.uniform_int(std::uint64_t{1}, 8));
     for (double& f : m.cluster_features) f = rng.gaussian();
     ms.push_back(std::move(m));
@@ -222,8 +224,84 @@ TEST(MeasurementIo, BinarySectionRoundTripsBitExact) {
     EXPECT_EQ(loaded[i].expected_s, ms[i].expected_s);
     EXPECT_EQ(loaded[i].model_flops, ms[i].model_flops);
     EXPECT_EQ(loaded[i].model_index, ms[i].model_index);
+    EXPECT_EQ(loaded[i].parallelism, ms[i].parallelism);
     EXPECT_EQ(loaded[i].cluster_features, ms[i].cluster_features);
   }
+}
+
+// A v1 binary section (written before the parallelism-strategy column
+// existed) loads with every row defaulting to data parallelism.
+TEST(MeasurementIo, Version1SectionLoadsWithDataParallelDefault) {
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  constexpr char kMsMagic[4] = {'P', 'D', 'M', 'S'};
+  w.magic(kMsMagic);
+  w.u32(1);  // v1: no parallelism field after model_index
+  w.u64(1);
+  w.str("resnet18");
+  w.str("cifar10");
+  w.str("p100");
+  w.i32(4);       // servers
+  w.i32(64);      // batch
+  w.i32(10);      // epochs
+  w.f64(123.5);   // time_s
+  w.f64(120.0);   // expected_s
+  w.i64(11'000'000);
+  w.i64(2'000'000'000);
+  w.i32(21);      // layers
+  w.i32(18);      // depth
+  w.i32(5);       // model_index
+  write_vector(w, Vector{1.0, 2.0});
+
+  BinaryReader r(ss, "test");
+  const auto loaded = sim::load_measurements(r);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].model, "resnet18");
+  EXPECT_EQ(loaded[0].parallelism, "dp");
+  EXPECT_EQ(loaded[0].time_s, 123.5);
+}
+
+TEST(MeasurementIo, FutureBinaryVersionRejected) {
+  Rng rng(3);
+  const auto ms = random_measurements(rng, 2);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  sim::save_measurements(w, ms);
+  std::string bytes = ss.str();
+  bytes[4] = 9;  // little-endian u32 version right after "PDMS"
+  std::stringstream future(bytes);
+  BinaryReader r(future, "test");
+  EXPECT_THROW(sim::load_measurements(r), Error);
+}
+
+TEST(MeasurementIo, CsvRoundTripsParallelismColumn) {
+  Rng rng(11);
+  auto ms = random_measurements(rng, 20);
+  for (auto& m : ms) m.cluster_features = {0.5, -1.5, 2.0};  // uniform width
+  std::stringstream ss;
+  sim::save_measurements_csv(ss, ms);
+  const auto loaded = sim::load_measurements_csv(ss);
+  ASSERT_EQ(loaded.size(), ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(loaded[i].model, ms[i].model);
+    EXPECT_EQ(loaded[i].parallelism, ms[i].parallelism);
+    EXPECT_EQ(loaded[i].cluster_features, ms[i].cluster_features);
+  }
+}
+
+// Old CSV exports predate the parallelism column; the header decides.
+TEST(MeasurementIo, LegacyCsvWithoutParallelismColumnLoads) {
+  std::stringstream ss;
+  ss << "model,dataset,sku,servers,batch_size,epochs,time_s,expected_s,"
+        "model_params,model_flops,model_layers,model_depth,cf0\n"
+     << "alexnet,cifar10,p100,4,64,10,100.5,99.0,61000000,700000000,8,8,1.25\n";
+  const auto loaded = sim::load_measurements_csv(ss);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].model, "alexnet");
+  EXPECT_EQ(loaded[0].parallelism, "dp");
+  ASSERT_EQ(loaded[0].cluster_features.size(), 1u);
+  EXPECT_EQ(loaded[0].cluster_features[0], 1.25);
+  EXPECT_EQ(loaded[0].model_index, 0);  // alexnet is registry slot 0
 }
 
 TEST(Snapshot, SectionsRoundTripInOrder) {

@@ -414,23 +414,118 @@ TEST(ReuseIndexPersistence, WrongVersionRejectedByName) {
   }
 }
 
-TEST(ReuseIndexPersistence, OpTypeCountMismatchRejected) {
+// A section written by a NEWER build (wider op histogram than this one
+// knows) cannot be interpreted — but it must be parsed in frame and dropped
+// without error, not rejected, so a downgrade still boots.
+TEST(ReuseIndexPersistence, WiderOpHistogramParsedAndDropped) {
+  const std::uint32_t wide = static_cast<std::uint32_t>(graph::kNumOpTypes) + 3;
   std::ostringstream os;
   {
     io::SnapshotWriter snap;
     io::BinaryWriter& w = snap.add(kReuseIndexSection);
     w.magic(kReuseIndexMagic);
     w.u32(kReuseIndexVersion);
-    w.u32(static_cast<std::uint32_t>(graph::kNumOpTypes) + 3);
-    w.u32(0);
+    w.u32(wide);
+    w.u32(1);  // one dataset partition with one entry
+    w.str("cifar10");
+    w.u64(7);   // checksum (matches live below)
+    w.u32(1);
+    w.u64(0x1234);  // fp
+    w.u32(10);      // nodes
+    w.u32(12);      // edges
+    w.u64(1000);    // params
+    for (std::uint32_t c = 0; c < wide; ++c) w.u32(c);
+    io::write_vector(w, dummy_embedding(1.0));
     snap.save(os);
   }
   std::istringstream is(os.str());
   const io::SnapshotReader snap(is, "test");
   ReuseIndex index(test_config());
   io::BinaryReader r = snap.reader(kReuseIndexSection);
-  EXPECT_THROW(index.load_section(r, [](const std::string&) { return 1u; }),
-               Error);
+  std::size_t restored = 0;
+  EXPECT_NO_THROW(restored = index.load_section(
+                      r, [](const std::string&) { return 7u; }));
+  EXPECT_EQ(restored, 0u);
+  EXPECT_EQ(index.size(), 0u);
+}
+
+// A section written by an OLDER build (narrower histogram — op kinds are
+// append-only, so the stored counts are a strict prefix of today's) loads
+// with the missing tail zero-extended.  CNN-era graphs contain none of the
+// later-added transformer ops, so the restored signatures are exact and the
+// partition keeps serving near-duplicates.
+TEST(ReuseIndexPersistence, NarrowerOpHistogramZeroExtended) {
+  const graph::CompGraph donor = build_model("vgg11");
+  const StructuralSignature sig = make_signature(donor);
+  const std::uint32_t narrow =
+      static_cast<std::uint32_t>(graph::kNumOpTypes) - 2;
+  for (std::uint32_t c = narrow; c < sig.op_counts.size(); ++c) {
+    ASSERT_EQ(sig.op_counts[c], 0u) << "CNN graph uses a transformer op";
+  }
+  const std::uint64_t donor_fp = ghn::structural_fingerprint(donor);
+  std::ostringstream os;
+  {
+    io::SnapshotWriter snap;
+    io::BinaryWriter& w = snap.add(kReuseIndexSection);
+    w.magic(kReuseIndexMagic);
+    w.u32(kReuseIndexVersion);
+    w.u32(narrow);
+    w.u32(1);
+    w.str("cifar10");
+    w.u64(7);
+    w.u32(1);
+    w.u64(donor_fp);
+    w.u32(sig.nodes);
+    w.u32(sig.edges);
+    w.u64(sig.params);
+    for (std::uint32_t c = 0; c < narrow; ++c) w.u32(sig.op_counts[c]);
+    io::write_vector(w, dummy_embedding(2.0));
+    snap.save(os);
+  }
+  std::istringstream is(os.str());
+  const io::SnapshotReader snap(is, "test");
+  ReuseIndex index(test_config());
+  io::BinaryReader r = snap.reader(kReuseIndexSection);
+  EXPECT_EQ(index.load_section(r, [](const std::string&) { return 7u; }), 1u);
+  const graph::CompGraph query = build_model("vgg13");
+  const auto hit = index.probe("cifar10", 7,
+                               ghn::structural_fingerprint(query),
+                               make_signature(query));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->donor_fp, donor_fp);
+  EXPECT_EQ(hit->embedding, dummy_embedding(2.0));
+}
+
+// Transformer probe regression: the new op kinds flow through signature,
+// probe, and insert exactly like CNN ops.  An exact structural repeat hits
+// at distance 0; a cross-family probe (decoder vs encoder) never borrows an
+// embedding across the family boundary.
+TEST(ReuseIndex, TransformerProbesStayFamilyDiscriminating) {
+  const graph::CompGraph donor =
+      workload::DlWorkload{"bert_small", workload::wikitext103(), 32, 10}
+          .build_graph();
+  const std::uint64_t donor_fp = ghn::structural_fingerprint(donor);
+  const StructuralSignature donor_sig = make_signature(donor);
+  // The transformer-specific op kinds are actually exercised.
+  EXPECT_GT(donor_sig.op_counts[static_cast<int>(graph::OpType::kEmbedding)],
+            0u);
+  EXPECT_GT(donor_sig.op_counts[static_cast<int>(
+                graph::OpType::kAttentionMatmul)],
+            0u);
+  ReuseIndex index(test_config());
+  ASSERT_TRUE(index.insert("wikitext103", 1, donor_fp, donor_sig,
+                           dummy_embedding(3.0)));
+  const auto exact = index.probe("wikitext103", 1, donor_fp, donor_sig);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->donor_fp, donor_fp);
+  EXPECT_DOUBLE_EQ(exact->distance, 0.0);
+  const graph::CompGraph decoder =
+      workload::DlWorkload{"gpt_medium", workload::wikitext103(), 32, 10}
+          .build_graph();
+  EXPECT_FALSE(index.probe("wikitext103", 1,
+                           ghn::structural_fingerprint(decoder),
+                           make_signature(decoder))
+                   .has_value());
 }
 
 // ---- cost model ----

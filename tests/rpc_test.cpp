@@ -201,6 +201,62 @@ TEST(Wire, RefitRequestAndStatusRoundTrip) {
   EXPECT_TRUE(sback.refit.datasets[0].errors.drifted);
 }
 
+TEST(Wire, WorkloadParallelismKeyRoundTrips) {
+  core::PredictRequest req = make_request("resnet18");
+  req.workload.parallelism = workload::ParallelismSpec::pipeline(4, 8);
+  Request r;
+  r.op = Op::kPredict;
+  r.reqs = {req};
+  const Request back = decode_request(encode_request(r));
+  ASSERT_EQ(back.reqs.size(), 1u);
+  const workload::ParallelismSpec& p = back.reqs.front().workload.parallelism;
+  EXPECT_EQ(p.kind, workload::ParallelismKind::kPipeline);
+  EXPECT_EQ(p.pipeline_stages, 4);
+  EXPECT_EQ(p.micro_batches, 8);
+  EXPECT_EQ(p.key(), "pp4x8");
+  // The default stays the default (and keeps old clients compatible).
+  r.reqs = {make_request("vgg11")};
+  EXPECT_TRUE(decode_request(encode_request(r))
+                  .reqs.front()
+                  .workload.parallelism.is_default());
+}
+
+TEST(Wire, FamilyFeedbackRowsRoundTrip) {
+  Response status;
+  status.op = Op::kRefitStatus;
+  feedback::FamilyFeedback strained;
+  strained.dataset = "wikitext103";
+  strained.family = "bert";
+  strained.observations = 12;
+  strained.errors.count = 8;
+  strained.errors.mean_rel = 0.61;
+  strained.errors.p50_rel = 0.42;
+  strained.errors.p95_rel = 1.25;
+  strained.errors.drifted = true;
+  strained.ghn_drift = true;
+  feedback::FamilyFeedback clean;
+  clean.dataset = "cifar10";
+  clean.family = "resnet";
+  clean.observations = 3;
+  status.refit.families = {strained, clean};
+
+  const Response back = decode_response(encode_response(status));
+  ASSERT_EQ(back.refit.families.size(), 2u);
+  EXPECT_EQ(back.refit.families[0].dataset, "wikitext103");
+  EXPECT_EQ(back.refit.families[0].family, "bert");
+  EXPECT_EQ(back.refit.families[0].observations, 12u);
+  EXPECT_EQ(back.refit.families[0].errors.count, 8u);
+  EXPECT_EQ(back.refit.families[0].errors.mean_rel, 0.61);
+  EXPECT_EQ(back.refit.families[0].errors.p50_rel, 0.42);
+  EXPECT_EQ(back.refit.families[0].errors.p95_rel, 1.25);
+  EXPECT_TRUE(back.refit.families[0].errors.drifted);
+  EXPECT_TRUE(back.refit.families[0].ghn_drift);
+  EXPECT_EQ(back.refit.families[1].family, "resnet");
+  EXPECT_EQ(back.refit.families[1].observations, 3u);
+  EXPECT_FALSE(back.refit.families[1].errors.drifted);
+  EXPECT_FALSE(back.refit.families[1].ghn_drift);
+}
+
 TEST(Wire, ResponseWithResultsRoundTrips) {
   Response resp;
   resp.op = Op::kPredictBatch;

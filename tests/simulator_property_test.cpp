@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "graph/models.hpp"
+#include "graph/models_transformer.hpp"
 #include "simulator/ddl_simulator.hpp"
 
 namespace pddl::sim {
@@ -87,6 +88,129 @@ INSTANTIATE_TEST_SUITE_P(
     Registry, AllModelsSimProperty, ::testing::ValuesIn([] {
       std::vector<std::string> names;
       for (const auto& m : graph::model_registry()) names.push_back(m.name);
+      return names;
+    }()));
+
+// ---- parallelism cost-model invariants (DESIGN.md §13) ----
+
+TEST(Parallelism, BubbleFractionMonotoneDecreasingInMicroBatches) {
+  for (int s : {2, 4, 8}) {
+    double prev = 1.0;
+    for (int m : {1, 2, 4, 8, 16, 64}) {
+      const double b = pipeline_bubble_fraction(s, m);
+      EXPECT_NEAR(b, (s - 1.0) / (m + s - 1.0), 1e-12);
+      EXPECT_LT(b, prev) << "S=" << s << " M=" << m;
+      EXPECT_GT(b, 0.0);
+      prev = b;
+    }
+  }
+  // A single stage never idles, regardless of the micro-batch count.
+  EXPECT_EQ(pipeline_bubble_fraction(1, 1), 0.0);
+  EXPECT_EQ(pipeline_bubble_fraction(1, 64), 0.0);
+}
+
+TEST(Parallelism, TensorParallelCommStrictlyGrowsWithDegree) {
+  const NetworkModel net = NetworkModel::flat(3.125e9, 100e-6);
+  double prev = 0.0;
+  for (int t : {2, 3, 4, 8, 16}) {
+    const double c = tensor_parallel_comm_time(1e8, t, 20, net);
+    EXPECT_GT(c, prev) << "degree " << t;
+    prev = c;
+  }
+  // Degenerate cases cost nothing.
+  EXPECT_EQ(tensor_parallel_comm_time(1e8, 1, 20, net), 0.0);
+  EXPECT_EQ(tensor_parallel_comm_time(1e8, 4, 0, net), 0.0);
+}
+
+TEST(Parallelism, HierarchicalAllreduceReducesToFlatWhenLinksMatch) {
+  NetworkModel uniform;
+  uniform.gpus_per_node = 4;  // hierarchical topology, indistinguishable links
+  uniform.intra_bw_bps = uniform.inter_bw_bps;
+  uniform.intra_latency_s = uniform.inter_latency_s;
+  for (std::size_t m : {2u, 4u, 8u, 16u, 20u}) {
+    EXPECT_EQ(allreduce_time(1e9, m, uniform),
+              ring_allreduce_time(1e9, m, uniform.inter_bw_bps,
+                                  uniform.inter_latency_s))
+        << m << " workers";
+  }
+}
+
+TEST(Parallelism, FastIntraNodeFabricBeatsFlatNic) {
+  NetworkModel hier;
+  hier.gpus_per_node = 4;
+  hier.intra_bw_bps = 12.0 * hier.inter_bw_bps;
+  hier.intra_latency_s = hier.inter_latency_s / 10.0;
+  // Reduce-scatter on NVLink + 1/4-volume inter-node ring beats pushing the
+  // full gradient through the NIC ring.
+  const double flat =
+      ring_allreduce_time(1e9, 16, hier.inter_bw_bps, hier.inter_latency_s);
+  EXPECT_LT(allreduce_time(1e9, 16, hier), flat);
+}
+
+TEST(Parallelism, DataParallelDefaultMatchesFlatRing) {
+  const NetworkModel net = NetworkModel::flat(3.125e9, 100e-6);
+  const ParallelCosts dp = apply_parallelism(
+      workload::ParallelismSpec::data_parallel(), 8, /*compute=*/1.5,
+      /*grad_bytes=*/4e8, /*activation_bytes=*/1e7, /*layers=*/20,
+      /*per_replica_batch=*/64.0, net);
+  EXPECT_EQ(dp.compute_iter_s, 1.5);
+  EXPECT_EQ(dp.comm_iter_s, ring_allreduce_time(4e8, 8, 3.125e9, 100e-6));
+  EXPECT_EQ(dp.bubble_fraction, 0.0);
+  EXPECT_EQ(dp.replicas, 8);
+  EXPECT_EQ(dp.global_batch, 512.0);
+  // A one-stage, one-micro-batch pipeline is plain data parallelism.
+  const ParallelCosts pp = apply_parallelism(
+      workload::ParallelismSpec::pipeline(1, 1), 8, 1.5, 4e8, 1e7, 20, 64.0,
+      net);
+  EXPECT_EQ(pp.compute_iter_s, dp.compute_iter_s);
+  EXPECT_EQ(pp.comm_iter_s, dp.comm_iter_s);
+  EXPECT_EQ(pp.bubble_fraction, 0.0);
+}
+
+// ---- transformer workloads through the full simulator ----
+
+class TransformerSimProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TransformerSimProperty, AllStrategiesPriceFiniteAndDecomposed) {
+  DdlSimulator sim;
+  const auto c = cluster::make_uniform_cluster("p100", 8);
+  for (const char* key : {"dp", "pp4x8", "tp4"}) {
+    workload::DlWorkload w{GetParam(), workload::wikitext103(), 32, 10,
+                           workload::parallelism_from_key(key)};
+    const auto g = w.build_graph();
+    const SimResult r = sim.expected(w, g, c);
+    EXPECT_TRUE(std::isfinite(r.total_s)) << key;
+    EXPECT_GT(r.total_s, 0.0) << key;
+    EXPECT_LE(r.startup_s, r.total_s + 1e-9) << key;
+    EXPECT_NEAR(r.total_s, r.startup_s + r.compute_s + r.comm_s + r.input_s,
+                1e-6)
+        << key;
+  }
+}
+
+TEST_P(TransformerSimProperty, HierarchicalConfigEqualsFlatWhenLinksMatch) {
+  SimConfig hier_cfg;
+  hier_cfg.gpus_per_node = 4;
+  hier_cfg.intra_node_bw_bps = hier_cfg.network_bw_bps;
+  hier_cfg.intra_node_latency_s = hier_cfg.network_latency_s;
+  const DdlSimulator flat;
+  const DdlSimulator hier(hier_cfg);
+  const auto c = cluster::make_uniform_cluster("p100", 12);
+  for (const char* key : {"dp", "pp4x8", "tp4"}) {
+    workload::DlWorkload w{GetParam(), workload::wikitext103(), 32, 10,
+                           workload::parallelism_from_key(key)};
+    const auto g = w.build_graph();
+    EXPECT_EQ(hier.expected(w, g, c).total_s, flat.expected(w, g, c).total_s)
+        << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transformers, TransformerSimProperty, ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& m : graph::transformer_model_registry()) {
+        names.push_back(m.name);
+      }
       return names;
     }()));
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "graph/models.hpp"
+#include "graph/models_transformer.hpp"
 #include "simulator/campaign.hpp"
 #include "simulator/ddl_simulator.hpp"
 
@@ -254,6 +255,66 @@ TEST(Campaign, FiltersWork) {
   EXPECT_EQ(resnet.size(), ms.size() / 2);
   for (const auto& m : cifar) EXPECT_EQ(m.dataset, "cifar10");
   for (const auto& m : resnet) EXPECT_EQ(m.model, "resnet18");
+}
+
+TEST(Campaign, WikitextOnlyDefaultsToTransformerRegistryAndStrategies) {
+  DdlSimulator sim;
+  ThreadPool pool(8);
+  CampaignConfig cfg;
+  cfg.include_cifar10 = false;
+  cfg.include_tiny_imagenet = false;
+  cfg.include_wikitext103 = true;
+  cfg.max_servers = 2;
+  cfg.batch_sizes = {32};
+  cfg.strategies = {"dp", "pp2x4", "tp2"};
+  const auto ms = run_campaign(sim, cfg, pool);
+  const std::size_t n_models = graph::transformer_model_registry().size();
+  EXPECT_EQ(ms.size(), n_models * 2u * 3u);
+  std::set<std::string> models, strategies;
+  for (const auto& m : ms) {
+    models.insert(m.model);
+    strategies.insert(m.parallelism);
+    EXPECT_EQ(m.dataset, "wikitext103");
+    EXPECT_EQ(m.sku, "p100");
+    EXPECT_GT(m.time_s, 0.0);
+    // Transformer models index past the paper's 31 registry slots.
+    EXPECT_GE(m.model_index, 31);
+  }
+  EXPECT_EQ(models.size(), n_models);
+  EXPECT_EQ(strategies, (std::set<std::string>{"dp", "pp2x4", "tp2"}));
+}
+
+TEST(Campaign, MixedTokenAndImageDefaultIsRejected) {
+  // Defaulting one model list across image and token datasets cannot work —
+  // image models do not build at the token-stream resolution; the campaign
+  // demands an explicit model list instead of guessing.
+  DdlSimulator sim;
+  ThreadPool pool(2);
+  CampaignConfig cfg;  // cifar10 + tiny_imagenet stay on by default
+  cfg.include_wikitext103 = true;
+  cfg.max_servers = 1;
+  EXPECT_THROW(run_campaign(sim, cfg, pool), Error);
+}
+
+TEST(Campaign, SingleDpStrategyReproducesLegacyPoints) {
+  // The strategy axis defaults to {"dp"}; an explicit single-"dp" config
+  // lands on the same RNG streams and therefore the same noisy times.
+  DdlSimulator sim;
+  ThreadPool pool(4);
+  CampaignConfig base;
+  base.models = {"alexnet", "resnet18"};
+  base.max_servers = 3;
+  base.batch_sizes = {64};
+  CampaignConfig explicit_dp = base;
+  explicit_dp.strategies = {"dp"};
+  const auto a = run_campaign(sim, base, pool);
+  const auto b = run_campaign(sim, explicit_dp, pool);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time_s, b[i].time_s);
+    EXPECT_EQ(a[i].parallelism, "dp");
+    EXPECT_EQ(b[i].parallelism, "dp");
+  }
 }
 
 TEST(Campaign, FullScaleMatchesPaperOrderOfMagnitude) {

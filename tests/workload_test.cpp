@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "graph/models_transformer.hpp"
 #include "workload/workload.hpp"
 
 namespace pddl::workload {
@@ -61,6 +62,64 @@ TEST(Table2, MatchesPaperModels) {
     EXPECT_TRUE(w.model == "alexnet" || w.model == "resnet18" ||
                 w.model == "squeezenet1_0")
         << w.model;
+  }
+}
+
+TEST(Datasets, Wikitext103Descriptor) {
+  const DatasetDescriptor d = wikitext103();
+  EXPECT_EQ(d.name, "wikitext103");
+  EXPECT_EQ(d.input, (graph::TensorShape{1, 128, 1}));  // raw token stream
+  EXPECT_EQ(d.num_classes, 32768);                      // BPE vocabulary
+  EXPECT_GT(d.bytes_per_sample(), 0.0);
+  EXPECT_EQ(dataset_by_name("wikitext103").name, "wikitext103");
+}
+
+// ---- parallelism strategy keys ----
+
+TEST(Parallelism, KeysRoundTripThroughTheParser) {
+  for (const char* key : {"dp", "pp4x8", "pp2x16", "tp4", "tp8"}) {
+    EXPECT_EQ(parallelism_from_key(key).key(), key);
+  }
+  EXPECT_TRUE(parallelism_from_key("dp").is_default());
+
+  const ParallelismSpec pp = parallelism_from_key("pp4x8");
+  EXPECT_EQ(pp.kind, ParallelismKind::kPipeline);
+  EXPECT_EQ(pp.pipeline_stages, 4);
+  EXPECT_EQ(pp.micro_batches, 8);
+
+  const ParallelismSpec tp = parallelism_from_key("tp4");
+  EXPECT_EQ(tp.kind, ParallelismKind::kTensor);
+  EXPECT_EQ(tp.tensor_degree, 4);
+}
+
+TEST(Parallelism, GarbageKeysThrow) {
+  for (const char* bad : {"pp", "ppx", "pp4", "pp0x4", "tpx", "tp0", "zz3",
+                          "dp2"}) {
+    EXPECT_THROW(parallelism_from_key(bad), Error) << bad;
+  }
+}
+
+TEST(Workload, KeyCarriesNonDefaultStrategyOnly) {
+  // Default data parallelism keeps the historical key byte-for-byte, so
+  // persisted bookkeeping (caches, observation logs) stays valid.
+  DlWorkload w{"resnet18", cifar10(), 64, 10};
+  EXPECT_EQ(w.key(), "resnet18@cifar10");
+  w.parallelism = ParallelismSpec::tensor(4);
+  EXPECT_EQ(w.key(), "resnet18@cifar10#tp4");
+  w.parallelism = ParallelismSpec::pipeline(4, 8);
+  EXPECT_EQ(w.key(), "resnet18@cifar10#pp4x8");
+}
+
+TEST(TransformerWorkloads, CoverTheRegistryOnWikitext) {
+  const auto ws = transformer_workloads();
+  EXPECT_EQ(ws.size(), graph::transformer_model_registry().size());
+  for (const auto& w : ws) {
+    EXPECT_EQ(w.dataset.name, "wikitext103");
+    EXPECT_TRUE(w.parallelism.is_default());
+    EXPECT_TRUE(graph::has_model(w.model)) << w.model;
+    const graph::CompGraph g = w.build_graph();
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.node(0).out_shape, (graph::TensorShape{1, 128, 1}));
   }
 }
 
