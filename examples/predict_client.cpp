@@ -26,6 +26,12 @@
 //   --refit-status               print refit counters, per-dataset errors,
 //                                and the per-family decomposition with the
 //                                ghn_drift (retrain-the-GHN) signal
+//   --retrain FAM --dataset D    explicitly enqueue a GHN fine-tune for
+//                                family FAM on dataset D (needs a server
+//                                running with --auto-retrain)
+//   --retrain-status             print the GHN generation, the last
+//                                fine-tune summary, and the per-family
+//                                before/after error across the last swap
 //   --stats [--json]             fetch + print the server metrics snapshot
 //   --shutdown                   ask the server to drain and exit
 //
@@ -85,6 +91,11 @@ int main(int argc, char** argv) {
       op = "refit";
     } else if (arg == "--refit-status") {
       op = "refit-status";
+    } else if (arg == "--retrain" && i + 1 < argc) {
+      op = "retrain";
+      family = argv[++i];
+    } else if (arg == "--retrain-status") {
+      op = "retrain-status";
     } else if (arg == "--stats") {
       op = "stats";
     } else if (arg == "--shutdown") {
@@ -119,7 +130,8 @@ int main(int argc, char** argv) {
                  "usage: %s --connect HOST:PORT "
                  "[--ping | --predict MODEL | --predict-family FAM | "
                  "--predict-value MODEL | --observe MODEL | --refit | "
-                 "--refit-status | --stats | --shutdown] ...\n",
+                 "--refit-status | --retrain FAM | --retrain-status | "
+                 "--stats | --shutdown] ...\n",
                  argv[0]);
     return 2;
   }
@@ -244,6 +256,8 @@ int main(int argc, char** argv) {
       int accepted = 0;
       bool drifted = false;
       bool refit_triggered = false;
+      bool ghn_drift = false;
+      bool retrain_triggered = false;
       std::string reason;
       for (int i = 0; i < count; ++i) {
         const feedback::ObserveOutcome o = client.observe(req, measured);
@@ -251,6 +265,8 @@ int main(int argc, char** argv) {
         if (!o.accepted && reason.empty()) reason = o.reason;
         drifted = drifted || o.drifted;
         refit_triggered = refit_triggered || o.refit_triggered;
+        ghn_drift = ghn_drift || o.ghn_drift;
+        retrain_triggered = retrain_triggered || o.retrain_triggered;
         if (i == 0) {
           std::printf("%-28s observed %.1fs vs predicted %.1fs "
                       "(rel_err %.2f)\n",
@@ -259,9 +275,11 @@ int main(int argc, char** argv) {
         }
       }
       std::printf("observations: %d/%d accepted, drifted=%s, "
-                  "refit_triggered=%s\n",
+                  "refit_triggered=%s, ghn_drift=%s, retrain_triggered=%s\n",
                   accepted, count, drifted ? "true" : "false",
-                  refit_triggered ? "true" : "false");
+                  refit_triggered ? "true" : "false",
+                  ghn_drift ? "true" : "false",
+                  retrain_triggered ? "true" : "false");
       if (!reason.empty()) std::printf("rejected: %s\n", reason.c_str());
       if (accepted == 0) return 1;
     } else if (op == "refit") {
@@ -302,6 +320,49 @@ int main(int argc, char** argv) {
                     f.errors.count, f.errors.p50_rel, f.errors.p95_rel,
                     f.errors.drifted ? "true" : "false",
                     f.ghn_drift ? "true" : "false");
+      }
+    } else if (op == "retrain") {
+      // Transformer families live on wikitext103 unless --dataset overrides.
+      if (!dataset_given) {
+        for (const graph::ModelSpec& spec :
+             graph::transformer_model_registry()) {
+          if (spec.family == family) {
+            dataset = "wikitext103";
+            break;
+          }
+        }
+      }
+      const bool started = client.request_retrain(dataset, family);
+      std::printf("retrain %s@%s: %s\n", family.c_str(), dataset.c_str(),
+                  started ? "enqueued" : "already queued or running");
+    } else if (op == "retrain-status") {
+      const retrain::RetrainStatus s = client.retrain_status();
+      std::printf("retrains: generation=%llu started=%llu completed=%llu "
+                  "failed=%llu in_progress=%s queued=%zu\n",
+                  static_cast<unsigned long long>(s.generation),
+                  static_cast<unsigned long long>(s.started),
+                  static_cast<unsigned long long>(s.completed),
+                  static_cast<unsigned long long>(s.failed),
+                  s.in_progress ? "true" : "false", s.queued);
+      if (!s.last_dataset.empty()) {
+        std::printf("last: family=%s dataset=%s corpus_graphs=%llu "
+                    "(family %llu) epochs=%d train=%.1fs loss %.4f→%.4f "
+                    "ghn_checksum=%016llx\n",
+                    s.last_family.c_str(), s.last_dataset.c_str(),
+                    static_cast<unsigned long long>(s.last_corpus_graphs),
+                    static_cast<unsigned long long>(s.last_family_graphs),
+                    s.last_epochs_run, s.last_train_seconds,
+                    s.last_initial_loss, s.last_final_loss,
+                    static_cast<unsigned long long>(s.live_checksum));
+      }
+      if (!s.last_error.empty()) {
+        std::printf("last_error: %s\n", s.last_error.c_str());
+      }
+      for (const retrain::FamilyErrorDelta& d : s.families) {
+        std::printf("family  %-10s @%-12s before: p50_rel=%.3f (n=%zu)  "
+                    "after: p50_rel=%.3f (n=%zu)\n",
+                    d.family.c_str(), d.dataset.c_str(), d.before.p50_rel,
+                    d.before.count, d.after.p50_rel, d.after.count);
       }
     } else if (op == "stats") {
       const serve::MetricsSnapshot m = client.stats();

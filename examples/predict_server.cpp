@@ -36,6 +36,16 @@
 //   --family F        workload families to train and warm for: cnn
 //                     (default; the Table II datasets), transformers
 //                     (bert/gpt on wikitext103), or all
+//   --auto-retrain    run a retrain::GhnTrainerJob: a per-family ghn_drift
+//                     crossing fine-tunes the dataset's GHN on a background
+//                     thread and hot-swaps it (with a regressor refitted on
+//                     the new embeddings) through the registry path — the
+//                     retrain / retrain_status ops then work over rpc.
+//                     Retrain state (generation, before/after error) rides
+//                     in the --save-state snapshot.
+//   --seed S          RNG seed pinning background refit/fine-tune work
+//                     (default 1); two runs from the same snapshot and
+//                     observation sequence swap in bit-identical models
 //
 // The server always runs a feedback::FeedbackController, so the observe /
 // refit / refit_status ops work out of the box: schedulers report measured
@@ -52,6 +62,7 @@
 #include <string>
 #include <thread>
 
+#include "retrain/trainer_job.hpp"
 #include "rpc/server.hpp"
 
 using namespace pddl;
@@ -71,6 +82,8 @@ int main(int argc, char** argv) {
   int max_batch = 8;
   bool adaptive_batch = false;
   std::string family = "cnn";
+  bool auto_retrain = false;
+  std::uint64_t seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -93,6 +106,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--adaptive-batch") {
       adaptive_batch = true;
+    } else if (arg == "--auto-retrain") {
+      auto_retrain = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (seed == 0) {
+        std::fprintf(stderr, "--seed must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--family" && i + 1 < argc) {
       family = argv[++i];
       if (family != "cnn" && family != "transformers" && family != "all") {
@@ -106,7 +127,8 @@ int main(int argc, char** argv) {
                    "usage: %s [--port N] [--host H] [--state DIR] "
                    "[--save-state DIR] [--fast] [--reuse-eps E] "
                    "[--max-batch N] [--adaptive-batch] "
-                   "[--family cnn|transformers|all]\n",
+                   "[--family cnn|transformers|all] [--auto-retrain] "
+                   "[--seed S]\n",
                    argv[0]);
       return 2;
     }
@@ -191,7 +213,9 @@ int main(int argc, char** argv) {
   std::printf("warm-up: %zu embeddings precomputed in %.0fms\n", warmed,
               warm_sw.millis());
 
-  feedback::FeedbackController feedback(service, pddl);
+  feedback::FeedbackConfig fb_cfg;
+  fb_cfg.seed = seed;
+  feedback::FeedbackController feedback(service, pddl, fb_cfg);
   if (!state_dir.empty()) {
     const io::SnapshotReader snap(state_dir + "/state.pddl");
     const std::size_t restored = feedback.load(snap);
@@ -200,11 +224,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Declared after the controller so the job (whose worker calls back into
+  // service, engine, and controller) is destroyed first.
+  std::unique_ptr<retrain::GhnTrainerJob> retrain_job;
+  if (auto_retrain) {
+    retrain_job =
+        std::make_unique<retrain::GhnTrainerJob>(service, pddl, feedback);
+    feedback.attach_retrain(retrain_job.get());
+    if (!state_dir.empty()) {
+      const io::SnapshotReader snap(state_dir + "/state.pddl");
+      if (retrain_job->load(snap)) {
+        std::printf("retrain state restored (generation %llu)\n",
+                    static_cast<unsigned long long>(
+                        retrain_job->status().generation));
+      }
+    }
+    std::printf("auto-retrain on (seed=%llu)\n",
+                static_cast<unsigned long long>(seed));
+  }
+
   rpc::ServerConfig rpc_cfg;
   rpc_cfg.host = host;
   rpc_cfg.port = static_cast<std::uint16_t>(port);
   rpc::Server server(service, rpc_cfg);
   server.attach_feedback(&feedback);
+  if (retrain_job) server.attach_retrain(retrain_job.get());
   server.start();
   std::printf("listening on %s\n", server.endpoint().c_str());
   std::fflush(stdout);
@@ -219,11 +263,14 @@ int main(int argc, char** argv) {
 
   server.stop();         // graceful: in-flight requests finish
   feedback.wait_idle();  // let a queued refit land before snapshotting
+  if (retrain_job) retrain_job->wait_idle();  // ...and a queued fine-tune
   service.stop();        // then drain the admission queue
   if (!save_state_dir.empty()) {
     Stopwatch sw;
-    pddl.save_state(save_state_dir,
-                    [&feedback](io::SnapshotWriter& s) { feedback.save(s); });
+    pddl.save_state(save_state_dir, [&](io::SnapshotWriter& s) {
+      feedback.save(s);
+      if (retrain_job) retrain_job->save(s);
+    });
     std::printf("state saved to %s in %.1fms\n", save_state_dir.c_str(),
                 sw.millis());
   }

@@ -48,6 +48,13 @@ Vector FeatureBuilder::build(const sim::Measurement& m) {
                   workload::parallelism_from_key(m.parallelism));
 }
 
+Vector FeatureBuilder::build(const sim::Measurement& m,
+                             const Vector& embedding) const {
+  const workload::DatasetDescriptor ds = workload::dataset_by_name(m.dataset);
+  return assemble(embedding, m.cluster_features, ds, m.batch_size, m.epochs,
+                  workload::parallelism_from_key(m.parallelism));
+}
+
 Vector FeatureBuilder::build_for_graph(
     const graph::CompGraph& g, const workload::DatasetDescriptor& dataset,
     int batch, int epochs, const cluster::ClusterSpec& cluster) {

@@ -71,6 +71,7 @@ ObserveOutcome FeedbackController::observe(const core::PredictRequest& req,
   const std::string& dataset = req.workload.dataset.name;
   const std::string family = family_of(req.workload.model);
   bool fire_refit = false;
+  RetrainSink* fire_retrain = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++accepted_per_dataset_[dataset];
@@ -84,7 +85,36 @@ ObserveOutcome FeedbackController::observe(const core::PredictRequest& req,
       fit = family_detectors_.emplace(family_key, DriftDetector(cfg_.drift))
                 .first;
     }
-    fit->second.record(out.abs_error_s, out.rel_error);
+    const bool family_drifted =
+        fit->second.record(out.abs_error_s, out.rel_error);
+    if (family_drifted && ghn_drift_latched_.count(family_key) == 0) {
+      // Edge-triggered ghn_drift: this family's window just crossed (or is
+      // still across after its latch was cleared by a swap).  Run the
+      // decomposition — the same clean-peer majority rule status() reports —
+      // and fire the retrain signal at most once per crossing.  The latch
+      // clears when a swap resets the family windows, so a generation that
+      // did not actually help re-crosses and re-fires.
+      std::size_t clean_peers = 0;
+      std::size_t drifted_peers = 0;
+      for (const auto& [key, detector] : family_detectors_) {
+        if (key == family_key) continue;
+        const ErrorStats peer = detector.stats();
+        if (peer.count < cfg_.drift.min_count) continue;
+        if (peer.drifted) {
+          ++drifted_peers;
+        } else {
+          ++clean_peers;
+        }
+      }
+      if (drifted_peers == 0 || clean_peers >= drifted_peers) {
+        ghn_drift_latched_.insert(family_key);
+        out.ghn_drift = true;
+        service_.note_ghn_drift();
+        if (cfg_.auto_retrain && retrain_sink_ != nullptr) {
+          fire_retrain = retrain_sink_;
+        }
+      }
+    }
     auto it = detectors_.find(dataset);
     if (it == detectors_.end()) {
       it = detectors_.emplace(dataset, DriftDetector(cfg_.drift)).first;
@@ -103,7 +133,48 @@ ObserveOutcome FeedbackController::observe(const core::PredictRequest& req,
     }
   }
   if (fire_refit) cv_.notify_all();
+  if (fire_retrain != nullptr) {
+    // Outside the controller mutex: the sink enqueues onto its own worker
+    // and may call back into note_ghn_swap (which takes this mutex) from
+    // that worker at any time.
+    out.retrain_triggered = fire_retrain->request_retrain(dataset, family);
+  }
   return out;
+}
+
+void FeedbackController::attach_retrain(RetrainSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retrain_sink_ = sink;
+}
+
+std::vector<FamilyFeedback> FeedbackController::note_ghn_swap(
+    const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_and_reset_locked(dataset);
+}
+
+std::vector<FamilyFeedback> FeedbackController::snapshot_and_reset_locked(
+    const std::string& dataset) {
+  std::vector<FamilyFeedback> pre;
+  for (auto& [key, detector] : family_detectors_) {
+    if (key.first != dataset) continue;
+    FamilyFeedback f;
+    f.dataset = key.first;
+    f.family = key.second;
+    const auto it = accepted_per_family_.find(key);
+    f.observations = it == accepted_per_family_.end() ? 0 : it->second;
+    f.errors = detector.stats();
+    f.pre_swap = f.errors;  // by definition: this IS the pre-swap window
+    family_pre_swap_[key] = f.errors;
+    f.swaps = ++family_swaps_[key];
+    detector.reset();
+    ghn_drift_latched_.erase(key);
+    pre.push_back(std::move(f));
+  }
+  if (const auto it = detectors_.find(dataset); it != detectors_.end()) {
+    it->second.reset();
+  }
+  return pre;
 }
 
 bool FeedbackController::enqueue_refit_locked(const std::string& dataset) {
@@ -196,12 +267,10 @@ void FeedbackController::do_refit(const std::string& dataset) {
       last_campaign_rows_ = campaign_rows;
       last_observation_rows_ = observation_rows;
       last_error_.clear();
-      if (const auto it = detectors_.find(dataset); it != detectors_.end()) {
-        it->second.reset();
-      }
-      for (auto& [key, detector] : family_detectors_) {
-        if (key.first == dataset) detector.reset();
-      }
+      // Snapshot each family window into pre_swap before the reset, so the
+      // improvement across this refit stays reportable (satellite of the
+      // retrain loop; the GHN swap path shares this helper).
+      snapshot_and_reset_locked(dataset);
     }
     service_.note_refit_finished(true);
   } catch (const std::exception& e) {
@@ -241,6 +310,14 @@ RefitStatus FeedbackController::status() const {
     const auto it = accepted_per_family_.find(key);
     f.observations = it == accepted_per_family_.end() ? 0 : it->second;
     f.errors = detector.stats();
+    if (const auto pit = family_pre_swap_.find(key);
+        pit != family_pre_swap_.end()) {
+      f.pre_swap = pit->second;
+    }
+    if (const auto sit = family_swaps_.find(key);
+        sit != family_swaps_.end()) {
+      f.swaps = sit->second;
+    }
     s.families.push_back(std::move(f));
   }
   // "Retrain the GHN" decomposition: a family whose window drifted against

@@ -26,6 +26,7 @@
 
 #include <condition_variable>
 #include <map>
+#include <set>
 #include <thread>
 
 #include "feedback/drift.hpp"
@@ -38,6 +39,24 @@ struct FeedbackConfig {
   std::size_t log_capacity = 4096;  // observation ring bound
   DriftConfig drift;
   bool auto_refit = true;  // drift crossing enqueues a refit automatically
+  // ghn_drift crossing notifies the attached RetrainSink automatically.
+  // Meaningless (and harmless) without attach_retrain().
+  bool auto_retrain = true;
+  // Seed threaded into background model fitting triggered by this
+  // controller (the retrain job derives its fine-tune RNG from it), so two
+  // runs from the same snapshot produce bit-identical swapped models.
+  std::uint64_t seed = 1;
+};
+
+// Consumer of edge-triggered ghn_drift signals (implemented by
+// retrain::GhnTrainerJob; an interface so src/feedback/ stays independent
+// of src/retrain/, which links against it).  request_retrain must be cheap
+// and non-blocking — it is called from observe() — and returns false when a
+// retrain for the (dataset, family) pair is already queued or running.
+struct RetrainSink {
+  virtual ~RetrainSink() = default;
+  virtual bool request_retrain(const std::string& dataset,
+                               const std::string& family) = 0;
 };
 
 // What happened to one observe() call.
@@ -48,6 +67,11 @@ struct ObserveOutcome {
   double rel_error = 0.0;   // |pred − measured| / measured
   bool drifted = false;     // detector state after this sample
   bool refit_triggered = false;
+  // This observation crossed the per-family ghn_drift edge (family drifted
+  // while its scored peers stayed clean — see FamilyFeedback).
+  bool ghn_drift = false;
+  // ...and the attached RetrainSink accepted a retrain for it.
+  bool retrain_triggered = false;
   std::string reason;  // populated when rejected
 };
 
@@ -71,6 +95,13 @@ struct FamilyFeedback {
   std::uint64_t observations = 0;  // accepted for this family (lifetime)
   ErrorStats errors;               // current window
   bool ghn_drift = false;
+  // Window snapshot taken just before the most recent refit/retrain swap
+  // touching this dataset (all-zero until the first swap).  The windows
+  // reset at a swap boundary so the old model's errors never indict the new
+  // one; this preserved snapshot is what makes before/after improvement
+  // reportable across that reset.
+  ErrorStats pre_swap;
+  std::uint64_t swaps = 0;  // engine/GHN swaps this family lived through
 };
 
 struct RefitStatus {
@@ -105,6 +136,19 @@ class FeedbackController {
   // Returns false when one is already queued or running for that dataset.
   bool request_refit(const std::string& dataset);
 
+  // Attaches the consumer of edge-triggered ghn_drift signals (nullptr
+  // detaches).  With cfg.auto_retrain, each per-family ghn_drift crossing
+  // fires sink->request_retrain exactly once until the family's window is
+  // reset by a swap (deduped like refits).
+  void attach_retrain(RetrainSink* sink);
+
+  // Swap boundary notification from the retrain job: snapshots every family
+  // window of `dataset` into its pre_swap slot, resets the dataset +
+  // family windows (old-GHN errors say nothing about the new generation),
+  // clears the ghn_drift latches, and returns the pre-swap snapshot so the
+  // caller can report per-family before/after error.
+  std::vector<FamilyFeedback> note_ghn_swap(const std::string& dataset);
+
   RefitStatus status() const;
 
   // Blocks until the refit queue is empty and the worker is idle.
@@ -129,6 +173,11 @@ class FeedbackController {
   void worker_loop();
   void do_refit(const std::string& dataset);
   bool enqueue_refit_locked(const std::string& dataset);
+  // Shared swap-boundary bookkeeping (refit and retrain): snapshot family
+  // windows into pre_swap, bump swap counts, reset windows, clear latches.
+  // Caller holds mutex_; returns the pre-swap family snapshot.
+  std::vector<FamilyFeedback> snapshot_and_reset_locked(
+      const std::string& dataset);
 
   serve::PredictionService& service_;
   core::PredictDdl& engine_;
@@ -147,6 +196,13 @@ class FeedbackController {
       family_detectors_;
   std::map<std::pair<std::string, std::string>, std::uint64_t>
       accepted_per_family_;
+  // Satellite state for per-family error tracking across swap boundaries.
+  std::map<std::pair<std::string, std::string>, ErrorStats> family_pre_swap_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> family_swaps_;
+  // (dataset, family) pairs whose ghn_drift edge already fired since the
+  // last window reset — the dedup behind "edge-triggered like refits".
+  std::set<std::pair<std::string, std::string>> ghn_drift_latched_;
+  RetrainSink* retrain_sink_ = nullptr;
   bool stopping_ = false;
   bool refit_in_progress_ = false;
   std::uint64_t refits_started_ = 0;

@@ -1,5 +1,8 @@
 #include "ghn/registry.hpp"
 
+#include <sstream>
+
+#include "io/binary.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace pddl::ghn {
@@ -134,6 +137,26 @@ TrainReport GhnRegistry::train_and_register(const std::string& dataset,
   TrainReport report = trainer.train(pool);
   put(dataset, std::move(ghn));
   return report;
+}
+
+std::unique_ptr<Ghn2> GhnRegistry::clone_model(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(dataset);
+  if (it == entries_.end()) return nullptr;
+  std::stringstream buf;
+  {
+    io::BinaryWriter w(buf);
+    save_ghn(w, *it->second.ghn);
+  }
+  io::BinaryReader r(buf.str());
+  return load_ghn(r);
+}
+
+std::uint64_t GhnRegistry::model_checksum(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(dataset);
+  return it == entries_.end() ? 0 : ghn_checksum(*it->second.ghn);
 }
 
 Ghn2* GhnRegistry::model(const std::string& dataset) {

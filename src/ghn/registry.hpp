@@ -69,6 +69,16 @@ class GhnRegistry {
   // Throws if no GHN is registered.
   std::shared_ptr<const GhnInference> inference(const std::string& dataset);
 
+  // Deep copy of the registered GHN via a save_ghn/load_ghn round-trip,
+  // taken under the registry lock so the copy is a consistent snapshot even
+  // against a concurrent put().  This is the fine-tune entry point for
+  // src/retrain/: train the clone off to the side, then put() it back.
+  // Returns nullptr when no GHN is registered for `dataset`.
+  std::unique_ptr<Ghn2> clone_model(const std::string& dataset) const;
+
+  // Checksum of the registered GHN (ghn_checksum); 0 when absent.
+  std::uint64_t model_checksum(const std::string& dataset) const;
+
   // Direct access for ablations; nullptr when absent.
   Ghn2* model(const std::string& dataset);
   // Const read path for serialization (save_ghn / ghn_checksum read only

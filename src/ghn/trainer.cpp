@@ -1,6 +1,7 @@
 #include "ghn/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "parallel/parallel_for.hpp"
@@ -37,7 +38,26 @@ GhnTrainer::GhnTrainer(Ghn2& ghn, const TrainerConfig& cfg)
   for (Matrix* p : head_.parameters()) params_.push_back(p);
 
   corpus_ = graph::sample_darts_corpus(cfg_.corpus_size, cfg_.seed, cfg_.darts);
+  fit_standardization();
+}
 
+GhnTrainer::GhnTrainer(Ghn2& ghn, const TrainerConfig& cfg,
+                       std::vector<graph::CompGraph> corpus)
+    : ghn_(ghn),
+      cfg_(cfg),
+      head_([&] {
+        Rng r = make_head_rng(cfg.seed);
+        return nn::Linear(ghn.config().hidden_dim, kNumTargets, r);
+      }()) {
+  PDDL_CHECK(!corpus.empty(), "GhnTrainer: empty fine-tune corpus");
+  params_ = ghn_.parameters();
+  for (Matrix* p : head_.parameters()) params_.push_back(p);
+
+  corpus_ = std::move(corpus);
+  fit_standardization();
+}
+
+void GhnTrainer::fit_standardization() {
   // Fit per-target standardization on the corpus.
   target_mean_.assign(kNumTargets, 0.0);
   target_std_.assign(kNumTargets, 0.0);
@@ -86,7 +106,8 @@ double GhnTrainer::graph_loss_and_grads(const CompGraph& g,
   return loss_val;
 }
 
-TrainReport GhnTrainer::train(ThreadPool& pool) {
+TrainReport GhnTrainer::train(ThreadPool& pool, double time_budget_s) {
+  const auto t0 = std::chrono::steady_clock::now();
   ag::Adam opt(cfg_.learning_rate);
   opt.register_params(params_);
   opt.set_clip_norm(cfg_.clip_norm);
@@ -126,10 +147,22 @@ TrainReport GhnTrainer::train(ThreadPool& pool) {
     }
     report.epoch_losses.push_back(epoch_loss /
                                   static_cast<double>(corpus_.size()));
+    ++report.epochs_run;
+    if (time_budget_s > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      // Stop only at an epoch boundary: partial epochs would make the
+      // trained weights depend on wall-clock timing mid-epoch.
+      if (elapsed >= time_budget_s) break;
+    }
   }
   report.final_loss = report.epoch_losses.empty()
                           ? 0.0
                           : report.epoch_losses.back();
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   // The optimizer wrote through parameter pointers captured at
   // construction, bypassing Ghn2::parameters(); drop the checksum memo so
   // the next ghn_checksum() re-hashes the trained weights.

@@ -33,6 +33,8 @@ struct TrainerConfig {
 struct TrainReport {
   std::vector<double> epoch_losses;  // mean multi-task MSE per epoch
   double final_loss = 0.0;
+  int epochs_run = 0;       // < cfg.epochs when a time budget cut training
+  double seconds = 0.0;     // wall-clock spent inside train()
 };
 
 // Complexity-target extraction shared by the trainer and tests.
@@ -47,9 +49,23 @@ class GhnTrainer {
  public:
   GhnTrainer(Ghn2& ghn, const TrainerConfig& cfg);
 
+  // Fine-tune entry point: trains on a caller-supplied corpus instead of a
+  // freshly sampled DARTS one (cfg.corpus_size / cfg.darts are ignored).
+  // Target standardization is fitted on `corpus`, so the multi-task loss is
+  // well-conditioned for whatever graph mixture the caller assembled; the
+  // GHN itself is trained in place, i.e. this resumes from the live weights
+  // rather than re-initialising (src/retrain/ relies on that).
+  GhnTrainer(Ghn2& ghn, const TrainerConfig& cfg,
+             std::vector<graph::CompGraph> corpus);
+
   // Trains in place; gradient evaluation over a minibatch is parallelised on
-  // `pool` (one tape per graph, summed gradients).
-  TrainReport train(ThreadPool& pool);
+  // `pool` (one tape per graph, summed gradients).  A positive
+  // `time_budget_s` stops at the first epoch boundary past the budget
+  // (always completing at least one epoch); epochs consumed are reported in
+  // TrainReport::epochs_run.  The budget only affects *how many* epochs run,
+  // never the arithmetic within one, so a run is bit-reproducible from
+  // (weights, corpus, seed, epochs_run).
+  TrainReport train(ThreadPool& pool, double time_budget_s = 0.0);
 
   // Mean multi-task MSE of the (trained) GHN+head on held-out graphs.
   double evaluate(const std::vector<graph::CompGraph>& graphs);
@@ -58,6 +74,8 @@ class GhnTrainer {
   // Loss of one graph on a fresh tape; fills `grads` (one per parameter).
   double graph_loss_and_grads(const graph::CompGraph& g,
                               std::vector<Matrix>& grads);
+  // Fits target_mean_/target_std_ on corpus_ and fills targets_.
+  void fit_standardization();
 
   Ghn2& ghn_;
   TrainerConfig cfg_;

@@ -1,0 +1,191 @@
+// Online GHN fine-tuning: closes the ghn_drift loop (DESIGN.md §14).
+//
+// The feedback controller (src/feedback/) can tell *which* failure mode an
+// error drift points at: family-wide drift indicts the shared regressor and
+// the refit path handles it, but one family drifting while its peers stay
+// clean (`ghn_drift`) means the frozen graph embedding itself no longer
+// spans the workload mixture — exactly what a new architecture family does
+// to a GHN trained before that family existed.  GhnTrainerJob is the
+// consumer of that signal:
+//
+//   request_retrain(dataset, family)      [edge-triggered by the controller]
+//     ├─ dedup: one queued/running retrain per (dataset, family)
+//     ▼
+//   worker thread (one retrain at a time)
+//     ├─ corpus  = campaign graphs ⊕ the drifted family's observed graphs
+//     │  (deduped by structural fingerprint, sorted for determinism)
+//     ├─ clone   = registry.clone_model(dataset)   — live GHN untouched
+//     ├─ GhnTrainer fine-tune on the clone (bounded epochs / time budget,
+//     │  seeded deterministically: same snapshot + same signal → bit-
+//     │  identical swapped weights)
+//     ├─ regressor refit: campaign rows ⊕ accepted observations, featurized
+//     │  under the *candidate* GHN's embeddings (FeatureBuilder::build with
+//     │  an explicit embedding — nothing touches the registry)
+//     ├─ PredictionService::swap_ghn — registry put + embedding-cache purge
+//     │  + reuse-partition invalidation + engine install, in that order.
+//     │  In-flight batches finish on the engines they pinned at dequeue
+//     │  (zero dropped requests); every cache get/put is keyed by
+//     │  ghn_checksum, so a late insert from an old-generation batch can
+//     │  never be served afterwards.
+//     └─ FeedbackController::note_ghn_swap — family windows snapshot into
+//        pre_swap and reset, drift latches clear; the returned snapshot
+//        becomes the per-family before/after error report.
+//
+// Persistence: save()/load() round-trip the generation counter, lifetime
+// counters, and the per-family before-error snapshots as one snapshot
+// section ("retrain/state"), so a warm restart reports the same retrain
+// history — and, with the PredictDdl sections, the same swapped GHN bytes —
+// as the instance that wrote it.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <thread>
+
+#include "feedback/controller.hpp"
+
+namespace pddl::retrain {
+
+inline constexpr char kRetrainStateMagic[4] = {'P', 'D', 'R', 'T'};
+inline constexpr std::uint32_t kRetrainStateVersion = 1;
+// Section name inside the PredictDdl state snapshot.
+inline constexpr const char* kRetrainStateSection = "retrain/state";
+
+struct RetrainConfig {
+  // Fine-tune schedule.  Deliberately shorter and gentler than the offline
+  // TrainerConfig defaults: the clone resumes from converged weights, so a
+  // few low-LR epochs move the embedding toward the new family without
+  // forgetting the families the regressor was calibrated on.
+  int epochs = 6;
+  std::size_t batch_size = 8;
+  double learning_rate = 1e-3;
+  double clip_norm = 5.0;
+  // > 0: stop at the first epoch boundary past this many seconds (at least
+  // one epoch always runs).  Bounds worst-case staleness of the background
+  // thread without breaking determinism — the budget only picks epochs_run,
+  // never changes arithmetic within an epoch.
+  double time_budget_s = 0.0;
+  // Cap on observed graphs of the drifted family added to the corpus
+  // (newest first); keeps one noisy family from dominating the fine-tune.
+  std::size_t max_family_graphs = 64;
+  // Base RNG seed for the fine-tune shuffle/head init.  0 = inherit the
+  // FeedbackConfig seed, so one --seed flag pins the whole loop.  The
+  // per-retrain seed is derived from (seed, dataset, generation), so reruns
+  // from the same snapshot are bit-identical while successive generations
+  // still see different shuffles.
+  std::uint64_t seed = 0;
+  // Refit the per-dataset regressor on the new embeddings and swap it in the
+  // same publish.  Off = swap the GHN alone (ablation: measures how much of
+  // the recovery the embedding shift itself buys).
+  bool refit_regressor = true;
+};
+
+// Before/after error for one family across the most recent GHN swap of its
+// dataset.  `before` is the window snapshot taken at the swap boundary;
+// `after` is the family's current (post-swap) window at status() time —
+// zero-count until enough post-swap observations arrive.
+struct FamilyErrorDelta {
+  std::string dataset;
+  std::string family;
+  feedback::ErrorStats before;
+  feedback::ErrorStats after;
+};
+
+struct RetrainStatus {
+  // Completed GHN swaps, ever (monotone; survives save/load).  This is the
+  // "GHN generation" the rpc layer reports.
+  std::uint64_t generation = 0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  bool in_progress = false;  // worker currently fine-tuning
+  std::size_t queued = 0;    // (dataset, family) pairs waiting behind it
+  std::string last_dataset;  // most recently completed retrain
+  std::string last_family;   // ...and the family that triggered it
+  std::string last_error;    // most recent failure, if any
+  std::uint64_t last_corpus_graphs = 0;  // unique graphs fine-tuned on
+  std::uint64_t last_family_graphs = 0;  // of which from the drifted family
+  int last_epochs_run = 0;
+  double last_train_seconds = 0.0;
+  double last_initial_loss = 0.0;
+  double last_final_loss = 0.0;
+  // ghn_checksum of last_dataset's currently registered GHN (0 when none) —
+  // lets clients confirm the swap landed and caches were re-keyed.
+  std::uint64_t live_checksum = 0;
+  std::vector<FamilyErrorDelta> families;
+};
+
+// Background GHN fine-tune worker.  One instance serves every dataset; the
+// controller's attach_retrain() wires it in as the RetrainSink.
+//
+// Thread-safety: request_retrain()/status()/wait_idle() may be called from
+// any thread (observe() path, rpc handlers); the worker is the only thread
+// that trains and swaps.  Construction order matters at the call site: the
+// job must outlive nothing it references, so declare it after the service,
+// engine, and controller (and detach/destroy before them).
+class GhnTrainerJob final : public feedback::RetrainSink {
+ public:
+  GhnTrainerJob(serve::PredictionService& service, core::PredictDdl& engine,
+                feedback::FeedbackController& feedback, RetrainConfig cfg = {});
+  ~GhnTrainerJob() override;  // drains the queue, then joins the worker
+
+  GhnTrainerJob(const GhnTrainerJob&) = delete;
+  GhnTrainerJob& operator=(const GhnTrainerJob&) = delete;
+
+  // RetrainSink: enqueue a fine-tune for (dataset, family).  Non-blocking;
+  // false when one is already queued or running for the pair.
+  bool request_retrain(const std::string& dataset,
+                       const std::string& family) override;
+
+  RetrainStatus status() const;
+
+  // Blocks until the queue is empty and the worker is idle.
+  void wait_idle();
+
+  const RetrainConfig& config() const { return cfg_; }
+
+  // ---- persistence (section inside the PredictDdl state snapshot) ----
+  void save(io::SnapshotWriter& snap) const;
+  // Restores counters + before-error snapshots when the section is present;
+  // returns false when absent (e.g. a pre-retrain snapshot).
+  bool load(const io::SnapshotReader& snap);
+
+ private:
+  void worker_loop();
+  void do_retrain(const std::string& dataset, const std::string& family);
+
+  serve::PredictionService& service_;
+  core::PredictDdl& engine_;
+  feedback::FeedbackController& feedback_;
+  RetrainConfig cfg_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;       // worker wake-up
+  std::condition_variable idle_cv_;  // wait_idle wake-up
+  std::deque<std::pair<std::string, std::string>> queue_;
+  std::map<std::pair<std::string, std::string>, bool> pending_;
+  bool stopping_ = false;
+  bool in_progress_ = false;
+  std::uint64_t generation_ = 0;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::string last_dataset_;
+  std::string last_family_;
+  std::string last_error_;
+  std::uint64_t last_corpus_graphs_ = 0;
+  std::uint64_t last_family_graphs_ = 0;
+  int last_epochs_run_ = 0;
+  double last_train_seconds_ = 0.0;
+  double last_initial_loss_ = 0.0;
+  double last_final_loss_ = 0.0;
+  // Swap-boundary window snapshots per (dataset, family), most recent swap
+  // wins; status() pairs them with the live post-swap windows.
+  std::map<std::pair<std::string, std::string>, feedback::ErrorStats>
+      before_errors_;
+
+  std::thread worker_;  // started last, joined in the destructor
+};
+
+}  // namespace pddl::retrain

@@ -95,6 +95,21 @@ feedback::RefitStatus Client::refit_status() {
   return call(r).refit;
 }
 
+bool Client::request_retrain(const std::string& dataset,
+                             const std::string& family) {
+  Request r;
+  r.op = Op::kRetrain;
+  r.dataset = dataset;
+  r.family = family;
+  return call(r).retrain_started;
+}
+
+retrain::RetrainStatus Client::retrain_status() {
+  Request r;
+  r.op = Op::kRetrainStatus;
+  return call(r).retrain;
+}
+
 double Client::ping() {
   Request r;
   r.op = Op::kPing;

@@ -61,6 +61,15 @@ class Client {
   // Feedback-loop status: refit counters and per-dataset error windows.
   feedback::RefitStatus refit_status();
 
+  // Explicitly enqueue a server-side GHN fine-tune for (dataset, family).
+  // Returns whether one was newly enqueued (false = already queued or
+  // running); throws when the server has no trainer job attached.
+  bool request_retrain(const std::string& dataset, const std::string& family);
+
+  // Retrain-loop status: GHN generation, last fine-tune summary, and the
+  // per-family before/after error deltas.
+  retrain::RetrainStatus retrain_status();
+
   // Round-trip time of an empty frame, in milliseconds.
   double ping();
 

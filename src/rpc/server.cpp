@@ -183,6 +183,27 @@ Response Server::execute(const Request& req) {
       }
       resp.refit = feedback_->status();
       break;
+    case Op::kRetrain:
+      if (retrain_ == nullptr) {
+        resp.status = RpcStatus::kBadRequest;
+        resp.message = "ghn retraining is not enabled on this server";
+        break;
+      }
+      if (req.dataset.empty() || req.family.empty()) {
+        resp.status = RpcStatus::kBadRequest;
+        resp.message = "retrain needs a dataset and a model family";
+        break;
+      }
+      resp.retrain_started = retrain_->request_retrain(req.dataset, req.family);
+      break;
+    case Op::kRetrainStatus:
+      if (retrain_ == nullptr) {
+        resp.status = RpcStatus::kBadRequest;
+        resp.message = "ghn retraining is not enabled on this server";
+        break;
+      }
+      resp.retrain = retrain_->status();
+      break;
     case Op::kShutdown:
       shutdown_requested_.store(true, std::memory_order_release);
       break;

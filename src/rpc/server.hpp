@@ -61,6 +61,14 @@ class Server {
     feedback_ = feedback;
   }
 
+  // Enables the retrain ops (retrain / retrain_status) by routing them to
+  // `retrain`, which must outlive the server.  Call before start(); without
+  // a trainer job the retrain ops answer kBadRequest.
+  void attach_retrain(retrain::GhnTrainerJob* retrain) {
+    PDDL_CHECK(!running(), "attach_retrain must precede start()");
+    retrain_ = retrain;
+  }
+
   // Binds, listens, and starts accepting.  Throws pddl::Error if the
   // address is unavailable.
   void start();
@@ -104,6 +112,7 @@ class Server {
 
   serve::PredictionService& service_;
   feedback::FeedbackController* feedback_ = nullptr;  // optional, not owned
+  retrain::GhnTrainerJob* retrain_ = nullptr;         // optional, not owned
   ServerConfig cfg_;
   std::uint16_t port_ = 0;
 

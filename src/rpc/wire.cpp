@@ -22,6 +22,10 @@ const char* to_string(Op op) {
       return "refit";
     case Op::kRefitStatus:
       return "refit_status";
+    case Op::kRetrain:
+      return "retrain";
+    case Op::kRetrainStatus:
+      return "retrain_status";
   }
   return "unknown";
 }
@@ -212,6 +216,12 @@ void write_metrics(io::BinaryWriter& w, const serve::MetricsSnapshot& m) {
   w.u64(m.refits_completed);
   w.u64(m.refits_failed);
   w.u64(m.engine_swaps);
+  w.u64(m.cache_stale_drops);
+  w.u64(m.ghn_drift_events);
+  w.u64(m.retrains_started);
+  w.u64(m.retrains_completed);
+  w.u64(m.retrains_failed);
+  w.u64(m.ghn_swaps);
   w.u64(m.batches_dispatched);
   for (std::uint64_t c : m.batch_size_counts) w.u64(c);
   w.u64(m.embed_batches);
@@ -265,6 +275,12 @@ serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
   m.refits_completed = r.u64();
   m.refits_failed = r.u64();
   m.engine_swaps = r.u64();
+  m.cache_stale_drops = r.u64();
+  m.ghn_drift_events = r.u64();
+  m.retrains_started = r.u64();
+  m.retrains_completed = r.u64();
+  m.retrains_failed = r.u64();
+  m.ghn_swaps = r.u64();
   m.batches_dispatched = r.u64();
   for (std::uint64_t& c : m.batch_size_counts) c = r.u64();
   m.embed_batches = r.u64();
@@ -301,6 +317,8 @@ void write_observe_outcome(io::BinaryWriter& w,
   w.f64(o.rel_error);
   w.boolean(o.drifted);
   w.boolean(o.refit_triggered);
+  w.boolean(o.ghn_drift);
+  w.boolean(o.retrain_triggered);
   w.str(o.reason);
 }
 
@@ -312,6 +330,8 @@ feedback::ObserveOutcome read_observe_outcome(io::BinaryReader& r) {
   o.rel_error = r.f64();
   o.drifted = r.boolean();
   o.refit_triggered = r.boolean();
+  o.ghn_drift = r.boolean();
+  o.retrain_triggered = r.boolean();
   o.reason = r.str();
   return o;
 }
@@ -365,6 +385,8 @@ void write_refit_status(io::BinaryWriter& w, const feedback::RefitStatus& s) {
     w.u64(f.observations);
     write_error_stats(w, f.errors);
     w.boolean(f.ghn_drift);
+    write_error_stats(w, f.pre_swap);
+    w.u64(f.swaps);
   }
 }
 
@@ -399,7 +421,68 @@ feedback::RefitStatus read_refit_status(io::BinaryReader& r) {
     f.observations = r.u64();
     f.errors = read_error_stats(r);
     f.ghn_drift = r.boolean();
+    f.pre_swap = read_error_stats(r);
+    f.swaps = r.u64();
     s.families.push_back(std::move(f));
+  }
+  return s;
+}
+
+void write_retrain_status(io::BinaryWriter& w,
+                          const retrain::RetrainStatus& s) {
+  w.u64(s.generation);
+  w.u64(s.started);
+  w.u64(s.completed);
+  w.u64(s.failed);
+  w.boolean(s.in_progress);
+  w.u64(s.queued);
+  w.str(s.last_dataset);
+  w.str(s.last_family);
+  w.str(s.last_error);
+  w.u64(s.last_corpus_graphs);
+  w.u64(s.last_family_graphs);
+  w.i32(s.last_epochs_run);
+  w.f64(s.last_train_seconds);
+  w.f64(s.last_initial_loss);
+  w.f64(s.last_final_loss);
+  w.u64(s.live_checksum);
+  w.u32(static_cast<std::uint32_t>(s.families.size()));
+  for (const retrain::FamilyErrorDelta& d : s.families) {
+    w.str(d.dataset);
+    w.str(d.family);
+    write_error_stats(w, d.before);
+    write_error_stats(w, d.after);
+  }
+}
+
+retrain::RetrainStatus read_retrain_status(io::BinaryReader& r) {
+  retrain::RetrainStatus s;
+  s.generation = r.u64();
+  s.started = r.u64();
+  s.completed = r.u64();
+  s.failed = r.u64();
+  s.in_progress = r.boolean();
+  s.queued = r.u64();
+  s.last_dataset = r.str();
+  s.last_family = r.str();
+  s.last_error = r.str();
+  s.last_corpus_graphs = r.u64();
+  s.last_family_graphs = r.u64();
+  s.last_epochs_run = r.i32();
+  s.last_train_seconds = r.f64();
+  s.last_initial_loss = r.f64();
+  s.last_final_loss = r.f64();
+  s.live_checksum = r.u64();
+  const std::uint32_t n = r.u32();
+  PDDL_CHECK(n <= 4096, r.what(), ": unreasonable family count ", n);
+  s.families.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    retrain::FamilyErrorDelta d;
+    d.dataset = r.str();
+    d.family = r.str();
+    d.before = read_error_stats(r);
+    d.after = read_error_stats(r);
+    s.families.push_back(std::move(d));
   }
   return s;
 }
@@ -409,7 +492,7 @@ feedback::RefitStatus read_refit_status(io::BinaryReader& r) {
 namespace {
 Op read_op(io::BinaryReader& r) {
   const std::uint8_t op = r.u8();
-  PDDL_CHECK(op <= static_cast<std::uint8_t>(Op::kRefitStatus), r.what(),
+  PDDL_CHECK(op <= static_cast<std::uint8_t>(Op::kRetrainStatus), r.what(),
              ": unknown rpc op byte ", int{op});
   return static_cast<Op>(op);
 }
@@ -452,10 +535,15 @@ std::string encode_request(const Request& req) {
     case Op::kRefit:
       w.str(req.dataset);
       break;
+    case Op::kRetrain:
+      w.str(req.dataset);
+      w.str(req.family);
+      break;
     case Op::kPing:
     case Op::kStats:
     case Op::kShutdown:
     case Op::kRefitStatus:
+    case Op::kRetrainStatus:
       break;
   }
   return os.str();
@@ -489,10 +577,15 @@ Request decode_request(const std::string& body) {
     case Op::kRefit:
       req.dataset = r.str();
       break;
+    case Op::kRetrain:
+      req.dataset = r.str();
+      req.family = r.str();
+      break;
     case Op::kPing:
     case Op::kStats:
     case Op::kShutdown:
     case Op::kRefitStatus:
+    case Op::kRetrainStatus:
       break;
   }
   expect_fully_consumed(r);
@@ -526,6 +619,12 @@ std::string encode_response(const Response& resp) {
       break;
     case Op::kRefitStatus:
       if (resp.status == RpcStatus::kOk) write_refit_status(w, resp.refit);
+      break;
+    case Op::kRetrain:
+      if (resp.status == RpcStatus::kOk) w.boolean(resp.retrain_started);
+      break;
+    case Op::kRetrainStatus:
+      if (resp.status == RpcStatus::kOk) write_retrain_status(w, resp.retrain);
       break;
     case Op::kPing:
     case Op::kShutdown:
@@ -569,6 +668,12 @@ Response decode_response(const std::string& body) {
       break;
     case Op::kRefitStatus:
       if (resp.status == RpcStatus::kOk) resp.refit = read_refit_status(r);
+      break;
+    case Op::kRetrain:
+      if (resp.status == RpcStatus::kOk) resp.retrain_started = r.boolean();
+      break;
+    case Op::kRetrainStatus:
+      if (resp.status == RpcStatus::kOk) resp.retrain = read_retrain_status(r);
       break;
     case Op::kPing:
     case Op::kShutdown:

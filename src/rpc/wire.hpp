@@ -26,6 +26,8 @@
 //     kObserve       f64 measured_s | PredictRequest
 //     kRefit         str dataset
 //     kRefitStatus   (empty)
+//     kRetrain       str dataset | str family
+//     kRetrainStatus (empty)
 //
 // and a response body is
 //
@@ -35,6 +37,8 @@
 //     kObserve (status ok)       ObserveOutcome
 //     kRefit (status ok)         bool refit_started
 //     kRefitStatus (status ok)   RefitStatus
+//     kRetrain (status ok)       bool retrain_started
+//     kRetrainStatus (status ok) RetrainStatus
 //
 // Versioning policy: kProtocolVersion bumps on any incompatible body or
 // envelope change; both endpoints reject mismatched versions with a typed
@@ -48,6 +52,7 @@
 
 #include "core/predict_io.hpp"
 #include "feedback/controller.hpp"
+#include "retrain/trainer_job.hpp"
 #include "serve/service.hpp"
 
 namespace pddl::rpc {
@@ -64,7 +69,12 @@ inline constexpr char kFrameMagic[4] = {'P', 'D', 'R', 'P'};
 // v6: parallelism-strategy key in the workload encoding; per-family error
 // decomposition (FamilyFeedback rows + ghn_drift signal) in the
 // RefitStatus encoding.
-inline constexpr std::uint32_t kProtocolVersion = 6;
+// v7: online GHN retrain loop — kRetrain/kRetrainStatus ops carrying the
+// GHN generation and per-family before/after error; pre-swap snapshot +
+// swap count in the FamilyFeedback encoding; ghn_drift/retrain_triggered in
+// the ObserveOutcome encoding; stale-drop + retrain counters in the
+// MetricsSnapshot encoding.
+inline constexpr std::uint32_t kProtocolVersion = 7;
 // Fixed-size frame prefix: magic (4) + version (4) + body length (4).
 inline constexpr std::size_t kFramePrefixBytes = 12;
 // Envelope overhead beyond the body: prefix + CRC trailer.
@@ -87,6 +97,9 @@ enum class Op : std::uint8_t {
   kObserve = 5,      // report an observed (workload, cluster, seconds) run
   kRefit = 6,        // explicitly enqueue a regressor refit for a dataset
   kRefitStatus = 7,  // feedback-loop status (refit counts, error windows)
+  kRetrain = 8,      // explicitly enqueue a GHN fine-tune for a
+                     // (dataset, family) pair
+  kRetrainStatus = 9,  // retrain-loop status (generation, before/after error)
 };
 const char* to_string(Op op);
 
@@ -129,7 +142,8 @@ struct Request {
   double deadline_ms = -1.0;  // kPredict/kPredictBatch; <0 = server default
   std::vector<core::PredictRequest> reqs;  // exactly 1 for kPredict/kObserve
   double measured_s = 0.0;                 // kObserve: ground-truth seconds
-  std::string dataset;                     // kRefit: dataset to refit
+  std::string dataset;                     // kRefit/kRetrain: target dataset
+  std::string family;                      // kRetrain: drifted model family
 };
 
 struct Response {
@@ -141,6 +155,8 @@ struct Response {
   feedback::ObserveOutcome observe;         // kObserve with status kOk
   bool refit_started = false;               // kRefit with status kOk
   feedback::RefitStatus refit;              // kRefitStatus with status kOk
+  bool retrain_started = false;             // kRetrain with status kOk
+  retrain::RetrainStatus retrain;           // kRetrainStatus with status kOk
 };
 
 std::string encode_request(const Request& req);
@@ -166,5 +182,8 @@ feedback::ObserveOutcome read_observe_outcome(io::BinaryReader& r);
 
 void write_refit_status(io::BinaryWriter& w, const feedback::RefitStatus& s);
 feedback::RefitStatus read_refit_status(io::BinaryReader& r);
+
+void write_retrain_status(io::BinaryWriter& w, const retrain::RetrainStatus& s);
+retrain::RetrainStatus read_retrain_status(io::BinaryReader& r);
 
 }  // namespace pddl::rpc

@@ -33,12 +33,22 @@ const ShardedEmbeddingCache::Shard& ShardedEmbeddingCache::shard_for(
 }
 
 std::optional<Vector> ShardedEmbeddingCache::get(const std::string& dataset,
-                                                 std::uint64_t fp) {
+                                                 std::uint64_t fp,
+                                                 std::uint64_t ghn_checksum) {
   const std::string key = make_key(dataset, fp);
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mutex);
   auto it = s.index.find(key);
   if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  if (it->second->ghn_checksum != ghn_checksum) {
+    // Computed under a different GHN: erase rather than serve, so a swap
+    // can never leak an old-generation embedding to a caller.
+    s.lru.erase(it->second);
+    s.index.erase(it);
+    ++s.stale_drops;
     ++s.misses;
     return std::nullopt;
   }
@@ -48,12 +58,13 @@ std::optional<Vector> ShardedEmbeddingCache::get(const std::string& dataset,
 }
 
 void ShardedEmbeddingCache::put(const std::string& dataset, std::uint64_t fp,
-                                Vector embedding) {
+                                std::uint64_t ghn_checksum, Vector embedding) {
   const std::string key = make_key(dataset, fp);
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mutex);
   auto it = s.index.find(key);
   if (it != s.index.end()) {
+    it->second->ghn_checksum = ghn_checksum;
     it->second->embedding = std::move(embedding);
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
@@ -64,9 +75,26 @@ void ShardedEmbeddingCache::put(const std::string& dataset, std::uint64_t fp,
     s.lru.pop_back();
     ++s.evictions;
   }
-  s.lru.push_front(Node{dataset, fp, std::move(embedding)});
+  s.lru.push_front(Node{dataset, fp, ghn_checksum, std::move(embedding)});
   s.index[key] = s.lru.begin();
   ++s.inserts;
+}
+
+std::size_t ShardedEmbeddingCache::purge_dataset(const std::string& dataset) {
+  std::size_t removed = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    for (auto it = s->lru.begin(); it != s->lru.end();) {
+      if (it->dataset == dataset) {
+        s->index.erase(make_key(it->dataset, it->fp));
+        it = s->lru.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
 }
 
 std::size_t ShardedEmbeddingCache::size() const {
@@ -97,6 +125,7 @@ CacheStats ShardedEmbeddingCache::stats() const {
     out.inserts += s->inserts;
     out.evictions += s->evictions;
     out.entries += s->lru.size();
+    out.stale_drops += s->stale_drops;
   }
   return out;
 }
@@ -117,7 +146,8 @@ ShardedEmbeddingCache::export_entries() const {
     // Back-to-front: LRU first, so re-put() on restore ends with the same
     // entry in the MRU slot.
     for (auto it = s->lru.rbegin(); it != s->lru.rend(); ++it) {
-      out.push_back(Entry{it->dataset, it->fp, it->embedding});
+      out.push_back(Entry{it->dataset, it->fp, it->ghn_checksum,
+                          it->embedding});
     }
   }
   return out;

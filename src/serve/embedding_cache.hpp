@@ -33,6 +33,9 @@ struct CacheStats {
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;
+  // Entries found but rejected (and erased) because they were computed under
+  // a different GHN than the one now live — see the checksum notes below.
+  std::uint64_t stale_drops = 0;
 };
 
 class ShardedEmbeddingCache {
@@ -44,12 +47,25 @@ class ShardedEmbeddingCache {
   ShardedEmbeddingCache(const ShardedEmbeddingCache&) = delete;
   ShardedEmbeddingCache& operator=(const ShardedEmbeddingCache&) = delete;
 
-  // Returns the cached embedding and promotes it to most-recently-used.
-  std::optional<Vector> get(const std::string& dataset, std::uint64_t fp);
+  // Returns the cached embedding and promotes it to most-recently-used —
+  // but only when the entry was computed under the GHN identified by
+  // `ghn_checksum` (ghn::ghn_checksum of the dataset's registered model).
+  // A checksum mismatch erases the entry (counted in stats().stale_drops)
+  // and reports a miss: after a GHN hot-swap no stale embedding can ever be
+  // served, even if an in-flight batch that still holds the old inference
+  // engine re-inserts between the swap's purge and this lookup.
+  std::optional<Vector> get(const std::string& dataset, std::uint64_t fp,
+                            std::uint64_t ghn_checksum);
 
-  // Inserts (or refreshes) an embedding, evicting the shard's LRU entry
-  // when its slice is full.
-  void put(const std::string& dataset, std::uint64_t fp, Vector embedding);
+  // Inserts (or refreshes) an embedding tagged with the checksum of the GHN
+  // that produced it, evicting the shard's LRU entry when its slice is full.
+  void put(const std::string& dataset, std::uint64_t fp,
+           std::uint64_t ghn_checksum, Vector embedding);
+
+  // Drops every entry belonging to `dataset` (GHN hot-swap path); returns
+  // the number of entries removed.  Removals are not counted as evictions
+  // or stale drops — the swap's invalidation is reported by the caller.
+  std::size_t purge_dataset(const std::string& dataset);
 
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t capacity() const { return shards_.size() * per_shard_capacity_; }
@@ -68,6 +84,7 @@ class ShardedEmbeddingCache {
   struct Entry {
     std::string dataset;
     std::uint64_t fp = 0;
+    std::uint64_t ghn_checksum = 0;
     Vector embedding;
   };
   std::vector<Entry> export_entries() const;
@@ -76,6 +93,7 @@ class ShardedEmbeddingCache {
   struct Node {
     std::string dataset;
     std::uint64_t fp = 0;
+    std::uint64_t ghn_checksum = 0;
     Vector embedding;
   };
   struct Shard {
@@ -86,6 +104,7 @@ class ShardedEmbeddingCache {
     std::uint64_t misses = 0;
     std::uint64_t inserts = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t stale_drops = 0;
   };
 
   static std::string make_key(const std::string& dataset, std::uint64_t fp);

@@ -208,6 +208,11 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.refits_completed = refits_completed.load(std::memory_order_relaxed);
   s.refits_failed = refits_failed.load(std::memory_order_relaxed);
   s.engine_swaps = engine_swaps.load(std::memory_order_relaxed);
+  s.ghn_drift_events = ghn_drift_events.load(std::memory_order_relaxed);
+  s.retrains_started = retrains_started.load(std::memory_order_relaxed);
+  s.retrains_completed = retrains_completed.load(std::memory_order_relaxed);
+  s.retrains_failed = retrains_failed.load(std::memory_order_relaxed);
+  s.ghn_swaps = ghn_swaps.load(std::memory_order_relaxed);
   s.batches_dispatched = batches_dispatched.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < s.batch_size_counts.size(); ++i) {
     s.batch_size_counts[i] =
@@ -353,6 +358,22 @@ std::string MetricsSnapshot::to_string() const {
         static_cast<unsigned long long>(engine_swaps));
     out += buf;
   }
+  // Retrain line: only once the GHN retrain loop saw activity, so dumps from
+  // servers without --auto-retrain keep their exact shape.
+  if (ghn_drift_events != 0 || retrains_started != 0 || ghn_swaps != 0 ||
+      cache_stale_drops != 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  retrain  : ghn_drift=%llu retrains=%llu/%llu (failed=%llu) "
+        "ghn_swaps=%llu cache_stale_drops=%llu\n",
+        static_cast<unsigned long long>(ghn_drift_events),
+        static_cast<unsigned long long>(retrains_completed),
+        static_cast<unsigned long long>(retrains_started),
+        static_cast<unsigned long long>(retrains_failed),
+        static_cast<unsigned long long>(ghn_swaps),
+        static_cast<unsigned long long>(cache_stale_drops));
+    out += buf;
+  }
   // Reuse and arena lines appear only once the reuse index / fast-embed
   // path saw traffic, so pre-reuse dumps keep their exact shape.
   if (reuse_hits != 0 || reuse_rejected != 0 || reuse_misses != 0 ||
@@ -416,6 +437,7 @@ std::string MetricsSnapshot::to_json() const {
   num("errors", errors);
   num("cache_entries", cache_entries);
   num("cache_evictions", cache_evictions);
+  num("cache_stale_drops", cache_stale_drops);
   out += "\"rpc\":{";
   num("connections_accepted", rpc_connections_accepted);
   num("connections_active", rpc_connections_active);
@@ -433,6 +455,13 @@ std::string MetricsSnapshot::to_json() const {
   num("refits_completed", refits_completed);
   num("refits_failed", refits_failed);
   num("engine_swaps", engine_swaps, /*comma=*/false);
+  out += "},";
+  out += "\"retrain\":{";
+  num("ghn_drift_events", ghn_drift_events);
+  num("retrains_started", retrains_started);
+  num("retrains_completed", retrains_completed);
+  num("retrains_failed", retrains_failed);
+  num("ghn_swaps", ghn_swaps, /*comma=*/false);
   out += "},";
   out += "\"reuse\":{";
   num("hits", reuse_hits);

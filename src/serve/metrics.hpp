@@ -99,6 +99,9 @@ struct MetricsSnapshot {
   std::uint64_t errors = 0;               // request failed with an exception
   std::uint64_t cache_entries = 0;        // live entries across all shards
   std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_stale_drops = 0;    // entries rejected for a checksum
+                                          // mismatch (GHN generation changed
+                                          // under an in-flight insert)
 
   // ---- rpc layer (all zero when serving in-process; rpc::Server overlays
   // its connection and frame counters before answering a `stats` op) ----
@@ -118,6 +121,14 @@ struct MetricsSnapshot {
   std::uint64_t refits_completed = 0;
   std::uint64_t refits_failed = 0;
   std::uint64_t engine_swaps = 0;           // hot-swapped engines installed
+
+  // ---- GHN retrain loop (src/retrain/; zero until a GhnTrainerJob is
+  // attached and a ghn_drift edge fires) ----
+  std::uint64_t ghn_drift_events = 0;   // edge-triggered ghn_drift crossings
+  std::uint64_t retrains_started = 0;
+  std::uint64_t retrains_completed = 0;
+  std::uint64_t retrains_failed = 0;
+  std::uint64_t ghn_swaps = 0;          // GHN generations hot-swapped in
 
   // ---- reuse index (src/reuse/; all zero until ReuseConfig::enabled) ----
   std::uint64_t reuse_hits = 0;      // served a within-ε neighbour embedding
@@ -213,6 +224,14 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> refits_completed{0};
   std::atomic<std::uint64_t> refits_failed{0};
   std::atomic<std::uint64_t> engine_swaps{0};
+
+  // GHN retrain loop (bumped via note_ghn_drift / note_retrain_* and
+  // swap_ghn).
+  std::atomic<std::uint64_t> ghn_drift_events{0};
+  std::atomic<std::uint64_t> retrains_started{0};
+  std::atomic<std::uint64_t> retrains_completed{0};
+  std::atomic<std::uint64_t> retrains_failed{0};
+  std::atomic<std::uint64_t> ghn_swaps{0};
 
   std::atomic<std::uint64_t> batches_dispatched{0};
   std::array<std::atomic<std::uint64_t>, kMaxTrackedBatchSize + 1>

@@ -210,8 +210,12 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     bool coalesced = false;  // duplicate-fingerprint miss; copies its
                              // group representative's embedding
     double reuse_distance = 0.0;
-    // Reuse-index keys, filled only on the cache-miss + reuse-enabled path.
+    // Reuse-index signature, filled only on the cache-miss + reuse path.
     reuse::StructuralSignature sig;
+    // Checksum of the GHN this request resolved at dequeue.  Every cache
+    // get/put and reuse probe is keyed by it, so a request racing a GHN
+    // hot-swap can neither serve nor publish an embedding under the wrong
+    // generation.
     std::uint64_t ghn_checksum = 0;
     bool expired = false;  // deadline passed before its embed could run
   };
@@ -263,10 +267,12 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
       continue;
     }
     w.fp = ghn::structural_fingerprint(w.graph);
+    w.ghn_checksum = w.fast != nullptr ? w.fast->source_checksum()
+                                       : ghn::ghn_checksum(*w.ghn);
 
     if (cfg_.cache_enabled) {
       Stopwatch lookup;
-      if (auto hit = cache_.get(dataset, w.fp)) {
+      if (auto hit = cache_.get(dataset, w.fp, w.ghn_checksum)) {
         w.embedding = std::move(*hit);
         w.embed_ms = lookup.millis();
         w.cache_hit = true;
@@ -278,8 +284,6 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
       // cost-gated — when the index stops being an order cheaper than
       // embedding, serving degrades to the plain fresh-embed path.
       w.sig = reuse::make_signature(w.graph);
-      w.ghn_checksum = w.fast != nullptr ? w.fast->source_checksum()
-                                         : ghn::ghn_checksum(*w.ghn);
       if (!cfg_.reuse.use_cost_model || reuse_cost_.should_probe()) {
         Stopwatch probe;
         auto hit = reuse_index_.probe(dataset, w.ghn_checksum, w.fp, w.sig);
@@ -497,7 +501,9 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
         // Coalesced duplicates skip insertion: their representative already
         // installed this fingerprint's embedding (and priced the fresh-embed
         // side of the reuse cost model) this dispatch.
-        if (cfg_.cache_enabled) cache_.put(dataset, w.fp, w.embedding);
+        if (cfg_.cache_enabled) {
+          cache_.put(dataset, w.fp, w.ghn_checksum, w.embedding);
+        }
         if (reuse_on()) {
           // Insert-on-miss: this freshly embedded architecture becomes a
           // donor for future near-duplicates, and its embed time prices the
@@ -538,6 +544,7 @@ std::size_t PredictionService::warm_up(
     std::string dataset;
     graph::CompGraph graph;
     std::uint64_t fp = 0;
+    std::uint64_t ghn_checksum = 0;
     ghn::Ghn2* ghn = nullptr;
     std::shared_ptr<const ghn::GhnInference> fast;
     Vector embedding;
@@ -552,7 +559,11 @@ std::size_t PredictionService::warm_up(
     item.fp = ghn::structural_fingerprint(item.graph);
     item.ghn = ghn;
     if (cfg_.fast_embed) item.fast = engine_.registry().inference(item.dataset);
-    if (cache_.get(item.dataset, item.fp)) continue;  // already warm
+    item.ghn_checksum = item.fast != nullptr ? item.fast->source_checksum()
+                                             : ghn::ghn_checksum(*ghn);
+    if (cache_.get(item.dataset, item.fp, item.ghn_checksum)) {
+      continue;  // already warm
+    }
     misses.push_back(std::move(item));
   }
   // One batched forward pass per engine (same grouping as the dispatcher's
@@ -597,14 +608,12 @@ std::size_t PredictionService::warm_up(
     if (reuse_on()) {
       // Warm embeddings double as reuse donors, so the first near-duplicate
       // of a warmed model is already a reuse hit.
-      const std::uint64_t checksum = item.fast != nullptr
-                                         ? item.fast->source_checksum()
-                                         : ghn::ghn_checksum(*item.ghn);
-      reuse_index_.insert(item.dataset, checksum,
+      reuse_index_.insert(item.dataset, item.ghn_checksum,
                           item.fp, reuse::make_signature(item.graph),
                           item.embedding);
     }
-    cache_.put(item.dataset, item.fp, std::move(item.embedding));
+    cache_.put(item.dataset, item.fp, item.ghn_checksum,
+               std::move(item.embedding));
   }
   return misses.size();
 }
@@ -618,13 +627,21 @@ void PredictionService::save_cache(const std::string& path) const {
 
   io::SnapshotWriter snap;
   for (const auto& [dataset, es] : by_dataset) {
-    const ghn::Ghn2* ghn =
-        std::as_const(engine_.registry()).model(dataset);
-    if (ghn == nullptr) continue;  // no validity key — not worth persisting
-    io::BinaryWriter& w = snap.add("cache/" + dataset);
-    w.u64(ghn::ghn_checksum(*ghn));
-    w.u64(es.size());
+    const std::uint64_t live = engine_.registry().model_checksum(dataset);
+    if (live == 0) continue;  // no validity key — not worth persisting
+    // Persist only entries computed under the currently live GHN; a stale
+    // straggler inserted by an in-flight batch across a hot-swap would
+    // otherwise round-trip under the new generation's section header.
+    std::vector<const ShardedEmbeddingCache::Entry*> fresh;
+    fresh.reserve(es.size());
     for (const auto* e : es) {
+      if (e->ghn_checksum == live) fresh.push_back(e);
+    }
+    if (fresh.empty()) continue;
+    io::BinaryWriter& w = snap.add("cache/" + dataset);
+    w.u64(live);
+    w.u64(fresh.size());
+    for (const auto* e : fresh) {
       w.u64(e->fp);
       io::write_vector(w, e->embedding);
     }
@@ -657,7 +674,7 @@ std::size_t PredictionService::load_cache(const std::string& path) {
     for (std::uint64_t i = 0; i < count; ++i) {
       const std::uint64_t fp = r.u64();
       Vector embedding = io::read_vector(r);
-      cache_.put(dataset, fp, std::move(embedding));
+      cache_.put(dataset, fp, checksum, std::move(embedding));
       ++restored;
     }
   }
@@ -675,6 +692,33 @@ void PredictionService::swap_engine(
     std::shared_ptr<core::InferenceEngine> engine) {
   engine_.install_engine(dataset, std::move(engine));
   metrics_.engine_swaps.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictionService::swap_ghn(
+    const std::string& dataset, std::unique_ptr<ghn::Ghn2> ghn,
+    std::shared_ptr<core::InferenceEngine> engine) {
+  PDDL_CHECK(ghn != nullptr, "swap_ghn: null GHN");
+  // Ordering matters (DESIGN.md §14):
+  //   1. registry put — the new checksum is live; every later dequeue
+  //      resolves the new inference engine and keys cache/reuse by it.
+  //   2. purge the serve cache — old-generation embeddings leave in bulk.
+  //      A straggler insert from an in-flight batch (old engine, old
+  //      checksum) can land after this purge; the checksum key on get()
+  //      guarantees it is dropped instead of served.
+  //   3. invalidate the reuse partition — donors under the old checksum
+  //      can never satisfy a probe keyed by the new one, but dropping them
+  //      eagerly frees memory and makes the invalidation observable in
+  //      reuse_invalidations.
+  //   4. install the re-fitted regressor so predictions come from features
+  //      assembled with the same GHN generation end to end.
+  engine_.registry().put(dataset, std::move(ghn));
+  cache_.purge_dataset(dataset);
+  reuse_index_.invalidate(dataset);
+  if (engine != nullptr) {
+    engine_.install_engine(dataset, std::move(engine));
+    metrics_.engine_swaps.fetch_add(1, std::memory_order_relaxed);
+  }
+  metrics_.ghn_swaps.fetch_add(1, std::memory_order_relaxed);
 }
 
 void PredictionService::note_observation(bool accepted) {
@@ -695,6 +739,19 @@ void PredictionService::note_refit_finished(bool ok) {
       .fetch_add(1, std::memory_order_relaxed);
 }
 
+void PredictionService::note_ghn_drift() {
+  metrics_.ghn_drift_events.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictionService::note_retrain_started() {
+  metrics_.retrains_started.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictionService::note_retrain_finished(bool ok) {
+  (ok ? metrics_.retrains_completed : metrics_.retrains_failed)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsSnapshot PredictionService::metrics() const {
   MetricsSnapshot s = metrics_.snapshot();
   s.adaptive_arrival_hz = sizer_.arrival_rate_hz();
@@ -702,6 +759,7 @@ MetricsSnapshot PredictionService::metrics() const {
   const CacheStats cs = cache_.stats();
   s.cache_entries = cs.entries;
   s.cache_evictions = cs.evictions;
+  s.cache_stale_drops = cs.stale_drops;
   const reuse::ReuseStats rs = reuse_index_.stats();
   s.reuse_hits = rs.hits;
   s.reuse_rejected = rs.rejected;

@@ -163,12 +163,28 @@ class PredictionService {
   // untouched by a regressor swap.
   void swap_engine(const std::string& dataset,
                    std::shared_ptr<core::InferenceEngine> engine);
+
+  // ---- retrain hot-swap (src/retrain/) ----
+  // Atomically replaces the dataset's GHN generation and (when non-null) the
+  // regressor fitted on the new embeddings, then invalidates every embedding
+  // derived from the old generation: registry put (clears the registry memo
+  // and lazily rebuilds GhnInference), serve-cache purge, reuse-partition
+  // invalidation.  In-flight batches finish on the engines they pinned at
+  // dequeue — zero dropped requests — and can never publish a stale
+  // embedding because every cache get/put is keyed by ghn_checksum.
+  void swap_ghn(const std::string& dataset, std::unique_ptr<ghn::Ghn2> ghn,
+                std::shared_ptr<core::InferenceEngine> engine);
+
   // Counter hooks for the feedback controller, so drift/refit activity shows
   // up in the same MetricsSnapshot (and stats op) as serving counters.
   void note_observation(bool accepted);
   void note_drift();
   void note_refit_started();
   void note_refit_finished(bool ok);
+  // Same, for the GHN retrain loop (src/retrain/).
+  void note_ghn_drift();
+  void note_retrain_started();
+  void note_retrain_finished(bool ok);
 
   // Counter snapshot, with cache occupancy and reuse-index stats folded in.
   MetricsSnapshot metrics() const;

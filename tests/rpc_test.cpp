@@ -201,6 +201,77 @@ TEST(Wire, RefitRequestAndStatusRoundTrip) {
   EXPECT_TRUE(sback.refit.datasets[0].errors.drifted);
 }
 
+TEST(Wire, RetrainRequestAndStatusRoundTrip) {
+  Request r;
+  r.op = Op::kRetrain;
+  r.dataset = "wikitext103";
+  r.family = "bert";
+  const Request back = decode_request(encode_request(r));
+  ASSERT_EQ(back.op, Op::kRetrain);
+  EXPECT_EQ(back.dataset, "wikitext103");
+  EXPECT_EQ(back.family, "bert");
+
+  Response resp;
+  resp.op = Op::kRetrain;
+  resp.retrain_started = true;
+  EXPECT_TRUE(decode_response(encode_response(resp)).retrain_started);
+
+  Response status;
+  status.op = Op::kRetrainStatus;
+  status.retrain.generation = 3;
+  status.retrain.started = 4;
+  status.retrain.completed = 3;
+  status.retrain.failed = 1;
+  status.retrain.in_progress = true;
+  status.retrain.queued = 2;
+  status.retrain.last_dataset = "wikitext103";
+  status.retrain.last_family = "bert";
+  status.retrain.last_error = "retrain for 'x' failed: unknown dataset";
+  status.retrain.last_corpus_graphs = 12;
+  status.retrain.last_family_graphs = 5;
+  status.retrain.last_epochs_run = 6;
+  status.retrain.last_train_seconds = 1.75;
+  status.retrain.last_initial_loss = 0.9;
+  status.retrain.last_final_loss = 0.3;
+  status.retrain.live_checksum = 0xdeadbeefcafe1234ULL;
+  retrain::FamilyErrorDelta d;
+  d.dataset = "wikitext103";
+  d.family = "bert";
+  d.before.count = 4;
+  d.before.p50_rel = 0.66;
+  d.before.p95_rel = 0.7;
+  d.before.drifted = true;
+  d.after.count = 4;
+  d.after.p50_rel = 0.08;
+  status.retrain.families.push_back(d);
+
+  const Response sback = decode_response(encode_response(status));
+  EXPECT_EQ(sback.retrain.generation, 3u);
+  EXPECT_EQ(sback.retrain.started, 4u);
+  EXPECT_EQ(sback.retrain.completed, 3u);
+  EXPECT_EQ(sback.retrain.failed, 1u);
+  EXPECT_TRUE(sback.retrain.in_progress);
+  EXPECT_EQ(sback.retrain.queued, 2u);
+  EXPECT_EQ(sback.retrain.last_dataset, "wikitext103");
+  EXPECT_EQ(sback.retrain.last_family, "bert");
+  EXPECT_EQ(sback.retrain.last_error, status.retrain.last_error);
+  EXPECT_EQ(sback.retrain.last_corpus_graphs, 12u);
+  EXPECT_EQ(sback.retrain.last_family_graphs, 5u);
+  EXPECT_EQ(sback.retrain.last_epochs_run, 6);
+  EXPECT_EQ(sback.retrain.last_train_seconds, 1.75);
+  EXPECT_EQ(sback.retrain.last_initial_loss, 0.9);
+  EXPECT_EQ(sback.retrain.last_final_loss, 0.3);
+  EXPECT_EQ(sback.retrain.live_checksum, 0xdeadbeefcafe1234ULL);
+  ASSERT_EQ(sback.retrain.families.size(), 1u);
+  EXPECT_EQ(sback.retrain.families[0].dataset, "wikitext103");
+  EXPECT_EQ(sback.retrain.families[0].family, "bert");
+  EXPECT_EQ(sback.retrain.families[0].before.count, 4u);
+  EXPECT_EQ(sback.retrain.families[0].before.p50_rel, 0.66);
+  EXPECT_TRUE(sback.retrain.families[0].before.drifted);
+  EXPECT_EQ(sback.retrain.families[0].after.count, 4u);
+  EXPECT_EQ(sback.retrain.families[0].after.p50_rel, 0.08);
+}
+
 TEST(Wire, WorkloadParallelismKeyRoundTrips) {
   core::PredictRequest req = make_request("resnet18");
   req.workload.parallelism = workload::ParallelismSpec::pipeline(4, 8);
@@ -869,6 +940,52 @@ TEST_F(RpcLoopbackTest, ObserveDriftRefitShiftsRemotePredictions) {
   EXPECT_GE(m.engine_swaps, 1u);
 }
 
+// An explicit retrain over the wire fine-tunes + hot-swaps the dataset's
+// GHN and the status op reports the completed generation remotely.
+TEST_F(RpcLoopbackTest, RetrainOverTheWireSwapsGhnGeneration) {
+  serve::PredictionService service(*pddl_);
+  feedback::FeedbackController fb(service, *pddl_);
+  retrain::GhnTrainerJob job(service, *pddl_, fb);
+  fb.attach_retrain(&job);
+  Server server(service);
+  server.attach_feedback(&fb);
+  server.attach_retrain(&job);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  const std::uint64_t before = pddl_->registry().model_checksum("cifar10");
+  EXPECT_TRUE(client.request_retrain("cifar10", "resnet"));
+  job.wait_idle();
+
+  const retrain::RetrainStatus status = client.retrain_status();
+  EXPECT_EQ(status.generation, 1u);
+  EXPECT_EQ(status.completed, 1u);
+  EXPECT_EQ(status.failed, 0u);
+  EXPECT_EQ(status.last_dataset, "cifar10");
+  EXPECT_EQ(status.last_family, "resnet");
+  EXPECT_GT(status.last_corpus_graphs, 0u);
+  EXPECT_GT(status.last_epochs_run, 0);
+  EXPECT_NE(status.live_checksum, before);
+  EXPECT_EQ(status.live_checksum, pddl_->registry().model_checksum("cifar10"));
+
+  const serve::MetricsSnapshot m = client.stats();
+  EXPECT_EQ(m.retrains_started, 1u);
+  EXPECT_EQ(m.retrains_completed, 1u);
+  EXPECT_EQ(m.retrains_failed, 0u);
+  EXPECT_EQ(m.ghn_swaps, 1u);
+  EXPECT_EQ(m.cache_stale_drops, 0u);
+
+  // The swapped generation serves: a remote predict under the new GHN
+  // matches an in-process recompute bit-exactly.
+  const core::PredictRequest req = make_request("resnet18");
+  const serve::ServeResult r = client.predict(req);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_DOUBLE_EQ(r.response.predicted_time_s,
+                   pddl_->predict_from_features(
+                       "cifar10",
+                       pddl_->features().build(req.workload, req.cluster)));
+}
+
 // Feedback ops against a server with no controller attached come back as
 // typed bad_request errors, not crashes or hangs.
 TEST_F(RpcLoopbackTest, FeedbackOpsWithoutControllerAreTypedErrors) {
@@ -881,6 +998,8 @@ TEST_F(RpcLoopbackTest, FeedbackOpsWithoutControllerAreTypedErrors) {
   EXPECT_THROW(client.observe(req, 100.0), Error);
   EXPECT_THROW(client.request_refit("cifar10"), Error);
   EXPECT_THROW(client.refit_status(), Error);
+  EXPECT_THROW(client.request_retrain("cifar10", "resnet"), Error);
+  EXPECT_THROW(client.retrain_status(), Error);
   try {
     client.observe(req, 100.0);
     FAIL() << "observe without a controller must throw";

@@ -312,17 +312,20 @@ TEST_F(ServeTest, StressManyClientsMixedTraffic) {
 
 // ---- ShardedEmbeddingCache unit coverage ----
 
+// The GHN checksum the entries below pretend to be computed under.
+constexpr std::uint64_t kCk = 0xfeedULL;
+
 TEST(ShardedEmbeddingCache, LruEvictsLeastRecentlyUsed) {
   ShardedEmbeddingCache cache(/*shards=*/1, /*capacity=*/3);
-  cache.put("d", 1, {1.0});
-  cache.put("d", 2, {2.0});
-  cache.put("d", 3, {3.0});
-  ASSERT_TRUE(cache.get("d", 1).has_value());  // promote fp=1 to MRU
-  cache.put("d", 4, {4.0});                    // evicts fp=2 (LRU)
-  EXPECT_FALSE(cache.get("d", 2).has_value());
-  EXPECT_TRUE(cache.get("d", 1).has_value());
-  EXPECT_TRUE(cache.get("d", 3).has_value());
-  EXPECT_TRUE(cache.get("d", 4).has_value());
+  cache.put("d", 1, kCk, {1.0});
+  cache.put("d", 2, kCk, {2.0});
+  cache.put("d", 3, kCk, {3.0});
+  ASSERT_TRUE(cache.get("d", 1, kCk).has_value());  // promote fp=1 to MRU
+  cache.put("d", 4, kCk, {4.0});                    // evicts fp=2 (LRU)
+  EXPECT_FALSE(cache.get("d", 2, kCk).has_value());
+  EXPECT_TRUE(cache.get("d", 1, kCk).has_value());
+  EXPECT_TRUE(cache.get("d", 3, kCk).has_value());
+  EXPECT_TRUE(cache.get("d", 4, kCk).has_value());
   const CacheStats s = cache.stats();
   EXPECT_EQ(s.evictions, 1u);
   EXPECT_EQ(s.entries, 3u);
@@ -331,9 +334,9 @@ TEST(ShardedEmbeddingCache, LruEvictsLeastRecentlyUsed) {
 
 TEST(ShardedEmbeddingCache, PutRefreshesExistingKey) {
   ShardedEmbeddingCache cache(2, 8);
-  cache.put("d", 7, {1.0});
-  cache.put("d", 7, {9.0});
-  const auto v = cache.get("d", 7);
+  cache.put("d", 7, kCk, {1.0});
+  cache.put("d", 7, kCk, {9.0});
+  const auto v = cache.get("d", 7, kCk);
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ((*v)[0], 9.0);
   EXPECT_EQ(cache.size(), 1u);
@@ -341,10 +344,39 @@ TEST(ShardedEmbeddingCache, PutRefreshesExistingKey) {
 
 TEST(ShardedEmbeddingCache, DatasetsDoNotCollide) {
   ShardedEmbeddingCache cache(4, 16);
-  cache.put("cifar10", 42, {1.0});
-  cache.put("tiny_imagenet", 42, {2.0});
-  EXPECT_EQ((*cache.get("cifar10", 42))[0], 1.0);
-  EXPECT_EQ((*cache.get("tiny_imagenet", 42))[0], 2.0);
+  cache.put("cifar10", 42, kCk, {1.0});
+  cache.put("tiny_imagenet", 42, kCk, {2.0});
+  EXPECT_EQ((*cache.get("cifar10", 42, kCk))[0], 1.0);
+  EXPECT_EQ((*cache.get("tiny_imagenet", 42, kCk))[0], 2.0);
+}
+
+TEST(ShardedEmbeddingCache, ChecksumMismatchDropsEntryInsteadOfServing) {
+  ShardedEmbeddingCache cache(2, 8);
+  cache.put("d", 7, kCk, {1.0});
+  // A lookup keyed by a newer GHN generation must not see the old entry —
+  // and must erase it, so a stale insert can't linger until a matching
+  // old-generation lookup comes along.
+  EXPECT_FALSE(cache.get("d", 7, kCk + 1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.stale_drops, 1u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 1u);
+  // Refresh under the new checksum re-validates the fingerprint.
+  cache.put("d", 7, kCk + 1, {2.0});
+  EXPECT_EQ((*cache.get("d", 7, kCk + 1))[0], 2.0);
+}
+
+TEST(ShardedEmbeddingCache, PurgeDatasetDropsOnlyThatDataset) {
+  ShardedEmbeddingCache cache(4, 16);
+  cache.put("cifar10", 1, kCk, {1.0});
+  cache.put("cifar10", 2, kCk, {2.0});
+  cache.put("wikitext103", 1, kCk, {3.0});
+  EXPECT_EQ(cache.purge_dataset("cifar10"), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.get("cifar10", 1, kCk).has_value());
+  EXPECT_TRUE(cache.get("wikitext103", 1, kCk).has_value());
+  EXPECT_EQ(cache.purge_dataset("cifar10"), 0u);  // idempotent
 }
 
 TEST(ShardedEmbeddingCache, ConcurrentHammerStaysConsistent) {
@@ -358,10 +390,10 @@ TEST(ShardedEmbeddingCache, ConcurrentHammerStaysConsistent) {
       for (int i = 0; i < kOps; ++i) {
         const std::uint64_t fp = static_cast<std::uint64_t>((t * 7 + i) % 96);
         if (i % 3 == 0) {
-          cache.put("d", fp, {static_cast<double>(fp)});
+          cache.put("d", fp, kCk, {static_cast<double>(fp)});
         } else {
           gets.fetch_add(1);
-          if (auto v = cache.get("d", fp)) {
+          if (auto v = cache.get("d", fp, kCk)) {
             // A hit must return the value stored under that key.
             EXPECT_EQ((*v)[0], static_cast<double>(fp));
           }
