@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -19,6 +20,7 @@
 #include "common/table.hpp"
 #include "core/batch_predictor.hpp"
 #include "core/predict_ddl.hpp"
+#include "tensor/simd.hpp"
 
 namespace pddl::bench {
 
@@ -117,11 +119,49 @@ inline Vector actual_times(const std::vector<sim::Measurement>& ms) {
   return y;
 }
 
-// Writes `table` as CSV next to the binary and prints it.
+// Wall-clock statistics over N repetitions of a timed section.  mean_ms is
+// what older CSVs reported; min_ms is the noise-hardened figure a loaded CI
+// box can't inflate — the minimum over repetitions strips scheduler
+// preemptions and cache-cold outliers that a mean averages in.
+struct TimingStats {
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  std::size_t reps = 0;
+};
+
+// Runs `fn` `reps` times under steady_clock (monotonic — immune to NTP
+// slews that can make system_clock intervals negative) and reports both the
+// mean and the min.  `fn` must be idempotent; its side effects are free
+// warm-up for the later repetitions, which is exactly what min-of-N wants.
+template <typename Fn>
+TimingStats time_min_of(std::size_t reps, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  TimingStats stats;
+  stats.reps = reps;
+  double total = 0.0;
+  for (std::size_t i = 0; i < reps; ++i) {
+    const clock::time_point t0 = clock::now();
+    fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    total += ms;
+    stats.min_ms = i == 0 ? ms : std::min(stats.min_ms, ms);
+  }
+  stats.mean_ms = reps == 0 ? 0.0 : total / static_cast<double>(reps);
+  return stats;
+}
+
+// Writes `table` as CSV next to the binary and prints it.  Every emitted
+// table gains a trailing `dispatch` column carrying the live SIMD dispatch
+// level (scalar / avx2), so a CSV row is self-describing about the kernels
+// that produced it — two otherwise-identical runs from different machines
+// (or a PDDL_DISPATCH=scalar CI leg) stay distinguishable after the fact.
 inline void emit(const Table& table, const std::string& title,
                  const std::string& csv_name) {
-  std::printf("%s", table.to_text(title).c_str());
-  table.write_csv("bench_results/" + csv_name);
+  Table stamped = table;
+  stamped.append_column("dispatch", simd::active_level_name());
+  std::printf("%s", stamped.to_text(title).c_str());
+  stamped.write_csv("bench_results/" + csv_name);
   std::printf("  -> bench_results/%s\n\n", csv_name.c_str());
 }
 

@@ -63,6 +63,7 @@
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
 #include "serve/service.hpp"
+#include "tensor/simd.hpp"
 
 namespace pddl::bench {
 namespace {
@@ -318,8 +319,8 @@ RunStats open_loop(serve::PredictionService& service,
   return s;
 }
 
-int run(double feedback_rate, double feedback_skew,
-        const std::string& family) {
+int run(double feedback_rate, double feedback_skew, const std::string& family,
+        ghn::Precision precision) {
   ThreadPool pool;
   sim::DdlSimulator simulator;
   const core::PredictDdlOptions opts = standard_options();
@@ -345,6 +346,9 @@ int run(double feedback_rate, double feedback_skew,
   serve::ServiceConfig base;
   base.dispatcher_threads = 4;
   base.queue_capacity = 4096;
+  base.precision = precision;
+  std::printf("embed engine: precision=%s dispatch=%s\n",
+              ghn::precision_name(precision), simd::active_level_name());
   RunStats nocache;
   {
     serve::ServiceConfig cfg = base;
@@ -511,7 +515,7 @@ int run_remote(const std::string& host, std::uint16_t port,
 // the batched miss path must preserve: every request succeeds, the wire sees
 // zero frame errors, and completed == cache_hits + cache_misses + reuse_hits
 // (coalesced requests still count as misses).
-int run_smoke(const std::string& family) {
+int run_smoke(const std::string& family, ghn::Precision precision) {
   ThreadPool pool;
   sim::DdlSimulator simulator;
   core::PredictDdlOptions opts;
@@ -533,6 +537,9 @@ int run_smoke(const std::string& family) {
   cfg.queue_capacity = 1024;
   cfg.cache_enabled = false;  // every request exercises the batched miss path
   cfg.adaptive_batch = true;
+  cfg.precision = precision;
+  std::printf("smoke: embed engine precision=%s dispatch=%s\n",
+              ghn::precision_name(precision), simd::active_level_name());
   serve::PredictionService service(pddl, cfg);
   rpc::Server server(service);
   server.start();
@@ -575,6 +582,8 @@ int main(int argc, char** argv) {
   double feedback_rate = 0.0;  // fraction of ok predictions also observed
   double feedback_skew = 0.5;  // measured = (1 + skew) × predicted
   std::string family = "cnn";  // request-mix population (cnn | transformers | all)
+  // f32 is the serving default; --precision f64 runs the oracle ablation.
+  pddl::ghn::Precision precision = pddl::ghn::Precision::kF32;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--remote" && i + 1 < argc) {
@@ -591,17 +600,23 @@ int main(int argc, char** argv) {
       feedback_skew = std::atof(argv[++i]);
     } else if (arg == "--family" && i + 1 < argc) {
       family = argv[++i];
+    } else if (arg == "--precision" && i + 1 < argc) {
+      if (!pddl::ghn::parse_precision(argv[++i], precision)) {
+        std::fprintf(stderr, "--precision expects f32 or f64; got %s\n",
+                     argv[i]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--remote HOST:PORT] [--smoke] [--threads N] "
                    "[--rounds N] [--feedback-rate R] [--feedback-skew S] "
-                   "[--family cnn|transformers|all]\n",
+                   "[--family cnn|transformers|all] [--precision f32|f64]\n",
                    argv[0]);
       return 2;
     }
   }
   if (smoke) {
-    return pddl::bench::run_smoke(family);
+    return pddl::bench::run_smoke(family, precision);
   }
   if (!endpoint.empty()) {
     const std::size_t colon = endpoint.rfind(':');
@@ -615,5 +630,5 @@ int main(int argc, char** argv) {
         static_cast<std::uint16_t>(std::atoi(endpoint.c_str() + colon + 1)),
         threads, rounds, feedback_rate, feedback_skew, family);
   }
-  return pddl::bench::run(feedback_rate, feedback_skew, family);
+  return pddl::bench::run(feedback_rate, feedback_skew, family, precision);
 }

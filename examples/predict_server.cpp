@@ -36,6 +36,11 @@
 //   --family F        workload families to train and warm for: cnn
 //                     (default; the Table II datasets), transformers
 //                     (bert/gpt on wikitext103), or all
+//   --precision P     fast-embed engine precision: f32 (default; SIMD
+//                     single-precision engine, predictions within the
+//                     DESIGN.md §15 error budget of the f64 oracle) or f64
+//                     (the ≤1e-9 tape-parity ablation path).  The stats op
+//                     reports the live precision and kernel dispatch level.
 //   --auto-retrain    run a retrain::GhnTrainerJob: a per-family ghn_drift
 //                     crossing fine-tunes the dataset's GHN on a background
 //                     thread and hot-swaps it (with a regressor refitted on
@@ -64,6 +69,7 @@
 
 #include "retrain/trainer_job.hpp"
 #include "rpc/server.hpp"
+#include "tensor/simd.hpp"
 
 using namespace pddl;
 
@@ -84,6 +90,8 @@ int main(int argc, char** argv) {
   std::string family = "cnn";
   bool auto_retrain = false;
   std::uint64_t seed = 1;
+  // Serving default is the f32 fast path; --precision f64 is the ablation.
+  ghn::Precision precision = ghn::Precision::kF32;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -122,13 +130,19 @@ int main(int argc, char** argv) {
                      family.c_str());
         return 2;
       }
+    } else if (arg == "--precision" && i + 1 < argc) {
+      if (!ghn::parse_precision(argv[++i], precision)) {
+        std::fprintf(stderr, "--precision expects f32 or f64; got %s\n",
+                     argv[i]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--host H] [--state DIR] "
                    "[--save-state DIR] [--fast] [--reuse-eps E] "
                    "[--max-batch N] [--adaptive-batch] "
-                   "[--family cnn|transformers|all] [--auto-retrain] "
-                   "[--seed S]\n",
+                   "[--family cnn|transformers|all] [--precision f32|f64] "
+                   "[--auto-retrain] [--seed S]\n",
                    argv[0]);
       return 2;
     }
@@ -189,6 +203,9 @@ int main(int argc, char** argv) {
   cfg.cache_capacity = 1024;
   cfg.max_batch = static_cast<std::size_t>(max_batch);
   cfg.adaptive_batch = adaptive_batch;
+  cfg.precision = precision;
+  std::printf("embed engine: precision=%s dispatch=%s\n",
+              ghn::precision_name(precision), simd::active_level_name());
   if (adaptive_batch) {
     std::printf("adaptive batching on (dispatch size in [1, %d])\n",
                 max_batch);

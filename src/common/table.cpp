@@ -32,6 +32,17 @@ Table& Table::add(const std::string& cell) {
   return *this;
 }
 
+Table& Table::append_column(const std::string& header,
+                            const std::string& value) {
+  const std::size_t old_width = header_.size();
+  header_.push_back(header);
+  for (auto& row : rows_) {
+    while (row.size() < old_width) row.push_back("");
+    row.push_back(value);
+  }
+  return *this;
+}
+
 Table& Table::add(const char* cell) { return add(std::string(cell)); }
 Table& Table::add(double value, int precision) {
   return add(format_double(value, precision));

@@ -27,6 +27,13 @@ class Table {
 
   std::size_t num_rows() const { return rows_.size(); }
 
+  // Appends a column: header gains `header`, every existing row gains
+  // `value` as its last cell (short rows are padded with "" first, so the
+  // new value always lands in the new column).  Used by the bench harness
+  // to stamp run-wide provenance (e.g. the SIMD dispatch level) onto every
+  // row of an already-built table.
+  Table& append_column(const std::string& header, const std::string& value);
+
   // Render as an aligned text table with a title banner.
   std::string to_text(const std::string& title = "") const;
 

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/simd.hpp"
 
 namespace pddl::ghn {
 
@@ -9,81 +14,188 @@ using graph::CompGraph;
 
 namespace {
 
-// dst (m × cols(w)) = a (m × k) · w, zero-initialised.  Ascending-k
-// accumulation with zero-skip: the same element-wise operation sequence as
-// pddl::matmul's small path, so every row matches the tape's per-row matmul
-// bit-for-bit.
-void gemm_rows(const double* a, std::size_t m, std::size_t k, const Matrix& w,
-               double* dst) {
-  const std::size_t ncols = w.cols();
-  std::fill(dst, dst + m * ncols, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a + i * k;
-    double* drow = dst + i * ncols;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double aik = arow[kk];
-      if (aik == 0.0) continue;
-      const double* wrow = w.row_ptr(kk);
-      for (std::size_t j = 0; j < ncols; ++j) drow[j] += aik * wrow[j];
-    }
-  }
+// Precision-overloaded shims onto the dispatch layer (tensor/simd.hpp) so
+// embed_batch_impl<T> reads identically for both element types.  The f64
+// panel squashings stay plain libm loops — exactly the expressions the tape
+// evaluates — while f32 routes to the dispatched fast transcendentals,
+// which are bit-identical between their own scalar and AVX2 forms.
+
+inline void k_dot(const double* x, const double* bt, std::size_t n,
+                  std::size_t k_dim, const double* bias, double* y) {
+  simd::dot_rows_transposed_f64(x, bt, n, k_dim, bias, y);
 }
+inline void k_dot(const float* x, const float* bt, std::size_t n,
+                  std::size_t k_dim, const float* bias, float* y) {
+  simd::dot_rows_transposed_f32(x, bt, n, k_dim, bias, y);
+}
+
+inline void k_rows(const double* a, std::size_t m, const double* bt,
+                   std::size_t n, std::size_t k_dim, double* out) {
+  simd::matmul_rows_transposed_b_f64(a, m, bt, n, k_dim, out);
+}
+inline void k_rows(const float* a, std::size_t m, const float* bt,
+                   std::size_t n, std::size_t k_dim, float* out) {
+  simd::matmul_rows_transposed_b_f32(a, m, bt, n, k_dim, out);
+}
+
+inline void k_gemm(const double* a, std::size_t m, std::size_t k,
+                   const double* w, std::size_t ncols, double* dst) {
+  simd::gemm_rows_f64(a, m, k, w, ncols, dst);
+}
+inline void k_gemm(const float* a, std::size_t m, std::size_t k,
+                   const float* w, std::size_t ncols, float* dst) {
+  simd::gemm_rows_f32(a, m, k, w, ncols, dst);
+}
+
+inline void k_axpy(double* dst, const double* src, double s, std::size_t n) {
+  simd::axpy_f64(dst, src, s, n);
+}
+inline void k_axpy(float* dst, const float* src, float s, std::size_t n) {
+  simd::axpy_f32(dst, src, s, n);
+}
+
+inline void k_sigmoid(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = 1.0 / (1.0 + std::exp(-x[i]));
+}
+inline void k_sigmoid(float* x, std::size_t n) {
+  simd::sigmoid_inplace_f32(x, n);
+}
+
+inline void k_tanh(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+inline void k_tanh(float* x, std::size_t n) { simd::tanh_inplace_f32(x, n); }
+
+// Scalar hidden-layer activation.  The double form is nn::activate_scalar
+// verbatim (tape parity); the float form mirrors it with the same fast
+// transcendentals the panel squashings use.
+inline double activate_one(double x, nn::Activation act) {
+  return nn::activate_scalar(x, act);
+}
+inline float activate_one(float x, nn::Activation act) {
+  switch (act) {
+    case nn::Activation::kNone:
+      return x;
+    case nn::Activation::kRelu:
+      return x < 0.0f ? 0.0f : x;
+    case nn::Activation::kTanh:
+      return simd::fast_tanhf(x);
+    case nn::Activation::kSigmoid:
+      return simd::fast_sigmoidf(x);
+  }
+  return x;
+}
+
+template <typename T>
+T* arena_take(ScratchArena& arena, std::size_t n);
+template <>
+double* arena_take<double>(ScratchArena& arena, std::size_t n) {
+  return arena.doubles(n);
+}
+template <>
+float* arena_take<float>(ScratchArena& arena, std::size_t n) {
+  return arena.floats(n);
+}
+
+// Row chunk for the intra-parallel GEMMs: big enough that one task
+// amortizes a submit, small enough that densenet-sized batches (≈700 rows)
+// still split across a handful of workers.
+constexpr std::size_t kParRowChunk = 64;
 
 }  // namespace
 
-void GhnInference::TMlp::forward_row(const double* x, double* y,
-                                     double* scratch) const {
-  double* ping = scratch;
-  double* pong = scratch + max_width;
-  const double* cur = x;
+const char* precision_name(Precision p) {
+  return p == Precision::kF32 ? "f32" : "f64";
+}
+
+bool parse_precision(std::string_view text, Precision& out) {
+  if (text == "f32") {
+    out = Precision::kF32;
+    return true;
+  }
+  if (text == "f64") {
+    out = Precision::kF64;
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+void GhnInference::TMlpT<T>::forward_row(const T* x, T* y, T* scratch) const {
+  T* ping = scratch;
+  T* pong = scratch + max_width;
+  const T* cur = x;
   for (std::size_t i = 0; i < layers.size(); ++i) {
-    const TLinear& l = layers[i];
-    double* dst = i + 1 == layers.size() ? y : (i % 2 == 0 ? ping : pong);
-    dot_rows_transposed(cur, l.wt.data(), l.wt.rows(), l.wt.cols(),
-                        l.b.empty() ? nullptr : l.b.data(), dst);
+    const TLinearT<T>& l = layers[i];
+    T* dst = i + 1 == layers.size() ? y : (i % 2 == 0 ? ping : pong);
+    k_dot(cur, l.wt.data(), l.out, l.in, l.b.empty() ? nullptr : l.b.data(),
+          dst);
     if (i + 1 < layers.size()) {
-      for (std::size_t j = 0; j < l.wt.rows(); ++j) {
-        dst[j] = nn::activate_scalar(dst[j], act);
+      for (std::size_t j = 0; j < l.out; ++j) {
+        dst[j] = activate_one(dst[j], act);
       }
     }
     cur = dst;
   }
 }
 
-GhnInference::GhnInference(const Ghn2& ghn)
-    : cfg_(ghn.config()),
-      source_checksum_(ghn_checksum(ghn)),
-      embed_w_(ghn.embed_layer().weight()),
-      gru_wzt_(ghn.gru().wz().transposed()),
-      gru_wrt_(ghn.gru().wr().transposed()),
-      gru_wnt_(ghn.gru().wn().transposed()),
-      gru_uz_(ghn.gru().uz()),
-      gru_ur_(ghn.gru().ur()),
-      gru_unt_(ghn.gru().un().transposed()),
-      gru_bz_(ghn.gru().bz().row(0)),
-      gru_br_(ghn.gru().br().row(0)),
-      gru_bn_(ghn.gru().bn().row(0)),
-      op_gains_(graph::kNumOpTypes, ghn.config().hidden_dim) {
+template <typename T>
+void GhnInference::build_weights(const Ghn2& ghn, WeightsT<T>& w) {
   const std::size_t H = cfg_.hidden_dim;
-  embed_b_ = ghn.embed_layer().has_bias() ? ghn.embed_layer().bias().row(0)
-                                          : Vector(H, 0.0);
-  auto transpose_mlp = [](const nn::Mlp& m) {
-    TMlp t;
+  auto flat = [](const Matrix& m, std::vector<T>& dst) {
+    dst.resize(m.size());
+    const double* p = m.data();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = static_cast<T>(p[i]);
+  };
+  flat(ghn.embed_layer().weight(), w.embed_w);
+  if (ghn.embed_layer().has_bias()) {
+    flat(ghn.embed_layer().bias(), w.embed_b);
+  } else {
+    w.embed_b.assign(H, T(0));
+  }
+  auto transpose_mlp = [&flat](const nn::Mlp& m, TMlpT<T>& t) {
     t.act = m.hidden_activation();
     t.max_width = m.max_width();
+    t.layers.clear();
     t.layers.reserve(m.layers().size());
     for (const nn::Linear& l : m.layers()) {
-      TLinear tl;
-      tl.wt = l.weight().transposed();
-      if (l.has_bias()) tl.b = l.bias().row(0);
+      TLinearT<T> tl;
+      const Matrix wt = l.weight().transposed();
+      tl.out = wt.rows();
+      tl.in = wt.cols();
+      flat(wt, tl.wt);
+      if (l.has_bias()) flat(l.bias(), tl.b);
       t.layers.push_back(std::move(tl));
     }
-    return t;
   };
-  msg_mlp_ = transpose_mlp(ghn.msg_mlp());
-  msg_mlp_sp_ = transpose_mlp(ghn.msg_mlp_sp());
+  transpose_mlp(ghn.msg_mlp(), w.msg_mlp);
+  transpose_mlp(ghn.msg_mlp_sp(), w.msg_mlp_sp);
+  flat(ghn.gru().wz().transposed(), w.gru_wzt);
+  flat(ghn.gru().wr().transposed(), w.gru_wrt);
+  flat(ghn.gru().wn().transposed(), w.gru_wnt);
+  flat(ghn.gru().uz(), w.gru_uz);
+  flat(ghn.gru().ur(), w.gru_ur);
+  flat(ghn.gru().un().transposed(), w.gru_unt);
+  flat(ghn.gru().bz(), w.gru_bz);
+  flat(ghn.gru().br(), w.gru_br);
+  flat(ghn.gru().bn(), w.gru_bn);
+  w.op_gains.resize(graph::kNumOpTypes * H);
   for (std::size_t op = 0; op < graph::kNumOpTypes; ++op) {
-    op_gains_.set_row(op, ghn.op_gains()[op].row(0));
+    const double* g = ghn.op_gains()[op].row_ptr(0);
+    for (std::size_t j = 0; j < H; ++j) {
+      w.op_gains[op * H + j] = static_cast<T>(g[j]);
+    }
+  }
+}
+
+GhnInference::GhnInference(const Ghn2& ghn, Precision precision)
+    : cfg_(ghn.config()),
+      precision_(precision),
+      source_checksum_(ghn_checksum(ghn)) {
+  if (precision_ == Precision::kF32) {
+    build_weights(ghn, w32_);
+  } else {
+    build_weights(ghn, w64_);
   }
 }
 
@@ -105,6 +217,22 @@ void GhnInference::embed_into(const CompGraph& g, Vector& out) const {
                    std::span<Vector* const>(&op, 1));
 }
 
+void GhnInference::embed_batch_into(std::span<const CompGraph* const> graphs,
+                                    std::span<Vector* const> outs) const {
+  embed_batch_into(graphs, outs, /*intra_pool=*/nullptr, /*min_nodes=*/0);
+}
+
+void GhnInference::embed_batch_into(std::span<const CompGraph* const> graphs,
+                                    std::span<Vector* const> outs,
+                                    ThreadPool* intra_pool,
+                                    std::size_t min_nodes) const {
+  if (precision_ == Precision::kF32) {
+    embed_batch_impl<float>(w32_, graphs, outs, intra_pool, min_nodes);
+  } else {
+    embed_batch_impl<double>(w64_, graphs, outs, intra_pool, min_nodes);
+  }
+}
+
 // Batched layout: graph g's node v occupies global row off[g]+v of one
 // concatenated node space of N = Σ n_g rows.  Everything that was per-node
 // in the one-graph path (features, states, memo tables, hu projections, the
@@ -112,9 +240,12 @@ void GhnInference::embed_into(const CompGraph& g, Vector& out) const {
 // gate halves run as single N-row GEMMs; everything that was per-*step*
 // (the three message-gate products) gathers one row per live graph into a
 // compact L×H panel and runs as one fused GEMM against each weight matrix.
-void GhnInference::embed_batch_into(
-    std::span<const CompGraph* const> graphs,
-    std::span<Vector* const> outs) const {
+template <typename T>
+void GhnInference::embed_batch_impl(const WeightsT<T>& w,
+                                    std::span<const CompGraph* const> graphs,
+                                    std::span<Vector* const> outs,
+                                    ThreadPool* intra_pool,
+                                    std::size_t min_nodes) const {
   const std::size_t G = graphs.size();
   PDDL_CHECK(G > 0, "cannot embed an empty batch");
   PDDL_CHECK(outs.size() == G,
@@ -137,154 +268,188 @@ void GhnInference::embed_batch_into(
   }
   const std::size_t N = static_cast<std::size_t>(off[G]);
 
+  // Intra-graph parallelism gate (header contract: bit-identical, opt-in).
+  const bool par = intra_pool != nullptr && N >= min_nodes;
+  // dst rows [r0, r1) per task are disjoint and each row's operation
+  // sequence is the serial one, so row partitioning never changes bits.
+  auto par_gemm = [&](const T* a, std::size_t rows, std::size_t k,
+                      const T* wmat, std::size_t ncols, T* dst) {
+    if (!par || rows < 2 * kParRowChunk) {
+      k_gemm(a, rows, k, wmat, ncols, dst);
+      return;
+    }
+    const std::size_t nchunks = (rows + kParRowChunk - 1) / kParRowChunk;
+    parallel_for(*intra_pool, 0, nchunks, [&](std::size_t c) {
+      const std::size_t r0 = c * kParRowChunk;
+      const std::size_t r1 = std::min(rows, r0 + kParRowChunk);
+      k_gemm(a + r0 * k, r1 - r0, k, wmat, ncols, dst + r0 * ncols);
+    });
+  };
+
   // ---- module 1: node features + one batch-wide embedding GEMM ----
-  double* feats = arena.doubles(N * F);
-  std::fill(feats, feats + N * F, 0.0);
+  // Features are computed in double (the tape's arithmetic) and narrowed on
+  // store, so f32 rounds inputs once instead of compounding per term.
+  T* feats = arena_take<T>(arena, N * F);
+  std::fill(feats, feats + N * F, T(0));
   for (std::size_t g = 0; g < G; ++g) {
     const CompGraph& cg = *graphs[g];
     const std::size_t n = cg.num_nodes();
     const double total_flops =
         static_cast<double>(std::max<std::int64_t>(1, cg.total_flops()));
-    double* grows = feats + static_cast<std::size_t>(off[g]) * F;
+    T* grows = feats + static_cast<std::size_t>(off[g]) * F;
     for (std::size_t i = 0; i < n; ++i) {
       const auto& nd = cg.node(static_cast<int>(i));
-      double* row = grows + i * F;
-      row[static_cast<std::size_t>(nd.type)] = 1.0;
-      row[graph::kNumOpTypes + 0] =
-          std::log1p(static_cast<double>(nd.out_shape.c)) / 8.0;
-      row[graph::kNumOpTypes + 1] =
+      T* row = grows + i * F;
+      row[static_cast<std::size_t>(nd.type)] = T(1);
+      row[graph::kNumOpTypes + 0] = static_cast<T>(
+          std::log1p(static_cast<double>(nd.out_shape.c)) / 8.0);
+      row[graph::kNumOpTypes + 1] = static_cast<T>(
           std::log1p(static_cast<double>(nd.attrs.kernel * nd.attrs.kernel)) /
-          4.0;
-      row[graph::kNumOpTypes + 2] = static_cast<double>(nd.flops) / total_flops;
+          4.0);
+      row[graph::kNumOpTypes + 2] =
+          static_cast<T>(static_cast<double>(nd.flops) / total_flops);
     }
   }
-  double* h = arena.doubles(N * H);
-  gemm_rows(feats, N, F, embed_w_, h);
-  const double* eb = embed_b_.data();
+  T* h = arena_take<T>(arena, N * H);
+  par_gemm(feats, N, F, w.embed_w.data(), H, h);
+  const T* eb = w.embed_b.data();
   for (std::size_t i = 0; i < N; ++i) {
-    double* hrow = h + i * H;
+    T* hrow = h + i * H;
     for (std::size_t j = 0; j < H; ++j) hrow[j] += eb[j];
   }
 
   // ---- virtual edges (Eq. 4): per-graph BFS → one global CSR ----
-  // Every graph's n×n hop matrix stays live in one Σn_g² block so the count
-  // and fill passes can run over the whole batch; fw lists pair global row
-  // off[g]+v with its upstream sources off[g]+u (dist u→v), bw with
-  // downstream ones, sources u-ascending per graph exactly like the tape
-  // path so message accumulation order is preserved.
+  // Only hops 1 < d ≤ s_max matter, so each source's BFS stops expanding at
+  // depth s_max and touches just that neighborhood instead of the whole
+  // graph — no n×n hop matrix, no n² count/fill scans (for a ~700-node
+  // densenet this is the difference between ~2M scan steps and a few
+  // thousand).  One shared dist row is −1 outside the BFS and reset via the
+  // queue (the exact touched set).  fw lists pair global row off[g]+v with
+  // its upstream sources off[g]+u (dist u→v), bw with downstream ones,
+  // sources u-ascending per graph exactly like the tape path so message
+  // accumulation order is preserved: fw order comes from the ascending
+  // source loop, bw order from sorting each source's touched set.
   int* fw_off = nullptr;
   int* fw_u = nullptr;
-  double* fw_w = nullptr;
+  T* fw_w = nullptr;
   int* bw_off = nullptr;
   int* bw_u = nullptr;
-  double* bw_w = nullptr;
+  T* bw_w = nullptr;
   if (cfg_.virtual_edges) {
-    std::size_t dist_total = 0;
-    for (std::size_t g = 0; g < G; ++g) {
-      const std::size_t n = graphs[g]->num_nodes();
-      dist_total += n * n;
-    }
-    int* dist_all = arena.ints(dist_total);
-    std::fill(dist_all, dist_all + dist_total, -1);
+    int* dist = arena.ints(max_n);
     int* queue = arena.ints(max_n);
-    std::size_t dbase = 0;
+    std::fill(dist, dist + max_n, -1);
+    // BFS over out_edges from s, depth-capped at s_max (a node at depth
+    // s_max is recorded but not expanded, so every dist ≤ s_max is exact).
+    // Returns the queue length; queue[0..qt) is the touched set, queue[0]=s.
+    auto bfs_source = [dist, queue, s_max = cfg_.s_max](const CompGraph& cg,
+                                                        std::size_t s) {
+      dist[s] = 0;
+      std::size_t qh = 0, qt = 0;
+      queue[qt++] = static_cast<int>(s);
+      while (qh < qt) {
+        const int u = queue[qh++];
+        const int du = dist[u];
+        if (du >= s_max) continue;
+        for (int v : cg.out_edges(u)) {
+          if (dist[v] < 0) {
+            dist[v] = du + 1;
+            queue[qt++] = v;
+          }
+        }
+      }
+      return qt;
+    };
+    fw_off = arena.ints(N + 1);
+    bw_off = arena.ints(N + 1);
+    std::fill(fw_off, fw_off + N + 1, 0);
+    std::fill(bw_off, bw_off + N + 1, 0);
+    // Count pass: fw_off[r+1]/bw_off[r+1] hold per-node degrees until the
+    // prefix sum below turns them into offsets.
     for (std::size_t g = 0; g < G; ++g) {
       const CompGraph& cg = *graphs[g];
       const std::size_t n = cg.num_nodes();
-      int* dist = dist_all + dbase;
-      for (std::size_t s = 0; s < n; ++s) {
-        int* drow = dist + s * n;
-        drow[s] = 0;
-        std::size_t qh = 0, qt = 0;
-        queue[qt++] = static_cast<int>(s);
-        while (qh < qt) {
-          const int u = queue[qh++];
-          for (int v : cg.out_edges(u)) {
-            if (drow[v] < 0) {
-              drow[v] = drow[u] + 1;
-              queue[qt++] = v;
-            }
-          }
-        }
-      }
-      dbase += n * n;
-    }
-    fw_off = arena.ints(N + 1);
-    bw_off = arena.ints(N + 1);
-    fw_off[0] = 0;
-    bw_off[0] = 0;
-    dbase = 0;
-    for (std::size_t g = 0; g < G; ++g) {
-      const std::size_t n = graphs[g]->num_nodes();
-      const int* dist = dist_all + dbase;
       const std::size_t base = static_cast<std::size_t>(off[g]);
-      for (std::size_t v = 0; v < n; ++v) {
-        int cf = 0, cb = 0;
-        for (std::size_t u = 0; u < n; ++u) {
-          const int s_uv = dist[u * n + v];
-          if (s_uv > 1 && s_uv <= cfg_.s_max) ++cf;
-          const int s_vu = dist[v * n + u];
-          if (s_vu > 1 && s_vu <= cfg_.s_max) ++cb;
+      for (std::size_t s = 0; s < n; ++s) {
+        const std::size_t qt = bfs_source(cg, s);
+        int cb = 0;
+        for (std::size_t i = 1; i < qt; ++i) {
+          const int t = queue[i];
+          if (dist[t] > 1) {
+            ++cb;
+            ++fw_off[base + static_cast<std::size_t>(t) + 1];
+          }
+          dist[t] = -1;
         }
-        fw_off[base + v + 1] = fw_off[base + v] + cf;
-        bw_off[base + v + 1] = bw_off[base + v] + cb;
+        dist[s] = -1;
+        bw_off[base + s + 1] = cb;
       }
-      dbase += n * n;
+    }
+    for (std::size_t r = 0; r < N; ++r) {
+      fw_off[r + 1] += fw_off[r];
+      bw_off[r + 1] += bw_off[r];
     }
     fw_u = arena.ints(static_cast<std::size_t>(fw_off[N]));
-    fw_w = arena.doubles(static_cast<std::size_t>(fw_off[N]));
+    fw_w = arena_take<T>(arena, static_cast<std::size_t>(fw_off[N]));
     bw_u = arena.ints(static_cast<std::size_t>(bw_off[N]));
-    bw_w = arena.doubles(static_cast<std::size_t>(bw_off[N]));
-    dbase = 0;
+    bw_w = arena_take<T>(arena, static_cast<std::size_t>(bw_off[N]));
+    int* fw_fill = arena.ints(N);
+    std::copy(fw_off, fw_off + N, fw_fill);
+    // Fill pass: re-run each (cheap) BFS; sorting the touched set makes the
+    // bw sublist u-ascending, and the ascending source loop makes every fw
+    // sublist u-ascending without any per-target sort.
     for (std::size_t g = 0; g < G; ++g) {
-      const std::size_t n = graphs[g]->num_nodes();
-      const int* dist = dist_all + dbase;
+      const CompGraph& cg = *graphs[g];
+      const std::size_t n = cg.num_nodes();
       const std::size_t base = static_cast<std::size_t>(off[g]);
-      for (std::size_t v = 0; v < n; ++v) {
-        int pf = fw_off[base + v], pb = bw_off[base + v];
-        for (std::size_t u = 0; u < n; ++u) {
-          const int s_uv = dist[u * n + v];
-          if (s_uv > 1 && s_uv <= cfg_.s_max) {
-            fw_u[pf] = static_cast<int>(base + u);
-            fw_w[pf++] = 1.0 / s_uv;
+      for (std::size_t s = 0; s < n; ++s) {
+        const std::size_t qt = bfs_source(cg, s);
+        std::sort(queue + 1, queue + qt);
+        int pb = bw_off[base + s];
+        for (std::size_t i = 1; i < qt; ++i) {
+          const int t = queue[i];
+          const int d = dist[t];
+          if (d > 1) {
+            const int pf = fw_fill[base + static_cast<std::size_t>(t)]++;
+            fw_u[pf] = static_cast<int>(base + s);
+            fw_w[pf] = static_cast<T>(1.0 / d);
+            bw_u[pb] = static_cast<int>(base + static_cast<std::size_t>(t));
+            bw_w[pb++] = static_cast<T>(1.0 / d);
           }
-          const int s_vu = dist[v * n + u];
-          if (s_vu > 1 && s_vu <= cfg_.s_max) {
-            bw_u[pb] = static_cast<int>(base + u);
-            bw_w[pb++] = 1.0 / s_vu;
-          }
+          dist[t] = -1;
         }
+        dist[s] = -1;
       }
-      dbase += n * n;
     }
   }
 
   // ---- module 2: T rounds of fw/bw gated message passing, interleaved ----
-  double* hu_z = arena.doubles(N * H);    // pass-start h·Uz (batched)
-  double* hu_r = arena.doubles(N * H);    // pass-start h·Ur (batched)
-  double* memo_d = arena.doubles(N * H);  // lazily memoized MLP(h_u)
-  double* memo_s = cfg_.virtual_edges ? arena.doubles(N * H) : nullptr;
+  T* hu_z = arena_take<T>(arena, N * H);    // pass-start h·Uz (batched)
+  T* hu_r = arena_take<T>(arena, N * H);    // pass-start h·Ur (batched)
+  T* memo_d = arena_take<T>(arena, N * H);  // lazily memoized MLP(h_u)
+  T* memo_s = cfg_.virtual_edges ? arena_take<T>(arena, N * H) : nullptr;
   int* have_d = arena.ints(N);
   int* have_s = cfg_.virtual_edges ? arena.ints(N) : nullptr;
   // Per-step gather panels: one row per live graph.
-  int* live = arena.ints(G);        // graph index per panel row
-  double* mpan = arena.doubles(G * H);  // messages m_v
-  double* gz = arena.doubles(G * H);
-  double* gr = arena.doubles(G * H);
-  double* gn = arena.doubles(G * H);
-  double* rh = arena.doubles(G * H);
-  double* rhu = arena.doubles(G * H);
-  const std::size_t mlp_w = std::max(msg_mlp_.max_width, msg_mlp_sp_.max_width);
-  double* mlp_scratch = arena.doubles(2 * mlp_w);
+  int* live = arena.ints(G);  // graph index per panel row
+  T* mpan = arena_take<T>(arena, G * H);  // messages m_v
+  T* gz = arena_take<T>(arena, G * H);
+  T* gr = arena_take<T>(arena, G * H);
+  T* gn = arena_take<T>(arena, G * H);
+  T* rh = arena_take<T>(arena, G * H);
+  T* rhu = arena_take<T>(arena, G * H);
+  const std::size_t mlp_w =
+      std::max(w.msg_mlp.max_width, w.msg_mlp_sp.max_width);
+  T* mlp_scratch = arena_take<T>(arena, 2 * mlp_w);
 
   // MLP(h_u) for the current half-pass, computed at most once per global
   // node.  Exact (not approximate) because u's state is final for the
   // half-pass before any consumer v reads it — node ids are topological
   // within each graph and the interleaving never reorders a graph against
   // itself — see the invariant in the header.
-  auto memo_row = [&](const TMlp& mlp, double* table, int* have,
-                      int u) -> const double* {
-    double* row = table + static_cast<std::size_t>(u) * H;
+  auto memo_row = [&](const TMlpT<T>& mlp, T* table, int* have,
+                      int u) -> const T* {
+    T* row = table + static_cast<std::size_t>(u) * H;
     if (!have[u]) {
       mlp.forward_row(h + static_cast<std::size_t>(u) * H, row, mlp_scratch);
       have[u] = 1;
@@ -296,8 +461,8 @@ void GhnInference::embed_batch_into(
     // Old-state GRU projections as two N×H GEMMs over the whole batch.
     // Valid batched: node v's gates read h_v *before* its own (unique)
     // update, i.e. the half-pass-start value these products hold.
-    gemm_rows(h, N, H, gru_uz_, hu_z);
-    gemm_rows(h, N, H, gru_ur_, hu_r);
+    par_gemm(h, N, H, w.gru_uz.data(), H, hu_z);
+    par_gemm(h, N, H, w.gru_ur.data(), H, hu_r);
     std::fill(have_d, have_d + N, 0);
     if (cfg_.virtual_edges) std::fill(have_s, have_s + N, 0);
 
@@ -316,57 +481,74 @@ void GhnInference::embed_batch_into(
         const std::size_t g = static_cast<std::size_t>(live[l]);
         const CompGraph& cg = *graphs[g];
         const std::size_t n = cg.num_nodes();
-        const int v = forward ? static_cast<int>(s)
-                              : static_cast<int>(n - 1 - s);
+        const int v =
+            forward ? static_cast<int>(s) : static_cast<int>(n - 1 - s);
         const std::size_t base = static_cast<std::size_t>(off[g]);
         const std::size_t gv = base + static_cast<std::size_t>(v);
-        double* mrow = mpan + l * H;
+        T* mrow = mpan + l * H;
         // m_v: direct neighbours first, then virtual ones, same order and
-        // association as the tape's sequential adds.
+        // association as the tape's sequential adds (+= 1·mu is exact).
         const auto& direct = forward ? cg.in_edges(v) : cg.out_edges(v);
-        std::fill(mrow, mrow + H, 0.0);
+        std::fill(mrow, mrow + H, T(0));
         for (int u : direct) {
-          const double* mu = memo_row(msg_mlp_, memo_d, have_d,
-                                      static_cast<int>(base) + u);
-          for (std::size_t j = 0; j < H; ++j) mrow[j] += mu[j];
+          const T* mu = memo_row(w.msg_mlp, memo_d, have_d,
+                                 static_cast<int>(base) + u);
+          k_axpy(mrow, mu, T(1), H);
         }
         if (cfg_.virtual_edges) {
           const int* voff = forward ? fw_off : bw_off;
           const int* vus = forward ? fw_u : bw_u;
-          const double* vws = forward ? fw_w : bw_w;
+          const T* vws = forward ? fw_w : bw_w;
           for (int p = voff[gv]; p < voff[gv + 1]; ++p) {
-            const double* mu = memo_row(msg_mlp_sp_, memo_s, have_s, vus[p]);
-            const double wgt = vws[p];
-            for (std::size_t j = 0; j < H; ++j) mrow[j] += wgt * mu[j];
+            const T* mu = memo_row(w.msg_mlp_sp, memo_s, have_s, vus[p]);
+            k_axpy(mrow, mu, vws[p], H);
           }
         }
       }
       // 2) the three gate products, fused across the panel: one kernel call
       // per weight matrix per step instead of one dot per graph.
-      matmul_rows_transposed_b(mpan, L, gru_wzt_.data(), H, H, gz);
-      matmul_rows_transposed_b(mpan, L, gru_wrt_.data(), H, H, gr);
-      matmul_rows_transposed_b(mpan, L, gru_wnt_.data(), H, H, gn);
-      // 3) sigmoid gates + r∘h (same op order as GruCell::forward: m·W dot,
-      // + h·U, + bias, then the squashing nonlinearity).
+      k_rows(mpan, L, w.gru_wzt.data(), H, H, gz);
+      k_rows(mpan, L, w.gru_wrt.data(), H, H, gr);
+      k_rows(mpan, L, w.gru_wnt.data(), H, H, gn);
+      // 3) pre-activation sums first (same association as GruCell::forward:
+      // m·W dot, + h·U, + bias), then one panel-wide squashing sweep —
+      // identical per-element math, but the f32 sweep runs 8 lanes wide.
       for (std::size_t l = 0; l < L; ++l) {
         const std::size_t g = static_cast<std::size_t>(live[l]);
         const std::size_t n = graphs[g]->num_nodes();
         const std::size_t gv = static_cast<std::size_t>(off[g]) +
                                (forward ? s : n - 1 - s);
-        const double* huz = hu_z + gv * H;
-        const double* hur = hu_r + gv * H;
-        const double* hrow = h + gv * H;
-        double* gzr = gz + l * H;
-        double* grr = gr + l * H;
-        double* rhr = rh + l * H;
+        const T* huz = hu_z + gv * H;
+        const T* hur = hu_r + gv * H;
+        T* gzr = gz + l * H;
+        T* grr = gr + l * H;
         for (std::size_t j = 0; j < H; ++j) {
-          gzr[j] = 1.0 / (1.0 + std::exp(-((gzr[j] + huz[j]) + gru_bz_[j])));
-          grr[j] = 1.0 / (1.0 + std::exp(-((grr[j] + hur[j]) + gru_br_[j])));
-          rhr[j] = grr[j] * hrow[j];
+          gzr[j] = (gzr[j] + huz[j]) + w.gru_bz[j];
+          grr[j] = (grr[j] + hur[j]) + w.gru_br[j];
         }
       }
+      k_sigmoid(gz, L * H);
+      k_sigmoid(gr, L * H);
+      for (std::size_t l = 0; l < L; ++l) {
+        const std::size_t g = static_cast<std::size_t>(live[l]);
+        const std::size_t n = graphs[g]->num_nodes();
+        const std::size_t gv = static_cast<std::size_t>(off[g]) +
+                               (forward ? s : n - 1 - s);
+        const T* hrow = h + gv * H;
+        const T* grr = gr + l * H;
+        T* rhr = rh + l * H;
+        for (std::size_t j = 0; j < H; ++j) rhr[j] = grr[j] * hrow[j];
+      }
       // 4) candidate-state projection, fused.
-      matmul_rows_transposed_b(rh, L, gru_unt_.data(), H, H, rhu);
+      k_rows(rh, L, w.gru_unt.data(), H, H, rhu);
+      for (std::size_t l = 0; l < L; ++l) {
+        const T* rhur = rhu + l * H;
+        T* gnr = gn + l * H;
+        for (std::size_t j = 0; j < H; ++j) {
+          gnr[j] = (gnr[j] + rhur[j]) + w.gru_bn[j];
+        }
+      }
+      k_tanh(gn, L * H);
       // 5) state update + optional op normalization.
       for (std::size_t l = 0; l < L; ++l) {
         const std::size_t g = static_cast<std::size_t>(live[l]);
@@ -376,21 +558,20 @@ void GhnInference::embed_batch_into(
             forward ? static_cast<int>(s) : static_cast<int>(n - 1 - s);
         const std::size_t gv = static_cast<std::size_t>(off[g]) +
                                static_cast<std::size_t>(v);
-        double* hrow = h + gv * H;
-        const double* gzr = gz + l * H;
-        const double* gnr = gn + l * H;
-        const double* rhur = rhu + l * H;
+        T* hrow = h + gv * H;
+        const T* gzr = gz + l * H;
+        const T* gnr = gn + l * H;
         for (std::size_t j = 0; j < H; ++j) {
-          const double nj = std::tanh((gnr[j] + rhur[j]) + gru_bn_[j]);
+          const T nj = gnr[j];
           // h' = (n − z∘n) + z∘h, the tape's association.
           hrow[j] = (nj - gzr[j] * nj) + gzr[j] * hrow[j];
         }
         if (cfg_.op_normalization) {
-          const double* gain =
-              op_gains_.row_ptr(static_cast<std::size_t>(cg.node(v).type));
-          for (std::size_t j = 0; j < H; ++j) {
-            hrow[j] = std::tanh(hrow[j]) * gain[j];
-          }
+          const T* gain =
+              w.op_gains.data() +
+              static_cast<std::size_t>(cg.node(v).type) * H;
+          k_tanh(hrow, H);
+          for (std::size_t j = 0; j < H; ++j) hrow[j] *= gain[j];
         }
       }
     }
@@ -402,20 +583,29 @@ void GhnInference::embed_batch_into(
   }
 
   // ---- module 3 (skipped per PredictDDL §III-E): mean-pool readout ----
-  double* acc = mpan;  // panel scratch is free now
+  T* acc = mpan;  // panel scratch is free now
   for (std::size_t g = 0; g < G; ++g) {
     const std::size_t n = graphs[g]->num_nodes();
-    const double* grows = h + static_cast<std::size_t>(off[g]) * H;
+    const T* grows = h + static_cast<std::size_t>(off[g]) * H;
     std::copy(grows, grows + H, acc);
     for (std::size_t v = 1; v < n; ++v) {
-      const double* hrow = grows + v * H;
+      const T* hrow = grows + v * H;
       for (std::size_t j = 0; j < H; ++j) acc[j] += hrow[j];
     }
-    const double inv = 1.0 / static_cast<double>(n);
+    const T inv = static_cast<T>(1.0 / static_cast<double>(n));
     Vector& out = *outs[g];
     if (out.size() != H) out.resize(H);
-    for (std::size_t j = 0; j < H; ++j) out[j] = acc[j] * inv;
+    for (std::size_t j = 0; j < H; ++j) {
+      out[j] = static_cast<double>(acc[j] * inv);
+    }
   }
 }
+
+template void GhnInference::embed_batch_impl<double>(
+    const WeightsT<double>&, std::span<const graph::CompGraph* const>,
+    std::span<Vector* const>, ThreadPool*, std::size_t) const;
+template void GhnInference::embed_batch_impl<float>(
+    const WeightsT<float>&, std::span<const graph::CompGraph* const>,
+    std::span<Vector* const>, ThreadPool*, std::size_t) const;
 
 }  // namespace pddl::ghn

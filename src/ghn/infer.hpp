@@ -1,4 +1,4 @@
-// Tape-free GHN inference engine — the serving hot path (DESIGN.md §10).
+// Tape-free GHN inference engine — the serving hot path (DESIGN.md §10, §15).
 //
 // Ghn2::embedding builds a full autograd tape per call: thousands of tape
 // nodes, one 1×H Matrix allocation each, and one message-MLP forward per
@@ -20,26 +20,51 @@
 //      own pre-update state, which is the half-pass-start state).  The GRU
 //      recurrence itself stays sequential per node in topological order.
 //   3. a per-thread ScratchArena — every intermediate (features, states,
-//      memo tables, BFS distance matrix, virtual-edge CSR) lives in
+//      memo tables, BFS scratch, virtual-edge CSR) lives in
 //      reusable chunked buffers, so a steady-state embed performs zero
 //      heap allocations and concurrent embeds from the micro-batch
 //      ThreadPool never share scratch.
+//   4. runtime-dispatched SIMD kernels (tensor/simd.hpp) — every GEMM/dot
+//      below routes through the dispatch layer, so the same binary runs
+//      AVX2 where the CPU has it and the bit-identical scalar fallback
+//      elsewhere (or under the PDDL_DISPATCH=scalar override).
 //
-// Parity guarantee: every kernel accumulates partial sums in the same
-// (ascending-k) order as the tape ops, so embeddings agree with
-// Ghn2::embedding to ≤ 1e-9 relative (bit-identical up to floating-point
-// contraction differences).  The tape path remains the training engine and
-// the parity oracle (tests/ghn_infer_test.cpp).
+// Precision (DESIGN.md §15): an engine is constructed at kF64 (default) or
+// kF32.  The f64 engine carries the original parity guarantee: every kernel
+// accumulates partial sums in the same (ascending-k) order as the tape ops,
+// so embeddings agree with Ghn2::embedding to ≤ 1e-9 relative.  The f32
+// engine stores the pre-transposed weights and all arena scratch in single
+// precision — half the memory bandwidth on the embed-layer and GRU-gate
+// GEMMs, twice the SIMD lanes — and replaces libm's exp/tanh with the
+// dispatch layer's fast float transcendentals.  Its contract is NOT the
+// 1e-9 bound (that stays double-only) but an empirically derived error
+// budget against the f64 oracle, asserted across every CNN and transformer
+// family in tests/ghn_infer_test.cpp; the f64 engine remains the default
+// library precision and the serving ablation path.  Both precisions are
+// bit-identical across dispatch levels and across batch widths.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "ghn/ghn2.hpp"
 
+namespace pddl {
+class ThreadPool;
+}  // namespace pddl
+
 namespace pddl::ghn {
+
+// Numeric precision of an inference engine's weights and scratch.
+enum class Precision : std::uint8_t { kF64 = 0, kF32 = 1 };
+// "f64" / "f32" — the CLI and metrics spelling.
+const char* precision_name(Precision p);
+// Parses the CLI spelling; returns false (leaving `out` untouched) on
+// anything but "f32" / "f64".
+bool parse_precision(std::string_view text, Precision& out);
 
 // Chunked bump allocator for embed-local scratch.  take() hands out spans
 // from pre-allocated blocks; when the active block is exhausted the arena
@@ -51,27 +76,30 @@ namespace pddl::ghn {
 class ScratchArena {
  public:
   double* doubles(std::size_t n) { return doubles_.take(n); }
+  float* floats(std::size_t n) { return floats_.take(n); }
   int* ints(std::size_t n) { return ints_.take(n); }
 
   // Rewind all blocks; outstanding spans become invalid, capacity is kept.
   void reset() {
     doubles_.reset();
+    floats_.reset();
     ints_.reset();
   }
 
   // Observability / test hooks.
   std::size_t block_allocations() const {
-    return doubles_.allocations + ints_.allocations;
+    return doubles_.allocations + floats_.allocations + ints_.allocations;
   }
   std::size_t capacity_bytes() const {
-    return doubles_.bytes() + ints_.bytes();
+    return doubles_.bytes() + floats_.bytes() + ints_.bytes();
   }
-  // Live blocks across both pools — with capacity_bytes() this is the
+  // Live blocks across all pools — with capacity_bytes() this is the
   // arena's high-water mark the service's metrics report: capacity only
   // grows, so (bytes, chunks) after an embed is the footprint every later
   // same-shape embed reuses allocation-free.
   std::size_t chunk_count() const {
-    return doubles_.blocks.size() + ints_.blocks.size();
+    return doubles_.blocks.size() + floats_.blocks.size() +
+           ints_.blocks.size();
   }
 
  private:
@@ -119,24 +147,31 @@ class ScratchArena {
   };
 
   Pool<double> doubles_;
+  Pool<float> floats_;
   Pool<int> ints_;
 };
 
-// Immutable, gradient-free snapshot of one Ghn2.  Construction copies (and
-// pre-transposes) every parameter, so the engine stays valid and
-// thread-safe even if the source GHN is later retrained or destroyed;
-// GhnRegistry invalidates its engines whenever a GHN is replaced.
+// Immutable, gradient-free snapshot of one Ghn2 at a chosen precision.
+// Construction copies (and pre-transposes) every parameter, so the engine
+// stays valid and thread-safe even if the source GHN is later retrained or
+// destroyed; GhnRegistry invalidates its engines whenever a GHN is replaced
+// and keeps one engine slot per precision.
 class GhnInference {
  public:
-  explicit GhnInference(const Ghn2& ghn);
+  explicit GhnInference(const Ghn2& ghn,
+                        Precision precision = Precision::kF64);
 
   const GhnConfig& config() const { return cfg_; }
   std::size_t hidden_dim() const { return cfg_.hidden_dim; }
-  // ghn_checksum of the source GHN at snapshot time (staleness key).
+  Precision precision() const { return precision_; }
+  // ghn_checksum of the source GHN at snapshot time (staleness key).  The
+  // checksum carries no precision tag: both engines of one GHN share it,
+  // and cross-precision cache reuse is covered by the f32 error budget.
   std::uint64_t source_checksum() const { return source_checksum_; }
 
-  // Tape-free embedding, ≤ 1e-9 relative from Ghn2::embedding(g).  The
-  // convenience form allocates only the returned Vector.
+  // Tape-free embedding; ≤ 1e-9 relative from Ghn2::embedding(g) at kF64,
+  // within the documented f32 error budget at kF32.  The convenience form
+  // allocates only the returned Vector.
   Vector embedding(const graph::CompGraph& g) const;
   // Zero-allocation form: writes hidden_dim() values into `out`.  With a
   // warm arena and `out` already at size, a call performs no heap
@@ -160,42 +195,70 @@ class GhnInference {
   // over; asserted at widths 2/4/8 in ghn_infer_test).
   void embed_batch_into(std::span<const graph::CompGraph* const> graphs,
                         std::span<Vector* const> outs) const;
+  // Same, with optional intra-graph parallelism: when `intra_pool` is
+  // non-null and the batch holds ≥ `min_nodes` total nodes, the
+  // row-partitioned batch GEMMs (embed layer, H·Uz/H·Ur) split across the
+  // pool.  Bit-identical to the serial form — each dst row is an
+  // independent computation with an unchanged operation sequence.  (The
+  // virtual-edge topology sweep stays serial: depth-capped BFS is too cheap
+  // to be worth the fan-out.)  `intra_pool` must be a pool this call does
+  // NOT run on: nesting onto the caller's own pool can deadlock, so the
+  // serve layer keeps a dedicated pool for it (ServiceConfig::parallel_embed).
+  void embed_batch_into(std::span<const graph::CompGraph* const> graphs,
+                        std::span<Vector* const> outs, ThreadPool* intra_pool,
+                        std::size_t min_nodes = 256) const;
 
   // The calling thread's scratch arena (exposed for warm-up and the
   // allocation / reuse tests; embeds reset it on entry).
   static ScratchArena& thread_arena();
 
  private:
-  // One Linear with the weight stored transposed (out×in) so a row forward
-  // is a unit-stride dot per output.
-  struct TLinear {
-    Matrix wt;
-    Vector b;  // empty when the source layer has no bias
+  // One Linear with the weight stored transposed (out × in, flat row-major)
+  // so a row forward is a unit-stride dot per output.
+  template <typename T>
+  struct TLinearT {
+    std::vector<T> wt;
+    std::size_t out = 0;
+    std::size_t in = 0;
+    std::vector<T> b;  // empty when the source layer has no bias
   };
-  struct TMlp {
-    std::vector<TLinear> layers;
+  template <typename T>
+  struct TMlpT {
+    std::vector<TLinearT<T>> layers;
     nn::Activation act = nn::Activation::kRelu;
     std::size_t max_width = 0;
-    // y = mlp(x); scratch holds ≥ 2×max_width doubles.
-    void forward_row(const double* x, double* y, double* scratch) const;
+    // y = mlp(x); scratch holds ≥ 2×max_width elements.
+    void forward_row(const T* x, T* y, T* scratch) const;
+  };
+  // Full parameter snapshot in one precision.  Only the constructed
+  // precision's instance is populated — an f32 engine stores no doubles.
+  template <typename T>
+  struct WeightsT {
+    std::vector<T> embed_w;  // F × H, tape layout (row-batched i-k-j GEMM)
+    std::vector<T> embed_b;  // H (zeros when the layer has no bias)
+    TMlpT<T> msg_mlp;        // MLP(·) of Eq. 3
+    TMlpT<T> msg_mlp_sp;     // MLP_sp(·) of Eq. 4
+    std::vector<T> gru_wzt, gru_wrt, gru_wnt;  // input weights, ᵀ (H × H)
+    std::vector<T> gru_uz, gru_ur;  // old-state weights, tape layout
+    std::vector<T> gru_unt;         // Un transposed (sequential r∘h proj)
+    std::vector<T> gru_bz, gru_br, gru_bn;  // H
+    std::vector<T> op_gains;                // kNumOpTypes × H
   };
 
+  template <typename T>
+  void build_weights(const Ghn2& ghn, WeightsT<T>& w);
+
+  template <typename T>
+  void embed_batch_impl(const WeightsT<T>& w,
+                        std::span<const graph::CompGraph* const> graphs,
+                        std::span<Vector* const> outs, ThreadPool* intra_pool,
+                        std::size_t min_nodes) const;
+
   GhnConfig cfg_;
+  Precision precision_ = Precision::kF64;
   std::uint64_t source_checksum_ = 0;
-
-  // Module 1 (kept in tape layout: it runs as a row-batched i-k-j GEMM).
-  Matrix embed_w_;  // F×H
-  Vector embed_b_;  // H (zeros when the layer has no bias)
-
-  // Module 2.
-  TMlp msg_mlp_;     // MLP(·) of Eq. 3
-  TMlp msg_mlp_sp_;  // MLP_sp(·) of Eq. 4
-  Matrix gru_wzt_, gru_wrt_, gru_wnt_;  // input weights, transposed (H×H)
-  Matrix gru_uz_, gru_ur_;  // old-state weights, tape layout (batched GEMM)
-  Matrix gru_unt_;          // Un transposed (sequential r∘h projection)
-  Vector gru_bz_, gru_br_, gru_bn_;
-
-  Matrix op_gains_;  // kNumOpTypes × H (row per op type)
+  WeightsT<double> w64_;
+  WeightsT<float> w32_;
 };
 
 }  // namespace pddl::ghn

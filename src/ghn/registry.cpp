@@ -12,25 +12,27 @@ void GhnRegistry::put(const std::string& dataset, std::unique_ptr<Ghn2> ghn) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = entries_[dataset];
   e.ghn = std::move(ghn);
-  e.infer.reset();  // stale engine: rebuilt lazily from the new parameters
+  // Stale engines (both precisions): rebuilt lazily from the new parameters.
+  for (auto& slot : e.infer) slot.reset();
   e.cache.clear();
 }
 
 const std::shared_ptr<const GhnInference>& GhnRegistry::inference_locked(
-    Entry& e) {
-  if (e.infer == nullptr) {
-    e.infer = std::make_shared<GhnInference>(*e.ghn);
+    Entry& e, Precision p) {
+  auto& slot = e.infer[static_cast<std::size_t>(p)];
+  if (slot == nullptr) {
+    slot = std::make_shared<GhnInference>(*e.ghn, p);
   }
-  return e.infer;
+  return slot;
 }
 
 std::shared_ptr<const GhnInference> GhnRegistry::inference(
-    const std::string& dataset) {
+    const std::string& dataset, Precision precision) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(dataset);
   PDDL_CHECK(it != entries_.end(), "no GHN registered for dataset '", dataset,
              "' — run the offline trainer first (§III-G)");
-  return inference_locked(it->second);
+  return inference_locked(it->second, precision);
 }
 
 bool GhnRegistry::has_model(const std::string& dataset) const {
@@ -82,7 +84,7 @@ Vector GhnRegistry::embedding(const std::string& dataset,
   const std::uint64_t key = structural_fingerprint(g);
   auto cached = e.cache.find(key);
   if (cached != e.cache.end()) return cached->second;
-  Vector emb = inference_locked(e)->embedding(g);
+  Vector emb = inference_locked(e, Precision::kF64)->embedding(g);
   e.cache[key] = emb;
   return emb;
 }
@@ -101,7 +103,8 @@ std::vector<Vector> GhnRegistry::embeddings(
     auto it = entries_.find(dataset);
     PDDL_CHECK(it != entries_.end(), "no GHN registered for dataset '",
                dataset, "'");
-    fast = inference_locked(it->second);
+    // The memo cache always holds f64 (tape-parity) embeddings.
+    fast = inference_locked(it->second, Precision::kF64);
     for (std::size_t i = 0; i < gs.size(); ++i) {
       PDDL_CHECK(gs[i] != nullptr, "null graph in batch embed");
       auto cached = it->second.cache.find(structural_fingerprint(*gs[i]));
@@ -118,7 +121,8 @@ std::vector<Vector> GhnRegistry::embeddings(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(dataset);
-    if (it != entries_.end() && it->second.infer == fast) {
+    if (it != entries_.end() &&
+        it->second.infer[static_cast<std::size_t>(Precision::kF64)] == fast) {
       for (std::size_t k : misses) {
         it->second.cache[structural_fingerprint(*gs[k])] = out[k];
       }

@@ -9,6 +9,7 @@
 // is trained.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -63,11 +64,15 @@ class GhnRegistry {
                                  const TrainerConfig& trainer_cfg,
                                  ThreadPool& pool);
 
-  // Tape-free inference engine for the dataset's GHN, built lazily from the
-  // registered parameters and shared: holders keep embedding safely across a
-  // concurrent put(), which installs a fresh engine for later callers.
-  // Throws if no GHN is registered.
-  std::shared_ptr<const GhnInference> inference(const std::string& dataset);
+  // Tape-free inference engine for the dataset's GHN at the requested
+  // precision, built lazily from the registered parameters and shared:
+  // holders keep embedding safely across a concurrent put(), which installs
+  // fresh engines for later callers.  One engine slot per precision — the
+  // f64 engine is the ≤1e-9 tape-parity oracle (and the memoization path's
+  // engine), the f32 engine the serving fast path.  Throws if no GHN is
+  // registered.
+  std::shared_ptr<const GhnInference> inference(
+      const std::string& dataset, Precision precision = Precision::kF64);
 
   // Deep copy of the registered GHN via a save_ghn/load_ghn round-trip,
   // taken under the registry lock so the copy is a consistent snapshot even
@@ -89,12 +94,15 @@ class GhnRegistry {
  private:
   struct Entry {
     std::unique_ptr<Ghn2> ghn;
-    // Lazily built tape-free engine (src/ghn/infer.hpp); reset by put().
-    std::shared_ptr<const GhnInference> infer;
+    // Lazily built tape-free engines (src/ghn/infer.hpp), indexed by
+    // Precision; both slots are reset by put().
+    std::array<std::shared_ptr<const GhnInference>, 2> infer;
     std::map<std::uint64_t, Vector> cache;  // structural fingerprint → embedding
   };
-  // Returns e.infer, building it first if absent.  Caller holds mutex_.
-  const std::shared_ptr<const GhnInference>& inference_locked(Entry& e);
+  // Returns the precision's engine slot, building it first if absent.
+  // Caller holds mutex_.
+  const std::shared_ptr<const GhnInference>& inference_locked(Entry& e,
+                                                              Precision p);
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;

@@ -247,6 +247,9 @@ void write_metrics(io::BinaryWriter& w, const serve::MetricsSnapshot& m) {
   write_histogram(w, m.embed_hit);
   write_histogram(w, m.embed_miss);
   write_distance_histogram(w, m.reuse_distance);
+  // v8: embed-engine provenance strings (precision + live dispatch level).
+  w.str(m.engine_precision);
+  w.str(m.kernel_dispatch);
 }
 
 serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
@@ -306,6 +309,8 @@ serve::MetricsSnapshot read_metrics(io::BinaryReader& r) {
   m.embed_hit = read_histogram(r);
   m.embed_miss = read_histogram(r);
   m.reuse_distance = read_distance_histogram(r);
+  m.engine_precision = r.str();
+  m.kernel_dispatch = r.str();
   return m;
 }
 

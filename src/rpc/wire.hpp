@@ -74,7 +74,9 @@ inline constexpr char kFrameMagic[4] = {'P', 'D', 'R', 'P'};
 // swap count in the FamilyFeedback encoding; ghn_drift/retrain_triggered in
 // the ObserveOutcome encoding; stale-drop + retrain counters in the
 // MetricsSnapshot encoding.
-inline constexpr std::uint32_t kProtocolVersion = 7;
+// v8: embed-engine provenance (precision + SIMD dispatch level strings) in
+// the MetricsSnapshot encoding.
+inline constexpr std::uint32_t kProtocolVersion = 8;
 // Fixed-size frame prefix: magic (4) + version (4) + body length (4).
 inline constexpr std::size_t kFramePrefixBytes = 12;
 // Envelope overhead beyond the body: prefix + CRC trailer.

@@ -400,6 +400,13 @@ std::string MetricsSnapshot::to_string() const {
                   static_cast<unsigned long long>(arena_chunks));
     out += buf;
   }
+  // Engine line: only service-level snapshots fill these, so raw
+  // ServiceMetrics dumps (and pre-precision fixtures) keep their shape.
+  if (!engine_precision.empty() || !kernel_dispatch.empty()) {
+    std::snprintf(buf, sizeof(buf), "  engine   : precision=%s dispatch=%s\n",
+                  engine_precision.c_str(), kernel_dispatch.c_str());
+    out += buf;
+  }
   return out;
 }
 
@@ -486,6 +493,8 @@ std::string MetricsSnapshot::to_json() const {
   num("hwm_bytes", arena_hwm_bytes);
   num("chunks", arena_chunks, /*comma=*/false);
   out += "},";
+  out += "\"engine\":{\"precision\":\"" + engine_precision +
+         "\",\"dispatch\":\"" + kernel_dispatch + "\"},";
   out += "\"batch\":{";
   num("dispatched", batches_dispatched);
   {

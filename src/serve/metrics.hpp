@@ -145,6 +145,11 @@ struct MetricsSnapshot {
   std::uint64_t arena_hwm_bytes = 0;  // max per-thread arena capacity seen
   std::uint64_t arena_chunks = 0;     // block count at that high-water mark
 
+  // ---- embed-engine provenance (DESIGN.md §15; filled by
+  // PredictionService::metrics(), empty in raw ServiceMetrics snapshots) ----
+  std::string engine_precision;  // "f64" / "f32" (ServiceConfig::precision)
+  std::string kernel_dispatch;   // live simd::active_level_name()
+
   // ---- micro-batching (ROADMAP: surface the chosen batch sizes) ----
   std::uint64_t batches_dispatched = 0;
   // counts[s-1] = batches of exactly s requests (s ≤ kMaxTrackedBatchSize);

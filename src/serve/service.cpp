@@ -11,6 +11,7 @@
 #include "io/snapshot.hpp"
 #include "io/tensor_io.hpp"
 #include "parallel/parallel_for.hpp"
+#include "tensor/simd.hpp"
 
 namespace pddl::serve {
 
@@ -60,6 +61,11 @@ PredictionService::PredictionService(core::PredictDdl& engine,
   PDDL_CHECK(cfg_.queue_capacity > 0, "queue capacity must be positive");
   PDDL_CHECK(cfg_.dispatcher_threads > 0, "need at least one dispatcher");
   PDDL_CHECK(cfg_.max_batch > 0, "micro-batch size must be positive");
+  if (cfg_.parallel_embed) {
+    // Dedicated pool: embed groups may already run on engine_.pool(), and
+    // nesting a blocking parallel_for onto the caller's own pool deadlocks.
+    intra_pool_ = std::make_unique<ThreadPool>();
+  }
   dispatchers_.reserve(cfg_.dispatcher_threads);
   for (std::size_t i = 0; i < cfg_.dispatcher_threads; ++i) {
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
@@ -257,7 +263,9 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
     w.engine = std::move(engine);
     w.ghn = ghn;
     try {
-      if (cfg_.fast_embed) w.fast = engine_.registry().inference(dataset);
+      if (cfg_.fast_embed) {
+        w.fast = engine_.registry().inference(dataset, cfg_.precision);
+      }
       w.graph = p.req.workload.build_graph();
     } catch (const std::exception& e) {
       metrics_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -384,7 +392,8 @@ void PredictionService::process_batch(std::vector<Pending> batch) {
       }
       g.fast->embed_batch_into(
           std::span<const graph::CompGraph* const>(gs.data(), gs.size()),
-          std::span<Vector* const>(outs.data(), outs.size()));
+          std::span<Vector* const>(outs.data(), outs.size()),
+          intra_pool_.get(), cfg_.parallel_embed_min_nodes);
       const ghn::ScratchArena& arena = ghn::GhnInference::thread_arena();
       metrics_.note_arena(arena.capacity_bytes(), arena.chunk_count());
     } catch (...) {
@@ -558,7 +567,9 @@ std::size_t PredictionService::warm_up(
     item.graph = w.build_graph();
     item.fp = ghn::structural_fingerprint(item.graph);
     item.ghn = ghn;
-    if (cfg_.fast_embed) item.fast = engine_.registry().inference(item.dataset);
+    if (cfg_.fast_embed) {
+      item.fast = engine_.registry().inference(item.dataset, cfg_.precision);
+    }
     item.ghn_checksum = item.fast != nullptr ? item.fast->source_checksum()
                                              : ghn::ghn_checksum(*ghn);
     if (cache_.get(item.dataset, item.fp, item.ghn_checksum)) {
@@ -595,7 +606,8 @@ std::size_t PredictionService::warm_up(
     }
     fast->embed_batch_into(
         std::span<const graph::CompGraph* const>(gs.data(), gs.size()),
-        std::span<Vector* const>(outs.data(), outs.size()));
+        std::span<Vector* const>(outs.data(), outs.size()), intra_pool_.get(),
+        cfg_.parallel_embed_min_nodes);
     const ghn::ScratchArena& arena = ghn::GhnInference::thread_arena();
     metrics_.note_arena(arena.capacity_bytes(), arena.chunk_count());
     metrics_.record_embed_batch(idxs.size(), 0);
@@ -768,6 +780,8 @@ MetricsSnapshot PredictionService::metrics() const {
   s.reuse_evictions = rs.evictions;
   s.reuse_invalidations = rs.invalidations;
   s.reuse_entries = rs.entries;
+  s.engine_precision = ghn::precision_name(cfg_.precision);
+  s.kernel_dispatch = simd::active_level_name();
   return s;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <ostream>
 
+#include "tensor/simd.hpp"
+
 namespace pddl {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -161,16 +163,9 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   if (k <= kKc || n <= kNc) {
     // Small B: the whole operand fits comfortably in cache, so a plain
     // i-k-j sweep (inner loop contiguous in both b and out) is optimal.
-    for (std::size_t i = 0; i < m; ++i) {
-      const double* arow = a.row_ptr(i);
-      double* orow = out.row_ptr(i);
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double aik = arow[kk];
-        if (aik == 0.0) continue;
-        const double* brow = b.row_ptr(kk);
-        for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-      }
-    }
+    // Dispatched (tensor/simd.hpp): the SIMD variant vectorizes the j loop
+    // element-wise, so it is bit-identical to the scalar sweep.
+    simd::gemm_rows_f64(a.data(), m, k, b.data(), n, out.data());
     return out;
   }
   // Blocked path: tile over k and n so one kKc×kNc panel of B is reused
@@ -189,7 +184,7 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
           const double aik = arow[kk];
           if (aik == 0.0) continue;
           const double* brow = b.row_ptr(kk);
-          for (std::size_t j = j0; j < j1; ++j) orow[j] += aik * brow[j];
+          simd::axpy_f64(orow + j0, brow + j0, aik, j1 - j0);
         }
       }
     }
@@ -199,28 +194,18 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 
 void dot_rows_transposed(const double* x, const double* bt, std::size_t n,
                          std::size_t k_dim, const double* bias, double* y) {
-  for (std::size_t j = 0; j < n; ++j) {
-    const double* brow = bt + j * k_dim;
-    double s = 0.0;
-    for (std::size_t kk = 0; kk < k_dim; ++kk) s += x[kk] * brow[kk];
-    y[j] = bias == nullptr ? s : s + bias[j];
-  }
+  // Runtime-dispatched (tensor/simd.hpp); every level accumulates each
+  // output's partial sums in the same ascending-k order, so the result is
+  // bit-identical whether the scalar fallback or the AVX2 kernel runs.
+  simd::dot_rows_transposed_f64(x, bt, n, k_dim, bias, y);
 }
 
 void matmul_rows_transposed_b(const double* a, std::size_t m, const double* bt,
                               std::size_t n, std::size_t k_dim, double* out) {
-  // j-outer: one pass over the weight rows, each reused across all m data
-  // rows while hot.  Each element is an independent ascending-k dot, so the
-  // loop order only changes cache behaviour, never the bits.
-  for (std::size_t j = 0; j < n; ++j) {
-    const double* brow = bt + j * k_dim;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double* arow = a + i * k_dim;
-      double s = 0.0;
-      for (std::size_t kk = 0; kk < k_dim; ++kk) s += arow[kk] * brow[kk];
-      out[i * n + j] = s;
-    }
-  }
+  // Each element is an independent ascending-k dot, so the dispatch level
+  // (and the kernel's loop order) only changes cache behaviour, never the
+  // bits.
+  simd::matmul_rows_transposed_b_f64(a, m, bt, n, k_dim, out);
 }
 
 Matrix matmul_transposed_b(const Matrix& a, const Matrix& bt) {
@@ -228,10 +213,8 @@ Matrix matmul_transposed_b(const Matrix& a, const Matrix& bt) {
              a.rows(), "x", a.cols(), " · (", bt.rows(), "x", bt.cols(),
              ")ᵀ");
   Matrix out(a.rows(), bt.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    dot_rows_transposed(a.row_ptr(i), bt.data(), bt.rows(), bt.cols(),
-                        nullptr, out.row_ptr(i));
-  }
+  simd::matmul_rows_transposed_b_f64(a.data(), a.rows(), bt.data(), bt.rows(),
+                                     bt.cols(), out.data());
   return out;
 }
 

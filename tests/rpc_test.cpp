@@ -21,6 +21,7 @@
 
 #include "rpc/client.hpp"
 #include "rpc/server.hpp"
+#include "tensor/simd.hpp"
 
 namespace pddl::rpc {
 namespace {
@@ -879,9 +880,15 @@ TEST_F(RpcLoopbackTest, StatsOpCarriesRpcCounters) {
   EXPECT_GE(m.rpc_connections_active, 1u);
   EXPECT_GE(m.rpc_frames_received, 2u);  // the predict + this stats frame
   EXPECT_EQ(m.rpc_frame_errors, 0u);
+  // v8: the embed-engine provenance strings survive the wire round-trip
+  // (library-default service → f64; dispatch is whatever this host runs).
+  EXPECT_EQ(m.engine_precision, "f64");
+  EXPECT_EQ(m.kernel_dispatch, simd::active_level_name());
   // The snapshot renders through both shared formatters.
   EXPECT_NE(m.to_string().find("rpc"), std::string::npos);
   EXPECT_NE(m.to_json().find("\"connections_accepted\":"), std::string::npos);
+  EXPECT_NE(m.to_json().find("\"engine\":{\"precision\":\"f64\""),
+            std::string::npos);
 }
 
 // The full feedback loop over the wire: skewed observations trip the drift

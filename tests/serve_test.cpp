@@ -9,6 +9,7 @@
 
 #include "serve/batch_sizer.hpp"
 #include "serve/service.hpp"
+#include "tensor/simd.hpp"
 
 namespace pddl::serve {
 namespace {
@@ -137,6 +138,57 @@ TEST_F(ServeTest, TapeFallbackPathMatchesFastEngine) {
         1e-6 * std::max(1.0, std::fabs(tape.response.predicted_time_s));
     EXPECT_NEAR(fast.response.predicted_time_s,
                 tape.response.predicted_time_s, tol)
+        << model;
+  }
+}
+
+TEST_F(ServeTest, F32PrecisionServesWithinBudgetAndReportsEngine) {
+  // The f32 embed engine (the CLI serving default; the library default
+  // stays f64) must move end-to-end predictions by at most fp32 noise —
+  // the embedding-level budget is ~4e-7 scaled-relative (ghn_infer_test),
+  // and the downstream feature/regressor path is smooth, so 1e-4 relative
+  // on the predicted time is generous yet far below any scheduling-relevant
+  // difference.  Every campaign family is checked.
+  ServiceConfig f64_cfg;  // default precision: ghn::Precision::kF64
+  ServiceConfig f32_cfg;
+  f32_cfg.precision = ghn::Precision::kF32;
+  PredictionService f64_service(*pddl_, f64_cfg);
+  PredictionService f32_service(*pddl_, f32_cfg);
+  for (const std::string& model : fast_options().campaign.models) {
+    const core::PredictRequest req = make_request(model);
+    const ServeResult a = f64_service.predict(req);
+    const ServeResult b = f32_service.predict(req);
+    ASSERT_TRUE(a.ok()) << a.error;
+    ASSERT_TRUE(b.ok()) << b.error;
+    EXPECT_NEAR(b.response.predicted_time_s, a.response.predicted_time_s,
+                1e-4 * std::max(1.0, std::fabs(a.response.predicted_time_s)))
+        << model;
+  }
+  // metrics() reports the live engine provenance for both services.
+  EXPECT_EQ(f64_service.metrics().engine_precision, "f64");
+  EXPECT_EQ(f32_service.metrics().engine_precision, "f32");
+  EXPECT_EQ(f32_service.metrics().kernel_dispatch, simd::active_level_name());
+  EXPECT_NE(f32_service.metrics().to_string().find("precision=f32"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, ParallelEmbedServesBitIdenticalPredictions) {
+  // Intra-graph parallelism is a pure latency knob: the service spins up a
+  // dedicated pool and predictions must equal the serial path bit-for-bit.
+  ServiceConfig serial_cfg;
+  ServiceConfig par_cfg;
+  par_cfg.parallel_embed = true;
+  par_cfg.parallel_embed_min_nodes = 1;  // engage even for tiny test graphs
+  PredictionService serial_service(*pddl_, serial_cfg);
+  PredictionService par_service(*pddl_, par_cfg);
+  for (const char* model : {"alexnet", "densenet121", "resnet50"}) {
+    const core::PredictRequest req = make_request(model);
+    const ServeResult s = serial_service.predict(req);
+    const ServeResult p = par_service.predict(req);
+    ASSERT_TRUE(s.ok()) << s.error;
+    ASSERT_TRUE(p.ok()) << p.error;
+    EXPECT_DOUBLE_EQ(p.response.predicted_time_s,
+                     s.response.predicted_time_s)
         << model;
   }
 }

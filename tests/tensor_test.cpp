@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <sstream>
+#include <type_traits>
+#include <vector>
 
 #include "tensor/matrix.hpp"
+#include "tensor/simd.hpp"
 
 namespace pddl {
 namespace {
@@ -281,6 +285,203 @@ TEST_P(MatmulProperty, TransposeReversesProduct) {
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, MatmulProperty,
                          ::testing::Range(0, 10));
+
+// ---- runtime-dispatched SIMD kernels (tensor/simd.hpp) ----
+// The dispatch layer's whole contract is bit parity: every kernel must
+// return the same bits at kScalar and at the hardware's maximum level.  On
+// a machine without AVX2 (or under PDDL_DISPATCH=scalar) max == scalar and
+// the sweeps below compare the scalar path with itself — still meaningful
+// as a determinism check, and the AVX2 leg runs wherever CI has the ISA.
+
+// Restores the active dispatch level on scope exit, so a failing EXPECT
+// can't leak a forced level into later tests.
+class DispatchGuard {
+ public:
+  explicit DispatchGuard(simd::DispatchLevel level)
+      : prev_(simd::set_dispatch_level(level)) {}
+  ~DispatchGuard() { simd::set_dispatch_level(prev_); }
+
+ private:
+  simd::DispatchLevel prev_;
+};
+
+// Shape sweep covering every vector-width remainder: n, k around the 4-wide
+// (f64) and 8-wide (f32) tiles plus the in-between odd sizes.
+constexpr std::size_t kDims[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33};
+constexpr std::size_t kRows[] = {1, 2, 5};
+
+TEST(SimdDispatch, LevelOverrideClampsAndRestores) {
+  const simd::DispatchLevel max = simd::max_supported_level();
+  const simd::DispatchLevel before = simd::active_level();
+  {
+    DispatchGuard g(simd::DispatchLevel::kScalar);
+    EXPECT_EQ(simd::active_level(), simd::DispatchLevel::kScalar);
+    EXPECT_STREQ(simd::active_level_name(), "scalar");
+    // Requesting more than the maximum clamps to it (and to scalar under a
+    // PDDL_DISPATCH=scalar cap, which lowers max_supported_level itself).
+    simd::set_dispatch_level(simd::DispatchLevel::kAvx2);
+    EXPECT_EQ(simd::active_level(), max);
+  }
+  EXPECT_EQ(simd::active_level(), before);
+  EXPECT_STREQ(simd::level_name(simd::DispatchLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::DispatchLevel::kAvx2), "avx2");
+}
+
+// Runs `fn` at forced-scalar and at the maximum level and hands both result
+// buffers to `cmp`.  Templated over the element type of the output.
+template <typename T, typename Fn>
+void expect_bit_parity_sweep(std::size_t out_len, Fn&& fn,
+                             const char* what) {
+  std::vector<T> lo(out_len, T(0)), hi(out_len, T(0));
+  {
+    DispatchGuard g(simd::DispatchLevel::kScalar);
+    fn(lo.data());
+  }
+  {
+    DispatchGuard g(simd::max_supported_level());
+    fn(hi.data());
+  }
+  for (std::size_t i = 0; i < out_len; ++i) {
+    // EXPECT_EQ on the values is an exact bitwise check for non-NaN floats.
+    EXPECT_EQ(lo[i], hi[i]) << what << " element " << i;
+  }
+}
+
+template <typename T>
+std::vector<T> random_buf(std::size_t n, Rng& rng) {
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng.gaussian());
+  return v;
+}
+
+template <typename T>
+void run_dot_and_gemm_parity(const char* tag) {
+  Rng rng(71);
+  for (const std::size_t m : kRows) {
+    for (const std::size_t n : kDims) {
+      for (const std::size_t k : kDims) {
+        const auto a = random_buf<T>(m * k, rng);
+        const auto bt = random_buf<T>(n * k, rng);
+        const auto bias = random_buf<T>(n, rng);
+        auto w = random_buf<T>(k * n, rng);
+        // gemm_rows_* skips zero a-elements; plant some to cover that path.
+        auto az = a;
+        az[0] = T(0);
+        if (az.size() > 3) az[3] = T(0);
+        expect_bit_parity_sweep<T>(
+            n,
+            [&](T* y) {
+              if constexpr (std::is_same_v<T, double>) {
+                simd::dot_rows_transposed_f64(a.data(), bt.data(), n, k,
+                                              bias.data(), y);
+              } else {
+                simd::dot_rows_transposed_f32(a.data(), bt.data(), n, k,
+                                              bias.data(), y);
+              }
+            },
+            tag);
+        expect_bit_parity_sweep<T>(
+            m * n,
+            [&](T* y) {
+              if constexpr (std::is_same_v<T, double>) {
+                simd::matmul_rows_transposed_b_f64(a.data(), m, bt.data(), n,
+                                                   k, y);
+              } else {
+                simd::matmul_rows_transposed_b_f32(a.data(), m, bt.data(), n,
+                                                   k, y);
+              }
+            },
+            tag);
+        expect_bit_parity_sweep<T>(
+            m * n,
+            [&](T* y) {
+              if constexpr (std::is_same_v<T, double>) {
+                simd::gemm_rows_f64(az.data(), m, k, w.data(), n, y);
+              } else {
+                simd::gemm_rows_f32(az.data(), m, k, w.data(), n, y);
+              }
+            },
+            tag);
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, F64KernelsBitIdenticalAcrossLevels) {
+  run_dot_and_gemm_parity<double>("f64");
+}
+
+TEST(SimdDispatch, F32KernelsBitIdenticalAcrossLevels) {
+  run_dot_and_gemm_parity<float>("f32");
+}
+
+TEST(SimdDispatch, AxpyBitIdenticalAcrossLevels) {
+  Rng rng(72);
+  for (const std::size_t n : kDims) {
+    const auto src64 = random_buf<double>(n, rng);
+    const auto dst64 = random_buf<double>(n, rng);
+    expect_bit_parity_sweep<double>(
+        n,
+        [&](double* y) {
+          std::copy(dst64.begin(), dst64.end(), y);
+          simd::axpy_f64(y, src64.data(), 0.37, n);
+        },
+        "axpy f64");
+    const auto src32 = random_buf<float>(n, rng);
+    const auto dst32 = random_buf<float>(n, rng);
+    expect_bit_parity_sweep<float>(
+        n,
+        [&](float* y) {
+          std::copy(dst32.begin(), dst32.end(), y);
+          simd::axpy_f32(y, src32.data(), 0.37f, n);
+        },
+        "axpy f32");
+  }
+}
+
+TEST(SimdDispatch, ActivationPanelsBitIdenticalAcrossLevels) {
+  Rng rng(73);
+  for (const std::size_t n : kDims) {
+    auto x = random_buf<float>(n, rng);
+    for (auto& v : x) v *= 4.0f;  // push into the saturating tails too
+    expect_bit_parity_sweep<float>(
+        n,
+        [&](float* y) {
+          std::copy(x.begin(), x.end(), y);
+          simd::sigmoid_inplace_f32(y, n);
+        },
+        "sigmoid");
+    expect_bit_parity_sweep<float>(
+        n,
+        [&](float* y) {
+          std::copy(x.begin(), x.end(), y);
+          simd::tanh_inplace_f32(y, n);
+        },
+        "tanh");
+  }
+}
+
+// Accuracy (not parity): the fast float transcendentals must stay within a
+// few float ulps of the double-precision libm reference over the range the
+// GRU actually feeds them, and must saturate cleanly far outside it.
+TEST(SimdDispatch, FastTranscendentalsTrackLibm) {
+  for (int i = -800; i <= 800; ++i) {
+    const float x = static_cast<float>(i) * 0.05f;  // [-40, 40]
+    const double ex = std::exp(static_cast<double>(x));
+    const double sg = 1.0 / (1.0 + std::exp(-static_cast<double>(x)));
+    const double th = std::tanh(static_cast<double>(x));
+    EXPECT_NEAR(simd::fast_expf(x), ex, 4e-7 * ex) << "exp(" << x << ")";
+    EXPECT_NEAR(simd::fast_sigmoidf(x), sg, 1e-6) << "sigmoid(" << x << ")";
+    EXPECT_NEAR(simd::fast_tanhf(x), th, 1e-6) << "tanh(" << x << ")";
+  }
+  // Clamped tails: no inf/NaN, correct limits.
+  EXPECT_EQ(simd::fast_sigmoidf(200.0f), 1.0f);
+  EXPECT_NEAR(simd::fast_sigmoidf(-200.0f), 0.0f, 1e-30);
+  EXPECT_NEAR(simd::fast_tanhf(200.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(simd::fast_tanhf(-200.0f), -1.0f, 1e-6);
+  EXPECT_TRUE(std::isfinite(simd::fast_expf(1000.0f)));
+  EXPECT_TRUE(std::isfinite(simd::fast_expf(-1000.0f)));
+}
 
 }  // namespace
 }  // namespace pddl
